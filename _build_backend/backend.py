@@ -1,0 +1,104 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+The execution environment has no network access and no ``wheel``
+package, so the stock setuptools backend cannot produce (editable)
+wheels.  Wheels are just zip files with a small amount of metadata; this
+backend writes them directly, supporting both ``pip install .`` and
+``pip install -e .`` for this single pure-Python project.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: HomeGuard: cross-app interference threat detection for smart homes (DSN 2020 reproduction)
+Requires-Python: >=3.10
+"""
+
+_WHEEL = """Wheel-Version: 1.0
+Generator: repro-in-tree-backend
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    encoded = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"sha256={encoded}"
+
+
+class _WheelWriter:
+    """Accumulates files and writes a spec-compliant .whl archive."""
+
+    def __init__(self, path: str) -> None:
+        self._zip = zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED)
+        self._records: list[str] = []
+
+    def add(self, arcname: str, data: bytes) -> None:
+        self._zip.writestr(arcname, data)
+        self._records.append(f"{arcname},{_record_hash(data)},{len(data)}")
+
+    def close(self) -> None:
+        record_name = f"{DIST_INFO}/RECORD"
+        self._records.append(f"{record_name},,")
+        self._zip.writestr(record_name, "\n".join(self._records) + "\n")
+        self._zip.close()
+
+    def add_dist_info(self) -> None:
+        self.add(f"{DIST_INFO}/METADATA", _METADATA.encode())
+        self.add(f"{DIST_INFO}/WHEEL", _WHEEL.encode())
+
+
+# ----------------------------------------------------------------------
+# PEP 517 hooks
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    filename = f"{NAME}-{VERSION}-py3-none-any.whl"
+    writer = _WheelWriter(os.path.join(wheel_directory, filename))
+    package_root = os.path.join(ROOT, "src")
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(package_root, NAME)):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, name)
+            arcname = os.path.relpath(full, package_root).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                writer.add(arcname, handle.read())
+    writer.add_dist_info()
+    writer.close()
+    return filename
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    filename = f"{NAME}-{VERSION}-0.editable-py3-none-any.whl"
+    writer = _WheelWriter(os.path.join(wheel_directory, filename))
+    src_path = os.path.join(ROOT, "src")
+    writer.add(f"__editable__.{NAME}.pth", (src_path + "\n").encode())
+    writer.add_dist_info()
+    writer.close()
+    return filename
+
+
+def build_sdist(sdist_directory, config_settings=None):  # pragma: no cover
+    raise NotImplementedError("sdist builds are not supported by this backend")

@@ -1,0 +1,70 @@
+"""Fig. 8 — statistics of the detection result on 90 SmartApps.
+
+Pairwise CAI detection over the 90 device-controlling repository apps,
+reported as the number of apps involved in each threat class, broken
+down by the paper's Switch / Mode / Others buckets.  The expected shape:
+every threat class has instances, and apps controlling a commonly used
+switch or the location mode tend to be involved in all threat kinds.
+"""
+
+from collections import defaultdict
+
+from repro.corpus import app_by_name, device_controlling_apps
+from repro.detector import DetectionEngine, ThreatType
+
+_CLASSES = ["AR", "GC", "CT", "SD", "LT", "EC", "DC"]
+
+
+def _run_detection(corpus_rulesets):
+    rulesets, resolver = corpus_rulesets
+    engine = DetectionEngine(resolver)
+    threat_counts: dict[str, int] = defaultdict(int)
+    apps_involved: dict[str, set] = defaultdict(set)
+    for i in range(len(rulesets)):
+        for j in range(i + 1, len(rulesets)):
+            for rule_a in rulesets[i].rules:
+                for rule_b in rulesets[j].rules:
+                    for threat in engine.detect_pair(rule_a, rule_b):
+                        key = threat.type.value
+                        threat_counts[key] += 1
+                        apps_involved[key].add(threat.rule_a.app_name)
+                        apps_involved[key].add(threat.rule_b.app_name)
+    return threat_counts, apps_involved, engine.stats
+
+
+def test_fig8_detection_statistics(benchmark, corpus_rulesets):
+    threat_counts, apps_involved, stats = benchmark.pedantic(
+        lambda: _run_detection(corpus_rulesets), rounds=1, iterations=1,
+    )
+
+    category_of = {
+        app.name: app.category for app in device_controlling_apps()
+    }
+
+    print("\n=== Fig. 8: CAI statistics over 90 device-controlling apps ===")
+    print(f"{'class':<6}{'instances':>10}{'apps':>6}"
+          f"{'switch':>8}{'mode':>6}{'other':>7}")
+    for key in _CLASSES:
+        involved = apps_involved.get(key, set())
+        by_cat = defaultdict(int)
+        for app_name in involved:
+            by_cat[category_of.get(app_name, "other")] += 1
+        print(
+            f"{key:<6}{threat_counts.get(key, 0):>10}{len(involved):>6}"
+            f"{by_cat['switch']:>8}{by_cat['mode']:>6}{by_cat['other']:>7}"
+        )
+    print(f"solver calls: {stats.solver_calls}, cache hits: {stats.cache_hits}")
+
+    # Shape assertions (paper: "a lot of apps can cause CAI threats").
+    for key in _CLASSES:
+        assert threat_counts.get(key, 0) > 0, f"no {key} instances found"
+    # Switch-controlling apps dominate every class (Fig. 8's bars).
+    for key in _CLASSES:
+        involved = apps_involved[key]
+        switch_apps = sum(
+            1 for name in involved if category_of.get(name) == "switch"
+        )
+        assert switch_apps >= len(involved) * 0.3
+    # CT (covert triggering) is among the most numerous classes.
+    assert threat_counts["CT"] >= threat_counts["LT"]
+    assert threat_counts["CT"] >= threat_counts["DC"]

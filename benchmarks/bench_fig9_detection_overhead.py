@@ -1,0 +1,106 @@
+"""Fig. 9 — CAI detection overhead for a pair of rules.
+
+Per-threat-class timing of candidate filtering vs constraint solving,
+plus the effect of solver-result reuse: CT/SD/LT reuse the AR solving
+result and DC reuses EC's (the paper's green dotted arrows).  Absolute
+numbers differ from the paper's Galaxy S8; the shape to reproduce is
+(1) constraint solving dominates, (2) reuse removes most repeat cost,
+(3) the total for one pair stays near a second at worst.
+"""
+
+import time
+
+from repro.constraints import TypeBasedResolver
+from repro.detector import DetectionEngine
+from repro.detector.types import ThreatType
+from repro.rules import extract_rules
+
+RULE_A = '''
+input "tv1", "capability.switch"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number"
+input "window1", "capability.switch"
+def installed() { subscribe(tv1, "switch.on", h) }
+def h(evt) {
+    def t = tSensor.currentValue("temperature")
+    if (t > threshold1) window1.on()
+}
+'''
+
+RULE_B = '''
+input "tv2", "capability.switch"
+input "weather", "enum"
+input "window2", "capability.switch"
+def installed() { subscribe(tv2, "switch.on", h) }
+def h(evt) {
+    if (weather == "rainy") window2.off()
+}
+'''
+
+HINTS = {
+    "A": {"tv1": "tv", "tSensor": "temperatureSensor", "window1": "windowOpener"},
+    "B": {"tv2": "tv", "window2": "windowOpener"},
+}
+
+
+def _fresh_engine():
+    return DetectionEngine(
+        TypeBasedResolver(type_hints=HINTS, values={"A": {"threshold1": 30}})
+    )
+
+
+def _detect_pair_cold():
+    engine = _fresh_engine()
+    rule_a = extract_rules(RULE_A, "A").rules[0]
+    rule_b = extract_rules(RULE_B, "B").rules[0]
+    return engine.detect_pair(rule_a, rule_b), engine.stats
+
+
+def test_fig9_detection_overhead(benchmark):
+    threats, stats = benchmark(_detect_pair_cold)
+    assert threats  # the pair is the paper's AR example
+
+    print("\n=== Fig. 9: per-pair detection overhead (cold cache) ===")
+    print(f"{'stage':<28}{'milliseconds':>14}")
+    total_candidate = 0.0
+    total_solve = 0.0
+    for threat_type in ThreatType:
+        candidate = stats.candidate_seconds.get(threat_type, 0.0) * 1000
+        solve = stats.solve_seconds.get(threat_type, 0.0) * 1000
+        total_candidate += candidate
+        total_solve += solve
+        if candidate or solve:
+            print(f"{threat_type.value + ' candidate filter':<28}{candidate:>14.3f}")
+            if solve:
+                print(f"{threat_type.value + ' constraint solving':<28}{solve:>14.3f}")
+    print(f"{'total candidate filtering':<28}{total_candidate:>14.3f}")
+    print(f"{'total constraint solving':<28}{total_solve:>14.3f}")
+    print(f"solver calls: {stats.solver_calls}, cache hits: {stats.cache_hits}")
+
+    # Shape: constraint solving dominates candidate filtering.
+    assert total_solve > total_candidate
+    # At most one situation solve and one effect solve per direction —
+    # CT/SD/LT reuse AR's result and DC reuses EC's (the green arrows).
+    assert stats.solver_calls <= 4
+    # The pair's full detection stays well under the paper's 1156 ms cap.
+    assert (total_candidate + total_solve) < 1156
+
+
+def test_fig9_reuse_saves_solver_calls():
+    engine = _fresh_engine()
+    rule_a = extract_rules(RULE_A, "A").rules[0]
+    rule_b = extract_rules(RULE_B, "B").rules[0]
+
+    started = time.perf_counter()
+    engine.detect_pair(rule_a, rule_b)
+    cold = time.perf_counter() - started
+    cold_calls = engine.stats.solver_calls
+
+    started = time.perf_counter()
+    engine.detect_pair(rule_a, rule_b)
+    warm = time.perf_counter() - started
+
+    assert engine.stats.solver_calls == cold_calls  # all solves reused
+    print(f"\ncold pair: {cold*1000:.2f} ms, warm pair: {warm*1000:.2f} ms, "
+          f"solver calls: {cold_calls}")
+    assert warm <= cold

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's per-experiment index).  Session-scoped
+fixtures cache the corpus rule sets so individual benchmarks measure
+only their own stage.
+"""
+
+import pytest
+
+from repro.constraints import TypeBasedResolver
+from repro.corpus import device_controlling_apps
+from repro.rules.extractor import RuleExtractor
+
+
+@pytest.fixture(scope="session")
+def corpus_rulesets():
+    """Rule sets + resolver for the 90 device-controlling apps."""
+    extractor = RuleExtractor()
+    rulesets = []
+    hints, values = {}, {}
+    for app in device_controlling_apps():
+        rulesets.append(extractor.extract(app.source, app.name))
+        hints[app.name] = app.type_hints
+        values[app.name] = app.values
+    resolver = TypeBasedResolver(type_hints=hints, values=values)
+    return rulesets, resolver

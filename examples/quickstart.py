@@ -1,0 +1,62 @@
+"""Quickstart: extract rules from a SmartApp and detect CAI threats.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import HomeGuard
+from repro.corpus import app_by_name
+from repro.detector.types import ThreatType
+from repro.frontend import render_review
+from repro.rules import extract_rules
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Rule extraction: symbolic execution over SmartApp source.
+    print("## 1. Rule extraction (paper Table II)\n")
+    ruleset = extract_rules(app_by_name("ComfortTV").source, "ComfortTV")
+    for rule in ruleset:
+        print(f"  trigger  : {rule.trigger.subject}.{rule.trigger.attribute}"
+              f"  constraint={rule.trigger.constraint}")
+        print(f"  condition: {[str(p) for p in rule.condition.predicate_constraints]}")
+        print(f"  action   : {rule.action.subject} -> {rule.action.command}"
+              f" (when={rule.action.when}, period={rule.action.period})")
+
+    # ------------------------------------------------------------------
+    # 2. Table I: the seven CAI threat categories.
+    print("\n## 2. CAI threat categories (paper Table I)\n")
+    for threat_type in ThreatType:
+        if threat_type is ThreatType.CHAINED:
+            continue
+        print(f"  {threat_type.value:<3} {threat_type.category:<22} "
+              f"{threat_type.pattern}")
+
+    # ------------------------------------------------------------------
+    # 3. End-to-end installation flow with detection.
+    print("\n## 3. Installing apps with HomeGuard\n")
+    hg = HomeGuard(transport="http")
+    hg.register_device("Living-room TV", "tv")
+    hg.register_device("Hall sensor", "temperatureSensor")
+    hg.register_device("Back window", "windowOpener")
+
+    review1 = hg.install(
+        app_by_name("ComfortTV"),
+        devices={"tv1": "Living-room TV", "tSensor": "Hall sensor",
+                 "window1": "Back window"},
+        values={"threshold1": 30},
+    )
+    print(f"ComfortTV installs clean: {review1.clean}")
+
+    review2 = hg.install(
+        app_by_name("ColdDefender"),
+        devices={"tv2": "Living-room TV", "window2": "Back window"},
+        values={"weather": "rainy"},
+    )
+    print(f"ColdDefender threats: {[t.type.value for t in review2.threats]}\n")
+    print(render_review(review2))
+
+
+if __name__ == "__main__":
+    main()

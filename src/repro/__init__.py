@@ -1,0 +1,31 @@
+"""HomeGuard — Cross-App Interference threat detection for smart homes.
+
+A from-scratch reproduction of *"Cross-App Interference Threats in Smart
+Homes: Categorization, Detection and Handling"* (Chi, Zeng, Du, Yu —
+DSN 2020).
+
+Public API highlights
+---------------------
+* :class:`repro.HomeGuard` — end-to-end deployment facade (offline rule
+  extraction + online installation-time detection),
+* :func:`repro.rules.extract_rules` — symbolic-execution rule extraction
+  for one SmartApp,
+* :class:`repro.detector.DetectionEngine` — pairwise CAI detection
+  (AR/GC/CT/SD/LT/EC/DC + chains),
+* :class:`repro.runtime.SmartHome` — concrete smart-home simulator for
+  verifying threats dynamically,
+* :mod:`repro.corpus` — the 205-app evaluation corpus.
+"""
+
+from repro.homeguard import HomeGuard, InstalledDevice
+from repro.frontend.app import InstallDecision, InstallReview
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HomeGuard",
+    "InstallDecision",
+    "InstallReview",
+    "InstalledDevice",
+    "__version__",
+]

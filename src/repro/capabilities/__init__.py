@@ -1,0 +1,62 @@
+"""Device capability model for the SmartThings-style platform.
+
+Capabilities abstract device features the way SmartThings does
+(paper Appendix A): each capability defines *attributes* a SmartApp may
+read or subscribe to, and *commands* it may issue.  The paper models
+126 device-control commands protected by 104 capabilities; this package
+reproduces that registry, the device-type catalogue, the environment
+channels (temperature, illuminance, ...) and the command -> environment
+effect table used for Goal Conflict analysis (the paper's M_GC).
+"""
+
+from repro.capabilities.channels import (
+    CHANNELS,
+    Channel,
+    channel_for_attribute,
+)
+from repro.capabilities.registry import (
+    CAPABILITIES,
+    AttributeSpec,
+    Capability,
+    CommandSpec,
+    capability,
+    command_count,
+    find_command,
+    is_sink_command,
+)
+from repro.capabilities.devices import (
+    DEVICE_TYPES,
+    Device,
+    DeviceType,
+    device_type,
+    device_types_with_capability,
+    make_device_id,
+)
+from repro.capabilities.effects import (
+    Effect,
+    effects_of_command,
+    opposite_effects,
+)
+
+__all__ = [
+    "AttributeSpec",
+    "CAPABILITIES",
+    "CHANNELS",
+    "Capability",
+    "Channel",
+    "CommandSpec",
+    "DEVICE_TYPES",
+    "Device",
+    "DeviceType",
+    "Effect",
+    "capability",
+    "channel_for_attribute",
+    "command_count",
+    "device_type",
+    "device_types_with_capability",
+    "effects_of_command",
+    "find_command",
+    "is_sink_command",
+    "make_device_id",
+    "opposite_effects",
+]

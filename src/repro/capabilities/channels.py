@@ -1,0 +1,107 @@
+"""Measurable environment channels of the home (paper Fig. 1 data layer).
+
+A channel is a natural feature of the home environment that sensors can
+measure and actuators can influence: temperature, illuminance, humidity,
+power draw, sound level, and so on.  Channels are how the detector
+reasons about *indirect* interference — e.g. a heater raising the
+reading of a temperature sensor (paper Sections VI-B and VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """A measurable environment feature.
+
+    ``low``/``high`` bound the value domain used by the constraint
+    solver; ``sensed_by`` lists ``(capability, attribute)`` pairs whose
+    readings track this channel.
+    """
+
+    name: str
+    unit: str
+    low: float
+    high: float
+    sensed_by: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+
+CHANNELS: dict[str, Channel] = {
+    channel.name: channel
+    for channel in [
+        Channel(
+            "temperature",
+            "F",
+            -40,
+            150,
+            (("temperatureMeasurement", "temperature"),
+             ("thermostat", "temperature")),
+        ),
+        Channel(
+            "illuminance",
+            "lux",
+            0,
+            100000,
+            (("illuminanceMeasurement", "illuminance"),),
+        ),
+        Channel(
+            "humidity",
+            "%",
+            0,
+            100,
+            (("relativeHumidityMeasurement", "humidity"),),
+        ),
+        Channel("power", "W", 0, 100000, (("powerMeter", "power"),)),
+        Channel("energy", "kWh", 0, 1000000, (("energyMeter", "energy"),)),
+        Channel(
+            "sound",
+            "dB",
+            0,
+            140,
+            (("soundPressureLevel", "soundPressureLevel"),),
+        ),
+        Channel(
+            "co2",
+            "ppm",
+            0,
+            10000,
+            (("carbonDioxideMeasurement", "carbonDioxide"),),
+        ),
+        Channel("voltage", "V", 0, 500, (("voltageMeasurement", "voltage"),)),
+        Channel("uv", "index", 0, 12, (("ultravioletIndex", "ultravioletIndex"),)),
+        Channel("airquality", "CAQI", 0, 100, (("airQualitySensor", "airQuality"),)),
+        Channel("ph", "pH", 0, 14, (("pHMeasurement", "pH"),)),
+        Channel("dust", "ug/m3", 0, 1000, (("dustSensor", "dustLevel"),)),
+    ]
+}
+
+_ATTRIBUTE_TO_CHANNEL: dict[tuple[str, str], str] = {
+    pair: channel.name
+    for channel in CHANNELS.values()
+    for pair in channel.sensed_by
+}
+
+_ATTRIBUTE_NAME_TO_CHANNEL: dict[str, str] = {
+    attribute: channel.name
+    for channel in CHANNELS.values()
+    for (_, attribute) in channel.sensed_by
+}
+
+
+def channel_for_attribute(attribute: str, capability: str | None = None) -> Channel | None:
+    """Map a sensor attribute to the channel it measures, if any.
+
+    When ``capability`` is given, the precise (capability, attribute)
+    pair is used; otherwise the attribute name alone disambiguates
+    (attribute names are unique across measurement capabilities).
+    """
+    if capability is not None:
+        name = _ATTRIBUTE_TO_CHANNEL.get((capability, attribute))
+        if name is not None:
+            return CHANNELS[name]
+    name = _ATTRIBUTE_NAME_TO_CHANNEL.get(attribute)
+    if name is None:
+        return None
+    return CHANNELS[name]

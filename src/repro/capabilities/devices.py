@@ -1,0 +1,276 @@
+"""Device-type catalogue and device instances.
+
+A device type bundles the capabilities a physical product supports plus
+its physical effects on environment channels (the basis of the paper's
+M_GC goal analysis).  Device instances carry the globally unique 128-bit
+identifier that SmartThings assigns and that HomeGuard's configuration
+collector transmits (paper Section VII).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid
+from dataclasses import dataclass, field
+
+from repro.capabilities.registry import CAPABILITIES, Capability, capability
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceType:
+    """A kind of physical (or virtual) device.
+
+    ``effects`` maps command name -> {channel: delta-direction} where the
+    direction is ``+1`` (increases the channel), ``-1`` (decreases) or a
+    magnitude used by the runtime simulator.  ``virtual`` devices (e.g.
+    the location mode) have no environment effects by definition.
+    """
+
+    name: str
+    capabilities: tuple[str, ...]
+    effects: dict[str, dict[str, float]] = field(default_factory=dict)
+    virtual: bool = False
+
+    def capability_objects(self) -> list[Capability]:
+        return [capability(name) for name in self.capabilities]
+
+    def has_capability(self, name: str) -> bool:
+        if name.startswith("capability."):
+            name = name[len("capability."):]
+        return name in self.capabilities
+
+    def attributes(self) -> dict[str, object]:
+        merged: dict[str, object] = {}
+        for cap in self.capability_objects():
+            merged.update(cap.attributes)
+        return merged
+
+    def commands(self) -> set[str]:
+        names: set[str] = set()
+        for cap in self.capability_objects():
+            names.update(cap.commands)
+        return names
+
+
+# Effect magnitudes are rates-per-minute used by the runtime simulator;
+# the detector only uses their sign (the paper's +/-/# markers).
+_W = {"power": 1.0}  # generic powered-device draw marker
+
+
+def _on_off_effects(on_effects: dict[str, float], wattage: float = 50.0) -> dict:
+    on = dict(on_effects)
+    on["power"] = wattage
+    off = {channel: -delta for channel, delta in on.items()}
+    return {"on": on, "off": off}
+
+
+DEVICE_TYPES: dict[str, DeviceType] = {
+    device.name: device
+    for device in [
+        # Sensors --------------------------------------------------------
+        DeviceType("motionSensor", ("motionSensor", "sensor", "battery")),
+        DeviceType("contactSensor", ("contactSensor", "sensor", "battery")),
+        DeviceType("multipurposeSensor",
+                   ("contactSensor", "temperatureMeasurement", "accelerationSensor",
+                    "threeAxis", "sensor", "battery")),
+        DeviceType("temperatureSensor", ("temperatureMeasurement", "sensor")),
+        DeviceType("illuminanceSensor", ("illuminanceMeasurement", "sensor")),
+        DeviceType("humiditySensor", ("relativeHumidityMeasurement", "sensor")),
+        DeviceType("presenceSensor", ("presenceSensor", "sensor", "battery")),
+        DeviceType("smokeDetector", ("smokeDetector", "carbonMonoxideDetector", "sensor")),
+        DeviceType("co2Sensor", ("carbonDioxideMeasurement", "sensor")),
+        DeviceType("powerMeter", ("powerMeter", "energyMeter", "sensor")),
+        DeviceType("energyMeter", ("energyMeter", "powerMeter", "sensor")),
+        DeviceType("soundSensor", ("soundSensor", "soundPressureLevel", "sensor")),
+        DeviceType("waterLeakSensor", ("waterSensor", "sensor", "battery")),
+        DeviceType("button", ("button", "holdableButton", "sensor", "battery")),
+        DeviceType("sleepSensor", ("sleepSensor", "sensor")),
+        DeviceType("petFeederShield", ("switch", "actuator"),
+                   effects=_on_off_effects({}, wattage=5.0)),
+        DeviceType("jawboneUser", ("sleepSensor", "sensor")),
+        # Plain switches / outlets ----------------------------------------
+        DeviceType("switch", ("switch", "actuator"),
+                   effects=_on_off_effects({}, wattage=40.0)),
+        DeviceType("outlet", ("outlet", "switch", "powerMeter", "actuator"),
+                   effects=_on_off_effects({}, wattage=60.0)),
+        DeviceType("relaySwitch", ("relaySwitch", "switch", "actuator"),
+                   effects=_on_off_effects({}, wattage=40.0)),
+        # Lighting ---------------------------------------------------------
+        DeviceType("light", ("light", "switch", "switchLevel", "actuator"),
+                   effects=_on_off_effects({"illuminance": 400.0}, wattage=9.0)),
+        DeviceType("bulb", ("bulb", "switch", "switchLevel", "colorControl",
+                            "colorTemperature", "actuator"),
+                   effects=_on_off_effects({"illuminance": 400.0}, wattage=9.0)),
+        DeviceType("dimmer", ("switch", "switchLevel", "actuator"),
+                   effects=_on_off_effects({"illuminance": 300.0}, wattage=9.0)),
+        DeviceType("floorLamp", ("switch", "switchLevel", "actuator"),
+                   effects=_on_off_effects({"illuminance": 250.0}, wattage=12.0)),
+        DeviceType("nightlight", ("switch", "switchLevel", "actuator"),
+                   effects=_on_off_effects({"illuminance": 40.0}, wattage=3.0)),
+        # Climate ----------------------------------------------------------
+        DeviceType("heater", ("switch", "actuator"),
+                   effects=_on_off_effects({"temperature": 0.8}, wattage=1500.0)),
+        DeviceType("airConditioner", ("switch", "actuator"),
+                   effects=_on_off_effects({"temperature": -0.8, "humidity": -0.5},
+                                           wattage=1200.0)),
+        DeviceType("fan", ("switch", "fanSpeed", "actuator"),
+                   effects=_on_off_effects({"temperature": -0.2}, wattage=75.0)),
+        DeviceType("thermostat",
+                   ("thermostat", "temperatureMeasurement", "thermostatMode",
+                    "thermostatHeatingSetpoint", "thermostatCoolingSetpoint",
+                    "actuator", "sensor"),
+                   effects={
+                       "heat": {"temperature": 0.8, "power": 1500.0},
+                       "cool": {"temperature": -0.8, "power": 1200.0},
+                       "off": {"power": -1200.0},
+                       "setHeatingSetpoint": {"temperature": 0.5, "power": 800.0},
+                       "setCoolingSetpoint": {"temperature": -0.5, "power": 800.0},
+                   }),
+        DeviceType("humidifier", ("switch", "actuator"),
+                   effects=_on_off_effects({"humidity": 0.7}, wattage=40.0)),
+        DeviceType("dehumidifier", ("switch", "actuator"),
+                   effects=_on_off_effects({"humidity": -0.7}, wattage=300.0)),
+        DeviceType("spaceHeaterValve", ("valve", "actuator"),
+                   effects={"open": {"temperature": 0.4},
+                            "close": {"temperature": -0.4}}),
+        # Openings ---------------------------------------------------------
+        DeviceType("windowOpener", ("switch", "actuator"),
+                   # Opening a window vents heat toward the outdoors.
+                   effects=_on_off_effects({"temperature": -0.5,
+                                            "humidity": 0.3},
+                                           wattage=20.0)),
+        DeviceType("windowShade", ("windowShade", "actuator"),
+                   effects={"open": {"illuminance": 300.0},
+                            "close": {"illuminance": -300.0},
+                            "presetPosition": {"illuminance": 120.0}}),
+        DeviceType("curtain", ("switch", "windowShade", "actuator"),
+                   effects={"on": {"illuminance": 300.0, "power": 15.0},
+                            "off": {"illuminance": -300.0, "power": -15.0},
+                            "open": {"illuminance": 300.0},
+                            "close": {"illuminance": -300.0}}),
+        DeviceType("doorLock", ("lock", "battery", "actuator", "sensor")),
+        DeviceType("doorControl", ("doorControl", "contactSensor", "actuator", "sensor"),
+                   effects={"open": {"temperature": -0.3, "sound": 8.0},
+                            "close": {"temperature": 0.3, "sound": -8.0}}),
+        DeviceType("garageDoor", ("garageDoorControl", "contactSensor", "actuator"),
+                   effects={"open": {"temperature": -0.4},
+                            "close": {"temperature": 0.4}}),
+        DeviceType("waterValve", ("valve", "actuator")),
+        DeviceType("sprinkler", ("valve", "switch", "actuator"),
+                   effects=_on_off_effects({"humidity": 0.4}, wattage=30.0)),
+        # Entertainment / appliances ----------------------------------------
+        DeviceType("tv", ("switch", "tvChannel", "audioVolume", "actuator"),
+                   effects=_on_off_effects({"sound": 30.0}, wattage=150.0)),
+        DeviceType("speaker", ("musicPlayer", "audioNotification", "speechSynthesis",
+                               "tone", "actuator"),
+                   effects={"play": {"sound": 35.0, "power": 20.0},
+                            "stop": {"sound": -35.0, "power": -20.0},
+                            "pause": {"sound": -35.0},
+                            "playTrack": {"sound": 35.0, "power": 20.0},
+                            "beep": {"sound": 15.0},
+                            "speak": {"sound": 20.0},
+                            "playText": {"sound": 20.0}}),
+        DeviceType("camera", ("imageCapture", "switch", "motionSensor", "actuator", "sensor"),
+                   effects=_on_off_effects({}, wattage=10.0)),
+        DeviceType("siren", ("alarm", "actuator"),
+                   effects={"siren": {"sound": 80.0, "power": 15.0},
+                            "strobe": {"illuminance": 150.0, "power": 15.0},
+                            "both": {"sound": 80.0, "illuminance": 150.0, "power": 20.0},
+                            "off": {"sound": -80.0, "illuminance": -150.0, "power": -20.0}}),
+        DeviceType("coffeeMaker", ("switch", "actuator"),
+                   effects=_on_off_effects({"temperature": 0.05}, wattage=900.0)),
+        DeviceType("oven", ("switch", "ovenMode", "ovenSetpoint", "actuator"),
+                   effects=_on_off_effects({"temperature": 0.3}, wattage=2400.0)),
+        DeviceType("washer", ("switch", "washerMode", "washerOperatingState", "actuator"),
+                   effects=_on_off_effects({"sound": 20.0, "humidity": 0.2},
+                                           wattage=500.0)),
+        DeviceType("vacuumRobot", ("switch", "robotCleanerCleaningMode",
+                                   "robotCleanerMovement", "actuator"),
+                   effects=_on_off_effects({"sound": 25.0}, wattage=90.0)),
+        # Virtual ----------------------------------------------------------
+        DeviceType("locationMode", ("sensor",), virtual=True),
+        DeviceType("simulatedSwitch", ("switch", "actuator"), virtual=True),
+    ]
+}
+
+
+def device_type(name: str) -> DeviceType:
+    try:
+        return DEVICE_TYPES[name]
+    except KeyError:
+        raise KeyError(f"unknown device type: {name!r}") from None
+
+
+def device_types_with_capability(capability_name: str) -> list[DeviceType]:
+    """All device types supporting ``capability_name`` (paper Section
+    VIII-B classifies `capability.switch` devices by type this way)."""
+    if capability_name.startswith("capability."):
+        capability_name = capability_name[len("capability."):]
+    return [
+        dtype for dtype in DEVICE_TYPES.values()
+        if capability_name in dtype.capabilities
+    ]
+
+
+def make_device_id(seed: str | None = None) -> str:
+    """Produce a globally unique 128-bit device identifier.
+
+    With a ``seed`` the id is deterministic (UUIDv5 style), which keeps
+    tests and corpus fixtures reproducible; otherwise a random UUID4 is
+    produced, matching SmartThings' opaque identifiers.
+    """
+    if seed is None:
+        return str(uuid.uuid4())
+    digest = hashlib.sha256(seed.encode()).hexdigest()
+    return str(uuid.UUID(digest[:32]))
+
+
+@dataclass(slots=True)
+class Device:
+    """A concrete device bound to a home.
+
+    ``state`` holds the current attribute values; construction fills in
+    per-capability defaults so freshly created devices are well-formed.
+    """
+
+    device_id: str
+    label: str
+    type_name: str
+    state: dict[str, object] = field(default_factory=dict)
+
+    # Quiescent values preferred as attribute defaults, in order.
+    _DEFAULT_PREFERENCE = (
+        "off", "closed", "locked", "inactive", "not present", "clear",
+        "dry", "stopped", "idle", "unmuted", "paused", "auto", "normal",
+        "good", "never", "unknown",
+    )
+
+    def __post_init__(self) -> None:
+        dtype = device_type(self.type_name)
+        for attr_name, spec in dtype.attributes().items():
+            if attr_name in self.state:
+                continue
+            if spec.kind == "enum" and spec.values:
+                self.state[attr_name] = next(
+                    (v for v in self._DEFAULT_PREFERENCE if v in spec.values),
+                    spec.values[-1],
+                )
+            elif spec.kind == "number":
+                self.state[attr_name] = spec.low
+            else:
+                self.state[attr_name] = ""
+
+    @property
+    def type(self) -> DeviceType:
+        return device_type(self.type_name)
+
+    def supports_command(self, command: str) -> bool:
+        return command in self.type.commands()
+
+    def current_value(self, attribute: str) -> object:
+        if attribute not in self.state:
+            raise KeyError(
+                f"device {self.label!r} ({self.type_name}) has no attribute "
+                f"{attribute!r}"
+            )
+        return self.state[attribute]

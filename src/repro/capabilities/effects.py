@@ -1,0 +1,69 @@
+"""Goal analysis effect table — the paper's M_GC (Section VI-A1).
+
+For Goal Conflict detection the paper considers how measurable home
+properties (temperature, illuminance, humidity, noise, ...) are affected
+by each command of a device type, denoting effects as ``+`` (increasing),
+``-`` (decreasing) and ``#`` (irrelevant).  Virtual actuators (e.g. the
+location mode) have no entries by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.capabilities.devices import DEVICE_TYPES, device_type
+
+
+class Effect(enum.Enum):
+    """Direction of a command's influence on an environment channel."""
+
+    INCREASE = "+"
+    DECREASE = "-"
+    IRRELEVANT = "#"
+
+    @property
+    def opposite(self) -> "Effect":
+        if self is Effect.INCREASE:
+            return Effect.DECREASE
+        if self is Effect.DECREASE:
+            return Effect.INCREASE
+        return Effect.IRRELEVANT
+
+
+def effects_of_command(type_name: str, command: str) -> dict[str, Effect]:
+    """The channel effects of issuing ``command`` on a ``type_name``
+    device, e.g. ``effects_of_command("heater", "on")`` ->
+    ``{"temperature": +, "power": +}``."""
+    dtype = device_type(type_name)
+    raw = dtype.effects.get(command, {})
+    return {
+        channel: Effect.INCREASE if delta > 0 else Effect.DECREASE
+        for channel, delta in raw.items()
+        if delta != 0
+    }
+
+
+def opposite_effects(
+    type_a: str, command_a: str, type_b: str, command_b: str
+) -> list[str]:
+    """Channels on which the two commands push in opposite directions —
+    the Goal Conflict candidate test.  Returns the conflicting channel
+    names (empty list means no conflict)."""
+    effects_a = effects_of_command(type_a, command_a)
+    effects_b = effects_of_command(type_b, command_b)
+    conflicts = []
+    for channel, effect in effects_a.items():
+        other = effects_b.get(channel)
+        if other is not None and other is effect.opposite:
+            conflicts.append(channel)
+    return sorted(conflicts)
+
+
+def goal_relevant_device_types() -> list[str]:
+    """Device types included in M_GC: physical actuators whose commands
+    move at least one channel."""
+    return sorted(
+        name
+        for name, dtype in DEVICE_TYPES.items()
+        if not dtype.virtual and any(dtype.effects.values())
+    )

@@ -1,0 +1,430 @@
+"""The capability registry (paper Appendix A).
+
+Capabilities, similar to permissions in mobile applications, abstract
+device types by functionality.  Each capability defines attributes
+(readable / subscribable state) and commands (the symbolic executor's
+sinks).  The paper considers 126 device-control commands protected by
+104 capabilities; this registry reproduces those counts with the
+SmartThings classic capability catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """One capability attribute.
+
+    ``kind`` is ``"enum"`` (finite string values), ``"number"`` or
+    ``"string"``.  Numeric attributes carry a unit plus solver bounds.
+    """
+
+    name: str
+    kind: str
+    values: tuple[str, ...] = ()
+    unit: str = ""
+    low: float = 0.0
+    high: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CommandSpec:
+    """One capability command.
+
+    ``sets`` maps attribute name to the value the command drives it to
+    (``None`` means the value comes from the command's first parameter,
+    e.g. ``setLevel(level)``).  ``params`` names the formal parameters.
+    """
+
+    name: str
+    capability: str
+    sets: tuple[tuple[str, str | None], ...] = ()
+    params: tuple[str, ...] = ()
+
+    def target_value(self, attribute: str) -> str | None:
+        for attr, value in self.sets:
+            if attr == attribute:
+                return value
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class Capability:
+    """A named capability with its attributes and commands."""
+
+    name: str
+    attributes: dict[str, AttributeSpec] = field(default_factory=dict)
+    commands: dict[str, CommandSpec] = field(default_factory=dict)
+
+    @property
+    def reference(self) -> str:
+        """The string SmartApps use in ``input`` declarations."""
+        return f"capability.{self.name}"
+
+
+def _enum(name: str, *values: str) -> AttributeSpec:
+    return AttributeSpec(name=name, kind="enum", values=values)
+
+
+def _num(name: str, unit: str = "", low: float = 0, high: float = 100) -> AttributeSpec:
+    return AttributeSpec(name=name, kind="number", unit=unit, low=low, high=high)
+
+
+def _str(name: str) -> AttributeSpec:
+    return AttributeSpec(name=name, kind="string")
+
+
+def _cap(
+    name: str,
+    attrs: list[AttributeSpec] | None = None,
+    commands: list[tuple] | None = None,
+) -> Capability:
+    """Build a capability; commands are (name, sets, params) tuples."""
+    attributes = {attr.name: attr for attr in (attrs or [])}
+    command_specs = {}
+    for entry in commands or []:
+        cmd_name = entry[0]
+        sets = tuple(entry[1]) if len(entry) > 1 else ()
+        params = tuple(entry[2]) if len(entry) > 2 else ()
+        command_specs[cmd_name] = CommandSpec(
+            name=cmd_name, capability=name, sets=sets, params=params
+        )
+    return Capability(name=name, attributes=attributes, commands=command_specs)
+
+
+_SWITCH_ATTR = _enum("switch", "on", "off")
+_SWITCH_COMMANDS = [
+    ("on", [("switch", "on")]),
+    ("off", [("switch", "off")]),
+]
+
+_RAW_CAPABILITIES: list[Capability] = [
+    # --- Sensing capabilities (attributes only) ---
+    _cap("accelerationSensor", [_enum("acceleration", "active", "inactive")]),
+    _cap("airQualitySensor", [_num("airQuality", "CAQI", 0, 100)]),
+    _cap("battery", [_num("battery", "%", 0, 100)]),
+    _cap("beacon", [_enum("presence", "present", "not present")]),
+    _cap("button", [_enum("button", "pushed", "held")]),
+    _cap("carbonDioxideMeasurement", [_num("carbonDioxide", "ppm", 0, 10000)]),
+    _cap("carbonMonoxideDetector", [_enum("carbonMonoxide", "clear", "detected", "tested")]),
+    _cap("contactSensor", [_enum("contact", "open", "closed")]),
+    _cap("dustSensor", [_num("dustLevel", "ug/m3", 0, 1000)]),
+    _cap("energyMeter", [_num("energy", "kWh", 0, 1000000)]),
+    _cap("estimatedTimeOfArrival", [_str("eta")]),
+    _cap("geolocation", [_num("latitude", "deg", -90, 90), _num("longitude", "deg", -180, 180)]),
+    _cap("holdableButton", [_enum("button", "pushed", "held")]),
+    _cap("illuminanceMeasurement", [_num("illuminance", "lux", 0, 100000)]),
+    _cap("motionSensor", [_enum("motion", "active", "inactive")]),
+    _cap("occupancySensor", [_enum("occupancy", "occupied", "unoccupied")]),
+    _cap("pHMeasurement", [_num("pH", "pH", 0, 14)]),
+    _cap("powerMeter", [_num("power", "W", 0, 100000)]),
+    _cap("powerSource", [_enum("powerSource", "battery", "dc", "mains", "unknown")]),
+    _cap("presenceSensor", [_enum("presence", "present", "not present")]),
+    _cap("relativeHumidityMeasurement", [_num("humidity", "%", 0, 100)]),
+    _cap("shockSensor", [_enum("shock", "detected", "clear")]),
+    _cap("signalStrength", [_num("lqi", "", 0, 255), _num("rssi", "dBm", -200, 0)]),
+    _cap("sleepSensor", [_enum("sleeping", "sleeping", "not sleeping")]),
+    _cap("smokeDetector", [_enum("smoke", "clear", "detected", "tested")]),
+    _cap("soundPressureLevel", [_num("soundPressureLevel", "dB", 0, 140)]),
+    _cap("soundSensor", [_enum("sound", "detected", "not detected")]),
+    _cap("speechRecognition", [_str("phraseSpoken")]),
+    _cap("stepSensor", [_num("steps", "steps", 0, 100000), _num("goal", "steps", 0, 100000)]),
+    _cap("tamperAlert", [_enum("tamper", "clear", "detected")]),
+    _cap("temperatureMeasurement", [_num("temperature", "F", -40, 150)]),
+    _cap("threeAxis", [_str("threeAxis")]),
+    _cap("touchSensor", [_enum("touch", "touched")]),
+    _cap("ultravioletIndex", [_num("ultravioletIndex", "index", 0, 12)]),
+    _cap("voltageMeasurement", [_num("voltage", "V", 0, 500)]),
+    _cap("waterSensor", [_enum("water", "dry", "wet")]),
+    _cap("filterStatus", [_enum("filterStatus", "normal", "replace")]),
+    _cap("thermostatOperatingState", [
+        _enum("thermostatOperatingState", "cooling", "fan only", "heating",
+              "idle", "pending cool", "pending heat", "vent economizer")
+    ]),
+    _cap("thermostatSetpoint", [_num("thermostatSetpoint", "F", 35, 95)]),
+    _cap("odorSensor", [_num("odorLevel", "", 0, 100)]),
+    _cap("formaldehydeMeasurement", [_num("formaldehydeLevel", "ppm", 0, 10)]),
+    _cap("tvocMeasurement", [_num("tvocLevel", "ppm", 0, 10)]),
+    _cap("infraredLevel", [_num("infraredLevel", "%", 0, 100)],
+         [("setInfraredLevel", [("infraredLevel", None)], ["level"])]),
+    # --- Marker capabilities (no attributes, no commands) ---
+    _cap("actuator"),
+    _cap("sensor"),
+    _cap("healthCheck", [_enum("healthStatus", "online", "offline")]),
+    # --- Actuation capabilities ---
+    _cap("alarm", [_enum("alarm", "strobe", "siren", "off", "both")], [
+        ("off", [("alarm", "off")]),
+        ("siren", [("alarm", "siren")]),
+        ("strobe", [("alarm", "strobe")]),
+        ("both", [("alarm", "both")]),
+    ]),
+    _cap("audioNotification", [], [
+        ("playText", [], ["text"]),
+        ("playTextAndResume", [], ["text"]),
+        ("playTextAndRestore", [], ["text"]),
+        ("playTrack", [], ["uri"]),
+        ("playTrackAndResume", [], ["uri"]),
+        ("playTrackAndRestore", [], ["uri"]),
+    ]),
+    _cap("audioMute", [_enum("mute", "muted", "unmuted")], [
+        ("mute", [("mute", "muted")]),
+        ("unmute", [("mute", "unmuted")]),
+        ("setMute", [("mute", None)], ["state"]),
+    ]),
+    _cap("audioVolume", [_num("volume", "%", 0, 100)], [
+        ("setVolume", [("volume", None)], ["volume"]),
+        ("volumeUp", []),
+        ("volumeDown", []),
+    ]),
+    _cap("bulb", [_SWITCH_ATTR], _SWITCH_COMMANDS),
+    _cap("colorControl", [
+        _str("color"), _num("hue", "%", 0, 100), _num("saturation", "%", 0, 100),
+    ], [
+        ("setColor", [("color", None)], ["color"]),
+        ("setHue", [("hue", None)], ["hue"]),
+        ("setSaturation", [("saturation", None)], ["saturation"]),
+    ]),
+    _cap("colorTemperature", [_num("colorTemperature", "K", 1000, 30000)], [
+        ("setColorTemperature", [("colorTemperature", None)], ["temperature"]),
+    ]),
+    _cap("configuration", [], [("configure", [])]),
+    _cap("consumable", [_enum("consumableStatus", "good", "replace", "missing", "order", "maintenance_required")], [
+        ("setConsumableStatus", [("consumableStatus", None)], ["status"]),
+    ]),
+    _cap("doorControl", [_enum("door", "closed", "closing", "open", "opening", "unknown")], [
+        ("open", [("door", "open")]),
+        ("close", [("door", "closed")]),
+    ]),
+    _cap("fanSpeed", [_num("fanSpeed", "", 0, 4)], [
+        ("setFanSpeed", [("fanSpeed", None)], ["speed"]),
+    ]),
+    _cap("garageDoorControl", [_enum("door", "closed", "closing", "open", "opening", "unknown")], [
+        ("open", [("door", "open")]),
+        ("close", [("door", "closed")]),
+    ]),
+    _cap("imageCapture", [_str("image")], [("take", [])]),
+    _cap("indicator", [_enum("indicatorStatus", "when on", "when off", "never")], [
+        ("indicatorWhenOn", [("indicatorStatus", "when on")]),
+        ("indicatorWhenOff", [("indicatorStatus", "when off")]),
+        ("indicatorNever", [("indicatorStatus", "never")]),
+    ]),
+    _cap("light", [_SWITCH_ATTR], _SWITCH_COMMANDS),
+    _cap("lock", [_enum("lock", "locked", "unlocked", "unknown", "unlocked with timeout")], [
+        ("lock", [("lock", "locked")]),
+        ("unlock", [("lock", "unlocked")]),
+    ]),
+    _cap("lockOnly", [_enum("lock", "locked", "unlocked")], [
+        ("lock", [("lock", "locked")]),
+    ]),
+    _cap("mediaController", [_str("activities"), _str("currentActivity")], [
+        ("startActivity", [("currentActivity", None)], ["activity"]),
+    ]),
+    _cap("mediaInputSource", [_str("inputSource")], [
+        ("setInputSource", [("inputSource", None)], ["source"]),
+    ]),
+    _cap("mediaPlayback", [_enum("playbackStatus", "playing", "paused", "stopped")], [
+        ("play", [("playbackStatus", "playing")]),
+        ("pause", [("playbackStatus", "paused")]),
+        ("stop", [("playbackStatus", "stopped")]),
+    ]),
+    _cap("mediaTrackControl", [], [
+        ("nextTrack", []),
+        ("previousTrack", []),
+    ]),
+    _cap("momentary", [], [("push", [])]),
+    _cap("musicPlayer", [
+        _num("level", "%", 0, 100),
+        _enum("mute", "muted", "unmuted"),
+        _enum("status", "playing", "paused", "stopped"),
+        _str("trackData"),
+        _str("trackDescription"),
+    ], [
+        ("play", [("status", "playing")]),
+        ("pause", [("status", "paused")]),
+        ("stop", [("status", "stopped")]),
+        ("mute", [("mute", "muted")]),
+        ("unmute", [("mute", "unmuted")]),
+        ("setLevel", [("level", None)], ["level"]),
+        ("playTrack", [("status", "playing")], ["uri"]),
+        ("setTrack", [], ["uri"]),
+        ("resumeTrack", [("status", "playing")], ["uri"]),
+        ("restoreTrack", [], ["uri"]),
+        ("nextTrack", []),
+        ("previousTrack", []),
+    ]),
+    _cap("notification", [], [("deviceNotification", [], ["text"])]),
+    _cap("outlet", [_SWITCH_ATTR], _SWITCH_COMMANDS),
+    _cap("polling", [], [("poll", [])]),
+    _cap("refresh", [], [("refresh", [])]),
+    _cap("relaySwitch", [_SWITCH_ATTR], _SWITCH_COMMANDS),
+    _cap("speechSynthesis", [], [("speak", [], ["phrase"])]),
+    _cap("switch", [_SWITCH_ATTR], _SWITCH_COMMANDS),
+    _cap("switchLevel", [_num("level", "%", 0, 100)], [
+        ("setLevel", [("level", None)], ["level"]),
+    ]),
+    _cap("thermostat", [
+        _num("temperature", "F", -40, 150),
+        _num("heatingSetpoint", "F", 35, 95),
+        _num("coolingSetpoint", "F", 35, 95),
+        _num("thermostatSetpoint", "F", 35, 95),
+        _enum("thermostatMode", "auto", "cool", "emergency heat", "heat", "off"),
+        _enum("thermostatFanMode", "auto", "circulate", "on"),
+        _enum("thermostatOperatingState", "cooling", "fan only", "heating",
+              "idle", "pending cool", "pending heat", "vent economizer"),
+    ], [
+        ("auto", [("thermostatMode", "auto")]),
+        ("cool", [("thermostatMode", "cool")]),
+        ("emergencyHeat", [("thermostatMode", "emergency heat")]),
+        ("heat", [("thermostatMode", "heat")]),
+        ("off", [("thermostatMode", "off")]),
+        ("fanAuto", [("thermostatFanMode", "auto")]),
+        ("fanCirculate", [("thermostatFanMode", "circulate")]),
+        ("fanOn", [("thermostatFanMode", "on")]),
+        ("setCoolingSetpoint", [("coolingSetpoint", None)], ["temperature"]),
+        ("setHeatingSetpoint", [("heatingSetpoint", None)], ["temperature"]),
+        ("setThermostatFanMode", [("thermostatFanMode", None)], ["mode"]),
+        ("setThermostatMode", [("thermostatMode", None)], ["mode"]),
+        ("setSchedule", [], ["schedule"]),
+    ]),
+    _cap("thermostatCoolingSetpoint", [_num("coolingSetpoint", "F", 35, 95)], [
+        ("setCoolingSetpoint", [("coolingSetpoint", None)], ["temperature"]),
+    ]),
+    _cap("thermostatFanMode", [_enum("thermostatFanMode", "auto", "circulate", "on")], [
+        ("fanAuto", [("thermostatFanMode", "auto")]),
+        ("fanCirculate", [("thermostatFanMode", "circulate")]),
+        ("fanOn", [("thermostatFanMode", "on")]),
+        ("setThermostatFanMode", [("thermostatFanMode", None)], ["mode"]),
+    ]),
+    _cap("thermostatHeatingSetpoint", [_num("heatingSetpoint", "F", 35, 95)], [
+        ("setHeatingSetpoint", [("heatingSetpoint", None)], ["temperature"]),
+    ]),
+    _cap("thermostatMode", [_enum("thermostatMode", "auto", "cool", "emergency heat", "heat", "off")], [
+        ("auto", [("thermostatMode", "auto")]),
+        ("cool", [("thermostatMode", "cool")]),
+        ("emergencyHeat", [("thermostatMode", "emergency heat")]),
+        ("heat", [("thermostatMode", "heat")]),
+        ("off", [("thermostatMode", "off")]),
+        ("setThermostatMode", [("thermostatMode", None)], ["mode"]),
+    ]),
+    _cap("timedSession", [
+        _enum("sessionStatus", "stopped", "canceled", "running", "paused"),
+        _num("timeRemaining", "s", 0, 86400),
+    ], [
+        ("start", [("sessionStatus", "running")]),
+        ("stop", [("sessionStatus", "stopped")]),
+        ("pause", [("sessionStatus", "paused")]),
+        ("cancel", [("sessionStatus", "canceled")]),
+        ("setTimeRemaining", [("timeRemaining", None)], ["time"]),
+    ]),
+    _cap("tone", [], [("beep", [])]),
+    _cap("tvChannel", [_str("tvChannel")], [
+        ("channelUp", []),
+        ("channelDown", []),
+        ("setTvChannel", [("tvChannel", None)], ["channel"]),
+    ]),
+    _cap("valve", [_enum("valve", "closed", "open")], [
+        ("open", [("valve", "open")]),
+        ("close", [("valve", "closed")]),
+    ]),
+    _cap("windowShade", [
+        _enum("windowShade", "closed", "closing", "open", "opening",
+              "partially open", "unknown"),
+    ], [
+        ("open", [("windowShade", "open")]),
+        ("close", [("windowShade", "closed")]),
+        ("pause", [("windowShade", "partially open")]),
+        ("presetPosition", [("windowShade", "partially open")]),
+    ]),
+    _cap("airConditionerMode", [_str("airConditionerMode")], [
+        ("setAirConditionerMode", [("airConditionerMode", None)], ["mode"]),
+    ]),
+    _cap("dishwasherMode", [_str("dishwasherMode")], [
+        ("setDishwasherMode", [("dishwasherMode", None)], ["mode"]),
+    ]),
+    _cap("dishwasherOperatingState", [_enum("machineState", "pause", "run", "stop")], [
+        ("setMachineState", [("machineState", None)], ["state"]),
+    ]),
+    _cap("dryerMode", [_str("dryerMode")], [
+        ("setDryerMode", [("dryerMode", None)], ["mode"]),
+    ]),
+    _cap("dryerOperatingState", [_enum("machineState", "pause", "run", "stop")], [
+        ("setMachineState", [("machineState", None)], ["state"]),
+    ]),
+    _cap("ovenMode", [_str("ovenMode")], [
+        ("setOvenMode", [("ovenMode", None)], ["mode"]),
+    ]),
+    _cap("ovenSetpoint", [_num("ovenSetpoint", "F", 0, 550)], [
+        ("setOvenSetpoint", [("ovenSetpoint", None)], ["setpoint"]),
+    ]),
+    _cap("rapidCooling", [_enum("rapidCooling", "off", "on")], [
+        ("setRapidCooling", [("rapidCooling", None)], ["state"]),
+    ]),
+    _cap("refrigerationSetpoint", [_num("refrigerationSetpoint", "F", -20, 60)], [
+        ("setRefrigerationSetpoint", [("refrigerationSetpoint", None)], ["setpoint"]),
+    ]),
+    _cap("robotCleanerCleaningMode", [_str("robotCleanerCleaningMode")], [
+        ("setRobotCleanerCleaningMode", [("robotCleanerCleaningMode", None)], ["mode"]),
+    ]),
+    _cap("robotCleanerMovement", [_str("robotCleanerMovement")], [
+        ("setRobotCleanerMovement", [("robotCleanerMovement", None)], ["movement"]),
+    ]),
+    _cap("robotCleanerTurboMode", [_enum("robotCleanerTurboMode", "on", "off")], [
+        ("setRobotCleanerTurboMode", [("robotCleanerTurboMode", None)], ["mode"]),
+    ]),
+    _cap("washerMode", [_str("washerMode")], [
+        ("setWasherMode", [("washerMode", None)], ["mode"]),
+    ]),
+    _cap("washerOperatingState", [_enum("machineState", "pause", "run", "stop")], [
+        ("setMachineState", [("machineState", None)], ["state"]),
+    ]),
+    _cap("execute", [_str("data")], [("execute", [], ["command"])]),
+    _cap("remoteControlStatus", [_enum("remoteControlEnabled", "true", "false")]),
+    _cap("statelessPowerToggleButton", [], [("setButton", [], ["button"])]),
+]
+
+CAPABILITIES: dict[str, Capability] = {cap.name: cap for cap in _RAW_CAPABILITIES}
+
+
+def capability(name: str) -> Capability:
+    """Look up a capability; accepts both ``switch`` and
+    ``capability.switch`` forms."""
+    if name.startswith("capability."):
+        name = name[len("capability."):]
+    try:
+        return CAPABILITIES[name]
+    except KeyError:
+        raise KeyError(f"unknown capability: {name!r}") from None
+
+
+def command_count() -> int:
+    """Total number of device-control commands across all capabilities."""
+    return sum(len(cap.commands) for cap in CAPABILITIES.values())
+
+
+def find_command(command: str, capability_hint: str | None = None) -> CommandSpec | None:
+    """Find the spec of ``command``; a capability hint disambiguates
+    names shared between capabilities (e.g. ``on``/``off``/``open``)."""
+    if capability_hint is not None:
+        try:
+            cap = capability(capability_hint)
+        except KeyError:
+            cap = None  # non-standard `device.*` input types (paper §VIII-B)
+        if cap is not None and command in cap.commands:
+            return cap.commands[command]
+    for cap in CAPABILITIES.values():
+        if command in cap.commands:
+            return cap.commands[command]
+    return None
+
+
+_ALL_COMMAND_NAMES = {
+    name for cap in CAPABILITIES.values() for name in cap.commands
+}
+
+
+def is_sink_command(name: str) -> bool:
+    """True if ``name`` is a capability-protected device command (one of
+    the symbolic executor's sinks)."""
+    return name in _ALL_COMMAND_NAMES

@@ -1,0 +1,34 @@
+"""Configuration information collection (paper §VII).
+
+Device bindings and user-entered values cannot be obtained by static
+analysis and SmartThings exposes no API for them, so HomeGuard
+instruments each SmartApp to collect its own configuration inside
+``updated()`` and ships it to the companion app as a URI over SMS or
+HTTP/FCM messaging.  This package reproduces the whole pipeline:
+instrumentation, URI encoding, the two transports (with calibrated
+latency models) and the recorders that track per-app history.
+"""
+
+from repro.config.instrument import Instrumenter, instrument_app
+from repro.config.uri import ConfigPayload, decode_uri, encode_uri
+from repro.config.messaging import (
+    FcmHttpTransport,
+    MessageRecord,
+    SmsTransport,
+    Transport,
+)
+from repro.config.recorder import ConfigRecorder, RuleRecorder
+
+__all__ = [
+    "ConfigPayload",
+    "ConfigRecorder",
+    "FcmHttpTransport",
+    "Instrumenter",
+    "MessageRecord",
+    "RuleRecorder",
+    "SmsTransport",
+    "Transport",
+    "decode_uri",
+    "encode_uri",
+    "instrument_app",
+]

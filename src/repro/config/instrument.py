@@ -1,0 +1,159 @@
+"""SmartApp code instrumentation (paper §VII-A, Listing 3).
+
+The instrumenter rewrites an app's source so that its ``updated()``
+lifecycle method collects the configuration information (app name,
+device bindings, user values) and transmits it to the HomeGuard app.
+It reuses the rule extractor's input identification, so the process is
+completely automatic, and it only runs at installation/update time —
+the runtime overhead the paper reports is negligible (27 ms cloud-side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.symex.values import DeviceRef, UserInput
+from repro.symex.engine import SymbolicExecutor
+
+
+@dataclass(slots=True)
+class InstrumentedApp:
+    """Result of instrumenting one app."""
+
+    app_name: str
+    source: str
+    device_inputs: list[str]
+    value_inputs: list[str]
+
+
+class Instrumenter:
+    """Produces instrumented SmartApp sources.
+
+    The inserted lines follow Listing 3: a ``patchedphone`` input for the
+    HomeGuard phone, per-app ``devices``/``values`` tables inside
+    ``updated()``, and the generic ``collectConfigInfo`` method that
+    assembles the URI and sends it via SMS (or HTTP when ``transport`` is
+    ``"http"``, in which case the input collects an FCM token instead).
+    """
+
+    def __init__(self, transport: str = "sms") -> None:
+        if transport not in ("sms", "http"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self._transport = transport
+
+    def instrument(self, source: str, app_name: str | None = None) -> InstrumentedApp:
+        module = parse(source)
+        executor = SymbolicExecutor(module, app_name=app_name or "")
+        ruleset = executor.run()
+        name = ruleset.app_name
+        device_inputs = sorted(
+            input_name
+            for input_name, ref in ruleset.inputs.items()
+            if isinstance(ref, DeviceRef)
+        )
+        value_inputs = sorted(
+            input_name
+            for input_name, ref in ruleset.inputs.items()
+            if isinstance(ref, UserInput)
+        )
+        new_source = self._rewrite(source, module, name, device_inputs, value_inputs)
+        return InstrumentedApp(
+            app_name=name,
+            source=new_source,
+            device_inputs=device_inputs,
+            value_inputs=value_inputs,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _rewrite(
+        self,
+        source: str,
+        module: ast.Module,
+        app_name: str,
+        device_inputs: list[str],
+        value_inputs: list[str],
+    ) -> str:
+        lines = source.splitlines()
+        target_input = (
+            'input "patchedphone", "phone", required: true, title: "Phone number?"'
+            if self._transport == "sms"
+            else 'input "patchedtoken", "text", required: true, title: "FCM token?"'
+        )
+        devices_table = ", ".join(
+            f'[devRefStr:"{name}", devRef:{name}]' for name in device_inputs
+        )
+        values_table = ", ".join(
+            f'[varStr:"{name}", var:{name}]' for name in value_inputs
+        )
+        collect_lines = [
+            f'    def appname = "{app_name}"',
+            f"    def devices = [{devices_table}]",
+            f"    def values = [{values_table}]",
+            "    collectConfigInfo(appname, devices, values)",
+        ]
+        updated = module.method("updated")
+        if updated is not None:
+            # Insert before the closing brace of updated()'s body.
+            insert_at = self._method_close_line(lines, updated)
+            lines[insert_at:insert_at] = collect_lines
+        else:
+            lines.append("def updated() {")
+            lines.extend(collect_lines)
+            lines.append("}")
+        lines.append("")
+        lines.append("// Inserted by HomeGuard (configuration collection)")
+        lines.append(target_input)
+        lines.extend(self._collect_method().splitlines())
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _method_close_line(lines: list[str], method: ast.MethodDecl) -> int:
+        """Line index of the method's closing brace (0-based).
+
+        Tracks brace depth from the declaration line; works for the
+        single-line ``def updated() { ... }`` style as well by inserting
+        a rewritten body.
+        """
+        start = method.location.line - 1
+        depth = 0
+        for index in range(start, len(lines)):
+            depth += lines[index].count("{") - lines[index].count("}")
+            if depth == 0 and index > start:
+                return index
+            if depth == 0 and "{" in lines[index] and "}" in lines[index]:
+                # Single-line method: split the closing brace onto its own
+                # line so the table insert has somewhere to go.
+                body_close = lines[index].rindex("}")
+                lines[index:index + 1] = [
+                    lines[index][:body_close],
+                    "}",
+                ]
+                return index + 1
+        return len(lines)
+
+    def _collect_method(self) -> str:
+        send = (
+            "sendSmsMessage(patchedphone, uri)"
+            if self._transport == "sms"
+            else 'httpPost("https://fcm.googleapis.com/send", uri)'
+        )
+        return f'''
+def collectConfigInfo(appname, devices, values) {{
+    def uri = "http://my.com/appname:${{appname}}/"
+    devices.each {{ dev ->
+        uri = uri + dev.devRefStr + ":" + dev.devRef.getId() + "/"
+    }}
+    values.each {{ val ->
+        uri = uri + val.varStr + ":" + val.var + "/"
+    }}
+    {send}
+}}'''
+
+
+def instrument_app(source: str, app_name: str | None = None,
+                   transport: str = "sms") -> InstrumentedApp:
+    """One-shot instrumentation convenience wrapper."""
+    return Instrumenter(transport=transport).instrument(source, app_name)

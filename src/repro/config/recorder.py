@@ -1,0 +1,81 @@
+"""Configuration and rule recorders (paper Fig. 6, Threat Detector box).
+
+The recorders keep the historical per-app configuration and rule
+information so detection only needs the new app's data at install time.
+The :class:`ConfigRecorder` doubles as the deployment-time
+:class:`~repro.constraints.builder.DeviceResolver`: device identity is
+the collected 128-bit device id and input values come from the
+collected configuration — exactly the "device constraints" and
+"user-defined value constraints" the paper's HomeGuard app generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.uri import ConfigPayload
+from repro.rules.model import RuleSet
+from repro.symex.values import DeviceRef
+
+
+@dataclass(slots=True)
+class ConfigRecorder:
+    """Tracks configuration payloads per app; resolves device identity."""
+
+    payloads: dict[str, ConfigPayload] = field(default_factory=dict)
+    # Optional device-id -> device-type map (shipped by the companion
+    # app, which knows the bound devices' types).
+    device_types: dict[str, str] = field(default_factory=dict)
+
+    def record(self, payload: ConfigPayload,
+               device_types: dict[str, str] | None = None) -> None:
+        self.payloads[payload.app_name] = payload
+        if device_types:
+            self.device_types.update(device_types)
+
+    def forget(self, app_name: str) -> None:
+        self.payloads.pop(app_name, None)
+
+    def config_of(self, app_name: str) -> ConfigPayload | None:
+        return self.payloads.get(app_name)
+
+    # --- DeviceResolver protocol --------------------------------------
+
+    def identity(self, app_name: str, ref: DeviceRef) -> tuple[str, str | None]:
+        payload = self.payloads.get(app_name)
+        if payload is not None and ref.name in payload.devices:
+            device_id = payload.devices[ref.name]
+            return f"dev:{device_id}", self.device_types.get(device_id)
+        # Unconfigured input: fall back to a per-app-unique identity so
+        # it never aliases another app's device.
+        return f"unbound:{app_name}:{ref.name}", None
+
+    def input_value(self, app_name: str, input_name: str) -> object | None:
+        payload = self.payloads.get(app_name)
+        if payload is None:
+            return None
+        return payload.typed_values().get(input_name)
+
+
+@dataclass(slots=True)
+class RuleRecorder:
+    """Tracks extracted rule sets per app (requested from the backend
+    rule extractor when a config payload arrives)."""
+
+    rulesets: dict[str, RuleSet] = field(default_factory=dict)
+
+    def record(self, ruleset: RuleSet) -> None:
+        self.rulesets[ruleset.app_name] = ruleset
+
+    def forget(self, app_name: str) -> None:
+        self.rulesets.pop(app_name, None)
+
+    def rules_of(self, app_name: str) -> RuleSet | None:
+        return self.rulesets.get(app_name)
+
+    def installed_rulesets(self, exclude: str | None = None) -> list[RuleSet]:
+        return [
+            ruleset
+            for name, ruleset in self.rulesets.items()
+            if name != exclude
+        ]

@@ -1,0 +1,91 @@
+"""URI encoding of configuration information (paper Listing 3 / Fig. 7a).
+
+The instrumented ``collectConfigInfo`` method assembles a URI of the
+form::
+
+    http://my.com/appname:ComfortTV/tv1:0e0b...741b/tSensor:8d12...77aa/
+        window1:55c1...09cf/threshold1:30/
+
+holding the app name, each device input's 128-bit device id, and each
+user-defined value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import quote, unquote
+
+_BASE = "http://my.com/"
+
+
+@dataclass(slots=True)
+class ConfigPayload:
+    """Decoded configuration information for one app installation."""
+
+    app_name: str
+    devices: dict[str, str] = field(default_factory=dict)   # input -> device id
+    values: dict[str, str] = field(default_factory=dict)    # input -> value
+
+    def typed_values(self) -> dict[str, object]:
+        """Values with numeric strings converted back to numbers."""
+        out: dict[str, object] = {}
+        for name, text in self.values.items():
+            try:
+                out[name] = int(text)
+            except ValueError:
+                try:
+                    out[name] = float(text)
+                except ValueError:
+                    out[name] = text
+        return out
+
+
+def encode_uri(payload: ConfigPayload) -> str:
+    """Assemble the configuration URI (Listing 3's ``collectConfigInfo``)."""
+    parts = [f"appname:{quote(payload.app_name, safe='')}"]
+    for input_name, device_id in payload.devices.items():
+        parts.append(f"{quote(input_name, safe='')}:{quote(device_id, safe='')}")
+    for input_name, value in payload.values.items():
+        parts.append(f"{quote(input_name, safe='')}:{quote(str(value), safe='')}")
+    return _BASE + "/".join(parts) + "/"
+
+
+def decode_uri(uri: str) -> ConfigPayload:
+    """Parse a configuration URI back into a payload.
+
+    Device ids are recognised by shape (UUID-like, 32 hex digits);
+    everything else is a user value.
+    """
+    if not uri.startswith(_BASE):
+        raise ValueError(f"not a HomeGuard config URI: {uri!r}")
+    body = uri[len(_BASE):].strip("/")
+    segments = [segment for segment in body.split("/") if segment]
+    app_name: str | None = None
+    devices: dict[str, str] = {}
+    values: dict[str, str] = {}
+    for segment in segments:
+        if ":" not in segment:
+            raise ValueError(f"malformed URI segment: {segment!r}")
+        key, _, raw = segment.partition(":")
+        key = unquote(key)
+        value = unquote(raw)
+        if key == "appname":
+            app_name = value
+        elif _looks_like_device_id(value):
+            devices[key] = value
+        else:
+            values[key] = value
+    if app_name is None:
+        raise ValueError("config URI is missing the appname segment")
+    return ConfigPayload(app_name=app_name, devices=devices, values=values)
+
+
+def _looks_like_device_id(value: str) -> bool:
+    hex_digits = value.replace("-", "")
+    if len(hex_digits) != 32:
+        return False
+    try:
+        int(hex_digits, 16)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,49 @@
+"""Finite-domain constraint solving (paper §VI, overlapping-condition
+detection).
+
+The paper transforms overlap detection into a constraint satisfaction
+problem and feeds it to JaCoP; this package provides a from-scratch
+equivalent: typed variables (numeric intervals / string enumerations /
+free booleans), three-valued formula evaluation, bound/domain
+propagation and branching search, plus a builder that translates rule
+formulas (symbolic expressions) into solver constraints with shared
+home-context variables.
+"""
+
+from repro.constraints.terms import (
+    Atom,
+    BoolFormula,
+    CmpAtom,
+    FALSE,
+    Formula,
+    FreeAtom,
+    TRUE,
+    conj,
+    disj,
+    neg,
+)
+from repro.constraints.solver import Result, Solver, VarPool
+from repro.constraints.builder import (
+    ConstraintBuilder,
+    DeviceResolver,
+    TypeBasedResolver,
+)
+
+__all__ = [
+    "Atom",
+    "BoolFormula",
+    "CmpAtom",
+    "ConstraintBuilder",
+    "DeviceResolver",
+    "FALSE",
+    "Formula",
+    "FreeAtom",
+    "Result",
+    "Solver",
+    "TRUE",
+    "TypeBasedResolver",
+    "VarPool",
+    "conj",
+    "disj",
+    "neg",
+]

@@ -1,0 +1,525 @@
+"""Lowering rule formulas into solver constraints (paper §VI-A2).
+
+Two rules overlap when the conjunction of both rules' trigger and
+condition constraints — over a *shared* home context — is satisfiable.
+The builder owns that sharing: device attributes resolve to common
+variables when two apps are bound to the same device (by 128-bit device
+id in deployment, by device type in repository analysis, paper §VIII-B),
+``location.mode`` is global, the wall clock is global, and user inputs
+are per-app variables optionally pinned by collected configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.capabilities.registry import capability
+from repro.constraints.solver import VarPool
+from repro.constraints.terms import (
+    AffineTerm,
+    BoolFormula,
+    CmpAtom,
+    FALSE,
+    FreeAtom,
+    StrTerm,
+    TRUE,
+    conj,
+    disj,
+    lit,
+    neg,
+)
+from repro.rules.model import Rule
+from repro.symex.values import (
+    BinExpr,
+    CallExpr,
+    Concat,
+    Const,
+    DeviceAttr,
+    DeviceRef,
+    EventAttr,
+    EventValue,
+    ListVal,
+    LocalVar,
+    LocationAttr,
+    NotExpr,
+    StateVal,
+    SymExpr,
+    TimeVal,
+    UserInput,
+)
+
+_STANDARD_MODES = {"Home", "Away", "Night"}
+
+
+class DeviceResolver(Protocol):
+    """Resolves device identity and configuration values for an app."""
+
+    def identity(self, app_name: str, ref: DeviceRef) -> tuple[str, str | None]:
+        """Return ``(identity_key, device_type_name_or_None)``."""
+
+    def input_value(self, app_name: str, input_name: str) -> object | None:
+        """The user-configured value for an input, if known."""
+
+
+@dataclass(slots=True)
+class TypeBasedResolver:
+    """Repository-analysis resolver: two rules use "the same device"
+    when they use devices of the same type (paper §VIII-B).
+
+    ``type_hints`` refines ``capability.switch`` inputs into concrete
+    device types according to the app description — the paper does the
+    same to avoid excessive false positives.
+    """
+
+    type_hints: dict[str, dict[str, str]] = field(default_factory=dict)
+    values: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def identity(self, app_name: str, ref: DeviceRef) -> tuple[str, str | None]:
+        hint = self.type_hints.get(app_name, {}).get(ref.name)
+        if hint is not None:
+            return f"type:{hint}", hint
+        cap_name = ref.capability.split(".", 1)[-1]
+        return f"type:cap:{cap_name}", None
+
+    def input_value(self, app_name: str, input_name: str) -> object | None:
+        return self.values.get(app_name, {}).get(input_name)
+
+
+class ConstraintBuilder:
+    """Translates rule formulas into solver constraints over a shared
+    :class:`VarPool`."""
+
+    def __init__(self, resolver: DeviceResolver, pool: VarPool | None = None) -> None:
+        self._resolver = resolver
+        self.pool = pool if pool is not None else VarPool()
+        # Lazily inferred kinds for variables whose sort is not known
+        # statically (locals, state slots): "num" | "str".
+        self._kinds: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Public lowering entry points
+
+    def situation(self, rule: Rule) -> BoolFormula:
+        """Trigger constraint + condition of one rule, with the event
+        value bound to the subscribed attribute."""
+        event_binding = self._event_binding(rule)
+        parts: list[BoolFormula] = []
+        if rule.trigger.constraint is not None:
+            parts.append(
+                self.lower(
+                    rule.app_name,
+                    rule.trigger.constraint,
+                    event_binding,
+                    rule_key=rule.rule_id,
+                )
+            )
+        parts.append(self.condition(rule))
+        return conj(parts)
+
+    def condition(self, rule: Rule) -> BoolFormula:
+        """Condition-only formula (used by EC/DC detection)."""
+        event_binding = self._event_binding(rule)
+        parts: list[BoolFormula] = []
+        for constraint in rule.condition.data_constraints:
+            formula = self._data_equality(rule, constraint, event_binding)
+            if formula is not None:
+                parts.append(formula)
+        for predicate in rule.condition.predicate_constraints:
+            parts.append(
+                self.lower(
+                    rule.app_name, predicate, event_binding, rule_key=rule.rule_id
+                )
+            )
+        parts.extend(self._input_pins(rule))
+        return conj(parts)
+
+    def attr_equals(
+        self, app_name: str, ref: DeviceRef, attribute: str, value: object
+    ) -> BoolFormula:
+        """``device.attribute == value`` effect constraint (paper §VI-C)."""
+        term = self._device_attr_term(app_name, DeviceAttr(ref, attribute))
+        if isinstance(term, StrTerm):
+            return lit(CmpAtom(term, "==", StrTerm(None, str(value))))
+        if isinstance(value, (int, float)):
+            return lit(CmpAtom(term, "==", AffineTerm.const(float(value))))
+        try:
+            return lit(CmpAtom(term, "==", AffineTerm.const(float(value))))
+        except (TypeError, ValueError):
+            return TRUE
+
+    def attr_compare(
+        self, app_name: str, ref: DeviceRef, attribute: str, op: str, value: float
+    ) -> BoolFormula:
+        """``device.attribute <op> value`` (e.g. a setpoint effect:
+        ``tSensor.temperature >= T``)."""
+        term = self._device_attr_term(app_name, DeviceAttr(ref, attribute))
+        if isinstance(term, StrTerm):
+            return TRUE
+        return lit(CmpAtom(term, op, AffineTerm.const(float(value))))
+
+    # ------------------------------------------------------------------
+    # Formula lowering
+
+    def lower(
+        self,
+        app_name: str,
+        expr: SymExpr,
+        event_binding: SymExpr | None = None,
+        rule_key: str = "",
+    ) -> BoolFormula:
+        expr = self._substitute_event(expr, event_binding)
+        return self._lower_bool(app_name, expr, rule_key)
+
+    def _lower_bool(self, app_name: str, expr: SymExpr, rule_key: str) -> BoolFormula:
+        if isinstance(expr, Const):
+            return TRUE if bool(expr.value) else FALSE
+        if isinstance(expr, BinExpr):
+            if expr.op == "&&":
+                return conj([
+                    self._lower_bool(app_name, expr.left, rule_key),
+                    self._lower_bool(app_name, expr.right, rule_key),
+                ])
+            if expr.op == "||":
+                return disj([
+                    self._lower_bool(app_name, expr.left, rule_key),
+                    self._lower_bool(app_name, expr.right, rule_key),
+                ])
+            if expr.op == "in":
+                return self._lower_membership(app_name, expr, rule_key)
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                return self._lower_comparison(app_name, expr, rule_key)
+        if isinstance(expr, NotExpr):
+            return neg(self._lower_bool(app_name, expr.operand, rule_key))
+        return self._opaque(app_name, expr)
+
+    def _lower_membership(
+        self, app_name: str, expr: BinExpr, rule_key: str
+    ) -> BoolFormula:
+        if isinstance(expr.right, ListVal):
+            options = []
+            for item in expr.right.items:
+                options.append(
+                    self._lower_comparison(
+                        app_name, BinExpr("==", expr.left, item), rule_key
+                    )
+                )
+            return disj(options)
+        if isinstance(expr.right, Const) and isinstance(expr.right.value, (list, tuple)):
+            options = []
+            for item in expr.right.value:
+                value = item if isinstance(item, SymExpr) else Const(item)
+                options.append(
+                    self._lower_comparison(
+                        app_name, BinExpr("==", expr.left, value), rule_key
+                    )
+                )
+            return disj(options)
+        return self._opaque(app_name, expr)
+
+    def _lower_comparison(
+        self, app_name: str, expr: BinExpr, rule_key: str
+    ) -> BoolFormula:
+        # Determine the comparison's sort from whichever side has a
+        # definite one before committing an inferred variable's kind
+        # (e.g. `evt.value < 65` must make the event variable numeric).
+        hint = (
+            self._static_sort(app_name, expr.left)
+            or self._static_sort(app_name, expr.right)
+        )
+        left = self._lower_term(app_name, expr.left, rule_key, hint=hint)
+        hint = hint or self._sort_of(left)
+        right = self._lower_term(app_name, expr.right, rule_key, hint=hint)
+        if left is None or right is None:
+            return self._opaque(app_name, expr)
+        # Harmonize sorts: numeric-looking string constants coerce.
+        if isinstance(left, AffineTerm) and isinstance(right, StrTerm):
+            right = self._coerce_to_num(right)
+            if right is None:
+                return self._opaque(app_name, expr)
+        elif isinstance(left, StrTerm) and isinstance(right, AffineTerm):
+            left_num = self._coerce_to_num(left)
+            if left_num is None:
+                if right.is_const:
+                    right = StrTerm(None, f"{right.add:g}")
+                    return lit(CmpAtom(left, expr.op, right))
+                return self._opaque(app_name, expr)
+            left = left_num
+        if isinstance(left, StrTerm) and expr.op not in ("==", "!="):
+            return self._opaque(app_name, expr)
+        return lit(CmpAtom(left, expr.op, right))
+
+    def _static_sort(self, app_name: str, expr: SymExpr) -> str | None:
+        """The sort an expression definitely has, without lowering it."""
+        if isinstance(expr, Const):
+            if isinstance(expr.value, bool):
+                return "str"
+            if isinstance(expr.value, (int, float)):
+                return "num"
+            return "str"
+        if isinstance(expr, DeviceAttr):
+            identity, type_name = self._resolver.identity(app_name, expr.device)
+            spec = self._attribute_spec(expr.device, expr.attribute, type_name)
+            if spec is not None:
+                return "num" if spec.kind == "number" else "str"
+            return None
+        if isinstance(expr, UserInput):
+            if expr.input_type in ("number", "decimal", "time"):
+                return "num"
+            return "str"
+        if isinstance(expr, TimeVal):
+            return "num"
+        if isinstance(expr, LocationAttr):
+            return "str"
+        if isinstance(expr, BinExpr) and expr.op in ("+", "-", "*", "/"):
+            return "num"
+        if isinstance(expr, LocalVar):
+            return self._kinds.get(f"local:{app_name}")
+        return None
+
+    @staticmethod
+    def _sort_of(term) -> str | None:
+        if isinstance(term, AffineTerm):
+            return "num"
+        if isinstance(term, StrTerm):
+            return "str"
+        return None
+
+    @staticmethod
+    def _coerce_to_num(term: StrTerm) -> AffineTerm | None:
+        if term.var is not None or term.value is None:
+            return None
+        try:
+            return AffineTerm.const(float(term.value))
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Term lowering
+
+    def _lower_term(
+        self,
+        app_name: str,
+        expr: SymExpr,
+        rule_key: str,
+        hint: str | None,
+    ):
+        if isinstance(expr, Const):
+            value = expr.value
+            if isinstance(value, bool):
+                return StrTerm(None, "true" if value else "false")
+            if isinstance(value, (int, float)):
+                return AffineTerm.const(float(value))
+            if value is None:
+                return StrTerm(None, "null")
+            return StrTerm(None, str(value))
+        if isinstance(expr, DeviceAttr):
+            return self._device_attr_term(app_name, expr)
+        if isinstance(expr, UserInput):
+            return self._user_input_term(app_name, expr)
+        if isinstance(expr, LocalVar):
+            return self._inferred_var(f"local:{app_name}:{rule_key}:{expr.key}", hint)
+        if isinstance(expr, StateVal):
+            return self._inferred_var(f"state:{app_name}:{expr.name}", hint)
+        if isinstance(expr, LocationAttr):
+            if expr.attribute == "mode":
+                key = self.pool.declare_str("location:mode", None)
+                return StrTerm(key)
+            return self._inferred_var(f"location:{expr.attribute}", hint)
+        if isinstance(expr, TimeVal):
+            key = self.pool.declare_num("time:now", 0.0, 86400.0)
+            return AffineTerm(key)
+        if isinstance(expr, BinExpr) and expr.op in ("+", "-", "*", "/"):
+            return self._lower_arith(app_name, expr, rule_key, hint)
+        if isinstance(expr, (EventValue, EventAttr, CallExpr, Concat, ListVal,
+                             DeviceRef)):
+            return None
+        return None
+
+    def _lower_arith(
+        self, app_name: str, expr: BinExpr, rule_key: str, hint: str | None
+    ):
+        left = self._lower_term(app_name, expr.left, rule_key, "num")
+        right = self._lower_term(app_name, expr.right, rule_key, "num")
+        if not isinstance(left, AffineTerm) or not isinstance(right, AffineTerm):
+            return None
+        if expr.op == "+":
+            if left.is_const:
+                return right.shifted(left.add)
+            if right.is_const:
+                return left.shifted(right.add)
+            return None  # two-variable sums exceed the affine fragment
+        if expr.op == "-":
+            if right.is_const:
+                return left.shifted(-right.add)
+            if left.is_const and not right.is_const:
+                return right.scaled(-1.0).shifted(left.add)
+            return None
+        if expr.op == "*":
+            if left.is_const:
+                return right.scaled(left.add)
+            if right.is_const:
+                return left.scaled(right.add)
+            return None
+        if expr.op == "/":
+            if right.is_const and right.add != 0:
+                return left.scaled(1.0 / right.add)
+            return None
+        return None
+
+    def _device_attr_term(self, app_name: str, expr: DeviceAttr):
+        identity, type_name = self._resolver.identity(app_name, expr.device)
+        key = f"{identity}.{expr.attribute}"
+        spec = self._attribute_spec(expr.device, expr.attribute, type_name)
+        if spec is not None and spec.kind == "number":
+            self.pool.declare_num(key, float(spec.low), float(spec.high))
+            return AffineTerm(key)
+        if spec is not None and spec.kind == "enum":
+            self.pool.declare_str(key, set(spec.values))
+            return StrTerm(key)
+        kind = self._kinds.get(key)
+        if kind == "num":
+            self.pool.declare_num(key, -1e6, 1e6)
+            return AffineTerm(key)
+        self.pool.declare_str(key, None)
+        return StrTerm(key)
+
+    @staticmethod
+    def _attribute_spec(ref: DeviceRef, attribute: str, type_name: str | None):
+        try:
+            cap = capability(ref.capability)
+        except KeyError:
+            cap = None
+        if cap is not None and attribute in cap.attributes:
+            return cap.attributes[attribute]
+        # The attribute may come from a sibling capability of the bound
+        # device type (e.g. `level` on a `capability.switch` input).
+        if type_name is not None:
+            from repro.capabilities.devices import DEVICE_TYPES
+
+            dtype = DEVICE_TYPES.get(type_name)
+            if dtype is not None:
+                return dtype.attributes().get(attribute)
+        from repro.capabilities.registry import CAPABILITIES
+
+        for other in CAPABILITIES.values():
+            if attribute in other.attributes:
+                return other.attributes[attribute]
+        return None
+
+    def _user_input_term(self, app_name: str, expr: UserInput):
+        key = f"input:{app_name}:{expr.name}"
+        if expr.input_type in ("number", "decimal"):
+            self.pool.declare_num(key, -1e6, 1e6)
+            return AffineTerm(key)
+        if expr.input_type == "time":
+            self.pool.declare_num(key, 0.0, 86400.0)
+            return AffineTerm(key)
+        if expr.input_type in ("bool", "boolean"):
+            self.pool.declare_str(key, {"true", "false"})
+            return StrTerm(key)
+        self.pool.declare_str(key, None)
+        return StrTerm(key)
+
+    def _inferred_var(self, key: str, hint: str | None):
+        kind = self._kinds.get(key)
+        if kind is None:
+            kind = hint or "str"
+            self._kinds[key] = kind
+        if kind == "num":
+            self.pool.declare_num(key, -1e9, 1e9)
+            return AffineTerm(key)
+        self.pool.declare_str(key, None)
+        return StrTerm(key)
+
+    def _opaque(self, app_name: str, expr: SymExpr) -> BoolFormula:
+        return lit(FreeAtom(f"{app_name}:{expr}"))
+
+    # ------------------------------------------------------------------
+    # Rule plumbing
+
+    def _event_binding(self, rule: Rule) -> SymExpr | None:
+        """Bind ``evt.value`` to a *per-rule* event variable.
+
+        Trigger events are momentary: two rules with disjoint trigger
+        values on the same device (``contact.open`` vs ``contact.closed``)
+        can still fire in close succession, which is exactly how
+        LetThereBeDark races UndeadEarlyWarning in the paper's findings.
+        Only *condition* constraints range over the shared home state;
+        each rule's event gets its own variable so disjoint trigger
+        values never make the merged situation spuriously UNSAT.
+        """
+        trigger = rule.trigger
+        if trigger.device is not None or trigger.subject == "location":
+            return LocalVar("@event")
+        return None
+
+    def _substitute_event(
+        self, expr: SymExpr, binding: SymExpr | None
+    ) -> SymExpr:
+        if binding is None:
+            return expr
+        if isinstance(expr, EventValue):
+            return binding
+        if isinstance(expr, BinExpr):
+            return BinExpr(
+                expr.op,
+                self._substitute_event(expr.left, binding),
+                self._substitute_event(expr.right, binding),
+            )
+        if isinstance(expr, NotExpr):
+            return NotExpr(self._substitute_event(expr.operand, binding))
+        return expr
+
+    def _data_equality(self, rule: Rule, constraint, event_binding) -> BoolFormula | None:
+        if isinstance(constraint.value, Const) and isinstance(
+            constraint.value.value, str
+        ) and constraint.value.value.startswith("#"):
+            return None  # symbolic-input marker, not an equation
+        rule_key = rule.rule_id
+        value_term = self._lower_term(
+            rule.app_name,
+            self._substitute_event(constraint.value, event_binding),
+            rule_key,
+            hint=None,
+        )
+        if value_term is None:
+            return None
+        hint = self._sort_of(value_term)
+        var_term = self._inferred_var(
+            f"local:{rule.app_name}:{rule_key}:{constraint.name}", hint
+        )
+        if isinstance(var_term, AffineTerm) != isinstance(value_term, AffineTerm):
+            return None
+        return lit(CmpAtom(var_term, "==", value_term))
+
+    def _input_pins(self, rule: Rule) -> list[BoolFormula]:
+        """Equalities pinning user inputs to collected configuration."""
+        pins: list[BoolFormula] = []
+        seen: set[str] = set()
+        exprs: list[SymExpr] = []
+        if rule.trigger.constraint is not None:
+            exprs.append(rule.trigger.constraint)
+        exprs.extend(rule.condition.predicate_constraints)
+        exprs.extend(c.value for c in rule.condition.data_constraints)
+        for expr in exprs:
+            for node in expr.walk():
+                if not isinstance(node, UserInput) or node.name in seen:
+                    continue
+                seen.add(node.name)
+                value = self._resolver.input_value(rule.app_name, node.name)
+                if value is None:
+                    continue
+                term = self._user_input_term(rule.app_name, node)
+                if isinstance(term, AffineTerm):
+                    try:
+                        pins.append(
+                            lit(CmpAtom(term, "==", AffineTerm.const(float(value))))
+                        )
+                    except (TypeError, ValueError):
+                        continue
+                else:
+                    pins.append(
+                        lit(CmpAtom(term, "==", StrTerm(None, str(value))))
+                    )
+        return pins

@@ -1,0 +1,605 @@
+"""The constraint solver.
+
+A small but complete-for-our-fragment decision procedure:
+
+* numeric variables carry interval domains (floats with a resolution
+  ``EPS`` for strict inequalities),
+* string variables carry either a finite candidate set or an open
+  universe with an exclusion set,
+* free atoms are branching booleans,
+* the formula is evaluated in three-valued logic under current domains;
+  unknown atoms are branched on, assertions are enforced by a
+  propagation loop over all currently asserted comparison atoms.
+
+This mirrors what the paper obtains from JaCoP: a SAT/UNSAT verdict for
+the merged trigger/condition constraints of a rule pair, plus a witness
+situation used to explain the threat to the user.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.constraints.terms import (
+    AffineTerm,
+    Atom,
+    BoolFormula,
+    CmpAtom,
+    FreeAtom,
+    StrTerm,
+)
+
+# Resolution used to model strict inequalities over (conceptually
+# continuous) home measurements: `x < c` becomes `x <= c - EPS`.
+EPS = 0.01
+_MAX_PROPAGATION_ROUNDS = 400
+
+_TRUE, _FALSE, _UNKNOWN = 1, 0, -1
+
+
+@dataclass(slots=True)
+class NumDomain:
+    low: float
+    high: float
+
+    @property
+    def empty(self) -> bool:
+        return self.low > self.high + 1e-12
+
+    @property
+    def singleton(self) -> bool:
+        return abs(self.high - self.low) < 1e-12
+
+    def copy(self) -> "NumDomain":
+        return NumDomain(self.low, self.high)
+
+
+@dataclass(slots=True)
+class StrDomain:
+    """Finite candidates, or an open universe minus exclusions."""
+
+    candidates: set[str] | None = None
+    excluded: set[str] = field(default_factory=set)
+
+    @property
+    def empty(self) -> bool:
+        if self.candidates is None:
+            return False
+        return not (self.candidates - self.excluded)
+
+    def values(self) -> set[str] | None:
+        if self.candidates is None:
+            return None
+        return self.candidates - self.excluded
+
+    @property
+    def singleton(self) -> str | None:
+        values = self.values()
+        if values is not None and len(values) == 1:
+            return next(iter(values))
+        return None
+
+    def copy(self) -> "StrDomain":
+        return StrDomain(
+            None if self.candidates is None else set(self.candidates),
+            set(self.excluded),
+        )
+
+
+@dataclass(slots=True)
+class VarPool:
+    """Variable declarations shared by all formulas of one query."""
+
+    num_bounds: dict[str, tuple[float, float]] = field(default_factory=dict)
+    str_candidates: dict[str, set[str] | None] = field(default_factory=dict)
+
+    def declare_num(self, key: str, low: float, high: float) -> str:
+        if key in self.num_bounds:
+            old_low, old_high = self.num_bounds[key]
+            self.num_bounds[key] = (min(old_low, low), max(old_high, high))
+        else:
+            self.num_bounds[key] = (low, high)
+        return key
+
+    def declare_str(self, key: str, candidates: set[str] | None) -> str:
+        if key in self.str_candidates:
+            current = self.str_candidates[key]
+            if current is None:
+                self.str_candidates[key] = (
+                    None if candidates is None else set(candidates)
+                )
+            elif candidates is not None:
+                current.update(candidates)
+        else:
+            self.str_candidates[key] = (
+                None if candidates is None else set(candidates)
+            )
+        return key
+
+
+@dataclass(slots=True)
+class Result:
+    """Solver verdict with an optional witness situation."""
+
+    sat: bool
+    witness: dict[str, object] = field(default_factory=dict)
+    decisions: int = 0
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+
+class _SearchState:
+    """Domains + asserted literal set along one search branch."""
+
+    __slots__ = ("nums", "strs", "asserted", "free", "decided")
+
+    def __init__(
+        self,
+        nums: dict[str, NumDomain],
+        strs: dict[str, StrDomain],
+        asserted: list[tuple[CmpAtom, bool]],
+        free: dict[str, bool],
+        decided: dict[str, bool] | None = None,
+    ) -> None:
+        self.nums = nums
+        self.strs = strs
+        self.asserted = asserted
+        self.free = free
+        # Atom-key -> assumed polarity; branching decisions are recorded
+        # here so evaluation treats them as settled even when interval
+        # reasoning alone cannot prove them.
+        self.decided = decided if decided is not None else {}
+
+    def copy(self) -> "_SearchState":
+        return _SearchState(
+            {key: dom.copy() for key, dom in self.nums.items()},
+            {key: dom.copy() for key, dom in self.strs.items()},
+            list(self.asserted),
+            dict(self.free),
+            dict(self.decided),
+        )
+
+
+class Solver:
+    """Decides boolean combinations of comparison atoms over a pool."""
+
+    def __init__(self, pool: VarPool) -> None:
+        self._pool = pool
+        self._decisions = 0
+
+    def solve(self, formula: BoolFormula) -> Result:
+        self._decisions = 0
+        state = self._initial_state()
+        sat_state = self._search(formula, state)
+        if sat_state is None:
+            return Result(sat=False, decisions=self._decisions)
+        return Result(
+            sat=True,
+            witness=self._witness(sat_state),
+            decisions=self._decisions,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _initial_state(self) -> _SearchState:
+        nums = {
+            key: NumDomain(low, high)
+            for key, (low, high) in self._pool.num_bounds.items()
+        }
+        strs = {
+            key: StrDomain(None if cands is None else set(cands))
+            for key, cands in self._pool.str_candidates.items()
+        }
+        return _SearchState(nums, strs, [], {})
+
+    def _search(
+        self, formula: BoolFormula, state: _SearchState
+    ) -> _SearchState | None:
+        if not self._propagate(state):
+            return None
+        verdict, branch_atom, branch_positive = self._evaluate(formula, state)
+        if verdict == _TRUE:
+            return state
+        if verdict == _FALSE:
+            return None
+        assert branch_atom is not None
+        self._decisions += 1
+        # Try the polarity that helps the formula first.
+        for positive in (branch_positive, not branch_positive):
+            candidate = state.copy()
+            if self._assert_literal(branch_atom, positive, candidate):
+                found = self._search(formula, candidate)
+                if found is not None:
+                    return found
+        return None
+
+    def _assert_literal(
+        self, atom: Atom, positive: bool, state: _SearchState
+    ) -> bool:
+        if isinstance(atom, FreeAtom):
+            current = state.free.get(atom.key)
+            if current is not None and current != positive:
+                return False
+            state.free[atom.key] = positive
+            return True
+        key = str(atom)
+        previous = state.decided.get(key)
+        if previous is not None and previous != positive:
+            return False
+        state.decided[key] = positive
+        literal = atom if positive else atom.negated()
+        state.asserted.append((literal, True))
+        return self._propagate(state)
+
+    # ------------------------------------------------------------------
+    # Three-valued evaluation
+
+    def _evaluate(
+        self, formula: BoolFormula, state: _SearchState
+    ) -> tuple[int, Atom | None, bool]:
+        """Returns (verdict, branch-atom, preferred-polarity)."""
+        if formula.kind == "const":
+            return (_TRUE if formula.value else _FALSE), None, True
+        if formula.kind == "lit":
+            atom = formula.atom
+            assert atom is not None
+            truth = self._atom_truth(atom, state)
+            if truth == _UNKNOWN:
+                return _UNKNOWN, atom, formula.positive
+            if not formula.positive:
+                truth = _TRUE if truth == _FALSE else _FALSE
+            return truth, None, True
+        if formula.kind == "and":
+            pending: tuple[Atom | None, bool] = (None, True)
+            all_true = True
+            for child in formula.children:
+                verdict, atom, polarity = self._evaluate(child, state)
+                if verdict == _FALSE:
+                    return _FALSE, None, True
+                if verdict == _UNKNOWN:
+                    all_true = False
+                    if pending[0] is None:
+                        pending = (atom, polarity)
+            if all_true:
+                return _TRUE, None, True
+            return _UNKNOWN, pending[0], pending[1]
+        # OR
+        pending = (None, True)
+        any_unknown = False
+        for child in formula.children:
+            verdict, atom, polarity = self._evaluate(child, state)
+            if verdict == _TRUE:
+                return _TRUE, None, True
+            if verdict == _UNKNOWN:
+                any_unknown = True
+                if pending[0] is None:
+                    pending = (atom, polarity)
+        if any_unknown:
+            return _UNKNOWN, pending[0], pending[1]
+        return _FALSE, None, True
+
+    def _atom_truth(self, atom: Atom, state: _SearchState) -> int:
+        if isinstance(atom, FreeAtom):
+            value = state.free.get(atom.key)
+            if value is None:
+                return _UNKNOWN
+            return _TRUE if value else _FALSE
+        decided = state.decided.get(str(atom))
+        if decided is not None:
+            return _TRUE if decided else _FALSE
+        negated = state.decided.get(str(atom.negated()))
+        if negated is not None:
+            return _FALSE if negated else _TRUE
+        if isinstance(atom.left, AffineTerm):
+            return self._num_truth(atom, state)
+        return self._str_truth(atom, state)
+
+    def _num_truth(self, atom: CmpAtom, state: _SearchState) -> int:
+        left, right = atom.left, atom.right
+        assert isinstance(left, AffineTerm) and isinstance(right, AffineTerm)
+        lo_l, hi_l = self._term_bounds(left, state)
+        lo_r, hi_r = self._term_bounds(right, state)
+        op = atom.op
+        if op == "==":
+            if hi_l < lo_r - 1e-12 or hi_r < lo_l - 1e-12:
+                return _FALSE
+            if (
+                abs(lo_l - hi_l) < 1e-12
+                and abs(lo_r - hi_r) < 1e-12
+                and abs(lo_l - lo_r) < 1e-9
+            ):
+                return _TRUE
+            return _UNKNOWN
+        if op == "!=":
+            inverse = self._num_truth(CmpAtom(left, "==", right), state)
+            if inverse == _TRUE:
+                return _FALSE
+            if inverse == _FALSE:
+                return _TRUE
+            return _UNKNOWN
+        if op == "<":
+            if hi_l < lo_r - 1e-12:
+                return _TRUE
+            if lo_l >= hi_r - 1e-12:
+                return _FALSE
+            return _UNKNOWN
+        if op == "<=":
+            if hi_l <= lo_r + 1e-12:
+                return _TRUE
+            if lo_l > hi_r + 1e-12:
+                return _FALSE
+            return _UNKNOWN
+        if op == ">":
+            return self._num_truth(CmpAtom(right, "<", left), state)
+        if op == ">=":
+            return self._num_truth(CmpAtom(right, "<=", left), state)
+        raise ValueError(f"unknown comparison op {op!r}")
+
+    @staticmethod
+    def _term_bounds(term: AffineTerm, state: _SearchState) -> tuple[float, float]:
+        if term.var is None:
+            return term.add, term.add
+        domain = state.nums.get(term.var)
+        if domain is None:
+            low, high = -1e9, 1e9
+        else:
+            low, high = domain.low, domain.high
+        a, b = term.mul * low + term.add, term.mul * high + term.add
+        return (a, b) if a <= b else (b, a)
+
+    def _str_truth(self, atom: CmpAtom, state: _SearchState) -> int:
+        left, right = atom.left, atom.right
+        assert isinstance(left, StrTerm) and isinstance(right, StrTerm)
+        if atom.op not in ("==", "!="):
+            return _FALSE  # ordering comparisons over strings: unsupported
+        values_l = self._str_values(left, state)
+        values_r = self._str_values(right, state)
+        if values_l is not None and values_r is not None:
+            overlap = values_l & values_r
+            if not overlap:
+                verdict = _FALSE
+            elif len(values_l) == 1 and len(values_r) == 1:
+                verdict = _TRUE
+            else:
+                verdict = _UNKNOWN
+        else:
+            # At least one open universe: equality is possible, and
+            # inequality is possible unless both are the same singleton.
+            verdict = _UNKNOWN
+        if atom.op == "!=" and verdict != _UNKNOWN:
+            verdict = _TRUE if verdict == _FALSE else _FALSE
+        return verdict
+
+    def _str_values(self, term: StrTerm, state: _SearchState) -> set[str] | None:
+        if term.var is None:
+            return {term.value} if term.value is not None else set()
+        domain = state.strs.get(term.var)
+        if domain is None:
+            return None
+        return domain.values()
+
+    # ------------------------------------------------------------------
+    # Propagation
+
+    def _propagate(self, state: _SearchState) -> bool:
+        if not self._difference_constraints_feasible(state):
+            return False
+        for _round in range(_MAX_PROPAGATION_ROUNDS):
+            changed = False
+            for literal, _ in state.asserted:
+                outcome = self._apply(literal, state)
+                if outcome == "conflict":
+                    return False
+                if outcome == "changed":
+                    changed = True
+            if not changed:
+                return True
+        return True  # interval tightening converged enough; cycles were
+        # already excluded by the difference-constraint check above
+
+    def _difference_constraints_feasible(self, state: _SearchState) -> bool:
+        """Bellman-Ford negative-cycle check over the var-vs-var asserted
+        atoms (``x + a <op> y + b`` with unit coefficients).  Interval
+        propagation alone shrinks strict cycles like ``x < y && y < x``
+        only by EPS per round, so infeasibility is detected here instead.
+        """
+        edges: list[tuple[str, str, float]] = []
+        nodes: set[str] = set()
+        for literal, _ in state.asserted:
+            left, right = literal.left, literal.right
+            if not (
+                isinstance(left, AffineTerm)
+                and isinstance(right, AffineTerm)
+                and left.var is not None
+                and right.var is not None
+                and left.mul == 1.0
+                and right.mul == 1.0
+            ):
+                continue
+            op = literal.op
+            # x + a <= y + b  ==>  x - y <= b - a (edge y -> x, weight b-a)
+            bound = right.add - left.add
+            if op in ("<", "<="):
+                weight = bound - (EPS if op == "<" else 0.0)
+                edges.append((right.var, left.var, weight))
+            elif op in (">", ">="):
+                weight = -bound - (EPS if op == ">" else 0.0)
+                edges.append((left.var, right.var, weight))
+            elif op == "==":
+                edges.append((right.var, left.var, bound))
+                edges.append((left.var, right.var, -bound))
+            nodes.add(left.var)
+            nodes.add(right.var)
+        if not edges:
+            return True
+        distance = {node: 0.0 for node in nodes}
+        for _ in range(len(nodes)):
+            updated = False
+            for source, target, weight in edges:
+                if distance[source] + weight < distance[target] - 1e-12:
+                    distance[target] = distance[source] + weight
+                    updated = True
+            if not updated:
+                return True
+        # One more relaxation round succeeding means a negative cycle.
+        for source, target, weight in edges:
+            if distance[source] + weight < distance[target] - 1e-12:
+                return False
+        return True
+
+    def _apply(self, atom: CmpAtom, state: _SearchState) -> str:
+        if isinstance(atom.left, AffineTerm):
+            return self._apply_num(atom, state)
+        return self._apply_str(atom, state)
+
+    def _apply_num(self, atom: CmpAtom, state: _SearchState) -> str:
+        left, right = atom.left, atom.right
+        assert isinstance(left, AffineTerm) and isinstance(right, AffineTerm)
+        op = atom.op
+        if op == ">":
+            return self._apply_num(CmpAtom(right, "<", left), state)
+        if op == ">=":
+            return self._apply_num(CmpAtom(right, "<=", left), state)
+        changed = False
+        lo_l, hi_l = self._term_bounds(left, state)
+        lo_r, hi_r = self._term_bounds(right, state)
+        if op == "==":
+            changed |= self._tighten(left, max(lo_l, lo_r), min(hi_l, hi_r), state)
+            changed |= self._tighten(right, max(lo_l, lo_r), min(hi_l, hi_r), state)
+        elif op == "<":
+            changed |= self._tighten(left, lo_l, min(hi_l, hi_r - EPS), state)
+            changed |= self._tighten(right, max(lo_r, lo_l + EPS), hi_r, state)
+        elif op == "<=":
+            changed |= self._tighten(left, lo_l, min(hi_l, hi_r), state)
+            changed |= self._tighten(right, max(lo_r, lo_l), hi_r, state)
+        elif op == "!=":
+            pass  # handled by evaluation on singletons
+        for domain in state.nums.values():
+            if domain.empty:
+                return "conflict"
+        return "changed" if changed else "ok"
+
+    def _tighten(
+        self,
+        term: AffineTerm,
+        low: float,
+        high: float,
+        state: _SearchState,
+    ) -> bool:
+        """Narrow the variable behind ``term`` so the term's value range
+        fits [low, high]."""
+        if term.var is None or term.mul == 0:
+            if term.add < low - 1e-12 or term.add > high + 1e-12:
+                # Constant outside range: mark conflict by emptying a
+                # synthetic check in the caller (bounds check handles it).
+                state.nums.setdefault("__const_conflict__", NumDomain(1, 0))
+                return True
+            return False
+        domain = state.nums.get(term.var)
+        if domain is None:
+            domain = NumDomain(-1e9, 1e9)
+            state.nums[term.var] = domain
+        var_low = (low - term.add) / term.mul
+        var_high = (high - term.add) / term.mul
+        if var_low > var_high:
+            var_low, var_high = var_high, var_low
+        changed = False
+        if var_low > domain.low + 1e-12:
+            domain.low = var_low
+            changed = True
+        if var_high < domain.high - 1e-12:
+            domain.high = var_high
+            changed = True
+        return changed
+
+    def _apply_str(self, atom: CmpAtom, state: _SearchState) -> str:
+        left, right = atom.left, atom.right
+        assert isinstance(left, StrTerm) and isinstance(right, StrTerm)
+        changed = False
+        if atom.op == "==":
+            values_l = self._str_values(left, state)
+            values_r = self._str_values(right, state)
+            if values_l is not None and values_r is not None:
+                overlap = values_l & values_r
+                if not overlap:
+                    return "conflict"
+                changed |= self._restrict(left, overlap, state)
+                changed |= self._restrict(right, overlap, state)
+            elif values_l is not None:
+                changed |= self._restrict(right, values_l, state)
+            elif values_r is not None:
+                changed |= self._restrict(left, values_r, state)
+        elif atom.op == "!=":
+            singleton_l = self._singleton_of(left, state)
+            singleton_r = self._singleton_of(right, state)
+            if (
+                singleton_l is not None
+                and singleton_r is not None
+                and singleton_l == singleton_r
+            ):
+                return "conflict"
+            if singleton_l is not None:
+                changed |= self._exclude(right, singleton_l, state)
+            if singleton_r is not None:
+                changed |= self._exclude(left, singleton_r, state)
+        for domain in state.strs.values():
+            if domain.empty:
+                return "conflict"
+        return "changed" if changed else "ok"
+
+    def _singleton_of(self, term: StrTerm, state: _SearchState) -> str | None:
+        if term.var is None:
+            return term.value
+        domain = state.strs.get(term.var)
+        return domain.singleton if domain is not None else None
+
+    def _restrict(
+        self, term: StrTerm, allowed: set[str], state: _SearchState
+    ) -> bool:
+        if term.var is None:
+            return False
+        domain = state.strs.setdefault(term.var, StrDomain())
+        current = domain.values()
+        if current is None:
+            domain.candidates = set(allowed) - domain.excluded
+            return True
+        new = current & allowed
+        if new != current:
+            domain.candidates = new
+            return True
+        return False
+
+    def _exclude(self, term: StrTerm, value: str, state: _SearchState) -> bool:
+        if term.var is None:
+            return False
+        domain = state.strs.setdefault(term.var, StrDomain())
+        if value in domain.excluded:
+            return False
+        domain.excluded.add(value)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _witness(self, state: _SearchState) -> dict[str, object]:
+        witness: dict[str, object] = {}
+        for key, domain in state.nums.items():
+            if key.startswith("__"):
+                continue
+            mid = (domain.low + domain.high) / 2
+            witness[key] = round(mid, 4)
+        for key, domain in state.strs.items():
+            values = domain.values()
+            if values:
+                witness[key] = sorted(values)[0]
+            elif domain.candidates is None:
+                for candidate in itertools.chain(
+                    ("any",), (f"value{i}" for i in itertools.count())
+                ):
+                    if candidate not in domain.excluded:
+                        witness[key] = candidate
+                        break
+        for key, value in state.free.items():
+            witness[f"?{key}"] = value
+        return witness

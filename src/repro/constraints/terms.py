@@ -1,0 +1,185 @@
+"""Constraint IR: terms, atoms and boolean formulas.
+
+The builder lowers rule predicates into this IR; the solver decides it.
+Atoms are either comparisons over affine terms / string literals, or
+free (uninterpreted) booleans for opaque platform predicates such as
+``timeOfDayIsBetween(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+_FLIP = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+@dataclass(frozen=True, slots=True)
+class AffineTerm:
+    """``mul * var + add`` over a numeric variable (var may be None for a
+    pure constant)."""
+
+    var: str | None
+    mul: float = 1.0
+    add: float = 0.0
+
+    @staticmethod
+    def const(value: float) -> "AffineTerm":
+        return AffineTerm(var=None, mul=0.0, add=float(value))
+
+    @property
+    def is_const(self) -> bool:
+        return self.var is None
+
+    def scaled(self, factor: float) -> "AffineTerm":
+        return AffineTerm(self.var, self.mul * factor, self.add * factor)
+
+    def shifted(self, delta: float) -> "AffineTerm":
+        return AffineTerm(self.var, self.mul, self.add + delta)
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return f"{self.add:g}"
+        prefix = "" if self.mul == 1 else f"{self.mul:g}*"
+        suffix = "" if self.add == 0 else f"+{self.add:g}"
+        return f"{prefix}{self.var}{suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class StrTerm:
+    """Either a string literal or an enum variable reference."""
+
+    var: str | None
+    value: str | None = None
+
+    @property
+    def is_const(self) -> bool:
+        return self.var is None
+
+    def __str__(self) -> str:
+        return self.var if self.var is not None else repr(self.value)
+
+
+Term = Union[AffineTerm, StrTerm]
+
+
+@dataclass(frozen=True, slots=True)
+class CmpAtom:
+    """A comparison atom over two terms of the same sort."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def negated(self) -> "CmpAtom":
+        return CmpAtom(self.left, _FLIP[self.op], self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class FreeAtom:
+    """An uninterpreted boolean (opaque predicate)."""
+
+    key: str
+
+    def __str__(self) -> str:
+        return f"?{self.key}"
+
+
+Atom = Union[CmpAtom, FreeAtom]
+
+
+@dataclass(frozen=True, slots=True)
+class BoolFormula:
+    """NNF boolean formula: a literal over an atom, or AND/OR node.
+
+    ``kind`` is one of ``"lit"``, ``"and"``, ``"or"``, ``"const"``.
+    """
+
+    kind: str
+    atom: Atom | None = None
+    positive: bool = True
+    children: tuple["BoolFormula", ...] = ()
+    value: bool = True
+
+    def __str__(self) -> str:
+        if self.kind == "const":
+            return "true" if self.value else "false"
+        if self.kind == "lit":
+            text = str(self.atom)
+            return text if self.positive else f"!({text})"
+        joiner = " && " if self.kind == "and" else " || "
+        return "(" + joiner.join(str(child) for child in self.children) + ")"
+
+    def atoms(self) -> list[Atom]:
+        found: list[Atom] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.kind == "lit" and node.atom is not None:
+                found.append(node.atom)
+            stack.extend(node.children)
+        return found
+
+
+Formula = BoolFormula
+
+TRUE = BoolFormula(kind="const", value=True)
+FALSE = BoolFormula(kind="const", value=False)
+
+
+def lit(atom: Atom, positive: bool = True) -> BoolFormula:
+    return BoolFormula(kind="lit", atom=atom, positive=positive)
+
+
+def conj(parts: list[BoolFormula]) -> BoolFormula:
+    flattened: list[BoolFormula] = []
+    for part in parts:
+        if part.kind == "const":
+            if not part.value:
+                return FALSE
+            continue
+        if part.kind == "and":
+            flattened.extend(part.children)
+        else:
+            flattened.append(part)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return BoolFormula(kind="and", children=tuple(flattened))
+
+
+def disj(parts: list[BoolFormula]) -> BoolFormula:
+    flattened: list[BoolFormula] = []
+    for part in parts:
+        if part.kind == "const":
+            if part.value:
+                return TRUE
+            continue
+        if part.kind == "or":
+            flattened.extend(part.children)
+        else:
+            flattened.append(part)
+    if not flattened:
+        return FALSE
+    if len(flattened) == 1:
+        return flattened[0]
+    return BoolFormula(kind="or", children=tuple(flattened))
+
+
+def neg(formula: BoolFormula) -> BoolFormula:
+    """Negation with NNF push-down."""
+    if formula.kind == "const":
+        return FALSE if formula.value else TRUE
+    if formula.kind == "lit":
+        if isinstance(formula.atom, CmpAtom):
+            return lit(formula.atom.negated(), positive=True)
+        return BoolFormula(
+            kind="lit", atom=formula.atom, positive=not formula.positive
+        )
+    if formula.kind == "and":
+        return disj([neg(child) for child in formula.children])
+    return conj([neg(child) for child in formula.children])

@@ -1,0 +1,43 @@
+"""The SmartApp corpus (paper §VIII evaluation substrate).
+
+The paper evaluates on the 182 apps of the SmartThings public
+repository: 146 automation apps (of which 56 only send notifications)
+plus 36 Web-Services apps, and 18 malicious apps collected from the
+literature (Table III).  This package re-implements that population in
+the Groovy-subset DSL:
+
+* :mod:`repro.corpus.demo_apps` — the five apps implementing the
+  paper's Rules 1-5 (ComfortTV, ColdDefender, CatchLiveShow,
+  BurglarFinder, NightCare),
+* :mod:`repro.corpus.benign` — the device-controlling apps (named after
+  the real apps the paper cites: SwitchChangesMode, MakeItSo,
+  CurlingIron, LetThereBeDark, EnergySaver, ...),
+* :mod:`repro.corpus.notifications` — notification-only apps,
+* :mod:`repro.corpus.webservice` — Web-Services apps (excluded from
+  rule extraction),
+* :mod:`repro.corpus.malicious` — the 18 malicious apps of Table III.
+"""
+
+from repro.corpus.model import CorpusApp
+from repro.corpus.loader import (
+    all_apps,
+    app_by_name,
+    automation_apps,
+    demo_apps,
+    device_controlling_apps,
+    malicious_apps,
+    notification_apps,
+    webservice_apps,
+)
+
+__all__ = [
+    "CorpusApp",
+    "all_apps",
+    "app_by_name",
+    "automation_apps",
+    "demo_apps",
+    "device_controlling_apps",
+    "malicious_apps",
+    "notification_apps",
+    "webservice_apps",
+]

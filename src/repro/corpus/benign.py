@@ -1,0 +1,917 @@
+"""Hand-written device-controlling SmartApps.
+
+These re-implement the real SmartThings public-repository apps the
+paper cites by name in §VIII-B (SwitchChangesMode, MakeItSo, CurlingIron,
+NFCTagToggle, LockItWhenILeave, LetThereBeDark, UndeadEarlyWarning,
+LightsOffWhenClosed, SmartNightlight, TurnItOnFor5Minutes, It'sTooHot,
+EnergySaver, LightUpTheNight, FeedMyPet, SleepyTime,
+CameraPowerScheduler) plus a representative set of further
+device-controlling apps in the same styles.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import CorpusApp
+
+HANDWRITTEN_APPS: list[CorpusApp] = [
+    CorpusApp(
+        name="SwitchChangesMode",
+        category="mode",
+        description="Changes the location mode according to a switch state.",
+        type_hints={"master": "switch"},
+        values={"onMode": "Home", "offMode": "Away"},
+        source='''
+definition(name: "SwitchChangesMode", namespace: "repro", author: "hg",
+    description: "Set the location mode when a switch turns on or off")
+
+preferences {
+    input "master", "capability.switch", title: "Which switch?"
+    input "onMode", "mode", title: "Mode when on"
+    input "offMode", "mode", title: "Mode when off"
+}
+
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+
+def initialize() {
+    subscribe(master, "switch", switchHandler)
+}
+
+def switchHandler(evt) {
+    if (evt.value == "on") {
+        setLocationMode(onMode)
+    } else if (evt.value == "off") {
+        setLocationMode(offMode)
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="MakeItSo",
+        category="mode",
+        description="Binds switch/lock/thermostat states to a location mode.",
+        type_hints={"switches": "switch", "locks": "doorLock",
+                    "thermostat1": "thermostat"},
+        values={"targetMode": "Home", "heatSetpoint": 70},
+        source='''
+definition(name: "MakeItSo", namespace: "repro", author: "hg",
+    description: "Restore saved device states when the home enters a mode")
+
+preferences {
+    input "switches", "capability.switch", multiple: true
+    input "locks", "capability.lock", multiple: true
+    input "thermostat1", "capability.thermostat", required: false
+    input "targetMode", "mode", title: "Restore in which mode?"
+    input "heatSetpoint", "number", title: "Heating setpoint"
+}
+
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+
+def modeHandler(evt) {
+    if (evt.value == targetMode) {
+        switches.each { s -> s.on() }
+        locks.each { l -> l.unlock() }
+        thermostat1.setHeatingSetpoint(heatSetpoint)
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="CurlingIron",
+        category="switch",
+        # The paper treats the outlets as plain switches ("a set of
+        # outlets (switches)"), which is what lets it chain through
+        # SwitchChangesMode in the §VIII-B example.
+        description="Turns on outlets (switches) when motion is detected.",
+        type_hints={"motion1": "motionSensor", "outlets": "switch"},
+        values={"minutesLater": 30},
+        source='''
+definition(name: "CurlingIron", namespace: "repro", author: "hg",
+    description: "Turn on outlets when there is motion, off after a while")
+
+preferences {
+    input "motion1", "capability.motionSensor", title: "Where?"
+    input "outlets", "capability.switch", multiple: true, title: "Turn on which?"
+    input "minutesLater", "number", title: "Off after how many minutes?"
+}
+
+def installed() { subscribe(motion1, "motion", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion", motionHandler) }
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        outlets.on()
+        def delay = minutesLater * 60
+        runIn(delay, turnOffOutlets)
+    }
+}
+
+def turnOffOutlets() {
+    outlets.off()
+}
+''',
+    ),
+    CorpusApp(
+        name="NFCTagToggle",
+        category="other",
+        description="Toggles switches and locks from a tag touch event.",
+        type_hints={"tag": "button", "switch1": "switch", "lock1": "doorLock"},
+        source='''
+definition(name: "NFCTagToggle", namespace: "repro", author: "hg",
+    description: "Toggle appliances and the door lock by tapping an NFC tag")
+
+preferences {
+    input "tag", "capability.touchSensor", title: "NFC tag"
+    input "switch1", "capability.switch", title: "Appliance switch"
+    input "lock1", "capability.lock", title: "Door lock"
+}
+
+def installed() { subscribe(tag, "touch", touchHandler) }
+def updated() { unsubscribe(); subscribe(tag, "touch", touchHandler) }
+
+def touchHandler(evt) {
+    if (switch1.currentSwitch == "on") {
+        switch1.off()
+    } else {
+        switch1.on()
+    }
+    if (lock1.currentLock == "locked") {
+        lock1.unlock()
+    } else {
+        lock1.lock()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="LockItWhenILeave",
+        category="other",
+        description="Locks doors when the presence sensor leaves.",
+        type_hints={"presence1": "presenceSensor", "lock1": "doorLock"},
+        source='''
+definition(name: "LockItWhenILeave", namespace: "repro", author: "hg",
+    description: "Lock the doors automatically when you leave home")
+
+preferences {
+    input "presence1", "capability.presenceSensor", title: "Whose presence?"
+    input "lock1", "capability.lock", title: "Which lock?"
+}
+
+def installed() { subscribe(presence1, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(presence1, "presence", presenceHandler) }
+
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        lock1.lock()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="LetThereBeDark",
+        category="switch",
+        description="Turns lights off when a contact sensor closes.",
+        type_hints={"contact1": "contactSensor", "lights": "light"},
+        source='''
+definition(name: "LetThereBeDark", namespace: "repro", author: "hg",
+    description: "Turn things off when a door or window is closed")
+
+preferences {
+    input "contact1", "capability.contactSensor", title: "Which door?"
+    input "lights", "capability.switch", multiple: true, title: "Turn off what?"
+}
+
+def installed() { subscribe(contact1, "contact", contactHandler) }
+def updated() { unsubscribe(); subscribe(contact1, "contact", contactHandler) }
+
+def contactHandler(evt) {
+    if (evt.value == "closed") {
+        lights.off()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="UndeadEarlyWarning",
+        category="switch",
+        description="Turns on all lights when a contact opens.",
+        type_hints={"contact1": "contactSensor", "lights": "light"},
+        source='''
+definition(name: "UndeadEarlyWarning", namespace: "repro", author: "hg",
+    description: "Turn on the lights when the crypt door opens")
+
+preferences {
+    input "contact1", "capability.contactSensor", title: "Which door?"
+    input "lights", "capability.switch", multiple: true
+}
+
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.open", openHandler) }
+
+def openHandler(evt) {
+    lights.on()
+}
+''',
+    ),
+    CorpusApp(
+        name="LightsOffWhenClosed",
+        category="switch",
+        description="Turns lights off shortly after a door closes.",
+        type_hints={"door1": "contactSensor", "lights": "light"},
+        values={"delayMinutes": 2},
+        source='''
+definition(name: "LightsOffWhenClosed", namespace: "repro", author: "hg",
+    description: "Turn lights off a couple of minutes after the door closes")
+
+preferences {
+    input "door1", "capability.contactSensor"
+    input "lights", "capability.switch", multiple: true
+    input "delayMinutes", "number", title: "After how many minutes?"
+}
+
+def installed() { subscribe(door1, "contact.closed", closedHandler) }
+def updated() { unsubscribe(); subscribe(door1, "contact.closed", closedHandler) }
+
+def closedHandler(evt) {
+    runIn(delayMinutes * 60, switchOff)
+}
+
+def switchOff() {
+    lights.off()
+}
+''',
+    ),
+    CorpusApp(
+        name="SmartNightlight",
+        category="switch",
+        description="Turns lights on for motion when it is dark.",
+        type_hints={"motion1": "motionSensor", "lights": "light",
+                    "lightSensor": "illuminanceSensor"},
+        values={"luxLevel": 50},
+        source='''
+definition(name: "SmartNightlight", namespace: "repro", author: "hg",
+    description: "Turn on lights when there is motion in the dark")
+
+preferences {
+    input "motion1", "capability.motionSensor"
+    input "lights", "capability.switch", multiple: true
+    input "lightSensor", "capability.illuminanceMeasurement"
+    input "luxLevel", "number", title: "Darker than (lux)?"
+}
+
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+
+def initialize() {
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        def lux = lightSensor.currentIlluminance
+        if (lux < luxLevel) {
+            lights.on()
+        }
+    } else if (evt.value == "inactive") {
+        runIn(120, lightsOff)
+    }
+}
+
+def lightsOff() {
+    lights.off()
+}
+''',
+    ),
+    CorpusApp(
+        name="TurnItOnFor5Minutes",
+        category="switch",
+        description="Turns a switch on for five minutes when a contact opens.",
+        type_hints={"contact1": "contactSensor", "switch1": "light"},
+        source='''
+definition(name: "TurnItOnFor5Minutes", namespace: "repro", author: "hg",
+    description: "When a contact opens, switch something on for 5 minutes")
+
+preferences {
+    input "contact1", "capability.contactSensor"
+    input "switch1", "capability.switch"
+}
+
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.open", openHandler) }
+
+def openHandler(evt) {
+    switch1.on()
+    runIn(300, turnOff)
+}
+
+def turnOff() {
+    switch1.off()
+}
+''',
+    ),
+    CorpusApp(
+        name="ItsTooHot",
+        category="switch",
+        description="Turns on the AC above a temperature threshold.",
+        type_hints={"tSensor": "temperatureSensor", "ac": "airConditioner"},
+        values={"tooHot": 80},
+        source='''
+definition(name: "ItsTooHot", namespace: "repro", author: "hg",
+    description: "Turn on the air conditioner when it gets too hot")
+
+preferences {
+    input "tSensor", "capability.temperatureMeasurement"
+    input "tooHot", "number", title: "Too hot above?"
+    input "ac", "capability.switch", title: "Air conditioner outlet"
+}
+
+def installed() { subscribe(tSensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", tempHandler) }
+
+def tempHandler(evt) {
+    def t = evt.value.toInteger()
+    if (t > tooHot) {
+        ac.on()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="EnergySaver",
+        category="switch",
+        description="Turns devices off when electricity usage is too high.",
+        type_hints={"meter": "powerMeter", "devices": "airConditioner"},
+        values={"threshold": 2000},
+        source='''
+definition(name: "EnergySaver", namespace: "repro", author: "hg",
+    description: "Turn appliances off when real-time power use exceeds a cap")
+
+preferences {
+    input "meter", "capability.powerMeter", title: "Power meter"
+    input "threshold", "number", title: "Above how many watts?"
+    input "devices", "capability.switch", multiple: true, title: "Turn off what?"
+}
+
+def installed() { subscribe(meter, "power", powerHandler) }
+def updated() { unsubscribe(); subscribe(meter, "power", powerHandler) }
+
+def powerHandler(evt) {
+    def w = evt.value.toInteger()
+    if (w > threshold) {
+        devices.off()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="LightUpTheNight",
+        category="switch",
+        description="Lights on when dark, off when bright (loop-prone).",
+        type_hints={"lightSensor": "illuminanceSensor", "lights": "light"},
+        values={"darkLux": 30, "brightLux": 50},
+        source='''
+definition(name: "LightUpTheNight", namespace: "repro", author: "hg",
+    description: "Turn lights on when it gets dark and off when it is bright")
+
+preferences {
+    input "lightSensor", "capability.illuminanceMeasurement"
+    input "lights", "capability.switch", multiple: true
+    input "darkLux", "number", title: "On below (lux)"
+    input "brightLux", "number", title: "Off above (lux)"
+}
+
+def installed() { subscribe(lightSensor, "illuminance", luxHandler) }
+def updated() { unsubscribe(); subscribe(lightSensor, "illuminance", luxHandler) }
+
+def luxHandler(evt) {
+    def lux = evt.value.toInteger()
+    if (lux < darkLux) {
+        lights.on()
+    } else if (lux > brightLux) {
+        lights.off()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="FeedMyPet",
+        category="other",
+        description="Runs the pet feeder on schedule (non-standard device type).",
+        type_hints={"feeder": "petFeederShield"},
+        values={"feedTime": 28800},
+        source='''
+definition(name: "FeedMyPet", namespace: "repro", author: "hg",
+    description: "Feed the pet at the same time every day")
+
+preferences {
+    input "feeder", "device.petfeedershield", title: "Pet feeder"
+    input "feedTime", "time", title: "Feed at what time?"
+}
+
+def installed() { schedule(feedTime, feedPet) }
+def updated() { unschedule(); schedule(feedTime, feedPet) }
+
+def feedPet() {
+    feeder.on()
+    runIn(30, stopFeeder)
+}
+
+def stopFeeder() {
+    feeder.off()
+}
+''',
+    ),
+    CorpusApp(
+        name="SleepyTime",
+        category="mode",
+        description="Changes mode when the wearable reports sleep (non-standard type).",
+        type_hints={"jawbone": "jawboneUser"},
+        values={"sleepMode": "Night", "wakeMode": "Home"},
+        source='''
+definition(name: "SleepyTime", namespace: "repro", author: "hg",
+    description: "Change the mode when you fall asleep or wake up")
+
+preferences {
+    input "jawbone", "device.jawboneUser", title: "Jawbone UP"
+    input "sleepMode", "mode", title: "Mode when asleep"
+    input "wakeMode", "mode", title: "Mode when awake"
+}
+
+def installed() { subscribe(jawbone, "sleeping", sleepHandler) }
+def updated() { unsubscribe(); subscribe(jawbone, "sleeping", sleepHandler) }
+
+def sleepHandler(evt) {
+    if (evt.value == "sleeping") {
+        setLocationMode(sleepMode)
+    } else {
+        setLocationMode(wakeMode)
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="CameraPowerScheduler",
+        category="switch",
+        description="Cycles camera power daily using the undocumented runDaily API.",
+        type_hints={"cameraOutlet": "outlet"},
+        values={"onTime": 28800},
+        source='''
+definition(name: "CameraPowerScheduler", namespace: "repro", author: "hg",
+    description: "Power-cycle the camera outlet every day")
+
+preferences {
+    input "cameraOutlet", "capability.switch", title: "Camera outlet"
+    input "onTime", "time", title: "Daily restart time"
+}
+
+def installed() { runDaily(onTime, restartCamera) }
+def updated() { unschedule(); runDaily(onTime, restartCamera) }
+
+def restartCamera() {
+    cameraOutlet.off()
+    runIn(60, powerBack)
+}
+
+def powerBack() {
+    cameraOutlet.on()
+}
+''',
+    ),
+    CorpusApp(
+        name="GoodNight",
+        category="mode",
+        description="Sets night mode when things quiet down after a time.",
+        type_hints={"motionSensors": "motionSensor"},
+        values={"quietMinutes": 15, "nightMode": "Night"},
+        source='''
+definition(name: "GoodNight", namespace: "repro", author: "hg",
+    description: "Change to night mode when motion stops late at night")
+
+preferences {
+    input "motionSensors", "capability.motionSensor", multiple: true
+    input "quietMinutes", "number", title: "Minutes of quiet"
+    input "nightMode", "mode", title: "Night mode"
+}
+
+def installed() { subscribe(motionSensors, "motion.inactive", quietHandler) }
+def updated() { unsubscribe(); subscribe(motionSensors, "motion.inactive", quietHandler) }
+
+def quietHandler(evt) {
+    runIn(quietMinutes * 60, checkQuiet)
+}
+
+def checkQuiet() {
+    if (motionSensors.currentMotion == "inactive") {
+        setLocationMode(nightMode)
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="BrightWhenDark",
+        category="switch",
+        description="Opens the shades when the room is dark during daytime.",
+        type_hints={"lightSensor": "illuminanceSensor", "shade1": "curtain"},
+        values={"darkLux": 40},
+        source='''
+definition(name: "BrightWhenDark", namespace: "repro", author: "hg",
+    description: "Open the curtain if the room is too dark in the daytime")
+
+preferences {
+    input "lightSensor", "capability.illuminanceMeasurement"
+    input "shade1", "capability.switch", title: "Curtain switch"
+    input "darkLux", "number", title: "Darker than (lux)?"
+}
+
+def installed() { subscribe(lightSensor, "illuminance", luxHandler) }
+def updated() { unsubscribe(); subscribe(lightSensor, "illuminance", luxHandler) }
+
+def luxHandler(evt) {
+    def lux = evt.value.toInteger()
+    if (lux < darkLux) {
+        shade1.on()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="KeepMeCozy",
+        category="other",
+        description="Adjusts thermostat setpoints from a remote sensor.",
+        type_hints={"thermostat1": "thermostat", "sensor1": "temperatureSensor"},
+        values={"coolingSetpoint": 74, "heatingSetpoint": 68},
+        source='''
+definition(name: "KeepMeCozy", namespace: "repro", author: "hg",
+    description: "Works with a remote sensor to keep the room comfortable")
+
+preferences {
+    input "thermostat1", "capability.thermostat"
+    input "sensor1", "capability.temperatureMeasurement"
+    input "heatingSetpoint", "number", title: "Heat setting"
+    input "coolingSetpoint", "number", title: "Air conditioning setting"
+}
+
+def installed() { subscribe(sensor1, "temperature", temperatureHandler) }
+def updated() { unsubscribe(); subscribe(sensor1, "temperature", temperatureHandler) }
+
+def temperatureHandler(evt) {
+    def t = evt.value.toInteger()
+    if (t < heatingSetpoint) {
+        thermostat1.setHeatingSetpoint(heatingSetpoint)
+        thermostat1.heat()
+    } else if (t > coolingSetpoint) {
+        thermostat1.setCoolingSetpoint(coolingSetpoint)
+        thermostat1.cool()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="WhenItRainsItPours",
+        category="other",
+        description="Closes the water valve when a leak is detected.",
+        type_hints={"leak1": "waterLeakSensor", "valve1": "waterValve"},
+        source='''
+definition(name: "WhenItRainsItPours", namespace: "repro", author: "hg",
+    description: "Shut the water valve when the leak sensor gets wet")
+
+preferences {
+    input "leak1", "capability.waterSensor", title: "Leak sensor"
+    input "valve1", "capability.valve", title: "Water valve"
+}
+
+def installed() { subscribe(leak1, "water.wet", leakHandler) }
+def updated() { unsubscribe(); subscribe(leak1, "water.wet", leakHandler) }
+
+def leakHandler(evt) {
+    valve1.close()
+}
+''',
+    ),
+    CorpusApp(
+        name="SmokeAlarmResponder",
+        category="other",
+        description="Unlocks doors and flashes lights on smoke detection.",
+        type_hints={"smoke1": "smokeDetector", "lock1": "doorLock",
+                    "lights": "light"},
+        source='''
+definition(name: "SmokeAlarmResponder", namespace: "repro", author: "hg",
+    description: "Unlock the exits and light the way when smoke is detected")
+
+preferences {
+    input "smoke1", "capability.smokeDetector"
+    input "lock1", "capability.lock", title: "Exit lock"
+    input "lights", "capability.switch", multiple: true
+}
+
+def installed() { subscribe(smoke1, "smoke", smokeHandler) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke", smokeHandler) }
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        lock1.unlock()
+        lights.on()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="VacationLighting",
+        category="switch",
+        description="Simulates occupancy by cycling lights in Away mode.",
+        type_hints={"lights": "light"},
+        values={"awayMode": "Away"},
+        source='''
+definition(name: "VacationLighting", namespace: "repro", author: "hg",
+    description: "Cycle lights while away to simulate someone being home")
+
+preferences {
+    input "lights", "capability.switch", multiple: true
+    input "awayMode", "mode", title: "Simulate in which mode?"
+}
+
+def installed() { runEvery1Hour(cycleLights) }
+def updated() { unschedule(); runEvery1Hour(cycleLights) }
+
+def cycleLights() {
+    if (location.mode == awayMode) {
+        lights.on()
+        runIn(1200, lightsOut)
+    }
+}
+
+def lightsOut() {
+    lights.off()
+}
+''',
+    ),
+    CorpusApp(
+        name="ThermostatModeDirector",
+        category="other",
+        description="Switches thermostat mode based on outdoor temperature.",
+        type_hints={"outdoor": "temperatureSensor", "thermostat1": "thermostat"},
+        values={"coldThreshold": 50, "hotThreshold": 78},
+        source='''
+definition(name: "ThermostatModeDirector", namespace: "repro", author: "hg",
+    description: "Change heat/cool mode from the outdoor temperature")
+
+preferences {
+    input "outdoor", "capability.temperatureMeasurement"
+    input "thermostat1", "capability.thermostat"
+    input "coldThreshold", "number", title: "Heat below"
+    input "hotThreshold", "number", title: "Cool above"
+}
+
+def installed() { subscribe(outdoor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(outdoor, "temperature", tempHandler) }
+
+def tempHandler(evt) {
+    def t = evt.value.toInteger()
+    if (t < coldThreshold) {
+        thermostat1.heat()
+    } else if (t > hotThreshold) {
+        thermostat1.cool()
+    } else {
+        thermostat1.off()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="GarageDoorMonitor",
+        category="other",
+        description="Closes the garage door when left open in Night mode.",
+        type_hints={"garage": "garageDoor"},
+        values={"openMinutes": 10, "nightMode": "Night"},
+        source='''
+definition(name: "GarageDoorMonitor", namespace: "repro", author: "hg",
+    description: "Close the garage door if it is left open at night")
+
+preferences {
+    input "garage", "capability.garageDoorControl"
+    input "openMinutes", "number", title: "Open longer than (minutes)?"
+    input "nightMode", "mode", title: "Night mode"
+}
+
+def installed() { subscribe(garage, "door.open", openHandler) }
+def updated() { unsubscribe(); subscribe(garage, "door.open", openHandler) }
+
+def openHandler(evt) {
+    runIn(openMinutes * 60, checkDoor)
+}
+
+def checkDoor() {
+    if ((garage.currentDoor == "open") && (location.mode == nightMode)) {
+        garage.close()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="HumidityVentilation",
+        category="switch",
+        description="Runs the fan when humidity is high.",
+        type_hints={"humid1": "humiditySensor", "fan1": "fan"},
+        values={"humidityHigh": 65},
+        source='''
+definition(name: "HumidityVentilation", namespace: "repro", author: "hg",
+    description: "Run the bathroom fan while humidity is above a threshold")
+
+preferences {
+    input "humid1", "capability.relativeHumidityMeasurement"
+    input "fan1", "capability.switch", title: "Vent fan"
+    input "humidityHigh", "number", title: "Above what humidity?"
+}
+
+def installed() { subscribe(humid1, "humidity", humidityHandler) }
+def updated() { unsubscribe(); subscribe(humid1, "humidity", humidityHandler) }
+
+def humidityHandler(evt) {
+    def h = evt.value.toInteger()
+    if (h > humidityHigh) {
+        fan1.on()
+    } else {
+        fan1.off()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="PresenceWelcomeHome",
+        category="mode",
+        description="Sets Home mode and unlocks the door on arrival.",
+        type_hints={"presence1": "presenceSensor", "lock1": "doorLock"},
+        values={"homeMode": "Home"},
+        source='''
+definition(name: "PresenceWelcomeHome", namespace: "repro", author: "hg",
+    description: "Welcome home: unlock the door and set the mode on arrival")
+
+preferences {
+    input "presence1", "capability.presenceSensor"
+    input "lock1", "capability.lock"
+    input "homeMode", "mode", title: "Arrival mode"
+}
+
+def installed() { subscribe(presence1, "presence.present", arriveHandler) }
+def updated() { unsubscribe(); subscribe(presence1, "presence.present", arriveHandler) }
+
+def arriveHandler(evt) {
+    lock1.unlock()
+    setLocationMode(homeMode)
+}
+''',
+    ),
+    CorpusApp(
+        name="ModeAwareHeater",
+        category="switch",
+        description="Runs a space heater only while the home is occupied.",
+        type_hints={"heater1": "heater", "tSensor": "temperatureSensor"},
+        values={"tooCold": 62, "occupiedMode": "Home"},
+        source='''
+definition(name: "ModeAwareHeater", namespace: "repro", author: "hg",
+    description: "Run the space heater when cold, but only in Home mode")
+
+preferences {
+    input "heater1", "capability.switch", title: "Space heater"
+    input "tSensor", "capability.temperatureMeasurement"
+    input "tooCold", "number", title: "Heat below?"
+    input "occupiedMode", "mode", title: "Only in mode"
+}
+
+def installed() { subscribe(tSensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(tSensor, "temperature", tempHandler) }
+
+def tempHandler(evt) {
+    def t = evt.value.toInteger()
+    if ((t < tooCold) && (location.mode == occupiedMode)) {
+        heater1.on()
+    } else {
+        heater1.off()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="ShadesOfSunset",
+        category="other",
+        description="Closes window shades at sunset.",
+        type_hints={"shades": "windowShade"},
+        source='''
+definition(name: "ShadesOfSunset", namespace: "repro", author: "hg",
+    description: "Close the shades when the sun goes down")
+
+preferences {
+    input "shades", "capability.windowShade", multiple: true
+}
+
+def installed() { subscribe(location, "sunset", sunsetHandler) }
+def updated() { unsubscribe(); subscribe(location, "sunset", sunsetHandler) }
+
+def sunsetHandler(evt) {
+    shades.close()
+}
+''',
+    ),
+    CorpusApp(
+        name="DoubleTapModeChange",
+        category="mode",
+        description="Switch controls mode via a switch statement.",
+        type_hints={"master": "switch"},
+        values={"dayMode": "Home", "nightMode": "Night"},
+        source='''
+definition(name: "DoubleTapModeChange", namespace: "repro", author: "hg",
+    description: "Use a wall switch to change the home mode")
+
+preferences {
+    input "master", "capability.switch"
+    input "dayMode", "mode", title: "Mode for on"
+    input "nightMode", "mode", title: "Mode for off"
+}
+
+def installed() { subscribe(master, "switch", tapHandler) }
+def updated() { unsubscribe(); subscribe(master, "switch", tapHandler) }
+
+def tapHandler(evt) {
+    switch (evt.value) {
+        case "on":
+            setLocationMode(dayMode)
+            break
+        case "off":
+            setLocationMode(nightMode)
+            break
+        default:
+            log.debug "ignored ${evt.value}"
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="CoffeeAfterShower",
+        category="switch",
+        description="Starts the coffee maker when bathroom humidity spikes.",
+        type_hints={"humid1": "humiditySensor", "coffee": "coffeeMaker"},
+        values={"showerHumidity": 70},
+        source='''
+definition(name: "CoffeeAfterShower", namespace: "repro", author: "hg",
+    description: "Kick off the coffee maker when you take a shower")
+
+preferences {
+    input "humid1", "capability.relativeHumidityMeasurement"
+    input "coffee", "capability.switch", title: "Coffee maker"
+    input "showerHumidity", "number", title: "Humidity above?"
+}
+
+def installed() { subscribe(humid1, "humidity", showerHandler) }
+def updated() { unsubscribe(); subscribe(humid1, "humidity", showerHandler) }
+
+def showerHandler(evt) {
+    def h = evt.value.toInteger()
+    if (h > showerHumidity) {
+        coffee.on()
+        runIn(1800, coffeeOff)
+    }
+}
+
+def coffeeOff() {
+    coffee.off()
+}
+''',
+    ),
+    CorpusApp(
+        name="MedicineReminder",
+        category="switch",
+        description="Flashes a light if the medicine drawer stays shut.",
+        type_hints={"drawer": "contactSensor", "reminder": "light"},
+        values={"checkTime": 68400},
+        source='''
+definition(name: "MedicineReminder", namespace: "repro", author: "hg",
+    description: "Flash a light at night if the medicine drawer was not opened")
+
+preferences {
+    input "drawer", "capability.contactSensor", title: "Medicine drawer"
+    input "reminder", "capability.switch", title: "Reminder light"
+    input "checkTime", "time", title: "Check at what time?"
+}
+
+def installed() { initialize() }
+def updated() { unsubscribe(); unschedule(); initialize() }
+
+def initialize() {
+    subscribe(drawer, "contact.open", openedHandler)
+    schedule(checkTime, checkDrawer)
+}
+
+def openedHandler(evt) {
+    state.opened = true
+}
+
+def checkDrawer() {
+    if (!state.opened) {
+        reminder.on()
+    }
+    state.opened = false
+}
+''',
+    ),
+]

@@ -1,0 +1,218 @@
+"""The five demonstration SmartApps of paper §V / §VIII-A.
+
+They implement Rules 1-5 from Figures 3, 4 and 5; installed together in
+one home they exhibit an Actuator Race (Rules 1+2), a Covert Triggering
+(Rule 3 -> Rule 1) and a Disabling-Condition interference (Rule 5 ->
+Rule 4).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import CorpusApp
+
+COMFORT_TV = CorpusApp(
+    name="ComfortTV",
+    kind="automation",
+    category="switch",
+    description="Opens the window when the TV turns on and it is hot (Rule 1).",
+    type_hints={"tv1": "tv", "tSensor": "temperatureSensor",
+                "window1": "windowOpener"},
+    values={"threshold1": 30},
+    source='''
+definition(name: "ComfortTV", namespace: "repro", author: "hg",
+    description: "Open the window when watching TV in a hot room")
+
+preferences {
+    section("Devices") {
+        input "tv1", "capability.switch", title: "Which TV?"
+        input "tSensor", "capability.temperatureMeasurement"
+        input "threshold1", "number", title: "Higher than?"
+        input "window1", "capability.switch"
+    }
+}
+
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+''',
+)
+
+COLD_DEFENDER = CorpusApp(
+    name="ColdDefender",
+    kind="automation",
+    category="switch",
+    description="Closes the window when the TV turns on and it rains (Rule 2).",
+    type_hints={"tv2": "tv", "window2": "windowOpener"},
+    values={"weather": "rainy"},
+    source='''
+definition(name: "ColdDefender", namespace: "repro", author: "hg",
+    description: "Close the window when it rains while watching TV")
+
+preferences {
+    section("Devices") {
+        input "tv2", "capability.switch", title: "Which TV?"
+        input "weather", "enum", title: "Close when weather is?"
+        input "window2", "capability.switch"
+    }
+}
+
+def installed() {
+    subscribe(tv2, "switch.on", rainHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(tv2, "switch.on", rainHandler)
+}
+
+def rainHandler(evt) {
+    if (weather == "rainy") {
+        window2.off()
+    }
+}
+''',
+)
+
+CATCH_LIVE_SHOW = CorpusApp(
+    name="CatchLiveShow",
+    kind="automation",
+    category="switch",
+    description="Turns on the TV when a voice message arrives (Rule 3).",
+    type_hints={"voice": "speaker", "tv3": "tv"},
+    values={"showDay": "Thursday"},
+    source='''
+definition(name: "CatchLiveShow", namespace: "repro", author: "hg",
+    description: "Turn on the TV remotely when a voice message is sent home")
+
+preferences {
+    section("Devices") {
+        input "voice", "capability.speechSynthesis", title: "Voice assistant"
+        input "tv3", "capability.switch", title: "TV to turn on"
+        input "showDay", "enum", title: "Day of the live show"
+    }
+}
+
+def installed() {
+    subscribe(voice, "phraseSpoken", messageHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(voice, "phraseSpoken", messageHandler)
+}
+
+def messageHandler(evt) {
+    def day = dayOfWeek()
+    if (day == showDay) {
+        tv3.on()
+    }
+}
+
+def dayOfWeek() {
+    return new Date().format("EEEE")
+}
+''',
+)
+
+BURGLAR_FINDER = CorpusApp(
+    name="BurglarFinder",
+    kind="automation",
+    category="switch",
+    description="Raises the alarm on midnight motion while the lamp is on (Rule 4).",
+    type_hints={"lamp1": "floorLamp", "motion1": "motionSensor",
+                "alarm1": "siren"},
+    values={},
+    source='''
+definition(name: "BurglarFinder", namespace: "repro", author: "hg",
+    description: "Detect break-ins at night using the floor lamp and motion")
+
+preferences {
+    section("Devices") {
+        input "lamp1", "capability.switch", title: "Floor lamp"
+        input "motion1", "capability.motionSensor"
+        input "alarm1", "capability.alarm"
+    }
+}
+
+def installed() {
+    subscribe(lamp1, "switch.on", lampHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(lamp1, "switch.on", lampHandler)
+}
+
+def lampHandler(evt) {
+    runIn(600, checkBreakIn)
+}
+
+def checkBreakIn() {
+    def m = motion1.currentMotion
+    if ((m == "active") && (lamp1.currentSwitch == "on")) {
+        alarm1.both()
+    }
+}
+''',
+)
+
+NIGHT_CARE = CorpusApp(
+    name="NightCare",
+    kind="automation",
+    category="switch",
+    description="Turns the floor lamp off 5 minutes after it turns on in sleep mode (Rule 5).",
+    type_hints={"lamp2": "floorLamp"},
+    values={},
+    source='''
+definition(name: "NightCare", namespace: "repro", author: "hg",
+    description: "Save energy: turn the floor lamp off while the home sleeps")
+
+preferences {
+    section("Devices") {
+        input "lamp2", "capability.switch", title: "Floor lamp"
+    }
+}
+
+def installed() {
+    subscribe(lamp2, "switch.on", lampOnHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(lamp2, "switch.on", lampOnHandler)
+}
+
+def lampOnHandler(evt) {
+    if (location.mode == "sleep") {
+        runIn(300, turnOffLamp)
+    }
+}
+
+def turnOffLamp() {
+    lamp2.off()
+}
+''',
+)
+
+DEMO_APPS: list[CorpusApp] = [
+    COMFORT_TV,
+    COLD_DEFENDER,
+    CATCH_LIVE_SHOW,
+    BURGLAR_FINDER,
+    NIGHT_CARE,
+]

@@ -1,0 +1,489 @@
+"""Template-generated corpus apps.
+
+The SmartThings public repository is dominated by a handful of
+automation shapes (motion lighting, contact automations, climate
+thresholds, presence actions, schedules, energy caps, safety
+responders).  Each family below instantiates a shape with *distinct*
+devices, thresholds, subscription styles and structure so the generated
+population mirrors the repository's variety without copy-pasting a
+single app N times.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import CorpusApp
+
+# ----------------------------------------------------------------------
+# Family 1: motion lighting (two structural variants)
+
+_MOTION_LIGHT_VARIANTS = [
+    # (suffix, light type, lux-gated, off-delay seconds, filtered subscribe)
+    ("Hallway", "light", True, 0, False),
+    ("Porch", "light", True, 120, True),
+    ("Garage", "bulb", False, 300, True),
+    ("Basement", "nightlight", True, 0, True),
+    ("Kitchen", "bulb", False, 180, False),
+    ("Stairs", "nightlight", True, 60, True),
+    ("Closet", "light", False, 90, True),
+    ("Laundry", "bulb", False, 240, False),
+    ("Attic", "light", True, 600, True),
+    ("Pantry", "nightlight", False, 30, True),
+    ("Driveway", "light", True, 150, False),
+    ("Shed", "bulb", False, 420, True),
+]
+
+
+def _motion_light_app(
+    suffix: str, light_type: str, lux_gated: bool, off_delay: int, filtered: bool
+) -> CorpusApp:
+    name = f"MotionLight{suffix}"
+    lux_input = (
+        '\n    input "lightSensor", "capability.illuminanceMeasurement"'
+        '\n    input "luxLevel", "number", title: "Only below (lux)"'
+        if lux_gated
+        else ""
+    )
+    subscribe = (
+        'subscribe(motion1, "motion.active", motionActive)'
+        if filtered
+        else 'subscribe(motion1, "motion", motionActive)'
+    )
+    guard_open = ""
+    guard_close = ""
+    if lux_gated:
+        guard_open = (
+            "    def lux = lightSensor.currentIlluminance\n"
+            "    if (lux < luxLevel) {\n    "
+        )
+        guard_close = "\n    }"
+    body_value_check = (
+        "" if filtered else '    if (evt.value != "active") { return }\n'
+    )
+    off_logic = ""
+    off_method = ""
+    if off_delay:
+        off_logic = f"\n    runIn({off_delay}, lightOff)"
+        off_method = f"""
+
+def lightOff() {{
+    light1.off()
+}}"""
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Turn on the {suffix.lower()} light when motion is detected")
+
+preferences {{
+    input "motion1", "capability.motionSensor", title: "Where?"
+    input "light1", "capability.switch", title: "Which light?"{lux_input}
+}}
+
+def installed() {{ {subscribe} }}
+def updated() {{ unsubscribe(); {subscribe} }}
+
+def motionActive(evt) {{
+{body_value_check}{guard_open}    light1.on(){off_logic}{guard_close}
+}}{off_method}
+'''
+    values: dict[str, object] = {}
+    if lux_gated:
+        values["luxLevel"] = 40
+    return CorpusApp(
+        name=name,
+        category="switch",
+        description=f"Motion-activated {suffix.lower()} lighting.",
+        type_hints={"motion1": "motionSensor", "light1": light_type,
+                    "lightSensor": "illuminanceSensor"},
+        values=values,
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 2: contact-sensor automations
+
+_CONTACT_VARIANTS = [
+    # (name, event, action device+type, command, delay)
+    ("FanOnWindowOpen", "open", ("fan1", "capability.switch", "fan"), "on", 0),
+    ("FanOffWindowShut", "closed", ("fan1", "capability.switch", "fan"), "off", 0),
+    ("ClosetLightDoor", "open", ("light1", "capability.switch", "light"), "on", 0),
+    ("FridgeLeftOpen", "open", ("beeper", "capability.tone", "speaker"), "beep", 300),
+    ("MailboxFlag", "open", ("lamp1", "capability.switch", "floorLamp"), "on", 0),
+    ("PatioDoorValve", "open", ("valve1", "capability.valve", "sprinkler"), "close", 0),
+    ("WindowHeaterCut", "open", ("heater1", "capability.switch", "heater"), "off", 0),
+    ("SafeDrawerAlarm", "open", ("alarm1", "capability.alarm", "siren"), "siren", 0),
+]
+
+
+def _contact_app(
+    name: str,
+    event: str,
+    target: tuple[str, str, str],
+    command: str,
+    delay: int,
+) -> CorpusApp:
+    input_name, input_cap, dev_type = target
+    if delay:
+        handler_body = f"    runIn({delay}, doAction)"
+        extra = f"""
+
+def doAction() {{
+    if (contact1.currentContact == "{event}") {{
+        {input_name}.{command}()
+    }}
+}}"""
+    else:
+        handler_body = f"    {input_name}.{command}()"
+        extra = ""
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "React when a contact sensor reports {event}")
+
+preferences {{
+    input "contact1", "capability.contactSensor", title: "Which contact?"
+    input "{input_name}", "{input_cap}"
+}}
+
+def installed() {{ subscribe(contact1, "contact.{event}", contactHandler) }}
+def updated() {{ unsubscribe(); subscribe(contact1, "contact.{event}", contactHandler) }}
+
+def contactHandler(evt) {{
+{handler_body}
+}}{extra}
+'''
+    return CorpusApp(
+        name=name,
+        category="switch" if input_cap == "capability.switch" else "other",
+        description=f"{name}: contact {event} -> {input_name}.{command}.",
+        type_hints={"contact1": "contactSensor", input_name: dev_type},
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 3: climate thresholds
+
+_CLIMATE_VARIANTS = [
+    # (name, sensor attr, op, threshold, device, type, command on trip, off too?)
+    ("FreezeGuard", "temperature", "<", 38, "heater1", "heater", "on", True),
+    ("AtticCooler", "temperature", ">", 95, "fan1", "fan", "on", True),
+    ("GreenhouseHeat", "temperature", "<", 55, "heater1", "heater", "on", False),
+    ("ServerRoomChill", "temperature", ">", 81, "ac1", "airConditioner", "on", True),
+    ("WineCellarGuard", "temperature", ">", 65, "ac1", "airConditioner", "on", False),
+    ("DryAirHumidifier", "humidity", "<", 30, "humidifier1", "humidifier", "on", True),
+    ("MoldPreventer", "humidity", ">", 72, "dehumid1", "dehumidifier", "on", True),
+    ("SeedlingWarmth", "temperature", "<", 68, "mat1", "heater", "on", False),
+    ("PetRoomCooling", "temperature", ">", 85, "fan1", "fan", "on", True),
+    ("PoolPumpHeat", "temperature", ">", 90, "pump1", "switch", "off", False),
+]
+
+
+def _climate_app(
+    name: str,
+    attribute: str,
+    op: str,
+    threshold: int,
+    input_name: str,
+    dev_type: str,
+    command: str,
+    with_reset: bool,
+) -> CorpusApp:
+    capability_name = (
+        "capability.temperatureMeasurement"
+        if attribute == "temperature"
+        else "capability.relativeHumidityMeasurement"
+    )
+    sensor_type = (
+        "temperatureSensor" if attribute == "temperature" else "humiditySensor"
+    )
+    reset_command = "off" if command == "on" else "on"
+    reset = (
+        f""" else {{
+        {input_name}.{reset_command}()
+    }}"""
+        if with_reset
+        else ""
+    )
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Threshold automation on {attribute}")
+
+preferences {{
+    input "sensor1", "{capability_name}"
+    input "limit", "number", title: "Threshold"
+    input "{input_name}", "capability.switch"
+}}
+
+def installed() {{ subscribe(sensor1, "{attribute}", readingHandler) }}
+def updated() {{ unsubscribe(); subscribe(sensor1, "{attribute}", readingHandler) }}
+
+def readingHandler(evt) {{
+    def reading = evt.value.toInteger()
+    if (reading {op} limit) {{
+        {input_name}.{command}()
+    }}{reset}
+}}
+'''
+    return CorpusApp(
+        name=name,
+        category="switch",
+        description=f"{name}: {attribute} {op} {threshold} -> {input_name}.{command}.",
+        type_hints={"sensor1": sensor_type, input_name: dev_type},
+        values={"limit": threshold},
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 4: presence automations
+
+_PRESENCE_VARIANTS = [
+    ("EveryoneLeaves", "not present", "lights", "light", "off", None),
+    ("HoneyImHome", "present", "lights", "light", "on", None),
+    ("ArrivalThermostat", "present", "thermostat1", "thermostat", "heat", None),
+    ("DepartureEco", "not present", "thermostat1", "thermostat", "off", None),
+    ("GuestArrives", "present", "lock1", "doorLock", "unlock", None),
+    ("AwayAndSecure", "not present", "lock1", "doorLock", "lock", "Away"),
+    ("KidsHomeOutlet", "present", "outlet1", "outlet", "on", None),
+    ("NannyCamOff", "present", "cam1", "camera", "off", None),
+]
+
+
+def _presence_app(
+    name: str,
+    event: str,
+    input_name: str,
+    dev_type: str,
+    command: str,
+    set_mode: str | None,
+) -> CorpusApp:
+    mode_input = '\n    input "awayMode", "mode", title: "Mode to set"' if set_mode else ""
+    mode_action = "\n    setLocationMode(awayMode)" if set_mode else ""
+    capability_map = {
+        "light": "capability.switch",
+        "thermostat": "capability.thermostat",
+        "doorLock": "capability.lock",
+        "outlet": "capability.switch",
+        "camera": "capability.switch",
+    }
+    input_cap = capability_map.get(dev_type, "capability.switch")
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Presence automation: {event} -> {command}")
+
+preferences {{
+    input "presence1", "capability.presenceSensor", title: "Who?"
+    input "{input_name}", "{input_cap}"{mode_input}
+}}
+
+def installed() {{ subscribe(presence1, "presence", presenceHandler) }}
+def updated() {{ unsubscribe(); subscribe(presence1, "presence", presenceHandler) }}
+
+def presenceHandler(evt) {{
+    if (evt.value == "{event}") {{
+        {input_name}.{command}(){mode_action}
+    }}
+}}
+'''
+    values: dict[str, object] = {}
+    if set_mode:
+        values["awayMode"] = set_mode
+    category = "mode" if set_mode else (
+        "switch" if input_cap == "capability.switch" else "other"
+    )
+    return CorpusApp(
+        name=name,
+        category=category,
+        description=f"{name}: presence {event} -> {input_name}.{command}.",
+        type_hints={"presence1": "presenceSensor", input_name: dev_type},
+        values=values,
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 5: scheduled automations
+
+_SCHEDULE_VARIANTS = [
+    ("MorningCoffee", "schedule", "coffee1", "coffeeMaker", "on", 1800),
+    ("LawnWatering", "runEvery3Hours", "sprinkler1", "sprinkler", "open", 600),
+    ("NightlyLockup", "schedule", "lock1", "doorLock", "lock", 0),
+    ("SunriseShades", "schedule", "shades1", "windowShade", "open", 0),
+    ("FishTankLight", "schedule", "tank1", "light", "on", 28800),
+    ("AirCirculation", "runEvery1Hour", "fan1", "fan", "on", 900),
+    ("WaterHeaterWindow", "schedule", "boiler1", "heater", "on", 7200),
+    ("RobotCleaningRun", "schedule", "robot1", "vacuumRobot", "on", 3600),
+]
+
+
+def _schedule_app(
+    name: str,
+    mechanism: str,
+    input_name: str,
+    dev_type: str,
+    command: str,
+    duration: int,
+) -> CorpusApp:
+    capability_map = {
+        "doorLock": "capability.lock",
+        "windowShade": "capability.windowShade",
+        "sprinkler": "capability.valve",
+    }
+    input_cap = capability_map.get(dev_type, "capability.switch")
+    undo = {"on": "off", "open": "close", "lock": "unlock"}.get(command)
+    if mechanism == "schedule":
+        time_input = '\n    input "startTime", "time", title: "At what time?"'
+        install = "schedule(startTime, scheduledAction)"
+    else:
+        time_input = ""
+        install = f"{mechanism}(scheduledAction)"
+    stop_logic = ""
+    stop_method = ""
+    if duration and undo:
+        stop_logic = f"\n    runIn({duration}, stopAction)"
+        stop_method = f"""
+
+def stopAction() {{
+    {input_name}.{undo}()
+}}"""
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Scheduled automation for {input_name}")
+
+preferences {{
+    input "{input_name}", "{input_cap}"{time_input}
+}}
+
+def installed() {{ {install} }}
+def updated() {{ unschedule(); {install} }}
+
+def scheduledAction() {{
+    {input_name}.{command}(){stop_logic}
+}}{stop_method}
+'''
+    values: dict[str, object] = {}
+    if mechanism == "schedule":
+        values["startTime"] = 21600
+    return CorpusApp(
+        name=name,
+        category="switch" if input_cap == "capability.switch" else "other",
+        description=f"{name}: scheduled {input_name}.{command}.",
+        type_hints={input_name: dev_type},
+        values=values,
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 6: energy caps
+
+_ENERGY_VARIANTS = [
+    ("DryerWatchdog", 3000, "dryer1", "washer"),
+    ("SpaceHeaterCap", 1400, "heater1", "heater"),
+    ("WorkshopBreaker", 3600, "tools1", "outlet"),
+    ("EVChargerLimit", 7000, "charger1", "outlet"),
+    ("OvenSafetyCut", 4000, "oven1", "oven"),
+    ("AquariumHeaterCap", 500, "tankheater1", "heater"),
+]
+
+
+def _energy_app(name: str, threshold: int, input_name: str, dev_type: str) -> CorpusApp:
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Cut power when usage exceeds {threshold} W")
+
+preferences {{
+    input "meter1", "capability.powerMeter"
+    input "maxWatts", "number", title: "Cut above (W)"
+    input "{input_name}", "capability.switch"
+}}
+
+def installed() {{ subscribe(meter1, "power", powerHandler) }}
+def updated() {{ unsubscribe(); subscribe(meter1, "power", powerHandler) }}
+
+def powerHandler(evt) {{
+    def w = evt.value.toInteger()
+    if (w > maxWatts) {{
+        {input_name}.off()
+    }}
+}}
+'''
+    return CorpusApp(
+        name=name,
+        category="switch",
+        description=f"{name}: power > {threshold} -> {input_name}.off.",
+        type_hints={"meter1": "powerMeter", input_name: dev_type},
+        values={"maxWatts": threshold},
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 7: safety responders
+
+_SAFETY_VARIANTS = [
+    ("CODetectorVent", "carbonMonoxide", "detected", "fan1", "fan", "on",
+     "capability.carbonMonoxideDetector", "smokeDetector"),
+    ("SmokeLightsOn", "smoke", "detected", "lights1", "light", "on",
+     "capability.smokeDetector", "smokeDetector"),
+    ("SmokeHvacCut", "smoke", "detected", "hvac1", "airConditioner", "off",
+     "capability.smokeDetector", "smokeDetector"),
+    ("LeakDishwasherOff", "water", "wet", "washer1", "washer", "off",
+     "capability.waterSensor", "waterLeakSensor"),
+    ("LeakSirenAlert", "water", "wet", "siren1", "siren", "siren",
+     "capability.waterSensor", "waterLeakSensor"),
+    ("SoundNightAlarm", "sound", "detected", "siren1", "siren", "both",
+     "capability.soundSensor", "soundSensor"),
+    ("ShockWindowAlarm", "shock", "detected", "siren1", "siren", "strobe",
+     "capability.shockSensor", "soundSensor"),
+]
+
+
+def _safety_app(
+    name: str,
+    attribute: str,
+    value: str,
+    input_name: str,
+    dev_type: str,
+    command: str,
+    sensor_cap: str,
+    sensor_type: str,
+) -> CorpusApp:
+    target_cap = "capability.alarm" if dev_type == "siren" else "capability.switch"
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Safety automation on {attribute}")
+
+preferences {{
+    input "sensor1", "{sensor_cap}"
+    input "{input_name}", "{target_cap}"
+}}
+
+def installed() {{ subscribe(sensor1, "{attribute}", safetyHandler) }}
+def updated() {{ unsubscribe(); subscribe(sensor1, "{attribute}", safetyHandler) }}
+
+def safetyHandler(evt) {{
+    if (evt.value == "{value}") {{
+        {input_name}.{command}()
+    }}
+}}
+'''
+    return CorpusApp(
+        name=name,
+        category="switch" if target_cap == "capability.switch" else "other",
+        description=f"{name}: {attribute}={value} -> {input_name}.{command}.",
+        type_hints={"sensor1": sensor_type, input_name: dev_type},
+        source=source,
+    )
+
+
+def generated_device_apps() -> list[CorpusApp]:
+    """All template-generated device-controlling apps (59)."""
+    apps: list[CorpusApp] = []
+    apps.extend(_motion_light_app(*v) for v in _MOTION_LIGHT_VARIANTS)
+    apps.extend(_contact_app(*v) for v in _CONTACT_VARIANTS)
+    apps.extend(_climate_app(*v) for v in _CLIMATE_VARIANTS)
+    apps.extend(_presence_app(*v) for v in _PRESENCE_VARIANTS)
+    apps.extend(_schedule_app(*v) for v in _SCHEDULE_VARIANTS)
+    apps.extend(_energy_app(*v) for v in _ENERGY_VARIANTS)
+    apps.extend(_safety_app(*v) for v in _SAFETY_VARIANTS)
+    return apps

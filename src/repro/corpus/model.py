@@ -1,0 +1,29 @@
+"""Corpus app record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusApp:
+    """One SmartApp in the evaluation corpus.
+
+    ``kind`` is one of ``"automation"``, ``"notification"``,
+    ``"webservice"``, ``"malicious"``.  ``category`` buckets
+    device-controlling apps for Fig. 8 (``"switch"`` / ``"mode"`` /
+    ``"other"``).  ``type_hints`` map input names to concrete device
+    types (the paper classifies `capability.switch` devices by app
+    description); ``values`` are default configuration values used in
+    repository-wide analysis.
+    """
+
+    name: str
+    source: str
+    kind: str = "automation"
+    category: str = "other"
+    description: str = ""
+    type_hints: dict[str, str] = field(default_factory=dict)
+    values: dict[str, object] = field(default_factory=dict)
+    attack: str = ""               # Table III attack class, malicious apps only
+    expect_extractable: bool = True  # Table III "Can handle?" column

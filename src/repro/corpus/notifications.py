@@ -1,0 +1,467 @@
+"""Notification-only SmartApps (56 of the paper's 146 automation apps).
+
+These apps subscribe to sensor events and only send SMS/push
+notifications — they control no devices, so the paper excludes them from
+the 90-app CAI study (§VIII-B) while they still count toward rule
+extraction coverage.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import CorpusApp
+
+_NOTIFY_VARIANTS = [
+    # (name, sensor cap, sensor type, attribute, value-or-None, threshold-or-None, channel)
+    ("NotifyDoorOpen", "capability.contactSensor", "contactSensor",
+     "contact", "open", None, "push"),
+    ("NotifyDoorLeftOpen", "capability.contactSensor", "contactSensor",
+     "contact", "open", None, "sms"),
+    ("NotifyWindowOpen", "capability.contactSensor", "contactSensor",
+     "contact", "open", None, "push"),
+    ("NotifyGarageOpen", "capability.garageDoorControl", "garageDoor",
+     "door", "open", None, "sms"),
+    ("NotifyFrontDoorUnlock", "capability.lock", "doorLock",
+     "lock", "unlocked", None, "push"),
+    ("NotifyDoorLocked", "capability.lock", "doorLock",
+     "lock", "locked", None, "push"),
+    ("NotifyMotionAtNight", "capability.motionSensor", "motionSensor",
+     "motion", "active", None, "sms"),
+    ("NotifyBackyardMotion", "capability.motionSensor", "motionSensor",
+     "motion", "active", None, "push"),
+    ("NotifySomeoneArrives", "capability.presenceSensor", "presenceSensor",
+     "presence", "present", None, "push"),
+    ("NotifyEveryoneGone", "capability.presenceSensor", "presenceSensor",
+     "presence", "not present", None, "sms"),
+    ("NotifyKidsHome", "capability.presenceSensor", "presenceSensor",
+     "presence", "present", None, "sms"),
+    ("NotifySmokeDetected", "capability.smokeDetector", "smokeDetector",
+     "smoke", "detected", None, "sms"),
+    ("NotifyCOAlarm", "capability.carbonMonoxideDetector", "smokeDetector",
+     "carbonMonoxide", "detected", None, "sms"),
+    ("NotifyWaterLeak", "capability.waterSensor", "waterLeakSensor",
+     "water", "wet", None, "sms"),
+    ("NotifyBasementFlood", "capability.waterSensor", "waterLeakSensor",
+     "water", "wet", None, "push"),
+    ("NotifySwitchLeftOn", "capability.switch", "switch",
+     "switch", "on", None, "push"),
+    ("NotifyApplianceOff", "capability.switch", "outlet",
+     "switch", "off", None, "push"),
+    ("NotifyButtonPressed", "capability.button", "button",
+     "button", "pushed", None, "push"),
+    ("NotifyPanicButton", "capability.button", "button",
+     "button", "held", None, "sms"),
+    ("NotifySleepTracking", "capability.sleepSensor", "sleepSensor",
+     "sleeping", "sleeping", None, "push"),
+    ("NotifyTooCold", "capability.temperatureMeasurement", "temperatureSensor",
+     "temperature", None, ("<", 40), "sms"),
+    ("NotifyTooHot", "capability.temperatureMeasurement", "temperatureSensor",
+     "temperature", None, (">", 90), "sms"),
+    ("NotifyFreezerWarm", "capability.temperatureMeasurement", "temperatureSensor",
+     "temperature", None, (">", 20), "sms"),
+    ("NotifyNurseryChill", "capability.temperatureMeasurement", "temperatureSensor",
+     "temperature", None, ("<", 65), "push"),
+    ("NotifyHumidityHigh", "capability.relativeHumidityMeasurement", "humiditySensor",
+     "humidity", None, (">", 70), "push"),
+    ("NotifyHumidityLow", "capability.relativeHumidityMeasurement", "humiditySensor",
+     "humidity", None, ("<", 25), "push"),
+    ("NotifyPowerSpike", "capability.powerMeter", "powerMeter",
+     "power", None, (">", 5000), "sms"),
+    ("NotifyDryerDone", "capability.powerMeter", "powerMeter",
+     "power", None, ("<", 10), "push"),
+    ("NotifyEnergyBudget", "capability.energyMeter", "energyMeter",
+     "energy", None, (">", 30), "push"),
+    ("NotifyLoudNoise", "capability.soundPressureLevel", "soundSensor",
+     "soundPressureLevel", None, (">", 85), "push"),
+    ("NotifyCO2High", "capability.carbonDioxideMeasurement", "co2Sensor",
+     "carbonDioxide", None, (">", 1200), "push"),
+    ("NotifyBrightSun", "capability.illuminanceMeasurement", "illuminanceSensor",
+     "illuminance", None, (">", 5000), "push"),
+    ("NotifyAccelShake", "capability.accelerationSensor", "multipurposeSensor",
+     "acceleration", "active", None, "push"),
+    ("NotifyTamper", "capability.tamperAlert", "motionSensor",
+     "tamper", "detected", None, "sms"),
+    ("NotifyValveOpened", "capability.valve", "waterValve",
+     "valve", "open", None, "push"),
+    ("NotifyShadeOpened", "capability.windowShade", "windowShade",
+     "windowShade", "open", None, "push"),
+    ("NotifySirenFired", "capability.alarm", "siren",
+     "alarm", "siren", None, "sms"),
+    ("NotifyThermostatHeat", "capability.thermostat", "thermostat",
+     "thermostatMode", "heat", None, "push"),
+    ("NotifyUVHigh", "capability.ultravioletIndex", "illuminanceSensor",
+     "ultravioletIndex", None, (">", 8), "push"),
+]
+
+_DIGEST_VARIANTS = [
+    ("DailyBatteryDigest", "runEvery3Hours", "battery check"),
+    ("HourlyHubPing", "runEvery1Hour", "hub heartbeat"),
+    ("WeeklyValveReminder", "schedule", "exercise the water valve"),
+    ("MorningWeatherBrief", "schedule", "weather briefing"),
+    ("EveningDoorsDigest", "schedule", "doors and locks digest"),
+    ("QuarterHourPresence", "runEvery15Minutes", "presence roll call"),
+]
+
+_MODE_NOTIFY_VARIANTS = [
+    ("NotifyModeChange", None),
+    ("NotifyAwaySet", "Away"),
+    ("NotifyNightSet", "Night"),
+    ("NotifyHomeSet", "Home"),
+]
+
+
+def _event_notify_app(
+    name: str,
+    sensor_cap: str,
+    sensor_type: str,
+    attribute: str,
+    value: str | None,
+    threshold: tuple[str, int] | None,
+    channel: str,
+) -> CorpusApp:
+    phone_input = (
+        '\n    input "phone1", "phone", title: "Phone number"'
+        if channel == "sms"
+        else ""
+    )
+    send = (
+        'sendSms(phone1, msg)' if channel == "sms" else 'sendPush(msg)'
+    )
+    if value is not None:
+        subscribe = f'subscribe(sensor1, "{attribute}.{value}", eventHandler)'
+        body = f'''    def msg = "${{sensor1.displayName}} reported {attribute} {value}"
+    {send}'''
+        values: dict[str, object] = {}
+    else:
+        assert threshold is not None
+        op, limit = threshold
+        subscribe = f'subscribe(sensor1, "{attribute}", eventHandler)'
+        body = f'''    def reading = evt.value.toInteger()
+    if (reading {op} limit) {{
+        def msg = "${{sensor1.displayName}} {attribute} is ${{evt.value}}"
+        {send}
+    }}'''
+        values = {"limit": limit}
+    limit_input = (
+        '\n    input "limit", "number", title: "Threshold"' if threshold else ""
+    )
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Notify about {attribute} events")
+
+preferences {{
+    input "sensor1", "{sensor_cap}"{limit_input}{phone_input}
+}}
+
+def installed() {{ {subscribe} }}
+def updated() {{ unsubscribe(); {subscribe} }}
+
+def eventHandler(evt) {{
+{body}
+}}
+'''
+    if channel == "sms":
+        values["phone1"] = "+15550100"
+    return CorpusApp(
+        name=name,
+        kind="notification",
+        category="other",
+        description=f"{name}: {attribute} notification.",
+        type_hints={"sensor1": sensor_type},
+        values=values,
+        source=source,
+    )
+
+
+def _digest_app(name: str, mechanism: str, what: str) -> CorpusApp:
+    if mechanism == "schedule":
+        time_input = '\n    input "digestTime", "time", title: "Send at"'
+        install = "schedule(digestTime, sendDigest)"
+        values: dict[str, object] = {"digestTime": 28800}
+    else:
+        time_input = ""
+        install = f"{mechanism}(sendDigest)"
+        values = {}
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Periodic {what} notification")
+
+preferences {{
+    input "devices", "capability.sensor", multiple: true{time_input}
+}}
+
+def installed() {{ {install} }}
+def updated() {{ unschedule(); {install} }}
+
+def sendDigest() {{
+    sendPush("Scheduled {what} from your smart home")
+}}
+'''
+    return CorpusApp(
+        name=name,
+        kind="notification",
+        category="other",
+        description=f"{name}: periodic {what}.",
+        type_hints={},
+        values=values,
+        source=source,
+    )
+
+
+def _mode_notify_app(name: str, mode: str | None) -> CorpusApp:
+    if mode is None:
+        body = '    sendPush("Home mode changed to ${evt.value}")'
+        values: dict[str, object] = {}
+    else:
+        body = f'''    if (evt.value == watchedMode) {{
+        sendPush("Home mode is now ${{evt.value}}")
+    }}'''
+        values = {"watchedMode": mode}
+    mode_input = (
+        '\n    input "watchedMode", "mode", title: "Which mode?"'
+        if mode is not None
+        else ""
+    )
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Notify when the home changes mode")
+
+preferences {{
+    input "anything", "capability.sensor", required: false{mode_input}
+}}
+
+def installed() {{ subscribe(location, "mode", modeHandler) }}
+def updated() {{ unsubscribe(); subscribe(location, "mode", modeHandler) }}
+
+def modeHandler(evt) {{
+{body}
+}}
+'''
+    return CorpusApp(
+        name=name,
+        kind="notification",
+        category="other",
+        description=f"{name}: mode notification.",
+        type_hints={},
+        values=values,
+        source=source,
+    )
+
+
+# A handful of richer, hand-written notification apps.
+
+_HANDWRITTEN = [
+    CorpusApp(
+        name="LaundryMonitor",
+        kind="notification",
+        category="other",
+        description="Notifies when the washer power profile indicates done.",
+        type_hints={"meter1": "powerMeter"},
+        values={"midWatts": 250, "phone1": "+15550100"},
+        source='''
+definition(name: "LaundryMonitor", namespace: "repro", author: "hg",
+    description: "Text me when the laundry is done")
+
+preferences {
+    input "meter1", "capability.powerMeter", title: "Washer outlet meter"
+    input "midWatts", "number", title: "Running above (W)"
+    input "phone1", "phone", title: "Phone number"
+}
+
+def installed() { subscribe(meter1, "power", powerHandler) }
+def updated() { unsubscribe(); subscribe(meter1, "power", powerHandler) }
+
+def powerHandler(evt) {
+    def w = evt.value.toInteger()
+    if (w > midWatts) {
+        state.running = true
+    } else if (state.running) {
+        state.running = false
+        sendSms(phone1, "The laundry is done!")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="LeftItOpen",
+        kind="notification",
+        category="other",
+        description="Notifies when a door stays open too long.",
+        type_hints={"contact1": "contactSensor"},
+        values={"openMinutes": 10},
+        source='''
+definition(name: "LeftItOpen", namespace: "repro", author: "hg",
+    description: "Notify me when the door is left open")
+
+preferences {
+    input "contact1", "capability.contactSensor"
+    input "openMinutes", "number", title: "Open longer than (minutes)"
+}
+
+def installed() { initialize() }
+def updated() { unsubscribe(); unschedule(); initialize() }
+
+def initialize() {
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        runIn(openMinutes * 60, checkStillOpen)
+    }
+}
+
+def checkStillOpen() {
+    if (contact1.currentContact == "open") {
+        sendPush("${contact1.displayName} has been open too long")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="SunsetReminder",
+        kind="notification",
+        category="other",
+        description="Push reminder at sunset.",
+        type_hints={},
+        source='''
+definition(name: "SunsetReminder", namespace: "repro", author: "hg",
+    description: "Remind me at sunset")
+
+preferences {
+    input "anything", "capability.sensor", required: false
+}
+
+def installed() { subscribe(location, "sunset", sunsetHandler) }
+def updated() { unsubscribe(); subscribe(location, "sunset", sunsetHandler) }
+
+def sunsetHandler(evt) {
+    sendPush("The sun has set — time to close up the house")
+}
+''',
+    ),
+    CorpusApp(
+        name="BatteryLowWatch",
+        kind="notification",
+        category="other",
+        description="Scheduled low-battery report across devices.",
+        type_hints={"sensors": "motionSensor"},
+        values={"minBattery": 20},
+        source='''
+definition(name: "BatteryLowWatch", namespace: "repro", author: "hg",
+    description: "Warn about low batteries once a day")
+
+preferences {
+    input "sensors", "capability.battery", multiple: true
+    input "minBattery", "number", title: "Warn below (%)"
+    input "checkTime", "time", title: "Check at"
+}
+
+def installed() { schedule(checkTime, checkBatteries) }
+def updated() { unschedule(); schedule(checkTime, checkBatteries) }
+
+def checkBatteries() {
+    def level = sensors.currentBattery
+    if (level < minBattery) {
+        sendPush("A device battery is below ${minBattery}%")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="SevereWeatherAlert",
+        kind="notification",
+        category="other",
+        description="Polls the weather API and notifies about alerts.",
+        type_hints={},
+        values={"zip1": "19122"},
+        source='''
+definition(name: "SevereWeatherAlert", namespace: "repro", author: "hg",
+    description: "Push severe weather alerts for your zip code")
+
+preferences {
+    input "zip1", "text", title: "Zip code"
+}
+
+def installed() { runEvery30Minutes(checkWeather) }
+def updated() { unschedule(); runEvery30Minutes(checkWeather) }
+
+def checkWeather() {
+    def alerts = getWeatherFeature("alerts", zip1)
+    if (alerts) {
+        sendPush("Severe weather alert in ${zip1}")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="CurfewCheck",
+        kind="notification",
+        category="other",
+        description="Texts if the teen is not home by curfew.",
+        type_hints={"teen": "presenceSensor"},
+        values={"curfew": 79200, "phone1": "+15550100"},
+        source='''
+definition(name: "CurfewCheck", namespace: "repro", author: "hg",
+    description: "Text me if someone is not home by curfew")
+
+preferences {
+    input "teen", "capability.presenceSensor", title: "Whose presence?"
+    input "curfew", "time", title: "Curfew time"
+    input "phone1", "phone", title: "Phone"
+}
+
+def installed() { schedule(curfew, curfewCheck) }
+def updated() { unschedule(); schedule(curfew, curfewCheck) }
+
+def curfewCheck() {
+    if (teen.currentPresence == "not present") {
+        sendSms(phone1, "Curfew check: not home yet")
+    }
+}
+''',
+    ),
+    CorpusApp(
+        name="GoodMorningSunshine",
+        kind="notification",
+        category="other",
+        description="Greets on first morning motion.",
+        type_hints={"motion1": "motionSensor"},
+        source='''
+definition(name: "GoodMorningSunshine", namespace: "repro", author: "hg",
+    description: "Send a greeting on the first motion of the morning")
+
+preferences {
+    input "motion1", "capability.motionSensor"
+}
+
+def installed() { initialize() }
+def updated() { unsubscribe(); unschedule(); initialize() }
+
+def initialize() {
+    subscribe(motion1, "motion.active", firstMotion)
+    runEvery1Hour(resetFlag)
+}
+
+def firstMotion(evt) {
+    if (!state.greeted) {
+        state.greeted = true
+        sendPush("Good morning! The house is waking up.")
+    }
+}
+
+def resetFlag() {
+    state.greeted = false
+}
+''',
+    ),
+]
+
+
+def notification_only_apps() -> list[CorpusApp]:
+    """All 56 notification-only apps."""
+    apps: list[CorpusApp] = []
+    apps.extend(_event_notify_app(*v) for v in _NOTIFY_VARIANTS)
+    apps.extend(_digest_app(*v) for v in _DIGEST_VARIANTS)
+    apps.extend(_mode_notify_app(*v) for v in _MODE_NOTIFY_VARIANTS)
+    apps.extend(_HANDWRITTEN)
+    return apps

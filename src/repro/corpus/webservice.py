@@ -1,0 +1,201 @@
+"""Web-Services SmartApps (36 of the repository's 182 apps).
+
+These expose web endpoints through ``mappings`` for external
+applications to query or control devices; they define no automation
+rules themselves, so the paper removes them before rule extraction
+(§VIII-B).  The loader tags them ``kind="webservice"`` so coverage
+benchmarks can reproduce that filtering.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import CorpusApp
+
+_ENDPOINT_VARIANTS = [
+    # (name, capability, device type, attribute, commands)
+    ("WebSwitches", "capability.switch", "switch", "switch", ("on", "off")),
+    ("WebLights", "capability.switch", "light", "switch", ("on", "off")),
+    ("WebOutlets", "capability.switch", "outlet", "switch", ("on", "off")),
+    ("WebLocks", "capability.lock", "doorLock", "lock", ("lock", "unlock")),
+    ("WebShades", "capability.windowShade", "windowShade", "windowShade",
+     ("open", "close")),
+    ("WebValves", "capability.valve", "waterValve", "valve", ("open", "close")),
+    ("WebSirens", "capability.alarm", "siren", "alarm", ("siren", "off")),
+    ("WebThermostats", "capability.thermostat", "thermostat",
+     "thermostatMode", ("heat", "cool")),
+    ("WebGarage", "capability.garageDoorControl", "garageDoor", "door",
+     ("open", "close")),
+    ("WebDimmers", "capability.switchLevel", "dimmer", "level",
+     ("setLevel",)),
+    ("WebSpeakers", "capability.musicPlayer", "speaker", "status",
+     ("play", "stop")),
+    ("WebCameras", "capability.imageCapture", "camera", "image", ("take",)),
+]
+
+_READER_VARIANTS = [
+    ("WebTemperatures", "capability.temperatureMeasurement",
+     "temperatureSensor", "temperature"),
+    ("WebHumidity", "capability.relativeHumidityMeasurement",
+     "humiditySensor", "humidity"),
+    ("WebMotionStates", "capability.motionSensor", "motionSensor", "motion"),
+    ("WebContacts", "capability.contactSensor", "contactSensor", "contact"),
+    ("WebPresence", "capability.presenceSensor", "presenceSensor", "presence"),
+    ("WebPower", "capability.powerMeter", "powerMeter", "power"),
+    ("WebEnergy", "capability.energyMeter", "energyMeter", "energy"),
+    ("WebIlluminance", "capability.illuminanceMeasurement",
+     "illuminanceSensor", "illuminance"),
+    ("WebBatteries", "capability.battery", "motionSensor", "battery"),
+    ("WebSmoke", "capability.smokeDetector", "smokeDetector", "smoke"),
+    ("WebLeaks", "capability.waterSensor", "waterLeakSensor", "water"),
+    ("WebSound", "capability.soundPressureLevel", "soundSensor",
+     "soundPressureLevel"),
+]
+
+_BRIDGE_VARIANTS = [
+    ("IFTTTBridge", "capability.switch", "switch"),
+    ("AlexaConnector", "capability.switch", "light"),
+    ("GoogleHomeBridge", "capability.switch", "outlet"),
+    ("DashboardFeed", "capability.sensor", "motionSensor"),
+    ("GrafanaExporter", "capability.powerMeter", "powerMeter"),
+    ("HomeBridgeShim", "capability.switch", "switch"),
+    ("RESTEventRelay", "capability.contactSensor", "contactSensor"),
+    ("SharptoolsPanel", "capability.switch", "light"),
+    ("ActionTilesFeed", "capability.sensor", "temperatureSensor"),
+    ("TaskerEndpoint", "capability.switch", "switch"),
+    ("WebhookRepeater", "capability.sensor", "motionSensor"),
+    ("StatusPageFeed", "capability.sensor", "contactSensor"),
+]
+
+
+def _endpoint_app(
+    name: str,
+    cap: str,
+    dev_type: str,
+    attribute: str,
+    commands: tuple[str, ...],
+) -> CorpusApp:
+    command_paths = "\n".join(
+        f'''    path("/devices/{command}") {{
+        action: [POST: "{command}Handler"]
+    }}'''
+        for command in commands
+    )
+    handlers = "\n".join(
+        f'''
+def {command}Handler() {{
+    devices.each {{ dev -> dev.{command}() }}
+}}'''
+        for command in commands
+    )
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Web endpoints to control {dev_type} devices")
+
+preferences {{
+    input "devices", "{cap}", multiple: true
+}}
+
+mappings {{
+    path("/devices") {{
+        action: [GET: "listDevices"]
+    }}
+{command_paths}
+}}
+
+def installed() {{ }}
+def updated() {{ }}
+
+def listDevices() {{
+    return devices.collect {{ dev -> [id: dev.id, state: dev.currentValue("{attribute}")] }}
+}}
+{handlers}
+'''
+    return CorpusApp(
+        name=name,
+        kind="webservice",
+        category="other",
+        description=f"{name}: web-service control of {dev_type}.",
+        type_hints={"devices": dev_type},
+        source=source,
+    )
+
+
+def _reader_app(name: str, cap: str, dev_type: str, attribute: str) -> CorpusApp:
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Web endpoint exposing {attribute} readings")
+
+preferences {{
+    input "sensors", "{cap}", multiple: true
+}}
+
+mappings {{
+    path("/readings") {{
+        action: [GET: "listReadings"]
+    }}
+}}
+
+def installed() {{ }}
+def updated() {{ }}
+
+def listReadings() {{
+    return sensors.collect {{ s -> [id: s.id, value: s.currentValue("{attribute}")] }}
+}}
+'''
+    return CorpusApp(
+        name=name,
+        kind="webservice",
+        category="other",
+        description=f"{name}: web-service {attribute} readings.",
+        type_hints={"sensors": dev_type},
+        source=source,
+    )
+
+
+def _bridge_app(name: str, cap: str, dev_type: str) -> CorpusApp:
+    source = f'''
+definition(name: "{name}", namespace: "repro", author: "hg",
+    description: "Relay endpoint for the {name} integration")
+
+preferences {{
+    input "devices", "{cap}", multiple: true
+}}
+
+mappings {{
+    path("/update") {{
+        action: [PUT: "updateHandler"]
+    }}
+    path("/poll") {{
+        action: [GET: "pollHandler"]
+    }}
+}}
+
+def installed() {{ createAccessToken() }}
+def updated() {{ }}
+
+def updateHandler() {{
+    def body = params
+    httpPostJson("https://bridge.example.com/{name}", body)
+}}
+
+def pollHandler() {{
+    return [ok: true]
+}}
+'''
+    return CorpusApp(
+        name=name,
+        kind="webservice",
+        category="other",
+        description=f"{name}: third-party bridge endpoint.",
+        type_hints={"devices": dev_type},
+        source=source,
+    )
+
+
+def webservice_only_apps() -> list[CorpusApp]:
+    """All 36 Web-Services apps."""
+    apps: list[CorpusApp] = []
+    apps.extend(_endpoint_app(*v) for v in _ENDPOINT_VARIANTS)
+    apps.extend(_reader_app(*v) for v in _READER_VARIANTS)
+    apps.extend(_bridge_app(*v) for v in _BRIDGE_VARIANTS)
+    return apps

@@ -1,0 +1,30 @@
+"""CAI threat detection (paper §III categorization + §VI detection).
+
+The detection engine evaluates the interaction relations between the
+rules of a newly installed (or reconfigured) app and those of already
+installed apps:
+
+* **Action interference** — Actuator Race (AR) and Goal Conflict (GC),
+* **Trigger interference** — Covert Triggering (CT), Self Disabling
+  (SD) and Loop Triggering (LT),
+* **Condition interference** — Enabling (EC) and Disabling (DC),
+* **Chained threats** — indirect interference through the Allowed list.
+
+Candidate filtering uses the global M_AR / M_GC mappings; candidates are
+confirmed by overlapping-condition detection via the constraint solver,
+with solving results reused across threat types (paper Fig. 9).
+"""
+
+from repro.detector.types import (
+    Threat,
+    ThreatReport,
+    ThreatType,
+)
+from repro.detector.engine import DetectionEngine
+
+__all__ = [
+    "DetectionEngine",
+    "Threat",
+    "ThreatReport",
+    "ThreatType",
+]

@@ -1,0 +1,302 @@
+"""Shared action/trigger/condition analysis primitives.
+
+These implement the candidate tests of paper §VI: contradictory-command
+detection for AR/SD/LT, goal analysis for GC, the two triggering ways
+(direct state change / environment channel) for CT, and the two
+condition-affecting ways for EC/DC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capabilities.channels import channel_for_attribute
+from repro.capabilities.effects import Effect, effects_of_command
+from repro.capabilities.registry import find_command
+from repro.constraints.builder import DeviceResolver
+from repro.rules.model import Action, Rule, Trigger
+from repro.symex.values import (
+    BinExpr,
+    Const,
+    DeviceAttr,
+    EventValue,
+    LocalVar,
+    NotExpr,
+    SymExpr,
+)
+
+# Pseudo-subjects whose "actions" cannot interfere with devices.
+NON_DEVICE_SUBJECTS = {"notification", "network", "hub", "event", "camera"}
+
+
+def action_identity(
+    resolver: DeviceResolver, rule: Rule
+) -> tuple[str | None, str | None]:
+    """(identity key, device type) of the action's target actuator.
+
+    Location-mode actions get the global ``location`` identity; pure
+    notification/network actions resolve to ``None``.
+    """
+    action = rule.action
+    if action.subject == "location":
+        return "location:mode", "locationMode"
+    if action.device is None:
+        return None, None
+    identity, type_name = resolver.identity(rule.app_name, action.device)
+    return identity, type_name
+
+
+def command_target(action: Action) -> tuple[str, str | None] | None:
+    """The (attribute, value) a command statically drives its device to;
+    value None when the target comes from a parameter."""
+    if action.subject == "location":
+        value = None
+        if action.params and isinstance(action.params[0], Const):
+            value = str(action.params[0].value)
+        return ("mode", value)
+    spec = find_command(action.command, action.capability)
+    if spec is None or not spec.sets:
+        return None
+    attribute, value = spec.sets[0]
+    if value is None and action.params and isinstance(action.params[0], Const):
+        return (attribute, str(action.params[0].value))
+    return (attribute, value)
+
+
+def actions_contradict(rule_a: Rule, rule_b: Rule) -> bool:
+    """A1 = ¬A2: contradictory commands, or the same command with
+    contradictory parameters (paper §VI-A1)."""
+    target_a = command_target(rule_a.action)
+    target_b = command_target(rule_b.action)
+    if target_a is None or target_b is None:
+        return False
+    attr_a, value_a = target_a
+    attr_b, value_b = target_b
+    if attr_a != attr_b:
+        return False
+    if value_a is not None and value_b is not None:
+        return value_a != value_b
+    if rule_a.action.command == rule_b.action.command:
+        # Same parameterized command: contradictory when the concrete
+        # parameters provably differ.
+        params_a = rule_a.action.params
+        params_b = rule_b.action.params
+        if (
+            params_a
+            and params_b
+            and isinstance(params_a[0], Const)
+            and isinstance(params_b[0], Const)
+        ):
+            return params_a[0].value != params_b[0].value
+    return False
+
+
+def goal_conflict_channels(
+    resolver: DeviceResolver, rule_a: Rule, rule_b: Rule
+) -> list[str]:
+    """Channels on which the two actions have opposite effects (G(A1) =
+    ¬G(A2)), using the M_GC device-type effect table."""
+    _, type_a = action_identity(resolver, rule_a)
+    _, type_b = action_identity(resolver, rule_b)
+    if type_a is None or type_b is None:
+        return []
+    effects_a = effects_of_command(type_a, rule_a.action.command)
+    effects_b = effects_of_command(type_b, rule_b.action.command)
+    conflicts = []
+    for channel, effect in effects_a.items():
+        other = effects_b.get(channel)
+        if other is not None and other is effect.opposite:
+            conflicts.append(channel)
+    return sorted(conflicts)
+
+
+# ----------------------------------------------------------------------
+# Trigger analysis (paper §VI-B)
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerMatch:
+    """Evidence that an action can fire a trigger."""
+
+    way: str        # "direct" or "environment"
+    channel: str | None = None
+
+
+def trigger_value_constraints(trigger: Trigger) -> list[tuple[str, object]]:
+    """Extract ``(op, value)`` bounds the event value must satisfy."""
+    if trigger.constraint is None:
+        return []
+    found: list[tuple[str, object]] = []
+
+    def visit(expr: SymExpr) -> None:
+        if isinstance(expr, BinExpr):
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                left_is_event = isinstance(expr.left, EventValue)
+                right_is_event = isinstance(expr.right, EventValue)
+                if left_is_event and isinstance(expr.right, Const):
+                    found.append((expr.op, expr.right.value))
+                elif right_is_event and isinstance(expr.left, Const):
+                    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+                    found.append((flipped.get(expr.op, expr.op), expr.left.value))
+            else:
+                visit(expr.left)
+                visit(expr.right)
+        elif isinstance(expr, NotExpr):
+            visit(expr.operand)
+
+    visit(trigger.constraint)
+    return found
+
+
+def action_triggers(
+    resolver: DeviceResolver, rule_a: Rule, rule_b: Rule
+) -> TriggerMatch | None:
+    """Does A1 satisfy T2 (A1 ↦ T2)?  Two ways (paper §VI-B):
+
+    1. *direct* — the command changes a device state that is R2's
+       trigger;
+    2. *environment* — the command changes an environment feature sensed
+       by R2's trigger sensor.
+    """
+    action = rule_a.action
+    trigger = rule_b.trigger
+    if action.subject in NON_DEVICE_SUBJECTS:
+        return None
+    if trigger.subject in ("install", "time", "app"):
+        return None
+    identity_a, type_a = action_identity(resolver, rule_a)
+    # --- Way 1: direct state change -----------------------------------
+    if trigger.subject == "location" or trigger.device is None:
+        identity_t: str | None = "location:mode" if trigger.subject == "location" else None
+    else:
+        identity_t, _ = resolver.identity(rule_b.app_name, trigger.device)
+    if identity_a is not None and identity_t is not None and identity_a == identity_t:
+        target = command_target(action)
+        if target is not None:
+            attribute, value = target
+            if attribute == trigger.attribute:
+                bounds = trigger_value_constraints(trigger)
+                if _value_satisfies(value, bounds):
+                    return TriggerMatch(way="direct")
+    # --- Way 2: environment channel -----------------------------------
+    if type_a is None or trigger.device is None:
+        return None
+    channel = channel_for_attribute(trigger.attribute)
+    if channel is None:
+        return None
+    effects = effects_of_command(type_a, action.command)
+    effect = effects.get(channel.name)
+    if effect is None:
+        return None
+    bounds = trigger_value_constraints(trigger)
+    if _direction_can_satisfy(effect, bounds):
+        return TriggerMatch(way="environment", channel=channel.name)
+    return None
+
+
+def _value_satisfies(value: str | None, bounds: list[tuple[str, object]]) -> bool:
+    if not bounds:
+        return True  # any state change fires the trigger
+    if value is None:
+        return True  # parameterized command: potentially any value
+    for op, expected in bounds:
+        if op == "==" and str(expected) != str(value):
+            return False
+        if op == "!=" and str(expected) == str(value):
+            return False
+    return True
+
+
+def _direction_can_satisfy(
+    effect: Effect, bounds: list[tuple[str, object]]
+) -> bool:
+    if not bounds:
+        return True
+    for op, _expected in bounds:
+        if op in (">", ">=") and effect is Effect.INCREASE:
+            return True
+        if op in ("<", "<=") and effect is Effect.DECREASE:
+            return True
+        if op in ("==", "!="):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Condition analysis (paper §VI-C)
+
+
+def condition_device_attrs(rule: Rule) -> list[DeviceAttr]:
+    """Device attributes the rule's condition depends on, resolving
+    local variables through the data constraints."""
+    defs = {c.name: c.value for c in rule.condition.data_constraints}
+    found: dict[str, DeviceAttr] = {}
+
+    def visit(expr: SymExpr, depth: int = 0) -> None:
+        if depth > 16:
+            return
+        for node in expr.walk():
+            if isinstance(node, DeviceAttr):
+                key = f"{node.device.name}.{node.attribute}"
+                found.setdefault(key, node)
+            elif isinstance(node, LocalVar):
+                definition = defs.get(node.key)
+                if definition is not None:
+                    visit(definition, depth + 1)
+
+    for predicate in rule.condition.predicate_constraints:
+        visit(predicate)
+    return list(found.values())
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionTouch:
+    """Evidence that an action affects a condition's inputs."""
+
+    way: str                 # "direct" or "environment"
+    attr: DeviceAttr         # the condition-side attribute touched
+    channel: str | None = None
+    effect: Effect | None = None
+
+
+def action_touches_condition(
+    resolver: DeviceResolver, rule_a: Rule, rule_b: Rule
+) -> list[ConditionTouch]:
+    """All ways A1 affects C2's constraint inputs (paper §VI-C)."""
+    action = rule_a.action
+    if action.subject in NON_DEVICE_SUBJECTS:
+        return []
+    identity_a, type_a = action_identity(resolver, rule_a)
+    if identity_a is None:
+        return []
+    touches: list[ConditionTouch] = []
+    effects = effects_of_command(type_a, action.command) if type_a else {}
+    for attr in condition_device_attrs(rule_b):
+        identity_c, _ = resolver.identity(rule_b.app_name, attr.device)
+        if identity_c == identity_a:
+            target = command_target(action)
+            if target is not None and target[0] == attr.attribute:
+                touches.append(ConditionTouch(way="direct", attr=attr))
+                continue
+        channel = channel_for_attribute(attr.attribute)
+        if channel is not None and channel.name in effects:
+            touches.append(
+                ConditionTouch(
+                    way="environment",
+                    attr=attr,
+                    channel=channel.name,
+                    effect=effects[channel.name],
+                )
+            )
+    # location.mode conditions touched by setLocationMode actions.
+    return touches
+
+
+def condition_uses_location_mode(rule: Rule) -> bool:
+    from repro.symex.values import LocationAttr
+
+    for predicate in rule.condition.predicate_constraints:
+        for node in predicate.walk():
+            if isinstance(node, LocationAttr) and node.attribute == "mode":
+                return True
+    return False

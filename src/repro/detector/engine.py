@@ -1,0 +1,434 @@
+"""The detection engine (paper §VI, Fig. 6 "Detection Engine").
+
+Detection for a rule pair proceeds in two steps: a light-weight
+*candidate filtering* based on the pre-stored M_AR / M_GC mappings and
+trigger/condition analysis, then an *overlapping-condition detection*
+that merges the rules' constraints and asks the solver for
+satisfiability.  Solving results are cached and reused across threat
+types — AR's result serves CT/SD/LT, and DC reuses EC's solve (paper
+Fig. 9) — so the expensive step runs at most twice per pair direction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.capabilities.channels import CHANNELS
+from repro.constraints.builder import ConstraintBuilder, DeviceResolver
+from repro.constraints.solver import Result, Solver
+from repro.constraints.terms import BoolFormula, conj
+from repro.detector.analysis import (
+    ConditionTouch,
+    action_identity,
+    action_touches_condition,
+    action_triggers,
+    actions_contradict,
+    command_target,
+    condition_uses_location_mode,
+    goal_conflict_channels,
+)
+from repro.detector.types import Threat, ThreatReport, ThreatType
+from repro.rules.model import Rule, RuleSet
+from repro.symex.values import Const
+
+# Where a direction-only effect (heater on -> temperature rises) is
+# assumed to drive a channel, relative to the channel's range.  A pure
+# modeling choice documented in DESIGN.md: the paper's example only
+# covers setpoint commands, which carry an explicit target.
+EFFECT_TARGET_FRACTION = 0.75
+
+
+@dataclass(slots=True)
+class DetectionStats:
+    """Timing/accounting for the Fig. 9 overhead reproduction."""
+
+    candidate_seconds: dict[ThreatType, float] = field(default_factory=dict)
+    solve_seconds: dict[ThreatType, float] = field(default_factory=dict)
+    solver_calls: int = 0
+    cache_hits: int = 0
+
+    def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
+        self.candidate_seconds[threat_type] = (
+            self.candidate_seconds.get(threat_type, 0.0) + seconds
+        )
+
+    def add_solve(self, threat_type: ThreatType, seconds: float) -> None:
+        self.solve_seconds[threat_type] = (
+            self.solve_seconds.get(threat_type, 0.0) + seconds
+        )
+
+
+class DetectionEngine:
+    """Pairwise CAI threat detection over extracted rules."""
+
+    def __init__(self, resolver: DeviceResolver) -> None:
+        self._resolver = resolver
+        self.stats = DetectionStats()
+        # Solve caches, keyed by rule-id pairs.
+        self._situation_cache: dict[frozenset, Result] = {}
+        self._effect_cache: dict[tuple, Result | None] = {}
+
+    # ------------------------------------------------------------------
+    # Pairwise detection
+
+    def detect_pair(self, rule_a: Rule, rule_b: Rule) -> list[Threat]:
+        """All CAI threats between two rules (both directions)."""
+        threats: list[Threat] = []
+        threats.extend(self._detect_action_interference(rule_a, rule_b))
+        threats.extend(self._detect_trigger_interference(rule_a, rule_b))
+        threats.extend(self._detect_condition_interference(rule_a, rule_b))
+        return threats
+
+    def detect_rulesets(
+        self,
+        new_ruleset: RuleSet,
+        installed: list[RuleSet],
+        include_intra_app: bool = True,
+    ) -> ThreatReport:
+        """Detection run for one app installation (paper §VI intro):
+        the new app's rules against every installed rule, plus the new
+        app's own rule pairs (flawed benign apps)."""
+        report = ThreatReport(app_name=new_ruleset.app_name)
+        for other in installed:
+            for rule_a in new_ruleset.rules:
+                for rule_b in other.rules:
+                    report.threats.extend(self.detect_pair(rule_a, rule_b))
+        if include_intra_app:
+            rules = new_ruleset.rules
+            for i, rule_a in enumerate(rules):
+                for rule_b in rules[i + 1:]:
+                    report.threats.extend(self.detect_pair(rule_a, rule_b))
+        return report
+
+    # ------------------------------------------------------------------
+    # Action interference (paper §VI-A)
+
+    def _detect_action_interference(
+        self, rule_a: Rule, rule_b: Rule
+    ) -> list[Threat]:
+        threats: list[Threat] = []
+        started = time.perf_counter()
+        identity_a, _ = action_identity(self._resolver, rule_a)
+        identity_b, _ = action_identity(self._resolver, rule_b)
+        is_ar_candidate = (
+            identity_a is not None
+            and identity_a == identity_b
+            and actions_contradict(rule_a, rule_b)
+        )
+        self.stats.add_candidate(
+            ThreatType.ACTUATOR_RACE, time.perf_counter() - started
+        )
+        if is_ar_candidate:
+            result = self._overlap_situation(rule_a, rule_b, ThreatType.ACTUATOR_RACE)
+            if result.sat:
+                threats.append(
+                    Threat(
+                        type=ThreatType.ACTUATOR_RACE,
+                        rule_a=rule_a,
+                        rule_b=rule_b,
+                        detail=(
+                            f"contradictory commands {rule_a.action.command!r} vs "
+                            f"{rule_b.action.command!r} on the same actuator"
+                        ),
+                        witness=tuple(sorted(result.witness.items())),
+                    )
+                )
+        started = time.perf_counter()
+        conflict_channels = []
+        if identity_a is None or identity_a != identity_b:
+            conflict_channels = goal_conflict_channels(
+                self._resolver, rule_a, rule_b
+            )
+        self.stats.add_candidate(
+            ThreatType.GOAL_CONFLICT, time.perf_counter() - started
+        )
+        if conflict_channels:
+            result = self._overlap_situation(
+                rule_a, rule_b, ThreatType.GOAL_CONFLICT
+            )
+            if result.sat:
+                threats.append(
+                    Threat(
+                        type=ThreatType.GOAL_CONFLICT,
+                        rule_a=rule_a,
+                        rule_b=rule_b,
+                        detail=(
+                            "opposite effects on "
+                            + ", ".join(conflict_channels)
+                        ),
+                        witness=tuple(sorted(result.witness.items())),
+                    )
+                )
+        return threats
+
+    # ------------------------------------------------------------------
+    # Trigger interference (paper §VI-B)
+
+    def _detect_trigger_interference(
+        self, rule_a: Rule, rule_b: Rule
+    ) -> list[Threat]:
+        threats: list[Threat] = []
+        ct_ab = self._covert_triggering(rule_a, rule_b)
+        ct_ba = self._covert_triggering(rule_b, rule_a)
+        contradictory = actions_contradict(rule_a, rule_b)
+        if ct_ab is not None:
+            threats.append(ct_ab)
+            if contradictory:
+                threats.append(
+                    Threat(
+                        type=ThreatType.SELF_DISABLING,
+                        rule_a=rule_a,
+                        rule_b=rule_b,
+                        detail=(
+                            f"{rule_b.app_name} undoes {rule_a.app_name}'s "
+                            f"{rule_a.action.command!r} right after it triggers"
+                        ),
+                        witness=ct_ab.witness,
+                    )
+                )
+        if ct_ba is not None:
+            threats.append(ct_ba)
+            if contradictory:
+                threats.append(
+                    Threat(
+                        type=ThreatType.SELF_DISABLING,
+                        rule_a=rule_b,
+                        rule_b=rule_a,
+                        detail=(
+                            f"{rule_a.app_name} undoes {rule_b.app_name}'s "
+                            f"{rule_b.action.command!r} right after it triggers"
+                        ),
+                        witness=ct_ba.witness,
+                    )
+                )
+        if ct_ab is not None and ct_ba is not None and contradictory:
+            threats.append(
+                Threat(
+                    type=ThreatType.LOOP_TRIGGERING,
+                    rule_a=rule_a,
+                    rule_b=rule_b,
+                    detail=(
+                        "the rules trigger each other and issue contradictory "
+                        "commands on the same actuator(s)"
+                    ),
+                    witness=ct_ab.witness,
+                )
+            )
+        return threats
+
+    def _covert_triggering(self, rule_a: Rule, rule_b: Rule) -> Threat | None:
+        started = time.perf_counter()
+        match = action_triggers(self._resolver, rule_a, rule_b)
+        self.stats.add_candidate(
+            ThreatType.COVERT_TRIGGERING, time.perf_counter() - started
+        )
+        if match is None:
+            return None
+        # Overlapping-condition detection on the two conditions; this
+        # reuses the situation solve when one is already cached (Fig. 9).
+        result = self._overlap_conditions(
+            rule_a, rule_b, ThreatType.COVERT_TRIGGERING
+        )
+        if not result.sat:
+            return None
+        way = (
+            "directly changes the subscribed device state"
+            if match.way == "direct"
+            else f"changes the home's {match.channel} sensed by the trigger"
+        )
+        return Threat(
+            type=ThreatType.COVERT_TRIGGERING,
+            rule_a=rule_a,
+            rule_b=rule_b,
+            detail=f"{rule_a.action.command!r} {way}",
+            witness=tuple(sorted(result.witness.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # Condition interference (paper §VI-C)
+
+    def _detect_condition_interference(
+        self, rule_a: Rule, rule_b: Rule
+    ) -> list[Threat]:
+        threats: list[Threat] = []
+        for source, target in ((rule_a, rule_b), (rule_b, rule_a)):
+            threat = self._condition_interference(source, target)
+            if threat is not None:
+                threats.append(threat)
+        return threats
+
+    def _condition_interference(self, rule_a: Rule, rule_b: Rule) -> Threat | None:
+        started = time.perf_counter()
+        touches = action_touches_condition(self._resolver, rule_a, rule_b)
+        mode_touch = (
+            rule_a.action.subject == "location"
+            and condition_uses_location_mode(rule_b)
+        )
+        self.stats.add_candidate(
+            ThreatType.ENABLING_CONDITION, time.perf_counter() - started
+        )
+        if not touches and not mode_touch:
+            return None
+        result = self._solve_effect(rule_a, rule_b, touches, mode_touch)
+        if result is None:
+            # Effect not expressible (symbolic parameter): report the
+            # candidate conservatively as a potential enabling.
+            return Threat(
+                type=ThreatType.ENABLING_CONDITION,
+                rule_a=rule_a,
+                rule_b=rule_b,
+                detail="effect depends on a runtime parameter; may enable the condition",
+            )
+        threat_type = (
+            ThreatType.ENABLING_CONDITION
+            if result.sat
+            else ThreatType.DISABLING_CONDITION
+        )
+        what = ", ".join(
+            f"{touch.attr.device.name}.{touch.attr.attribute}" for touch in touches
+        ) or "location.mode"
+        verb = "enables" if result.sat else "disables"
+        return Threat(
+            type=threat_type,
+            rule_a=rule_a,
+            rule_b=rule_b,
+            detail=f"{rule_a.action.command!r} {verb} the condition via {what}",
+            witness=tuple(sorted(result.witness.items())),
+        )
+
+    def _solve_effect(
+        self,
+        rule_a: Rule,
+        rule_b: Rule,
+        touches: list[ConditionTouch],
+        mode_touch: bool,
+    ) -> Result | None:
+        key = (rule_a.rule_id, rule_b.rule_id, "effect")
+        if key in self._effect_cache:
+            self.stats.cache_hits += 1
+            return self._effect_cache[key]
+        builder = ConstraintBuilder(self._resolver)
+        effect_parts: list[BoolFormula] = []
+        expressible = False
+        for touch in touches:
+            formula = self._effect_formula(builder, rule_a, rule_b, touch)
+            if formula is not None:
+                effect_parts.append(formula)
+                expressible = True
+        if mode_touch:
+            target = command_target(rule_a.action)
+            if target is not None and target[1] is not None:
+                from repro.constraints.terms import CmpAtom, StrTerm, lit
+
+                key_var = builder.pool.declare_str("location:mode", None)
+                effect_parts.append(
+                    lit(CmpAtom(StrTerm(key_var), "==", StrTerm(None, target[1])))
+                )
+                expressible = True
+        if not expressible:
+            self._effect_cache[key] = None
+            return None
+        condition = builder.condition(rule_b)
+        formula = conj(effect_parts + [condition])
+        started = time.perf_counter()
+        result = Solver(builder.pool).solve(formula)
+        self.stats.add_solve(
+            ThreatType.ENABLING_CONDITION, time.perf_counter() - started
+        )
+        self.stats.solver_calls += 1
+        self._effect_cache[key] = result
+        return result
+
+    def _effect_formula(
+        self,
+        builder: ConstraintBuilder,
+        rule_a: Rule,
+        rule_b: Rule,
+        touch: ConditionTouch,
+    ) -> BoolFormula | None:
+        action = rule_a.action
+        if touch.way == "direct":
+            target = command_target(action)
+            if target is None or target[1] is None:
+                return None
+            return builder.attr_equals(
+                rule_b.app_name, touch.attr.device, touch.attr.attribute, target[1]
+            )
+        # Environmental effect.  Setpoint commands carry their target
+        # (paper: effect constraint `tSensor.temperature >= T`); bare
+        # directional commands are modeled as driving the channel to the
+        # EFFECT_TARGET_FRACTION point of its range.
+        assert touch.channel is not None and touch.effect is not None
+        channel = CHANNELS[touch.channel]
+        params = action.params
+        if (
+            action.command.startswith("set")
+            and params
+            and isinstance(params[0], Const)
+            and isinstance(params[0].value, (int, float))
+        ):
+            op = ">=" if touch.effect.value == "+" else "<="
+            return builder.attr_compare(
+                rule_b.app_name,
+                touch.attr.device,
+                touch.attr.attribute,
+                op,
+                float(params[0].value),
+            )
+        span = channel.high - channel.low
+        if touch.effect.value == "+":
+            target_value = channel.low + EFFECT_TARGET_FRACTION * span
+            return builder.attr_compare(
+                rule_b.app_name, touch.attr.device, touch.attr.attribute,
+                ">=", target_value,
+            )
+        target_value = channel.high - EFFECT_TARGET_FRACTION * span
+        return builder.attr_compare(
+            rule_b.app_name, touch.attr.device, touch.attr.attribute,
+            "<=", target_value,
+        )
+
+    # ------------------------------------------------------------------
+    # Overlap solving with reuse
+
+    def _overlap_situation(
+        self, rule_a: Rule, rule_b: Rule, threat_type: ThreatType
+    ) -> Result:
+        key = frozenset((rule_a.rule_id, rule_b.rule_id))
+        cached = self._situation_cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        builder = ConstraintBuilder(self._resolver)
+        formula = conj([builder.situation(rule_a), builder.situation(rule_b)])
+        started = time.perf_counter()
+        result = Solver(builder.pool).solve(formula)
+        self.stats.add_solve(threat_type, time.perf_counter() - started)
+        self.stats.solver_calls += 1
+        self._situation_cache[key] = result
+        return result
+
+    def _overlap_conditions(
+        self, rule_a: Rule, rule_b: Rule, threat_type: ThreatType
+    ) -> Result:
+        # Reuse the full-situation result when available: if the merged
+        # triggers+conditions are satisfiable, so are the conditions.
+        key = frozenset((rule_a.rule_id, rule_b.rule_id))
+        cached = self._situation_cache.get(key)
+        if cached is not None and cached.sat:
+            self.stats.cache_hits += 1
+            return cached
+        cond_key = frozenset((rule_a.rule_id, rule_b.rule_id, "cond"))
+        cached = self._situation_cache.get(cond_key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        builder = ConstraintBuilder(self._resolver)
+        formula = conj([builder.condition(rule_a), builder.condition(rule_b)])
+        started = time.perf_counter()
+        result = Solver(builder.pool).solve(formula)
+        self.stats.add_solve(threat_type, time.perf_counter() - started)
+        self.stats.solver_calls += 1
+        self._situation_cache[cond_key] = result
+        return result

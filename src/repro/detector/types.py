@@ -1,0 +1,108 @@
+"""Threat categories and records (paper Table I)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.rules.model import Rule
+
+
+class ThreatType(enum.Enum):
+    """The seven CAI threat categories of Table I (plus chains)."""
+
+    ACTUATOR_RACE = "AR"
+    GOAL_CONFLICT = "GC"
+    COVERT_TRIGGERING = "CT"
+    SELF_DISABLING = "SD"
+    LOOP_TRIGGERING = "LT"
+    ENABLING_CONDITION = "EC"
+    DISABLING_CONDITION = "DC"
+    CHAINED = "CHAIN"
+
+    @property
+    def category(self) -> str:
+        if self in (ThreatType.ACTUATOR_RACE, ThreatType.GOAL_CONFLICT):
+            return "Action-Interference"
+        if self in (
+            ThreatType.COVERT_TRIGGERING,
+            ThreatType.SELF_DISABLING,
+            ThreatType.LOOP_TRIGGERING,
+        ):
+            return "Trigger-Interference"
+        if self in (ThreatType.ENABLING_CONDITION, ThreatType.DISABLING_CONDITION):
+            return "Condition-Interference"
+        return "Chained"
+
+    @property
+    def pattern(self) -> str:
+        """The formal pattern column of Table I."""
+        return _PATTERNS[self]
+
+
+_PATTERNS = {
+    ThreatType.ACTUATOR_RACE: "T1 = T2, C1 ∩ C2 ≠ ∅, A1 = ¬A2",
+    ThreatType.GOAL_CONFLICT: "(T1 ∪ C1) ∩ (T2 ∪ C2) ≠ ∅, G(A1) = ¬G(A2)",
+    ThreatType.COVERT_TRIGGERING: "A1 ↦ T2, C1 ∩ C2 ≠ ∅",
+    ThreatType.SELF_DISABLING: "A1 ↦ T2, C1 ∩ C2 ≠ ∅, A2 = ¬A1",
+    ThreatType.LOOP_TRIGGERING: "A1 ↦ T2, A2 ↦ T1, C1 ∩ C2 ≠ ∅, A1 = ¬A2",
+    ThreatType.ENABLING_CONDITION: "A1 ⇒ C2",
+    ThreatType.DISABLING_CONDITION: "A1 ⇏ C2",
+    ThreatType.CHAINED: "A1 ↦ T2, ..., A(n-1) ↦ Tn",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Threat:
+    """One detected CAI threat instance.
+
+    ``rule_a`` is the interfering rule (its action does the interfering)
+    and ``rule_b`` the interfered rule; for symmetric threats (AR, GC,
+    LT) the order carries no meaning.  ``witness`` is a satisfying home
+    situation produced by the solver, used by the frontend to explain
+    *when* the threat manifests.
+    """
+
+    type: ThreatType
+    rule_a: Rule
+    rule_b: Rule
+    detail: str = ""
+    witness: tuple[tuple[str, object], ...] = ()
+    chain: tuple[Rule, ...] = ()
+
+    @property
+    def apps(self) -> tuple[str, str]:
+        return (self.rule_a.app_name, self.rule_b.app_name)
+
+    @property
+    def directed(self) -> bool:
+        return self.type in (
+            ThreatType.COVERT_TRIGGERING,
+            ThreatType.SELF_DISABLING,
+            ThreatType.ENABLING_CONDITION,
+            ThreatType.DISABLING_CONDITION,
+            ThreatType.CHAINED,
+        )
+
+
+@dataclass(slots=True)
+class ThreatReport:
+    """All threats found while installing one app."""
+
+    app_name: str
+    threats: list[Threat] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.threats)
+
+    def __len__(self) -> int:
+        return len(self.threats)
+
+    def by_type(self) -> dict[ThreatType, list[Threat]]:
+        grouped: dict[ThreatType, list[Threat]] = {}
+        for threat in self.threats:
+            grouped.setdefault(threat.type, []).append(threat)
+        return grouped
+
+    def count(self, threat_type: ThreatType) -> int:
+        return sum(1 for threat in self.threats if threat.type is threat_type)

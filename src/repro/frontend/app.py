@@ -1,0 +1,133 @@
+"""The HomeGuard companion app (paper §VII-B).
+
+Receives configuration URIs from the messaging transport, fetches the
+app's rules from the backend rule extractor, records both, runs CAI
+detection against the installed history, and presents an installation
+review for the user's one-time decision (keep / reconfigure / delete).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config.messaging import MessageRecord, Transport
+from repro.config.recorder import ConfigRecorder, RuleRecorder
+from repro.config.uri import ConfigPayload, decode_uri
+from repro.detector.chains import AllowedList, find_chains
+from repro.detector.engine import DetectionEngine
+from repro.detector.types import Threat
+from repro.rules.extractor import RuleExtractor
+from repro.rules.interpreter import describe_rule
+from repro.rules.model import RuleSet
+
+
+class InstallDecision(enum.Enum):
+    KEEP = "keep"
+    RECONFIGURE = "reconfigure"
+    DELETE = "delete"
+
+
+@dataclass(slots=True)
+class InstallReview:
+    """Everything shown to the user for one installation."""
+
+    app_name: str
+    rules: list[str]
+    threats: list[Threat] = field(default_factory=list)
+    chains: list[Threat] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.threats and not self.chains
+
+
+class HomeGuardApp:
+    """The mobile-side HomeGuard app instance."""
+
+    def __init__(
+        self,
+        backend: RuleExtractor,
+        transport: Transport | None = None,
+    ) -> None:
+        self._backend = backend
+        self.config_recorder = ConfigRecorder()
+        self.rule_recorder = RuleRecorder()
+        self.allowed = AllowedList()
+        self.reviews: list[InstallReview] = []
+        if transport is not None:
+            transport.connect(self.receive_message)
+        self._pending: list[ConfigPayload] = []
+
+    # ------------------------------------------------------------------
+    # Message intake
+
+    def receive_message(self, record: MessageRecord) -> None:
+        """Transport callback: decode the URI and queue the payload (the
+        user then "clicks the notification" via :meth:`review_pending`)."""
+        payload = decode_uri(record.uri)
+        self._pending.append(payload)
+
+    def review_pending(
+        self, device_types: dict[str, str] | None = None
+    ) -> list[InstallReview]:
+        """Process queued payloads into installation reviews."""
+        reviews = []
+        while self._pending:
+            payload = self._pending.pop(0)
+            reviews.append(self.review_installation(payload, device_types))
+        return reviews
+
+    # ------------------------------------------------------------------
+    # Detection flow
+
+    def review_installation(
+        self,
+        payload: ConfigPayload,
+        device_types: dict[str, str] | None = None,
+    ) -> InstallReview:
+        """The online detection run for one app installation/update."""
+        ruleset = self._backend.rules_of(payload.app_name)
+        if ruleset is None:
+            raise LookupError(
+                f"backend has no rules for app {payload.app_name!r}; extract "
+                "it first (offline phase) or submit the custom source"
+            )
+        self.config_recorder.record(payload, device_types)
+        installed = self.rule_recorder.installed_rulesets(
+            exclude=payload.app_name
+        )
+        engine = DetectionEngine(self.config_recorder)
+        report = engine.detect_rulesets(ruleset, installed)
+        chains = find_chains(report.threats, self.allowed)
+        review = InstallReview(
+            app_name=payload.app_name,
+            rules=[describe_rule(rule) for rule in ruleset.rules],
+            threats=report.threats,
+            chains=chains,
+        )
+        self.reviews.append(review)
+        return review
+
+    def decide(
+        self, review: InstallReview, decision: InstallDecision
+    ) -> None:
+        """Apply the user's one-time decision."""
+        ruleset = self._backend.rules_of(review.app_name)
+        assert ruleset is not None
+        if decision is InstallDecision.KEEP:
+            self.rule_recorder.record(ruleset)
+            # Accepted pairs join the Allowed list for chained detection
+            # (paper §VI-D).
+            self.allowed.add_all(review.threats)
+        elif decision is InstallDecision.DELETE:
+            self.rule_recorder.forget(review.app_name)
+            self.config_recorder.forget(review.app_name)
+        # RECONFIGURE keeps nothing: the app will send a fresh payload
+        # after the user updates its settings.
+
+    def installed_apps(self) -> list[str]:
+        return sorted(self.rule_recorder.rulesets)
+
+    def ruleset_of(self, app_name: str) -> RuleSet | None:
+        return self.rule_recorder.rules_of(app_name)

@@ -1,0 +1,86 @@
+"""Human-readable CAI threat explanations (the Threat Interpreter)."""
+
+from __future__ import annotations
+
+from repro.detector.types import Threat, ThreatType
+from repro.rules.interpreter import describe_action, describe_trigger
+
+_HEADLINES = {
+    ThreatType.ACTUATOR_RACE: "Actuator Race",
+    ThreatType.GOAL_CONFLICT: "Goal Conflict",
+    ThreatType.COVERT_TRIGGERING: "Covert Triggering",
+    ThreatType.SELF_DISABLING: "Self Disabling",
+    ThreatType.LOOP_TRIGGERING: "Loop Triggering",
+    ThreatType.ENABLING_CONDITION: "Enabling-Condition Interference",
+    ThreatType.DISABLING_CONDITION: "Disabling-Condition Interference",
+    ThreatType.CHAINED: "Chained Interference",
+}
+
+
+def describe_threat(threat: Threat) -> str:
+    """One compact, user-facing explanation of a detected threat."""
+    a, b = threat.rule_a, threat.rule_b
+    headline = _HEADLINES[threat.type]
+    if threat.type is ThreatType.ACTUATOR_RACE:
+        body = (
+            f"'{a.app_name}' and '{b.app_name}' can fire in the same "
+            f"situation and issue contradictory commands "
+            f"({a.action.command} vs {b.action.command}) on the same "
+            f"device — its final state becomes unpredictable."
+        )
+    elif threat.type is ThreatType.GOAL_CONFLICT:
+        body = (
+            f"'{a.app_name}' ({describe_action(a.action)}) and "
+            f"'{b.app_name}' ({describe_action(b.action)}) work against "
+            f"each other: {threat.detail}."
+        )
+    elif threat.type is ThreatType.COVERT_TRIGGERING:
+        body = (
+            f"'{a.app_name}' can covertly trigger '{b.app_name}': "
+            f"{threat.detail}. A covert rule forms — "
+            f"{describe_trigger(a.trigger)}, then "
+            f"{describe_action(b.action)}."
+        )
+    elif threat.type is ThreatType.SELF_DISABLING:
+        body = (
+            f"'{b.app_name}' undoes '{a.app_name}' right after it acts: "
+            f"{threat.detail}."
+        )
+    elif threat.type is ThreatType.LOOP_TRIGGERING:
+        body = (
+            f"'{a.app_name}' and '{b.app_name}' trigger each other in a "
+            f"loop with contradictory commands — devices may oscillate "
+            f"(on/off flapping)."
+        )
+    elif threat.type is ThreatType.ENABLING_CONDITION:
+        body = (
+            f"'{a.app_name}' can enable the condition of '{b.app_name}' "
+            f"({threat.detail}), causing it to act when it otherwise "
+            f"would not."
+        )
+    elif threat.type is ThreatType.DISABLING_CONDITION:
+        body = (
+            f"'{a.app_name}' can disable the condition of '{b.app_name}' "
+            f"({threat.detail}) — '{b.app_name}' may silently stop "
+            f"working (false negatives)."
+        )
+    else:
+        hops = " -> ".join(rule.app_name for rule in threat.chain)
+        body = f"A chain of rules forms a covert automation: {hops}."
+    situation = _witness_summary(threat)
+    if situation:
+        body += f" Example situation: {situation}."
+    return f"[{threat.type.value}] {headline}: {body}"
+
+
+def _witness_summary(threat: Threat, limit: int = 3) -> str:
+    interesting = []
+    for key, value in threat.witness:
+        if key.startswith(("dev:", "type:", "location:", "input:")):
+            short = key.split(":", 1)[1] if ":" in key else key
+            if isinstance(value, float):
+                value = round(value, 1)
+            interesting.append(f"{short} = {value}")
+        if len(interesting) >= limit:
+            break
+    return ", ".join(interesting)

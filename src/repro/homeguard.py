@@ -1,0 +1,149 @@
+"""Top-level HomeGuard facade.
+
+Wires the offline and online parts together (paper §IV-C):
+
+* **offline** — the backend extracts and stores rules for every app in
+  the store (:meth:`HomeGuard.preload`),
+* **online** — when the user installs an app, the instrumented app
+  sends its configuration URI over a transport; the companion app
+  decodes it, fetches the rules, detects CAI threats against the
+  installed history, and asks for a one-time decision.
+
+Example
+-------
+>>> from repro import HomeGuard
+>>> from repro.corpus import app_by_name
+>>> hg = HomeGuard(transport="http")
+>>> hg.preload([app_by_name("ComfortTV"), app_by_name("CatchLiveShow")])
+>>> review = hg.install(app_by_name("ComfortTV"),
+...                     devices={"tv1": "tv", "tSensor": "temperatureSensor",
+...                              "window1": "windowOpener"},
+...                     values={"threshold1": 30})
+>>> review.clean
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capabilities.devices import make_device_id
+from repro.config.instrument import Instrumenter
+from repro.config.messaging import FcmHttpTransport, SmsTransport, Transport
+from repro.config.uri import ConfigPayload, encode_uri
+from repro.corpus.model import CorpusApp
+from repro.frontend.app import HomeGuardApp, InstallDecision, InstallReview
+from repro.rules.extractor import RuleExtractor
+
+
+@dataclass(frozen=True, slots=True)
+class InstalledDevice:
+    """A home device as the companion app sees it."""
+
+    device_id: str
+    label: str
+    type_name: str
+
+
+class HomeGuard:
+    """End-to-end HomeGuard deployment for one home."""
+
+    def __init__(self, transport: str = "sms", seed: int = 11) -> None:
+        self.backend = RuleExtractor()
+        self.instrumenter = Instrumenter(transport=transport)
+        self.transport: Transport = (
+            SmsTransport(seed=seed) if transport == "sms"
+            else FcmHttpTransport(seed=seed)
+        )
+        self.app = HomeGuardApp(self.backend, self.transport)
+        self._home_devices: dict[str, InstalledDevice] = {}
+
+    # ------------------------------------------------------------------
+    # Offline phase
+
+    def preload(self, apps: list[CorpusApp]) -> None:
+        """Extract rules for public-store apps ahead of time."""
+        for app in apps:
+            self.backend.extract(app.source, app.name)
+
+    # ------------------------------------------------------------------
+    # Devices
+
+    def register_device(self, label: str, type_name: str) -> InstalledDevice:
+        device = InstalledDevice(
+            device_id=make_device_id(f"hg:{label}"),
+            label=label,
+            type_name=type_name,
+        )
+        self._home_devices[label] = device
+        return device
+
+    # ------------------------------------------------------------------
+    # Online phase
+
+    def install(
+        self,
+        app: CorpusApp,
+        devices: dict[str, str] | None = None,
+        values: dict[str, object] | None = None,
+        decision: InstallDecision = InstallDecision.KEEP,
+    ) -> InstallReview:
+        """Install an app end-to-end.
+
+        ``devices`` maps input names to *device type names* (a device of
+        that type is registered on first use) or to labels registered via
+        :meth:`register_device`; ``values`` are the user-entered inputs.
+        The instrumented app's ``updated()`` runs implicitly: we encode
+        and send the configuration URI through the transport, the
+        companion app reviews it, and ``decision`` is applied.
+        """
+        if self.backend.rules_of(app.name) is None:
+            self.backend.extract(app.source, app.name)
+        self.instrumenter.instrument(app.source, app.name)
+        bound: dict[str, str] = {}
+        types: dict[str, str] = {}
+        for input_name, type_or_label in (devices or {}).items():
+            if type_or_label in self._home_devices:
+                device = self._home_devices[type_or_label]
+            else:
+                device = self.register_device(
+                    f"{type_or_label}-{len(self._home_devices)}", type_or_label
+                )
+            bound[input_name] = device.device_id
+            types[device.device_id] = device.type_name
+        payload = ConfigPayload(
+            app_name=app.name,
+            devices=bound,
+            values={k: str(v) for k, v in (values or app.values).items()},
+        )
+        self.transport.send(encode_uri(payload), target=None)
+        reviews = self.app.review_pending(device_types=types)
+        review = reviews[-1]
+        self.app.decide(review, decision)
+        return review
+
+    def installed_apps(self) -> list[str]:
+        return self.app.installed_apps()
+
+    # ------------------------------------------------------------------
+    # Backward compatibility (paper §VIII-D.3)
+
+    def audit_existing(self) -> list[InstallReview]:
+        """Re-run detection for apps installed *before* HomeGuard was
+        deployed.
+
+        The paper's deployment path is to reinstall the instrumented
+        versions without changing their configuration: each app's
+        ``updated()`` then re-sends its configuration and detection
+        runs.  Here the recorded configuration payloads are replayed in
+        installation order; each review covers one app against all the
+        others, so the union covers every installed pair.
+        """
+        reviews: list[InstallReview] = []
+        for app_name in self.app.installed_apps():
+            payload = self.app.config_recorder.config_of(app_name)
+            if payload is None:
+                continue
+            review = self.app.review_installation(payload)
+            reviews.append(review)
+        return reviews

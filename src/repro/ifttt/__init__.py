@@ -1,0 +1,23 @@
+"""IFTTT-style template rule extraction (paper §VIII-D.4, Table IV).
+
+IFTTT defines automations through graphical templates rather than
+programs; rules can be recovered by parsing the applet text with NLP
+(the paper cites Hwang et al. [28]).  This package provides a
+lightweight NLP pipeline: a phrase lexicon over services/devices/
+attributes, a chunker for the "IF <trigger> THEN <action>" shape, and an
+extractor producing the same :class:`repro.rules.model.Rule` objects the
+SmartApp front-end produces, so IFTTT applets participate in CAI
+detection alongside SmartApps.
+"""
+
+from repro.ifttt.nlp import TokenSpan, chunk_applet, normalize
+from repro.ifttt.extractor import Applet, IftttExtractionError, extract_applet_rule
+
+__all__ = [
+    "Applet",
+    "IftttExtractionError",
+    "TokenSpan",
+    "chunk_applet",
+    "extract_applet_rule",
+    "normalize",
+]

@@ -1,0 +1,72 @@
+"""Lightweight NLP over IFTTT applet text.
+
+Real IFTTT applets are described by short natural-language titles such
+as "If motion is detected in the living room, then turn on the hallway
+light".  The pipeline here is deliberately classic: normalization,
+lexicon-driven tokenization, and IF/THEN chunking — enough to recover
+trigger/condition/action structure from the template phrasing without a
+statistical model (the phrasing is generated from templates, so the
+grammar is closed).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_STOPWORDS = {
+    "the", "a", "an", "my", "your", "in", "at", "of", "to", "is", "are",
+    "gets", "get", "becomes", "when", "please", "then",
+}
+
+_FILLER = re.compile(r"[^a-z0-9<>=.:%°-]+")
+
+
+def normalize(text: str) -> list[str]:
+    """Lowercase, strip punctuation, drop stopwords."""
+    words = _FILLER.split(text.lower())
+    return [word for word in words if word and word not in _STOPWORDS]
+
+
+@dataclass(frozen=True, slots=True)
+class TokenSpan:
+    """A chunk of the applet: trigger / condition / action words."""
+
+    role: str            # "trigger" | "condition" | "action"
+    words: tuple[str, ...]
+
+    def text(self) -> str:
+        return " ".join(self.words)
+
+
+_SPLIT_THEN = re.compile(r"\bthen\b|,\s*then\b", re.IGNORECASE)
+_SPLIT_IF = re.compile(r"^\s*if\b", re.IGNORECASE)
+_SPLIT_WHILE = re.compile(r"\b(?:while|only if|and if|as long as)\b", re.IGNORECASE)
+
+
+def chunk_applet(text: str) -> list[TokenSpan]:
+    """Split "If X [while Y], then Z" into role-tagged chunks.
+
+    Raises ValueError when the text does not follow the template shape.
+    """
+    match = _SPLIT_THEN.search(text)
+    if match is None:
+        raise ValueError(f"applet text has no THEN clause: {text!r}")
+    head = text[: match.start()]
+    action_text = text[match.end():]
+    if not _SPLIT_IF.search(head):
+        raise ValueError(f"applet text has no IF clause: {text!r}")
+    head = _SPLIT_IF.sub("", head, count=1)
+    condition_text = None
+    while_match = _SPLIT_WHILE.search(head)
+    if while_match is not None:
+        condition_text = head[while_match.end():]
+        head = head[: while_match.start()]
+    spans = [TokenSpan("trigger", tuple(normalize(head)))]
+    if condition_text is not None:
+        spans.append(TokenSpan("condition", tuple(normalize(condition_text))))
+    spans.append(TokenSpan("action", tuple(normalize(action_text))))
+    for span in spans:
+        if not span.words:
+            raise ValueError(f"empty {span.role} clause in {text!r}")
+    return spans

@@ -1,0 +1,32 @@
+"""Groovy-subset front-end for SmartApp source code.
+
+SmartApps are Groovy programs, but SmartThings runs them inside a
+sandboxed ``Executor`` that bans most dynamic features (paper
+Section VIII-D.2).  This package implements a from-scratch lexer,
+recursive-descent parser and AST for the surviving subset: the
+``definition``/``preferences``/``input`` metadata DSL, paren-free command
+calls, method declarations, closures, GStrings, ternaries, switches and
+the usual expression grammar.
+
+The public entry point is :func:`parse`, which maps source text to a
+:class:`repro.lang.ast_nodes.Module`.
+"""
+
+from repro.lang.ast_nodes import Module
+from repro.lang.errors import LexError, ParseError, SourceLocation
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse
+from repro.lang.tokens import Token, TokenType
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "Module",
+    "ParseError",
+    "Parser",
+    "SourceLocation",
+    "Token",
+    "TokenType",
+    "parse",
+    "tokenize",
+]

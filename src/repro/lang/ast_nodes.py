@@ -1,0 +1,371 @@
+"""AST node definitions for the Groovy-subset front-end.
+
+The node set mirrors the constructs SmartApps actually use inside the
+SmartThings sandbox.  Every node carries a :class:`SourceLocation` so
+later stages (symbolic executor, instrumentation) can reference source
+lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.lang.errors import SourceLocation
+
+
+@dataclass(slots=True)
+class Node:
+    """Base class of all AST nodes."""
+
+    location: SourceLocation
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass(slots=True)
+class Expr(Node):
+    """Base class of expression nodes."""
+
+
+@dataclass(slots=True)
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass(slots=True)
+class DecimalLiteral(Expr):
+    value: float
+
+
+@dataclass(slots=True)
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass(slots=True)
+class GStringLiteral(Expr):
+    """A double-quoted string with interpolation.
+
+    ``parts`` interleaves literal ``str`` fragments and embedded
+    :class:`Expr` nodes, in source order.
+    """
+
+    parts: list[Any]
+
+
+@dataclass(slots=True)
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass(slots=True)
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass(slots=True)
+class ListLiteral(Expr):
+    elements: list[Expr]
+
+
+@dataclass(slots=True)
+class MapEntry(Node):
+    key: Expr
+    value: Expr
+
+
+@dataclass(slots=True)
+class MapLiteral(Expr):
+    entries: list[MapEntry]
+
+
+@dataclass(slots=True)
+class RangeLiteral(Expr):
+    low: Expr
+    high: Expr
+
+
+@dataclass(slots=True)
+class Identifier(Expr):
+    name: str
+
+
+@dataclass(slots=True)
+class PropertyAccess(Expr):
+    receiver: Expr
+    name: str
+    safe: bool = False  # true for `?.`
+
+
+@dataclass(slots=True)
+class IndexAccess(Expr):
+    receiver: Expr
+    index: Expr
+
+
+@dataclass(slots=True)
+class NamedArgument(Node):
+    """``title: "Which TV?"`` style argument in a call."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(slots=True)
+class MethodCall(Expr):
+    """A call ``receiver.name(args)`` or bare ``name(args)``.
+
+    Groovy command syntax (``input "tv1", "capability.switch"``) parses
+    into the same node with ``parenthesized=False``.  Trailing closure
+    arguments (``devices.each { ... }``) land in ``args`` last.
+    """
+
+    receiver: Expr | None
+    name: str
+    args: list[Expr | NamedArgument]
+    safe: bool = False
+    parenthesized: bool = True
+
+    def positional_args(self) -> list[Expr]:
+        return [arg for arg in self.args if not isinstance(arg, NamedArgument)]
+
+    def named_args(self) -> dict[str, Expr]:
+        return {
+            arg.name: arg.value for arg in self.args if isinstance(arg, NamedArgument)
+        }
+
+
+@dataclass(slots=True)
+class ConstructorCall(Expr):
+    """``new Date()`` and friends."""
+
+    type_name: str
+    args: list[Expr | NamedArgument]
+
+
+@dataclass(slots=True)
+class MethodPointer(Expr):
+    """``this.&handler`` method reference."""
+
+    receiver: Expr
+    name: str
+
+
+@dataclass(slots=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(slots=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(slots=True)
+class TernaryOp(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(slots=True)
+class ElvisOp(Expr):
+    value: Expr
+    fallback: Expr
+
+
+@dataclass(slots=True)
+class ClosureParam(Node):
+    name: str
+
+
+@dataclass(slots=True)
+class ClosureExpr(Expr):
+    """``{ dev -> ... }``; parameterless closures get the implicit ``it``."""
+
+    params: list[ClosureParam]
+    body: Block
+
+
+@dataclass(slots=True)
+class CastExpr(Expr):
+    """``expr as Type`` — SmartApps use it for `as Integer` coercion."""
+
+    value: Expr
+    type_name: str
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+
+@dataclass(slots=True)
+class Stmt(Node):
+    """Base class of statement nodes."""
+
+
+@dataclass(slots=True)
+class Block(Node):
+    statements: list[Stmt]
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.statements)
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(slots=True)
+class VarDecl(Stmt):
+    name: str
+    initializer: Expr | None
+
+
+@dataclass(slots=True)
+class Assignment(Stmt):
+    """``target = value`` (also ``+=``/``-=`` via ``op``)."""
+
+    target: Expr
+    value: Expr
+    op: str = "="
+
+
+@dataclass(slots=True)
+class IfStmt(Stmt):
+    condition: Expr
+    then_block: Block
+    else_block: Block | None
+
+
+@dataclass(slots=True)
+class SwitchCase(Node):
+    # None matches the `default:` label.
+    match: Expr | None
+    body: Block
+    has_break: bool = True
+
+
+@dataclass(slots=True)
+class SwitchStmt(Stmt):
+    subject: Expr
+    cases: list[SwitchCase]
+
+
+@dataclass(slots=True)
+class ForInStmt(Stmt):
+    variable: str
+    iterable: Expr
+    body: Block
+
+
+@dataclass(slots=True)
+class WhileStmt(Stmt):
+    condition: Expr
+    body: Block
+
+
+@dataclass(slots=True)
+class ReturnStmt(Stmt):
+    value: Expr | None
+
+
+@dataclass(slots=True)
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class LabeledStmt(Stmt):
+    """``action: [GET: "handler"]`` inside web-service ``mappings``."""
+
+    label: str
+    value: Expr
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+
+@dataclass(slots=True)
+class Param(Node):
+    name: str
+    default: Expr | None = None
+
+
+@dataclass(slots=True)
+class MethodDecl(Node):
+    name: str
+    params: list[Param]
+    body: Block
+
+
+@dataclass(slots=True)
+class Module(Node):
+    """A parsed SmartApp: top-level statements plus method declarations.
+
+    ``top_level`` keeps source order (the ``definition``/``preferences``
+    blocks and bare ``input`` calls appear here); ``methods`` indexes
+    declarations by name for the executors.
+    """
+
+    top_level: list[Stmt] = field(default_factory=list)
+    methods: dict[str, MethodDecl] = field(default_factory=dict)
+
+    def method(self, name: str) -> MethodDecl | None:
+        return self.methods.get(name)
+
+
+# ----------------------------------------------------------------------
+# Visitor
+
+class NodeVisitor:
+    """Generic visitor over the AST (the paper's compiler customization
+    uses the same pattern over Groovy class nodes).
+
+    Subclasses define ``visit_<ClassName>`` methods; unhandled nodes fall
+    back to :meth:`generic_visit`, which recurses into child nodes.
+    """
+
+    def visit(self, node: Node) -> Any:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: Node) -> Any:
+        for child in iter_child_nodes(node):
+            self.visit(child)
+        return None
+
+
+def iter_child_nodes(node: Node) -> Iterator[Node]:
+    """Yield the direct AST children of ``node`` in source order."""
+    for slot in type(node).__dataclass_fields__:
+        if slot == "location":
+            continue
+        value = getattr(node, slot)
+        if isinstance(value, Node):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield item
+        elif isinstance(value, dict):
+            for item in value.values():
+                if isinstance(item, Node):
+                    yield item
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and all descendants, depth-first, in source order."""
+    yield node
+    for child in iter_child_nodes(node):
+        yield from walk(child)

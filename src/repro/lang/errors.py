@@ -1,0 +1,43 @@
+"""Error types and source locations for the Groovy-subset front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A (line, column) position inside a SmartApp source file.
+
+    Lines and columns are 1-based, matching what editors and the
+    SmartThings web IDE display.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class FrontEndError(Exception):
+    """Base class for lexing/parsing errors.
+
+    Carries the :class:`SourceLocation` at which the problem was
+    detected so tooling (e.g. the rule extractor's coverage report) can
+    point users at the offending SmartApp line.
+    """
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.location = location
+        if location is not None:
+            message = f"{message} (at {location})"
+        super().__init__(message)
+
+
+class LexError(FrontEndError):
+    """Raised when the lexer encounters a malformed token."""
+
+
+class ParseError(FrontEndError):
+    """Raised when the parser cannot derive a valid AST."""

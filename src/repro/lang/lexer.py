@@ -1,0 +1,307 @@
+"""Lexer for the Groovy subset used by SmartApps.
+
+Design notes
+------------
+Groovy is newline-sensitive: a newline ends a statement unless the line
+obviously continues (open bracket, trailing binary operator, ...).  The
+lexer therefore does not emit NEWLINE tokens; instead each token records
+whether a newline preceded it (``Token.after_newline``) and the parser
+decides when that terminates a statement.  This mirrors how the real
+Groovy grammar treats ``nls`` productions and keeps the token stream
+simple.
+
+GStrings (double-quoted strings with ``${expr}`` or ``$ident``
+interpolation) are tokenized into a part list; embedded expressions are
+captured as raw source and parsed later by the parser, keeping the lexer
+regular.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError, SourceLocation
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+_SIMPLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "$": "$",
+    "0": "\0",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS: list[tuple[str, TokenType]] = [
+    ("<=>", TokenType.SPACESHIP),
+    ("**", TokenType.POWER),
+    ("?.", TokenType.SAFE_DOT),
+    (".&", TokenType.METHOD_REF),
+    ("?:", TokenType.ELVIS),
+    ("->", TokenType.ARROW),
+    ("==", TokenType.EQ),
+    ("!=", TokenType.NEQ),
+    ("<=", TokenType.LE),
+    (">=", TokenType.GE),
+    ("&&", TokenType.AND),
+    ("||", TokenType.OR),
+    ("+=", TokenType.PLUS_ASSIGN),
+    ("-=", TokenType.MINUS_ASSIGN),
+    ("++", TokenType.INCREMENT),
+    ("--", TokenType.DECREMENT),
+    ("..", TokenType.RANGE),
+    ("(", TokenType.LPAREN),
+    (")", TokenType.RPAREN),
+    ("{", TokenType.LBRACE),
+    ("}", TokenType.RBRACE),
+    ("[", TokenType.LBRACKET),
+    ("]", TokenType.RBRACKET),
+    (",", TokenType.COMMA),
+    (".", TokenType.DOT),
+    (":", TokenType.COLON),
+    (";", TokenType.SEMICOLON),
+    ("=", TokenType.ASSIGN),
+    ("<", TokenType.LT),
+    (">", TokenType.GT),
+    ("!", TokenType.NOT),
+    ("+", TokenType.PLUS),
+    ("-", TokenType.MINUS),
+    ("*", TokenType.STAR),
+    ("/", TokenType.SLASH),
+    ("%", TokenType.PERCENT),
+    ("?", TokenType.QUESTION),
+]
+
+
+class Lexer:
+    """Converts SmartApp source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+        self._pending_newline = False
+        self._tokens: list[Token] = []
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole source, returning tokens terminated by EOF."""
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r":
+                self._advance()
+            elif ch == "\n":
+                self._pending_newline = True
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch.isdigit():
+                self._lex_number()
+            elif ch == '"':
+                self._lex_gstring()
+            elif ch == "'":
+                self._lex_plain_string()
+            elif ch.isalpha() or ch == "_" or ch == "$":
+                self._lex_identifier()
+            else:
+                self._lex_operator()
+        self._emit(TokenType.EOF, None, self._location())
+        return self._tokens
+
+    # ------------------------------------------------------------------
+    # Character helpers
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        ch = self._source[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        return ch
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._col)
+
+    def _emit(self, token_type: TokenType, value: object, location: SourceLocation) -> None:
+        self._tokens.append(
+            Token(token_type, value, location, after_newline=self._pending_newline)
+        )
+        self._pending_newline = False
+
+    # ------------------------------------------------------------------
+    # Token scanners
+
+    def _skip_line_comment(self) -> None:
+        while self._pos < len(self._source) and self._peek() != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start = self._location()
+        self._advance()
+        self._advance()
+        while self._pos < len(self._source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance()
+                self._advance()
+                return
+            if self._advance() == "\n":
+                # A comment spanning lines still separates statements.
+                self._pending_newline = True
+        raise LexError("unterminated block comment", start)
+
+    def _lex_number(self) -> None:
+        start = self._location()
+        text = []
+        while self._peek().isdigit():
+            text.append(self._advance())
+        is_decimal = False
+        # A '.' begins a decimal part only when followed by a digit; this
+        # distinguishes `1.5` from the range operator in `1..5`.
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_decimal = True
+            text.append(self._advance())
+            while self._peek().isdigit():
+                text.append(self._advance())
+        # Groovy numeric suffixes (L, G, f, d) — accepted and ignored.
+        if self._peek() and self._peek() in "LlGgFfDd" and not self._peek(1).isalnum():
+            suffix = self._advance()
+            if suffix in "FfDd":
+                is_decimal = True
+        literal = "".join(text)
+        if is_decimal:
+            self._emit(TokenType.DECIMAL, float(literal), start)
+        else:
+            self._emit(TokenType.INT, int(literal), start)
+
+    def _lex_plain_string(self) -> None:
+        start = self._location()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._source):
+                raise LexError("unterminated string literal", start)
+            ch = self._advance()
+            if ch == "'":
+                break
+            if ch == "\\":
+                chars.append(self._read_escape(start))
+            else:
+                chars.append(ch)
+        self._emit(TokenType.STRING, "".join(chars), start)
+
+    def _read_escape(self, start: SourceLocation) -> str:
+        if self._pos >= len(self._source):
+            raise LexError("dangling escape at end of input", start)
+        ch = self._advance()
+        if ch in _SIMPLE_ESCAPES:
+            return _SIMPLE_ESCAPES[ch]
+        if ch == "u":
+            digits = "".join(self._advance() for _ in range(4))
+            try:
+                return chr(int(digits, 16))
+            except ValueError as exc:
+                raise LexError(f"invalid unicode escape \\u{digits}", start) from exc
+        raise LexError(f"unknown escape sequence \\{ch}", start)
+
+    def _lex_gstring(self) -> None:
+        """Lex a double-quoted string, splitting out ``${...}`` parts.
+
+        Emits GSTRING when interpolation is present, otherwise a plain
+        STRING (the common case; it keeps downstream matching simple).
+        """
+        start = self._location()
+        self._advance()  # opening quote
+        parts: list[object] = []
+        literal: list[str] = []
+
+        def flush() -> None:
+            if literal:
+                parts.append("".join(literal))
+                literal.clear()
+
+        while True:
+            if self._pos >= len(self._source):
+                raise LexError("unterminated string literal", start)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                literal.append(self._read_escape(start))
+            elif ch == "$" and self._peek() == "{":
+                self._advance()  # consume '{'
+                flush()
+                parts.append(("expr", self._read_interpolation(start)))
+            elif ch == "$" and (self._peek().isalpha() or self._peek() == "_"):
+                flush()
+                ident = []
+                while self._peek() and (self._peek().isalnum() or self._peek() in "_."):
+                    # `$a.b` interpolates a property path in Groovy.
+                    if self._peek() == "." and not (
+                        self._peek(1).isalpha() or self._peek(1) == "_"
+                    ):
+                        break
+                    ident.append(self._advance())
+                parts.append(("expr", "".join(ident)))
+            else:
+                literal.append(ch)
+        flush()
+        has_interpolation = any(isinstance(part, tuple) for part in parts)
+        if has_interpolation:
+            self._emit(TokenType.GSTRING, parts, start)
+        else:
+            self._emit(TokenType.STRING, parts[0] if parts else "", start)
+
+    def _read_interpolation(self, start: SourceLocation) -> str:
+        """Capture raw source between ``${`` and its matching ``}``."""
+        depth = 1
+        captured: list[str] = []
+        while depth > 0:
+            if self._pos >= len(self._source):
+                raise LexError("unterminated ${...} interpolation", start)
+            ch = self._advance()
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            captured.append(ch)
+        return "".join(captured)
+
+    def _lex_identifier(self) -> None:
+        start = self._location()
+        chars = []
+        while self._peek() and (self._peek().isalnum() or self._peek() in "_$"):
+            chars.append(self._advance())
+        word = "".join(chars)
+        token_type = KEYWORDS.get(word, TokenType.IDENT)
+        value = word if token_type is TokenType.IDENT else word
+        self._emit(token_type, value, start)
+
+    def _lex_operator(self) -> None:
+        start = self._location()
+        for text, token_type in _OPERATORS:
+            if self._source.startswith(text, self._pos):
+                for _ in text:
+                    self._advance()
+                self._emit(token_type, text, start)
+                return
+        raise LexError(f"unexpected character {self._peek()!r}", start)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,726 @@
+"""Recursive-descent parser for the Groovy subset used by SmartApps.
+
+Statement separation follows Groovy's newline rules: a binary operator
+or call-opening token does not continue the previous expression when a
+newline precedes it, while a leading ``.`` does continue a method chain.
+Paren-free command calls (``input "tv1", "capability.switch", title:
+"Which TV?"`` and ``log.debug "msg"``) are recognised at statement level
+with bounded lookahead.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError, SourceLocation
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+# Tokens that may begin an expression; used for command-syntax lookahead.
+_ARG_START = {
+    TokenType.INT,
+    TokenType.DECIMAL,
+    TokenType.STRING,
+    TokenType.GSTRING,
+    TokenType.IDENT,
+    TokenType.TRUE,
+    TokenType.FALSE,
+    TokenType.NULL,
+    TokenType.LBRACKET,
+    TokenType.NEW,
+}
+
+_MODIFIERS = {"private", "public", "protected", "static"}
+
+_BINARY_LEVELS: list[set[TokenType]] = [
+    {TokenType.OR},
+    {TokenType.AND},
+    {TokenType.EQ, TokenType.NEQ, TokenType.SPACESHIP},
+    {TokenType.LT, TokenType.LE, TokenType.GT, TokenType.GE, TokenType.IN},
+    {TokenType.PLUS, TokenType.MINUS},
+    {TokenType.STAR, TokenType.SLASH, TokenType.PERCENT},
+]
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Module`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, offset: int = 0) -> bool:
+        return self._peek(offset).type is token_type
+
+    def _match(self, *token_types: TokenType) -> Token | None:
+        if self._peek().type in token_types:
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, context: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {token_type.value!r} {context}, found "
+                f"{token.type.value!r}",
+                token.location,
+            )
+        return self._advance()
+
+    def _skip_semicolons(self) -> None:
+        while self._match(TokenType.SEMICOLON):
+            pass
+
+    def _loc(self) -> SourceLocation:
+        return self._peek().location
+
+    # ------------------------------------------------------------------
+    # Module
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module(location=SourceLocation(1, 1))
+        self._skip_semicolons()
+        while not self._check(TokenType.EOF):
+            if self._is_method_decl():
+                decl = self._parse_method_decl()
+                module.methods[decl.name] = decl
+            else:
+                module.top_level.append(self._parse_statement())
+            self._skip_semicolons()
+        return module
+
+    def _is_method_decl(self) -> bool:
+        offset = 0
+        if (
+            self._check(TokenType.IDENT)
+            and self._peek().value in _MODIFIERS
+            and self._check(TokenType.DEF, 1)
+        ):
+            offset = 1
+        return (
+            self._check(TokenType.DEF, offset)
+            and self._check(TokenType.IDENT, offset + 1)
+            and self._check(TokenType.LPAREN, offset + 2)
+        )
+
+    def _parse_method_decl(self) -> ast.MethodDecl:
+        location = self._loc()
+        if self._peek().value in _MODIFIERS and self._check(TokenType.DEF, 1):
+            self._advance()
+        self._expect(TokenType.DEF, "to start method declaration")
+        name = self._expect(TokenType.IDENT, "as method name").value
+        self._expect(TokenType.LPAREN, "after method name")
+        params: list[ast.Param] = []
+        while not self._check(TokenType.RPAREN):
+            param_loc = self._loc()
+            # Parameters may carry a `def` or type prefix: `def evt`, `Map m`.
+            if self._match(TokenType.DEF) is None:
+                if self._check(TokenType.IDENT) and self._check(TokenType.IDENT, 1):
+                    self._advance()
+            param_name = self._expect(TokenType.IDENT, "as parameter name").value
+            default = None
+            if self._match(TokenType.ASSIGN):
+                default = self.parse_expression()
+            params.append(ast.Param(location=param_loc, name=param_name, default=default))
+            if not self._match(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN, "after parameter list")
+        body = self._parse_block()
+        return ast.MethodDecl(location=location, name=name, params=params, body=body)
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _parse_block(self) -> ast.Block:
+        location = self._loc()
+        self._expect(TokenType.LBRACE, "to open block")
+        statements: list[ast.Stmt] = []
+        self._skip_semicolons()
+        while not self._check(TokenType.RBRACE) and not self._check(TokenType.EOF):
+            statements.append(self._parse_statement())
+            self._skip_semicolons()
+        self._expect(TokenType.RBRACE, "to close block")
+        return ast.Block(location=location, statements=statements)
+
+    def _parse_block_or_statement(self) -> ast.Block:
+        if self._check(TokenType.LBRACE):
+            return self._parse_block()
+        location = self._loc()
+        return ast.Block(location=location, statements=[self._parse_statement()])
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.type is TokenType.IF:
+            return self._parse_if()
+        if token.type is TokenType.SWITCH:
+            return self._parse_switch()
+        if token.type is TokenType.FOR:
+            return self._parse_for()
+        if token.type is TokenType.WHILE:
+            return self._parse_while()
+        if token.type is TokenType.RETURN:
+            return self._parse_return()
+        if token.type is TokenType.BREAK:
+            self._advance()
+            return ast.BreakStmt(location=token.location)
+        if token.type is TokenType.DEF:
+            return self._parse_var_decl()
+        if (
+            token.type is TokenType.IDENT
+            and self._check(TokenType.COLON, 1)
+        ):
+            return self._parse_labeled_statement()
+        if (
+            token.type is TokenType.IDENT
+            and self._check(TokenType.IDENT, 1)
+            and self._check(TokenType.ASSIGN, 2)
+        ):
+            # Typed declaration: `Map data = [...]` — the type is dropped.
+            self._advance()
+            return self._parse_var_decl(consume_def=False)
+        return self._parse_expression_statement()
+
+    def _parse_if(self) -> ast.IfStmt:
+        location = self._loc()
+        self._advance()
+        self._expect(TokenType.LPAREN, "after 'if'")
+        condition = self.parse_expression()
+        self._expect(TokenType.RPAREN, "after if-condition")
+        then_block = self._parse_block_or_statement()
+        else_block = None
+        if self._check(TokenType.ELSE):
+            self._advance()
+            if self._check(TokenType.IF):
+                nested = self._parse_if()
+                else_block = ast.Block(location=nested.location, statements=[nested])
+            else:
+                else_block = self._parse_block_or_statement()
+        return ast.IfStmt(
+            location=location,
+            condition=condition,
+            then_block=then_block,
+            else_block=else_block,
+        )
+
+    def _parse_switch(self) -> ast.SwitchStmt:
+        location = self._loc()
+        self._advance()
+        self._expect(TokenType.LPAREN, "after 'switch'")
+        subject = self.parse_expression()
+        self._expect(TokenType.RPAREN, "after switch subject")
+        self._expect(TokenType.LBRACE, "to open switch body")
+        cases: list[ast.SwitchCase] = []
+        while not self._check(TokenType.RBRACE) and not self._check(TokenType.EOF):
+            case_loc = self._loc()
+            if self._match(TokenType.CASE):
+                match: ast.Expr | None = self.parse_expression()
+            else:
+                self._expect(TokenType.DEFAULT, "or 'case' in switch body")
+                match = None
+            self._expect(TokenType.COLON, "after case label")
+            statements: list[ast.Stmt] = []
+            has_break = False
+            while self._peek().type not in (
+                TokenType.CASE,
+                TokenType.DEFAULT,
+                TokenType.RBRACE,
+                TokenType.EOF,
+            ):
+                if self._check(TokenType.BREAK):
+                    self._advance()
+                    self._skip_semicolons()
+                    has_break = True
+                    break
+                statements.append(self._parse_statement())
+                self._skip_semicolons()
+            body = ast.Block(location=case_loc, statements=statements)
+            cases.append(
+                ast.SwitchCase(
+                    location=case_loc, match=match, body=body, has_break=has_break
+                )
+            )
+        self._expect(TokenType.RBRACE, "to close switch body")
+        return ast.SwitchStmt(location=location, subject=subject, cases=cases)
+
+    def _parse_for(self) -> ast.ForInStmt:
+        location = self._loc()
+        self._advance()
+        self._expect(TokenType.LPAREN, "after 'for'")
+        self._match(TokenType.DEF)
+        variable = self._expect(TokenType.IDENT, "as loop variable").value
+        self._expect(TokenType.IN, "in for-in loop")
+        iterable = self.parse_expression()
+        self._expect(TokenType.RPAREN, "after for-in header")
+        body = self._parse_block_or_statement()
+        return ast.ForInStmt(
+            location=location, variable=variable, iterable=iterable, body=body
+        )
+
+    def _parse_while(self) -> ast.WhileStmt:
+        location = self._loc()
+        self._advance()
+        self._expect(TokenType.LPAREN, "after 'while'")
+        condition = self.parse_expression()
+        self._expect(TokenType.RPAREN, "after while-condition")
+        body = self._parse_block_or_statement()
+        return ast.WhileStmt(location=location, condition=condition, body=body)
+
+    def _parse_return(self) -> ast.ReturnStmt:
+        location = self._loc()
+        self._advance()
+        value = None
+        next_token = self._peek()
+        if (
+            not next_token.after_newline
+            and next_token.type not in (TokenType.RBRACE, TokenType.SEMICOLON, TokenType.EOF)
+        ):
+            value = self.parse_expression()
+        return ast.ReturnStmt(location=location, value=value)
+
+    def _parse_var_decl(self, consume_def: bool = True) -> ast.VarDecl:
+        location = self._loc()
+        if consume_def:
+            self._expect(TokenType.DEF, "to start variable declaration")
+        name = self._expect(TokenType.IDENT, "as variable name").value
+        initializer = None
+        if self._match(TokenType.ASSIGN):
+            initializer = self.parse_expression()
+        return ast.VarDecl(location=location, name=name, initializer=initializer)
+
+    def _parse_labeled_statement(self) -> ast.LabeledStmt:
+        location = self._loc()
+        label = self._advance().value
+        self._expect(TokenType.COLON, "after statement label")
+        value = self.parse_expression()
+        return ast.LabeledStmt(location=location, label=label, value=value)
+
+    def _parse_expression_statement(self) -> ast.Stmt:
+        location = self._loc()
+        command = self._try_parse_command_call()
+        expr = command if command is not None else self.parse_expression()
+        op_token = self._match(
+            TokenType.ASSIGN, TokenType.PLUS_ASSIGN, TokenType.MINUS_ASSIGN
+        )
+        if op_token is not None:
+            value = self.parse_expression()
+            return ast.Assignment(
+                location=location, target=expr, value=value, op=op_token.value
+            )
+        return ast.ExprStmt(location=location, expr=expr)
+
+    def _try_parse_command_call(self) -> ast.MethodCall | None:
+        """Recognise Groovy command syntax with bounded lookahead.
+
+        Matches ``name arg, ...`` and ``recv.name arg, ...`` where the
+        first argument token sits on the same line.  Returns ``None`` when
+        the statement is not a paren-free call.
+        """
+        if not self._check(TokenType.IDENT):
+            return None
+        offset = 1
+        # Walk a property chain: IDENT (DOT IDENT)*
+        while self._check(TokenType.DOT, offset) and self._check(
+            TokenType.IDENT, offset + 1
+        ):
+            offset += 2
+        arg_token = self._peek(offset)
+        if arg_token.after_newline or arg_token.type not in _ARG_START:
+            return None
+        # `x y = ...` is a typed declaration, not a command; `x y.z()` is a
+        # genuine command call (e.g. `sendSms phone, msg` is IDENT IDENT).
+        if arg_token.type is TokenType.IDENT and self._check(TokenType.ASSIGN, offset + 1):
+            return None
+        location = self._loc()
+        name_token = self._advance()
+        receiver: ast.Expr | None = None
+        name = name_token.value
+        while self._check(TokenType.DOT):
+            self._advance()
+            next_name = self._expect(TokenType.IDENT, "after '.'").value
+            base = (
+                ast.Identifier(location=location, name=name)
+                if receiver is None
+                else ast.PropertyAccess(location=location, receiver=receiver, name=name)
+            )
+            receiver = base
+            name = next_name
+        args = self._parse_argument_list(terminated_by_paren=False)
+        return ast.MethodCall(
+            location=location,
+            receiver=receiver,
+            name=name,
+            args=args,
+            parenthesized=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        condition = self._parse_binary(0)
+        if self._check(TokenType.QUESTION) and not self._peek().after_newline:
+            location = self._advance().location
+            if_true = self.parse_expression()
+            self._expect(TokenType.COLON, "in ternary expression")
+            if_false = self.parse_expression()
+            return ast.TernaryOp(
+                location=location,
+                condition=condition,
+                if_true=if_true,
+                if_false=if_false,
+            )
+        if self._check(TokenType.ELVIS) and not self._peek().after_newline:
+            location = self._advance().location
+            fallback = self.parse_expression()
+            return ast.ElvisOp(location=location, value=condition, fallback=fallback)
+        return condition
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_range()
+        left = self._parse_binary(level + 1)
+        while (
+            self._peek().type in _BINARY_LEVELS[level]
+            and not self._peek().after_newline
+        ):
+            op_token = self._advance()
+            right = self._parse_binary(level + 1)
+            op = "in" if op_token.type is TokenType.IN else op_token.value
+            left = ast.BinaryOp(
+                location=op_token.location, op=op, left=left, right=right
+            )
+        return left
+
+    def _parse_range(self) -> ast.Expr:
+        low = self._parse_unary()
+        if self._check(TokenType.RANGE) and not self._peek().after_newline:
+            location = self._advance().location
+            high = self._parse_unary()
+            return ast.RangeLiteral(location=location, low=low, high=high)
+        return low
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type in (TokenType.NOT, TokenType.MINUS, TokenType.PLUS):
+            self._advance()
+            operand = self._parse_unary()
+            if token.type is TokenType.PLUS:
+                return operand
+            # Constant-fold negative literals so thresholds stay literals.
+            if token.type is TokenType.MINUS and isinstance(operand, ast.IntLiteral):
+                return ast.IntLiteral(location=token.location, value=-operand.value)
+            if token.type is TokenType.MINUS and isinstance(operand, ast.DecimalLiteral):
+                return ast.DecimalLiteral(location=token.location, value=-operand.value)
+            return ast.UnaryOp(location=token.location, op=token.value, operand=operand)
+        if token.type in (TokenType.INCREMENT, TokenType.DECREMENT):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(location=token.location, op=token.value, operand=operand)
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_postfix()
+        if self._check(TokenType.POWER) and not self._peek().after_newline:
+            location = self._advance().location
+            exponent = self._parse_unary()
+            return ast.BinaryOp(location=location, op="**", left=base, right=exponent)
+        return base
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.type in (TokenType.DOT, TokenType.SAFE_DOT):
+                # A leading `.` on the next line continues a method chain.
+                safe = token.type is TokenType.SAFE_DOT
+                self._advance()
+                name = self._parse_member_name()
+                if self._check(TokenType.LPAREN) and not self._peek().after_newline:
+                    args = self._parse_paren_arguments()
+                    args.extend(self._parse_trailing_closure())
+                    expr = ast.MethodCall(
+                        location=token.location,
+                        receiver=expr,
+                        name=name,
+                        args=args,
+                        safe=safe,
+                    )
+                elif self._check(TokenType.LBRACE) and not self._peek().after_newline:
+                    args = self._parse_trailing_closure()
+                    expr = ast.MethodCall(
+                        location=token.location,
+                        receiver=expr,
+                        name=name,
+                        args=args,
+                        safe=safe,
+                    )
+                else:
+                    expr = ast.PropertyAccess(
+                        location=token.location, receiver=expr, name=name, safe=safe
+                    )
+            elif token.type is TokenType.METHOD_REF:
+                self._advance()
+                name = self._parse_member_name()
+                expr = ast.MethodPointer(
+                    location=token.location, receiver=expr, name=name
+                )
+            elif token.type is TokenType.LPAREN and not token.after_newline:
+                if not isinstance(expr, (ast.Identifier, ast.PropertyAccess)):
+                    break
+                args = self._parse_paren_arguments()
+                args.extend(self._parse_trailing_closure())
+                if isinstance(expr, ast.Identifier):
+                    expr = ast.MethodCall(
+                        location=token.location,
+                        receiver=None,
+                        name=expr.name,
+                        args=args,
+                    )
+                else:
+                    expr = ast.MethodCall(
+                        location=token.location,
+                        receiver=expr.receiver,
+                        name=expr.name,
+                        args=args,
+                        safe=expr.safe,
+                    )
+            elif token.type is TokenType.LBRACKET and not token.after_newline:
+                self._advance()
+                index = self.parse_expression()
+                self._expect(TokenType.RBRACKET, "to close index access")
+                expr = ast.IndexAccess(
+                    location=token.location, receiver=expr, index=index
+                )
+            elif token.type is TokenType.LBRACE and not token.after_newline:
+                if not isinstance(expr, (ast.Identifier, ast.PropertyAccess)):
+                    break
+                args = self._parse_trailing_closure()
+                if isinstance(expr, ast.Identifier):
+                    expr = ast.MethodCall(
+                        location=token.location,
+                        receiver=None,
+                        name=expr.name,
+                        args=args,
+                    )
+                else:
+                    expr = ast.MethodCall(
+                        location=token.location,
+                        receiver=expr.receiver,
+                        name=expr.name,
+                        args=args,
+                        safe=expr.safe,
+                    )
+            elif (
+                token.type is TokenType.IDENT
+                and token.value == "as"
+                and not token.after_newline
+            ):
+                self._advance()
+                type_name = self._expect(TokenType.IDENT, "after 'as'").value
+                expr = ast.CastExpr(
+                    location=token.location, value=expr, type_name=type_name
+                )
+            elif token.type in (TokenType.INCREMENT, TokenType.DECREMENT):
+                self._advance()
+                expr = ast.UnaryOp(
+                    location=token.location, op="post" + token.value, operand=expr
+                )
+            else:
+                break
+        return expr
+
+    def _parse_member_name(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            return self._advance().value
+        # Keywords are legal member names after a dot (`evt.default`).
+        if token.value is not None and str(token.value).isidentifier():
+            self._advance()
+            return str(token.value)
+        raise ParseError("expected member name after '.'", token.location)
+
+    def _parse_paren_arguments(self) -> list[ast.Expr | ast.NamedArgument]:
+        self._expect(TokenType.LPAREN, "to open argument list")
+        args = self._parse_argument_list(terminated_by_paren=True)
+        self._expect(TokenType.RPAREN, "to close argument list")
+        return args
+
+    def _parse_argument_list(
+        self, terminated_by_paren: bool
+    ) -> list[ast.Expr | ast.NamedArgument]:
+        args: list[ast.Expr | ast.NamedArgument] = []
+        if terminated_by_paren and self._check(TokenType.RPAREN):
+            return args
+        while True:
+            args.append(self._parse_argument())
+            if not self._match(TokenType.COMMA):
+                break
+        return args
+
+    def _parse_argument(self) -> ast.Expr | ast.NamedArgument:
+        token = self._peek()
+        if (
+            token.type in (TokenType.IDENT, TokenType.STRING)
+            and self._check(TokenType.COLON, 1)
+        ):
+            name = str(self._advance().value)
+            self._advance()  # ':'
+            value = self.parse_expression()
+            return ast.NamedArgument(location=token.location, name=name, value=value)
+        return self.parse_expression()
+
+    def _parse_trailing_closure(self) -> list[ast.Expr]:
+        if self._check(TokenType.LBRACE) and not self._peek().after_newline:
+            return [self._parse_closure()]
+        return []
+
+    def _parse_closure(self) -> ast.ClosureExpr:
+        location = self._loc()
+        self._expect(TokenType.LBRACE, "to open closure")
+        params = self._try_parse_closure_params()
+        statements: list[ast.Stmt] = []
+        self._skip_semicolons()
+        while not self._check(TokenType.RBRACE) and not self._check(TokenType.EOF):
+            statements.append(self._parse_statement())
+            self._skip_semicolons()
+        self._expect(TokenType.RBRACE, "to close closure")
+        body = ast.Block(location=location, statements=statements)
+        return ast.ClosureExpr(location=location, params=params, body=body)
+
+    def _try_parse_closure_params(self) -> list[ast.ClosureParam]:
+        """Parse ``a, b ->`` if present; otherwise leave position intact."""
+        checkpoint = self._pos
+        params: list[ast.ClosureParam] = []
+        while self._check(TokenType.IDENT):
+            params.append(
+                ast.ClosureParam(location=self._loc(), name=self._advance().value)
+            )
+            if not self._match(TokenType.COMMA):
+                break
+        if params and self._match(TokenType.ARROW):
+            return params
+        self._pos = checkpoint
+        return []
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return ast.IntLiteral(location=token.location, value=token.value)
+        if token.type is TokenType.DECIMAL:
+            self._advance()
+            return ast.DecimalLiteral(location=token.location, value=token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(location=token.location, value=token.value)
+        if token.type is TokenType.GSTRING:
+            self._advance()
+            return self._build_gstring(token)
+        if token.type is TokenType.TRUE:
+            self._advance()
+            return ast.BoolLiteral(location=token.location, value=True)
+        if token.type is TokenType.FALSE:
+            self._advance()
+            return ast.BoolLiteral(location=token.location, value=False)
+        if token.type is TokenType.NULL:
+            self._advance()
+            return ast.NullLiteral(location=token.location)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return ast.Identifier(location=token.location, name=token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self.parse_expression()
+            self._expect(TokenType.RPAREN, "to close parenthesized expression")
+            return expr
+        if token.type is TokenType.LBRACKET:
+            return self._parse_list_or_map()
+        if token.type is TokenType.LBRACE:
+            return self._parse_closure()
+        if token.type is TokenType.NEW:
+            return self._parse_constructor()
+        raise ParseError(
+            f"unexpected token {token.type.value!r} in expression", token.location
+        )
+
+    def _build_gstring(self, token: Token) -> ast.GStringLiteral:
+        parts: list[object] = []
+        for part in token.value:
+            if isinstance(part, tuple):
+                sub_tokens = tokenize(part[1])
+                sub_parser = Parser(sub_tokens)
+                parts.append(sub_parser.parse_expression())
+            else:
+                parts.append(part)
+        return ast.GStringLiteral(location=token.location, parts=parts)
+
+    def _parse_list_or_map(self) -> ast.Expr:
+        location = self._loc()
+        self._expect(TokenType.LBRACKET, "to open list or map literal")
+        if self._match(TokenType.RBRACKET):
+            return ast.ListLiteral(location=location, elements=[])
+        if self._check(TokenType.COLON):
+            self._advance()
+            self._expect(TokenType.RBRACKET, "to close empty map literal")
+            return ast.MapLiteral(location=location, entries=[])
+        first_key = self._parse_map_key_or_element()
+        if self._match(TokenType.COLON):
+            value = self.parse_expression()
+            entries = [ast.MapEntry(location=location, key=first_key, value=value)]
+            while self._match(TokenType.COMMA):
+                key = self._parse_map_key_or_element()
+                self._expect(TokenType.COLON, "in map literal entry")
+                entries.append(
+                    ast.MapEntry(
+                        location=key.location, key=key, value=self.parse_expression()
+                    )
+                )
+            self._expect(TokenType.RBRACKET, "to close map literal")
+            return ast.MapLiteral(location=location, entries=entries)
+        elements = [first_key]
+        while self._match(TokenType.COMMA):
+            elements.append(self.parse_expression())
+        self._expect(TokenType.RBRACKET, "to close list literal")
+        return ast.ListLiteral(location=location, elements=elements)
+
+    def _parse_map_key_or_element(self) -> ast.Expr:
+        """Map keys that are bare identifiers act as string constants."""
+        token = self._peek()
+        if token.type is TokenType.IDENT and self._check(TokenType.COLON, 1):
+            self._advance()
+            return ast.StringLiteral(location=token.location, value=token.value)
+        return self.parse_expression()
+
+    def _parse_constructor(self) -> ast.ConstructorCall:
+        location = self._loc()
+        self._expect(TokenType.NEW, "to start constructor call")
+        type_parts = [self._expect(TokenType.IDENT, "as type name").value]
+        while self._check(TokenType.DOT) and self._check(TokenType.IDENT, 1):
+            self._advance()
+            type_parts.append(self._advance().value)
+        args: list[ast.Expr | ast.NamedArgument] = []
+        if self._check(TokenType.LPAREN):
+            args = self._parse_paren_arguments()
+        return ast.ConstructorCall(
+            location=location, type_name=".".join(type_parts), args=args
+        )
+
+
+def parse(source: str) -> ast.Module:
+    """Parse SmartApp source text into a :class:`Module`."""
+    return Parser(tokenize(source)).parse_module()

@@ -1,0 +1,122 @@
+"""Token definitions for the Groovy-subset lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.lang.errors import SourceLocation
+
+
+class TokenType(enum.Enum):
+    """Lexical categories recognised by :class:`repro.lang.lexer.Lexer`."""
+
+    # Literals
+    INT = "INT"
+    DECIMAL = "DECIMAL"
+    STRING = "STRING"          # plain single-quoted or escape-free string
+    GSTRING = "GSTRING"        # double-quoted string with ${...} parts
+    IDENT = "IDENT"
+
+    # Keywords (a closed subset of Groovy's keyword set)
+    DEF = "def"
+    IF = "if"
+    ELSE = "else"
+    SWITCH = "switch"
+    CASE = "case"
+    DEFAULT = "default"
+    BREAK = "break"
+    RETURN = "return"
+    TRUE = "true"
+    FALSE = "false"
+    NULL = "null"
+    FOR = "for"
+    WHILE = "while"
+    IN = "in"
+    NEW = "new"
+    INSTANCEOF = "instanceof"
+
+    # Punctuation and operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    DOT = "."
+    SAFE_DOT = "?."
+    METHOD_REF = ".&"
+    COLON = ":"
+    SEMICOLON = ";"
+    ARROW = "->"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    EQ = "=="
+    NEQ = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    SPACESHIP = "<=>"
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    POWER = "**"
+    QUESTION = "?"
+    ELVIS = "?:"
+    RANGE = ".."
+    INCREMENT = "++"
+    DECREMENT = "--"
+
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+
+
+KEYWORDS: dict[str, TokenType] = {
+    "def": TokenType.DEF,
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "switch": TokenType.SWITCH,
+    "case": TokenType.CASE,
+    "default": TokenType.DEFAULT,
+    "break": TokenType.BREAK,
+    "return": TokenType.RETURN,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "null": TokenType.NULL,
+    "for": TokenType.FOR,
+    "while": TokenType.WHILE,
+    "in": TokenType.IN,
+    "new": TokenType.NEW,
+    "instanceof": TokenType.INSTANCEOF,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded payload: ``int`` for INT, ``float`` for
+    DECIMAL, ``str`` for STRING/IDENT, and for GSTRING a list of parts
+    where each part is either a literal ``str`` or a ``("expr", source)``
+    tuple holding the raw text inside ``${...}`` (parsed lazily by the
+    parser so the lexer stays a pure tokenizer).
+    """
+
+    type: TokenType
+    value: Any
+    location: SourceLocation
+    # Whether this token was preceded by at least one newline; the parser
+    # uses this for Groovy-style statement separation.
+    after_newline: bool = field(default=False, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.location})"

@@ -1,0 +1,19 @@
+"""SmartApp code-review checks (paper §VIII-D.2).
+
+SmartThings' manual code review bans dynamic method execution and
+requires developers to ``switch`` over all possible GString values
+before doing anything with them; the sandbox additionally restricts the
+``Executor`` API surface.  This package automates those checks, so the
+rule extractor can rely on the same guarantees the platform enforces:
+
+* no dynamic method execution (``"$name"()`` or ``invokeMethod``),
+* banned sandbox methods never called,
+* GStrings that reach method-call position must be switched over,
+* only declared inputs are referenced (a hygiene check that also
+  catches the "customized meaningless names" evasion the paper notes
+  defeats NLP-based tools like SmartAuth).
+"""
+
+from repro.review.checks import Finding, ReviewReport, review_app
+
+__all__ = ["Finding", "ReviewReport", "review_app"]

@@ -1,0 +1,212 @@
+"""Static code-review checks over the SmartApp AST."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.runtime.sandbox import BANNED_METHODS
+
+_SEVERITIES = ("error", "warning")
+
+# Platform / Groovy globals that are not app inputs but are always
+# available inside the sandbox.
+_AMBIENT_IDENTIFIERS = {
+    "location", "state", "atomicState", "app", "log", "settings", "params",
+    "Math", "it", "this", "now", "true", "false", "null", "request",
+    "response",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One review finding."""
+
+    check: str
+    severity: str
+    message: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] line {self.line}: {self.message} ({self.check})"
+
+
+@dataclass(slots=True)
+class ReviewReport:
+    """Outcome of reviewing one app."""
+
+    app_name: str
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+
+def review_app(source: str, app_name: str = "") -> ReviewReport:
+    """Run all code-review checks over ``source``."""
+    module = parse(source)
+    report = ReviewReport(app_name=app_name)
+    _check_banned_methods(module, report)
+    _check_dynamic_dispatch(module, report)
+    _check_gstring_switch(module, report)
+    _check_undeclared_identifiers(module, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+
+
+def _walk_module(module: ast.Module):
+    for stmt in module.top_level:
+        yield from ast.walk(stmt)
+    for method in module.methods.values():
+        yield from ast.walk(method)
+
+
+def _check_banned_methods(module: ast.Module, report: ReviewReport) -> None:
+    for node in _walk_module(module):
+        if isinstance(node, ast.MethodCall) and node.name in BANNED_METHODS:
+            report.findings.append(
+                Finding(
+                    check="banned-method",
+                    severity="error",
+                    message=f"call to sandbox-banned method {node.name!r}",
+                    line=node.location.line,
+                )
+            )
+
+
+def _check_dynamic_dispatch(module: ast.Module, report: ReviewReport) -> None:
+    """Dynamic method execution: calling a method whose *name* is a
+    runtime value (``"$cmd"()``, ``device."$attr"()``).  Our grammar
+    cannot even parse the quoted-call form, so the check looks for the
+    reflective equivalents that do parse."""
+    for node in _walk_module(module):
+        if isinstance(node, ast.MethodCall):
+            if node.name in ("invokeMethod", "getProperty", "setProperty"):
+                report.findings.append(
+                    Finding(
+                        check="dynamic-dispatch",
+                        severity="error",
+                        message=(
+                            "dynamic method execution via "
+                            f"{node.name!r} is banned by code review"
+                        ),
+                        line=node.location.line,
+                    )
+                )
+
+
+def _collect_gstring_vars(module: ast.Module) -> dict[str, int]:
+    """Local variables assigned from GStrings (candidate dynamic data)."""
+    assigned: dict[str, int] = {}
+    for node in _walk_module(module):
+        if isinstance(node, ast.VarDecl) and isinstance(
+            node.initializer, ast.GStringLiteral
+        ):
+            assigned[node.name] = node.location.line
+        elif isinstance(node, ast.Assignment) and isinstance(
+            node.value, ast.GStringLiteral
+        ):
+            if isinstance(node.target, ast.Identifier):
+                assigned[node.target.name] = node.location.line
+    return assigned
+
+
+def _check_gstring_switch(module: ast.Module, report: ReviewReport) -> None:
+    """GStrings used to select behaviour must pass through a ``switch``
+    over their possible values (paper §VIII-D.2).
+
+    Heuristic faithful to the review guideline: a GString-derived
+    variable may flow into a ``switch`` subject freely; using it as a
+    command *argument selector* without a switch draws a warning.
+    """
+    gstring_vars = _collect_gstring_vars(module)
+    if not gstring_vars:
+        return
+    switched: set[str] = set()
+    for node in _walk_module(module):
+        if isinstance(node, ast.SwitchStmt) and isinstance(
+            node.subject, ast.Identifier
+        ):
+            switched.add(node.subject.name)
+    for node in _walk_module(module):
+        if not isinstance(node, ast.MethodCall):
+            continue
+        for arg in node.positional_args():
+            if (
+                isinstance(arg, ast.Identifier)
+                and arg.name in gstring_vars
+                and arg.name not in switched
+                and node.name not in ("log", "debug", "info", "trace",
+                                      "sendPush", "sendSms",
+                                      "sendSmsMessage", "sendNotification")
+            ):
+                report.findings.append(
+                    Finding(
+                        check="gstring-switch",
+                        severity="warning",
+                        message=(
+                            f"GString-derived variable {arg.name!r} used in "
+                            f"call {node.name!r} without a switch over its "
+                            "possible values"
+                        ),
+                        line=node.location.line,
+                    )
+                )
+
+
+def _declared_names(module: ast.Module) -> set[str]:
+    names: set[str] = set(_AMBIENT_IDENTIFIERS)
+    names.update(module.methods)
+    for node in _walk_module(module):
+        if isinstance(node, ast.MethodCall) and node.name == "input":
+            positional = node.positional_args()
+            if positional and isinstance(positional[0], ast.StringLiteral):
+                names.add(positional[0].value)
+        elif isinstance(node, ast.VarDecl):
+            names.add(node.name)
+        elif isinstance(node, ast.Assignment) and isinstance(
+            node.target, ast.Identifier
+        ):
+            names.add(node.target.name)
+        elif isinstance(node, ast.MethodDecl):
+            names.update(param.name for param in node.params)
+        elif isinstance(node, ast.ClosureExpr):
+            names.update(param.name for param in node.params)
+        elif isinstance(node, ast.ForInStmt):
+            names.add(node.variable)
+    return names
+
+
+def _check_undeclared_identifiers(
+    module: ast.Module, report: ReviewReport
+) -> None:
+    declared = _declared_names(module)
+    seen: set[str] = set()
+    for method in module.methods.values():
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Identifier)
+                and node.name not in declared
+                and node.name not in seen
+            ):
+                seen.add(node.name)
+                report.findings.append(
+                    Finding(
+                        check="undeclared-identifier",
+                        severity="warning",
+                        message=f"identifier {node.name!r} is not a declared "
+                                "input, local, method or platform object",
+                        line=node.location.line,
+                    )
+                )

@@ -1,0 +1,60 @@
+"""Rule representation, extraction and interpretation (paper §V).
+
+A rule is the paper's trigger-condition-action tuple.  The
+:class:`RuleExtractor` runs the symbolic executor over SmartApp source
+and assembles one :class:`Rule` per explored path; rules serialize to
+JSON rule files and render to the human-readable form shown by the
+HomeGuard frontend.
+"""
+
+from repro.rules.model import (
+    Action,
+    Condition,
+    DataConstraint,
+    Rule,
+    RuleSet,
+    Trigger,
+)
+
+__all__ = [
+    "Action",
+    "Condition",
+    "DataConstraint",
+    "ExtractionError",
+    "Rule",
+    "RuleExtractor",
+    "RuleSet",
+    "Trigger",
+    "describe_rule",
+    "describe_trigger",
+    "extract_rules",
+    "rule_from_json",
+    "rule_to_json",
+    "ruleset_from_json",
+    "ruleset_to_json",
+]
+
+# The extractor depends on the symbolic engine, which itself imports
+# this package for the rule model; loading those names lazily keeps the
+# import graph acyclic regardless of which module is imported first.
+_LAZY = {
+    "ExtractionError": ("repro.rules.extractor", "ExtractionError"),
+    "RuleExtractor": ("repro.rules.extractor", "RuleExtractor"),
+    "extract_rules": ("repro.rules.extractor", "extract_rules"),
+    "describe_rule": ("repro.rules.interpreter", "describe_rule"),
+    "describe_trigger": ("repro.rules.interpreter", "describe_trigger"),
+    "rule_from_json": ("repro.rules.serialization", "rule_from_json"),
+    "rule_to_json": ("repro.rules.serialization", "rule_to_json"),
+    "ruleset_from_json": ("repro.rules.serialization", "ruleset_from_json"),
+    "ruleset_to_json": ("repro.rules.serialization", "ruleset_to_json"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

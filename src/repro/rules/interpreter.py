@@ -1,0 +1,137 @@
+"""Human-readable rule rendering (the frontend's Rule Interpreter).
+
+The HomeGuard frontend shows the extracted rules to the user during app
+installation so they can check the app behaves as its description claims
+(paper Fig. 6 / Fig. 7b).  The rendering follows the paper's
+"when <trigger> if <condition> then <action>" phrasing.
+"""
+
+from __future__ import annotations
+
+from repro.rules.model import Action, Condition, Rule, Trigger
+from repro.symex.values import (
+    BinExpr,
+    CallExpr,
+    Concat,
+    Const,
+    DeviceAttr,
+    DeviceRef,
+    EventAttr,
+    EventValue,
+    ListVal,
+    LocalVar,
+    LocationAttr,
+    NotExpr,
+    StateVal,
+    SymExpr,
+    TimeVal,
+    UserInput,
+)
+
+_OP_WORDS = {
+    "==": "is",
+    "!=": "is not",
+    ">": "is above",
+    ">=": "is at least",
+    "<": "is below",
+    "<=": "is at most",
+    "&&": "and",
+    "||": "or",
+    "in": "is one of",
+}
+
+
+def render_expr(expr: SymExpr, subject_hint: str | None = None) -> str:
+    """Render a symbolic expression as a short English phrase."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, EventValue):
+        return subject_hint or "the event value"
+    if isinstance(expr, EventAttr):
+        return f"the event {expr.attribute}"
+    if isinstance(expr, DeviceAttr):
+        return f"{expr.device.name}'s {expr.attribute}"
+    if isinstance(expr, DeviceRef):
+        return expr.name
+    if isinstance(expr, UserInput):
+        return f"the configured {expr.name}"
+    if isinstance(expr, LocalVar):
+        return expr.display_name
+    if isinstance(expr, StateVal):
+        return f"stored {expr.name}"
+    if isinstance(expr, LocationAttr):
+        return f"the home {expr.attribute}"
+    if isinstance(expr, TimeVal):
+        return "the current time" if expr.kind == "now" else f"the {expr.kind} time"
+    if isinstance(expr, BinExpr):
+        word = _OP_WORDS.get(expr.op, expr.op)
+        return (
+            f"{render_expr(expr.left, subject_hint)} {word} "
+            f"{render_expr(expr.right, subject_hint)}"
+        )
+    if isinstance(expr, NotExpr):
+        return f"not ({render_expr(expr.operand, subject_hint)})"
+    if isinstance(expr, CallExpr):
+        args = ", ".join(render_expr(arg, subject_hint) for arg in expr.args)
+        return f"{expr.function}({args})"
+    if isinstance(expr, ListVal):
+        return "[" + ", ".join(render_expr(item, subject_hint) for item in expr.items) + "]"
+    if isinstance(expr, Concat):
+        return " + ".join(render_expr(part, subject_hint) for part in expr.parts)
+    return str(expr)
+
+
+def describe_trigger(trigger: Trigger) -> str:
+    if trigger.subject == "time":
+        return f"on schedule ({trigger.attribute})"
+    if trigger.subject == "install":
+        return "when the app is installed or updated"
+    subject = trigger.subject
+    hint = f"{subject}'s {trigger.attribute}"
+    if trigger.constraint is None:
+        return f"when {hint} changes"
+    return f"when {render_expr(trigger.constraint, hint)}"
+
+
+def describe_condition(condition: Condition) -> str:
+    if condition.is_trivial:
+        return ""
+    parts = [render_expr(p) for p in condition.predicate_constraints]
+    return "if " + " and ".join(parts)
+
+
+def describe_action(action: Action) -> str:
+    params = ", ".join(render_expr(param) for param in action.params)
+    rendered = f"{action.subject} -> {action.command}"
+    if params:
+        rendered += f"({params})"
+    if isinstance(action.when, (int, float)) and action.when:
+        rendered += f" after {_duration(action.when)}"
+    elif not isinstance(action.when, (int, float)):
+        rendered += " after a configured delay"
+    if isinstance(action.period, (int, float)) and action.period:
+        rendered += f" every {_duration(action.period)}"
+    return rendered
+
+
+def _duration(seconds: float) -> str:
+    seconds = float(seconds)
+    if seconds >= 3600 and seconds % 3600 == 0:
+        hours = int(seconds // 3600)
+        return f"{hours} hour" + ("s" if hours != 1 else "")
+    if seconds >= 60 and seconds % 60 == 0:
+        minutes = int(seconds // 60)
+        return f"{minutes} minute" + ("s" if minutes != 1 else "")
+    if seconds == int(seconds):
+        seconds = int(seconds)
+    return f"{seconds} seconds"
+
+
+def describe_rule(rule: Rule) -> str:
+    """Full "when ... if ... then ..." sentence for one rule."""
+    pieces = [describe_trigger(rule.trigger)]
+    condition = describe_condition(rule.condition)
+    if condition:
+        pieces.append(condition)
+    pieces.append(f"then {describe_action(rule.action)}")
+    return " ".join(pieces)

@@ -1,0 +1,147 @@
+"""The structured rule representation (paper §V-A, Listing 2).
+
+::
+
+    Trigger:
+        (:subject).(:attribute)
+        (:constraint)
+    Condition:
+        (:data constraints)
+        (:predicate constraints)
+    Action:
+        (:subject)->(:command)(:paras)(:when)(:period)
+        (:data constraints)
+
+``when`` is the scheduled delay in seconds and ``period`` the repetition
+interval; both default to 0 (issue immediately, once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.symex.values import DeviceRef, SymExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Trigger:
+    """What fires the rule.
+
+    ``subject`` is the subscribed entity: a device reference, the string
+    ``"location"`` (mode/position events), ``"app"`` (app touch) or
+    ``"time"`` (scheduled rules).  ``constraint`` restricts the event
+    value (``None`` means any state change fires the rule).
+    """
+
+    subject: str
+    attribute: str
+    constraint: SymExpr | None = None
+    device: DeviceRef | None = None
+
+    @property
+    def is_scheduled(self) -> bool:
+        return self.subject == "time"
+
+
+@dataclass(frozen=True, slots=True)
+class DataConstraint:
+    """A value-flow fact recorded along the path: ``name = expr``."""
+
+    name: str
+    value: SymExpr
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """Path constraints that must hold for the action to run."""
+
+    data_constraints: tuple[DataConstraint, ...] = ()
+    predicate_constraints: tuple[SymExpr, ...] = ()
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.predicate_constraints
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """A command issued to an actuator (or a sensitive platform API).
+
+    ``subject`` names the device input the command targets (or a
+    platform pseudo-subject such as ``"location"`` or ``"sms"``);
+    ``params`` are symbolic command arguments; ``when`` / ``period``
+    carry scheduling information attached by the API models.
+    """
+
+    subject: str
+    command: str
+    params: tuple[SymExpr, ...] = ()
+    # Delay / repetition interval in seconds; a SymExpr when the value is
+    # user-configured (e.g. `runIn(minutes * 60, handler)`).
+    when: float | SymExpr = 0.0
+    period: float | SymExpr = 0.0
+    data_constraints: tuple[DataConstraint, ...] = ()
+    device: DeviceRef | None = None
+    capability: str | None = None
+
+    @property
+    def is_delayed(self) -> bool:
+        return isinstance(self.when, SymExpr) or self.when != 0
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One trigger-condition-action tuple extracted from an app."""
+
+    app_name: str
+    rule_id: str
+    trigger: Trigger
+    condition: Condition
+    action: Action
+
+    def devices(self) -> list[DeviceRef]:
+        """All device references the rule touches (trigger + condition +
+        action), used for device-binding constraints."""
+        refs: dict[str, DeviceRef] = {}
+        if self.trigger.device is not None:
+            refs[self.trigger.device.name] = self.trigger.device
+        if self.trigger.constraint is not None:
+            for node in self.trigger.constraint.walk():
+                if isinstance(node, DeviceRef):
+                    refs.setdefault(node.name, node)
+        for constraint in self.condition.predicate_constraints:
+            for node in constraint.walk():
+                if isinstance(node, DeviceRef):
+                    refs.setdefault(node.name, node)
+        for data in self.condition.data_constraints:
+            for node in data.value.walk():
+                if isinstance(node, DeviceRef):
+                    refs.setdefault(node.name, node)
+        if self.action.device is not None:
+            refs.setdefault(self.action.device.name, self.action.device)
+        return list(refs.values())
+
+
+@dataclass(slots=True)
+class RuleSet:
+    """All rules extracted from one app, plus its input declarations."""
+
+    app_name: str
+    rules: list[Rule] = field(default_factory=list)
+    inputs: dict[str, SymExpr] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def device_inputs(self) -> dict[str, DeviceRef]:
+        return {
+            name: ref
+            for name, ref in self.inputs.items()
+            if isinstance(ref, DeviceRef)
+        }

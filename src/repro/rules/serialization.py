@@ -1,0 +1,142 @@
+"""JSON serialization of rules.
+
+The HomeGuard backend stores one JSON rule file per app (~6.2 KB on
+average, paper §VIII-C) and ships it to the companion app at
+installation time.  This module provides a loss-free round trip for
+:class:`Rule` and :class:`RuleSet`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.rules.model import Action, Condition, DataConstraint, Rule, RuleSet, Trigger
+from repro.symex.values import SymExpr, from_json, to_json
+
+
+def _when_to_json(value: float | SymExpr) -> object:
+    if isinstance(value, SymExpr):
+        return {"sym": to_json(value)}
+    return value
+
+
+def _when_from_json(data: object) -> float | SymExpr:
+    if isinstance(data, dict) and "sym" in data:
+        return from_json(data["sym"])
+    return float(data)  # type: ignore[arg-type]
+
+
+def trigger_to_json(trigger: Trigger) -> dict:
+    return {
+        "subject": trigger.subject,
+        "attribute": trigger.attribute,
+        "constraint": to_json(trigger.constraint) if trigger.constraint else None,
+        "device": to_json(trigger.device) if trigger.device else None,
+    }
+
+
+def trigger_from_json(data: dict) -> Trigger:
+    device = from_json(data["device"]) if data.get("device") else None
+    return Trigger(
+        subject=data["subject"],
+        attribute=data["attribute"],
+        constraint=from_json(data["constraint"]) if data.get("constraint") else None,
+        device=device,
+    )
+
+
+def condition_to_json(condition: Condition) -> dict:
+    return {
+        "data": [
+            {"name": constraint.name, "value": to_json(constraint.value)}
+            for constraint in condition.data_constraints
+        ],
+        "predicates": [to_json(p) for p in condition.predicate_constraints],
+    }
+
+
+def condition_from_json(data: dict) -> Condition:
+    return Condition(
+        data_constraints=tuple(
+            DataConstraint(entry["name"], from_json(entry["value"]))
+            for entry in data.get("data", [])
+        ),
+        predicate_constraints=tuple(
+            from_json(entry) for entry in data.get("predicates", [])
+        ),
+    )
+
+
+def action_to_json(action: Action) -> dict:
+    return {
+        "subject": action.subject,
+        "command": action.command,
+        "params": [to_json(param) for param in action.params],
+        "when": _when_to_json(action.when),
+        "period": _when_to_json(action.period),
+        "data": [
+            {"name": constraint.name, "value": to_json(constraint.value)}
+            for constraint in action.data_constraints
+        ],
+        "device": to_json(action.device) if action.device else None,
+        "capability": action.capability,
+    }
+
+
+def action_from_json(data: dict) -> Action:
+    device = from_json(data["device"]) if data.get("device") else None
+    return Action(
+        subject=data["subject"],
+        command=data["command"],
+        params=tuple(from_json(param) for param in data.get("params", [])),
+        when=_when_from_json(data.get("when", 0)),
+        period=_when_from_json(data.get("period", 0)),
+        data_constraints=tuple(
+            DataConstraint(entry["name"], from_json(entry["value"]))
+            for entry in data.get("data", [])
+        ),
+        device=device,
+        capability=data.get("capability"),
+    )
+
+
+def rule_to_json(rule: Rule) -> dict:
+    return {
+        "app": rule.app_name,
+        "id": rule.rule_id,
+        "trigger": trigger_to_json(rule.trigger),
+        "condition": condition_to_json(rule.condition),
+        "action": action_to_json(rule.action),
+    }
+
+
+def rule_from_json(data: dict) -> Rule:
+    return Rule(
+        app_name=data["app"],
+        rule_id=data["id"],
+        trigger=trigger_from_json(data["trigger"]),
+        condition=condition_from_json(data["condition"]),
+        action=action_from_json(data["action"]),
+    )
+
+
+def ruleset_to_json(ruleset: RuleSet) -> str:
+    """Serialize a rule set to the JSON string stored on the backend."""
+    payload = {
+        "app": ruleset.app_name,
+        "rules": [rule_to_json(rule) for rule in ruleset.rules],
+        "inputs": {name: to_json(expr) for name, expr in ruleset.inputs.items()},
+    }
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def ruleset_from_json(text: str) -> RuleSet:
+    payload = json.loads(text)
+    return RuleSet(
+        app_name=payload["app"],
+        rules=[rule_from_json(entry) for entry in payload.get("rules", [])],
+        inputs={
+            name: from_json(entry)
+            for name, entry in payload.get("inputs", {}).items()
+        },
+    )

@@ -1,0 +1,35 @@
+"""Discrete-event smart-home runtime simulator.
+
+The paper verifies discovered threats on real SmartThings hardware and
+the platform simulator (§VIII-A/§VIII-B); this package is our
+substitute substrate: a virtual clock, an event bus, simulated devices,
+a physical-environment model with channel dynamics, a scheduler for
+``runIn``/``runEvery``-style jobs, and a sandboxed *concrete*
+interpreter that executes the same Groovy-subset SmartApps the symbolic
+executor analyses.
+
+The headline use is reproducing the exploitation experiments: install
+the five demo apps in one :class:`SmartHome`, drive sensor events, and
+watch actuator races, chained triggering and condition disabling unfold.
+"""
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.events import Event, EventBus
+from repro.runtime.environment import Environment
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.devices import SimDevice
+from repro.runtime.sandbox import SandboxViolation
+from repro.runtime.home import AppInstance, CommandRecord, SmartHome
+
+__all__ = [
+    "AppInstance",
+    "CommandRecord",
+    "Environment",
+    "Event",
+    "EventBus",
+    "SandboxViolation",
+    "Scheduler",
+    "SimDevice",
+    "SmartHome",
+    "VirtualClock",
+]

@@ -1,0 +1,33 @@
+"""Virtual time."""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Simulated wall clock, in seconds since the simulation epoch.
+
+    Time only moves via :meth:`advance_to`/:meth:`advance`, driven by the
+    scheduler — there is no real sleeping anywhere in the simulator, so
+    hour-long scenarios run in milliseconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError(
+                f"time cannot move backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def advance(self, seconds: float) -> None:
+        self.advance_to(self._now + seconds)
+
+    def time_of_day(self) -> float:
+        """Seconds since local midnight (the sim epoch is midnight)."""
+        return self._now % 86400.0

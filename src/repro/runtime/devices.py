@@ -1,0 +1,89 @@
+"""Simulated devices: state, commands, sensor sampling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.capabilities.channels import channel_for_attribute
+from repro.capabilities.devices import Device, device_type
+from repro.capabilities.registry import CommandSpec, find_command
+
+
+@dataclass(slots=True)
+class SimDevice:
+    """A device living in a :class:`repro.runtime.home.SmartHome`.
+
+    ``on_change`` is invoked with (device, attribute, old, new) whenever
+    an attribute changes so the home can publish events.
+    """
+
+    device: Device
+    on_change: Callable[["SimDevice", str, object, object], None] | None = None
+    command_log: list[tuple[float, str, tuple]] = field(default_factory=list)
+
+    @property
+    def id(self) -> str:
+        return self.device.device_id
+
+    @property
+    def label(self) -> str:
+        return self.device.label
+
+    @property
+    def type_name(self) -> str:
+        return self.device.type_name
+
+    def current_value(self, attribute: str) -> object:
+        return self.device.current_value(attribute)
+
+    def set_attribute(self, attribute: str, value: object) -> bool:
+        """Set a state attribute; returns True when the value changed."""
+        old = self.device.state.get(attribute)
+        if old == value:
+            return False
+        self.device.state[attribute] = value
+        if self.on_change is not None:
+            self.on_change(self, attribute, old, value)
+        return True
+
+    def execute(self, command: str, params: tuple = (), now: float = 0.0) -> CommandSpec | None:
+        """Apply a command to the device state; returns the spec used."""
+        dtype = device_type(self.type_name)
+        if command not in dtype.commands():
+            raise ValueError(
+                f"device {self.label!r} ({self.type_name}) does not support "
+                f"command {command!r}"
+            )
+        self.command_log.append((now, command, params))
+        spec = None
+        for cap in dtype.capability_objects():
+            if command in cap.commands:
+                spec = cap.commands[command]
+                break
+        if spec is None:
+            spec = find_command(command)
+        if spec is not None:
+            for attribute, value in spec.sets:
+                if value is None and params:
+                    value = params[0]
+                if value is not None:
+                    self.set_attribute(attribute, value)
+        return spec
+
+    def sample_channels(self, environment) -> list[tuple[str, float]]:
+        """Update measurement attributes from the environment; returns
+        the (attribute, value) pairs that changed."""
+        changed: list[tuple[str, float]] = []
+        for attribute in self.device.state:
+            channel = channel_for_attribute(attribute)
+            if channel is None:
+                continue
+            reading = round(environment.read(channel.name), 1)
+            if self.device.state.get(attribute) != reading:
+                old = self.device.state.get(attribute)
+                self.device.state[attribute] = reading
+                if self.on_change is not None:
+                    self.on_change(self, attribute, old, reading)
+                changed.append((attribute, reading))
+        return changed

@@ -1,0 +1,100 @@
+"""Physical-environment model (paper Fig. 1 data layer).
+
+Actuators influence sensor readings either directly (their own device
+attribute) or via the environment — e.g. a heater raising the reading of
+a temperature sensor.  Channels come in two flavours:
+
+* *integrating* channels (temperature, humidity, energy) accumulate the
+  active devices' rates over time,
+* *instant* channels (illuminance, sound, power) are the ambient level
+  plus the sum of active contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.capabilities.channels import CHANNELS
+
+_INTEGRATING = {"temperature", "humidity", "energy", "co2"}
+
+
+@dataclass(slots=True)
+class Environment:
+    """Channel values plus per-device active contributions."""
+
+    values: dict[str, float] = field(default_factory=dict)
+    ambient: dict[str, float] = field(default_factory=dict)
+    # (device_id, channel) -> active delta.
+    contributions: dict[tuple[str, str], float] = field(default_factory=dict)
+    # (device_id, channel) -> rate per minute for integrating channels.
+    rates: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        defaults = {
+            "temperature": 70.0,
+            "illuminance": 300.0,
+            "humidity": 45.0,
+            "power": 120.0,
+            "energy": 0.0,
+            "sound": 35.0,
+            "co2": 450.0,
+        }
+        for name, value in defaults.items():
+            self.ambient.setdefault(name, value)
+            self.values.setdefault(name, value)
+        for channel in CHANNELS.values():
+            self.ambient.setdefault(channel.name, channel.low)
+            self.values.setdefault(channel.name, self.ambient[channel.name])
+
+    def apply_command_effects(
+        self, device_id: str, effects: dict[str, float]
+    ) -> None:
+        """Register the channel effects of a command.  The device-type
+        tables encode `off` as the negation of `on`, so contributions
+        and rates cancel naturally."""
+        for channel, delta in effects.items():
+            key = (device_id, channel)
+            if channel in _INTEGRATING:
+                self.rates[key] = max(
+                    -1e6, self.rates.get(key, 0.0) + delta
+                )
+                if abs(self.rates[key]) < 1e-9:
+                    del self.rates[key]
+            else:
+                self.contributions[key] = self.contributions.get(key, 0.0) + delta
+                if abs(self.contributions[key]) < 1e-9:
+                    del self.contributions[key]
+                self._refresh_instant(channel)
+
+    def _refresh_instant(self, channel: str) -> None:
+        total = self.ambient.get(channel, 0.0) + sum(
+            delta
+            for (_, chan), delta in self.contributions.items()
+            if chan == channel
+        )
+        self.values[channel] = self._clamp(channel, total)
+
+    def step(self, dt_seconds: float) -> None:
+        """Integrate rate-based channels over ``dt_seconds``."""
+        minutes = dt_seconds / 60.0
+        for (_, channel), rate in self.rates.items():
+            self.values[channel] = self._clamp(
+                channel, self.values[channel] + rate * minutes
+            )
+
+    def _clamp(self, channel: str, value: float) -> float:
+        spec = CHANNELS.get(channel)
+        if spec is None:
+            return value
+        return min(spec.high, max(spec.low, value))
+
+    def read(self, channel: str) -> float:
+        return self.values[channel]
+
+    def set_ambient(self, channel: str, value: float) -> None:
+        self.ambient[channel] = value
+        if channel in _INTEGRATING:
+            self.values[channel] = self._clamp(channel, value)
+        else:
+            self._refresh_instant(channel)

@@ -1,0 +1,83 @@
+"""Device events and the platform event bus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A state-change event as delivered to SmartApp handlers.
+
+    ``subject`` is a device id, ``"location"`` or ``"app"``; ``name`` the
+    attribute that changed.  ``is_state_change`` is False for repeated
+    reports of an unchanged value (SmartThings delivers those only to
+    subscribers that asked for them; we do not deliver them at all).
+    """
+
+    subject: str
+    name: str
+    value: object
+    timestamp: float
+    display_name: str = ""
+    is_state_change: bool = True
+
+
+@dataclass(slots=True)
+class _Subscription:
+    subject: str
+    attribute: str
+    value_filter: str | None
+    callback: Callable[[Event], None]
+    owner: str
+
+
+class EventBus:
+    """Dispatches events to subscribed app handlers.
+
+    Mirrors the SmartThings cloud: the platform listens to all data
+    reported by sensors and broadcasts related events to subscribers
+    (paper §II-A).
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: list[_Subscription] = []
+        self.history: list[Event] = []
+
+    def subscribe(
+        self,
+        subject: str,
+        attribute: str,
+        callback: Callable[[Event], None],
+        owner: str,
+        value_filter: str | None = None,
+    ) -> None:
+        self._subscriptions.append(
+            _Subscription(subject, attribute, value_filter, callback, owner)
+        )
+
+    def unsubscribe_owner(self, owner: str) -> None:
+        self._subscriptions = [
+            sub for sub in self._subscriptions if sub.owner != owner
+        ]
+
+    def publish(self, event: Event) -> list[Callable[[Event], None]]:
+        """Record the event and return the matching handlers (the home
+        invokes them so commands can interleave deterministically)."""
+        self.history.append(event)
+        matched: list[Callable[[Event], None]] = []
+        for sub in self._subscriptions:
+            if sub.subject != event.subject or sub.attribute != event.name:
+                continue
+            if sub.value_filter is not None and str(event.value) != sub.value_filter:
+                continue
+            matched.append(sub.callback)
+        return matched
+
+    def subscriptions_of(self, owner: str) -> list[tuple[str, str]]:
+        return [
+            (sub.subject, sub.attribute)
+            for sub in self._subscriptions
+            if sub.owner == owner
+        ]

@@ -1,0 +1,762 @@
+"""The simulated smart home: cloud, hub, devices and installed apps.
+
+Event flow mirrors SmartThings (paper Fig. 2): device state changes
+publish events; the bus matches subscriptions; handlers run and issue
+commands; commands mutate device state and the environment, which feeds
+back into sensor readings.  Commands buffered during one event dispatch
+are applied in a seeded-random order, reproducing the actuator-race
+nondeterminism the paper observed on real hardware (§III-A: on-only,
+off-only, on-then-off, off-then-on).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.capabilities.devices import Device, device_type, make_device_id
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.runtime.clock import VirtualClock
+from repro.runtime.environment import Environment
+from repro.runtime.events import Event, EventBus
+from repro.runtime.interpreter import (
+    DeviceGroupProxy,
+    DeviceProxy,
+    EventObject,
+    Interpreter,
+    InterpreterError,
+)
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.devices import SimDevice
+
+_SCHEDULING_PERIODS = {
+    "runEvery1Minute": 60,
+    "runEvery5Minutes": 300,
+    "runEvery10Minutes": 600,
+    "runEvery15Minutes": 900,
+    "runEvery30Minutes": 1800,
+    "runEvery1Hour": 3600,
+    "runEvery3Hours": 10800,
+}
+
+_WEEKDAYS = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+             "Saturday", "Sunday"]
+
+
+@dataclass(frozen=True, slots=True)
+class CommandRecord:
+    """One command issued by an app to a device."""
+
+    timestamp: float
+    app_name: str
+    device_label: str
+    command: str
+    params: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class OutboundMessage:
+    """A notification/HTTP message leaving the home."""
+
+    timestamp: float
+    app_name: str
+    channel: str       # "sms" | "push" | "http"
+    target: str
+    body: str
+
+
+@dataclass(slots=True)
+class _DateObject:
+    """Minimal `new Date()` stand-in."""
+
+    epoch_seconds: float
+
+    def weekday_name(self) -> str:
+        return _WEEKDAYS[int(self.epoch_seconds // 86400) % 7]
+
+
+class _StateObject:
+    """Sentinel for `state` / `atomicState`."""
+
+
+class _LocationObject:
+    """Sentinel for `location`."""
+
+
+class _LogObject:
+    """Sentinel for `log`."""
+
+
+class AppInstance:
+    """One installed SmartApp: module + bindings + persistent state."""
+
+    def __init__(
+        self,
+        home: "SmartHome",
+        name: str,
+        module: ast.Module,
+        bindings: dict[str, object],
+        settings: dict[str, object],
+    ) -> None:
+        self.home = home
+        self.name = name
+        self.module = module
+        self.bindings = bindings          # input name -> device id | [ids]
+        self.settings = settings          # input name -> concrete value
+        self.state: dict[str, Any] = {}
+        self.state_object = _StateObject()
+        self.location_object = _LocationObject()
+        self._log_object = _LogObject()
+        self.interpreter = Interpreter(self)
+        self.errors: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def invoke(self, method_name: str, args: list[Any] | None = None) -> Any:
+        from repro.runtime.sandbox import SandboxViolation
+
+        try:
+            return self.interpreter.call_method(method_name, args)
+        except (InterpreterError, SandboxViolation) as exc:
+            self.errors.append(f"{method_name}: {exc}")
+            self.home.errors.append(f"{self.name}.{method_name}: {exc}")
+            return None
+
+    def handle_event(self, handler: str, event: Event) -> None:
+        evt = EventObject(
+            name=event.name,
+            value=self._stringify(event.value),
+            device_id=event.subject if event.subject not in ("location", "app") else None,
+            display_name=event.display_name,
+            timestamp=event.timestamp,
+        )
+        method = self.module.method(handler)
+        if method is None:
+            self.errors.append(f"missing handler {handler!r}")
+            return
+        self.invoke(handler, [evt] if method.params else [])
+
+    @staticmethod
+    def _stringify(value: object) -> str:
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    # ------------------------------------------------------------------
+    # Identifier / property resolution for the interpreter
+
+    def resolve_identifier(self, name: str):
+        if name in self.bindings:
+            bound = self.bindings[name]
+            if isinstance(bound, (list, tuple)):
+                return DeviceGroupProxy(self, tuple(bound))
+            return DeviceProxy(self, bound)
+        if name in self.settings:
+            return self.settings[name]
+        if name in ("state", "atomicState"):
+            return self.state_object
+        if name == "location":
+            return self.location_object
+        if name == "log":
+            return self._log_object
+        if name == "app":
+            return self
+        if name in self.module.methods:
+            return name
+        return NotImplemented
+
+    def construct(self, type_name: str):
+        if type_name in ("Date", "java.util.Date"):
+            return _DateObject(self.home.clock.now)
+        raise InterpreterError(f"cannot construct {type_name!r} in sandbox")
+
+    def property_on(self, receiver: Any, name: str) -> Any:
+        if isinstance(receiver, EventObject):
+            return self._event_property(receiver, name)
+        if isinstance(receiver, DeviceProxy):
+            return self._device_property(receiver, name)
+        if isinstance(receiver, DeviceGroupProxy):
+            values = [
+                self._device_property(proxy, name) for proxy in receiver.proxies()
+            ]
+            unique = {str(v) for v in values}
+            if len(unique) == 1:
+                return values[0]
+            return values
+        if receiver is self.state_object:
+            return self.state.get(name)
+        if receiver is self.location_object:
+            if name in ("mode", "currentMode"):
+                return self.home.mode
+            if name == "name":
+                return self.home.name
+            if name == "id":
+                return self.home.location_id
+            return None
+        if isinstance(receiver, dict):
+            return receiver.get(name)
+        if receiver is None:
+            return None
+        raise InterpreterError(f"no property {name!r} on {type(receiver).__name__}")
+
+    def _event_property(self, evt: EventObject, name: str) -> Any:
+        if name in ("value", "stringValue"):
+            return evt.value
+        if name in ("doubleValue", "floatValue", "numericValue", "numberValue"):
+            return float(evt.value)
+        if name in ("integerValue", "longValue"):
+            return int(float(evt.value))
+        if name == "name":
+            return evt.name
+        if name == "displayName":
+            return evt.display_name
+        if name == "device" and evt.device_id is not None:
+            return DeviceProxy(self, evt.device_id)
+        if name == "deviceId":
+            return evt.device_id
+        if name in ("isStateChange", "physical", "isPhysical"):
+            return evt.state_change
+        if name in ("date", "dateValue"):
+            return _DateObject(evt.timestamp)
+        if name == "descriptionText":
+            return f"{evt.display_name} {evt.name} is {evt.value}"
+        if name == "data":
+            return ""
+        return None
+
+    def _device_property(self, proxy: DeviceProxy, name: str) -> Any:
+        device = self.home.device_by_id(proxy.device_id)
+        if name.startswith("current") and len(name) > len("current"):
+            attribute = name[len("current"):]
+            attribute = attribute[0].lower() + attribute[1:]
+            return device.current_value(attribute)
+        if name.startswith("latest") and len(name) > len("latest"):
+            attribute = name[len("latest"):]
+            attribute = attribute[0].lower() + attribute[1:]
+            return device.current_value(attribute)
+        if name == "id":
+            return device.id
+        if name in ("displayName", "label"):
+            return device.label
+        if name == "name":
+            return device.type_name
+        raise InterpreterError(
+            f"no property {name!r} on device {device.label!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Calls
+
+    def global_call(self, interp, name, positional, closures, named, env):
+        home = self.home
+        if name == "subscribe":
+            return self._api_subscribe(positional)
+        if name in ("unsubscribe",):
+            home.bus.unsubscribe_owner(self.name)
+            return None
+        if name in ("unschedule",):
+            home.scheduler.cancel_owner(self.name)
+            return None
+        if name == "runIn":
+            delay = float(positional[0])
+            method = self._method_name(positional[1])
+            overwrite = bool(named.get("overwrite", True)) if named else True
+            home.scheduler.run_in(
+                delay, lambda: self.invoke(method), owner=self.name,
+                name=method, overwrite=overwrite,
+            )
+            return None
+        if name in _SCHEDULING_PERIODS:
+            method = self._method_name(positional[0])
+            home.scheduler.run_every(
+                _SCHEDULING_PERIODS[name], lambda: self.invoke(method),
+                owner=self.name, name=method,
+            )
+            return None
+        if name in ("schedule", "runDaily"):
+            time_of_day = self._time_of_day(positional[0])
+            method = self._method_name(positional[1])
+            home.scheduler.schedule_daily(
+                time_of_day, lambda: self.invoke(method), owner=self.name,
+                name=method,
+            )
+            return None
+        if name == "runOnce":
+            when = self._time_of_day(positional[0])
+            method = self._method_name(positional[1])
+            delay = max(0.0, when - home.clock.time_of_day())
+            home.scheduler.run_in(
+                delay, lambda: self.invoke(method), owner=self.name, name=method
+            )
+            return None
+        if name in ("sendSms", "sendSmsMessage"):
+            home.send_message(self.name, "sms", str(positional[0]),
+                              str(positional[1]))
+            return None
+        if name in ("sendPush", "sendPushMessage", "sendNotification",
+                    "sendNotificationEvent", "sendNotificationToContacts"):
+            home.send_message(self.name, "push", "user", str(positional[0]))
+            return None
+        if name == "setLocationMode":
+            home.set_mode(str(positional[0]))
+            return None
+        if name in ("httpGet", "httpPost", "httpPostJson", "httpPut",
+                    "httpPutJson", "httpDelete", "httpHead"):
+            return self._api_http(interp, name, positional, closures, env)
+        if name == "now":
+            return home.clock.now * 1000.0
+        if name == "getWeatherFeature":
+            return home.weather.get(str(positional[0]) if positional else "", None)
+        if name == "timeOfDayIsBetween":
+            if len(positional) >= 3:
+                start = self._time_of_day(positional[0])
+                stop = self._time_of_day(positional[1])
+                now_tod = home.clock.time_of_day()
+                if start <= stop:
+                    return start <= now_tod <= stop
+                return now_tod >= start or now_tod <= stop
+            return False
+        if name in ("createAccessToken", "revokeAccessToken"):
+            return f"token-{self.name}"
+        if name in ("pause",):
+            return None
+        if name in self.module.methods:
+            return interp.call_method(name, positional)
+        home.warnings.append(f"{self.name}: unmodeled API {name!r} ignored")
+        return None
+
+    def _api_subscribe(self, positional) -> None:
+        if len(positional) < 2:
+            return
+        target = positional[0]
+        handler = self._method_name(positional[-1])
+        attribute = positional[1] if len(positional) >= 3 else None
+        value_filter = None
+        if isinstance(attribute, str) and "." in attribute:
+            attribute, value_filter = attribute.split(".", 1)
+        if target is self.location_object:
+            self.home.bus.subscribe(
+                "location", attribute or "mode",
+                lambda event, h=handler: self.handle_event(h, event),
+                owner=self.name, value_filter=value_filter,
+            )
+            return
+        if target is self:
+            self.home.bus.subscribe(
+                "app", attribute or "appTouch",
+                lambda event, h=handler: self.handle_event(h, event),
+                owner=self.name, value_filter=value_filter,
+            )
+            return
+        proxies: list[DeviceProxy]
+        if isinstance(target, DeviceGroupProxy):
+            proxies = target.proxies()
+        elif isinstance(target, DeviceProxy):
+            proxies = [target]
+        else:
+            self.errors.append("subscribe target is not a device")
+            return
+        for proxy in proxies:
+            self.home.bus.subscribe(
+                proxy.device_id, attribute or "unknown",
+                lambda event, h=handler: self.handle_event(h, event),
+                owner=self.name, value_filter=value_filter,
+            )
+
+    def _api_http(self, interp, name, positional, closures, env):
+        url = str(positional[0]) if positional else ""
+        body = str(positional[1]) if len(positional) > 1 else ""
+        self.home.send_message(self.name, "http", url, body)
+        if closures:
+            response = {"data": self.home.http_response_for(url)}
+            return interp.run_closure(closures[0], [response], env)
+        return None
+
+    @staticmethod
+    def _method_name(value: Any) -> str:
+        return str(value)
+
+    @staticmethod
+    def _time_of_day(value: Any) -> float:
+        """Accept seconds-past-midnight numbers or "HH:mm" strings."""
+        if isinstance(value, (int, float)):
+            return float(value) % 86400.0
+        text = str(value)
+        if ":" in text:
+            hours, minutes = text.split(":", 1)
+            return (int(hours) * 3600 + int(minutes) * 60) % 86400.0
+        try:
+            return float(text) % 86400.0
+        except ValueError:
+            return 0.0
+
+    def method_on(self, interp, receiver, name, positional, closures, named, env):
+        home = self.home
+        if isinstance(receiver, _LogObject):
+            return None
+        if receiver is self.location_object:
+            if name == "setMode":
+                home.set_mode(str(positional[0]))
+            return None
+        if receiver is self.state_object:
+            return None
+        if isinstance(receiver, _DateObject):
+            if name == "format":
+                pattern = str(positional[0]) if positional else ""
+                if "EEEE" in pattern or "EEE" in pattern:
+                    return receiver.weekday_name()
+                return str(int(receiver.epoch_seconds))
+            if name == "getTime":
+                return receiver.epoch_seconds * 1000.0
+            return None
+        if isinstance(receiver, DeviceProxy):
+            return self._device_call(interp, receiver, name, positional,
+                                     closures, env)
+        if isinstance(receiver, DeviceGroupProxy):
+            if name == "each" and closures:
+                for proxy in receiver.proxies():
+                    interp.run_closure(closures[0], [proxy], env)
+                return receiver
+            if name == "collect" and closures:
+                return [
+                    interp.run_closure(closures[0], [proxy], env)
+                    for proxy in receiver.proxies()
+                ]
+            if name == "size":
+                return len(receiver.device_ids)
+            results = [
+                self._device_call(interp, proxy, name, positional, closures, env)
+                for proxy in receiver.proxies()
+            ]
+            return results
+        if isinstance(receiver, str):
+            return self._string_call(receiver, name, positional)
+        if isinstance(receiver, (int, float)):
+            if name in ("toInteger", "intValue"):
+                return int(receiver)
+            if name in ("toFloat", "toDouble", "floatValue", "doubleValue"):
+                return float(receiver)
+            if name == "toString":
+                return Interpreter._to_string(receiver)
+            return receiver
+        if isinstance(receiver, list):
+            return self._list_call(interp, receiver, name, positional,
+                                   closures, env)
+        if isinstance(receiver, dict):
+            if name == "get":
+                return receiver.get(positional[0] if positional else None)
+            if name == "each" and closures:
+                for key, value in receiver.items():
+                    interp.run_closure(closures[0], [key, value], env)
+                return receiver
+            if name == "containsKey":
+                return positional[0] in receiver
+            return None
+        if isinstance(receiver, EventObject):
+            return self.property_on(receiver, name)
+        if receiver is None:
+            return None
+        raise InterpreterError(
+            f"no method {name!r} on {type(receiver).__name__}"
+        )
+
+    def _device_call(self, interp, proxy, name, positional, closures, env):
+        device = self.home.device_by_id(proxy.device_id)
+        if name in ("currentValue", "latestValue"):
+            return device.current_value(str(positional[0]))
+        if name in ("currentState", "latestState"):
+            value = device.current_value(str(positional[0]))
+            return {"value": value, "name": positional[0]}
+        if name == "getId":
+            return device.id
+        if name in ("getDisplayName", "getLabel"):
+            return device.label
+        if name == "hasCapability":
+            wanted = str(positional[0]) if positional else ""
+            return device_type(device.type_name).has_capability(wanted)
+        if name == "each" and closures:
+            interp.run_closure(closures[0], [proxy], env)
+            return proxy
+        # Everything else is a device command routed through the home.
+        self.home.issue_command(self.name, proxy.device_id, name,
+                                tuple(positional))
+        return None
+
+    @staticmethod
+    def _string_call(receiver: str, name: str, positional) -> Any:
+        if name == "toInteger":
+            return int(float(receiver))
+        if name in ("toFloat", "toDouble", "toBigDecimal"):
+            return float(receiver)
+        if name == "toString":
+            return receiver
+        if name == "trim":
+            return receiver.strip()
+        if name == "toLowerCase":
+            return receiver.lower()
+        if name == "toUpperCase":
+            return receiver.upper()
+        if name == "contains":
+            return str(positional[0]) in receiver
+        if name == "startsWith":
+            return receiver.startswith(str(positional[0]))
+        if name == "endsWith":
+            return receiver.endswith(str(positional[0]))
+        if name == "split":
+            return receiver.split(str(positional[0]))
+        if name == "size":
+            return len(receiver)
+        if name == "equals":
+            return receiver == str(positional[0])
+        raise InterpreterError(f"no string method {name!r}")
+
+    def _list_call(self, interp, receiver, name, positional, closures, env):
+        if name == "each" and closures:
+            for item in receiver:
+                interp.run_closure(closures[0], [item], env)
+            return receiver
+        if name == "collect" and closures:
+            return [interp.run_closure(closures[0], [item], env)
+                    for item in receiver]
+        if name == "findAll" and closures:
+            return [item for item in receiver
+                    if interp.run_closure(closures[0], [item], env)]
+        if name == "find" and closures:
+            for item in receiver:
+                if interp.run_closure(closures[0], [item], env):
+                    return item
+            return None
+        if name == "any" and closures:
+            return any(interp.run_closure(closures[0], [item], env)
+                       for item in receiver)
+        if name == "every" and closures:
+            return all(interp.run_closure(closures[0], [item], env)
+                       for item in receiver)
+        if name == "size":
+            return len(receiver)
+        if name == "contains":
+            return positional[0] in receiver
+        if name == "sum":
+            return sum(receiver)
+        if name in ("first",):
+            return receiver[0] if receiver else None
+        if name in ("last",):
+            return receiver[-1] if receiver else None
+        # A command call on a plain list of device proxies fans out.
+        if receiver and all(isinstance(item, DeviceProxy) for item in receiver):
+            for item in receiver:
+                self._device_call(interp, item, name, positional, closures, env)
+            return None
+        raise InterpreterError(f"no list method {name!r}")
+
+
+class SmartHome:
+    """Top-level simulation: devices + apps + event pump."""
+
+    def __init__(self, name: str = "Home", seed: int = 7) -> None:
+        self.name = name
+        self.location_id = make_device_id(f"location:{name}")
+        self.clock = VirtualClock()
+        self.scheduler = Scheduler(self.clock)
+        self.bus = EventBus()
+        self.environment = Environment()
+        self.mode = "Home"
+        self.devices: dict[str, SimDevice] = {}
+        self._by_label: dict[str, SimDevice] = {}
+        self.apps: dict[str, AppInstance] = {}
+        self.commands: list[CommandRecord] = []
+        self.messages: list[OutboundMessage] = []
+        self.errors: list[str] = []
+        self.warnings: list[str] = []
+        self.weather: dict[str, object] = {}
+        self._http_stubs: dict[str, object] = {}
+        self._rng = random.Random(seed)
+        self._event_queue: deque[Event] = deque()
+        self._pending_commands: list[CommandRecord] | None = None
+        self.sample_interval = 30.0
+
+    # ------------------------------------------------------------------
+    # Devices
+
+    def add_device(
+        self,
+        label: str,
+        type_name: str,
+        device_id: str | None = None,
+        **initial_state,
+    ) -> SimDevice:
+        device_id = device_id or make_device_id(f"{self.name}:{label}")
+        device = Device(device_id, label, type_name, dict(initial_state))
+        sim = SimDevice(device=device, on_change=self._device_changed)
+        self.devices[device_id] = sim
+        self._by_label[label] = sim
+        return sim
+
+    def device_by_id(self, device_id: str) -> SimDevice:
+        return self.devices[device_id]
+
+    def device(self, label: str) -> SimDevice:
+        return self._by_label[label]
+
+    def _device_changed(self, sim: SimDevice, attribute, old, new) -> None:
+        self._event_queue.append(
+            Event(
+                subject=sim.id,
+                name=attribute,
+                value=new,
+                timestamp=self.clock.now,
+                display_name=sim.label,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Apps
+
+    def install_app(
+        self,
+        source: str,
+        app_name: str,
+        bindings: dict[str, object] | None = None,
+        settings: dict[str, object] | None = None,
+    ) -> AppInstance:
+        """Install an app: parse, bind devices by label, run installed().
+
+        ``bindings`` maps input names to device labels (or lists of
+        labels); ``settings`` provides the non-device input values.
+        """
+        module = parse(source)
+        resolved: dict[str, object] = {}
+        for input_name, labels in (bindings or {}).items():
+            if isinstance(labels, (list, tuple)):
+                resolved[input_name] = [self.device(l).id for l in labels]
+            else:
+                resolved[input_name] = self.device(labels).id
+        instance = AppInstance(
+            self, app_name, module, resolved, dict(settings or {})
+        )
+        self.apps[app_name] = instance
+        instance.invoke("installed")
+        self._pump()
+        return instance
+
+    def uninstall_app(self, app_name: str) -> None:
+        self.bus.unsubscribe_owner(app_name)
+        self.scheduler.cancel_owner(app_name)
+        self.apps.pop(app_name, None)
+
+    # ------------------------------------------------------------------
+    # Commands, events, messages
+
+    def issue_command(
+        self, app_name: str, device_id: str, command: str, params: tuple
+    ) -> None:
+        record = CommandRecord(
+            timestamp=self.clock.now,
+            app_name=app_name,
+            device_label=self.devices[device_id].label,
+            command=command,
+            params=params,
+        )
+        if self._pending_commands is not None:
+            self._pending_commands.append(record)
+        else:
+            self._apply_command(record)
+
+    def _apply_command(self, record: CommandRecord) -> None:
+        self.commands.append(record)
+        sim = self._by_label[record.device_label]
+        before = dict(sim.device.state)
+        sim.execute(record.command, record.params, now=self.clock.now)
+        if sim.device.state != before:
+            effects = device_type(sim.type_name).effects.get(record.command, {})
+            self.environment.apply_command_effects(sim.id, effects)
+
+    def set_mode(self, mode: str) -> None:
+        if mode == self.mode:
+            return
+        self.mode = mode
+        self._event_queue.append(
+            Event(
+                subject="location",
+                name="mode",
+                value=mode,
+                timestamp=self.clock.now,
+                display_name=self.name,
+            )
+        )
+        self._pump()
+
+    def send_message(
+        self, app_name: str, channel: str, target: str, body: str
+    ) -> None:
+        self.messages.append(
+            OutboundMessage(self.clock.now, app_name, channel, target, body)
+        )
+
+    def stub_http(self, url_prefix: str, data: object) -> None:
+        self._http_stubs[url_prefix] = data
+
+    def http_response_for(self, url: str) -> object:
+        for prefix, data in self._http_stubs.items():
+            if url.startswith(prefix):
+                return data
+        return ""
+
+    # ------------------------------------------------------------------
+    # Event pump and simulation driving
+
+    def _pump(self) -> None:
+        """Deliver queued events; commands buffered per event are applied
+        in a seeded-random order to model actuator races."""
+        rounds = 0
+        while self._event_queue:
+            rounds += 1
+            if rounds > 10000:
+                self.errors.append("event pump runaway; stopping")
+                self._event_queue.clear()
+                break
+            event = self._event_queue.popleft()
+            handlers = self.bus.publish(event)
+            if not handlers:
+                continue
+            self._pending_commands = []
+            order = list(handlers)
+            self._rng.shuffle(order)
+            for handler in order:
+                handler(event)
+            buffered = self._pending_commands
+            self._pending_commands = None
+            self._rng.shuffle(buffered)
+            for record in buffered:
+                self._apply_command(record)
+
+    def trigger(self, label: str, attribute: str, value: object) -> None:
+        """Externally drive a sensor/device state (a physical actuation
+        or spoofed report)."""
+        self.device(label).set_attribute(attribute, value)
+        self._pump()
+
+    def touch_app(self, app_name: str) -> None:
+        """The user taps the app in the companion UI (appTouch)."""
+        self._event_queue.append(
+            Event("app", "appTouch", "touched", self.clock.now, app_name)
+        )
+        self._pump()
+
+    def advance(self, seconds: float) -> None:
+        """Run the simulation forward: scheduler jobs, environment
+        dynamics and periodic sensor sampling."""
+        end = self.clock.now + seconds
+        while self.clock.now < end:
+            step_end = min(end, self.clock.now + self.sample_interval)
+            before = self.clock.now
+            self.scheduler.run_until(step_end)
+            self._pump()
+            self.environment.step(self.clock.now - before)
+            for sim in self.devices.values():
+                sim.sample_channels(self.environment)
+            self._pump()

@@ -1,0 +1,472 @@
+"""Concrete interpreter for the Groovy-subset DSL.
+
+Executes SmartApp method bodies against a live :class:`SmartHome` (via
+the hosting :class:`AppInstance`): device proxies resolve to simulated
+devices, ``subscribe``/``runIn``/``schedule`` register with the event
+bus and scheduler, and sensitive APIs (sendSms, httpPost, ...) are
+recorded as outbound messages.  The interpreter enforces the sandbox's
+banned-method list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.lang import ast_nodes as ast
+from repro.runtime.sandbox import check_method_allowed
+
+_MAX_ITERATIONS = 10000
+_MAX_CALL_DEPTH = 64
+
+
+class InterpreterError(Exception):
+    """Concrete execution failed (bad program or unsupported API)."""
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+@dataclass(slots=True)
+class DeviceProxy:
+    """What a device input evaluates to inside an app."""
+
+    runtime: Any  # AppInstance (avoids a circular import)
+    device_id: str
+
+    @property
+    def _device(self):
+        return self.runtime.home.device_by_id(self.device_id)
+
+    def display_name(self) -> str:
+        return self._device.label
+
+
+@dataclass(slots=True)
+class DeviceGroupProxy:
+    runtime: Any
+    device_ids: tuple[str, ...]
+
+    def proxies(self) -> list[DeviceProxy]:
+        return [DeviceProxy(self.runtime, d) for d in self.device_ids]
+
+
+@dataclass(slots=True)
+class EventObject:
+    """The `evt` parameter delivered to handlers."""
+
+    name: str
+    value: Any
+    device_id: str | None
+    display_name: str
+    timestamp: float
+    state_change: bool = True
+
+
+class Interpreter:
+    """Evaluates statements/expressions for one app instance."""
+
+    def __init__(self, runtime) -> None:
+        # `runtime` is the AppInstance: provides module, settings,
+        # devices, platform APIs and persistent state.
+        self._rt = runtime
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry
+
+    def call_method(self, name: str, args: list[Any] | None = None) -> Any:
+        method = self._rt.module.method(name)
+        if method is None:
+            raise InterpreterError(f"method {name!r} is not defined")
+        if self._depth >= _MAX_CALL_DEPTH:
+            raise InterpreterError(f"call depth exceeded invoking {name!r}")
+        env: dict[str, Any] = {}
+        for index, param in enumerate(method.params):
+            if args is not None and index < len(args):
+                env[param.name] = args[index]
+            elif param.default is not None:
+                env[param.name] = self._eval(param.default, env)
+            else:
+                env[param.name] = None
+        self._depth += 1
+        try:
+            self._exec_block(method.body, env)
+        except _Return as ret:
+            return ret.value
+        finally:
+            self._depth -= 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _exec_block(self, block: ast.Block, env: dict[str, Any]) -> None:
+        for stmt in block.statements:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.Stmt, env: dict[str, Any]) -> None:
+        if isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        elif isinstance(stmt, ast.VarDecl):
+            env[stmt.name] = (
+                self._eval(stmt.initializer, env)
+                if stmt.initializer is not None
+                else None
+            )
+        elif isinstance(stmt, ast.Assignment):
+            self._assign(stmt, env)
+        elif isinstance(stmt, ast.IfStmt):
+            if self._truthy(self._eval(stmt.condition, env)):
+                self._exec_block(stmt.then_block, env)
+            elif stmt.else_block is not None:
+                self._exec_block(stmt.else_block, env)
+        elif isinstance(stmt, ast.SwitchStmt):
+            self._exec_switch(stmt, env)
+        elif isinstance(stmt, ast.ForInStmt):
+            self._exec_for(stmt, env)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._exec_while(stmt, env)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = (
+                self._eval(stmt.value, env) if stmt.value is not None else None
+            )
+            raise _Return(value)
+        elif isinstance(stmt, ast.BreakStmt):
+            raise _Break()
+        elif isinstance(stmt, ast.LabeledStmt):
+            self._eval(stmt.value, env)
+        else:
+            raise InterpreterError(
+                f"unsupported statement {type(stmt).__name__}"
+            )
+
+    def _assign(self, stmt: ast.Assignment, env: dict[str, Any]) -> None:
+        value = self._eval(stmt.value, env)
+        target = stmt.target
+        if stmt.op in ("+=", "-="):
+            current = self._eval(target, env)
+            value = self._binary(stmt.op[0], current, value)
+        if isinstance(target, ast.Identifier):
+            env[target.name] = value
+        elif isinstance(target, ast.PropertyAccess):
+            receiver = self._eval(target.receiver, env)
+            if receiver is self._rt.state_object:
+                self._rt.state[target.name] = value
+            elif receiver is self._rt.location_object and target.name == "mode":
+                self._rt.home.set_mode(str(value))
+            else:
+                raise InterpreterError(
+                    f"cannot assign to property {target.name!r}"
+                )
+        elif isinstance(target, ast.IndexAccess):
+            receiver = self._eval(target.receiver, env)
+            index = self._eval(target.index, env)
+            if receiver is self._rt.state_object:
+                self._rt.state[str(index)] = value
+            elif isinstance(receiver, (dict, list)):
+                receiver[index] = value
+            else:
+                raise InterpreterError("cannot assign through index")
+        else:
+            raise InterpreterError("unsupported assignment target")
+
+    def _exec_switch(self, stmt: ast.SwitchStmt, env: dict[str, Any]) -> None:
+        subject = self._eval(stmt.subject, env)
+        matched = False
+        try:
+            for case in stmt.cases:
+                if not matched:
+                    if case.match is None:
+                        matched = True
+                    else:
+                        if self._equal(subject, self._eval(case.match, env)):
+                            matched = True
+                if matched:
+                    self._exec_block(case.body, env)
+                    if case.has_break:
+                        return
+        except _Break:
+            return
+
+    def _exec_for(self, stmt: ast.ForInStmt, env: dict[str, Any]) -> None:
+        iterable = self._iterable(self._eval(stmt.iterable, env))
+        try:
+            for item in iterable:
+                env[stmt.variable] = item
+                self._exec_block(stmt.body, env)
+        except _Break:
+            return
+
+    def _exec_while(self, stmt: ast.WhileStmt, env: dict[str, Any]) -> None:
+        iterations = 0
+        try:
+            while self._truthy(self._eval(stmt.condition, env)):
+                iterations += 1
+                if iterations > _MAX_ITERATIONS:
+                    raise InterpreterError("while-loop iteration budget exceeded")
+                self._exec_block(stmt.body, env)
+        except _Break:
+            return
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def _eval(self, expr: ast.Expr, env: dict[str, Any]) -> Any:
+        if isinstance(expr, (ast.IntLiteral, ast.DecimalLiteral,
+                             ast.StringLiteral, ast.BoolLiteral)):
+            return expr.value
+        if isinstance(expr, ast.NullLiteral):
+            return None
+        if isinstance(expr, ast.GStringLiteral):
+            pieces = []
+            for part in expr.parts:
+                if isinstance(part, ast.Expr):
+                    pieces.append(self._to_string(self._eval(part, env)))
+                else:
+                    pieces.append(part)
+            return "".join(pieces)
+        if isinstance(expr, ast.ListLiteral):
+            return [self._eval(element, env) for element in expr.elements]
+        if isinstance(expr, ast.MapLiteral):
+            return {
+                self._map_key(entry.key, env): self._eval(entry.value, env)
+                for entry in expr.entries
+            }
+        if isinstance(expr, ast.RangeLiteral):
+            low = int(self._eval(expr.low, env))
+            high = int(self._eval(expr.high, env))
+            return list(range(low, high + 1))
+        if isinstance(expr, ast.Identifier):
+            return self._identifier(expr.name, env)
+        if isinstance(expr, ast.PropertyAccess):
+            return self._property(expr, env)
+        if isinstance(expr, ast.IndexAccess):
+            receiver = self._eval(expr.receiver, env)
+            index = self._eval(expr.index, env)
+            if receiver is self._rt.state_object:
+                return self._rt.state.get(str(index))
+            if isinstance(receiver, dict):
+                return receiver.get(index)
+            if isinstance(receiver, (list, tuple, str)):
+                return receiver[int(index)]
+            raise InterpreterError("cannot index this value")
+        if isinstance(expr, ast.MethodCall):
+            return self._call(expr, env)
+        if isinstance(expr, ast.ConstructorCall):
+            return self._rt.construct(expr.type_name)
+        if isinstance(expr, ast.MethodPointer):
+            return expr.name
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "&&":
+                return (
+                    self._truthy(self._eval(expr.left, env))
+                    and self._truthy(self._eval(expr.right, env))
+                )
+            if expr.op == "||":
+                return (
+                    self._truthy(self._eval(expr.left, env))
+                    or self._truthy(self._eval(expr.right, env))
+                )
+            return self._binary(
+                expr.op, self._eval(expr.left, env), self._eval(expr.right, env)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval(expr.operand, env)
+            if expr.op == "!":
+                return not self._truthy(operand)
+            if expr.op == "-":
+                return -operand
+            return operand
+        if isinstance(expr, ast.TernaryOp):
+            if self._truthy(self._eval(expr.condition, env)):
+                return self._eval(expr.if_true, env)
+            return self._eval(expr.if_false, env)
+        if isinstance(expr, ast.ElvisOp):
+            value = self._eval(expr.value, env)
+            return value if self._truthy(value) else self._eval(expr.fallback, env)
+        if isinstance(expr, ast.ClosureExpr):
+            return expr
+        if isinstance(expr, ast.CastExpr):
+            value = self._eval(expr.value, env)
+            if expr.type_name in ("Integer", "int", "Long"):
+                return int(value)
+            if expr.type_name in ("Float", "Double", "BigDecimal"):
+                return float(value)
+            if expr.type_name == "String":
+                return self._to_string(value)
+            return value
+        if isinstance(expr, ast.NamedArgument):
+            return self._eval(expr.value, env)
+        raise InterpreterError(f"unsupported expression {type(expr).__name__}")
+
+    def _map_key(self, key: ast.Expr, env: dict[str, Any]) -> Any:
+        value = self._eval(key, env)
+        return value
+
+    def _identifier(self, name: str, env: dict[str, Any]) -> Any:
+        if name in env:
+            return env[name]
+        resolved = self._rt.resolve_identifier(name)
+        if resolved is not NotImplemented:
+            return resolved
+        return None
+
+    def _property(self, expr: ast.PropertyAccess, env: dict[str, Any]) -> Any:
+        receiver = self._eval(expr.receiver, env)
+        return self._rt.property_on(receiver, expr.name)
+
+    def _call(self, expr: ast.MethodCall, env: dict[str, Any]) -> Any:
+        check_method_allowed(expr.name)
+        positional = []
+        closures: list[ast.ClosureExpr] = []
+        named: dict[str, Any] = {}
+        for arg in expr.args:
+            if isinstance(arg, ast.NamedArgument):
+                named[arg.name] = self._eval(arg.value, env)
+            elif isinstance(arg, ast.ClosureExpr):
+                closures.append(arg)
+            else:
+                positional.append(self._eval(arg, env))
+        if expr.receiver is None:
+            return self._rt.global_call(
+                self, expr.name, positional, closures, named, env
+            )
+        receiver = self._eval(expr.receiver, env)
+        return self._rt.method_on(
+            self, receiver, expr.name, positional, closures, named, env
+        )
+
+    def run_closure(
+        self,
+        closure: ast.ClosureExpr,
+        args: list[Any],
+        env: dict[str, Any],
+    ) -> Any:
+        # Groovy closures capture the enclosing scope by reference
+        # (`uri = uri + ...` inside `.each` must update the outer `uri`),
+        # so the body runs in the caller's env with params layered on top
+        # and restored afterwards.
+        param_names = (
+            [param.name for param in closure.params]
+            if closure.params
+            else (["it"] if args else [])
+        )
+        saved = {
+            name: env[name] for name in param_names if name in env
+        }
+        for index, name in enumerate(param_names):
+            env[name] = args[index] if index < len(args) else None
+        try:
+            # Groovy closures implicitly return their last expression.
+            result: Any = None
+            for stmt in closure.body.statements:
+                if isinstance(stmt, ast.ExprStmt):
+                    result = self._eval(stmt.expr, env)
+                else:
+                    result = None
+                    self._exec_stmt(stmt, env)
+            return result
+        except _Return as ret:
+            return ret.value
+        finally:
+            for name in param_names:
+                if name in saved:
+                    env[name] = saved[name]
+                else:
+                    env.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Semantics helpers
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, (list, dict, str)):
+            return len(value) > 0
+        return bool(value)
+
+    @staticmethod
+    def _equal(a: Any, b: Any) -> bool:
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            return float(a) == float(b)
+        return str(a) == str(b) if (a is not None and b is not None) else a is b
+
+    def _binary(self, op: str, left: Any, right: Any) -> Any:
+        if op == "==":
+            return self._equal(left, right)
+        if op == "!=":
+            return not self._equal(left, right)
+        if op in ("<", "<=", ">", ">="):
+            left_num, right_num = self._coerce_pair(left, right)
+            if op == "<":
+                return left_num < right_num
+            if op == "<=":
+                return left_num <= right_num
+            if op == ">":
+                return left_num > right_num
+            return left_num >= right_num
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return self._to_string(left) + self._to_string(right)
+            if isinstance(left, list):
+                return left + (right if isinstance(right, list) else [right])
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "**":
+            return left ** right
+        if op == "in":
+            return left in right
+        raise InterpreterError(f"unsupported operator {op!r}")
+
+    @staticmethod
+    def _coerce_pair(left: Any, right: Any) -> tuple[float, float]:
+        def as_num(value: Any) -> float:
+            if isinstance(value, (int, float)):
+                return float(value)
+            try:
+                return float(str(value))
+            except (TypeError, ValueError) as exc:
+                raise InterpreterError(
+                    f"cannot compare non-numeric value {value!r}"
+                ) from exc
+
+        return as_num(left), as_num(right)
+
+    @staticmethod
+    def _to_string(value: Any) -> str:
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        if isinstance(value, DeviceProxy):
+            return value.display_name()
+        return str(value)
+
+    @staticmethod
+    def _iterable(value: Any):
+        if value is None:
+            return []
+        if isinstance(value, DeviceGroupProxy):
+            return value.proxies()
+        if isinstance(value, dict):
+            return list(value.items())
+        if isinstance(value, (list, tuple)):
+            return value
+        return [value]

@@ -1,0 +1,46 @@
+"""SmartApp sandbox restrictions.
+
+SmartThings runs SmartApps inside an ``Executor`` that bans dynamic
+features, and the code review additionally bans dynamic method execution
+on GStrings (paper §VIII-D.2).  The concrete interpreter enforces the
+same bans so corpus apps cannot accidentally rely on behaviour the
+platform would reject.
+"""
+
+from __future__ import annotations
+
+
+class SandboxViolation(Exception):
+    """The app used a construct the SmartThings sandbox forbids."""
+
+
+# Methods banned by the sandbox / code review.
+BANNED_METHODS: frozenset[str] = frozenset(
+    {
+        "evaluate",          # dynamic Groovy evaluation
+        "invokeMethod",      # reflective dispatch
+        "getMetaClass",
+        "setMetaClass",
+        "methodMissing",
+        "propertyMissing",
+        "execute",           # shelling out
+        "newInstance",
+        "getClass",
+        "forName",
+        "sleep",             # blocks the 20-second execution budget
+        "wait",
+        "notify",
+        "notifyAll",
+    }
+)
+
+# The per-method execution budget SmartThings enforces (paper §IX cites
+# the 20-second limit when discussing ContexIoT).
+EXECUTION_BUDGET_SECONDS = 20.0
+
+
+def check_method_allowed(name: str) -> None:
+    if name in BANNED_METHODS:
+        raise SandboxViolation(
+            f"method {name!r} is banned by the SmartApp sandbox"
+        )

@@ -1,0 +1,119 @@
+"""Discrete-event scheduler (runIn / runEveryX / schedule substrate)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.runtime.clock import VirtualClock
+
+
+@dataclass(order=True, slots=True)
+class _Job:
+    due: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    period: float = field(compare=False, default=0.0)
+    owner: str = field(compare=False, default="")
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class Scheduler:
+    """Priority-queue scheduler driving the virtual clock."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._queue: list[_Job] = []
+        self._seq = itertools.count()
+        self._jobs_by_key: dict[tuple[str, str], _Job] = {}
+
+    def run_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        owner: str = "",
+        name: str = "",
+        overwrite: bool = True,
+    ) -> None:
+        """One-shot job after ``delay`` seconds.  Like SmartThings'
+        ``runIn``, a later call with the same (owner, name) replaces the
+        pending one unless ``overwrite`` is False."""
+        key = (owner, name)
+        if overwrite and name and key in self._jobs_by_key:
+            self._jobs_by_key[key].cancelled = True
+        job = _Job(self._clock.now + delay, next(self._seq), callback,
+                   owner=owner, name=name)
+        if name:
+            self._jobs_by_key[key] = job
+        heapq.heappush(self._queue, job)
+
+    def run_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        owner: str = "",
+        name: str = "",
+    ) -> None:
+        job = _Job(self._clock.now + period, next(self._seq), callback,
+                   period=period, owner=owner, name=name)
+        heapq.heappush(self._queue, job)
+
+    def schedule_daily(
+        self,
+        time_of_day: float,
+        callback: Callable[[], None],
+        owner: str = "",
+        name: str = "",
+    ) -> None:
+        """Daily job at ``time_of_day`` seconds past midnight."""
+        now_tod = self._clock.now % 86400.0
+        delay = (time_of_day - now_tod) % 86400.0
+        if delay == 0:
+            delay = 86400.0
+        job = _Job(self._clock.now + delay, next(self._seq), callback,
+                   period=86400.0, owner=owner, name=name)
+        heapq.heappush(self._queue, job)
+
+    def cancel_owner(self, owner: str) -> None:
+        """SmartThings' ``unschedule()`` for one app."""
+        for job in self._queue:
+            if job.owner == owner:
+                job.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for job in self._queue if not job.cancelled)
+
+    def next_due(self) -> float | None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].due
+
+    def run_until(self, deadline: float) -> int:
+        """Execute all jobs due up to ``deadline``, advancing the clock;
+        returns the number of jobs executed."""
+        executed = 0
+        while True:
+            due = self.next_due()
+            if due is None or due > deadline:
+                break
+            job = heapq.heappop(self._queue)
+            if job.cancelled:
+                continue
+            self._clock.advance_to(max(self._clock.now, job.due))
+            if job.name:
+                self._jobs_by_key.pop((job.owner, job.name), None)
+            job.callback()
+            executed += 1
+            if job.period > 0 and not job.cancelled:
+                renewal = _Job(job.due + job.period, next(self._seq),
+                               job.callback, period=job.period,
+                               owner=job.owner, name=job.name)
+                heapq.heappush(self._queue, renewal)
+        self._clock.advance_to(max(self._clock.now, deadline))
+        return executed

@@ -1,0 +1,57 @@
+"""Symbolic execution engine for SmartApp rule extraction (paper §V-B).
+
+The engine explores every execution path of a SmartApp from its entry
+points (``installed``/``updated``) to its sinks (capability-protected
+device commands and sensitive platform APIs), collecting the path
+condition along the way.  Each complete path yields one automation rule:
+the subscription provides the trigger, the path condition provides the
+trigger constraint + rule condition, and the sink provides the action.
+"""
+
+from repro.symex.values import (
+    BinExpr,
+    CallExpr,
+    Concat,
+    Const,
+    DeviceAttr,
+    DeviceRef,
+    EventAttr,
+    EventValue,
+    ListVal,
+    LocationAttr,
+    NotExpr,
+    StateVal,
+    SymExpr,
+    TimeVal,
+    UserInput,
+)
+__all__ = [
+    "BinExpr",
+    "CallExpr",
+    "Concat",
+    "Const",
+    "DeviceAttr",
+    "DeviceRef",
+    "EventAttr",
+    "EventValue",
+    "ListVal",
+    "LocationAttr",
+    "NotExpr",
+    "StateVal",
+    "SymExpr",
+    "SymbolicExecutionError",
+    "SymbolicExecutor",
+    "TimeVal",
+    "UserInput",
+]
+
+
+def __getattr__(name: str):
+    # The engine depends on repro.rules.model, which itself imports this
+    # package for the expression types; loading the engine lazily breaks
+    # the cycle without restructuring the public API.
+    if name in ("SymbolicExecutor", "SymbolicExecutionError"):
+        from repro.symex import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

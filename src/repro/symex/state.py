@@ -1,0 +1,56 @@
+"""Path state for the symbolic executor.
+
+A :class:`PathState` captures everything that varies along one explored
+execution path: the local symbolic store, the path condition, data
+constraints (variable definitions), the scheduled delay accumulated by
+``runIn`` tracing, and the per-path view of ``state.*`` slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rules.model import DataConstraint
+from repro.symex.values import SymExpr
+
+
+@dataclass(slots=True)
+class PathState:
+    """Mutable state cloned at every fork point."""
+
+    env: dict[str, SymExpr] = field(default_factory=dict)
+    versions: dict[str, int] = field(default_factory=dict)
+    data: list[DataConstraint] = field(default_factory=list)
+    path: list[SymExpr] = field(default_factory=list)
+    state_store: dict[str, SymExpr] = field(default_factory=dict)
+    when: float | SymExpr = 0.0
+    period: float | SymExpr = 0.0
+    returned: bool = False
+    return_value: SymExpr | None = None
+    broke: bool = False
+    call_depth: int = 0
+
+    def clone(self) -> "PathState":
+        return PathState(
+            env=dict(self.env),
+            versions=dict(self.versions),
+            data=list(self.data),
+            path=list(self.path),
+            state_store=dict(self.state_store),
+            when=self.when,
+            period=self.period,
+            returned=self.returned,
+            return_value=self.return_value,
+            broke=self.broke,
+            call_depth=self.call_depth,
+        )
+
+    def assume(self, constraint: SymExpr) -> None:
+        self.path.append(constraint)
+
+    def define(self, key: str, value: SymExpr) -> None:
+        self.data.append(DataConstraint(key, value))
+
+    @property
+    def halted(self) -> bool:
+        return self.returned or self.broke

@@ -1,0 +1,212 @@
+"""Unit tests for the capability registry, device types and effects."""
+
+import pytest
+
+from repro.capabilities import (
+    CAPABILITIES,
+    CHANNELS,
+    DEVICE_TYPES,
+    Device,
+    Effect,
+    capability,
+    channel_for_attribute,
+    command_count,
+    device_type,
+    device_types_with_capability,
+    effects_of_command,
+    find_command,
+    is_sink_command,
+    make_device_id,
+    opposite_effects,
+)
+from repro.capabilities.effects import goal_relevant_device_types
+
+
+def test_paper_counts():
+    # Paper Section V-B: 126 device control commands, 104 capabilities.
+    assert len(CAPABILITIES) == 104
+    assert command_count() == 126
+
+
+def test_capability_lookup_accepts_both_forms():
+    assert capability("switch") is capability("capability.switch")
+
+
+def test_unknown_capability_raises():
+    with pytest.raises(KeyError):
+        capability("capability.nonexistent")
+
+
+def test_switch_capability_shape():
+    sw = capability("switch")
+    assert set(sw.commands) == {"on", "off"}
+    assert sw.attributes["switch"].values == ("on", "off")
+    assert sw.commands["on"].target_value("switch") == "on"
+    assert sw.commands["off"].target_value("switch") == "off"
+
+
+def test_lock_capability_shape():
+    lock = capability("lock")
+    assert lock.commands["lock"].target_value("lock") == "locked"
+    assert lock.commands["unlock"].target_value("lock") == "unlocked"
+
+
+def test_parameterized_command_has_no_static_target():
+    level = capability("switchLevel")
+    spec = level.commands["setLevel"]
+    assert spec.target_value("level") is None
+    assert spec.params == ("level",)
+
+
+def test_find_command_with_hint():
+    spec = find_command("open", "valve")
+    assert spec.capability == "valve"
+    assert spec.target_value("valve") == "open"
+
+
+def test_find_command_without_hint():
+    assert find_command("beep").capability == "tone"
+    assert find_command("noSuchCommand") is None
+
+
+def test_is_sink_command():
+    assert is_sink_command("on")
+    assert is_sink_command("setHeatingSetpoint")
+    assert not is_sink_command("definitelyNotACommand")
+
+
+def test_every_command_sets_known_attributes():
+    for cap in CAPABILITIES.values():
+        for command in cap.commands.values():
+            for attr, _value in command.sets:
+                assert attr in cap.attributes, (cap.name, command.name, attr)
+
+
+def test_enum_command_targets_are_valid_values():
+    for cap in CAPABILITIES.values():
+        for command in cap.commands.values():
+            for attr, value in command.sets:
+                spec = cap.attributes[attr]
+                if spec.kind == "enum" and value is not None:
+                    assert value in spec.values, (cap.name, command.name, value)
+
+
+# ----------------------------------------------------------------------
+# Device types
+
+
+def test_device_type_lookup():
+    heater = device_type("heater")
+    assert heater.has_capability("switch")
+    assert heater.has_capability("capability.switch")
+    with pytest.raises(KeyError):
+        device_type("hoverboard")
+
+
+def test_device_types_with_capability_switch():
+    names = {d.name for d in device_types_with_capability("capability.switch")}
+    assert {"light", "heater", "airConditioner", "tv", "windowOpener"} <= names
+    assert "motionSensor" not in names
+
+
+def test_device_type_merged_attributes():
+    multi = device_type("multipurposeSensor")
+    attrs = multi.attributes()
+    assert "contact" in attrs
+    assert "temperature" in attrs
+
+
+def test_device_type_commands():
+    tv = device_type("tv")
+    assert {"on", "off", "setVolume"} <= tv.commands()
+
+
+def test_virtual_types_have_no_effects():
+    assert device_type("locationMode").virtual
+    assert not device_type("locationMode").effects
+
+
+def test_make_device_id_deterministic_with_seed():
+    assert make_device_id("tv1") == make_device_id("tv1")
+    assert make_device_id("tv1") != make_device_id("tv2")
+    assert len(make_device_id("tv1").replace("-", "")) == 32  # 128 bits
+
+
+def test_make_device_id_random_unique():
+    assert make_device_id() != make_device_id()
+
+
+def test_device_instance_defaults():
+    device = Device(make_device_id("w"), "Window opener", "windowOpener")
+    assert device.current_value("switch") == "off"
+    assert device.supports_command("on")
+    assert not device.supports_command("lock")
+
+
+def test_device_unknown_attribute_raises():
+    device = Device(make_device_id("w"), "Window opener", "windowOpener")
+    with pytest.raises(KeyError):
+        device.current_value("temperature")
+
+
+# ----------------------------------------------------------------------
+# Channels
+
+
+def test_channel_for_attribute():
+    assert channel_for_attribute("temperature").name == "temperature"
+    assert channel_for_attribute("illuminance").name == "illuminance"
+    assert channel_for_attribute("humidity").name == "humidity"
+    assert channel_for_attribute("switch") is None
+
+
+def test_channel_for_attribute_with_capability():
+    channel = channel_for_attribute("temperature", "temperatureMeasurement")
+    assert channel.name == "temperature"
+
+
+def test_channels_have_sane_bounds():
+    for channel in CHANNELS.values():
+        assert channel.low < channel.high
+
+
+# ----------------------------------------------------------------------
+# Effects (M_GC)
+
+
+def test_heater_on_increases_temperature():
+    effects = effects_of_command("heater", "on")
+    assert effects["temperature"] is Effect.INCREASE
+    assert effects["power"] is Effect.INCREASE
+
+
+def test_heater_off_decreases_temperature():
+    assert effects_of_command("heater", "off")["temperature"] is Effect.DECREASE
+
+
+def test_paper_goal_conflict_heater_vs_window():
+    # Section III-A: heater on vs. window open conflict on temperature.
+    assert opposite_effects("heater", "on", "windowOpener", "on") == ["temperature"]
+
+
+def test_no_conflict_between_unrelated_commands():
+    assert opposite_effects("doorLock", "lock", "light", "on") == []
+
+
+def test_same_direction_is_not_conflict():
+    assert "temperature" not in opposite_effects("heater", "on", "oven", "on")
+
+
+def test_effect_opposite():
+    assert Effect.INCREASE.opposite is Effect.DECREASE
+    assert Effect.IRRELEVANT.opposite is Effect.IRRELEVANT
+
+
+def test_goal_relevant_excludes_virtual():
+    relevant = goal_relevant_device_types()
+    assert "locationMode" not in relevant
+    assert "heater" in relevant
+
+
+def test_light_vs_curtain_illuminance_conflict():
+    assert "illuminance" in opposite_effects("light", "on", "curtain", "off")

@@ -1,0 +1,224 @@
+"""Tests for configuration collection: instrumentation, URIs, messaging,
+recorders (paper §VII)."""
+
+import pytest
+
+from repro.capabilities.devices import make_device_id
+from repro.config import (
+    ConfigPayload,
+    ConfigRecorder,
+    FcmHttpTransport,
+    RuleRecorder,
+    SmsTransport,
+    decode_uri,
+    encode_uri,
+    instrument_app,
+)
+from repro.config.messaging import CLOUD_PROCESSING_MS
+from repro.corpus import app_by_name
+from repro.rules import extract_rules
+from repro.symex.values import DeviceRef
+
+
+# ----------------------------------------------------------------------
+# URI encoding
+
+def payload():
+    return ConfigPayload(
+        app_name="ComfortTV",
+        devices={
+            "tv1": make_device_id("tv"),
+            "tSensor": make_device_id("sensor"),
+            "window1": make_device_id("win"),
+        },
+        values={"threshold1": "30"},
+    )
+
+
+def test_uri_roundtrip():
+    original = payload()
+    uri = encode_uri(original)
+    assert uri.startswith("http://my.com/appname:ComfortTV/")
+    decoded = decode_uri(uri)
+    assert decoded == original
+
+
+def test_uri_typed_values():
+    decoded = decode_uri(encode_uri(payload()))
+    assert decoded.typed_values()["threshold1"] == 30
+
+
+def test_uri_with_special_characters():
+    original = ConfigPayload(
+        app_name="My App/2",
+        devices={"d": make_device_id("x")},
+        values={"msg": "hello world: 50%"},
+    )
+    decoded = decode_uri(encode_uri(original))
+    assert decoded.app_name == "My App/2"
+    assert decoded.values["msg"] == "hello world: 50%"
+
+
+def test_uri_rejects_foreign():
+    with pytest.raises(ValueError):
+        decode_uri("http://other.com/appname:x/")
+
+
+def test_uri_missing_appname():
+    with pytest.raises(ValueError):
+        decode_uri("http://my.com/tv1:30/")
+
+
+def test_device_id_shape_detection():
+    # A value that merely looks numeric is a value, not a device id.
+    original = ConfigPayload(app_name="A", values={"threshold": "12345678"})
+    decoded = decode_uri(encode_uri(original))
+    assert decoded.devices == {}
+    assert decoded.values == {"threshold": "12345678"}
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+
+def test_instrumentation_inserts_collect_call():
+    app = app_by_name("ComfortTV")
+    result = instrument_app(app.source, app.name)
+    assert "collectConfigInfo(appname, devices, values)" in result.source
+    assert 'input "patchedphone", "phone"' in result.source
+    assert result.device_inputs == ["tSensor", "tv1", "window1"]
+    assert result.value_inputs == ["threshold1"]
+
+
+def test_instrumented_source_still_parses_and_extracts():
+    app = app_by_name("ComfortTV")
+    result = instrument_app(app.source, app.name)
+    ruleset = extract_rules(result.source, app.name)
+    # The original rule survives; instrumentation adds the updated()-time
+    # SMS sink but no spurious device rules.
+    commands = {rule.action.command for rule in ruleset.rules}
+    assert "on" in commands
+
+
+def test_instrumented_app_sends_uri_in_runtime():
+    from repro.runtime import SmartHome
+
+    app = app_by_name("ComfortTV")
+    result = instrument_app(app.source, app.name)
+    home = SmartHome()
+    home.add_device("TV", "tv")
+    home.add_device("Temp", "temperatureSensor")
+    home.add_device("Window", "windowOpener")
+    instance = home.install_app(
+        result.source, app.name,
+        bindings={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+        settings={"threshold1": 30, "patchedphone": "+15550100"},
+    )
+    instance.invoke("updated")
+    sms = [m for m in home.messages if m.channel == "sms"]
+    assert sms
+    decoded = decode_uri(sms[-1].body)
+    assert decoded.app_name == "ComfortTV"
+    assert decoded.devices["tv1"] == home.device("TV").id
+    assert decoded.values["threshold1"] == "30"
+
+
+def test_http_transport_instrumentation():
+    app = app_by_name("NightCare")
+    result = instrument_app(app.source, app.name, transport="http")
+    assert "patchedtoken" in result.source
+    assert "httpPost" in result.source
+
+
+def test_instrument_app_without_updated_method():
+    source = '''
+definition(name: "NoUpdate")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { sw1.off() }
+'''
+    result = instrument_app(source, "NoUpdate")
+    assert "def updated() {" in result.source
+
+
+# ----------------------------------------------------------------------
+# Messaging transports
+
+def test_sms_latency_model():
+    transport = SmsTransport(seed=1)
+    records = [transport.send("http://my.com/appname:A/", None)
+               for _ in range(100)]
+    mean = sum(r.latency_ms for r in records) / len(records)
+    # Paper: 3120 ms average over 100 trials; the model must land nearby.
+    assert 2300 < mean < 3900
+    assert all(r.latency_ms > CLOUD_PROCESSING_MS for r in records)
+
+
+def test_http_faster_than_sms():
+    sms = SmsTransport(seed=2)
+    http = FcmHttpTransport(seed=2)
+    sms_mean = sum(
+        sms.send("u", None).latency_ms for _ in range(50)
+    ) / 50
+    http_mean = sum(
+        http.send("u", None).latency_ms for _ in range(50)
+    ) / 50
+    assert http_mean < sms_mean
+    assert 2.0 < sms_mean / http_mean < 4.5  # paper ratio ~2.9x
+
+
+def test_sms_fails_when_roaming():
+    transport = SmsTransport()
+    transport.roaming = True
+    with pytest.raises(ConnectionError):
+        transport.send("uri", None)
+
+
+def test_transport_delivers_to_receiver():
+    transport = FcmHttpTransport(seed=3)
+    received = []
+    transport.connect(received.append)
+    transport.send("http://my.com/appname:A/", None)
+    assert len(received) == 1
+    assert received[0].transport == "http"
+
+
+# ----------------------------------------------------------------------
+# Recorders
+
+def test_config_recorder_identity_resolution():
+    recorder = ConfigRecorder()
+    p = payload()
+    recorder.record(p, device_types={p.devices["tv1"]: "tv"})
+    ref = DeviceRef("tv1", "capability.switch")
+    identity, dtype = recorder.identity("ComfortTV", ref)
+    assert identity == f"dev:{p.devices['tv1']}"
+    assert dtype == "tv"
+
+
+def test_config_recorder_unbound_input_is_unique():
+    recorder = ConfigRecorder()
+    ref = DeviceRef("ghost", "capability.switch")
+    identity_a, _ = recorder.identity("AppA", ref)
+    identity_b, _ = recorder.identity("AppB", ref)
+    assert identity_a != identity_b
+
+
+def test_config_recorder_input_values():
+    recorder = ConfigRecorder()
+    recorder.record(payload())
+    assert recorder.input_value("ComfortTV", "threshold1") == 30
+    assert recorder.input_value("ComfortTV", "nope") is None
+    assert recorder.input_value("OtherApp", "threshold1") is None
+
+
+def test_rule_recorder_history():
+    recorder = RuleRecorder()
+    rs1 = extract_rules(app_by_name("ComfortTV").source, "ComfortTV")
+    rs2 = extract_rules(app_by_name("NightCare").source, "NightCare")
+    recorder.record(rs1)
+    recorder.record(rs2)
+    assert recorder.rules_of("ComfortTV") is rs1
+    installed = recorder.installed_rulesets(exclude="ComfortTV")
+    assert [rs.app_name for rs in installed] == ["NightCare"]
+    recorder.forget("NightCare")
+    assert recorder.rules_of("NightCare") is None

@@ -1,0 +1,207 @@
+"""Tests for the rule -> constraint lowering."""
+
+from repro.constraints import ConstraintBuilder, Solver, TypeBasedResolver, conj
+from repro.rules import extract_rules
+from repro.symex.values import DeviceRef
+
+
+def build_rule(source, app_name, index=0):
+    return extract_rules(source, app_name).rules[index]
+
+
+HOT_WINDOW = '''
+input "tv1", "capability.switch"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number"
+input "window1", "capability.switch"
+def installed() { subscribe(tv1, "switch.on", h) }
+def h(evt) {
+    def t = tSensor.currentValue("temperature")
+    if (t > threshold1) window1.on()
+}
+'''
+
+HINTS = {
+    "A": {"tv1": "tv", "tSensor": "temperatureSensor", "window1": "windowOpener"},
+}
+
+
+def test_situation_is_satisfiable():
+    rule = build_rule(HOT_WINDOW, "A")
+    resolver = TypeBasedResolver(type_hints=HINTS, values={"A": {"threshold1": 30}})
+    builder = ConstraintBuilder(resolver)
+    result = Solver(builder.pool).solve(builder.situation(rule))
+    assert result.sat
+    assert result.witness["type:temperatureSensor.temperature"] > 30
+
+
+def test_input_pin_applied():
+    rule = build_rule(HOT_WINDOW, "A")
+    resolver = TypeBasedResolver(
+        type_hints=HINTS, values={"A": {"threshold1": 145}}
+    )
+    builder = ConstraintBuilder(resolver)
+    result = Solver(builder.pool).solve(builder.situation(rule))
+    # temperature domain tops out at 150, so t > 145 is still SAT...
+    assert result.sat
+    assert result.witness["type:temperatureSensor.temperature"] > 145
+
+
+def test_unsatisfiable_with_out_of_range_pin():
+    rule = build_rule(HOT_WINDOW, "A")
+    resolver = TypeBasedResolver(
+        type_hints=HINTS, values={"A": {"threshold1": 150}}
+    )
+    builder = ConstraintBuilder(resolver)
+    result = Solver(builder.pool).solve(builder.situation(rule))
+    assert not result.sat  # nothing is strictly above 150 F
+
+
+def test_shared_identity_unifies_condition_state():
+    # Two apps *checking* the same device's state in their conditions
+    # share one variable: contradictory checks make the merge UNSAT.
+    source_b = '''
+input "m1", "capability.motionSensor"
+input "tvx", "capability.switch"
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) {
+    if (tvx.currentSwitch == "off") tvx.on()
+}
+'''
+    source_c = '''
+input "m2", "capability.motionSensor"
+input "tvy", "capability.switch"
+def installed() { subscribe(m2, "motion.active", h) }
+def h(evt) {
+    if (tvy.currentSwitch == "on") tvy.off()
+}
+'''
+    rule_b = build_rule(source_b, "B")
+    rule_c = build_rule(source_c, "C")
+    resolver = TypeBasedResolver(type_hints={
+        "B": {"m1": "motionSensor", "tvx": "tv"},
+        "C": {"m2": "motionSensor", "tvy": "tv"},
+    })
+    builder = ConstraintBuilder(resolver)
+    merged = conj([builder.situation(rule_b), builder.situation(rule_c)])
+    assert not Solver(builder.pool).solve(merged).sat
+
+
+def test_disjoint_trigger_events_do_not_conflict():
+    # Momentary events: a close event and an open event can happen in
+    # quick succession, so disjoint trigger values must stay SAT.
+    source_b = '''
+input "tvx", "capability.switch"
+def installed() { subscribe(tvx, "switch.off", h) }
+def h(evt) { tvx.on() }
+'''
+    rule_a = build_rule(HOT_WINDOW, "A")
+    rule_b = build_rule(source_b, "B")
+    hints = dict(HINTS)
+    hints["B"] = {"tvx": "tv"}
+    resolver = TypeBasedResolver(type_hints=hints)
+    builder = ConstraintBuilder(resolver)
+    merged = conj([builder.situation(rule_a), builder.situation(rule_b)])
+    assert Solver(builder.pool).solve(merged).sat
+
+
+def test_attr_equals_effect_constraint():
+    resolver = TypeBasedResolver(type_hints=HINTS)
+    builder = ConstraintBuilder(resolver)
+    window = DeviceRef("window1", "capability.switch")
+    formula = builder.attr_equals("A", window, "switch", "off")
+    assert Solver(builder.pool).solve(formula).sat
+    both = conj([
+        formula,
+        builder.attr_equals("A", window, "switch", "on"),
+    ])
+    assert not Solver(builder.pool).solve(both).sat
+
+
+def test_attr_compare_effect_constraint():
+    resolver = TypeBasedResolver(type_hints=HINTS)
+    builder = ConstraintBuilder(resolver)
+    sensor = DeviceRef("tSensor", "capability.temperatureMeasurement")
+    formula = builder.attr_compare("A", sensor, "temperature", ">=", 100.0)
+    result = Solver(builder.pool).solve(formula)
+    assert result.sat
+    assert result.witness["type:temperatureSensor.temperature"] >= 100
+
+
+def test_membership_expands_to_disjunction():
+    source = '''
+input "sw1", "capability.switch"
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    if (location.mode in ["Away", "Night"]) sw1.off()
+}
+'''
+    rule = build_rule(source, "M")
+    resolver = TypeBasedResolver(type_hints={"M": {"sw1": "switch"}})
+    builder = ConstraintBuilder(resolver)
+    result = Solver(builder.pool).solve(builder.condition(rule))
+    assert result.sat
+    assert result.witness["location:mode"] in ("Away", "Night")
+
+
+def test_opaque_predicates_become_free_atoms():
+    source = '''
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    if (timeOfDayIsBetween("22:00", "06:00", now(), location.timeZone)) sw1.off()
+}
+'''
+    rule = build_rule(source, "T")
+    resolver = TypeBasedResolver(type_hints={"T": {"sw1": "switch"}})
+    builder = ConstraintBuilder(resolver)
+    result = Solver(builder.pool).solve(builder.condition(rule))
+    assert result.sat  # free atom can always be assumed true
+
+
+def test_numeric_string_coercion():
+    source = '''
+input "sw1", "capability.switch"
+input "tSensor", "capability.temperatureMeasurement"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    if (tSensor.currentTemperature > "30") sw1.off()
+}
+'''
+    rule = build_rule(source, "C")
+    resolver = TypeBasedResolver(
+        type_hints={"C": {"sw1": "switch", "tSensor": "temperatureSensor"}}
+    )
+    builder = ConstraintBuilder(resolver)
+    result = Solver(builder.pool).solve(builder.condition(rule))
+    assert result.sat
+    assert result.witness["type:temperatureSensor.temperature"] > 30
+
+
+def test_local_var_chain_resolved_through_data_constraints():
+    source = '''
+input "sw1", "capability.switch"
+input "tSensor", "capability.temperatureMeasurement"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    def c = tSensor.currentValue("temperature")
+    def f = c * 9 / 5 + 32
+    if (f > 212) sw1.off()
+}
+'''
+    rule = build_rule(source, "F")
+    resolver = TypeBasedResolver(
+        type_hints={"F": {"sw1": "switch", "tSensor": "temperatureSensor"}}
+    )
+    builder = ConstraintBuilder(resolver)
+    result = Solver(builder.pool).solve(builder.condition(rule))
+    # f > 212F needs c > 100, within the [-40, 150] sensor range.
+    assert result.sat
+    assert result.witness["type:temperatureSensor.temperature"] > 100
+
+
+def test_type_based_resolver_defaults_to_capability():
+    resolver = TypeBasedResolver()
+    identity, dtype = resolver.identity("X", DeviceRef("d", "capability.lock"))
+    assert identity == "type:cap:lock"
+    assert dtype is None

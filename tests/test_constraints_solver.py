@@ -1,0 +1,222 @@
+"""Unit tests for the CSP solver."""
+
+from repro.constraints.solver import Result, Solver, VarPool
+from repro.constraints.terms import (
+    AffineTerm,
+    CmpAtom,
+    FALSE,
+    FreeAtom,
+    StrTerm,
+    TRUE,
+    conj,
+    disj,
+    lit,
+    neg,
+)
+
+
+def num(key, pool, low=0, high=100):
+    pool.declare_num(key, low, high)
+    return AffineTerm(key)
+
+
+def enum(key, pool, *values):
+    pool.declare_str(key, set(values) if values else None)
+    return StrTerm(key)
+
+
+def solve(pool, formula) -> Result:
+    return Solver(pool).solve(formula)
+
+
+def test_trivial_constants():
+    pool = VarPool()
+    assert solve(pool, TRUE).sat
+    assert not solve(pool, FALSE).sat
+
+
+def test_numeric_equality_sat():
+    pool = VarPool()
+    x = num("x", pool)
+    formula = lit(CmpAtom(x, "==", AffineTerm.const(42)))
+    result = solve(pool, formula)
+    assert result.sat
+    assert abs(result.witness["x"] - 42) < 1e-6
+
+
+def test_numeric_equality_out_of_bounds_unsat():
+    pool = VarPool()
+    x = num("x", pool, 0, 10)
+    assert not solve(pool, lit(CmpAtom(x, "==", AffineTerm.const(42)))).sat
+
+
+def test_conflicting_inequalities_unsat():
+    pool = VarPool()
+    x = num("x", pool)
+    formula = conj([
+        lit(CmpAtom(x, ">", AffineTerm.const(50))),
+        lit(CmpAtom(x, "<", AffineTerm.const(40))),
+    ])
+    assert not solve(pool, formula).sat
+
+
+def test_window_between_thresholds_sat():
+    pool = VarPool()
+    x = num("x", pool)
+    formula = conj([
+        lit(CmpAtom(x, ">", AffineTerm.const(30))),
+        lit(CmpAtom(x, "<", AffineTerm.const(35))),
+    ])
+    result = solve(pool, formula)
+    assert result.sat
+    assert 30 < result.witness["x"] < 35
+
+
+def test_var_to_var_ordering():
+    pool = VarPool()
+    x, y = num("x", pool), num("y", pool)
+    cyc = conj([
+        lit(CmpAtom(x, "<", y)),
+        lit(CmpAtom(y, "<", x)),
+    ])
+    assert not solve(pool, cyc).sat
+    chain = conj([
+        lit(CmpAtom(x, "<", y)),
+        lit(CmpAtom(y, "<=", AffineTerm.const(5))),
+    ])
+    result = solve(pool, chain)
+    assert result.sat
+    assert result.witness["x"] < result.witness["y"] <= 5
+
+
+def test_affine_transformation():
+    pool = VarPool()
+    x = num("x", pool, -100, 200)
+    # 2x + 10 == 30  ->  x == 10
+    term = AffineTerm("x", mul=2.0, add=10.0)
+    result = solve(pool, lit(CmpAtom(term, "==", AffineTerm.const(30))))
+    assert result.sat
+    assert abs(result.witness["x"] - 10) < 1e-6
+
+
+def test_string_equality():
+    pool = VarPool()
+    s = enum("s", pool, "on", "off")
+    assert solve(pool, lit(CmpAtom(s, "==", StrTerm(None, "on")))).sat
+    assert not solve(pool, lit(CmpAtom(s, "==", StrTerm(None, "open")))).sat
+
+
+def test_string_var_to_var_disjoint_domains_unsat():
+    pool = VarPool()
+    a = enum("a", pool, "on", "off")
+    b = enum("b", pool, "open", "closed")
+    assert not solve(pool, lit(CmpAtom(a, "==", b))).sat
+
+
+def test_string_var_to_var_shared_value_sat():
+    pool = VarPool()
+    a = enum("a", pool, "on", "off")
+    b = enum("b", pool, "off", "standby")
+    result = solve(pool, lit(CmpAtom(a, "==", b)))
+    assert result.sat
+    assert result.witness["a"] == "off"
+
+
+def test_string_inequality_conflict():
+    pool = VarPool()
+    a = enum("a", pool, "on")
+    formula = lit(CmpAtom(a, "!=", StrTerm(None, "on")))
+    assert not solve(pool, formula).sat
+
+
+def test_open_string_universe():
+    pool = VarPool()
+    mode = enum("mode", pool)  # open universe (location modes)
+    formula = conj([
+        lit(CmpAtom(mode, "!=", StrTerm(None, "Home"))),
+        lit(CmpAtom(mode, "!=", StrTerm(None, "Away"))),
+    ])
+    result = solve(pool, formula)
+    assert result.sat
+    assert result.witness["mode"] not in ("Home", "Away")
+
+
+def test_same_open_var_equal_and_unequal_unsat():
+    pool = VarPool()
+    mode = enum("mode", pool)
+    formula = conj([
+        lit(CmpAtom(mode, "==", StrTerm(None, "sleep"))),
+        lit(CmpAtom(mode, "!=", StrTerm(None, "sleep"))),
+    ])
+    assert not solve(pool, formula).sat
+
+
+def test_disjunction_picks_feasible_branch():
+    pool = VarPool()
+    x = num("x", pool, 0, 10)
+    formula = disj([
+        lit(CmpAtom(x, ">", AffineTerm.const(50))),   # infeasible
+        lit(CmpAtom(x, "==", AffineTerm.const(3))),   # feasible
+    ])
+    result = solve(pool, formula)
+    assert result.sat
+    assert abs(result.witness["x"] - 3) < 1e-6
+
+
+def test_negation_normal_form():
+    inner = conj([
+        lit(CmpAtom(AffineTerm("x"), ">", AffineTerm.const(5))),
+        lit(CmpAtom(AffineTerm("x"), "<", AffineTerm.const(7))),
+    ])
+    negated = neg(inner)
+    assert negated.kind == "or"
+    ops = {child.atom.op for child in negated.children}
+    assert ops == {"<=", ">="}
+
+
+def test_free_atoms_branch_consistently():
+    pool = VarPool()
+    p = FreeAtom("rainy")
+    formula = conj([lit(p), neg(lit(p))])
+    assert not solve(pool, formula).sat
+    formula2 = disj([lit(p), neg(lit(p))])
+    assert solve(pool, formula2).sat
+
+
+def test_mixed_formula():
+    pool = VarPool()
+    temp = num("temp", pool, -40, 150)
+    sw = enum("sw", pool, "on", "off")
+    formula = conj([
+        lit(CmpAtom(temp, ">", AffineTerm.const(30))),
+        lit(CmpAtom(sw, "==", StrTerm(None, "off"))),
+        disj([
+            lit(CmpAtom(temp, "<", AffineTerm.const(20))),
+            lit(FreeAtom("weekend")),
+        ]),
+    ])
+    result = solve(pool, formula)
+    assert result.sat
+    assert result.witness["?weekend"] is True
+
+
+def test_decisions_counted():
+    pool = VarPool()
+    x = num("x", pool)
+    formula = lit(CmpAtom(x, ">", AffineTerm.const(10)))
+    result = solve(pool, formula)
+    assert result.sat
+    assert result.decisions >= 1
+
+
+def test_pool_merges_declarations():
+    pool = VarPool()
+    pool.declare_num("x", 0, 10)
+    pool.declare_num("x", 5, 20)
+    assert pool.num_bounds["x"] == (0, 20)
+    pool.declare_str("s", {"a"})
+    pool.declare_str("s", {"b"})
+    assert pool.str_candidates["s"] == {"a", "b"}
+    pool.declare_str("open", None)
+    pool.declare_str("open", {"x"})
+    assert pool.str_candidates["open"] == {"x"}

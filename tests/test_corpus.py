@@ -1,0 +1,151 @@
+"""Corpus population structure and extraction coverage (paper §VIII-B)."""
+
+import pytest
+
+from repro.corpus import (
+    all_apps,
+    app_by_name,
+    automation_apps,
+    demo_apps,
+    device_controlling_apps,
+    malicious_apps,
+    notification_apps,
+    webservice_apps,
+)
+from repro.corpus.malicious import HANDLED_ATTACKS, UNHANDLED_ATTACKS
+from repro.rules import extract_rules
+from repro.rules.extractor import RuleExtractor
+
+
+def test_population_matches_paper():
+    # §VIII-B: 182 repository apps = 146 automation + 36 web services;
+    # 90 of the automation apps control devices, 56 only notify.
+    assert len(automation_apps()) == 146
+    assert len(webservice_apps()) == 36
+    assert len(device_controlling_apps()) == 90
+    assert len(notification_apps()) == 56
+    assert len(malicious_apps()) == 18
+    assert len(demo_apps()) == 5
+
+
+def test_app_names_unique():
+    names = [app.name for app in all_apps()]
+    assert len(names) == len(set(names))
+
+
+def test_app_lookup():
+    assert app_by_name("LetThereBeDark").category == "switch"
+    with pytest.raises(KeyError):
+        app_by_name("NoSuchApp")
+
+
+def test_paper_named_apps_present():
+    for name in [
+        "SwitchChangesMode", "MakeItSo", "CurlingIron", "NFCTagToggle",
+        "LockItWhenILeave", "LetThereBeDark", "UndeadEarlyWarning",
+        "LightsOffWhenClosed", "SmartNightlight", "TurnItOnFor5Minutes",
+        "ItsTooHot", "EnergySaver", "LightUpTheNight", "FeedMyPet",
+        "SleepyTime", "CameraPowerScheduler",
+    ]:
+        assert app_by_name(name).kind == "automation"
+
+
+def test_every_automation_app_extracts():
+    extractor = RuleExtractor()
+    for app in automation_apps():
+        ruleset = extractor.extract(app.source, app.name)
+        assert len(ruleset) >= 1, f"{app.name} produced no rules"
+
+
+def test_device_apps_have_device_rules():
+    extractor = RuleExtractor()
+    device_subjects = 0
+    for app in device_controlling_apps():
+        ruleset = extractor.extract(app.source, app.name)
+        if any(rule.action.device is not None or
+               rule.action.subject == "location"
+               for rule in ruleset.rules):
+            device_subjects += 1
+    assert device_subjects == 90
+
+
+def test_notification_apps_control_no_devices():
+    extractor = RuleExtractor()
+    for app in notification_apps():
+        ruleset = extractor.extract(app.source, app.name)
+        for rule in ruleset.rules:
+            assert rule.action.device is None, (
+                f"{app.name} unexpectedly controls {rule.action.subject}"
+            )
+
+
+def test_webservice_apps_define_no_automation():
+    extractor = RuleExtractor()
+    for app in webservice_apps():
+        ruleset = extractor.extract(app.source, app.name)
+        # Web endpoints are not subscriptions; at most install-time sinks.
+        assert all(
+            rule.trigger.subject == "install" for rule in ruleset.rules
+        ), app.name
+
+
+def test_malicious_extraction_matches_table3():
+    # Table III: 8 attack classes handled, endpoint/app-update not.
+    extractor = RuleExtractor()
+    for app in malicious_apps():
+        ruleset = extractor.extract(app.source, app.name)
+        has_rules = len(ruleset) > 0
+        if app.attack == "Endpoint Attack":
+            assert not has_rules, app.name
+        else:
+            assert has_rules, app.name
+
+
+def test_attack_class_partition():
+    attacks = {app.attack for app in malicious_apps()}
+    assert attacks == HANDLED_ATTACKS | UNHANDLED_ATTACKS
+    assert not HANDLED_ATTACKS & UNHANDLED_ATTACKS
+
+
+def test_categories_cover_fig8_buckets():
+    categories = {app.category for app in device_controlling_apps()}
+    assert categories == {"switch", "mode", "other"}
+    switch_count = sum(
+        1 for app in device_controlling_apps() if app.category == "switch"
+    )
+    assert switch_count >= 30  # switch-controlling apps dominate (Fig. 8)
+
+
+def test_type_hints_reference_known_device_types():
+    from repro.capabilities import DEVICE_TYPES
+
+    for app in all_apps():
+        for type_name in app.type_hints.values():
+            assert type_name in DEVICE_TYPES, (app.name, type_name)
+
+
+def test_demo_apps_reproduce_rules_1_to_5():
+    expected = {
+        "ComfortTV": ("tv1", "window1", "on"),
+        "ColdDefender": ("tv2", "window2", "off"),
+        "CatchLiveShow": ("voice", "tv3", "on"),
+        "BurglarFinder": ("lamp1", "alarm1", "both"),
+        "NightCare": ("lamp2", "lamp2", "off"),
+    }
+    for app in demo_apps():
+        ruleset = extract_rules(app.source, app.name)
+        trigger_subject, action_subject, command = expected[app.name]
+        rule = ruleset.rules[0]
+        assert rule.trigger.subject == trigger_subject
+        assert rule.action.subject == action_subject
+        assert rule.action.command == command
+
+
+def test_nightcare_delay_is_300s():
+    ruleset = extract_rules(app_by_name("NightCare").source, "NightCare")
+    assert ruleset.rules[0].action.when == 300.0
+
+
+def test_burglarfinder_check_delay_is_600s():
+    ruleset = extract_rules(app_by_name("BurglarFinder").source, "BurglarFinder")
+    assert ruleset.rules[0].action.when == 600.0

@@ -1,0 +1,590 @@
+"""Unit tests for CAI threat detection (paper Table I categories)."""
+
+import pytest
+
+from repro.constraints import TypeBasedResolver
+from repro.detector import DetectionEngine, Threat, ThreatType
+from repro.detector.analysis import (
+    action_triggers,
+    actions_contradict,
+    command_target,
+    condition_device_attrs,
+    goal_conflict_channels,
+    trigger_value_constraints,
+)
+from repro.detector.chains import AllowedList, find_chains
+from repro.rules import extract_rules
+
+
+def rules_of(source, app_name):
+    return extract_rules(source, app_name).rules
+
+
+def make_engine(hints, values=None):
+    return DetectionEngine(
+        TypeBasedResolver(type_hints=hints, values=values or {})
+    )
+
+
+# ----------------------------------------------------------------------
+# Actuator Race
+
+LIGHT_ON = '''
+input "contact1", "capability.contactSensor"
+input "light1", "capability.switch"
+def installed() { subscribe(contact1, "contact.open", h) }
+def h(evt) { light1.on() }
+'''
+
+LIGHT_OFF = '''
+input "contact2", "capability.contactSensor"
+input "light2", "capability.switch"
+def installed() { subscribe(contact2, "contact.open", h) }
+def h(evt) { light2.off() }
+'''
+
+
+def test_actuator_race_detected():
+    r1 = rules_of(LIGHT_ON, "OnApp")[0]
+    r2 = rules_of(LIGHT_OFF, "OffApp")[0]
+    engine = make_engine({
+        "OnApp": {"contact1": "contactSensor", "light1": "light"},
+        "OffApp": {"contact2": "contactSensor", "light2": "light"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert any(t.type is ThreatType.ACTUATOR_RACE for t in threats)
+
+
+def test_no_race_on_different_device_types():
+    r1 = rules_of(LIGHT_ON, "OnApp")[0]
+    r2 = rules_of(LIGHT_OFF, "OffApp")[0]
+    engine = make_engine({
+        "OnApp": {"contact1": "contactSensor", "light1": "light"},
+        "OffApp": {"contact2": "contactSensor", "light2": "fan"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert not any(t.type is ThreatType.ACTUATOR_RACE for t in threats)
+
+
+def test_no_race_when_conditions_disjoint():
+    source_a = '''
+input "c1", "capability.contactSensor"
+input "l1", "capability.switch"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    if (location.mode == "Away") l1.on()
+}
+'''
+    source_b = '''
+input "c2", "capability.contactSensor"
+input "l2", "capability.switch"
+def installed() { subscribe(c2, "contact.open", h) }
+def h(evt) {
+    if (location.mode == "Home") l2.off()
+}
+'''
+    r1 = rules_of(source_a, "A")[0]
+    r2 = rules_of(source_b, "B")[0]
+    engine = make_engine({
+        "A": {"c1": "contactSensor", "l1": "light"},
+        "B": {"c2": "contactSensor", "l2": "light"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    # location.mode cannot be Away and Home at once.
+    assert not any(t.type is ThreatType.ACTUATOR_RACE for t in threats)
+
+
+def test_same_command_not_a_race():
+    r1 = rules_of(LIGHT_ON, "OnApp")[0]
+    r2 = rules_of(LIGHT_ON.replace("contact1", "c9").replace("light1", "l9"), "OnApp2")[0]
+    engine = make_engine({
+        "OnApp": {"contact1": "contactSensor", "light1": "light"},
+        "OnApp2": {"c9": "contactSensor", "l9": "light"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert not any(t.type is ThreatType.ACTUATOR_RACE for t in threats)
+
+
+def test_parameterized_command_race():
+    dim_a = '''
+input "m1", "capability.motionSensor"
+input "d1", "capability.switchLevel"
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) { d1.setLevel(10) }
+'''
+    dim_b = '''
+input "m2", "capability.motionSensor"
+input "d2", "capability.switchLevel"
+def installed() { subscribe(m2, "motion.active", h) }
+def h(evt) { d2.setLevel(90) }
+'''
+    r1 = rules_of(dim_a, "DimA")[0]
+    r2 = rules_of(dim_b, "DimB")[0]
+    engine = make_engine({
+        "DimA": {"m1": "motionSensor", "d1": "dimmer"},
+        "DimB": {"m2": "motionSensor", "d2": "dimmer"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert any(t.type is ThreatType.ACTUATOR_RACE for t in threats)
+
+
+# ----------------------------------------------------------------------
+# Goal Conflict
+
+HEATER_ON = '''
+input "t1", "capability.temperatureMeasurement"
+input "heater1", "capability.switch"
+def installed() { subscribe(t1, "temperature", h) }
+def h(evt) {
+    if (evt.value.toInteger() < 65) heater1.on()
+}
+'''
+
+WINDOW_OPEN = '''
+input "lux1", "capability.illuminanceMeasurement"
+input "window1", "capability.switch"
+def installed() { subscribe(lux1, "illuminance", h) }
+def h(evt) {
+    if (evt.value.toInteger() < 40) window1.on()
+}
+'''
+
+
+def test_goal_conflict_heater_vs_window():
+    r1 = rules_of(HEATER_ON, "Heat")[0]
+    r2 = rules_of(WINDOW_OPEN, "Window")[0]
+    engine = make_engine({
+        "Heat": {"t1": "temperatureSensor", "heater1": "heater"},
+        "Window": {"lux1": "illuminanceSensor", "window1": "windowOpener"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    conflicts = [t for t in threats if t.type is ThreatType.GOAL_CONFLICT]
+    assert conflicts
+    assert "temperature" in conflicts[0].detail
+
+
+def test_goal_conflict_channels_helper():
+    r1 = rules_of(HEATER_ON, "Heat")[0]
+    r2 = rules_of(WINDOW_OPEN, "Window")[0]
+    resolver = TypeBasedResolver(type_hints={
+        "Heat": {"t1": "temperatureSensor", "heater1": "heater"},
+        "Window": {"lux1": "illuminanceSensor", "window1": "windowOpener"},
+    })
+    assert "temperature" in goal_conflict_channels(resolver, r1, r2)
+
+
+# ----------------------------------------------------------------------
+# Covert Triggering / Self Disabling / Loop Triggering
+
+TV_REMOTE = '''
+input "btn1", "capability.button"
+input "tv1", "capability.switch"
+def installed() { subscribe(btn1, "button.pushed", h) }
+def h(evt) { tv1.on() }
+'''
+
+TV_WATCHER = '''
+input "tv2", "capability.switch"
+input "lamp1", "capability.switch"
+def installed() { subscribe(tv2, "switch.on", h) }
+def h(evt) { lamp1.off() }
+'''
+
+
+def test_covert_triggering_direct():
+    r1 = rules_of(TV_REMOTE, "Remote")[0]
+    r2 = rules_of(TV_WATCHER, "Watcher")[0]
+    engine = make_engine({
+        "Remote": {"btn1": "button", "tv1": "tv"},
+        "Watcher": {"tv2": "tv", "lamp1": "floorLamp"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    cts = [t for t in threats if t.type is ThreatType.COVERT_TRIGGERING]
+    assert cts
+    assert cts[0].rule_a.app_name == "Remote"
+
+
+def test_no_covert_triggering_when_filter_mismatches():
+    off_watcher = TV_WATCHER.replace("switch.on", "switch.off")
+    r1 = rules_of(TV_REMOTE, "Remote")[0]
+    r2 = rules_of(off_watcher, "Watcher")[0]
+    engine = make_engine({
+        "Remote": {"btn1": "button", "tv1": "tv"},
+        "Watcher": {"tv2": "tv", "lamp1": "floorLamp"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert not any(
+        t.type is ThreatType.COVERT_TRIGGERING and t.rule_a.app_name == "Remote"
+        for t in threats
+    )
+
+
+def test_covert_triggering_environmental():
+    heater_app = '''
+input "c1", "capability.contactSensor"
+input "heater1", "capability.switch"
+def installed() { subscribe(c1, "contact.closed", h) }
+def h(evt) { heater1.on() }
+'''
+    temp_app = '''
+input "t2", "capability.temperatureMeasurement"
+input "fan2", "capability.switch"
+def installed() { subscribe(t2, "temperature", h) }
+def h(evt) {
+    if (evt.value.toInteger() > 80) fan2.on()
+}
+'''
+    r1 = rules_of(heater_app, "Heater")[0]
+    r2 = rules_of(temp_app, "FanCtl")[0]
+    engine = make_engine({
+        "Heater": {"c1": "contactSensor", "heater1": "heater"},
+        "FanCtl": {"t2": "temperatureSensor", "fan2": "fan"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    cts = [
+        t for t in threats
+        if t.type is ThreatType.COVERT_TRIGGERING and t.rule_a.app_name == "Heater"
+    ]
+    assert cts
+    assert "temperature" in cts[0].detail
+
+
+def test_self_disabling():
+    ac_on = '''
+input "m1", "capability.motionSensor"
+input "ac1", "capability.switch"
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) { ac1.on() }
+'''
+    energy_cut = '''
+input "meter1", "capability.powerMeter"
+input "ac2", "capability.switch"
+def installed() { subscribe(meter1, "power", h) }
+def h(evt) {
+    if (evt.value.toInteger() > 2000) ac2.off()
+}
+'''
+    r1 = rules_of(ac_on, "Cooler")[0]
+    r2 = rules_of(energy_cut, "Saver")[0]
+    engine = make_engine({
+        "Cooler": {"m1": "motionSensor", "ac1": "airConditioner"},
+        "Saver": {"meter1": "powerMeter", "ac2": "airConditioner"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert any(t.type is ThreatType.SELF_DISABLING for t in threats)
+
+
+def test_loop_triggering():
+    lights_on_dark = '''
+input "lux1", "capability.illuminanceMeasurement"
+input "lights1", "capability.switch"
+def installed() { subscribe(lux1, "illuminance", h) }
+def h(evt) {
+    if (evt.value.toInteger() < 30) lights1.on()
+}
+'''
+    lights_off_bright = '''
+input "lux2", "capability.illuminanceMeasurement"
+input "lights2", "capability.switch"
+def installed() { subscribe(lux2, "illuminance", h) }
+def h(evt) {
+    if (evt.value.toInteger() > 50) lights2.off()
+}
+'''
+    r1 = rules_of(lights_on_dark, "DarkOn")[0]
+    r2 = rules_of(lights_off_bright, "BrightOff")[0]
+    engine = make_engine({
+        "DarkOn": {"lux1": "illuminanceSensor", "lights1": "light"},
+        "BrightOff": {"lux2": "illuminanceSensor", "lights2": "light"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert any(t.type is ThreatType.LOOP_TRIGGERING for t in threats)
+
+
+# ----------------------------------------------------------------------
+# Enabling / Disabling Condition
+
+LAMP_GUARD = '''
+input "lamp1", "capability.switch"
+input "motion1", "capability.motionSensor"
+input "alarm1", "capability.alarm"
+def installed() { subscribe(motion1, "motion.active", h) }
+def h(evt) {
+    if (lamp1.currentSwitch == "on") alarm1.both()
+}
+'''
+
+LAMP_OFF = '''
+input "lamp2", "capability.switch"
+def installed() { subscribe(lamp2, "switch.on", h) }
+def h(evt) { runIn(300, off1) }
+def off1() { lamp2.off() }
+'''
+
+
+def test_disabling_condition():
+    r_guard = rules_of(LAMP_GUARD, "Guard")[0]
+    r_off = rules_of(LAMP_OFF, "Saver")[0]
+    engine = make_engine({
+        "Guard": {"lamp1": "floorLamp", "motion1": "motionSensor",
+                  "alarm1": "siren"},
+        "Saver": {"lamp2": "floorLamp"},
+    })
+    threats = engine.detect_pair(r_off, r_guard)
+    dcs = [t for t in threats if t.type is ThreatType.DISABLING_CONDITION]
+    assert dcs
+    assert dcs[0].rule_a.app_name == "Saver"
+
+
+def test_enabling_condition():
+    lamp_on = LAMP_OFF.replace("lamp2.off()", "lamp2.on()")
+    r_guard = rules_of(LAMP_GUARD, "Guard")[0]
+    r_on = rules_of(lamp_on, "Brighten")[0]
+    engine = make_engine({
+        "Guard": {"lamp1": "floorLamp", "motion1": "motionSensor",
+                  "alarm1": "siren"},
+        "Brighten": {"lamp2": "floorLamp"},
+    })
+    threats = engine.detect_pair(r_on, r_guard)
+    assert any(t.type is ThreatType.ENABLING_CONDITION for t in threats)
+
+
+def test_condition_interference_via_location_mode():
+    mode_setter = '''
+input "p1", "capability.presenceSensor"
+def installed() { subscribe(p1, "presence.not present", h) }
+def h(evt) { setLocationMode("Away") }
+'''
+    mode_user = '''
+input "c1", "capability.contactSensor"
+input "siren1", "capability.alarm"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    if (location.mode == "Away") siren1.siren()
+}
+'''
+    r1 = rules_of(mode_setter, "Setter")[0]
+    r2 = rules_of(mode_user, "Alarm")[0]
+    engine = make_engine({
+        "Setter": {"p1": "presenceSensor"},
+        "Alarm": {"c1": "contactSensor", "siren1": "siren"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert any(t.type is ThreatType.ENABLING_CONDITION for t in threats)
+
+
+def test_setpoint_environmental_effect():
+    setpoint_app = '''
+input "m1", "capability.motionSensor"
+input "thermostat1", "capability.thermostat"
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) { thermostat1.setHeatingSetpoint(85) }
+'''
+    checker_app = '''
+input "c1", "capability.contactSensor"
+input "t1", "capability.temperatureMeasurement"
+input "fan1", "capability.switch"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    if (t1.currentTemperature > 80) fan1.on()
+}
+'''
+    r1 = rules_of(setpoint_app, "Warmer")[0]
+    r2 = rules_of(checker_app, "Venter")[0]
+    engine = make_engine({
+        "Warmer": {"m1": "motionSensor", "thermostat1": "thermostat"},
+        "Venter": {"c1": "contactSensor", "t1": "temperatureSensor",
+                   "fan1": "fan"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    ecs = [t for t in threats if t.type is ThreatType.ENABLING_CONDITION]
+    assert ecs  # setpoint 85 drives temp >= 85, enabling `> 80`
+
+
+# ----------------------------------------------------------------------
+# Analysis helpers
+
+def test_actions_contradict_on_off():
+    r1 = rules_of(LIGHT_ON, "A")[0]
+    r2 = rules_of(LIGHT_OFF, "B")[0]
+    assert actions_contradict(r1, r2)
+    assert not actions_contradict(r1, r1)
+
+
+def test_command_target():
+    r1 = rules_of(LIGHT_ON, "A")[0]
+    assert command_target(r1.action) == ("switch", "on")
+
+
+def test_trigger_value_constraints_extracts_bounds():
+    source = '''
+input "t1", "capability.temperatureMeasurement"
+input "sw", "capability.switch"
+def installed() { subscribe(t1, "temperature", h) }
+def h(evt) {
+    if (evt.value.toInteger() > 80) sw.on()
+}
+'''
+    rule = rules_of(source, "X")[0]
+    bounds = trigger_value_constraints(rule.trigger)
+    assert (">", 80) in bounds
+
+
+def test_condition_device_attrs_resolves_locals():
+    rule = rules_of(LAMP_GUARD, "G")[0]
+    attrs = condition_device_attrs(rule)
+    assert any(a.attribute == "switch" for a in attrs)
+
+
+# ----------------------------------------------------------------------
+# Chains
+
+def test_chain_detection():
+    switch_mode = '''
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { setLocationMode("Home") }
+'''
+    mode_unlock = '''
+input "lock1", "capability.lock"
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    if (evt.value == "Home") lock1.unlock()
+}
+'''
+    motion_switch = '''
+input "m1", "capability.motionSensor"
+input "sw2", "capability.switch"
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) { sw2.on() }
+'''
+    hints = {
+        "SwitchChangesMode": {"sw1": "switch"},
+        "MakeItSo": {"lock1": "doorLock"},
+        "CurlingIron": {"m1": "motionSensor", "sw2": "switch"},
+    }
+    engine = make_engine(hints)
+    r_mode = rules_of(switch_mode, "SwitchChangesMode")[0]
+    r_unlock = rules_of(mode_unlock, "MakeItSo")[0]
+    r_motion = rules_of(motion_switch, "CurlingIron")[0]
+    threats = []
+    threats += engine.detect_pair(r_motion, r_mode)
+    threats += engine.detect_pair(r_mode, r_unlock)
+    cts = [t for t in threats if t.type is ThreatType.COVERT_TRIGGERING]
+    assert len(cts) >= 2
+    chains = find_chains(cts, AllowedList())
+    assert chains
+    chain = chains[0]
+    assert chain.type is ThreatType.CHAINED
+    apps = [rule.app_name for rule in chain.chain]
+    assert apps == ["CurlingIron", "SwitchChangesMode", "MakeItSo"]
+
+
+def test_chain_uses_allowed_list():
+    # Only one new CT edge; the other comes from previously allowed pairs.
+    switch_mode = '''
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { setLocationMode("Home") }
+'''
+    mode_unlock = '''
+input "lock1", "capability.lock"
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    if (evt.value == "Home") lock1.unlock()
+}
+'''
+    motion_switch = '''
+input "m1", "capability.motionSensor"
+input "sw2", "capability.switch"
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) { sw2.on() }
+'''
+    hints = {
+        "A": {"sw1": "switch"},
+        "B": {"lock1": "doorLock"},
+        "C": {"m1": "motionSensor", "sw2": "switch"},
+    }
+    engine = make_engine(hints)
+    r_mode = rules_of(switch_mode, "A")[0]
+    r_unlock = rules_of(mode_unlock, "B")[0]
+    r_motion = rules_of(motion_switch, "C")[0]
+    allowed = AllowedList()
+    allowed.add_all(engine.detect_pair(r_mode, r_unlock))
+    new_threats = engine.detect_pair(r_motion, r_mode)
+    chains = find_chains(new_threats, allowed)
+    assert chains
+
+
+def test_detect_rulesets_includes_intra_app():
+    source = '''
+input "lux1", "capability.illuminanceMeasurement"
+input "lights1", "capability.switch"
+def installed() { subscribe(lux1, "illuminance", h) }
+def h(evt) {
+    def l = evt.value.toInteger()
+    if (l < 30) {
+        lights1.on()
+    } else if (l > 50) {
+        lights1.off()
+    }
+}
+'''
+    ruleset = extract_rules(source, "LightUpTheNight")
+    engine = make_engine({
+        "LightUpTheNight": {"lux1": "illuminanceSensor", "lights1": "light"},
+    })
+    report = engine.detect_rulesets(ruleset, [])
+    assert any(t.type is ThreatType.LOOP_TRIGGERING for t in report.threats)
+
+
+def test_solver_result_reuse():
+    r1 = rules_of(LIGHT_ON, "OnApp")[0]
+    r2 = rules_of(LIGHT_OFF, "OffApp")[0]
+    engine = make_engine({
+        "OnApp": {"contact1": "contactSensor", "light1": "light"},
+        "OffApp": {"contact2": "contactSensor", "light2": "light"},
+    })
+    engine.detect_pair(r1, r2)
+    calls_first = engine.stats.solver_calls
+    engine.detect_pair(r1, r2)
+    assert engine.stats.cache_hits > 0
+    assert engine.stats.solver_calls == calls_first  # everything cached
+
+
+def test_threat_report_grouping():
+    r1 = rules_of(LIGHT_ON, "OnApp")[0]
+    r2 = rules_of(LIGHT_OFF, "OffApp")[0]
+    engine = make_engine({
+        "OnApp": {"contact1": "contactSensor", "light1": "light"},
+        "OffApp": {"contact2": "contactSensor", "light2": "light"},
+    })
+    ruleset = extract_rules(LIGHT_ON, "OnApp")
+    other = extract_rules(LIGHT_OFF, "OffApp")
+    report = engine.detect_rulesets(ruleset, [other])
+    grouped = report.by_type()
+    assert ThreatType.ACTUATOR_RACE in grouped
+    assert report.count(ThreatType.ACTUATOR_RACE) >= 1
+
+
+def test_threat_pattern_strings():
+    assert "A1 = ¬A2" in ThreatType.ACTUATOR_RACE.pattern
+    assert ThreatType.COVERT_TRIGGERING.category == "Trigger-Interference"
+    assert ThreatType.ENABLING_CONDITION.category == "Condition-Interference"
+    assert ThreatType.GOAL_CONFLICT.category == "Action-Interference"
+
+
+def test_notification_actions_never_interfere():
+    notify = '''
+input "c1", "capability.contactSensor"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) { sendPush("door opened") }
+'''
+    r1 = rules_of(notify, "N1")[0]
+    r2 = rules_of(LIGHT_OFF, "OffApp")[0]
+    engine = make_engine({
+        "N1": {"c1": "contactSensor"},
+        "OffApp": {"contact2": "contactSensor", "light2": "light"},
+    })
+    threats = engine.detect_pair(r1, r2)
+    assert threats == []

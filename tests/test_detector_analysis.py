@@ -1,0 +1,211 @@
+"""Edge-case tests for the detector's analysis primitives."""
+
+from repro.constraints import TypeBasedResolver
+from repro.detector.analysis import (
+    TriggerMatch,
+    action_identity,
+    action_touches_condition,
+    action_triggers,
+    actions_contradict,
+    command_target,
+    condition_uses_location_mode,
+    trigger_value_constraints,
+)
+from repro.detector.chains import AllowedList, find_chains
+from repro.detector.types import Threat, ThreatType
+from repro.rules import Action, Condition, Rule, Trigger, extract_rules
+from repro.symex.values import (
+    BinExpr,
+    Const,
+    DeviceRef,
+    EventValue,
+    LocationAttr,
+)
+
+
+def make_rule(app, subject, attribute, command, device_capability="capability.switch",
+              constraint=None, action_device=None):
+    device = DeviceRef(subject, device_capability)
+    action_ref = action_device or device
+    return Rule(
+        app_name=app,
+        rule_id=f"{app}/R1",
+        trigger=Trigger(subject=subject, attribute=attribute,
+                        constraint=constraint, device=device),
+        condition=Condition(),
+        action=Action(subject=action_ref.name, command=command,
+                      device=action_ref,
+                      capability=action_ref.capability.split(".")[-1]),
+    )
+
+
+def test_action_identity_for_location():
+    rule = Rule(
+        app_name="A", rule_id="A/R1",
+        trigger=Trigger(subject="p", attribute="presence"),
+        condition=Condition(),
+        action=Action(subject="location", command="setLocationMode",
+                      params=(Const("Away"),)),
+    )
+    resolver = TypeBasedResolver()
+    identity, type_name = action_identity(resolver, rule)
+    assert identity == "location:mode"
+    assert type_name == "locationMode"
+
+
+def test_action_identity_for_notification_is_none():
+    rule = Rule(
+        app_name="A", rule_id="A/R1",
+        trigger=Trigger(subject="p", attribute="presence"),
+        condition=Condition(),
+        action=Action(subject="notification", command="sendPush"),
+    )
+    identity, type_name = action_identity(TypeBasedResolver(), rule)
+    assert identity is None
+
+
+def test_command_target_for_set_location_mode():
+    action = Action(subject="location", command="setLocationMode",
+                    params=(Const("Night"),))
+    assert command_target(action) == ("mode", "Night")
+
+
+def test_command_target_for_symbolic_mode_param():
+    from repro.symex.values import UserInput
+
+    action = Action(subject="location", command="setLocationMode",
+                    params=(UserInput("m", "mode"),))
+    assert command_target(action) == ("mode", None)
+
+
+def test_actions_contradict_setpoints():
+    a = Rule(
+        "A", "A/R1", Trigger("t", "temperature"), Condition(),
+        Action(subject="th", command="setHeatingSetpoint",
+               params=(Const(80),), capability="thermostat",
+               device=DeviceRef("th", "capability.thermostat")),
+    )
+    b = Rule(
+        "B", "B/R1", Trigger("t", "temperature"), Condition(),
+        Action(subject="th2", command="setHeatingSetpoint",
+               params=(Const(60),), capability="thermostat",
+               device=DeviceRef("th2", "capability.thermostat")),
+    )
+    assert actions_contradict(a, b)
+    same = Rule(
+        "C", "C/R1", Trigger("t", "temperature"), Condition(),
+        Action(subject="th3", command="setHeatingSetpoint",
+               params=(Const(80),), capability="thermostat",
+               device=DeviceRef("th3", "capability.thermostat")),
+    )
+    assert not actions_contradict(a, same)
+
+
+def test_trigger_constraints_flipped_comparison():
+    trigger = Trigger(
+        subject="t", attribute="temperature",
+        constraint=BinExpr("<", Const(40), EventValue()),
+    )
+    assert trigger_value_constraints(trigger) == [(">", 40)]
+
+
+def test_action_triggers_requires_device_trigger():
+    rule_a = make_rule("A", "sw", "switch", "on")
+    rule_time = Rule(
+        "B", "B/R1",
+        Trigger(subject="time", attribute="every5Minutes"),
+        Condition(),
+        Action(subject="x", command="off",
+               device=DeviceRef("x", "capability.switch"),
+               capability="switch"),
+    )
+    resolver = TypeBasedResolver(type_hints={"A": {"sw": "switch"},
+                                             "B": {"x": "switch"}})
+    assert action_triggers(resolver, rule_a, rule_time) is None
+
+
+def test_action_triggers_environmental_direction_mismatch():
+    # A heater (temperature +) cannot satisfy a "< threshold" trigger.
+    heater_rule = make_rule("H", "c", "contact", "on",
+                            device_capability="capability.contactSensor",
+                            action_device=DeviceRef("heater1",
+                                                    "capability.switch"))
+    cold_trigger = Rule(
+        "C", "C/R1",
+        Trigger(
+            subject="t", attribute="temperature",
+            constraint=BinExpr("<", EventValue(), Const(40)),
+            device=DeviceRef("t", "capability.temperatureMeasurement"),
+        ),
+        Condition(),
+        Action(subject="h", command="on",
+               device=DeviceRef("h", "capability.switch"),
+               capability="switch"),
+    )
+    resolver = TypeBasedResolver(type_hints={
+        "H": {"c": "contactSensor", "heater1": "heater"},
+        "C": {"t": "temperatureSensor", "h": "heater"},
+    })
+    assert action_triggers(resolver, heater_rule, cold_trigger) is None
+
+
+def test_condition_uses_location_mode():
+    rule = Rule(
+        "A", "A/R1", Trigger("sw", "switch"),
+        Condition(predicate_constraints=(
+            BinExpr("==", LocationAttr("mode"), Const("Night")),
+        )),
+        Action(subject="sw", command="off"),
+    )
+    assert condition_uses_location_mode(rule)
+    assert not condition_uses_location_mode(
+        Rule("A", "A/R2", Trigger("sw", "switch"), Condition(),
+             Action(subject="sw", command="off"))
+    )
+
+
+def test_action_touches_condition_empty_for_notifications():
+    notifier = Rule(
+        "N", "N/R1", Trigger("c", "contact"), Condition(),
+        Action(subject="notification", command="sendPush"),
+    )
+    target = make_rule("T", "sw", "switch", "on")
+    assert action_touches_condition(TypeBasedResolver(), notifier, target) == []
+
+
+def test_chain_threat_detail_names_every_hop():
+    rules = [make_rule(f"App{i}", f"sw{i}", "switch", "on") for i in range(3)]
+    threats = [
+        Threat(type=ThreatType.COVERT_TRIGGERING, rule_a=rules[0],
+               rule_b=rules[1]),
+        Threat(type=ThreatType.COVERT_TRIGGERING, rule_a=rules[1],
+               rule_b=rules[2]),
+    ]
+    chains = find_chains(threats, AllowedList())
+    assert len(chains) == 1
+    detail = chains[0].detail
+    for i in range(3):
+        assert f"App{i}" in detail
+
+
+def test_chains_avoid_cycles():
+    rules = [make_rule(f"App{i}", f"sw{i}", "switch", "on") for i in range(2)]
+    threats = [
+        Threat(type=ThreatType.COVERT_TRIGGERING, rule_a=rules[0],
+               rule_b=rules[1]),
+        Threat(type=ThreatType.COVERT_TRIGGERING, rule_a=rules[1],
+               rule_b=rules[0]),
+    ]
+    chains = find_chains(threats, AllowedList())
+    assert chains == []  # pure 2-cycles are LT's business, not chains
+
+
+def test_allowed_list_only_keeps_chainable():
+    allowed = AllowedList()
+    rules = [make_rule(f"A{i}", f"s{i}", "switch", "on") for i in range(2)]
+    allowed.add_all([
+        Threat(type=ThreatType.ACTUATOR_RACE, rule_a=rules[0], rule_b=rules[1]),
+        Threat(type=ThreatType.COVERT_TRIGGERING, rule_a=rules[0],
+               rule_b=rules[1]),
+    ])
+    assert len(allowed.triggering_edges()) == 1

@@ -1,0 +1,182 @@
+"""End-to-end tests: frontend app, UI rendering, HomeGuard facade."""
+
+import pytest
+
+from repro import HomeGuard, InstallDecision
+from repro.corpus import app_by_name
+from repro.detector.types import ThreatType
+from repro.frontend import describe_threat, render_review
+from repro.frontend.app import HomeGuardApp
+from repro.rules.extractor import RuleExtractor
+
+
+def fresh_homeguard():
+    hg = HomeGuard(transport="http")
+    hg.register_device("TV", "tv")
+    hg.register_device("Temp", "temperatureSensor")
+    hg.register_device("Window", "windowOpener")
+    hg.register_device("Voice", "speaker")
+    hg.register_device("Lamp", "floorLamp")
+    hg.register_device("Motion", "motionSensor")
+    hg.register_device("Siren", "siren")
+    return hg
+
+
+def test_first_app_installs_clean():
+    hg = fresh_homeguard()
+    review = hg.install(
+        app_by_name("ComfortTV"),
+        devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+        values={"threshold1": 30},
+    )
+    assert review.clean
+    assert hg.installed_apps() == ["ComfortTV"]
+
+
+def test_actuator_race_reported_on_second_install():
+    hg = fresh_homeguard()
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30})
+    review = hg.install(app_by_name("ColdDefender"),
+                        devices={"tv2": "TV", "window2": "Window"},
+                        values={"weather": "rainy"})
+    assert any(t.type is ThreatType.ACTUATOR_RACE for t in review.threats)
+
+
+def test_race_not_reported_when_windows_differ():
+    hg = fresh_homeguard()
+    hg.register_device("Window2", "windowOpener")
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30})
+    review = hg.install(app_by_name("ColdDefender"),
+                        devices={"tv2": "TV", "window2": "Window2"},
+                        values={"weather": "rainy"})
+    # Different physical windows: no race on the same actuator.
+    assert not any(t.type is ThreatType.ACTUATOR_RACE for t in review.threats)
+
+
+def test_covert_triggering_reported():
+    hg = fresh_homeguard()
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30})
+    review = hg.install(app_by_name("CatchLiveShow"),
+                        devices={"voice": "Voice", "tv3": "TV"},
+                        values={"showDay": "Thursday"})
+    assert any(t.type is ThreatType.COVERT_TRIGGERING for t in review.threats)
+
+
+def test_disabling_condition_reported():
+    hg = fresh_homeguard()
+    hg.install(app_by_name("BurglarFinder"),
+               devices={"lamp1": "Lamp", "motion1": "Motion", "alarm1": "Siren"})
+    review = hg.install(app_by_name("NightCare"), devices={"lamp2": "Lamp"})
+    assert any(t.type is ThreatType.DISABLING_CONDITION for t in review.threats)
+
+
+def test_delete_decision_forgets_app():
+    hg = fresh_homeguard()
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30})
+    hg.install(app_by_name("ColdDefender"),
+               devices={"tv2": "TV", "window2": "Window"},
+               values={"weather": "rainy"},
+               decision=InstallDecision.DELETE)
+    assert hg.installed_apps() == ["ComfortTV"]
+
+
+def test_reconfigure_decision_keeps_nothing_yet():
+    hg = fresh_homeguard()
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30},
+               decision=InstallDecision.RECONFIGURE)
+    assert hg.installed_apps() == []
+
+
+def test_review_shows_rules_in_english():
+    hg = fresh_homeguard()
+    review = hg.install(app_by_name("ComfortTV"),
+                        devices={"tv1": "TV", "tSensor": "Temp",
+                                 "window1": "Window"},
+                        values={"threshold1": 30})
+    assert len(review.rules) == 1
+    assert "then" in review.rules[0]
+
+
+def test_render_review_clean_and_dirty():
+    hg = fresh_homeguard()
+    r1 = hg.install(app_by_name("ComfortTV"),
+                    devices={"tv1": "TV", "tSensor": "Temp",
+                             "window1": "Window"},
+                    values={"threshold1": 30})
+    text = render_review(r1)
+    assert "No cross-app interference" in text
+    r2 = hg.install(app_by_name("ColdDefender"),
+                    devices={"tv2": "TV", "window2": "Window"},
+                    values={"weather": "rainy"})
+    text2 = render_review(r2)
+    assert "threat(s) detected" in text2
+    assert "[Keep]" in text2
+
+
+def test_describe_threat_every_type_readable():
+    hg = fresh_homeguard()
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30})
+    hg.install(app_by_name("BurglarFinder"),
+               devices={"lamp1": "Lamp", "motion1": "Motion",
+                        "alarm1": "Siren"})
+    review2 = hg.install(app_by_name("ColdDefender"),
+                         devices={"tv2": "TV", "window2": "Window"},
+                         values={"weather": "rainy"})
+    review3 = hg.install(app_by_name("NightCare"), devices={"lamp2": "Lamp"})
+    for threat in review2.threats + review3.threats:
+        text = describe_threat(threat)
+        assert threat.type.value in text
+        assert threat.rule_a.app_name in text or threat.rule_b.app_name in text
+
+
+def test_missing_backend_rules_raises():
+    backend = RuleExtractor()
+    app = HomeGuardApp(backend)
+    from repro.config.uri import ConfigPayload
+
+    with pytest.raises(LookupError):
+        app.review_installation(ConfigPayload(app_name="Ghost"))
+
+
+def test_chain_detected_through_allowed_list():
+    hg = HomeGuard(transport="http")
+    hg.register_device("Wall switch", "switch")
+    hg.register_device("Front lock", "doorLock")
+    hg.register_device("Hall motion", "motionSensor")
+    hg.install(app_by_name("SwitchChangesMode"),
+               devices={"master": "Wall switch"},
+               values={"onMode": "Home", "offMode": "Away"})
+    hg.install(app_by_name("MakeItSo"),
+               devices={"switches": "Wall switch", "locks": "Front lock"},
+               values={"targetMode": "Home", "heatSetpoint": 70})
+    review = hg.install(app_by_name("CurlingIron"),
+                        devices={"motion1": "Hall motion",
+                                 "outlets": "Wall switch"},
+                        values={"minutesLater": 30})
+    # CurlingIron -> SwitchChangesMode -> MakeItSo: motion ends up
+    # unlocking the door (the paper's §VIII-B example 2).
+    assert review.chains
+    chain_apps = [rule.app_name for rule in review.chains[0].chain]
+    assert chain_apps[0] == "CurlingIron"
+    assert chain_apps[-1] == "MakeItSo"
+
+
+def test_transport_log_populated():
+    hg = fresh_homeguard()
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30})
+    assert len(hg.transport.log) == 1
+    assert hg.transport.log[0].uri.startswith("http://my.com/appname:ComfortTV")

@@ -1,0 +1,122 @@
+"""Tests for IFTTT template rule extraction (paper §VIII-D.4)."""
+
+import pytest
+
+from repro.constraints import TypeBasedResolver
+from repro.detector import DetectionEngine, ThreatType
+from repro.ifttt import (
+    Applet,
+    IftttExtractionError,
+    chunk_applet,
+    extract_applet_rule,
+    normalize,
+)
+from repro.rules import extract_rules
+from repro.symex.values import BinExpr, Const, EventValue
+
+
+def test_normalize_drops_stopwords():
+    words = normalize("If the motion is detected, then turn on the light!")
+    assert "the" not in words
+    assert "motion" in words
+    assert "detected" in words
+
+
+def test_chunking_if_then():
+    spans = chunk_applet("If motion is detected, then turn on the light")
+    roles = [span.role for span in spans]
+    assert roles == ["trigger", "action"]
+
+
+def test_chunking_with_condition():
+    spans = chunk_applet(
+        "If the door opens while I am not at home, then sound the siren"
+    )
+    assert [span.role for span in spans] == ["trigger", "condition", "action"]
+
+
+def test_chunking_rejects_free_text():
+    with pytest.raises(ValueError):
+        chunk_applet("hello world no structure here")
+    with pytest.raises(ValueError):
+        chunk_applet("then do something")
+
+
+def test_motion_light_applet():
+    rule = extract_applet_rule(
+        Applet("NightLight", "If motion is detected, then turn on the light")
+    )
+    assert rule.trigger.attribute == "motion"
+    assert rule.trigger.constraint == BinExpr("==", EventValue(), Const("active"))
+    assert rule.action.command == "on"
+    assert rule.app_name == "NightLight"
+
+
+def test_numeric_threshold_applet():
+    rule = extract_applet_rule(
+        Applet("HeatVent", "If the temperature rises above 85, then turn on the fan")
+    )
+    constraint = rule.trigger.constraint
+    assert constraint.op == ">"
+    assert constraint.right == Const(85.0)
+    assert rule.action.subject.endswith("fan")
+
+
+def test_presence_lock_applet():
+    rule = extract_applet_rule(
+        Applet("AutoLock", "If I leave home, then lock the front door")
+    )
+    assert rule.trigger.attribute == "presence"
+    assert rule.action.command == "lock"
+
+
+def test_sunset_applet():
+    rule = extract_applet_rule(
+        Applet("EveningShades", "If the sun sets, then close the shades")
+    )
+    assert rule.trigger.subject == "location"
+    assert rule.action.command == "close"
+
+
+def test_notification_applet():
+    rule = extract_applet_rule(
+        Applet("LeakAlert", "If a water leak is detected, then notify me")
+    )
+    assert rule.action.subject == "notification"
+
+
+def test_unknown_trigger_raises():
+    with pytest.raises(IftttExtractionError):
+        extract_applet_rule(
+            Applet("X", "If the quantum flux peaks, then turn on the light")
+        )
+
+
+def test_unknown_action_raises():
+    with pytest.raises(IftttExtractionError):
+        extract_applet_rule(
+            Applet("X", "If motion is detected, then summon a wizard")
+        )
+
+
+def test_ifttt_rule_participates_in_cai_detection():
+    # Cross-platform CAI: an IFTTT applet racing a SmartApp (Table IV's
+    # point that HomeGuard supports multiple platforms by design).
+    applet_rule = extract_applet_rule(
+        Applet("IftttDark", "If motion is detected, then turn off the light")
+    )
+    smartapp = '''
+input "m1", "capability.motionSensor"
+input "l1", "capability.switch"
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) { l1.on() }
+'''
+    smart_rule = extract_rules(smartapp, "MotionLight").rules[0]
+    resolver = TypeBasedResolver(type_hints={
+        "MotionLight": {"m1": "motionSensor", "l1": "light"},
+        "IftttDark": {"IftttDark_trigger": "motionSensor",
+                      "IftttDark_light": "light"},
+    })
+    engine = DetectionEngine(resolver)
+    threats = engine.detect_pair(applet_rule, smart_rule)
+    assert any(t.type is ThreatType.ACTUATOR_RACE for t in threats)

@@ -1,0 +1,95 @@
+"""Tests for AST utilities: walk, child iteration, visitor pattern."""
+
+from repro.lang import parse
+from repro.lang import ast_nodes as ast
+
+
+SOURCE = '''
+definition(name: "WalkMe")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    def t = 5
+    if (t > 3) {
+        sw1.off()
+    } else {
+        sw1.on()
+    }
+}
+'''
+
+
+def test_walk_covers_nested_nodes():
+    module = parse(SOURCE)
+    method = module.methods["h"]
+    kinds = {type(node).__name__ for node in ast.walk(method)}
+    assert {"MethodDecl", "Block", "VarDecl", "IfStmt", "BinaryOp",
+            "MethodCall", "Identifier", "IntLiteral"} <= kinds
+
+
+def test_iter_child_nodes_direct_children_only():
+    module = parse(SOURCE)
+    if_stmt = module.methods["h"].body.statements[1]
+    children = list(ast.iter_child_nodes(if_stmt))
+    assert len(children) == 3  # condition, then-block, else-block
+    assert isinstance(children[0], ast.BinaryOp)
+
+
+def test_visitor_dispatch():
+    class CallCounter(ast.NodeVisitor):
+        def __init__(self):
+            self.calls = []
+
+        def visit_MethodCall(self, node):
+            self.calls.append(node.name)
+            self.generic_visit(node)
+
+    module = parse(SOURCE)
+    visitor = CallCounter()
+    for method in module.methods.values():
+        visitor.visit(method)
+    assert "subscribe" in visitor.calls
+    assert "off" in visitor.calls
+    assert "on" in visitor.calls
+
+
+def test_generic_visit_recurses_by_default():
+    class LiteralFinder(ast.NodeVisitor):
+        def __init__(self):
+            self.values = []
+
+        def visit_IntLiteral(self, node):
+            self.values.append(node.value)
+
+    module = parse(SOURCE)
+    finder = LiteralFinder()
+    finder.visit(module.methods["h"])
+    assert finder.values == [5, 3]
+
+
+def test_module_method_lookup():
+    module = parse(SOURCE)
+    assert module.method("h") is not None
+    assert module.method("missing") is None
+
+
+def test_named_args_helpers():
+    module = parse('foo(1, 2, title: "x", required: true)')
+    call = module.top_level[0].expr
+    assert [a.value for a in call.positional_args()] == [1, 2]
+    named = call.named_args()
+    assert set(named) == {"title", "required"}
+
+
+def test_block_iterates_statements():
+    module = parse(SOURCE)
+    body = module.methods["h"].body
+    assert len(list(body)) == 2
+
+
+def test_source_locations_preserved():
+    module = parse(SOURCE)
+    handler = module.methods["h"]
+    assert handler.location.line == 5
+    if_stmt = handler.body.statements[1]
+    assert if_stmt.location.line == 7

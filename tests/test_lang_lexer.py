@@ -1,0 +1,143 @@
+"""Unit tests for the Groovy-subset lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenType
+
+
+def types(source):
+    return [token.type for token in tokenize(source)][:-1]  # drop EOF
+
+
+def test_numbers_int_and_decimal():
+    tokens = tokenize("30 1.5 100L 2.0d")
+    assert [t.type for t in tokens[:-1]] == [
+        TokenType.INT,
+        TokenType.DECIMAL,
+        TokenType.INT,
+        TokenType.DECIMAL,
+    ]
+    assert tokens[0].value == 30
+    assert tokens[1].value == 1.5
+
+
+def test_range_operator_not_decimal():
+    tokens = tokenize("1..5")
+    assert [t.type for t in tokens[:-1]] == [
+        TokenType.INT,
+        TokenType.RANGE,
+        TokenType.INT,
+    ]
+
+
+def test_plain_string_single_quotes():
+    tokens = tokenize("'hello world'")
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].value == "hello world"
+
+
+def test_double_quoted_without_interpolation_is_string():
+    tokens = tokenize('"switch.on"')
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].value == "switch.on"
+
+
+def test_gstring_with_interpolation():
+    tokens = tokenize('"value: ${threshold1} units"')
+    assert tokens[0].type is TokenType.GSTRING
+    parts = tokens[0].value
+    assert parts[0] == "value: "
+    assert parts[1] == ("expr", "threshold1")
+    assert parts[2] == " units"
+
+
+def test_gstring_dollar_identifier():
+    tokens = tokenize('"hi $name!"')
+    parts = tokens[0].value
+    assert parts == ["hi ", ("expr", "name"), "!"]
+
+
+def test_gstring_nested_braces():
+    tokens = tokenize('"x ${a ? b : c}"')
+    parts = tokens[0].value
+    assert parts[1] == ("expr", "a ? b : c")
+
+
+def test_escapes():
+    tokens = tokenize(r'"line\nbreak\t\"q\""')
+    assert tokens[0].value == 'line\nbreak\t"q"'
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("if elsewhere def define")
+    assert [t.type for t in tokens[:-1]] == [
+        TokenType.IF,
+        TokenType.IDENT,
+        TokenType.DEF,
+        TokenType.IDENT,
+    ]
+
+
+def test_operators_maximal_munch():
+    assert types("a <= b == c && d ?: e") == [
+        TokenType.IDENT,
+        TokenType.LE,
+        TokenType.IDENT,
+        TokenType.EQ,
+        TokenType.IDENT,
+        TokenType.AND,
+        TokenType.IDENT,
+        TokenType.ELVIS,
+        TokenType.IDENT,
+    ]
+
+
+def test_line_comment_skipped():
+    tokens = tokenize("a // comment\nb")
+    assert [t.value for t in tokens[:-1]] == ["a", "b"]
+    assert tokens[1].after_newline
+
+
+def test_block_comment_preserves_newline_flag():
+    tokens = tokenize("a /* multi\nline */ b")
+    assert tokens[1].after_newline
+
+
+def test_after_newline_flag():
+    tokens = tokenize("a\nb c")
+    assert not tokens[0].after_newline
+    assert tokens[1].after_newline
+    assert not tokens[2].after_newline
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"never closed')
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unknown_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_safe_navigation_and_method_ref():
+    assert types("a?.b this.&handler") == [
+        TokenType.IDENT,
+        TokenType.SAFE_DOT,
+        TokenType.IDENT,
+        TokenType.IDENT,
+        TokenType.METHOD_REF,
+        TokenType.IDENT,
+    ]
+
+
+def test_locations_are_one_based():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].location.line, tokens[0].location.column) == (1, 1)
+    assert (tokens[1].location.line, tokens[1].location.column) == (2, 3)

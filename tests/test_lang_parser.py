@@ -1,0 +1,340 @@
+"""Unit tests for the Groovy-subset parser."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast_nodes as ast
+
+COMFORT_TV = '''
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch"
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+'''
+
+
+def first_expr(source):
+    module = parse(source)
+    stmt = module.top_level[0]
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+def test_parses_comfort_tv_listing():
+    module = parse(COMFORT_TV)
+    assert set(module.methods) == {"installed", "updated", "onHandler", "turnOnWindow"}
+    assert len(module.top_level) == 4
+
+
+def test_bare_input_command_with_named_args():
+    module = parse(COMFORT_TV)
+    call = module.top_level[0].expr
+    assert isinstance(call, ast.MethodCall)
+    assert call.name == "input"
+    assert not call.parenthesized
+    positional = call.positional_args()
+    assert [arg.value for arg in positional] == ["tv1", "capability.switch"]
+    assert "title" in call.named_args()
+
+
+def test_subscribe_call_args():
+    module = parse(COMFORT_TV)
+    body = module.methods["installed"].body.statements
+    call = body[0].expr
+    assert call.name == "subscribe"
+    assert isinstance(call.args[0], ast.Identifier)
+    assert isinstance(call.args[1], ast.StringLiteral)
+    assert isinstance(call.args[2], ast.Identifier)
+
+
+def test_if_with_single_statement_body():
+    module = parse(COMFORT_TV)
+    handler = module.methods["onHandler"]
+    if_stmt = handler.body.statements[1]
+    assert isinstance(if_stmt, ast.IfStmt)
+    assert len(if_stmt.then_block.statements) == 1
+    assert isinstance(if_stmt.condition, ast.BinaryOp)
+    assert if_stmt.condition.op == "&&"
+
+
+def test_method_call_on_device():
+    module = parse(COMFORT_TV)
+    inner = module.methods["turnOnWindow"].body.statements[0]
+    call = inner.then_block.statements[0].expr
+    assert isinstance(call, ast.MethodCall)
+    assert call.name == "on"
+    assert isinstance(call.receiver, ast.Identifier)
+    assert call.receiver.name == "window1"
+
+
+def test_command_syntax_with_receiver():
+    expr = first_expr('log.debug "some message"')
+    assert isinstance(expr, ast.MethodCall)
+    assert expr.name == "debug"
+    assert expr.receiver.name == "log"
+    assert expr.args[0].value == "some message"
+
+
+def test_operator_precedence():
+    module = parse("x = a + b * c < d && e")
+    stmt = module.top_level[0]
+    assert isinstance(stmt, ast.Assignment)
+    assert stmt.value.op == "&&"
+    left = stmt.value.left
+    assert left.op == "<"
+    assert left.left.op == "+"
+    assert left.left.right.op == "*"
+
+
+def test_ternary_expression():
+    module = parse("def x = a > 1 ? 'big' : 'small'")
+    decl = module.top_level[0]
+    assert isinstance(decl.initializer, ast.TernaryOp)
+
+
+def test_elvis_expression():
+    module = parse("def x = name ?: 'anonymous'")
+    assert isinstance(module.top_level[0].initializer, ast.ElvisOp)
+
+
+def test_closure_with_params():
+    expr = first_expr("devices.each { dev -> dev.off() }")
+    assert expr.name == "each"
+    closure = expr.args[0]
+    assert isinstance(closure, ast.ClosureExpr)
+    assert closure.params[0].name == "dev"
+
+
+def test_closure_without_params_uses_implicit_it():
+    expr = first_expr("switches.each { it.on() }")
+    closure = expr.args[0]
+    assert closure.params == []
+    assert len(closure.body.statements) == 1
+
+
+def test_trailing_closure_after_paren_args():
+    expr = first_expr('section("Devices") { input "a", "capability.switch" }')
+    assert expr.name == "section"
+    assert isinstance(expr.args[0], ast.StringLiteral)
+    assert isinstance(expr.args[-1], ast.ClosureExpr)
+
+
+def test_map_literal_with_ident_keys():
+    module = parse('def m = [devRefStr: "tv1", devRef: tv1]')
+    literal = module.top_level[0].initializer
+    assert isinstance(literal, ast.MapLiteral)
+    keys = [entry.key.value for entry in literal.entries]
+    assert keys == ["devRefStr", "devRef"]
+
+
+def test_empty_map_and_list():
+    module = parse("def a = [:]\ndef b = []")
+    assert isinstance(module.top_level[0].initializer, ast.MapLiteral)
+    assert isinstance(module.top_level[1].initializer, ast.ListLiteral)
+
+
+def test_list_of_maps():
+    module = parse('def d = [[a: 1], [a: 2]]')
+    literal = module.top_level[0].initializer
+    assert isinstance(literal, ast.ListLiteral)
+    assert all(isinstance(el, ast.MapLiteral) for el in literal.elements)
+
+
+def test_switch_statement():
+    source = """
+def handler(evt) {
+    switch (evt.value) {
+        case "on":
+            doOn()
+            break
+        case "off":
+            doOff()
+            break
+        default:
+            log.debug "other"
+    }
+}
+"""
+    module = parse(source)
+    switch = module.methods["handler"].body.statements[0]
+    assert isinstance(switch, ast.SwitchStmt)
+    assert len(switch.cases) == 3
+    assert switch.cases[0].match.value == "on"
+    assert switch.cases[2].match is None
+
+
+def test_for_in_loop():
+    module = parse("def f() { for (s in switches) { s.on() } }")
+    loop = module.methods["f"].body.statements[0]
+    assert isinstance(loop, ast.ForInStmt)
+    assert loop.variable == "s"
+
+
+def test_while_loop():
+    module = parse("def f() { while (x < 3) { x = x + 1 } }")
+    loop = module.methods["f"].body.statements[0]
+    assert isinstance(loop, ast.WhileStmt)
+
+
+def test_return_with_and_without_value():
+    module = parse("def f() { return 1 }\ndef g() { return\n}")
+    assert module.methods["f"].body.statements[0].value.value == 1
+    assert module.methods["g"].body.statements[0].value is None
+
+
+def test_gstring_interpolation_parsed():
+    module = parse('def uri = "http://my.com/appname:${appname}/"')
+    literal = module.top_level[0].initializer
+    assert isinstance(literal, ast.GStringLiteral)
+    embedded = [p for p in literal.parts if isinstance(p, ast.Expr)]
+    assert len(embedded) == 1
+    assert isinstance(embedded[0], ast.Identifier)
+
+
+def test_definition_call_named_args():
+    source = 'definition(name: "ComfortTV", namespace: "repro", author: "x")'
+    expr = first_expr(source)
+    assert expr.name == "definition"
+    assert expr.named_args()["name"].value == "ComfortTV"
+
+
+def test_labeled_statement_in_mappings():
+    source = """
+mappings {
+    path("/switches") {
+        action: [GET: "listSwitches"]
+    }
+}
+"""
+    module = parse(source)
+    mappings = module.top_level[0].expr
+    closure = mappings.args[0]
+    path_call = closure.body.statements[0].expr
+    inner = path_call.args[-1]
+    labeled = inner.body.statements[0]
+    assert isinstance(labeled, ast.LabeledStmt)
+    assert labeled.label == "action"
+
+
+def test_constructor_call():
+    module = parse("def d = new Date()")
+    assert isinstance(module.top_level[0].initializer, ast.ConstructorCall)
+
+
+def test_method_pointer():
+    module = parse("def h = this.&onHandler")
+    pointer = module.top_level[0].initializer
+    assert isinstance(pointer, ast.MethodPointer)
+    assert pointer.name == "onHandler"
+
+
+def test_cast_expression():
+    module = parse("def x = value as Integer")
+    cast = module.top_level[0].initializer
+    assert isinstance(cast, ast.CastExpr)
+    assert cast.type_name == "Integer"
+
+
+def test_newline_ends_statement():
+    module = parse("def a = 1\ndef b = 2")
+    assert len(module.top_level) == 2
+
+
+def test_newline_before_operator_ends_statement():
+    # `b` and `- c` must not merge into a binary expression.
+    module = parse("def f() { def a = b\n-c }")
+    statements = module.methods["f"].body.statements
+    assert len(statements) == 2
+
+
+def test_leading_dot_continues_chain():
+    module = parse("def x = device\n    .currentValue('switch')")
+    init = module.top_level[0].initializer
+    assert isinstance(init, ast.MethodCall)
+    assert init.name == "currentValue"
+
+
+def test_typed_declaration():
+    module = parse("def f() { Map data = [a: 1] }")
+    decl = module.methods["f"].body.statements[0]
+    assert isinstance(decl, ast.VarDecl)
+    assert decl.name == "data"
+
+
+def test_private_method_modifier():
+    module = parse("private def helper() { return 1 }")
+    assert "helper" in module.methods
+
+
+def test_assignment_to_property():
+    module = parse("def f() { state.count = 5 }")
+    assign = module.methods["f"].body.statements[0]
+    assert isinstance(assign, ast.Assignment)
+    assert isinstance(assign.target, ast.PropertyAccess)
+
+
+def test_plus_assignment():
+    module = parse("def f() { state.count += 1 }")
+    assign = module.methods["f"].body.statements[0]
+    assert assign.op == "+="
+
+
+def test_index_access():
+    module = parse("def x = params[0]")
+    assert isinstance(module.top_level[0].initializer, ast.IndexAccess)
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as exc_info:
+        parse("def f() { if (x { } }")
+    assert exc_info.value.location is not None
+
+
+def test_unexpected_token_raises():
+    with pytest.raises(ParseError):
+        parse("def x = ,")
+
+
+def test_runin_with_method_reference():
+    module = parse("def f(evt) { runIn(60, turnOff) }")
+    call = module.methods["f"].body.statements[0].expr
+    assert call.name == "runIn"
+    assert call.args[0].value == 60
+
+
+def test_nested_property_chain():
+    module = parse('def v = evt.device.displayName')
+    init = module.top_level[0].initializer
+    assert isinstance(init, ast.PropertyAccess)
+    assert init.name == "displayName"
+    assert init.receiver.name == "device"
+
+
+def test_not_operator():
+    module = parse("def f() { if (!enabled) { return } }")
+    cond = module.methods["f"].body.statements[0].condition
+    assert isinstance(cond, ast.UnaryOp)
+    assert cond.op == "!"
+
+
+def test_command_call_not_confused_with_typed_decl():
+    module = parse("def f() { sendSms phone, msg }")
+    call = module.methods["f"].body.statements[0].expr
+    assert isinstance(call, ast.MethodCall)
+    assert call.name == "sendSms"
+    assert len(call.args) == 2

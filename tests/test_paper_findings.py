@@ -1,0 +1,141 @@
+"""The six named detection findings of paper §VIII-B, reproduced with
+the actual corpus apps.
+
+1. SwitchChangesMode + MakeItSo create a covert switch->unlock rule.
+2. CurlingIron chains through them: motion ends up unlocking the door.
+3. NFCTagToggle and LockItWhenILeave race on the lock.
+4. LetThereBeDark races with the other light-control apps.
+5. ItsTooHot and EnergySaver form a Self-Disabling pair.
+6. LightUpTheNight self-loops (the §III-B LT example in the wild).
+"""
+
+import pytest
+
+from repro.constraints import TypeBasedResolver
+from repro.corpus import device_controlling_apps
+from repro.detector import DetectionEngine, ThreatType
+from repro.detector.chains import AllowedList, find_chains
+from repro.rules.extractor import RuleExtractor
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    extractor = RuleExtractor()
+    rulesets, hints, values = {}, {}, {}
+    for app in device_controlling_apps():
+        rulesets[app.name] = extractor.extract(app.source, app.name)
+        hints[app.name] = app.type_hints
+        values[app.name] = app.values
+    engine = DetectionEngine(TypeBasedResolver(type_hints=hints, values=values))
+    return rulesets, engine
+
+
+def pair_threats(corpus, name_a, name_b):
+    rulesets, engine = corpus
+    threats = []
+    for rule_a in rulesets[name_a].rules:
+        for rule_b in rulesets[name_b].rules:
+            threats.extend(engine.detect_pair(rule_a, rule_b))
+    return threats
+
+
+def test_finding1_switchchangesmode_makeitso_covert_rule(corpus):
+    threats = pair_threats(corpus, "SwitchChangesMode", "MakeItSo")
+    cts = [
+        t for t in threats
+        if t.type is ThreatType.COVERT_TRIGGERING
+        and t.rule_a.app_name == "SwitchChangesMode"
+    ]
+    assert cts, "switch state must covertly trigger MakeItSo's mode rule"
+    # The covert rule's tail action includes unlocking the lock group.
+    tail_commands = {t.rule_b.action.command for t in cts}
+    assert "unlock" in tail_commands
+
+
+def test_finding2_curlingiron_chain_unlocks_door(corpus):
+    threats = (
+        pair_threats(corpus, "CurlingIron", "SwitchChangesMode")
+        + pair_threats(corpus, "SwitchChangesMode", "MakeItSo")
+    )
+    cts = [t for t in threats if t.type is ThreatType.COVERT_TRIGGERING]
+    chains = find_chains(cts, AllowedList())
+    unlocking = [
+        chain for chain in chains
+        if chain.chain[0].app_name == "CurlingIron"
+        and chain.chain[-1].action.command == "unlock"
+    ]
+    assert unlocking, (
+        "motion -> outlets on -> mode change -> unlock chain must appear "
+        "(the paper's burglar-with-a-CO2-laser attack surface)"
+    )
+
+
+def test_finding3_nfctag_vs_lockitwhenileave_race(corpus):
+    threats = pair_threats(corpus, "NFCTagToggle", "LockItWhenILeave")
+    races = [t for t in threats if t.type is ThreatType.ACTUATOR_RACE]
+    assert races, "tag-toggle unlock must race the auto-lock on the door"
+    commands = {
+        (t.rule_a.action.command, t.rule_b.action.command) for t in races
+    }
+    assert ("unlock", "lock") in commands or ("lock", "unlock") in commands
+
+
+@pytest.mark.parametrize("other", [
+    "UndeadEarlyWarning",
+    "SmartNightlight",
+    "TurnItOnFor5Minutes",
+])
+def test_finding4_lettherebedark_races(corpus, other):
+    threats = pair_threats(corpus, "LetThereBeDark", other)
+    assert any(t.type is ThreatType.ACTUATOR_RACE for t in threats), (
+        f"LetThereBeDark must race {other} on the lights"
+    )
+
+
+def test_finding5_itstoohot_energysaver_self_disabling(corpus):
+    threats = pair_threats(corpus, "ItsTooHot", "EnergySaver")
+    sds = [t for t in threats if t.type is ThreatType.SELF_DISABLING]
+    assert sds, (
+        "EnergySaver must disable ItsTooHot: turning the AC on is the "
+        "last straw that pushes usage over the threshold"
+    )
+    # Direction: ItsTooHot's action triggers EnergySaver which undoes it.
+    assert any(t.rule_a.app_name == "ItsTooHot" for t in sds)
+
+
+def test_finding6_lightupthenight_loop(corpus):
+    rulesets, engine = corpus
+    rules = rulesets["LightUpTheNight"].rules
+    threats = []
+    for i, rule_a in enumerate(rules):
+        for rule_b in rules[i + 1:]:
+            threats.extend(engine.detect_pair(rule_a, rule_b))
+    assert any(t.type is ThreatType.LOOP_TRIGGERING for t in threats), (
+        "the on-below-30lux / off-above-50lux pair must loop through the "
+        "illuminance channel (unexpected light flashing)"
+    )
+
+
+def test_loop_reproduces_in_simulator():
+    """Finding 6, dynamically: the light actually flaps."""
+    from repro.corpus import app_by_name
+    from repro.runtime import SmartHome
+
+    home = SmartHome(seed=2)
+    home.add_device("Lux", "illuminanceSensor")
+    home.add_device("Lamp", "light")
+    home.environment.set_ambient("illuminance", 20.0)  # dark dusk
+    for device in home.devices.values():
+        device.sample_channels(home.environment)
+    home.install_app(app_by_name("LightUpTheNight").source,
+                     "LightUpTheNight",
+                     bindings={"lightSensor": "Lux", "lights": "Lamp"},
+                     settings={"darkLux": 30, "brightLux": 50})
+    home.trigger("Lux", "illuminance", 20)
+    home.advance(300)
+    lamp_commands = [c.command for c in home.commands
+                     if c.device_label == "Lamp"]
+    # The lamp turns on (dark), brightens the room above 50 lux, turns
+    # off, darkens it below 30, turns on again, ...
+    assert lamp_commands.count("on") >= 2
+    assert lamp_commands.count("off") >= 1

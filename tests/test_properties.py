@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.uri import ConfigPayload, decode_uri, encode_uri
+from repro.constraints.solver import Solver, VarPool
+from repro.constraints.terms import (
+    AffineTerm,
+    CmpAtom,
+    StrTerm,
+    conj,
+    disj,
+    lit,
+    neg,
+)
+from repro.lang import tokenize
+from repro.lang.tokens import TokenType
+from repro.symex.values import (
+    BinExpr,
+    Const,
+    DeviceAttr,
+    DeviceRef,
+    EventValue,
+    LocalVar,
+    NotExpr,
+    UserInput,
+    from_json,
+    negate,
+    to_json,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+
+_ident = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+_atoms = st.one_of(
+    st.builds(Const, st.integers(min_value=-1000, max_value=1000)),
+    st.builds(Const, st.text(alphabet=string.ascii_lowercase, max_size=6)),
+    st.builds(Const, st.booleans()),
+    st.builds(EventValue),
+    st.builds(UserInput, _ident, st.just("number")),
+    st.builds(LocalVar, _ident, st.integers(min_value=0, max_value=3)),
+    st.builds(
+        DeviceAttr,
+        st.builds(DeviceRef, _ident, st.just("capability.switch")),
+        st.sampled_from(["switch", "level", "temperature"]),
+    ),
+)
+
+
+def _exprs(depth=2):
+    if depth == 0:
+        return _atoms
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.builds(BinExpr, st.sampled_from(["==", "!=", "<", ">", "&&", "||", "+"]),
+                  sub, sub),
+        st.builds(NotExpr, sub),
+    )
+
+
+# ----------------------------------------------------------------------
+# Symbolic expression properties
+
+
+@given(_exprs())
+@settings(max_examples=200)
+def test_symexpr_json_roundtrip(expr):
+    assert from_json(to_json(expr)) == expr
+
+
+@given(_exprs())
+@settings(max_examples=200)
+def test_double_negation_is_identity_on_comparisons(expr):
+    once = negate(expr)
+    twice = negate(once)
+    # negate is an involution up to comparison-flipping: applying it twice
+    # must reproduce an equivalent formula; for comparisons and NotExpr
+    # it is literally the identity.
+    if isinstance(expr, (BinExpr, NotExpr)):
+        if isinstance(expr, BinExpr) and expr.is_comparison:
+            assert twice == expr
+        if isinstance(expr, NotExpr):
+            assert once == expr.operand
+
+
+@given(_exprs())
+@settings(max_examples=100)
+def test_walk_yields_self_first(expr):
+    nodes = list(expr.walk())
+    assert nodes[0] is expr
+    for child in expr.children():
+        assert child in nodes
+
+
+# ----------------------------------------------------------------------
+# Lexer properties
+
+
+@given(st.text(alphabet=string.printable, max_size=60))
+@settings(max_examples=300)
+def test_lexer_never_crashes_unexpectedly(text):
+    """The lexer either returns tokens or raises its declared LexError."""
+    from repro.lang import LexError
+
+    try:
+        tokens = tokenize(text)
+    except LexError:
+        return
+    assert tokens[-1].type is TokenType.EOF
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                max_size=10))
+def test_lexer_integer_fidelity(values):
+    source = " ".join(str(v) for v in values)
+    tokens = tokenize(source)
+    lexed = [t.value for t in tokens if t.type is TokenType.INT]
+    assert lexed == values
+
+
+@given(st.text(alphabet=string.ascii_letters + " _", max_size=30))
+def test_string_literal_roundtrip(text):
+    tokens = tokenize(f'"{text}"')
+    assert tokens[0].value == text
+
+
+# ----------------------------------------------------------------------
+# Solver properties
+
+
+@given(
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=-100, max_value=100),
+)
+def test_solver_interval_consistency(a, b):
+    """x > a && x < b is SAT iff the open interval is non-empty."""
+    pool = VarPool()
+    pool.declare_num("x", -1000, 1000)
+    formula = conj([
+        lit(CmpAtom(AffineTerm("x"), ">", AffineTerm.const(a))),
+        lit(CmpAtom(AffineTerm("x"), "<", AffineTerm.const(b))),
+    ])
+    result = Solver(pool).solve(formula)
+    assert result.sat == (a < b - 0.01)
+    if result.sat:
+        assert a < result.witness["x"] < b
+
+
+@given(st.lists(st.sampled_from(["on", "off", "dim", "strobe"]),
+                min_size=1, max_size=4, unique=True),
+       st.sampled_from(["on", "off", "dim", "strobe"]))
+def test_solver_enum_membership(domain, target):
+    pool = VarPool()
+    pool.declare_str("s", set(domain))
+    formula = lit(CmpAtom(StrTerm("s"), "==", StrTerm(None, target)))
+    result = Solver(pool).solve(formula)
+    assert result.sat == (target in domain)
+
+
+@given(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+def test_solver_negation_excluded_middle(a, b, c):
+    """F || !F is always SAT; F && !F is never SAT."""
+    pool = VarPool()
+    pool.declare_num("x", -100, 100)
+    formula = conj([
+        lit(CmpAtom(AffineTerm("x"), ">", AffineTerm.const(a))),
+        disj([
+            lit(CmpAtom(AffineTerm("x"), "<", AffineTerm.const(b))),
+            lit(CmpAtom(AffineTerm("x"), ">=", AffineTerm.const(c))),
+        ]),
+    ])
+    both = conj([formula, neg(formula)])
+    either = disj([formula, neg(formula)])
+    assert not Solver(pool).solve(both).sat
+    assert Solver(pool).solve(either).sat
+
+
+# ----------------------------------------------------------------------
+# Config URI properties
+
+_id_strategy = st.uuids().map(str)
+_name_strategy = st.text(
+    alphabet=string.ascii_letters + string.digits, min_size=1, max_size=12
+)
+
+
+@given(
+    _name_strategy,
+    st.dictionaries(_name_strategy, _id_strategy, max_size=5),
+    st.dictionaries(
+        _name_strategy,
+        st.text(alphabet=string.ascii_letters + string.digits + " .%-",
+                min_size=1, max_size=15),
+        max_size=5,
+    ),
+)
+@settings(max_examples=200)
+def test_config_uri_roundtrip(app_name, devices, values):
+    # Input names are unique across the two maps by construction in real
+    # apps; enforce that precondition here.
+    values = {k: v for k, v in values.items() if k not in devices}
+    payload = ConfigPayload(app_name=app_name, devices=devices, values=values)
+    decoded = decode_uri(encode_uri(payload))
+    assert decoded.app_name == app_name
+    assert decoded.devices == devices
+    assert decoded.values == {k: str(v) for k, v in values.items()}
+
+
+# ----------------------------------------------------------------------
+# Rule serialization property (via generated rules)
+
+
+@given(st.sampled_from([
+    "ComfortTV", "ColdDefender", "CatchLiveShow", "BurglarFinder",
+    "NightCare", "LetThereBeDark", "EnergySaver", "SmartNightlight",
+    "LightUpTheNight", "MakeItSo",
+]))
+@settings(max_examples=20, deadline=None)
+def test_corpus_rules_serialize_roundtrip(app_name):
+    from repro.corpus import app_by_name
+    from repro.rules import extract_rules, ruleset_from_json, ruleset_to_json
+
+    ruleset = extract_rules(app_by_name(app_name).source, app_name)
+    back = ruleset_from_json(ruleset_to_json(ruleset))
+    assert back.rules == ruleset.rules

@@ -1,0 +1,142 @@
+"""Tests for the code-review checks (paper §VIII-D.2)."""
+
+from repro.corpus import automation_apps, demo_apps
+from repro.review import review_app
+
+
+def test_clean_app_passes():
+    source = '''
+definition(name: "Clean")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { sw1.off() }
+'''
+    report = review_app(source, "Clean")
+    assert report.passed
+    assert report.findings == []
+
+
+def test_banned_method_flagged():
+    source = '''
+definition(name: "Evil")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    "ls -la".execute()
+}
+'''
+    report = review_app(source, "Evil")
+    assert not report.passed
+    assert any(f.check == "banned-method" for f in report.errors())
+
+
+def test_dynamic_dispatch_flagged():
+    source = '''
+definition(name: "Reflective")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    sw1.invokeMethod("off", null)
+}
+'''
+    report = review_app(source, "Reflective")
+    assert not report.passed
+    findings = {f.check for f in report.errors()}
+    assert "dynamic-dispatch" in findings
+
+
+def test_gstring_without_switch_warns():
+    source = '''
+definition(name: "Gstr")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch", h) }
+def h(evt) {
+    def cmd = "prefix-${evt.value}"
+    doCommand(cmd)
+}
+def doCommand(c) { sw1.on() }
+'''
+    report = review_app(source, "Gstr")
+    assert report.passed  # warning only
+    assert any(f.check == "gstring-switch" for f in report.warnings())
+
+
+def test_gstring_with_switch_is_clean():
+    source = '''
+definition(name: "GstrOk")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch", h) }
+def h(evt) {
+    def cmd = "prefix-${evt.value}"
+    switch (cmd) {
+        case "prefix-on":
+            sw1.on()
+            break
+        case "prefix-off":
+            sw1.off()
+            break
+    }
+}
+'''
+    report = review_app(source, "GstrOk")
+    assert not any(f.check == "gstring-switch" for f in report.findings)
+
+
+def test_undeclared_identifier_warns():
+    source = '''
+definition(name: "Typo")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    sw2.off()
+}
+'''
+    report = review_app(source, "Typo")
+    warnings = [f for f in report.warnings() if f.check == "undeclared-identifier"]
+    assert warnings
+    assert "sw2" in warnings[0].message
+
+
+def test_findings_carry_line_numbers():
+    source = '''
+definition(name: "L")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    "x".execute()
+}
+'''
+    report = review_app(source, "L")
+    assert report.errors()[0].line == 6
+
+
+def test_whole_corpus_passes_review():
+    # Every benign repository app must survive the platform's review;
+    # this is also a regression net for the checks themselves.
+    for app in automation_apps() + demo_apps():
+        report = review_app(app.source, app.name)
+        assert report.passed, (app.name, [str(f) for f in report.errors()])
+
+
+def test_malicious_apps_pass_review_too():
+    # The paper's core point: CAI-exploiting apps contain seemingly
+    # benign logic and DO pass conventional code review — the banned
+    # constructs are not what makes them dangerous.
+    from repro.corpus import malicious_apps
+
+    for app in malicious_apps():
+        report = review_app(app.source, app.name)
+        assert report.passed, app.name
+
+
+def test_finding_str_format():
+    source = '''
+definition(name: "S")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { "x".execute() }
+'''
+    report = review_app(source, "S")
+    text = str(report.errors()[0])
+    assert "[error]" in text
+    assert "banned-method" in text

@@ -1,0 +1,166 @@
+"""Tests for the rule model, serialization and human-readable rendering."""
+
+import json
+
+from repro.rules import (
+    Action,
+    Condition,
+    DataConstraint,
+    Rule,
+    RuleSet,
+    Trigger,
+    describe_rule,
+    describe_trigger,
+    extract_rules,
+    rule_from_json,
+    rule_to_json,
+    ruleset_from_json,
+    ruleset_to_json,
+)
+from repro.rules.interpreter import describe_action, describe_condition, render_expr
+from repro.symex.values import (
+    BinExpr,
+    Const,
+    DeviceAttr,
+    DeviceRef,
+    EventValue,
+    LocalVar,
+    UserInput,
+)
+
+TV = DeviceRef("tv1", "capability.switch")
+WINDOW = DeviceRef("window1", "capability.switch")
+SENSOR = DeviceRef("tSensor", "capability.temperatureMeasurement")
+
+RULE1 = Rule(
+    app_name="ComfortTV",
+    rule_id="ComfortTV/R1",
+    trigger=Trigger(
+        subject="tv1",
+        attribute="switch",
+        constraint=BinExpr("==", EventValue(), Const("on")),
+        device=TV,
+    ),
+    condition=Condition(
+        data_constraints=(
+            DataConstraint("t", DeviceAttr(SENSOR, "temperature")),
+        ),
+        predicate_constraints=(
+            BinExpr(">", LocalVar("t"), UserInput("threshold1", "number")),
+            BinExpr("==", DeviceAttr(WINDOW, "switch"), Const("off")),
+        ),
+    ),
+    action=Action(
+        subject="window1", command="on", device=WINDOW, capability="switch"
+    ),
+)
+
+
+def test_rule_roundtrip_json():
+    data = rule_to_json(RULE1)
+    text = json.dumps(data)
+    back = rule_from_json(json.loads(text))
+    assert back == RULE1
+
+
+def test_ruleset_roundtrip_json():
+    ruleset = RuleSet(app_name="ComfortTV", rules=[RULE1],
+                      inputs={"tv1": TV, "threshold1": UserInput("threshold1", "number")})
+    text = ruleset_to_json(ruleset)
+    back = ruleset_from_json(text)
+    assert back.app_name == "ComfortTV"
+    assert back.rules == [RULE1]
+    assert back.inputs["tv1"] == TV
+
+
+def test_symbolic_when_roundtrips():
+    action = Action(
+        subject="sw", command="off",
+        when=BinExpr("*", UserInput("minutes", "number"), Const(60)),
+    )
+    rule = Rule("A", "A/R1", Trigger("sw", "switch"), Condition(), action)
+    back = rule_from_json(rule_to_json(rule))
+    assert back.action.when == action.when
+
+
+def test_rule_file_size_is_kilobytes():
+    # Paper §VIII-C: 6.2 KB per app on average; ours must stay in the
+    # same order of magnitude.
+    from repro.corpus import app_by_name
+
+    ruleset = extract_rules(app_by_name("ComfortTV").source, "ComfortTV")
+    size = len(ruleset_to_json(ruleset).encode())
+    assert 200 < size < 20000
+
+
+def test_describe_trigger_state_change():
+    trigger = Trigger(subject="sw1", attribute="switch")
+    assert "changes" in describe_trigger(trigger)
+
+
+def test_describe_trigger_with_constraint():
+    text = describe_trigger(RULE1.trigger)
+    assert "tv1" in text
+    assert "on" in text
+
+
+def test_describe_trigger_scheduled():
+    trigger = Trigger(subject="time", attribute="every5Minutes")
+    assert "schedule" in describe_trigger(trigger)
+
+
+def test_describe_condition():
+    text = describe_condition(RULE1.condition)
+    assert text.startswith("if ")
+    assert "threshold1" in text
+
+
+def test_describe_action_with_delay():
+    action = Action(subject="lamp", command="off", when=300.0)
+    text = describe_action(action)
+    assert "after 5 minutes" in text
+
+
+def test_describe_action_with_period():
+    action = Action(subject="pump", command="on", period=3600.0)
+    assert "every 1 hour" in describe_action(action)
+
+
+def test_describe_action_symbolic_delay():
+    action = Action(
+        subject="lamp", command="off",
+        when=BinExpr("*", UserInput("m", "number"), Const(60)),
+    )
+    assert "configured delay" in describe_action(action)
+
+
+def test_describe_rule_full_sentence():
+    text = describe_rule(RULE1)
+    assert text.startswith("when ")
+    assert " then " in text
+
+
+def test_render_expr_operators():
+    expr = BinExpr(">=", DeviceAttr(SENSOR, "temperature"), Const(30))
+    assert "at least" in render_expr(expr)
+
+
+def test_action_is_delayed():
+    assert Action(subject="x", command="on", when=5.0).is_delayed
+    assert not Action(subject="x", command="on").is_delayed
+    symbolic = Action(subject="x", command="on",
+                      when=UserInput("d", "number"))
+    assert symbolic.is_delayed
+
+
+def test_condition_is_trivial():
+    assert Condition().is_trivial
+    assert not RULE1.condition.is_trivial
+
+
+def test_ruleset_device_inputs():
+    ruleset = RuleSet(
+        app_name="A",
+        inputs={"tv1": TV, "threshold1": UserInput("threshold1", "number")},
+    )
+    assert set(ruleset.device_inputs()) == {"tv1"}

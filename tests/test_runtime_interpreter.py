@@ -1,0 +1,349 @@
+"""Focused tests for the concrete DSL interpreter semantics."""
+
+import pytest
+
+from repro.runtime import SmartHome
+
+
+def run_app(body: str, devices=None, settings=None, inputs: str = "") -> SmartHome:
+    """Install a one-handler app wired to a contact sensor and run it."""
+    home = SmartHome(seed=1)
+    home.add_device("Door", "contactSensor")
+    for label, type_name in (devices or {}).items():
+        home.add_device(label, type_name)
+    source = f'''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+{inputs}
+def installed() {{ subscribe(c1, "contact.open", h) }}
+def h(evt) {{
+{body}
+}}
+'''
+    bindings = {"c1": "Door"}
+    bindings.update({name: name for name in (devices or {})
+                     if name in (inputs or "")})
+    home.install_app(source, "T", bindings=bindings,
+                     settings=settings or {})
+    home.trigger("Door", "contact", "open")
+    return home
+
+
+def last_push(home: SmartHome) -> str:
+    pushes = [m for m in home.messages if m.channel == "push"]
+    return pushes[-1].body if pushes else ""
+
+
+def test_gstring_interpolation():
+    home = run_app('    sendPush("value=${evt.value} name=${evt.name}")')
+    assert last_push(home) == "value=open name=contact"
+
+
+def test_string_methods():
+    home = run_app('''
+    def s = "  Hello World  "
+    sendPush(s.trim().toLowerCase())
+''')
+    assert last_push(home) == "hello world"
+
+
+def test_to_integer_on_strings():
+    home = run_app('''
+    def n = "42".toInteger() + 8
+    sendPush("n=${n}")
+''')
+    assert last_push(home) == "n=50"
+
+
+def test_arithmetic_and_ternary():
+    home = run_app('''
+    def x = 7
+    def label = (x * 3 > 20) ? "big" : "small"
+    sendPush(label)
+''')
+    assert last_push(home) == "big"
+
+
+def test_elvis_operator():
+    home = run_app('''
+    def name = settings.missing ?: "fallback"
+    sendPush(name)
+''')
+    assert last_push(home) == "fallback"
+
+
+def test_list_operations():
+    home = run_app('''
+    def xs = [3, 1, 4, 1, 5]
+    def big = xs.findAll { it > 2 }
+    sendPush("n=${big.size()} sum=${xs.sum()}")
+''')
+    assert last_push(home) == "n=3 sum=14"
+
+
+def test_list_collect_and_contains():
+    home = run_app('''
+    def xs = [1, 2, 3]
+    def doubled = xs.collect { it * 2 }
+    sendPush("has4=${doubled.contains(4)} first=${doubled.first()}")
+''')
+    assert last_push(home) == "has4=true first=2"
+
+
+def test_map_literal_access():
+    home = run_app('''
+    def m = [alpha: 1, beta: 2]
+    sendPush("a=${m.alpha} b=${m["beta"]}")
+''')
+    assert last_push(home) == "a=1 b=2"
+
+
+def test_for_in_loop_with_break():
+    home = run_app('''
+    def total = 0
+    for (n in [1, 2, 3, 4, 5]) {
+        if (n > 3) { break }
+        total = total + n
+    }
+    sendPush("total=${total}")
+''')
+    assert last_push(home) == "total=6"
+
+
+def test_while_loop():
+    home = run_app('''
+    def i = 0
+    while (i < 4) { i = i + 1 }
+    sendPush("i=${i}")
+''')
+    assert last_push(home) == "i=4"
+
+
+def test_switch_with_default():
+    home = run_app('''
+    switch (evt.value) {
+        case "closed":
+            sendPush("closed!")
+            break
+        default:
+            sendPush("default: ${evt.value}")
+    }
+''')
+    assert last_push(home) == "default: open"
+
+
+def test_switch_fallthrough():
+    home = run_app('''
+    def hits = 0
+    switch ("a") {
+        case "a":
+            hits = hits + 1
+        case "b":
+            hits = hits + 1
+            break
+        case "c":
+            hits = hits + 100
+            break
+    }
+    sendPush("hits=${hits}")
+''')
+    assert last_push(home) == "hits=2"
+
+
+def test_range_literal():
+    home = run_app('''
+    def r = 1..4
+    sendPush("len=${r.size()} last=${r.last()}")
+''')
+    assert last_push(home) == "len=4 last=4"
+
+
+def test_cast_expression():
+    home = run_app('''
+    def x = "17" as Integer
+    sendPush("x=${x + 3}")
+''')
+    assert last_push(home) == "x=20"
+
+
+def test_event_device_property():
+    home = run_app('    sendPush("from ${evt.device.displayName}")')
+    assert last_push(home) == "from Door"
+
+
+def test_numeric_event_values():
+    home = SmartHome()
+    home.add_device("Temp", "temperatureSensor")
+    source = '''
+definition(name: "T")
+input "t1", "capability.temperatureMeasurement"
+def installed() { subscribe(t1, "temperature", h) }
+def h(evt) {
+    sendPush("i=${evt.integerValue} d=${evt.doubleValue}")
+}
+'''
+    home.install_app(source, "T", bindings={"t1": "Temp"})
+    home.trigger("Temp", "temperature", 72.5)
+    assert last_push(home) == "i=72 d=72.5"
+
+
+def test_device_group_fanout():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    home.add_device("L1", "light")
+    home.add_device("L2", "light")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) { lights.on() }
+'''
+    home.install_app(source, "T",
+                     bindings={"c1": "Door", "lights": ["L1", "L2"]})
+    home.trigger("Door", "contact", "open")
+    assert home.device("L1").current_value("switch") == "on"
+    assert home.device("L2").current_value("switch") == "on"
+
+
+def test_device_group_each_closure_runtime():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    home.add_device("L1", "light")
+    home.add_device("L2", "light")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+input "lights", "capability.switch", multiple: true
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    lights.each { l -> l.on() }
+    sendPush("count=${lights.size()}")
+}
+'''
+    home.install_app(source, "T",
+                     bindings={"c1": "Door", "lights": ["L1", "L2"]})
+    home.trigger("Door", "contact", "open")
+    assert home.device("L2").current_value("switch") == "on"
+    assert last_push(home) == "count=2"
+
+
+def test_closure_mutates_outer_variable():
+    home = run_app('''
+    def total = 0
+    [1, 2, 3].each { total = total + it }
+    sendPush("total=${total}")
+''')
+    assert last_push(home) == "total=6"
+
+
+def test_helper_method_call_with_args():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    sendPush(greet("world"))
+}
+def greet(name) {
+    return "hello " + name
+}
+'''
+    home.install_app(source, "T", bindings={"c1": "Door"})
+    home.trigger("Door", "contact", "open")
+    assert last_push(home) == "hello world"
+
+
+def test_default_parameter_value():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) { sendPush(label()) }
+def label(prefix = "dev") {
+    return prefix + "-1"
+}
+'''
+    home.install_app(source, "T", bindings={"c1": "Door"})
+    home.trigger("Door", "contact", "open")
+    assert last_push(home) == "dev-1"
+
+
+def test_settings_values_resolve():
+    home = run_app(
+        '    sendPush("limit=${limit}")',
+        settings={"limit": 42},
+        inputs='input "limit", "number"',
+    )
+    assert last_push(home) == "limit=42"
+
+
+def test_location_mode_read_and_write():
+    home = run_app('''
+    if (location.mode == "Home") {
+        setLocationMode("Away")
+    }
+    sendPush("mode=${location.mode}")
+''')
+    assert last_push(home) == "mode=Away"
+    assert home.mode == "Away"
+
+
+def test_infinite_while_loop_guard():
+    home = run_app('''
+    while (true) { def x = 1 }
+''')
+    assert any("budget" in error for error in home.errors)
+
+
+def test_plus_assignment_on_state():
+    home = SmartHome()
+    home.add_device("Door", "contactSensor")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    if (!state.n) { state.n = 0 }
+    state.n += 2
+    sendPush("n=${state.n}")
+}
+'''
+    home.install_app(source, "T", bindings={"c1": "Door"})
+    home.trigger("Door", "contact", "open")
+    home.trigger("Door", "contact", "closed")
+    home.trigger("Door", "contact", "open")
+    assert last_push(home) == "n=4"
+
+
+def test_new_date_weekday_format():
+    home = run_app('''
+    def day = new Date().format("EEEE")
+    sendPush(day)
+''')
+    assert last_push(home) == "Monday"  # sim epoch day 0
+
+
+def test_time_of_day_is_between():
+    home = SmartHome()
+    home.clock.advance(10 * 3600)  # 10:00
+    home.add_device("Door", "contactSensor")
+    source = '''
+definition(name: "T")
+input "c1", "capability.contactSensor"
+def installed() { subscribe(c1, "contact.open", h) }
+def h(evt) {
+    if (timeOfDayIsBetween("09:00", "17:00", now(), location.timeZone)) {
+        sendPush("office hours")
+    } else {
+        sendPush("after hours")
+    }
+}
+'''
+    home.install_app(source, "T", bindings={"c1": "Door"})
+    home.trigger("Door", "contact", "open")
+    assert last_push(home) == "office hours"

@@ -1,0 +1,495 @@
+"""Unit tests for the symbolic executor (rule extraction)."""
+
+import pytest
+
+from repro.rules import extract_rules
+from repro.rules.extractor import ExtractionError, RuleExtractor
+from repro.symex.values import (
+    BinExpr,
+    Const,
+    DeviceAttr,
+    DeviceRef,
+    EventValue,
+    LocalVar,
+    LocationAttr,
+    UserInput,
+)
+
+
+def app(body: str, inputs: str = "") -> str:
+    return f'''
+definition(name: "TestApp")
+{inputs}
+{body}
+'''
+
+
+SWITCH_INPUTS = '''
+input "sw1", "capability.switch"
+input "sw2", "capability.switch"
+'''
+
+
+def test_simple_subscription_rule():
+    source = app('''
+def installed() { subscribe(sw1, "switch", handler) }
+def handler(evt) { sw2.on() }
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert len(rules) == 1
+    rule = rules[0]
+    assert rule.trigger.subject == "sw1"
+    assert rule.trigger.attribute == "switch"
+    assert rule.trigger.constraint is None  # plain state change
+    assert rule.action.subject == "sw2"
+    assert rule.action.command == "on"
+
+
+def test_dotted_subscription_becomes_trigger_constraint():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { sw2.off() }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    constraint = rule.trigger.constraint
+    assert isinstance(constraint, BinExpr)
+    assert isinstance(constraint.left, EventValue)
+    assert constraint.right == Const("on")
+
+
+def test_event_value_comparison_goes_to_trigger():
+    source = app('''
+def installed() { subscribe(sw1, "switch", handler) }
+def handler(evt) {
+    if (evt.value == "off") sw2.on()
+}
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.trigger.constraint is not None
+    assert rule.condition.predicate_constraints == ()
+
+
+def test_branches_produce_separate_rules():
+    source = app('''
+def installed() { subscribe(sw1, "switch", handler) }
+def handler(evt) {
+    if (evt.value == "on") {
+        sw2.on()
+    } else {
+        sw2.off()
+    }
+}
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert len(rules) == 2
+    commands = {rule.action.command for rule in rules}
+    assert commands == {"on", "off"}
+
+
+def test_nested_conditions_accumulate():
+    source = app('''
+input "tSensor", "capability.temperatureMeasurement"
+input "low", "number"
+input "high", "number"
+def installed() { subscribe(tSensor, "temperature", handler) }
+def handler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if (t > low) {
+        if (t < high) {
+            sw1.on()
+        }
+    }
+}
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert len(rule.condition.predicate_constraints) == 2
+
+
+def test_negated_branch_constraint():
+    source = app('''
+input "mode1", "mode"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) {
+    if (location.mode == mode1) {
+        return
+    }
+    sw2.on()
+}
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert len(rules) == 1
+    predicate = rules[0].condition.predicate_constraints[0]
+    assert isinstance(predicate, BinExpr)
+    assert predicate.op == "!="  # negation folded into the comparison
+
+
+def test_runin_delay_recorded_as_when():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { runIn(300, turnOff) }
+def turnOff() { sw2.off() }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.action.when == 300.0
+    assert rule.action.command == "off"
+
+
+def test_runin_with_computed_delay():
+    source = app('''
+input "minutes", "number"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { runIn(minutes * 60, turnOff) }
+def turnOff() { sw2.off() }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    # Symbolic delay: kept as an expression, not a number.
+    assert not isinstance(rule.action.when, float)
+
+
+def test_run_every_creates_scheduled_rule():
+    source = app('''
+def installed() { runEvery5Minutes(poll) }
+def poll() { sw1.off() }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.trigger.subject == "time"
+    assert rule.trigger.attribute == "every5Minutes"
+    assert rule.action.period == 300.0
+
+
+def test_schedule_daily_rule():
+    source = app('''
+input "when1", "time"
+def installed() { schedule(when1, fire) }
+def fire() { sw1.on() }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.trigger.is_scheduled
+    assert rule.action.period == 86400.0
+
+
+def test_rundaily_undocumented_api_is_modeled():
+    source = app('''
+input "when1", "time"
+def installed() { runDaily(when1, fire) }
+def fire() { sw1.on() }
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert len(rules) == 1
+    assert rules[0].trigger.attribute == "runDaily"
+
+
+def test_location_mode_subscription():
+    source = app('''
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Away") sw1.off()
+}
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.trigger.subject == "location"
+    assert rule.trigger.attribute == "mode"
+
+
+def test_set_location_mode_is_sink():
+    source = app('''
+input "m1", "mode"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { setLocationMode(m1) }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.action.subject == "location"
+    assert rule.action.command == "setLocationMode"
+    assert isinstance(rule.action.params[0], UserInput)
+
+
+def test_send_sms_is_sink():
+    source = app('''
+input "phone1", "phone"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { sendSms(phone1, "switched on") }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.action.subject == "notification"
+    assert rule.action.command == "sendSms"
+
+
+def test_http_post_is_sink():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { httpPost("http://x.example/collect", "data") }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert rule.action.subject == "network"
+    assert rule.action.command == "httpPost"
+
+
+def test_multiple_sinks_on_one_path_yield_multiple_rules():
+    source = app('''
+input "lock1", "capability.lock"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) {
+    sw2.on()
+    lock1.unlock()
+}
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert {rule.action.command for rule in rules} == {"on", "unlock"}
+
+
+def test_device_group_each_closure():
+    source = app('''
+input "switches", "capability.switch", multiple: true
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { switches.each { s -> s.off() } }
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert rules[0].action.subject == "switches"
+    assert rules[0].action.device.multiple
+
+
+def test_command_on_group_directly():
+    source = app('''
+input "switches", "capability.switch", multiple: true
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { switches.off() }
+''', SWITCH_INPUTS)
+    assert extract_rules(source).rules[0].action.subject == "switches"
+
+
+def test_switch_statement_branches():
+    source = app('''
+def installed() { subscribe(sw1, "switch", handler) }
+def handler(evt) {
+    switch (evt.value) {
+        case "on":
+            sw2.on()
+            break
+        case "off":
+            sw2.off()
+            break
+    }
+}
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert len(rules) == 2
+
+
+def test_ternary_forks_paths():
+    source = app('''
+input "level1", "number"
+input "dimmer1", "capability.switchLevel"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) {
+    def lvl = (location.mode == "Night") ? 10 : level1
+    dimmer1.setLevel(lvl)
+}
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    assert len(rules) == 2
+    params = {str(rule.action.params[0]) for rule in rules}
+    assert "10" in params
+
+
+def test_data_constraints_record_variable_definitions():
+    source = app('''
+input "tSensor", "capability.temperatureMeasurement"
+input "limit", "number"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if (t > limit) sw2.on()
+}
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    names = {constraint.name for constraint in rule.condition.data_constraints}
+    assert "t" in names
+    assert "tSensor.temperature" in names  # the #DevState marker
+    assert "limit" in names                # the #UserInput marker
+
+
+def test_state_variable_is_symbolic_input():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) {
+    if (state.enabled) sw2.on()
+}
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    predicate = rule.condition.predicate_constraints[0]
+    assert "state.enabled" in str(predicate)
+
+
+def test_state_write_then_read_in_same_path():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) {
+    state.count = 5
+    if (state.count > 3) sw2.on()
+}
+''', SWITCH_INPUTS)
+    rules = extract_rules(source).rules
+    # 5 > 3 folds to true: exactly one unconditional rule.
+    assert len(rules) == 1
+    assert rules[0].condition.predicate_constraints == ()
+
+
+def test_helper_method_inlined():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { doIt() }
+def doIt() { sw2.on() }
+''', SWITCH_INPUTS)
+    assert extract_rules(source).rules[0].action.command == "on"
+
+
+def test_helper_with_return_value():
+    source = app('''
+input "limit", "number"
+input "tSensor", "capability.temperatureMeasurement"
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) {
+    if (hot()) sw2.on()
+}
+def hot() {
+    return tSensor.currentValue("temperature") > limit
+}
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert len(rule.condition.predicate_constraints) == 1
+
+
+def test_recursion_depth_capped():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { spin() }
+def spin() { spin() }
+''', SWITCH_INPUTS)
+    extractor = RuleExtractor()
+    report = extractor.extract_with_report(source)
+    assert any("depth" in warning for warning in report.warnings)
+
+
+def test_mutually_recursive_runin_capped():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", handler) }
+def handler(evt) { runIn(1, a) }
+def a() { sw2.on()
+    runIn(1, b) }
+def b() { sw2.off()
+    runIn(1, a) }
+''', SWITCH_INPUTS)
+    report = RuleExtractor().extract_with_report(source)
+    assert len(report.ruleset) >= 2  # finite set of rules despite the loop
+
+
+def test_strict_mode_rejects_nonstandard_device_types():
+    source = '''
+definition(name: "FeedMyPetClone")
+input "feeder", "device.petfeedershield"
+def installed() { subscribe(feeder, "switch", h) }
+def h(evt) { feeder.off() }
+'''
+    with pytest.raises(ExtractionError):
+        RuleExtractor(strict_device_types=True).extract(source)
+    # Tolerant mode (post paper-fix) succeeds.
+    assert len(RuleExtractor().extract(source)) == 1
+
+
+def test_parse_error_wrapped():
+    with pytest.raises(ExtractionError):
+        RuleExtractor().extract("def broken( {")
+
+
+def test_app_name_inferred_from_definition():
+    source = '''
+definition(name: "MyGreatApp", author: "x")
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { sw1.off() }
+'''
+    assert extract_rules(source).app_name == "MyGreatApp"
+
+
+def test_explicit_app_name_overrides():
+    source = 'definition(name: "Internal")\ninput "s", "capability.switch"\ndef installed() { }'
+    assert extract_rules(source, "Override").app_name == "Override"
+
+
+def test_installed_and_updated_subscriptions_deduplicated():
+    source = app('''
+def installed() { subscribe(sw1, "switch", h) }
+def updated() { unsubscribe(); subscribe(sw1, "switch", h) }
+def h(evt) { sw2.on() }
+''', SWITCH_INPUTS)
+    assert len(extract_rules(source).rules) == 1
+
+
+def test_gstring_parameters_preserved():
+    source = app('''
+input "phone1", "phone"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { sendSms(phone1, "value is ${evt.value}") }
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    assert len(rule.action.params) == 2
+
+
+def test_inputs_collected_inside_preferences_pages():
+    source = '''
+definition(name: "Paged")
+preferences {
+    page(name: "first") {
+        section("Devices") {
+            input "sw1", "capability.switch"
+        }
+    }
+}
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) { sw1.off() }
+'''
+    ruleset = extract_rules(source)
+    assert "sw1" in ruleset.inputs
+    assert isinstance(ruleset.inputs["sw1"], DeviceRef)
+
+
+def test_rule_devices_enumeration():
+    source = app('''
+input "tSensor", "capability.temperatureMeasurement"
+input "limit", "number"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    if (tSensor.currentValue("temperature") > limit) sw2.on()
+}
+''', SWITCH_INPUTS)
+    rule = extract_rules(source).rules[0]
+    names = {ref.name for ref in rule.devices()}
+    assert names == {"sw1", "sw2", "tSensor"}
+
+
+def test_webservice_app_yields_no_rules():
+    source = '''
+definition(name: "WebOnly")
+input "switches", "capability.switch", multiple: true
+mappings {
+    path("/switches") {
+        action: [GET: "listSwitches"]
+    }
+}
+def installed() { }
+def listSwitches() { return switches }
+'''
+    assert len(extract_rules(source)) == 0
+
+
+def test_current_attribute_shorthand():
+    source = app('''
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    if (sw2.currentSwitch == "off") sw2.on()
+}
+''', SWITCH_INPUTS)
+    predicate = extract_rules(source).rules[0].condition.predicate_constraints[0]
+    attr = predicate.left
+    assert isinstance(attr, DeviceAttr)
+    assert attr.attribute == "switch"
