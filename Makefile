@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench bench-smoke lint
+
+# Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full benchmark sweep (paper figures/tables + store-scale audit).
+bench:
+	$(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+# Quick benchmark smoke for CI: small store sizes, one pass.
+bench-smoke:
+	BENCH_STORE_SIZES=30 $(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+# Byte-compile everything as a cheap syntax/import lint (no external
+# linters baked into the image).
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -c "import repro, repro.detector, repro.frontend, repro.runtime"

@@ -6,16 +6,22 @@ device type" — and prints the most interference-prone apps, mirroring
 the paper's observation that switch- and mode-controlling apps tend to
 be involved in every kind of threat.
 
+The audit runs on the incremental :class:`DetectionPipeline`: each app
+is installed in turn and detection only examines index-selected
+candidate pairs, so the union of the reports covers every rule pair
+exactly once without the seed's all-pairs scan (DESIGN.md).
+
 Run with::
 
     python examples/store_audit.py
 """
 
-from collections import Counter, defaultdict
+import time
+from collections import Counter
 
 from repro.constraints import TypeBasedResolver
 from repro.corpus import device_controlling_apps
-from repro.detector import DetectionEngine
+from repro.detector import DetectionPipeline
 from repro.rules.extractor import RuleExtractor
 
 
@@ -27,24 +33,25 @@ def main() -> None:
         hints[app.name] = app.type_hints
         values[app.name] = app.values
 
-    engine = DetectionEngine(TypeBasedResolver(type_hints=hints, values=values))
+    pipeline = DetectionPipeline(
+        TypeBasedResolver(type_hints=hints, values=values)
+    )
     per_class: Counter = Counter()
     per_app: Counter = Counter()
     examples: dict[str, str] = {}
 
-    for i in range(len(rulesets)):
-        for j in range(i + 1, len(rulesets)):
-            for rule_a in rulesets[i].rules:
-                for rule_b in rulesets[j].rules:
-                    for threat in engine.detect_pair(rule_a, rule_b):
-                        per_class[threat.type.value] += 1
-                        per_app[threat.rule_a.app_name] += 1
-                        per_app[threat.rule_b.app_name] += 1
-                        examples.setdefault(
-                            threat.type.value,
-                            f"{threat.rule_a.app_name} vs "
-                            f"{threat.rule_b.app_name}: {threat.detail}",
-                        )
+    started = time.perf_counter()
+    for report in pipeline.audit_store(rulesets):
+        for threat in report.threats:
+            per_class[threat.type.value] += 1
+            per_app[threat.rule_a.app_name] += 1
+            per_app[threat.rule_b.app_name] += 1
+            examples.setdefault(
+                threat.type.value,
+                f"{threat.rule_a.app_name} vs "
+                f"{threat.rule_b.app_name}: {threat.detail}",
+            )
+    elapsed = time.perf_counter() - started
 
     print("## Threat instances by class\n")
     for key in ("AR", "GC", "CT", "SD", "LT", "EC", "DC"):
@@ -55,8 +62,12 @@ def main() -> None:
     for name, count in per_app.most_common(10):
         print(f"  {name:<24} {count:>5} threat instances ({category[name]})")
 
-    print(f"\nsolver calls: {engine.stats.solver_calls}, "
-          f"cache hits: {engine.stats.cache_hits}")
+    stats = pipeline.stats
+    print(
+        f"\naudited {len(rulesets)} apps in {elapsed:.2f}s: "
+        f"{stats.pairs_examined} candidate pairs examined, "
+        f"solver calls: {stats.solver_calls}, cache hits: {stats.cache_hits}"
+    )
 
 
 if __name__ == "__main__":

@@ -53,7 +53,14 @@ _STANDARD_MODES = {"Home", "Away", "Night"}
 
 
 class DeviceResolver(Protocol):
-    """Resolves device identity and configuration values for an app."""
+    """Resolves device identity and configuration values for an app.
+
+    Resolvers may additionally expose ``environment(app_name) -> str``
+    to scope apps into disjoint homes: environment channels and the
+    location mode couple rules only within one environment (see
+    DESIGN.md §2).  Without it, every app shares a single home — the
+    paper's deployment semantics.
+    """
 
     def identity(self, app_name: str, ref: DeviceRef) -> tuple[str, str | None]:
         """Return ``(identity_key, device_type_name_or_None)``."""

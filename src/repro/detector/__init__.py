@@ -13,6 +13,12 @@ installed apps:
 Candidate filtering uses the global M_AR / M_GC mappings; candidates are
 confirmed by overlapping-condition detection via the constraint solver,
 with solving results reused across threat types (paper Fig. 9).
+
+Detection runs as a three-layer pipeline (DESIGN.md): per-rule
+:class:`RuleSignature` facts are computed once, filed into the inverted
+:class:`RuleIndex`, and the incremental :class:`DetectionPipeline`
+feeds the engine only index-selected candidate pairs — so installing
+app N+1 never rescans all installed rule pairs.
 """
 
 from repro.detector.types import (
@@ -21,10 +27,22 @@ from repro.detector.types import (
     ThreatType,
 )
 from repro.detector.engine import DetectionEngine
+from repro.detector.index import RuleIndex
+from repro.detector.pipeline import DetectionPipeline
+from repro.detector.signature import (
+    RuleSignature,
+    SignatureBuilder,
+    compute_signature,
+)
 
 __all__ = [
     "DetectionEngine",
+    "DetectionPipeline",
+    "RuleIndex",
+    "RuleSignature",
+    "SignatureBuilder",
     "Threat",
     "ThreatReport",
     "ThreatType",
+    "compute_signature",
 ]

@@ -63,11 +63,13 @@ def command_target(action: Action) -> tuple[str, str | None] | None:
     return (attribute, value)
 
 
-def actions_contradict(rule_a: Rule, rule_b: Rule) -> bool:
-    """A1 = ¬A2: contradictory commands, or the same command with
-    contradictory parameters (paper §VI-A1)."""
-    target_a = command_target(rule_a.action)
-    target_b = command_target(rule_b.action)
+def targets_contradict(
+    target_a: tuple[str, str | None] | None,
+    target_b: tuple[str, str | None] | None,
+    action_a: Action,
+    action_b: Action,
+) -> bool:
+    """A1 = ¬A2 over precomputed command targets (paper §VI-A1)."""
     if target_a is None or target_b is None:
         return False
     attr_a, value_a = target_a
@@ -76,11 +78,11 @@ def actions_contradict(rule_a: Rule, rule_b: Rule) -> bool:
         return False
     if value_a is not None and value_b is not None:
         return value_a != value_b
-    if rule_a.action.command == rule_b.action.command:
+    if action_a.command == action_b.command:
         # Same parameterized command: contradictory when the concrete
         # parameters provably differ.
-        params_a = rule_a.action.params
-        params_b = rule_b.action.params
+        params_a = action_a.params
+        params_b = action_b.params
         if (
             params_a
             and params_b
@@ -89,6 +91,27 @@ def actions_contradict(rule_a: Rule, rule_b: Rule) -> bool:
         ):
             return params_a[0].value != params_b[0].value
     return False
+
+
+def actions_contradict(rule_a: Rule, rule_b: Rule) -> bool:
+    """A1 = ¬A2: contradictory commands, or the same command with
+    contradictory parameters (paper §VI-A1)."""
+    return targets_contradict(
+        command_target(rule_a.action),
+        command_target(rule_b.action),
+        rule_a.action,
+        rule_b.action,
+    )
+
+
+def opposite_channels(effects_a, effects_b) -> list[str]:
+    """Channels on which two effect maps push in opposite directions."""
+    conflicts = []
+    for channel, effect in effects_a.items():
+        other = effects_b.get(channel)
+        if other is not None and other is effect.opposite:
+            conflicts.append(channel)
+    return sorted(conflicts)
 
 
 def goal_conflict_channels(
@@ -100,14 +123,10 @@ def goal_conflict_channels(
     _, type_b = action_identity(resolver, rule_b)
     if type_a is None or type_b is None:
         return []
-    effects_a = effects_of_command(type_a, rule_a.action.command)
-    effects_b = effects_of_command(type_b, rule_b.action.command)
-    conflicts = []
-    for channel, effect in effects_a.items():
-        other = effects_b.get(channel)
-        if other is not None and other is effect.opposite:
-            conflicts.append(channel)
-    return sorted(conflicts)
+    return opposite_channels(
+        effects_of_command(type_a, rule_a.action.command),
+        effects_of_command(type_b, rule_b.action.command),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -7,6 +7,14 @@ that merges the rules' constraints and asks the solver for
 satisfiability.  Solving results are cached and reused across threat
 types — AR's result serves CT/SD/LT, and DC reuses EC's solve (paper
 Fig. 9) — so the expensive step runs at most twice per pair direction.
+
+Since the indexed-pipeline refactor (DESIGN.md), the pairwise tests run
+over precomputed :class:`~repro.detector.signature.RuleSignature`
+objects: :meth:`DetectionEngine.detect_signed` is the primitive, and
+:meth:`DetectionEngine.detect_pair` is a thin compatibility wrapper
+that signs its arguments first.  Store-scale workloads should use
+:class:`~repro.detector.pipeline.DetectionPipeline`, which feeds the
+engine only index-selected candidate pairs.
 """
 
 from __future__ import annotations
@@ -17,16 +25,15 @@ from dataclasses import dataclass, field
 from repro.capabilities.channels import CHANNELS
 from repro.constraints.builder import ConstraintBuilder, DeviceResolver
 from repro.constraints.solver import Result, Solver
-from repro.constraints.terms import BoolFormula, conj
-from repro.detector.analysis import (
-    ConditionTouch,
-    action_identity,
-    action_touches_condition,
-    action_triggers,
-    actions_contradict,
-    command_target,
-    condition_uses_location_mode,
-    goal_conflict_channels,
+from repro.constraints.terms import BoolFormula, CmpAtom, StrTerm, conj, lit
+from repro.detector.analysis import ConditionTouch, command_target
+from repro.detector.signature import (
+    RuleSignature,
+    SignatureBuilder,
+    signatures_contradict,
+    signed_action_triggers,
+    signed_condition_touches,
+    signed_goal_conflicts,
 )
 from repro.detector.types import Threat, ThreatReport, ThreatType
 from repro.rules.model import Rule, RuleSet
@@ -47,6 +54,7 @@ class DetectionStats:
     solve_seconds: dict[ThreatType, float] = field(default_factory=dict)
     solver_calls: int = 0
     cache_hits: int = 0
+    pairs_examined: int = 0
 
     def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
         self.candidate_seconds[threat_type] = (
@@ -58,26 +66,69 @@ class DetectionStats:
             self.solve_seconds.get(threat_type, 0.0) + seconds
         )
 
+    def total_solve_seconds(self) -> float:
+        return sum(self.solve_seconds.values())
+
 
 class DetectionEngine:
     """Pairwise CAI threat detection over extracted rules."""
 
     def __init__(self, resolver: DeviceResolver) -> None:
         self._resolver = resolver
+        self.signatures = SignatureBuilder(resolver)
         self.stats = DetectionStats()
-        # Solve caches, keyed by rule-id pairs.
-        self._situation_cache: dict[frozenset, Result] = {}
-        self._effect_cache: dict[tuple, Result | None] = {}
+        # Solve caches, keyed by rule-id pairs: merged trigger+condition
+        # situations, condition-only overlaps, and EC/DC effect solves.
+        self._situation_cache: dict[frozenset[str], Result] = {}
+        self._condition_cache: dict[frozenset[str], Result] = {}
+        self._effect_cache: dict[tuple[str, str], Result | None] = {}
+
+    def reset_stats(self) -> None:
+        """Zero the counters without dropping the solve caches, so
+        benchmarks can reuse one engine across measured phases."""
+        self.stats = DetectionStats()
+
+    def invalidate_app(self, app_name: str) -> None:
+        """Drop every cached signature and solve result involving an
+        app, e.g. after its configuration changed."""
+        self.signatures.invalidate_app(app_name)
+        prefix = f"{app_name}/"
+        for cache in (self._situation_cache, self._condition_cache):
+            stale = [
+                key
+                for key in cache
+                if any(rule_id.startswith(prefix) for rule_id in key)
+            ]
+            for key in stale:
+                del cache[key]
+        stale_effects = [
+            key
+            for key in self._effect_cache
+            if key[0].startswith(prefix) or key[1].startswith(prefix)
+        ]
+        for key in stale_effects:
+            del self._effect_cache[key]
 
     # ------------------------------------------------------------------
     # Pairwise detection
 
     def detect_pair(self, rule_a: Rule, rule_b: Rule) -> list[Threat]:
-        """All CAI threats between two rules (both directions)."""
+        """All CAI threats between two rules (both directions).
+
+        Compatibility wrapper over :meth:`detect_signed`."""
+        return self.detect_signed(
+            self.signatures.sign(rule_a), self.signatures.sign(rule_b)
+        )
+
+    def detect_signed(
+        self, sig_a: RuleSignature, sig_b: RuleSignature
+    ) -> list[Threat]:
+        """All CAI threats between two signed rules (both directions)."""
+        self.stats.pairs_examined += 1
         threats: list[Threat] = []
-        threats.extend(self._detect_action_interference(rule_a, rule_b))
-        threats.extend(self._detect_trigger_interference(rule_a, rule_b))
-        threats.extend(self._detect_condition_interference(rule_a, rule_b))
+        threats.extend(self._detect_action_interference(sig_a, sig_b))
+        threats.extend(self._detect_trigger_interference(sig_a, sig_b))
+        threats.extend(self._detect_condition_interference(sig_a, sig_b))
         return threats
 
     def detect_rulesets(
@@ -86,9 +137,14 @@ class DetectionEngine:
         installed: list[RuleSet],
         include_intra_app: bool = True,
     ) -> ThreatReport:
-        """Detection run for one app installation (paper §VI intro):
-        the new app's rules against every installed rule, plus the new
-        app's own rule pairs (flawed benign apps)."""
+        """Brute-force detection run for one app installation (paper §VI
+        intro): the new app's rules against every installed rule, plus
+        the new app's own rule pairs (flawed benign apps).
+
+        This is the all-pairs baseline;
+        :class:`~repro.detector.pipeline.DetectionPipeline` reaches the
+        same threat set from indexed candidates only.
+        """
         report = ThreatReport(app_name=new_ruleset.app_name)
         for other in installed:
             for rule_a in new_ruleset.rules:
@@ -105,16 +161,17 @@ class DetectionEngine:
     # Action interference (paper §VI-A)
 
     def _detect_action_interference(
-        self, rule_a: Rule, rule_b: Rule
+        self, sig_a: RuleSignature, sig_b: RuleSignature
     ) -> list[Threat]:
         threats: list[Threat] = []
+        rule_a, rule_b = sig_a.rule, sig_b.rule
         started = time.perf_counter()
-        identity_a, _ = action_identity(self._resolver, rule_a)
-        identity_b, _ = action_identity(self._resolver, rule_b)
+        identity_a = sig_a.action_identity
+        identity_b = sig_b.action_identity
         is_ar_candidate = (
             identity_a is not None
             and identity_a == identity_b
-            and actions_contradict(rule_a, rule_b)
+            and signatures_contradict(sig_a, sig_b)
         )
         self.stats.add_candidate(
             ThreatType.ACTUATOR_RACE, time.perf_counter() - started
@@ -137,9 +194,7 @@ class DetectionEngine:
         started = time.perf_counter()
         conflict_channels = []
         if identity_a is None or identity_a != identity_b:
-            conflict_channels = goal_conflict_channels(
-                self._resolver, rule_a, rule_b
-            )
+            conflict_channels = signed_goal_conflicts(sig_a, sig_b)
         self.stats.add_candidate(
             ThreatType.GOAL_CONFLICT, time.perf_counter() - started
         )
@@ -166,12 +221,13 @@ class DetectionEngine:
     # Trigger interference (paper §VI-B)
 
     def _detect_trigger_interference(
-        self, rule_a: Rule, rule_b: Rule
+        self, sig_a: RuleSignature, sig_b: RuleSignature
     ) -> list[Threat]:
         threats: list[Threat] = []
-        ct_ab = self._covert_triggering(rule_a, rule_b)
-        ct_ba = self._covert_triggering(rule_b, rule_a)
-        contradictory = actions_contradict(rule_a, rule_b)
+        rule_a, rule_b = sig_a.rule, sig_b.rule
+        ct_ab = self._covert_triggering(sig_a, sig_b)
+        ct_ba = self._covert_triggering(sig_b, sig_a)
+        contradictory = signatures_contradict(sig_a, sig_b)
         if ct_ab is not None:
             threats.append(ct_ab)
             if contradictory:
@@ -217,9 +273,12 @@ class DetectionEngine:
             )
         return threats
 
-    def _covert_triggering(self, rule_a: Rule, rule_b: Rule) -> Threat | None:
+    def _covert_triggering(
+        self, sig_a: RuleSignature, sig_b: RuleSignature
+    ) -> Threat | None:
+        rule_a, rule_b = sig_a.rule, sig_b.rule
         started = time.perf_counter()
-        match = action_triggers(self._resolver, rule_a, rule_b)
+        match = signed_action_triggers(sig_a, sig_b)
         self.stats.add_candidate(
             ThreatType.COVERT_TRIGGERING, time.perf_counter() - started
         )
@@ -249,21 +308,25 @@ class DetectionEngine:
     # Condition interference (paper §VI-C)
 
     def _detect_condition_interference(
-        self, rule_a: Rule, rule_b: Rule
+        self, sig_a: RuleSignature, sig_b: RuleSignature
     ) -> list[Threat]:
         threats: list[Threat] = []
-        for source, target in ((rule_a, rule_b), (rule_b, rule_a)):
+        for source, target in ((sig_a, sig_b), (sig_b, sig_a)):
             threat = self._condition_interference(source, target)
             if threat is not None:
                 threats.append(threat)
         return threats
 
-    def _condition_interference(self, rule_a: Rule, rule_b: Rule) -> Threat | None:
+    def _condition_interference(
+        self, sig_a: RuleSignature, sig_b: RuleSignature
+    ) -> Threat | None:
+        rule_a, rule_b = sig_a.rule, sig_b.rule
         started = time.perf_counter()
-        touches = action_touches_condition(self._resolver, rule_a, rule_b)
+        touches = signed_condition_touches(sig_a, sig_b)
         mode_touch = (
-            rule_a.action.subject == "location"
-            and condition_uses_location_mode(rule_b)
+            sig_a.sets_location_mode
+            and sig_b.condition_uses_mode
+            and sig_a.environment == sig_b.environment
         )
         self.stats.add_candidate(
             ThreatType.ENABLING_CONDITION, time.perf_counter() - started
@@ -304,7 +367,7 @@ class DetectionEngine:
         touches: list[ConditionTouch],
         mode_touch: bool,
     ) -> Result | None:
-        key = (rule_a.rule_id, rule_b.rule_id, "effect")
+        key = (rule_a.rule_id, rule_b.rule_id)
         if key in self._effect_cache:
             self.stats.cache_hits += 1
             return self._effect_cache[key]
@@ -319,8 +382,6 @@ class DetectionEngine:
         if mode_touch:
             target = command_target(rule_a.action)
             if target is not None and target[1] is not None:
-                from repro.constraints.terms import CmpAtom, StrTerm, lit
-
                 key_var = builder.pool.declare_str("location:mode", None)
                 effect_parts.append(
                     lit(CmpAtom(StrTerm(key_var), "==", StrTerm(None, target[1])))
@@ -419,8 +480,7 @@ class DetectionEngine:
         if cached is not None and cached.sat:
             self.stats.cache_hits += 1
             return cached
-        cond_key = frozenset((rule_a.rule_id, rule_b.rule_id, "cond"))
-        cached = self._situation_cache.get(cond_key)
+        cached = self._condition_cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
@@ -430,5 +490,5 @@ class DetectionEngine:
         result = Solver(builder.pool).solve(formula)
         self.stats.add_solve(threat_type, time.perf_counter() - started)
         self.stats.solver_calls += 1
-        self._situation_cache[cond_key] = result
+        self._condition_cache[key] = result
         return result

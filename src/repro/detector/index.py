@@ -1,0 +1,200 @@
+"""Inverted rule indexes (pipeline layer 2, DESIGN.md §3).
+
+The paper pre-stores the M_AR / M_GC mappings so candidate filtering is
+cheap; :class:`RuleIndex` generalizes that idea to *every* threat
+class.  Each installed rule's signature is filed under hash keys —
+actuator identity, effect channel, trigger subscription, condition
+read — so that when a new rule arrives, its candidate partners come
+from a handful of dict lookups instead of a scan over all installed
+rules.
+
+The index answers an over-approximate question ("which installed rules
+*could* form a threat pair with this one?"); the detection engine then
+runs the exact pairwise tests and the solver only on those candidates.
+Completeness argument, per threat class:
+
+* AR needs equal actuator identities            -> ``writers_by_identity``
+* GC needs opposite effects on a shared channel in the same
+  environment                            -> ``movers_by_channel_effect``
+* CT/SD/LT need A1 ↦ T2 (direct: action identity == trigger identity;
+  environment: trigger channel ∈ action effects, same home), in either
+  direction       -> ``triggers_by_identity`` / ``triggers_by_channel``
+                     plus the writer/mover maps for the reverse direction
+* EC/DC need A1 to touch C2's inputs (direct / environment / location
+  mode)           -> ``conditions_by_identity`` / ``conditions_by_channel``
+                     / ``mode_conditions`` and the reverse writer maps
+
+Every candidate test in :mod:`repro.detector.signature` requires at
+least one of those keys to collide, so no threat pair can be missed.
+Channel keys are scoped by the signature's environment: channels are
+physical features of one home, so a multi-home (zoned) resolver makes
+cross-home channel buckets disjoint and candidate counts stay linear
+in the store size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.detector.signature import RuleSignature
+
+
+@dataclass(slots=True)
+class RuleIndex:
+    """Inverted indexes over installed rule signatures."""
+
+    # Actions, keyed by what they write / move.  Channel keys are
+    # (environment, channel); the effect map additionally keys the
+    # direction so Goal Conflict looks up opposite movers directly.
+    writers_by_identity: dict[str, list[RuleSignature]] = field(
+        default_factory=dict
+    )
+    movers_by_channel: dict[tuple[str, str], list[RuleSignature]] = field(
+        default_factory=dict
+    )
+    movers_by_channel_effect: dict[
+        tuple[str, str, str], list[RuleSignature]
+    ] = field(default_factory=dict)
+    # Triggers, keyed by what fires them.
+    triggers_by_identity: dict[str, list[RuleSignature]] = field(
+        default_factory=dict
+    )
+    triggers_by_channel: dict[tuple[str, str], list[RuleSignature]] = field(
+        default_factory=dict
+    )
+    # Conditions, keyed by what they read.
+    conditions_by_identity: dict[str, list[RuleSignature]] = field(
+        default_factory=dict
+    )
+    conditions_by_channel: dict[tuple[str, str], list[RuleSignature]] = field(
+        default_factory=dict
+    )
+    mode_conditions: dict[str, list[RuleSignature]] = field(
+        default_factory=dict
+    )
+    mode_writers: dict[str, list[RuleSignature]] = field(default_factory=dict)
+    # All indexed signatures in insertion order, per app.
+    by_app: dict[str, list[RuleSignature]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return sum(len(sigs) for sigs in self.by_app.values())
+
+    @property
+    def apps(self) -> list[str]:
+        return list(self.by_app)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def add(self, sig: RuleSignature) -> None:
+        env = sig.environment
+        self.by_app.setdefault(sig.app_name, []).append(sig)
+        if sig.is_device_action and sig.action_identity is not None:
+            self.writers_by_identity.setdefault(
+                sig.action_identity, []
+            ).append(sig)
+        if sig.is_device_action:
+            for channel, effect in sig.action_effects.items():
+                self.movers_by_channel.setdefault(
+                    (env, channel), []
+                ).append(sig)
+                self.movers_by_channel_effect.setdefault(
+                    (env, channel, effect.value), []
+                ).append(sig)
+        if sig.sets_location_mode:
+            self.mode_writers.setdefault(env, []).append(sig)
+        if sig.trigger_fireable:
+            if sig.trigger_identity is not None:
+                self.triggers_by_identity.setdefault(
+                    sig.trigger_identity, []
+                ).append(sig)
+            if sig.trigger_has_device and sig.trigger_channel is not None:
+                self.triggers_by_channel.setdefault(
+                    (env, sig.trigger_channel), []
+                ).append(sig)
+        for read in sig.condition_reads:
+            self.conditions_by_identity.setdefault(
+                read.identity, []
+            ).append(sig)
+            if read.channel is not None:
+                self.conditions_by_channel.setdefault(
+                    (env, read.channel), []
+                ).append(sig)
+        if sig.condition_uses_mode:
+            self.mode_conditions.setdefault(env, []).append(sig)
+
+    def add_ruleset(self, sigs: Iterable[RuleSignature]) -> None:
+        for sig in sigs:
+            self.add(sig)
+
+    def remove_app(self, app_name: str) -> None:
+        if self.by_app.pop(app_name, None) is None:
+            return
+        for mapping in (
+            self.writers_by_identity,
+            self.movers_by_channel,
+            self.movers_by_channel_effect,
+            self.triggers_by_identity,
+            self.triggers_by_channel,
+            self.conditions_by_identity,
+            self.conditions_by_channel,
+            self.mode_conditions,
+            self.mode_writers,
+        ):
+            for key in list(mapping):
+                kept = [s for s in mapping[key] if s.app_name != app_name]
+                if kept:
+                    mapping[key] = kept
+                else:
+                    del mapping[key]
+
+    # ------------------------------------------------------------------
+    # Candidate retrieval
+
+    def candidates(
+        self, sig: RuleSignature, exclude_app: str | None = None
+    ) -> list[RuleSignature]:
+        """Installed rules that could form a threat pair with ``sig``,
+        deduplicated, in index insertion order per bucket."""
+        env = sig.environment
+        found: dict[str, RuleSignature] = {}
+
+        def take(bucket: list[RuleSignature] | None) -> None:
+            if not bucket:
+                return
+            for other in bucket:
+                if other.app_name == exclude_app:
+                    continue
+                found.setdefault(other.rule_id, other)
+
+        # sig's action against installed rules' actuators / triggers /
+        # conditions.
+        if sig.is_device_action:
+            if sig.action_identity is not None:
+                take(self.writers_by_identity.get(sig.action_identity))
+                take(self.triggers_by_identity.get(sig.action_identity))
+                take(self.conditions_by_identity.get(sig.action_identity))
+            for channel, effect in sig.action_effects.items():
+                take(
+                    self.movers_by_channel_effect.get(
+                        (env, channel, effect.opposite.value)
+                    )
+                )
+                take(self.triggers_by_channel.get((env, channel)))
+                take(self.conditions_by_channel.get((env, channel)))
+        if sig.sets_location_mode:
+            take(self.mode_conditions.get(env))
+        # Installed rules' actions against sig's trigger / condition.
+        if sig.trigger_fireable:
+            if sig.trigger_identity is not None:
+                take(self.writers_by_identity.get(sig.trigger_identity))
+            if sig.trigger_has_device and sig.trigger_channel is not None:
+                take(self.movers_by_channel.get((env, sig.trigger_channel)))
+        for read in sig.condition_reads:
+            take(self.writers_by_identity.get(read.identity))
+            if read.channel is not None:
+                take(self.movers_by_channel.get((env, read.channel)))
+        if sig.condition_uses_mode:
+            take(self.mode_writers.get(env))
+        return list(found.values())

@@ -1,0 +1,162 @@
+"""Incremental detection pipeline (layer 3, DESIGN.md §4).
+
+Maintains the inverted :class:`~repro.detector.index.RuleIndex` across
+app installations so that installing app N+1 only examines
+index-selected candidate pairs, never the O(N²) all-pairs scan.  The
+pipeline mirrors the companion app's review flow:
+
+* :meth:`DetectionPipeline.detect` signs the new app's rules, queries
+  the index for candidates, and returns the threat report *without*
+  changing the installed state (the rules are staged);
+* :meth:`DetectionPipeline.commit` / :meth:`DetectionPipeline.discard`
+  apply the user's one-time decision (keep vs delete/reconfigure);
+* :meth:`DetectionPipeline.add_ruleset` is detect+commit in one step —
+  the store-audit building block;
+* :meth:`DetectionPipeline.remove_ruleset` un-indexes an app and purges
+  every cached solve involving it.
+
+For every corpus the pipeline reports exactly the same threat set as
+the brute-force :meth:`DetectionEngine.detect_rulesets` baseline (the
+index returns a provable superset of each threat class's candidates,
+and the engine's exact pairwise tests run unchanged on them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.constraints.builder import DeviceResolver
+from repro.detector.engine import DetectionEngine
+from repro.detector.index import RuleIndex
+from repro.detector.signature import RuleSignature
+from repro.detector.types import ThreatReport
+from repro.rules.model import RuleSet
+
+
+class DetectionPipeline:
+    """Signature -> index -> candidate detection over installed apps."""
+
+    def __init__(
+        self,
+        resolver: DeviceResolver,
+        include_intra_app: bool = True,
+    ) -> None:
+        self.engine = DetectionEngine(resolver)
+        self.index = RuleIndex()
+        self.include_intra_app = include_intra_app
+        self._installed: dict[str, list[RuleSignature]] = {}
+        self._staged: dict[str, list[RuleSignature]] = {}
+        # Apps that ever passed through the engine: anything else has no
+        # cached state, so invalidation can skip the cache scans.
+        self._seen: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # State
+
+    def installed_apps(self) -> list[str]:
+        return sorted(self._installed)
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    def signatures_of(self, app_name: str) -> list[RuleSignature]:
+        return list(self._installed.get(app_name, ()))
+
+    # ------------------------------------------------------------------
+    # Detection
+
+    def detect(self, ruleset: RuleSet) -> ThreatReport:
+        """Detect threats between a (new or updated) app and every
+        installed app, plus the app's own rule pairs.
+
+        The app's signatures are *staged*; call :meth:`commit` to make
+        them part of the installed index, or :meth:`discard` to drop
+        them.  The app's own previously installed rules are excluded, so
+        re-reviewing an installed app matches the brute-force run over
+        "all installed apps except itself".
+        """
+        sigs = self.engine.signatures.sign_ruleset(ruleset)
+        self._staged[ruleset.app_name] = sigs
+        self._seen.add(ruleset.app_name)
+        report = ThreatReport(app_name=ruleset.app_name)
+        for sig in sigs:
+            for other in self.index.candidates(
+                sig, exclude_app=ruleset.app_name
+            ):
+                report.threats.extend(self.engine.detect_signed(sig, other))
+        if self.include_intra_app:
+            for i, sig_a in enumerate(sigs):
+                for sig_b in sigs[i + 1:]:
+                    report.threats.extend(
+                        self.engine.detect_signed(sig_a, sig_b)
+                    )
+        return report
+
+    # ------------------------------------------------------------------
+    # Installation state changes
+
+    def commit(self, app_name: str, ruleset: RuleSet | None = None) -> None:
+        """Install the staged rules of ``app_name`` into the index,
+        replacing any previous installation of the same app.  When
+        nothing is staged (e.g. a decision replayed after the staging
+        was dropped), ``ruleset`` is signed fresh as a fallback."""
+        sigs = self._staged.pop(app_name, None)
+        if sigs is None:
+            if ruleset is None:
+                return
+            sigs = self.engine.signatures.sign_ruleset(ruleset)
+        if self._installed.pop(app_name, None) is not None:
+            # Replace in the index only; the staged signatures (and the
+            # solves just performed for them) reflect the current
+            # configuration and stay valid.
+            self.index.remove_app(app_name)
+        self._installed[app_name] = sigs
+        self._seen.add(app_name)
+        self.index.add_ruleset(sigs)
+
+    def discard(self, app_name: str) -> None:
+        """Drop staged (not yet committed) rules of an app."""
+        self._staged.pop(app_name, None)
+
+    def add_ruleset(self, ruleset: RuleSet) -> ThreatReport:
+        """Detect and immediately install — one incremental audit step."""
+        report = self.detect(ruleset)
+        self.commit(ruleset.app_name)
+        return report
+
+    def remove_ruleset(self, app_name: str) -> None:
+        """Uninstall an app: un-index its rules and purge cached solves
+        involving them (a reinstall may carry a new configuration)."""
+        if self._installed.pop(app_name, None) is None:
+            return
+        self.index.remove_app(app_name)
+        self.engine.invalidate_app(app_name)
+
+    def invalidate_app(self, app_name: str) -> None:
+        """Forget cached signatures/solves for an app whose resolver
+        bindings (configuration) may have changed, keeping it installed.
+
+        If the app is installed, its rules are re-signed under the
+        current bindings and re-indexed, so detection against it keeps
+        tracking the recorded configuration (exactly like the
+        brute-force flow, which re-derived identities every review)."""
+        if app_name not in self._seen:
+            return  # nothing cached: skip the cache scans entirely
+        self.engine.invalidate_app(app_name)
+        sigs = self._installed.get(app_name)
+        if sigs:
+            self.index.remove_app(app_name)
+            fresh = self.engine.signatures.sign_ruleset(
+                RuleSet(app_name=app_name, rules=[s.rule for s in sigs])
+            )
+            self._installed[app_name] = fresh
+            self.index.add_ruleset(fresh)
+
+    # ------------------------------------------------------------------
+    # Store-scale audit
+
+    def audit_store(self, rulesets: Iterable[RuleSet]) -> list[ThreatReport]:
+        """Audit a whole repository by incremental installation; the
+        union of the reports covers every rule pair exactly once."""
+        return [self.add_ruleset(ruleset) for ruleset in rulesets]

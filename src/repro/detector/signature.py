@@ -1,0 +1,283 @@
+"""Per-rule detection signatures (pipeline layer 1, DESIGN.md §2).
+
+A :class:`RuleSignature` precomputes every fact the candidate tests of
+paper §VI need about one rule — actuator identity, commanded value,
+effect channels, trigger subscription, condition reads — so the
+detection engine never re-derives them per pair, and the inverted
+:class:`~repro.detector.index.RuleIndex` can be built from plain hash
+keys.  Signatures are immutable snapshots of the resolver's view at
+signing time: when an app's configuration changes, its rules must be
+re-signed (the pipeline invalidates them explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.capabilities.channels import channel_for_attribute
+from repro.capabilities.effects import Effect, effects_of_command
+from repro.constraints.builder import DeviceResolver
+from repro.detector.analysis import (
+    NON_DEVICE_SUBJECTS,
+    ConditionTouch,
+    TriggerMatch,
+    _direction_can_satisfy,
+    _value_satisfies,
+    action_identity,
+    command_target,
+    condition_device_attrs,
+    condition_uses_location_mode,
+    opposite_channels,
+    targets_contradict,
+    trigger_value_constraints,
+)
+from repro.rules.model import Rule, RuleSet
+from repro.symex.values import DeviceAttr
+
+# Trigger subjects no action can fire (paper §VI-B).
+_UNFIREABLE_TRIGGER_SUBJECTS = ("install", "time", "app")
+
+
+def _environment_of(resolver: DeviceResolver, app_name: str) -> str:
+    """The environment (home) an app runs in.
+
+    Environment channels and the location mode are physically shared
+    only within one home.  Resolvers may scope apps into disjoint
+    environments by exposing ``environment(app_name) -> str`` (e.g. a
+    multi-home store audit); the default is a single shared home, which
+    reproduces the paper's single-deployment semantics exactly.
+    """
+    environment = getattr(resolver, "environment", None)
+    if environment is None:
+        return ""
+    return environment(app_name)
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionRead:
+    """One device attribute a rule's condition depends on."""
+
+    identity: str           # resolved device identity key
+    attr: DeviceAttr        # the raw attribute (for threat details)
+    channel: str | None     # environment channel the attribute senses
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class RuleSignature:
+    """Everything candidate filtering needs to know about one rule.
+
+    ``eq=False``: signatures are compared by identity; two signatures of
+    the same rule under different configurations are distinct.
+    """
+
+    rule: Rule
+    environment: str                  # home/zone the app runs in
+    # --- action side (the rule as interferer) -------------------------
+    is_device_action: bool            # subject can touch devices at all
+    sets_location_mode: bool          # action.subject == "location"
+    action_identity: str | None       # actuator identity key (M_AR)
+    action_type: str | None           # actuator device type (M_GC row)
+    command_target: tuple[str, str | None] | None  # (attribute, value)
+    action_effects: Mapping[str, Effect]           # channel -> direction
+    # --- trigger side (the rule as interferee) ------------------------
+    trigger_fireable: bool            # subject not install/time/app
+    trigger_identity: str | None      # subscribed device identity key
+    trigger_attribute: str
+    trigger_has_device: bool
+    trigger_channel: str | None       # channel the trigger attr senses
+    trigger_bounds: tuple[tuple[str, object], ...]
+    # --- condition side -----------------------------------------------
+    condition_reads: tuple[ConditionRead, ...]
+    condition_uses_mode: bool
+
+    @property
+    def rule_id(self) -> str:
+        return self.rule.rule_id
+
+    @property
+    def app_name(self) -> str:
+        return self.rule.app_name
+
+
+def compute_signature(resolver: DeviceResolver, rule: Rule) -> RuleSignature:
+    """Derive a rule's signature under the resolver's current bindings."""
+    action = rule.action
+    environment = _environment_of(resolver, rule.app_name)
+    identity, type_name = action_identity(resolver, rule)
+    if identity == "location:mode" and environment:
+        # The location mode is one virtual actuator *per home*.
+        identity = f"{environment}|location:mode"
+    effects = (
+        effects_of_command(type_name, action.command) if type_name else {}
+    )
+
+    trigger = rule.trigger
+    fireable = trigger.subject not in _UNFIREABLE_TRIGGER_SUBJECTS
+    trigger_identity: str | None = None
+    trigger_channel: str | None = None
+    has_device = trigger.device is not None
+    bounds: tuple[tuple[str, object], ...] = ()
+    if fireable:
+        if trigger.subject == "location":
+            trigger_identity = (
+                f"{environment}|location:mode" if environment
+                else "location:mode"
+            )
+        elif has_device:
+            trigger_identity, _ = resolver.identity(
+                rule.app_name, trigger.device
+            )
+        if has_device:
+            channel = channel_for_attribute(trigger.attribute)
+            trigger_channel = channel.name if channel is not None else None
+        bounds = tuple(trigger_value_constraints(trigger))
+
+    reads = []
+    for attr in condition_device_attrs(rule):
+        read_identity, _ = resolver.identity(rule.app_name, attr.device)
+        channel = channel_for_attribute(attr.attribute)
+        reads.append(
+            ConditionRead(
+                identity=read_identity,
+                attr=attr,
+                channel=channel.name if channel is not None else None,
+            )
+        )
+
+    return RuleSignature(
+        rule=rule,
+        environment=environment,
+        is_device_action=action.subject not in NON_DEVICE_SUBJECTS,
+        sets_location_mode=action.subject == "location",
+        action_identity=identity,
+        action_type=type_name,
+        command_target=command_target(action),
+        action_effects=effects,
+        trigger_fireable=fireable,
+        trigger_identity=trigger_identity,
+        trigger_attribute=trigger.attribute,
+        trigger_has_device=has_device,
+        trigger_channel=trigger_channel,
+        trigger_bounds=bounds,
+        condition_reads=tuple(reads),
+        condition_uses_mode=condition_uses_location_mode(rule),
+    )
+
+
+class SignatureBuilder:
+    """Signs rules once, memoized by rule id.
+
+    The memo assumes stable configuration; callers that change an app's
+    resolver bindings must :meth:`invalidate_app` before re-signing.
+    """
+
+    def __init__(self, resolver: DeviceResolver) -> None:
+        self._resolver = resolver
+        self._memo: dict[str, RuleSignature] = {}
+
+    def sign(self, rule: Rule) -> RuleSignature:
+        cached = self._memo.get(rule.rule_id)
+        if cached is not None and cached.rule is rule:
+            return cached
+        signature = compute_signature(self._resolver, rule)
+        self._memo[rule.rule_id] = signature
+        return signature
+
+    def sign_ruleset(self, ruleset: RuleSet) -> list[RuleSignature]:
+        return [self.sign(rule) for rule in ruleset.rules]
+
+    def invalidate_app(self, app_name: str) -> None:
+        prefix = f"{app_name}/"
+        for rule_id in [k for k in self._memo if k.startswith(prefix)]:
+            del self._memo[rule_id]
+
+
+# ----------------------------------------------------------------------
+# Signed candidate tests — signature-based equivalents of the per-pair
+# derivations in :mod:`repro.detector.analysis`.
+
+
+def signatures_contradict(sig_a: RuleSignature, sig_b: RuleSignature) -> bool:
+    """A1 = ¬A2 over precomputed command targets (paper §VI-A1)."""
+    return targets_contradict(
+        sig_a.command_target,
+        sig_b.command_target,
+        sig_a.rule.action,
+        sig_b.rule.action,
+    )
+
+
+def signed_goal_conflicts(
+    sig_a: RuleSignature, sig_b: RuleSignature
+) -> list[str]:
+    """Channels where the two actions push in opposite directions.
+
+    Environment channels are physical features of one home: actions in
+    different environments cannot conflict."""
+    if sig_a.environment != sig_b.environment:
+        return []
+    return opposite_channels(sig_a.action_effects, sig_b.action_effects)
+
+
+def signed_action_triggers(
+    sig_a: RuleSignature, sig_b: RuleSignature
+) -> TriggerMatch | None:
+    """Does sig_a's action satisfy sig_b's trigger (A1 ↦ T2)?"""
+    if not sig_a.is_device_action or not sig_b.trigger_fireable:
+        return None
+    # Way 1: direct state change.
+    if (
+        sig_a.action_identity is not None
+        and sig_b.trigger_identity is not None
+        and sig_a.action_identity == sig_b.trigger_identity
+        and sig_a.command_target is not None
+    ):
+        attribute, value = sig_a.command_target
+        if attribute == sig_b.trigger_attribute and _value_satisfies(
+            value, list(sig_b.trigger_bounds)
+        ):
+            return TriggerMatch(way="direct")
+    # Way 2: environment channel (only within one home).
+    if sig_a.action_type is None or not sig_b.trigger_has_device:
+        return None
+    if sig_b.trigger_channel is None:
+        return None
+    if sig_a.environment != sig_b.environment:
+        return None
+    effect = sig_a.action_effects.get(sig_b.trigger_channel)
+    if effect is None:
+        return None
+    if _direction_can_satisfy(effect, list(sig_b.trigger_bounds)):
+        return TriggerMatch(way="environment", channel=sig_b.trigger_channel)
+    return None
+
+
+def signed_condition_touches(
+    sig_a: RuleSignature, sig_b: RuleSignature
+) -> list[ConditionTouch]:
+    """All ways sig_a's action affects sig_b's condition inputs."""
+    if not sig_a.is_device_action or sig_a.action_identity is None:
+        return []
+    same_environment = sig_a.environment == sig_b.environment
+    touches: list[ConditionTouch] = []
+    for read in sig_b.condition_reads:
+        if read.identity == sig_a.action_identity:
+            target = sig_a.command_target
+            if target is not None and target[0] == read.attr.attribute:
+                touches.append(ConditionTouch(way="direct", attr=read.attr))
+                continue
+        if (
+            same_environment
+            and read.channel is not None
+            and read.channel in sig_a.action_effects
+        ):
+            touches.append(
+                ConditionTouch(
+                    way="environment",
+                    attr=read.attr,
+                    channel=read.channel,
+                    effect=sig_a.action_effects[read.channel],
+                )
+            )
+    return touches

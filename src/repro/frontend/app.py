@@ -15,7 +15,7 @@ from repro.config.messaging import MessageRecord, Transport
 from repro.config.recorder import ConfigRecorder, RuleRecorder
 from repro.config.uri import ConfigPayload, decode_uri
 from repro.detector.chains import AllowedList, find_chains
-from repro.detector.engine import DetectionEngine
+from repro.detector.pipeline import DetectionPipeline
 from repro.detector.types import Threat
 from repro.rules.extractor import RuleExtractor
 from repro.rules.interpreter import describe_rule
@@ -53,6 +53,10 @@ class HomeGuardApp:
         self._backend = backend
         self.config_recorder = ConfigRecorder()
         self.rule_recorder = RuleRecorder()
+        # Incremental detection state: the pipeline's index holds the
+        # signed rules of every kept app, so each review solves only
+        # index-selected candidate pairs (DESIGN.md).
+        self.pipeline = DetectionPipeline(self.config_recorder)
         self.allowed = AllowedList()
         self.reviews: list[InstallReview] = []
         if transport is not None:
@@ -93,12 +97,27 @@ class HomeGuardApp:
                 f"backend has no rules for app {payload.app_name!r}; extract "
                 "it first (offline phase) or submit the custom source"
             )
+        # A re-recorded configuration may change device identities, in
+        # which case everything cached about this app is stale.  An
+        # identical payload (audit_existing replays) keeps the caches.
+        previous = self.config_recorder.config_of(payload.app_name)
+        retyped_devices = {
+            device_id
+            for device_id, type_name in (device_types or {}).items()
+            if self.config_recorder.device_types.get(device_id) != type_name
+        }
         self.config_recorder.record(payload, device_types)
-        installed = self.rule_recorder.installed_rulesets(
-            exclude=payload.app_name
-        )
-        engine = DetectionEngine(self.config_recorder)
-        report = engine.detect_rulesets(ruleset, installed)
+        if previous != payload or retyped_devices:
+            self.pipeline.invalidate_app(payload.app_name)
+        if retyped_devices:
+            # Device types are home-global: re-typing a device changes
+            # the signatures of every installed app bound to it.
+            for app_name, recorded in self.config_recorder.payloads.items():
+                if app_name != payload.app_name and retyped_devices & set(
+                    recorded.devices.values()
+                ):
+                    self.pipeline.invalidate_app(app_name)
+        report = self.pipeline.detect(ruleset)
         chains = find_chains(report.threats, self.allowed)
         review = InstallReview(
             app_name=payload.app_name,
@@ -117,14 +136,19 @@ class HomeGuardApp:
         assert ruleset is not None
         if decision is InstallDecision.KEEP:
             self.rule_recorder.record(ruleset)
+            self.pipeline.commit(review.app_name, ruleset)
             # Accepted pairs join the Allowed list for chained detection
             # (paper §VI-D).
             self.allowed.add_all(review.threats)
         elif decision is InstallDecision.DELETE:
             self.rule_recorder.forget(review.app_name)
             self.config_recorder.forget(review.app_name)
-        # RECONFIGURE keeps nothing: the app will send a fresh payload
-        # after the user updates its settings.
+            self.pipeline.discard(review.app_name)
+            self.pipeline.remove_ruleset(review.app_name)
+        else:
+            # RECONFIGURE keeps nothing: the app will send a fresh
+            # payload after the user updates its settings.
+            self.pipeline.discard(review.app_name)
 
     def installed_apps(self) -> list[str]:
         return sorted(self.rule_recorder.rulesets)

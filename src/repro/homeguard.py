@@ -125,6 +125,19 @@ class HomeGuard:
     def installed_apps(self) -> list[str]:
         return self.app.installed_apps()
 
+    @property
+    def pipeline(self):
+        """The companion app's incremental detection pipeline.  Each
+        install solves only index-selected candidate pairs against the
+        kept apps; the solve caches persist across installs, so a home
+        accumulating apps never re-examines already-installed pairs."""
+        return self.app.pipeline
+
+    @property
+    def detection_stats(self):
+        """Cumulative solver/cache accounting across every review."""
+        return self.app.pipeline.stats
+
     # ------------------------------------------------------------------
     # Backward compatibility (paper §VIII-D.3)
 
@@ -137,7 +150,10 @@ class HomeGuard:
         ``updated()`` then re-sends its configuration and detection
         runs.  Here the recorded configuration payloads are replayed in
         installation order; each review covers one app against all the
-        others, so the union covers every installed pair.
+        others, so the union covers every installed pair.  Each replay
+        runs on the incremental pipeline: the audited app's cached state
+        is invalidated and only its index-selected candidate pairs are
+        re-solved, not the whole installed history.
         """
         reviews: list[InstallReview] = []
         for app_name in self.app.installed_apps():
@@ -145,5 +161,8 @@ class HomeGuard:
             if payload is None:
                 continue
             review = self.app.review_installation(payload)
+            # An audit replay carries no keep/delete decision: drop the
+            # re-staged signatures (the app stays installed as-is).
+            self.app.pipeline.discard(app_name)
             reviews.append(review)
         return reviews

@@ -1,0 +1,183 @@
+"""Solver-result reuse accounting (paper Fig. 9) and pipeline
+incrementality.
+
+The engine must solve at most one situation overlap and one effect
+constraint per pair direction: AR's situation result serves CT/SD/LT,
+and DC classification reuses EC's effect solve.  The incremental
+pipeline must never re-solve pairs among already-installed apps when a
+new app arrives.
+"""
+
+from repro.constraints import TypeBasedResolver
+from repro.detector import DetectionEngine, DetectionPipeline, ThreatType
+from repro.rules import extract_rules
+
+LIGHTS_ON_DARK = '''
+input "lux1", "capability.illuminanceMeasurement"
+input "lights1", "capability.switch"
+def installed() { subscribe(lux1, "illuminance", h) }
+def h(evt) {
+    if (evt.value.toInteger() < 30) lights1.on()
+}
+'''
+
+LIGHTS_OFF_BRIGHT = '''
+input "lux2", "capability.illuminanceMeasurement"
+input "lights2", "capability.switch"
+def installed() { subscribe(lux2, "illuminance", h) }
+def h(evt) {
+    if (evt.value.toInteger() > 50) lights2.off()
+}
+'''
+
+LAMP_GUARD = '''
+input "lamp1", "capability.switch"
+input "motion1", "capability.motionSensor"
+input "alarm1", "capability.alarm"
+def installed() { subscribe(motion1, "motion.active", h) }
+def h(evt) {
+    if (lamp1.currentSwitch == "on") alarm1.both()
+}
+'''
+
+LAMP_OFF = '''
+input "lamp2", "capability.switch"
+def installed() { subscribe(lamp2, "switch.on", h) }
+def h(evt) { runIn(300, off1) }
+def off1() { lamp2.off() }
+'''
+
+VALVE_APP = '''
+input "leak1", "capability.waterSensor"
+input "valve1", "capability.valve"
+def installed() { subscribe(leak1, "water.wet", h) }
+def h(evt) { valve1.close() }
+'''
+
+LOCK_APP = '''
+input "p1", "capability.presenceSensor"
+input "lock1", "capability.lock"
+def installed() { subscribe(p1, "presence.not present", h) }
+def h(evt) { lock1.lock() }
+'''
+
+UNLOCK_APP = '''
+input "p2", "capability.presenceSensor"
+input "lock2", "capability.lock"
+def installed() { subscribe(p2, "presence.present", h) }
+def h(evt) { lock2.unlock() }
+'''
+
+HINTS = {
+    "DarkOn": {"lux1": "illuminanceSensor", "lights1": "light"},
+    "BrightOff": {"lux2": "illuminanceSensor", "lights2": "light"},
+    "Guard": {"lamp1": "floorLamp", "motion1": "motionSensor",
+              "alarm1": "siren"},
+    "Saver": {"lamp2": "floorLamp"},
+    "Plumber": {"leak1": "waterLeakSensor", "valve1": "waterValve"},
+    "Locker": {"p1": "presenceSensor", "lock1": "doorLock"},
+    "Greeter": {"p2": "presenceSensor", "lock2": "doorLock"},
+}
+
+
+def _engine():
+    return DetectionEngine(TypeBasedResolver(type_hints=HINTS))
+
+
+def _ruleset(source, app):
+    return extract_rules(source, app)
+
+
+def test_ar_situation_solve_serves_ct_sd_lt():
+    # The loop pair triggers every trigger-interference class; all of
+    # CT (both ways), SD and LT must ride on AR's single situation solve.
+    engine = _engine()
+    r1 = _ruleset(LIGHTS_ON_DARK, "DarkOn").rules[0]
+    r2 = _ruleset(LIGHTS_OFF_BRIGHT, "BrightOff").rules[0]
+    threats = engine.detect_pair(r1, r2)
+    found = {t.type for t in threats}
+    assert {
+        ThreatType.ACTUATOR_RACE,
+        ThreatType.COVERT_TRIGGERING,
+        ThreatType.SELF_DISABLING,
+        ThreatType.LOOP_TRIGGERING,
+    } <= found
+    assert engine.stats.solver_calls == 1  # AR's situation solve only
+    assert engine.stats.cache_hits >= 2   # both CT directions reused it
+
+
+def test_dc_reuses_ec_effect_solve():
+    engine = _engine()
+    r_off = _ruleset(LAMP_OFF, "Saver").rules[0]
+    r_guard = _ruleset(LAMP_GUARD, "Guard").rules[0]
+    threats = engine.detect_pair(r_off, r_guard)
+    assert any(t.type is ThreatType.DISABLING_CONDITION for t in threats)
+    effect_calls = engine.stats.solver_calls
+    hits_before = engine.stats.cache_hits
+    # Re-detect: the DC classification must come from the cached EC-side
+    # effect solve, with no new solver work.
+    engine.detect_pair(r_off, r_guard)
+    assert engine.stats.solver_calls == effect_calls
+    assert engine.stats.cache_hits > hits_before
+
+
+def test_reset_stats_keeps_caches():
+    engine = _engine()
+    r1 = _ruleset(LIGHTS_ON_DARK, "DarkOn").rules[0]
+    r2 = _ruleset(LIGHTS_OFF_BRIGHT, "BrightOff").rules[0]
+    engine.detect_pair(r1, r2)
+    assert engine.stats.solver_calls == 1
+    engine.reset_stats()
+    assert engine.stats.solver_calls == 0
+    assert engine.stats.pairs_examined == 0
+    engine.detect_pair(r1, r2)
+    # Only cache hits after the reset: the solve caches survived.
+    assert engine.stats.solver_calls == 0
+    assert engine.stats.cache_hits > 0
+
+
+def test_invalidate_app_drops_cached_solves():
+    engine = _engine()
+    r1 = _ruleset(LIGHTS_ON_DARK, "DarkOn").rules[0]
+    r2 = _ruleset(LIGHTS_OFF_BRIGHT, "BrightOff").rules[0]
+    engine.detect_pair(r1, r2)
+    engine.invalidate_app("DarkOn")
+    engine.reset_stats()
+    engine.detect_pair(r1, r2)
+    assert engine.stats.solver_calls == 1  # re-solved after invalidation
+
+
+def test_pipeline_incremental_no_resolve_of_installed_pairs():
+    pipeline = DetectionPipeline(TypeBasedResolver(type_hints=HINTS))
+    pipeline.add_ruleset(_ruleset(LIGHTS_ON_DARK, "DarkOn"))
+    pipeline.add_ruleset(_ruleset(LIGHTS_OFF_BRIGHT, "BrightOff"))
+    calls_after_two = pipeline.stats.solver_calls
+    pairs_after_two = pipeline.stats.pairs_examined
+    assert calls_after_two == 1  # the DarkOn/BrightOff situation solve
+
+    # A third app with no overlap: no pair may be (re-)examined at all.
+    pipeline.add_ruleset(_ruleset(VALVE_APP, "Plumber"))
+    assert pipeline.stats.solver_calls == calls_after_two
+    assert pipeline.stats.pairs_examined == pairs_after_two
+
+    # Two lock apps interacting only with each other: installing them
+    # examines exactly their own pair — never the DarkOn/BrightOff pair
+    # (the four candidate-free pairs against the installed apps are
+    # skipped too; brute force would have scanned seven pairs).
+    pipeline.add_ruleset(_ruleset(LOCK_APP, "Locker"))
+    pipeline.add_ruleset(_ruleset(UNLOCK_APP, "Greeter"))
+    delta_pairs = pipeline.stats.pairs_examined - pairs_after_two
+    assert delta_pairs == 1  # just Locker vs Greeter
+    assert pipeline.stats.solver_calls > calls_after_two
+
+
+def test_pipeline_detect_does_not_install():
+    pipeline = DetectionPipeline(TypeBasedResolver(type_hints=HINTS))
+    pipeline.add_ruleset(_ruleset(LIGHTS_ON_DARK, "DarkOn"))
+    report = pipeline.detect(_ruleset(LIGHTS_OFF_BRIGHT, "BrightOff"))
+    assert report.threats
+    assert pipeline.installed_apps() == ["DarkOn"]
+    pipeline.discard("BrightOff")
+    # Staged rules were dropped; committing without a ruleset is a no-op.
+    pipeline.commit("BrightOff")
+    assert pipeline.installed_apps() == ["DarkOn"]

@@ -88,6 +88,47 @@ def test_delete_decision_forgets_app():
     assert hg.installed_apps() == ["ComfortTV"]
 
 
+def test_reconfigure_rebinding_updates_detection():
+    # An installed app re-sends its configuration bound to a different
+    # device; even with a RECONFIGURE decision the recorded payload is
+    # the new one, so later installs must be checked against the new
+    # binding (regression: the pipeline index kept the old identities).
+    hg = fresh_homeguard()
+    hg.register_device("Window2", "windowOpener")
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+               values={"threshold1": 30})
+    hg.install(app_by_name("ComfortTV"),
+               devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window2"},
+               values={"threshold1": 30},
+               decision=InstallDecision.RECONFIGURE)
+    review = hg.install(app_by_name("ColdDefender"),
+                        devices={"tv2": "TV", "window2": "Window2"},
+                        values={"weather": "rainy"})
+    assert any(t.type is ThreatType.ACTUATOR_RACE for t in review.threats)
+
+
+def test_device_retyping_refreshes_other_installed_apps():
+    # Device types are home-global: when a later install re-types a
+    # device, previously installed apps bound to it gain/lose effect
+    # channels and must be re-signed (regression: only the reviewed
+    # app was invalidated, hiding covert triggering via temperature).
+    hg = HomeGuard(transport="http")
+    hg.register_device("Heater", "switch")  # mis-typed at first
+    hg.register_device("Temp", "temperatureSensor")
+    hg.install(app_by_name("ModeAwareHeater"),
+               devices={"heater1": "Heater", "tSensor": "Temp"},
+               values={"tooCold": 62, "occupiedMode": "Home"})
+    hg.register_device("Heater", "heater")  # corrected type, same label/id
+    review = hg.install(app_by_name("ItsTooHot"),
+                        devices={"tSensor": "Temp", "ac": "Heater"},
+                        values={"tooHot": 80})
+    # The heater's temperature effect can now fire ItsTooHot's trigger.
+    assert any(
+        t.type is ThreatType.COVERT_TRIGGERING for t in review.threats
+    )
+
+
 def test_reconfigure_decision_keeps_nothing_yet():
     hg = fresh_homeguard()
     hg.install(app_by_name("ComfortTV"),
