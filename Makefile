@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke lint
+.PHONY: test bench bench-smoke lint docs-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -14,6 +14,14 @@ bench:
 # Quick benchmark smoke for CI: small store sizes, one pass.
 bench-smoke:
 	BENCH_STORE_SIZES=30 $(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+# Docs smoke: run the example scripts the README points at, end to
+# end, so the quickstart instructions can't rot.  store_audit also
+# asserts the warm-start replay does zero solver calls (DESIGN.md §8).
+docs-check:
+	$(PYTHON) examples/quickstart.py > /dev/null
+	$(PYTHON) examples/store_audit.py > /dev/null
+	@echo "docs-check: README example scripts ran clean"
 
 # Byte-compile everything as a cheap syntax/import lint (no external
 # linters baked into the image).

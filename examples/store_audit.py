@@ -11,17 +11,23 @@ is installed in turn and detection only examines index-selected
 candidate pairs, so the union of the reports covers every rule pair
 exactly once without the seed's all-pairs scan (DESIGN.md).
 
+The audited pipeline is then snapshotted to a :class:`DetectionStore`
+and *warm-started* in a fresh pipeline: the re-audit replays entirely
+from the persisted solve caches — zero solver calls, identical threat
+set (DESIGN.md §8).
+
 Run with::
 
     python examples/store_audit.py
 """
 
+import tempfile
 import time
 from collections import Counter
 
 from repro.constraints import TypeBasedResolver
 from repro.corpus import device_controlling_apps
-from repro.detector import DetectionPipeline
+from repro.detector import DetectionPipeline, DetectionStore
 from repro.rules.extractor import RuleExtractor
 
 
@@ -68,6 +74,30 @@ def main() -> None:
         f"{stats.pairs_examined} candidate pairs examined, "
         f"solver calls: {stats.solver_calls}, cache hits: {stats.cache_hits}"
     )
+
+    # ------------------------------------------------------------------
+    # Persist the audit and warm-start it in a fresh pipeline: the
+    # re-audit must do ZERO solver calls (everything replays from the
+    # store's caches) and report the identical threat set.
+    print("\n## Warm-start re-audit from the persisted store\n")
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = DetectionStore(store_dir)
+        store.save(pipeline, rulesets={r.app_name: r for r in rulesets})
+
+        started = time.perf_counter()
+        warm = store.warm_start(pipeline.engine.resolver)
+        warm_elapsed = time.perf_counter() - started
+        warm_count = sum(len(report.threats) for report in warm.reports)
+        cold_count = sum(per_class.values())
+        print(
+            f"  warm re-audit of {len(warm.reports)} apps in "
+            f"{warm_elapsed:.2f}s: solver calls: "
+            f"{warm.pipeline.stats.solver_calls} (cold run: "
+            f"{stats.solver_calls}), threat instances: {warm_count} "
+            f"(cold run: {cold_count})"
+        )
+        assert warm.pipeline.stats.solver_calls == 0
+        assert warm_count == cold_count
 
 
 if __name__ == "__main__":

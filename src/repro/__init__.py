@@ -12,6 +12,10 @@ Public API highlights
   for one SmartApp,
 * :class:`repro.detector.DetectionEngine` — pairwise CAI detection
   (AR/GC/CT/SD/LT/EC/DC + chains),
+* :class:`repro.detector.DetectionPipeline` /
+  :class:`repro.detector.DetectionStore` — the indexed incremental
+  pipeline and its persistent, environment-sharded store (warm-start
+  audits across processes; DESIGN.md §8),
 * :class:`repro.runtime.SmartHome` — concrete smart-home simulator for
   verifying threats dynamically,
 * :mod:`repro.corpus` — the 205-app evaluation corpus.

@@ -5,8 +5,10 @@ condition constraints — over a *shared* home context — is satisfiable.
 The builder owns that sharing: device attributes resolve to common
 variables when two apps are bound to the same device (by 128-bit device
 id in deployment, by device type in repository analysis, paper §VIII-B),
-``location.mode`` is global, the wall clock is global, and user inputs
-are per-app variables optionally pinned by collected configuration.
+``location.mode`` and the wall clock are shared per *environment*
+(home) — one global variable in the paper's single-home default, one
+variable per home in multi-home fleet analysis — and user inputs are
+per-app variables optionally pinned by collected configuration.
 """
 
 from __future__ import annotations
@@ -50,6 +52,33 @@ from repro.symex.values import (
 )
 
 _STANDARD_MODES = {"Home", "Away", "Night"}
+
+
+def environment_of(resolver: "DeviceResolver", app_name: str) -> str:
+    """The environment (home) an app runs in.
+
+    Environment channels, the location mode and the wall clock are
+    physically shared only within one home.  Resolvers may scope apps
+    into disjoint environments by exposing ``environment(app_name) ->
+    str`` (e.g. a multi-home store audit); the default is a single
+    shared home, which reproduces the paper's single-deployment
+    semantics exactly.
+    """
+    environment = getattr(resolver, "environment", None)
+    if environment is None:
+        return ""
+    return environment(app_name)
+
+
+def scoped_key(environment: str, key: str) -> str:
+    """Prefix a home-global solver variable with its environment.
+
+    Solver variables such as ``location:mode`` and ``time:now`` model
+    per-home physical state; scoping them keeps two different homes'
+    modes/clocks independent in merged cross-home formulas (they still
+    collapse to one shared variable within a home, and to the bare key
+    in the paper's single-home default)."""
+    return f"{environment}|{key}" if environment else key
 
 
 class DeviceResolver(Protocol):
@@ -329,12 +358,22 @@ class ConstraintBuilder:
         if isinstance(expr, StateVal):
             return self._inferred_var(f"state:{app_name}:{expr.name}", hint)
         if isinstance(expr, LocationAttr):
+            # Location state is per home: scope the variable by the
+            # app's environment so cross-home pairs never share a mode.
+            env = environment_of(self._resolver, app_name)
             if expr.attribute == "mode":
-                key = self.pool.declare_str("location:mode", None)
+                key = self.pool.declare_str(
+                    scoped_key(env, "location:mode"), None
+                )
                 return StrTerm(key)
-            return self._inferred_var(f"location:{expr.attribute}", hint)
+            return self._inferred_var(
+                scoped_key(env, f"location:{expr.attribute}"), hint
+            )
         if isinstance(expr, TimeVal):
-            key = self.pool.declare_num("time:now", 0.0, 86400.0)
+            env = environment_of(self._resolver, app_name)
+            key = self.pool.declare_num(
+                scoped_key(env, "time:now"), 0.0, 86400.0
+            )
             return AffineTerm(key)
         if isinstance(expr, BinExpr) and expr.op in ("+", "-", "*", "/"):
             return self._lower_arith(app_name, expr, rule_key, hint)

@@ -16,9 +16,13 @@ with solving results reused across threat types (paper Fig. 9).
 
 Detection runs as a three-layer pipeline (DESIGN.md): per-rule
 :class:`RuleSignature` facts are computed once, filed into the inverted
-:class:`RuleIndex`, and the incremental :class:`DetectionPipeline`
-feeds the engine only index-selected candidate pairs — so installing
-app N+1 never rescans all installed rule pairs.
+:class:`RuleIndex` (one shard per home via :class:`ShardedRuleIndex`),
+and the incremental :class:`DetectionPipeline` feeds the engine only
+index-selected candidate pairs — so installing app N+1 never rescans
+all installed rule pairs.  :class:`DetectionStore` persists all three
+layers plus the solve caches to a versioned, environment-sharded
+on-disk store, so audits warm-start across processes with zero solver
+calls (DESIGN.md §8).
 """
 
 from repro.detector.types import (
@@ -27,22 +31,27 @@ from repro.detector.types import (
     ThreatType,
 )
 from repro.detector.engine import DetectionEngine
-from repro.detector.index import RuleIndex
+from repro.detector.index import RuleIndex, ShardedRuleIndex
 from repro.detector.pipeline import DetectionPipeline
 from repro.detector.signature import (
     RuleSignature,
     SignatureBuilder,
     compute_signature,
 )
+from repro.detector.store import DetectionStore, StoreSnapshot, WarmStart
 
 __all__ = [
     "DetectionEngine",
     "DetectionPipeline",
+    "DetectionStore",
     "RuleIndex",
     "RuleSignature",
+    "ShardedRuleIndex",
     "SignatureBuilder",
+    "StoreSnapshot",
     "Threat",
     "ThreatReport",
     "ThreatType",
+    "WarmStart",
     "compute_signature",
 ]

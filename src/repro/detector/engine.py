@@ -23,7 +23,12 @@ import time
 from dataclasses import dataclass, field
 
 from repro.capabilities.channels import CHANNELS
-from repro.constraints.builder import ConstraintBuilder, DeviceResolver
+from repro.constraints.builder import (
+    ConstraintBuilder,
+    DeviceResolver,
+    environment_of,
+    scoped_key,
+)
 from repro.constraints.solver import Result, Solver
 from repro.constraints.terms import BoolFormula, CmpAtom, StrTerm, conj, lit
 from repro.detector.analysis import ConditionTouch, command_target
@@ -44,6 +49,11 @@ from repro.symex.values import Const
 # modeling choice documented in DESIGN.md: the paper's example only
 # covers setpoint commands, which carry an explicit target.
 EFFECT_TARGET_FRACTION = 0.75
+
+
+def app_of_rule_id(rule_id: str) -> str:
+    """The app a rule id belongs to (ids are ``<app_name>/R<n>``)."""
+    return rule_id.rsplit("/", 1)[0]
 
 
 @dataclass(slots=True)
@@ -83,6 +93,10 @@ class DetectionEngine:
         self._condition_cache: dict[frozenset[str], Result] = {}
         self._effect_cache: dict[tuple[str, str], Result | None] = {}
 
+    @property
+    def resolver(self) -> DeviceResolver:
+        return self._resolver
+
     def reset_stats(self) -> None:
         """Zero the counters without dropping the solve caches, so
         benchmarks can reuse one engine across measured phases."""
@@ -108,6 +122,102 @@ class DetectionEngine:
         ]
         for key in stale_effects:
             del self._effect_cache[key]
+
+    # ------------------------------------------------------------------
+    # Cache persistence (DESIGN.md §8)
+
+    def export_caches(self) -> dict[str, list]:
+        """Snapshot the solve caches as a JSON-serializable payload.
+
+        Cache keys are rule-id pairs and values are solver
+        :class:`Result`s (or ``None`` for inexpressible effects), so the
+        payload round-trips losslessly through JSON and a fresh process
+        can replay an audit without any solver calls (warm start)."""
+        def dump(result: Result | None) -> dict | None:
+            if result is None:
+                return None
+            return {
+                "sat": result.sat,
+                "witness": dict(result.witness),
+                "decisions": result.decisions,
+            }
+
+        return {
+            "situation": [
+                [sorted(key), dump(result)]
+                for key, result in self._situation_cache.items()
+            ],
+            "condition": [
+                [sorted(key), dump(result)]
+                for key, result in self._condition_cache.items()
+            ],
+            "effect": [
+                [list(key), dump(result)]
+                for key, result in self._effect_cache.items()
+            ],
+        }
+
+    def import_caches(
+        self, payload: dict, valid_apps: set[str] | None = None
+    ) -> int:
+        """Preload solve caches from an :meth:`export_caches` payload.
+
+        ``valid_apps`` restricts loading to entries whose rules all
+        belong to fingerprint-validated apps — entries touching an app
+        whose configuration changed are silently skipped, so the engine
+        re-solves them instead of serving stale results.  Structurally
+        malformed entries (a corrupted-but-parseable store) are skipped
+        the same way: the worst outcome of a bad entry is a re-solve.
+        Returns the number of entries loaded."""
+        if not isinstance(payload, dict):
+            return 0
+
+        def admissible(rule_ids) -> bool:
+            return (
+                isinstance(rule_ids, list)
+                and all(isinstance(rule_id, str) for rule_id in rule_ids)
+                and (
+                    valid_apps is None
+                    or all(
+                        app_of_rule_id(rule_id) in valid_apps
+                        for rule_id in rule_ids
+                    )
+                )
+            )
+
+        def load(entry: dict | None) -> Result | None:
+            if entry is None:
+                return None
+            return Result(
+                sat=bool(entry["sat"]),
+                witness=dict(entry.get("witness", {})),
+                decisions=int(entry.get("decisions", 0)),
+            )
+
+        loaded = 0
+        for cache, name in (
+            (self._situation_cache, "situation"),
+            (self._condition_cache, "condition"),
+        ):
+            for item in payload.get(name, []):
+                try:
+                    rule_ids, entry = item
+                    if entry is None or not admissible(rule_ids):
+                        continue
+                    cache[frozenset(rule_ids)] = load(entry)
+                except (TypeError, ValueError, KeyError):
+                    continue
+                loaded += 1
+        for item in payload.get("effect", []):
+            try:
+                rule_ids, entry = item
+                if len(rule_ids) != 2 or not admissible(rule_ids):
+                    continue
+                self._effect_cache[(rule_ids[0], rule_ids[1])] = load(entry)
+            except (TypeError, ValueError, KeyError):
+                continue
+            loaded += 1
+        return loaded
 
     # ------------------------------------------------------------------
     # Pairwise detection
@@ -382,7 +492,13 @@ class DetectionEngine:
         if mode_touch:
             target = command_target(rule_a.action)
             if target is not None and target[1] is not None:
-                key_var = builder.pool.declare_str("location:mode", None)
+                # Mode touches require equal environments, so rule_b's
+                # home names the (environment-scoped) mode variable the
+                # condition lowering will use.
+                env = environment_of(self._resolver, rule_b.app_name)
+                key_var = builder.pool.declare_str(
+                    scoped_key(env, "location:mode"), None
+                )
                 effect_parts.append(
                     lit(CmpAtom(StrTerm(key_var), "==", StrTerm(None, target[1])))
                 )

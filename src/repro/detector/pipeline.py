@@ -27,7 +27,7 @@ from typing import Iterable
 
 from repro.constraints.builder import DeviceResolver
 from repro.detector.engine import DetectionEngine
-from repro.detector.index import RuleIndex
+from repro.detector.index import RuleIndex, ShardedRuleIndex
 from repro.detector.signature import RuleSignature
 from repro.detector.types import ThreatReport
 from repro.rules.model import RuleSet
@@ -40,9 +40,13 @@ class DetectionPipeline:
         self,
         resolver: DeviceResolver,
         include_intra_app: bool = True,
+        index: RuleIndex | ShardedRuleIndex | None = None,
     ) -> None:
         self.engine = DetectionEngine(resolver)
-        self.index = RuleIndex()
+        # Any object with the RuleIndex query/maintenance interface
+        # works; multi-home fleets pass a ShardedRuleIndex so lookups
+        # (and persisted snapshots) stay per home.
+        self.index = RuleIndex() if index is None else index
         self.include_intra_app = include_intra_app
         self._installed: dict[str, list[RuleSignature]] = {}
         self._staged: dict[str, list[RuleSignature]] = {}
@@ -62,6 +66,11 @@ class DetectionPipeline:
 
     def signatures_of(self, app_name: str) -> list[RuleSignature]:
         return list(self._installed.get(app_name, ()))
+
+    def installed_signatures(self) -> dict[str, list[RuleSignature]]:
+        """Installed signatures per app, in installation order — the
+        state a :class:`~repro.detector.store.DetectionStore` snapshots."""
+        return {app: list(sigs) for app, sigs in self._installed.items()}
 
     # ------------------------------------------------------------------
     # Detection
@@ -124,6 +133,20 @@ class DetectionPipeline:
         report = self.detect(ruleset)
         self.commit(ruleset.app_name)
         return report
+
+    def restore_ruleset(self, ruleset: RuleSet) -> None:
+        """Install an app *without* running detection — the warm-start
+        path (DESIGN.md §8).
+
+        Used when a persisted store already holds this exact
+        installation (fingerprint-validated): the rules are re-signed
+        under the current bindings (cheap, no solver) and indexed, so
+        later installs see the app as a candidate partner while its
+        past reviews stay served from the imported solve caches."""
+        # Exactly a commit with nothing staged; drop any leftover
+        # staging first so the fresh ruleset is what gets signed.
+        self.discard(ruleset.app_name)
+        self.commit(ruleset.app_name, ruleset)
 
     def remove_ruleset(self, app_name: str) -> None:
         """Uninstall an app: un-index its rules and purge cached solves

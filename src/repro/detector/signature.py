@@ -17,7 +17,11 @@ from typing import Mapping
 
 from repro.capabilities.channels import channel_for_attribute
 from repro.capabilities.effects import Effect, effects_of_command
-from repro.constraints.builder import DeviceResolver
+from repro.constraints.builder import (
+    DeviceResolver,
+    environment_of,
+    scoped_key,
+)
 from repro.detector.analysis import (
     NON_DEVICE_SUBJECTS,
     ConditionTouch,
@@ -37,21 +41,6 @@ from repro.symex.values import DeviceAttr
 
 # Trigger subjects no action can fire (paper §VI-B).
 _UNFIREABLE_TRIGGER_SUBJECTS = ("install", "time", "app")
-
-
-def _environment_of(resolver: DeviceResolver, app_name: str) -> str:
-    """The environment (home) an app runs in.
-
-    Environment channels and the location mode are physically shared
-    only within one home.  Resolvers may scope apps into disjoint
-    environments by exposing ``environment(app_name) -> str`` (e.g. a
-    multi-home store audit); the default is a single shared home, which
-    reproduces the paper's single-deployment semantics exactly.
-    """
-    environment = getattr(resolver, "environment", None)
-    if environment is None:
-        return ""
-    return environment(app_name)
 
 
 @dataclass(frozen=True, slots=True)
@@ -103,11 +92,11 @@ class RuleSignature:
 def compute_signature(resolver: DeviceResolver, rule: Rule) -> RuleSignature:
     """Derive a rule's signature under the resolver's current bindings."""
     action = rule.action
-    environment = _environment_of(resolver, rule.app_name)
+    environment = environment_of(resolver, rule.app_name)
     identity, type_name = action_identity(resolver, rule)
     if identity == "location:mode" and environment:
         # The location mode is one virtual actuator *per home*.
-        identity = f"{environment}|location:mode"
+        identity = scoped_key(environment, "location:mode")
     effects = (
         effects_of_command(type_name, action.command) if type_name else {}
     )
@@ -120,10 +109,7 @@ def compute_signature(resolver: DeviceResolver, rule: Rule) -> RuleSignature:
     bounds: tuple[tuple[str, object], ...] = ()
     if fireable:
         if trigger.subject == "location":
-            trigger_identity = (
-                f"{environment}|location:mode" if environment
-                else "location:mode"
-            )
+            trigger_identity = scoped_key(environment, "location:mode")
         elif has_device:
             trigger_identity, _ = resolver.identity(
                 rule.app_name, trigger.device

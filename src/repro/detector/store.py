@@ -1,0 +1,621 @@
+"""Persistent, environment-sharded detection store (DESIGN.md §8).
+
+The paper's engine pre-stores its M_AR / M_GC mappings so repeated
+audits are cheap (§VI); this module extends that idea across *process
+boundaries*: everything a :class:`~repro.detector.pipeline
+.DetectionPipeline` learned during an audit — the per-rule
+:class:`~repro.detector.signature.RuleSignature` facts, the inverted
+:class:`~repro.detector.index.RuleIndex` buckets, and the engine's
+situation/condition/effect solve caches — is serialized to a versioned
+on-disk store, so a fresh process can *warm-start* and re-audit an
+unchanged 5k-app store with **zero solver calls** while reporting the
+exact same threat set as the cold run.
+
+On-disk format (schema version 1)
+---------------------------------
+
+A store is a directory::
+
+    <store>/
+      meta.json         # format marker, schema version, app directory
+      shard-0000.json   # one file per environment (home)
+      shard-0001.json
+      ...
+
+``meta.json`` holds ``{"format", "schema", "apps": {app: {"environment",
+"fingerprint"}}, "shards": {environment: filename}, "frontend": {...}}``
+— the app directory is ordered by installation, and ``frontend`` is an
+opaque blob the companion app uses for its configuration recorder.
+
+Each shard file carries one environment's slice of the detection state:
+the serialized rulesets (loss-free, via :mod:`repro.rules
+.serialization`), the per-rule signature records, the
+:meth:`RuleIndex.to_payload` buckets, and every solve-cache entry whose
+rules live in that home.  Sharding is the multi-home fleet story: a
+controller restoring a single home's install parses one shard file, not
+the whole snapshot (:meth:`DetectionStore.load` takes an
+``environments`` filter, and :meth:`DetectionStore.load_shard_index`
+rebuilds one home's index directly).
+
+Warm-start invalidation rules
+-----------------------------
+
+Stale results are never served.  A persisted app's cached state is used
+only when **all** of the following hold, and transparent re-signing
+(plus re-solving) happens otherwise:
+
+* the store's ``format`` marker and ``schema`` version match exactly —
+  otherwise the whole snapshot is ignored (cold start);
+* the app's shard file is present and parseable — corrupted or missing
+  shards degrade only their own apps to re-signing;
+* the app's *fingerprint* matches: a SHA-256 over the serialized rules,
+  the signature records derived under the **current** resolver
+  bindings, and the resolver-pinned input values.  Any change to the
+  rules, the device bindings (identities/types/environments), or the
+  configured input values changes the fingerprint, so re-binding an
+  app re-solves every pair that touches it.
+
+Solve-cache entries are imported only when every rule id they mention
+belongs to a fingerprint-validated app (see
+:meth:`~repro.detector.engine.DetectionEngine.import_caches`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.constraints.builder import DeviceResolver, environment_of
+from repro.detector.engine import app_of_rule_id
+from repro.detector.index import RuleIndex, ShardedRuleIndex
+from repro.detector.pipeline import DetectionPipeline
+from repro.detector.signature import RuleSignature, SignatureBuilder
+from repro.detector.types import ThreatReport
+from repro.rules.model import RuleSet
+from repro.rules.serialization import rule_from_json, rule_to_json
+from repro.symex.values import SymExpr, UserInput
+
+STORE_FORMAT = "homeguard-detection-store"
+SCHEMA_VERSION = 1
+
+_META_FILE = "meta.json"
+
+
+# ----------------------------------------------------------------------
+# Signature records and binding fingerprints
+
+
+def signature_record(sig: RuleSignature) -> dict:
+    """A :class:`RuleSignature`'s derived fields as a JSON-able record.
+
+    This is the persisted form of a signature: everything the candidate
+    tests read, minus the live :class:`~repro.rules.model.Rule` object
+    (rules are persisted separately, loss-free).  The record doubles as
+    the binding-sensitive part of the app fingerprint — identities,
+    environments, channels and effects all come from the resolver, so
+    any re-binding changes the record."""
+    return {
+        "rule_id": sig.rule_id,
+        "environment": sig.environment,
+        "is_device_action": sig.is_device_action,
+        "sets_location_mode": sig.sets_location_mode,
+        "action_identity": sig.action_identity,
+        "action_type": sig.action_type,
+        "command_target": (
+            list(sig.command_target) if sig.command_target else None
+        ),
+        "action_effects": {
+            channel: effect.value
+            for channel, effect in sorted(sig.action_effects.items())
+        },
+        "trigger_fireable": sig.trigger_fireable,
+        "trigger_identity": sig.trigger_identity,
+        "trigger_attribute": sig.trigger_attribute,
+        "trigger_has_device": sig.trigger_has_device,
+        "trigger_channel": sig.trigger_channel,
+        "trigger_bounds": [
+            [op, value] for op, value in sig.trigger_bounds
+        ],
+        "condition_reads": [
+            {
+                "identity": read.identity,
+                "device": read.attr.device.name,
+                "capability": read.attr.device.capability,
+                "attribute": read.attr.attribute,
+                "channel": read.channel,
+            }
+            for read in sig.condition_reads
+        ],
+        "condition_uses_mode": sig.condition_uses_mode,
+    }
+
+
+def _pinned_inputs(resolver: DeviceResolver, ruleset: RuleSet) -> dict:
+    """The resolver-configured values for every user input the app's
+    trigger/condition constraints read — the same set
+    :meth:`ConstraintBuilder._input_pins` pins at solve time, so a
+    value change invalidates cached solves via the fingerprint."""
+    exprs: list[SymExpr] = []
+    for rule in ruleset.rules:
+        if rule.trigger.constraint is not None:
+            exprs.append(rule.trigger.constraint)
+        exprs.extend(rule.condition.predicate_constraints)
+        exprs.extend(c.value for c in rule.condition.data_constraints)
+    names: set[str] = set()
+    for expr in exprs:
+        for node in expr.walk():
+            if isinstance(node, UserInput):
+                names.add(node.name)
+    return {
+        name: repr(resolver.input_value(ruleset.app_name, name))
+        for name in sorted(names)
+    }
+
+
+def app_fingerprint(
+    resolver: DeviceResolver,
+    ruleset: RuleSet,
+    sigs: Iterable[RuleSignature],
+) -> str:
+    """SHA-256 binding fingerprint of one installed app.
+
+    Covers the rules themselves (loss-free JSON), the signature records
+    under the current resolver bindings, and the pinned input values —
+    the three inputs that determine every detection verdict involving
+    the app.  A mismatch against the persisted fingerprint forces
+    re-signing and re-solving (DESIGN.md §8)."""
+    document = {
+        "rules": [rule_to_json(rule) for rule in ruleset.rules],
+        "signatures": [signature_record(sig) for sig in sigs],
+        "inputs": _pinned_inputs(resolver, ruleset),
+    }
+    canonical = json.dumps(document, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Snapshot (parsed store content)
+
+
+@dataclass(slots=True)
+class StoreSnapshot:
+    """Parsed content of a store directory (possibly a shard subset)."""
+
+    schema: int
+    apps: dict[str, dict]      # app -> {"environment", "fingerprint"}
+    shards: dict[str, dict]    # environment -> parsed shard payload
+    frontend: dict = field(default_factory=dict)
+
+    def environment(self, app_name: str) -> str | None:
+        record = self.apps.get(app_name)
+        return None if record is None else record.get("environment", "")
+
+    def fingerprint(self, app_name: str) -> str | None:
+        """The persisted fingerprint, or ``None`` when the app is
+        unknown *or* its shard was not loaded (treated as stale)."""
+        record = self.apps.get(app_name)
+        if record is None:
+            return None
+        if record.get("environment", "") not in self.shards:
+            return None
+        return record.get("fingerprint")
+
+    def rulesets(self) -> dict[str, RuleSet]:
+        """Decode the persisted rulesets of every loaded shard, in
+        installation (app-directory) order.
+
+        Structurally malformed app entries (valid JSON, broken shape —
+        e.g. a bit-flipped shard that still parses) are skipped: the
+        app simply does not restore, which is the documented degraded
+        mode, never a crash."""
+        decoded: dict[str, RuleSet] = {}
+        for app_name, record in self.apps.items():
+            if not isinstance(record, dict):
+                continue
+            shard = self.shards.get(record.get("environment", ""))
+            if shard is None:
+                continue
+            try:
+                entry = shard.get("apps", {}).get(app_name)
+                if entry is None:
+                    continue
+                decoded[app_name] = RuleSet(
+                    app_name=app_name,
+                    rules=[
+                        rule_from_json(r) for r in entry.get("ruleset", [])
+                    ],
+                )
+            except Exception:
+                continue
+        return decoded
+
+    def cache_payloads(self) -> list[dict]:
+        return [shard.get("caches", {}) for shard in self.shards.values()]
+
+
+@dataclass(slots=True)
+class WarmStart:
+    """Outcome of :meth:`DetectionStore.warm_start` /
+    :meth:`DetectionStore.restore_into`."""
+
+    pipeline: DetectionPipeline
+    reports: list[ThreatReport]
+    warm_apps: list[str]      # fingerprint-validated, caches served
+    stale_apps: list[str]     # re-signed and re-solved transparently
+    cold: bool = False        # no usable snapshot at all
+
+
+# ----------------------------------------------------------------------
+# The store
+
+
+class DetectionStore:
+    """Versioned on-disk persistence for a detection pipeline.
+
+    See the module docstring for the on-disk format and the warm-start
+    invalidation rules.  All read paths are defensive: a missing,
+    corrupted or version-mismatched store degrades to a cold start (or
+    per-shard to re-signing), never to a crash or a stale result."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        # app -> (ruleset, signatures, pinned-inputs json, fingerprint):
+        # repeated saves (one per commit) skip re-hashing apps whose
+        # signed state did not change.
+        self._fingerprint_memo: dict[str, tuple] = {}
+
+    def exists(self) -> bool:
+        return (self.path / _META_FILE).is_file()
+
+    def _fingerprint(
+        self,
+        resolver: DeviceResolver,
+        ruleset: RuleSet,
+        sigs: list[RuleSignature],
+    ) -> str:
+        """Memoizing :func:`app_fingerprint`.
+
+        Signatures are immutable and re-signed (as new objects) on any
+        binding change, so identity of the ruleset + signature objects
+        plus the pinned input values decides whether the cached hash is
+        still the truth."""
+        pins = json.dumps(_pinned_inputs(resolver, ruleset), sort_keys=True)
+        memo = self._fingerprint_memo.get(ruleset.app_name)
+        if memo is not None:
+            memo_ruleset, memo_sigs, memo_pins, memo_fp = memo
+            if (
+                memo_ruleset is ruleset
+                and memo_pins == pins
+                and len(memo_sigs) == len(sigs)
+                and all(a is b for a, b in zip(memo_sigs, sigs))
+            ):
+                return memo_fp
+        fingerprint = app_fingerprint(resolver, ruleset, sigs)
+        self._fingerprint_memo[ruleset.app_name] = (
+            ruleset, list(sigs), pins, fingerprint,
+        )
+        return fingerprint
+
+    def _write_atomic(self, filename: str, payload: dict) -> None:
+        tmp = self.path / f"{filename}.tmp"
+        tmp.write_text(json.dumps(payload, default=str), encoding="utf-8")
+        os.replace(tmp, self.path / filename)
+
+    # ------------------------------------------------------------------
+    # Saving
+
+    def save(
+        self,
+        pipeline: DetectionPipeline,
+        rulesets: Mapping[str, RuleSet] | None = None,
+        frontend: dict | None = None,
+    ) -> None:
+        """Snapshot a pipeline's installed state to the store directory.
+
+        ``rulesets`` optionally supplies the exact extracted rule sets
+        (e.g. with their input declarations); when omitted they are
+        reconstructed from the installed signatures.  ``frontend`` is an
+        opaque JSON-able blob returned verbatim on load (the companion
+        app persists its configuration recorder there).
+
+        Shard files carry a *generation* number and ``meta.json`` is
+        swapped in atomically (``os.replace``) only after every shard of
+        the new generation is on disk, so a crash mid-save always
+        leaves the previous snapshot intact (plus harmless orphan files
+        the next save cleans up).  Each save rewrites the whole
+        snapshot; unchanged apps skip fingerprint re-hashing via a
+        memo, but per-commit *delta* snapshots remain a ROADMAP item."""
+        resolver = pipeline.engine.resolver
+        previous_generation = -1
+        try:
+            previous_meta = json.loads(
+                (self.path / _META_FILE).read_text(encoding="utf-8")
+            )
+            previous_generation = int(previous_meta.get("generation", -1))
+        except (OSError, ValueError, TypeError):
+            pass
+        generation = previous_generation + 1
+        installed = pipeline.installed_signatures()
+        # Group apps by environment, preserving installation order.
+        apps_by_env: dict[str, list[str]] = {}
+        env_of_app: dict[str, str] = {}
+        for app_name, sigs in installed.items():
+            env = sigs[0].environment if sigs else ""
+            env_of_app[app_name] = env
+            apps_by_env.setdefault(env, []).append(app_name)
+
+        # Route solve-cache entries to the shard of their first app;
+        # entries touching a non-installed (staged/discarded) app are
+        # not persisted.
+        caches_by_env: dict[str, dict[str, list]] = {
+            env: {"situation": [], "condition": [], "effect": []}
+            for env in apps_by_env
+        }
+        for kind, entries in pipeline.engine.export_caches().items():
+            for rule_ids, result in entries:
+                apps = [app_of_rule_id(rule_id) for rule_id in rule_ids]
+                if any(app not in env_of_app for app in apps):
+                    continue
+                caches_by_env[env_of_app[apps[0]]][kind].append(
+                    [rule_ids, result]
+                )
+
+        meta_apps: dict[str, dict] = {}
+        shard_files: dict[str, str] = {}
+        self.path.mkdir(parents=True, exist_ok=True)
+        for position, (env, app_names) in enumerate(apps_by_env.items()):
+            shard_apps: dict[str, dict] = {}
+            shard_index = RuleIndex()
+            for app_name in app_names:
+                sigs = installed[app_name]
+                shard_index.add_ruleset(sigs)
+                if rulesets is not None and app_name in rulesets:
+                    ruleset = rulesets[app_name]
+                else:
+                    ruleset = RuleSet(
+                        app_name=app_name, rules=[s.rule for s in sigs]
+                    )
+                fingerprint = self._fingerprint(resolver, ruleset, sigs)
+                meta_apps[app_name] = {
+                    "environment": env,
+                    "fingerprint": fingerprint,
+                }
+                shard_apps[app_name] = {
+                    "fingerprint": fingerprint,
+                    "ruleset": [rule_to_json(r) for r in ruleset.rules],
+                    "signatures": [signature_record(s) for s in sigs],
+                }
+            filename = f"shard-{generation:06d}-{position:04d}.json"
+            shard_files[env] = filename
+            payload = {
+                "environment": env,
+                "apps": shard_apps,
+                "index": shard_index.to_payload(),
+                "caches": caches_by_env[env],
+            }
+            self._write_atomic(filename, payload)
+        # Installation order must survive the per-shard grouping above.
+        meta_apps = {
+            app_name: meta_apps[app_name]
+            for app_name in installed
+        }
+        meta = {
+            "format": STORE_FORMAT,
+            "schema": SCHEMA_VERSION,
+            "generation": generation,
+            "apps": meta_apps,
+            "shards": shard_files,
+            "frontend": frontend or {},
+        }
+        # The atomic meta replacement is the commit point: until it
+        # lands, readers see the previous generation's snapshot; the
+        # new generation's shard files are inert orphans.
+        self._write_atomic(_META_FILE, meta)
+        # Drop files the fresh meta no longer references (previous
+        # generations, leftover temp files from crashed saves).
+        keep = {_META_FILE, *shard_files.values()}
+        for stale in self.path.glob("shard-*.json"):
+            if stale.name not in keep:
+                stale.unlink(missing_ok=True)
+        for stale in self.path.glob("*.tmp"):
+            stale.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Loading
+
+    def load(
+        self, environments: Iterable[str] | None = None
+    ) -> StoreSnapshot | None:
+        """Parse the store, or ``None`` when it is missing, corrupted,
+        or written by a different schema version.
+
+        ``environments`` restricts parsing to the named shards — the
+        multi-home fleet path where one install should not pay for the
+        whole snapshot.  Apps whose shard is not loaded validate as
+        stale (their fingerprints report ``None``)."""
+        try:
+            meta = json.loads(
+                (self.path / _META_FILE).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if not isinstance(meta, dict):
+            return None
+        if meta.get("format") != STORE_FORMAT:
+            return None
+        if meta.get("schema") != SCHEMA_VERSION:
+            return None
+        apps = meta.get("apps")
+        shard_files = meta.get("shards")
+        if not isinstance(apps, dict) or not isinstance(shard_files, dict):
+            return None
+        wanted = None if environments is None else set(environments)
+        shards: dict[str, dict] = {}
+        for env, filename in shard_files.items():
+            if wanted is not None and env not in wanted:
+                continue
+            try:
+                payload = json.loads(
+                    (self.path / str(filename)).read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError):
+                continue  # corrupted shard: its apps degrade to stale
+            if isinstance(payload, dict):
+                shards[env] = payload
+        return StoreSnapshot(
+            schema=int(meta["schema"]),
+            apps=apps,
+            shards=shards,
+            frontend=meta.get("frontend") or {},
+        )
+
+    def load_shard_index(
+        self, environment: str, resolver: DeviceResolver
+    ) -> tuple[dict[str, RuleSet], RuleIndex] | None:
+        """Rebuild a single home's rulesets and inverted index straight
+        from its shard file — the per-home query path: nothing outside
+        the shard is read, and the index buckets come from the persisted
+        payload (not from re-insertion)."""
+        snapshot = self.load(environments=[environment])
+        if snapshot is None or environment not in snapshot.shards:
+            return None
+        rulesets = snapshot.rulesets()
+        signatures: dict[str, RuleSignature] = {}
+        builder = SignatureBuilder(resolver)
+        for ruleset in rulesets.values():
+            for sig in builder.sign_ruleset(ruleset):
+                signatures[sig.rule_id] = sig
+        index = RuleIndex.from_payload(
+            snapshot.shards[environment].get("index", {}), signatures
+        )
+        return rulesets, index
+
+    # ------------------------------------------------------------------
+    # Warm start
+
+    def _validate(
+        self,
+        pipeline: DetectionPipeline,
+        snapshot: StoreSnapshot,
+        rulesets: Iterable[RuleSet],
+    ) -> tuple[list[str], list[str]]:
+        """Split apps into warm (persisted fingerprint matches the
+        current bindings) and stale (everything else)."""
+        resolver = pipeline.engine.resolver
+        warm: list[str] = []
+        stale: list[str] = []
+        for ruleset in rulesets:
+            sigs = pipeline.engine.signatures.sign_ruleset(ruleset)
+            recorded = snapshot.fingerprint(ruleset.app_name)
+            if recorded is not None and recorded == app_fingerprint(
+                resolver, ruleset, sigs
+            ):
+                warm.append(ruleset.app_name)
+            else:
+                stale.append(ruleset.app_name)
+        return warm, stale
+
+    def warm_start(
+        self,
+        resolver: DeviceResolver,
+        rulesets: list[RuleSet] | None = None,
+        include_intra_app: bool = True,
+        index: RuleIndex | ShardedRuleIndex | None = None,
+    ) -> WarmStart:
+        """Replay a full store audit on a fresh pipeline, serving every
+        solve of fingerprint-validated apps from the persisted caches.
+
+        With an unchanged store the replay performs **zero** solver
+        calls and reports a threat set identical to the cold audit; apps
+        whose bindings changed (and pairs touching them) re-solve
+        transparently.  ``rulesets`` defaults to the persisted ones, so
+        a bare ``warm_start(resolver)`` re-audits the stored fleet."""
+        pipeline = DetectionPipeline(
+            resolver,
+            include_intra_app=include_intra_app,
+            index=ShardedRuleIndex() if index is None else index,
+        )
+        environments = None
+        if rulesets is not None:
+            environments = {
+                environment_of(resolver, ruleset.app_name)
+                for ruleset in rulesets
+            }
+        snapshot = self.load(environments=environments)
+        if snapshot is None:
+            audited = list(rulesets) if rulesets is not None else []
+            return WarmStart(
+                pipeline=pipeline,
+                reports=pipeline.audit_store(audited),
+                warm_apps=[],
+                stale_apps=[ruleset.app_name for ruleset in audited],
+                cold=True,
+            )
+        if rulesets is None:
+            rulesets = list(snapshot.rulesets().values())
+        warm, stale = self._validate(pipeline, snapshot, rulesets)
+        valid = set(warm)
+        for payload in snapshot.cache_payloads():
+            pipeline.engine.import_caches(payload, valid)
+        reports = pipeline.audit_store(rulesets)
+        return WarmStart(
+            pipeline=pipeline,
+            reports=reports,
+            warm_apps=warm,
+            stale_apps=stale,
+            cold=False,
+        )
+
+    def restore_into(
+        self,
+        pipeline: DetectionPipeline,
+        rulesets: list[RuleSet] | None = None,
+        snapshot: StoreSnapshot | None = None,
+    ) -> WarmStart:
+        """Load the persisted installation state into an existing (live)
+        pipeline without re-reviewing warm apps.
+
+        Fingerprint-validated apps are installed via
+        :meth:`DetectionPipeline.restore_ruleset` (no detection, no
+        solver calls — their past reviews were already decided); stale
+        apps are re-audited through :meth:`DetectionPipeline.add_ruleset`
+        and their fresh reports returned.  This is the companion app's
+        load-on-startup path.  ``snapshot`` lets a caller that already
+        parsed the store (e.g. for its frontend blob) skip a re-read.
+
+        With no usable snapshot, any passed rulesets are still audited
+        cold (all stale) — same degradation as :meth:`warm_start`."""
+        if snapshot is None:
+            snapshot = self.load()
+        if snapshot is None:
+            audited = list(rulesets) if rulesets is not None else []
+            return WarmStart(
+                pipeline=pipeline,
+                reports=[pipeline.add_ruleset(r) for r in audited],
+                warm_apps=[],
+                stale_apps=[r.app_name for r in audited],
+                cold=True,
+            )
+        if rulesets is None:
+            rulesets = list(snapshot.rulesets().values())
+        warm, stale = self._validate(pipeline, snapshot, rulesets)
+        valid = set(warm)
+        for payload in snapshot.cache_payloads():
+            pipeline.engine.import_caches(payload, valid)
+        reports: list[ThreatReport] = []
+        for ruleset in rulesets:
+            if ruleset.app_name in valid:
+                pipeline.restore_ruleset(ruleset)
+            else:
+                reports.append(pipeline.add_ruleset(ruleset))
+        return WarmStart(
+            pipeline=pipeline,
+            reports=reports,
+            warm_apps=warm,
+            stale_apps=stale,
+            cold=False,
+        )

@@ -10,13 +10,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.config.messaging import MessageRecord, Transport
 from repro.config.recorder import ConfigRecorder, RuleRecorder
 from repro.config.uri import ConfigPayload, decode_uri
 from repro.detector.chains import AllowedList, find_chains
 from repro.detector.pipeline import DetectionPipeline
-from repro.detector.types import Threat
+from repro.detector.store import DetectionStore
+from repro.detector.types import Threat, ThreatType
 from repro.rules.extractor import RuleExtractor
 from repro.rules.interpreter import describe_rule
 from repro.rules.model import RuleSet
@@ -49,6 +51,7 @@ class HomeGuardApp:
         self,
         backend: RuleExtractor,
         transport: Transport | None = None,
+        store_path: str | Path | None = None,
     ) -> None:
         self._backend = backend
         self.config_recorder = ConfigRecorder()
@@ -57,8 +60,17 @@ class HomeGuardApp:
         # signed rules of every kept app, so each review solves only
         # index-selected candidate pairs (DESIGN.md).
         self.pipeline = DetectionPipeline(self.config_recorder)
+        # Optional persistence: decisions are snapshotted to the store
+        # on every commit, and :meth:`load_store` warm-starts a fresh
+        # process from the last snapshot (DESIGN.md §8).
+        self.store = (
+            DetectionStore(store_path) if store_path is not None else None
+        )
         self.allowed = AllowedList()
         self.reviews: list[InstallReview] = []
+        # Opaque facade state (e.g. HomeGuard's registered home devices)
+        # persisted verbatim with every snapshot.
+        self.frontend_state: dict = {}
         if transport is not None:
             transport.connect(self.receive_message)
         self._pending: list[ConfigPayload] = []
@@ -85,18 +97,29 @@ class HomeGuardApp:
     # ------------------------------------------------------------------
     # Detection flow
 
+    def _resolve_ruleset(self, app_name: str) -> RuleSet:
+        """The app's rules, preferring the backend extractor.
+
+        A warm-started process may not have re-run the offline
+        extraction; the recorded (persisted) rules are the same
+        loss-free representation the backend would serve."""
+        ruleset = self._backend.rules_of(app_name)
+        if ruleset is None:
+            ruleset = self.rule_recorder.rules_of(app_name)
+        if ruleset is None:
+            raise LookupError(
+                f"backend has no rules for app {app_name!r}; extract it "
+                "first (offline phase) or submit the custom source"
+            )
+        return ruleset
+
     def review_installation(
         self,
         payload: ConfigPayload,
         device_types: dict[str, str] | None = None,
     ) -> InstallReview:
         """The online detection run for one app installation/update."""
-        ruleset = self._backend.rules_of(payload.app_name)
-        if ruleset is None:
-            raise LookupError(
-                f"backend has no rules for app {payload.app_name!r}; extract "
-                "it first (offline phase) or submit the custom source"
-            )
+        ruleset = self._resolve_ruleset(payload.app_name)
         # A re-recorded configuration may change device identities, in
         # which case everything cached about this app is stale.  An
         # identical payload (audit_existing replays) keeps the caches.
@@ -132,19 +155,20 @@ class HomeGuardApp:
         self, review: InstallReview, decision: InstallDecision
     ) -> None:
         """Apply the user's one-time decision."""
-        ruleset = self._backend.rules_of(review.app_name)
-        assert ruleset is not None
         if decision is InstallDecision.KEEP:
+            ruleset = self._resolve_ruleset(review.app_name)
             self.rule_recorder.record(ruleset)
             self.pipeline.commit(review.app_name, ruleset)
             # Accepted pairs join the Allowed list for chained detection
             # (paper §VI-D).
             self.allowed.add_all(review.threats)
+            self.save_store()
         elif decision is InstallDecision.DELETE:
             self.rule_recorder.forget(review.app_name)
             self.config_recorder.forget(review.app_name)
             self.pipeline.discard(review.app_name)
             self.pipeline.remove_ruleset(review.app_name)
+            self.save_store()
         else:
             # RECONFIGURE keeps nothing: the app will send a fresh
             # payload after the user updates its settings.
@@ -155,3 +179,109 @@ class HomeGuardApp:
 
     def ruleset_of(self, app_name: str) -> RuleSet | None:
         return self.rule_recorder.rules_of(app_name)
+
+    # ------------------------------------------------------------------
+    # Persistence (save-on-commit / load-on-startup, DESIGN.md §8)
+
+    def save_store(self) -> None:
+        """Snapshot detection state + recorders to the configured store
+        (a no-op without a ``store_path``).  Called on every commit."""
+        if self.store is None:
+            return
+        frontend = {
+            "payloads": [
+                {
+                    "app": payload.app_name,
+                    "devices": dict(payload.devices),
+                    "values": dict(payload.values),
+                }
+                for payload in self.config_recorder.payloads.values()
+            ],
+            "device_types": dict(self.config_recorder.device_types),
+            "allowed": [
+                [threat.type.value, threat.rule_a.rule_id,
+                 threat.rule_b.rule_id]
+                for threat in self.allowed.pairs
+            ],
+            "extra": self.frontend_state,
+        }
+        self.store.save(
+            self.pipeline,
+            rulesets=self.rule_recorder.rulesets,
+            frontend=frontend,
+        )
+
+    def load_store(self) -> list[str]:
+        """Warm-start this companion app from the persisted store.
+
+        Restores the configuration recorder, rule recorder and Allowed
+        list, then loads the pipeline: fingerprint-validated apps come
+        back without a single solver call; apps whose recorded bindings
+        changed since the snapshot are transparently re-reviewed (their
+        fresh reviews are appended like any install).  Returns the
+        restored app names; with no / an unusable store nothing changes
+        and the list is empty."""
+        if self.store is None:
+            return []
+        snapshot = self.store.load()
+        if snapshot is None:
+            return []
+        frontend = (
+            snapshot.frontend if isinstance(snapshot.frontend, dict) else {}
+        )
+        # Configuration first: the recorder *is* the pipeline's resolver,
+        # so identities must be in place before any re-signing happens.
+        # Malformed entries are skipped (the app then restores as stale
+        # or not at all — degraded, never a crash).
+        for entry in frontend.get("payloads", []):
+            try:
+                self.config_recorder.record(
+                    ConfigPayload(
+                        app_name=entry["app"],
+                        devices=dict(entry.get("devices", {})),
+                        values=dict(entry.get("values", {})),
+                    )
+                )
+            except (TypeError, KeyError, ValueError):
+                continue
+        device_types = frontend.get("device_types", {})
+        if isinstance(device_types, dict):
+            self.config_recorder.device_types.update(device_types)
+        extra = frontend.get("extra", {})
+        self.frontend_state = dict(extra) if isinstance(extra, dict) else {}
+        rulesets = snapshot.rulesets()
+        result = self.store.restore_into(
+            self.pipeline, list(rulesets.values()), snapshot=snapshot
+        )
+        for ruleset in rulesets.values():
+            self.rule_recorder.record(ruleset)
+        rules_by_id = {
+            rule.rule_id: rule
+            for ruleset in rulesets.values()
+            for rule in ruleset.rules
+        }
+        for entry in frontend.get("allowed", []):
+            try:
+                type_value, id_a, id_b = entry
+                threat_type = ThreatType(type_value)
+            except (TypeError, ValueError):
+                continue
+            rule_a, rule_b = rules_by_id.get(id_a), rules_by_id.get(id_b)
+            if rule_a is not None and rule_b is not None:
+                self.allowed.add(
+                    Threat(type=threat_type, rule_a=rule_a, rule_b=rule_b)
+                )
+        # Binding changes surface as fresh reviews, exactly like a
+        # re-sent configuration payload would.
+        for report in result.reports:
+            ruleset = rulesets.get(report.app_name)
+            self.reviews.append(
+                InstallReview(
+                    app_name=report.app_name,
+                    rules=[describe_rule(r) for r in ruleset.rules]
+                    if ruleset else [],
+                    threats=report.threats,
+                    chains=find_chains(report.threats, self.allowed),
+                )
+            )
+        return result.warm_apps + result.stale_apps

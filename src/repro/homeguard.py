@@ -48,14 +48,24 @@ class InstalledDevice:
 class HomeGuard:
     """End-to-end HomeGuard deployment for one home."""
 
-    def __init__(self, transport: str = "sms", seed: int = 11) -> None:
+    def __init__(
+        self,
+        transport: str = "sms",
+        seed: int = 11,
+        store_path: str | None = None,
+    ) -> None:
         self.backend = RuleExtractor()
         self.instrumenter = Instrumenter(transport=transport)
         self.transport: Transport = (
             SmsTransport(seed=seed) if transport == "sms"
             else FcmHttpTransport(seed=seed)
         )
-        self.app = HomeGuardApp(self.backend, self.transport)
+        # With a store path the companion app snapshots detection state
+        # on every commit; call :meth:`restore` after constructing a
+        # fresh deployment to warm-start from the last snapshot.
+        self.app = HomeGuardApp(
+            self.backend, self.transport, store_path=store_path
+        )
         self._home_devices: dict[str, InstalledDevice] = {}
 
     # ------------------------------------------------------------------
@@ -76,6 +86,12 @@ class HomeGuard:
             type_name=type_name,
         )
         self._home_devices[label] = device
+        # Ride along with the companion app's snapshots so labels keep
+        # resolving after a warm restart.
+        self.app.frontend_state.setdefault("home_devices", {})[label] = {
+            "device_id": device.device_id,
+            "type": device.type_name,
+        }
         return device
 
     # ------------------------------------------------------------------
@@ -137,6 +153,39 @@ class HomeGuard:
     def detection_stats(self):
         """Cumulative solver/cache accounting across every review."""
         return self.app.pipeline.stats
+
+    # ------------------------------------------------------------------
+    # Persistence (DESIGN.md §8)
+
+    def restore(self) -> list[str]:
+        """Warm-start from the configured detection store.
+
+        Reloads recorded configurations, rules, the Allowed list and
+        the detection pipeline from the last snapshot; apps whose
+        persisted fingerprints still match re-appear with **zero**
+        solver calls, while re-bound apps are transparently re-reviewed.
+        Returns the restored app names (empty without a usable store).
+
+        Registered home devices are restored too, so their labels keep
+        resolving in future :meth:`install` calls.
+        """
+        restored = self.app.load_store()
+        home_devices = self.app.frontend_state.get("home_devices", {})
+        if isinstance(home_devices, dict):
+            for label, entry in home_devices.items():
+                try:
+                    self._home_devices[label] = InstalledDevice(
+                        device_id=entry["device_id"],
+                        label=label,
+                        type_name=entry["type"],
+                    )
+                except (TypeError, KeyError):
+                    continue  # malformed entry: that label won't resolve
+        return restored
+
+    def save(self) -> None:
+        """Force a store snapshot now (commits already save)."""
+        self.app.save_store()
 
     # ------------------------------------------------------------------
     # Backward compatibility (paper §VIII-D.3)

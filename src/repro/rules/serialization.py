@@ -17,7 +17,10 @@ from repro.symex.values import SymExpr, from_json, to_json
 def _when_to_json(value: float | SymExpr) -> object:
     if isinstance(value, SymExpr):
         return {"sym": to_json(value)}
-    return value
+    # Normalize to float so serialization is a fixed point: decoding
+    # always yields floats, and re-encoding a decoded rule must produce
+    # byte-identical JSON (store fingerprints hash this form).
+    return float(value)
 
 
 def _when_from_json(data: object) -> float | SymExpr:

@@ -205,3 +205,67 @@ def test_type_based_resolver_defaults_to_capability():
     identity, dtype = resolver.identity("X", DeviceRef("d", "capability.lock"))
     assert identity == "type:cap:lock"
     assert dtype is None
+
+
+MODE_HOME = '''
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    if (location.mode == "Home") sw1.off()
+}
+'''
+
+MODE_AWAY = '''
+input "sw2", "capability.switch"
+def installed() { subscribe(sw2, "switch.on", h) }
+def h(evt) {
+    if (location.mode == "Away") sw2.off()
+}
+'''
+
+
+class _EnvResolver(TypeBasedResolver):
+    """Type-based resolver that scopes apps into per-app environments."""
+
+    def environment(self, app_name):
+        return f"env-{app_name}"
+
+
+def test_location_mode_variables_are_scoped_per_environment():
+    # ROADMAP-flagged scoping bug: the builder used to declare ONE
+    # global location:mode variable, so two different homes' modes
+    # spuriously unified in merged cross-home formulas.
+    rule_home = build_rule(MODE_HOME, "A")
+    rule_away = build_rule(MODE_AWAY, "B")
+
+    # Single home (no environment method): one shared mode variable,
+    # contradictory mode checks cannot overlap.
+    builder = ConstraintBuilder(TypeBasedResolver())
+    merged = conj([builder.condition(rule_home), builder.condition(rule_away)])
+    assert not Solver(builder.pool).solve(merged).sat
+    assert "location:mode" in builder.pool.str_candidates
+
+    # Two homes: each gets its own mode variable, so "A is Home while
+    # B's home is Away" is a perfectly consistent fleet situation.
+    builder = ConstraintBuilder(_EnvResolver())
+    merged = conj([builder.condition(rule_home), builder.condition(rule_away)])
+    result = Solver(builder.pool).solve(merged)
+    assert result.sat
+    assert result.witness["env-A|location:mode"] == "Home"
+    assert result.witness["env-B|location:mode"] == "Away"
+    assert "location:mode" not in builder.pool.str_candidates
+
+
+def test_time_variables_are_scoped_per_environment():
+    source = '''
+input "sw1", "capability.switch"
+def installed() { subscribe(sw1, "switch.on", h) }
+def h(evt) {
+    if (now() > 1000) sw1.off()
+}
+'''
+    rule = build_rule(source, "A")
+    builder = ConstraintBuilder(_EnvResolver())
+    Solver(builder.pool).solve(builder.condition(rule))
+    assert "env-A|time:now" in builder.pool.num_bounds
+    assert "time:now" not in builder.pool.num_bounds
