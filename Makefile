@@ -1,19 +1,29 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke lint docs-check
+.PHONY: test test-hashseed bench bench-smoke lint docs-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Dispatcher-equivalence tests under both the default (randomized) and
+# a pinned hash seed: set/dict iteration order must never leak into
+# the deterministic batch merge (threats, caches, store bytes).
+test-hashseed:
+	$(PYTHON) -m pytest -q tests/test_dispatch_equivalence.py
+	PYTHONHASHSEED=0 $(PYTHON) -m pytest -q tests/test_dispatch_equivalence.py
+
 # Full benchmark sweep (paper figures/tables + store-scale audit).
 bench:
 	$(PYTHON) -m pytest -q benchmarks/bench_*.py
 
-# Quick benchmark smoke for CI: small store sizes, one pass.
+# Quick benchmark smoke for CI: small store sizes plus a tiny worker
+# sweep (<= 200 apps, serial/2/4 workers) so plan/execute-path
+# regressions fail fast without the full 5k-app script run.
 bench-smoke:
-	BENCH_STORE_SIZES=30 $(PYTHON) -m pytest -q benchmarks/bench_*.py
+	BENCH_STORE_SIZES=30,120 BENCH_WORKER_COUNTS=1,2,4 \
+		$(PYTHON) -m pytest -q benchmarks/bench_*.py
 
 # Docs smoke: run the example scripts the README points at, end to
 # end, so the quickstart instructions can't rot.  store_audit also

@@ -18,22 +18,32 @@ candidates are found and whether solves are replayed from disk:
   work scales with candidates, not pairs;
 * the *warm* arm saves the cold pipeline to a `DetectionStore`, then
   re-audits the unchanged store in a fresh pipeline — every solve must
-  come from the persisted caches: **zero** solver calls (DESIGN.md §8).
+  come from the persisted caches: **zero** solver calls (DESIGN.md §8);
+* the *worker sweep* re-runs the cold audit in plan/execute mode
+  (DESIGN.md §9) with a `SerialDispatcher` and with 2/4/8 process
+  workers; every arm must report byte-identical threats **and produce
+  byte-identical store files**, differing only in wall clock.
 
 Shape to reproduce: the indexed pipeline beats the seed's brute force
 by >= 5x wall-clock at 200 apps (both total and filtering-only),
 solver calls grow with the candidate count (~linearly in n under zoned
-sharing, not n²), and the warm re-audit does 0 solver calls at every
-size while reporting the identical threat set.
+sharing, not n²), the warm re-audit does 0 solver calls at every size
+while reporting the identical threat set, and — on hosts with >= 4
+CPUs — 4 process workers give >= 2x cold-audit speedup over the
+serial dispatcher at 2k apps (the speedup assertion is skipped on
+smaller hosts, where there is no parallel hardware to measure; the
+identity assertions always run).
 
 The brute-force arms are skipped above ``BRUTE_LIMIT`` apps (the O(n²)
 scan at 5k apps is exactly what this subsystem exists to avoid).
 
 Select sizes with BENCH_STORE_SIZES (comma-separated; default "50,200"
-under pytest, "50,200,500,2000,5000" when run as a script).  Script
-runs also write ``BENCH_store_scale.json`` at the repo root as a
-machine-readable trajectory point (pytest/CI smoke passes leave the
-committed artifact alone).
+under pytest, "50,200,500,2000,5000" when run as a script) and worker
+counts with BENCH_WORKER_COUNTS (default "1,2" under pytest, "1,2,4,8"
+as a script; "1" means the serial dispatcher).  Script runs also write
+``BENCH_store_scale.json`` at the repo root as a machine-readable
+trajectory point (pytest/CI smoke passes leave the committed artifact
+alone).
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.constraints.dispatch import ProcessPoolDispatcher, SerialDispatcher
 from repro.corpus import device_controlling_apps
 from repro.detector import (
     DetectionEngine,
@@ -61,11 +72,23 @@ ZONE_SIZE = 8
 # Largest size the O(n²) brute-force arms still run at.
 BRUTE_LIMIT = 500
 _FULL_SWEEP = "50,200,500,2000,5000"
+_FULL_WORKER_SWEEP = "1,2,4,8"
 SIZES = [
     int(size)
     for size in os.environ.get("BENCH_STORE_SIZES", "50,200").split(",")
     if size.strip()
 ]
+WORKER_COUNTS = [
+    int(count)
+    for count in os.environ.get("BENCH_WORKER_COUNTS", "1,2").split(",")
+    if count.strip()
+]
+# The >= 2x speedup gate needs parallel hardware under the process
+# workers; on 1-2 core hosts the sweep still verifies identity.
+_SPEEDUP_MIN_CPUS = 4
+_SPEEDUP_AT_SIZE = 2000
+_SPEEDUP_WORKERS = 4
+_SPEEDUP_FACTOR = 2.0
 _RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_store_scale.json"
 # Set by the __main__ entry point: only dedicated script runs write the
 # repo-root trajectory artifact.
@@ -197,6 +220,102 @@ def _run_warm(store_dir, rulesets, resolver):
     return elapsed, threats, warm
 
 
+def _store_files(store_dir) -> dict[str, bytes]:
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(Path(store_dir).iterdir())
+    }
+
+
+def _run_worker_arm(rulesets, resolver, workers: int):
+    """Cold plan/execute audit with a serial (workers=1) or process
+    dispatcher; returns wall seconds, the ordered threat tuple (full
+    fidelity: details and witnesses included) and the store bytes the
+    audited pipeline persists."""
+    dispatcher = (
+        SerialDispatcher() if workers <= 1 else ProcessPoolDispatcher(workers)
+    )
+    pipeline = DetectionPipeline(
+        resolver, index=ShardedRuleIndex(), dispatcher=dispatcher
+    )
+    try:
+        started = time.perf_counter()
+        reports = pipeline.audit_store(rulesets)
+        elapsed = time.perf_counter() - started
+        threats = tuple(
+            (t.type.value, t.rule_a.rule_id, t.rule_b.rule_id, t.detail,
+             t.witness)
+            for report in reports
+            for t in report.threats
+        )
+        with tempfile.TemporaryDirectory() as store_dir:
+            DetectionStore(store_dir).save(
+                pipeline, rulesets={r.app_name: r for r in rulesets}
+            )
+            store_bytes = _store_files(store_dir)
+        return elapsed, threats, store_bytes, pipeline.stats
+    finally:
+        pipeline.close()
+
+
+def _worker_sweep(size, rulesets, resolver, results):
+    """The plan/execute arm: every backend must be byte-identical to
+    the serial dispatcher; process workers should only change the wall
+    clock (and do, given CPUs to run on)."""
+    counts = sorted(set(WORKER_COUNTS))
+    if 1 not in counts:
+        counts = [1] + counts
+    sweep = {}
+    reference = None
+    serial_seconds = None
+    for workers in counts:
+        elapsed, threats, store_bytes, stats = _run_worker_arm(
+            rulesets, resolver, workers
+        )
+        if workers <= 1:
+            serial_seconds = elapsed
+            reference = (threats, store_bytes)
+        else:
+            assert threats == reference[0], (
+                f"{workers}-worker audit changed the threat output "
+                f"at {size} apps"
+            )
+            assert store_bytes == reference[1], (
+                f"{workers}-worker audit changed the persisted store "
+                f"at {size} apps"
+            )
+        sweep[workers] = {
+            "seconds": elapsed,
+            "speedup_vs_serial": (
+                serial_seconds / elapsed if elapsed else float("inf")
+            ),
+            "apps_per_second": size / elapsed if elapsed else float("inf"),
+            "plan_seconds": stats.plan_seconds,
+            "dispatch_seconds": stats.dispatch_seconds,
+            "solver_cpu_seconds": stats.solver_cpu_seconds(),
+        }
+        print(
+            f"      workers={workers}: {elapsed * 1000:>8.1f} ms "
+            f"({sweep[workers]['speedup_vs_serial']:.2f}x serial, "
+            f"plan {stats.plan_seconds * 1000:.0f} ms, "
+            f"blocked {stats.dispatch_seconds * 1000:.0f} ms)"
+        )
+    results[size]["workers"] = {
+        str(workers): metrics for workers, metrics in sweep.items()
+    }
+    if (
+        size >= _SPEEDUP_AT_SIZE
+        and _SPEEDUP_WORKERS in sweep
+        and (os.cpu_count() or 1) >= _SPEEDUP_MIN_CPUS
+    ):
+        speedup = sweep[_SPEEDUP_WORKERS]["speedup_vs_serial"]
+        assert speedup >= _SPEEDUP_FACTOR, (
+            f"{_SPEEDUP_WORKERS} process workers only {speedup:.2f}x over "
+            f"the serial dispatcher at {size} apps "
+            f"(needed {_SPEEDUP_FACTOR}x)"
+        )
+
+
 def test_store_scale_indexed_vs_brute_force():
     print("\n=== Store-scale audit: brute force vs indexed vs warm ===")
     header = (
@@ -281,6 +400,7 @@ def test_store_scale_indexed_vs_brute_force():
                 f"{index_s * 1000:>9.1f} {warm_s * 1000:>8.1f} "
                 f"{'-':>8} {'-':>9} {warm_speedup:>7.1f}"
             )
+        _worker_sweep(size, rulesets, resolver, results)
 
         # The superlinear win: the indexed pipeline must beat the seed's
         # all-pairs scan by >= 5x once the store is large.
@@ -339,6 +459,7 @@ def _emit_trajectory(results: dict) -> None:
     payload = {
         "benchmark": "store_scale",
         "zone_size": ZONE_SIZE,
+        "cpu_count": os.cpu_count() or 1,
         "sizes": {str(size): metrics for size, metrics in results.items()},
         "warm_reaudit_zero_solver_calls": all(
             metrics["warm_solver_calls"] == 0 for metrics in results.values()
@@ -353,5 +474,9 @@ def _emit_trajectory(results: dict) -> None:
 if __name__ == "__main__":
     if "BENCH_STORE_SIZES" not in os.environ:
         SIZES = [int(size) for size in _FULL_SWEEP.split(",")]
+    if "BENCH_WORKER_COUNTS" not in os.environ:
+        WORKER_COUNTS = [
+            int(count) for count in _FULL_WORKER_SWEEP.split(",")
+        ]
     _EMIT_TRAJECTORY = True
     test_store_scale_indexed_vs_brute_force()

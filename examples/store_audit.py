@@ -16,6 +16,11 @@ and *warm-started* in a fresh pipeline: the re-audit replays entirely
 from the persisted solve caches — zero solver calls, identical threat
 set (DESIGN.md §8).
 
+Finally the same cold audit re-runs in plan/execute mode with process
+workers (``dispatcher="process:2"``): the solver loop fans out to a
+worker pool, and the reported threat set must be identical to the
+serial run — backends are a pure performance choice (DESIGN.md §9).
+
 Run with::
 
     python examples/store_audit.py
@@ -98,6 +103,34 @@ def main() -> None:
         )
         assert warm.pipeline.stats.solver_calls == 0
         assert warm_count == cold_count
+
+    # ------------------------------------------------------------------
+    # Batched parallel dispatch (DESIGN.md §9): plan the whole audit,
+    # fan the solve batch out to worker processes, and get the exact
+    # same threats back.
+    print("\n## Cold re-audit with batched process workers\n")
+    parallel = DetectionPipeline(
+        TypeBasedResolver(type_hints=hints, values=values),
+        dispatcher="process:2",
+    )
+    try:
+        started = time.perf_counter()
+        parallel_count = sum(
+            len(report.threats) for report in parallel.audit_store(rulesets)
+        )
+        parallel_elapsed = time.perf_counter() - started
+        pstats = parallel.stats
+        print(
+            f"  2-worker audit in {parallel_elapsed:.2f}s "
+            f"(plan {pstats.plan_seconds:.2f}s, blocked on workers "
+            f"{pstats.dispatch_seconds:.2f}s, solver CPU "
+            f"{pstats.solver_cpu_seconds():.2f}s): threat instances: "
+            f"{parallel_count} (serial run: {sum(per_class.values())})"
+        )
+        assert parallel_count == sum(per_class.values())
+        assert pstats.solver_calls == stats.solver_calls
+    finally:
+        parallel.close()
 
 
 if __name__ == "__main__":

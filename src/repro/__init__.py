@@ -16,6 +16,9 @@ Public API highlights
   :class:`repro.detector.DetectionStore` — the indexed incremental
   pipeline and its persistent, environment-sharded store (warm-start
   audits across processes; DESIGN.md §8),
+* :mod:`repro.constraints.dispatch` — plan/execute solver batching with
+  serial / thread / process backends (``HomeGuard(workers=4)`` fans the
+  solver loop out with byte-identical results; DESIGN.md §9),
 * :class:`repro.runtime.SmartHome` — concrete smart-home simulator for
   verifying threats dynamically,
 * :mod:`repro.corpus` — the 205-app evaluation corpus.

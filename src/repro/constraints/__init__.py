@@ -28,6 +28,15 @@ from repro.constraints.builder import (
     DeviceResolver,
     TypeBasedResolver,
 )
+from repro.constraints.dispatch import (
+    ProcessPoolDispatcher,
+    SerialDispatcher,
+    SolveBatch,
+    SolveTask,
+    SolverDispatcher,
+    ThreadPoolDispatcher,
+    make_dispatcher,
+)
 
 __all__ = [
     "Atom",
@@ -38,12 +47,19 @@ __all__ = [
     "FALSE",
     "Formula",
     "FreeAtom",
+    "ProcessPoolDispatcher",
     "Result",
+    "SerialDispatcher",
+    "SolveBatch",
+    "SolveTask",
     "Solver",
+    "SolverDispatcher",
     "TRUE",
+    "ThreadPoolDispatcher",
     "TypeBasedResolver",
     "VarPool",
     "conj",
     "disj",
+    "make_dispatcher",
     "neg",
 ]

@@ -1,0 +1,331 @@
+"""Batched solver dispatch (plan/execute detection, DESIGN.md §9).
+
+Detection planning (:meth:`repro.detector.engine.DetectionEngine
+.detect_signed_batch`) walks the candidate tests without calling the
+solver and emits one :class:`SolveTask` per cache-missing constraint
+instance.  Tasks are pure data — a :class:`~repro.constraints.solver
+.VarPool` plus a :class:`~repro.constraints.terms.BoolFormula`, both
+built from frozen dataclasses — so a batch can be executed anywhere: in
+the calling thread, on a thread pool, or pickled out to a process pool.
+
+The contract every backend must honour (and the equivalence tests
+enforce) is *deterministic merge*: outcomes are keyed by task, callers
+read them by key and commit results in their own (serial) planning
+order, so completion order never influences threat reports, solve
+caches or persisted store bytes — they are identical for every backend
+and worker count.
+
+Backends
+--------
+
+* :class:`SerialDispatcher` — executes tasks inline, in submission
+  order; the default and the semantic reference.
+* :class:`ThreadPoolDispatcher` — ``concurrent.futures`` threads.  The
+  solver is pure Python, so the GIL caps the speedup; useful mainly as
+  a cheap determinism cross-check and to overlap I/O-heavy callers.
+* :class:`ProcessPoolDispatcher` — worker processes; tasks are pickled
+  over in chunks.  This is the backend that turns the solver loop into
+  a real fan-out (the store-scale benchmark's worker sweep).
+
+Pooled backends execute *streamed*: the planner hands tasks over as it
+discovers them (:meth:`SolverDispatcher.stream`), so workers solve the
+first candidate pairs while the planner is still walking the last ones
+— planning and solving overlap instead of strictly alternating.
+
+Executors are created lazily and reused across batches; call
+:meth:`~SolverDispatcher.close` (or use the dispatcher as a context
+manager) to release workers deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.solver import Result, Solver, VarPool
+from repro.constraints.terms import BoolFormula
+
+# A task key names one solve-cache slot: ("situation" | "condition",
+# rule_id_lo, rule_id_hi) with the ids sorted (those caches are keyed by
+# unordered pairs), or ("effect", rule_id_a, rule_id_b) in rule order.
+TaskKey = tuple[str, str, str]
+
+# Tasks per worker message: one solve is ~0.1-0.2 ms, so chunking keeps
+# the pickle/IPC overhead per solve well under the solve itself.
+_CHUNK_TASKS = 64
+
+
+@dataclass(frozen=True, slots=True)
+class SolveTask:
+    """One deferred solver call: everything needed to decide it.
+
+    Picklable by construction (pool and formula are plain frozen
+    dataclasses over builtins), so process backends can ship it to a
+    worker without touching any engine state."""
+
+    key: TaskKey
+    pool: VarPool
+    formula: BoolFormula
+
+
+@dataclass(frozen=True, slots=True)
+class SolveOutcome:
+    """A task's result plus the solver CPU seconds it cost."""
+
+    result: Result
+    seconds: float
+
+
+def execute_task(task: SolveTask) -> tuple[TaskKey, SolveOutcome]:
+    """Solve one task.  Module-level so process pools can pickle it."""
+    started = time.perf_counter()
+    result = Solver(task.pool).solve(task.formula)
+    return task.key, SolveOutcome(result, time.perf_counter() - started)
+
+
+def execute_chunk(
+    tasks: Sequence[SolveTask],
+) -> list[tuple[TaskKey, SolveOutcome]]:
+    """Solve a chunk of tasks (one worker message)."""
+    return [execute_task(task) for task in tasks]
+
+
+class DispatchStream:
+    """One round of solves in flight.
+
+    :meth:`submit` hands freshly planned tasks to the backend (pooled
+    backends start solving immediately); :meth:`collect` blocks until
+    everything submitted is solved and returns outcomes keyed by task.
+    The serial reference implementation simply buffers and solves in
+    submission order at collect time."""
+
+    def __init__(self) -> None:
+        self._buffered: list[SolveTask] = []
+
+    def submit(self, tasks: Iterable[SolveTask]) -> None:
+        self._buffered.extend(tasks)
+
+    def collect(self) -> dict[TaskKey, SolveOutcome]:
+        tasks, self._buffered = self._buffered, []
+        return dict(execute_chunk(tasks))
+
+
+class _PooledStream(DispatchStream):
+    """Streams task chunks onto an executor as they are submitted."""
+
+    def __init__(self, executor: Executor, chunk_tasks: int) -> None:
+        super().__init__()
+        self._executor = executor
+        self._chunk_tasks = chunk_tasks
+        self._futures: list = []
+
+    def submit(self, tasks: Iterable[SolveTask]) -> None:
+        self._buffered.extend(tasks)
+        while len(self._buffered) >= self._chunk_tasks:
+            chunk = self._buffered[: self._chunk_tasks]
+            del self._buffered[: self._chunk_tasks]
+            self._futures.append(self._executor.submit(execute_chunk, chunk))
+
+    def collect(self) -> dict[TaskKey, SolveOutcome]:
+        if self._buffered:
+            chunk, self._buffered = self._buffered, []
+            self._futures.append(self._executor.submit(execute_chunk, chunk))
+        futures, self._futures = self._futures, []
+        outcomes: dict[TaskKey, SolveOutcome] = {}
+        for future in futures:
+            outcomes.update(future.result())
+        return outcomes
+
+
+class SolverDispatcher:
+    """Executes solve tasks; base class and serial reference."""
+
+    name = "serial"
+    workers = 1
+
+    def stream(self) -> DispatchStream:
+        """A fresh stream for one round of planned tasks."""
+        return DispatchStream()
+
+    def run(
+        self, tasks: Sequence[SolveTask]
+    ) -> dict[TaskKey, SolveOutcome]:
+        """Execute a ready-made task list (non-streamed convenience)."""
+        stream = self.stream()
+        stream.submit(tasks)
+        return stream.collect()
+
+    def close(self) -> None:
+        """Release any pooled workers (no-op for the serial backend)."""
+
+    def __enter__(self) -> "SolverDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialDispatcher(SolverDispatcher):
+    """In-order, in-process execution — byte-identical to the engine
+    solving inline, and the reference the parallel backends are tested
+    against."""
+
+
+class _PooledDispatcher(SolverDispatcher):
+    """Shared lazy-executor plumbing for thread/process backends."""
+
+    def __init__(
+        self, workers: int = 4, chunk_tasks: int = _CHUNK_TASKS
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_tasks < 1:
+            raise ValueError(f"chunk_tasks must be >= 1, got {chunk_tasks}")
+        self.workers = workers
+        self.chunk_tasks = chunk_tasks
+        self._executor: Executor | None = None
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    def stream(self) -> DispatchStream:
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return _PooledStream(self._executor, self.chunk_tasks)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ThreadPoolDispatcher(_PooledDispatcher):
+    """Thread-pool execution (GIL-bound; determinism cross-check and
+    overlap with I/O-heavy callers)."""
+
+    name = "thread"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessPoolDispatcher(_PooledDispatcher):
+    """Process-pool execution; tasks and results cross a pickle
+    boundary, which :class:`SolveTask` supports by construction."""
+
+    name = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+class SolveBatch:
+    """An ordered, key-deduplicated collection of :class:`SolveTask`s
+    and the outcomes of the rounds executed so far.
+
+    Planning may run in several rounds (a condition solve is only
+    needed once the pair's situation solve came back UNSAT, mirroring
+    the serial engine's Fig. 9 reuse), so the batch tracks which tasks
+    are still unexecuted; :meth:`take_pending` feeds exactly those to a
+    dispatch stream and :meth:`absorb` merges the stream's outcomes."""
+
+    __slots__ = ("_tasks", "_pending", "requested", "outcomes")
+
+    def __init__(self) -> None:
+        self._tasks: list[SolveTask] = []
+        self._pending: list[SolveTask] = []
+        self.requested: set[TaskKey] = set()
+        self.outcomes: dict[TaskKey, SolveOutcome] = {}
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def add(self, task: SolveTask) -> bool:
+        """Queue a task unless its key is already requested."""
+        if task.key in self.requested:
+            return False
+        self.requested.add(task.key)
+        self._tasks.append(task)
+        self._pending.append(task)
+        return True
+
+    def take_pending(self) -> list[SolveTask]:
+        """Pop the tasks queued since the last call (stream feed)."""
+        tasks, self._pending = self._pending, []
+        return tasks
+
+    def absorb(self, outcomes: dict[TaskKey, SolveOutcome]) -> None:
+        self.outcomes.update(outcomes)
+
+    def outcome(self, key: TaskKey) -> SolveOutcome | None:
+        return self.outcomes.get(key)
+
+    def execute(self, dispatcher: SolverDispatcher) -> float:
+        """Run every not-yet-executed task in one go; returns the wall
+        seconds the dispatch took (non-streamed convenience)."""
+        tasks = self.take_pending()
+        if not tasks:
+            return 0.0
+        started = time.perf_counter()
+        self.absorb(dispatcher.run(tasks))
+        return time.perf_counter() - started
+
+
+def make_dispatcher(
+    workers: int | str | SolverDispatcher | None,
+) -> SolverDispatcher | None:
+    """Resolve a user-facing ``workers=`` setting into a dispatcher.
+
+    * ``None`` — no batching: the engine keeps its inline solve path.
+    * ``"serial"`` / ``1`` — plan/execute with :class:`SerialDispatcher`
+      (same results, one batch per detection run).
+    * an ``int > 1`` — :class:`ProcessPoolDispatcher` with that many
+      workers (the backend that actually scales the solver loop).
+    * ``"thread"`` / ``"thread:N"`` / ``"process"`` / ``"process:N"`` —
+      explicit backend choice (default 4 workers).
+    * a :class:`SolverDispatcher` instance — used as-is.
+    """
+    def unknown() -> ValueError:
+        return ValueError(
+            f"unknown dispatcher spec {workers!r}; expected None, a "
+            "positive int, 'serial', 'thread[:N]', 'process[:N]' or a "
+            "SolverDispatcher"
+        )
+
+    if workers is None:
+        return None
+    if isinstance(workers, SolverDispatcher):
+        return workers
+    if isinstance(workers, int):
+        if workers < 1:
+            raise unknown()
+        if workers == 1:
+            return SerialDispatcher()
+        return ProcessPoolDispatcher(workers)
+    spec = str(workers).strip().lower()
+    name, _, count_text = spec.partition(":")
+    try:
+        count = int(count_text) if count_text else 4
+    except ValueError:
+        raise unknown() from None
+    if count < 1:
+        raise unknown()
+    if name == "serial":
+        return SerialDispatcher()
+    if name == "thread":
+        return ThreadPoolDispatcher(count)
+    if name == "process":
+        return ProcessPoolDispatcher(count)
+    raise unknown()

@@ -23,6 +23,12 @@ all installed rule pairs.  :class:`DetectionStore` persists all three
 layers plus the solve caches to a versioned, environment-sharded
 on-disk store, so audits warm-start across processes with zero solver
 calls (DESIGN.md §8).
+
+With a :class:`~repro.constraints.dispatch.SolverDispatcher` configured
+(``DetectionPipeline(dispatcher=...)``), detection runs in plan/execute
+mode: candidate pairs are planned into a solve batch first and the
+batch fans out to serial/thread/process workers with byte-identical
+threat reports, caches and store bytes (DESIGN.md §9).
 """
 
 from repro.detector.types import (

@@ -15,12 +15,34 @@ objects: :meth:`DetectionEngine.detect_signed` is the primitive, and
 that signs its arguments first.  Store-scale workloads should use
 :class:`~repro.detector.pipeline.DetectionPipeline`, which feeds the
 engine only index-selected candidate pairs.
+
+Plan/execute detection (DESIGN.md §9)
+-------------------------------------
+
+The pairwise tests are written once, against a *solve access* object:
+
+* the inline access solves cache misses immediately — the serial hot
+  path, byte-for-byte the historical behavior;
+* the batch access answers from the caches and from already-executed
+  batch outcomes, and otherwise emits a :class:`~repro.constraints
+  .dispatch.SolveTask` and reports the lookup as *pending*.
+
+:meth:`DetectionEngine.detect_signed_batch` drives the second mode:
+planning passes (pure, cheap) collect every cache-missing constraint
+instance of a whole pair list into a :class:`~repro.constraints
+.dispatch.SolveBatch`, a :class:`~repro.constraints.dispatch
+.SolverDispatcher` executes them (serially, on threads, or on worker
+processes), and a final pass replays each pair in order, committing
+results into the solve caches in exactly the order the serial engine
+would have produced — so threat lists, stats counters and exported
+caches are identical for every backend and worker count.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.capabilities.channels import CHANNELS
 from repro.constraints.builder import (
@@ -29,7 +51,14 @@ from repro.constraints.builder import (
     environment_of,
     scoped_key,
 )
-from repro.constraints.solver import Result, Solver
+from repro.constraints.dispatch import (
+    SerialDispatcher,
+    SolveBatch,
+    SolveTask,
+    SolverDispatcher,
+    TaskKey,
+)
+from repro.constraints.solver import Result, Solver, VarPool
 from repro.constraints.terms import BoolFormula, CmpAtom, StrTerm, conj, lit
 from repro.detector.analysis import ConditionTouch, command_target
 from repro.detector.signature import (
@@ -50,6 +79,10 @@ from repro.symex.values import Const
 # covers setpoint commands, which carry an explicit target.
 EFFECT_TARGET_FRACTION = 0.75
 
+# Sentinel a batch-planning solve lookup returns when the result is not
+# known yet (the task was queued instead).  Never escapes the engine.
+PENDING = object()
+
 
 def app_of_rule_id(rule_id: str) -> str:
     """The app a rule id belongs to (ids are ``<app_name>/R<n>``)."""
@@ -58,13 +91,22 @@ def app_of_rule_id(rule_id: str) -> str:
 
 @dataclass(slots=True)
 class DetectionStats:
-    """Timing/accounting for the Fig. 9 overhead reproduction."""
+    """Timing/accounting for the Fig. 9 overhead reproduction.
+
+    Batched (plan/execute) runs additionally split the wall clock into
+    ``plan_seconds`` — the pure planning/finalize passes in the
+    coordinating process — and ``dispatch_seconds`` — the wall time a
+    dispatcher took to execute the solve batches, which with process
+    workers is *less* than the summed solver CPU the tasks cost."""
 
     candidate_seconds: dict[ThreatType, float] = field(default_factory=dict)
     solve_seconds: dict[ThreatType, float] = field(default_factory=dict)
     solver_calls: int = 0
     cache_hits: int = 0
     pairs_examined: int = 0
+    # Plan/execute accounting (zero for inline detection).
+    plan_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
 
     def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
         self.candidate_seconds[threat_type] = (
@@ -76,8 +118,236 @@ class DetectionStats:
             self.solve_seconds.get(threat_type, 0.0) + seconds
         )
 
-    def total_solve_seconds(self) -> float:
+    def solver_cpu_seconds(self) -> float:
+        """Summed CPU seconds spent inside the solver, across however
+        many workers executed the solves."""
         return sum(self.solve_seconds.values())
+
+    def total_solve_seconds(self) -> float:
+        """Summed solver CPU seconds, each executed solve counted
+        exactly once — when it actually ran.
+
+        Candidates served from a cache (including a condition overlap
+        reusing a situation solve, Fig. 9) contribute nothing: a batched
+        dispatch merges one timing per executed task, never one per
+        lookup, so cache-hit candidates are not double-counted."""
+        return self.solver_cpu_seconds()
+
+    def solve_wall_seconds(self) -> float:
+        """Wall seconds the solve phase took: the dispatch wall time for
+        batched runs, the (serial) CPU sum for inline runs."""
+        if self.dispatch_seconds:
+            return self.dispatch_seconds
+        return self.solver_cpu_seconds()
+
+
+def _unordered_key(kind: str, rule_a: Rule, rule_b: Rule) -> TaskKey:
+    id_a, id_b = rule_a.rule_id, rule_b.rule_id
+    if id_b < id_a:
+        id_a, id_b = id_b, id_a
+    return (kind, id_a, id_b)
+
+
+class _InlineSolves:
+    """Solve access for serial detection: a cache miss solves on the
+    spot and every counter is attributed immediately (the historical
+    engine behavior, unchanged)."""
+
+    __slots__ = ("engine",)
+    record = True
+
+    def __init__(self, engine: "DetectionEngine") -> None:
+        self.engine = engine
+
+    def count_pair(self) -> None:
+        self.engine.stats.pairs_examined += 1
+
+    def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
+        self.engine.stats.add_candidate(threat_type, seconds)
+
+    def situation(
+        self, rule_a: Rule, rule_b: Rule, threat_type: ThreatType
+    ) -> Result:
+        return self.engine._overlap_situation(rule_a, rule_b, threat_type)
+
+    def conditions(
+        self, rule_a: Rule, rule_b: Rule, threat_type: ThreatType
+    ) -> Result:
+        return self.engine._overlap_conditions(rule_a, rule_b, threat_type)
+
+    def effect(
+        self,
+        rule_a: Rule,
+        rule_b: Rule,
+        touches: list[ConditionTouch],
+        mode_touch: bool,
+    ) -> Result | None:
+        return self.engine._solve_effect(rule_a, rule_b, touches, mode_touch)
+
+
+class _BatchRun:
+    """Shared state of one :meth:`DetectionEngine.detect_signed_batch`:
+    the task batch plus planning verdicts that never become tasks."""
+
+    __slots__ = ("batch", "inexpressible")
+
+    def __init__(self) -> None:
+        self.batch = SolveBatch()
+        # Effect task keys planning proved inexpressible (the serial
+        # path caches ``None`` for these without calling the solver).
+        self.inexpressible: set[TaskKey] = set()
+
+
+class _BatchSolves:
+    """Solve access for plan/execute detection.
+
+    In *planning* passes (``record=False``) a lookup answers from the
+    engine caches or from executed batch outcomes; a miss queues a
+    :class:`SolveTask` (once per key) and returns :data:`PENDING`
+    without touching any stats or cache.  The *finalize* pass
+    (``record=True``) replays the pair with every outcome available and
+    commits results + counters in exactly the serial engine's order."""
+
+    __slots__ = ("engine", "run", "record", "pending")
+
+    def __init__(
+        self, engine: "DetectionEngine", run: _BatchRun, record: bool
+    ) -> None:
+        self.engine = engine
+        self.run = run
+        self.record = record
+        self.pending = False
+
+    # -- stats attribution (finalize pass only) ------------------------
+
+    def count_pair(self) -> None:
+        if self.record:
+            self.engine.stats.pairs_examined += 1
+
+    def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
+        if self.record:
+            self.engine.stats.add_candidate(threat_type, seconds)
+
+    def _defer(self):
+        if self.record:
+            raise RuntimeError(
+                "batch finalize pass hit an unexecuted solve; "
+                "planning rounds did not converge"
+            )
+        self.pending = True
+        return PENDING
+
+    # -- lookups -------------------------------------------------------
+
+    def situation(
+        self, rule_a: Rule, rule_b: Rule, threat_type: ThreatType
+    ) -> Result:
+        engine = self.engine
+        key = frozenset((rule_a.rule_id, rule_b.rule_id))
+        cached = engine._situation_cache.get(key)
+        if cached is not None:
+            if self.record:
+                engine.stats.cache_hits += 1
+            return cached
+        task_key = _unordered_key("situation", rule_a, rule_b)
+        outcome = self.run.batch.outcome(task_key)
+        if outcome is not None:
+            if self.record:
+                engine.stats.solver_calls += 1
+                engine.stats.add_solve(threat_type, outcome.seconds)
+                engine._situation_cache[key] = outcome.result
+            return outcome.result
+        if task_key not in self.run.batch.requested:
+            pool, formula = engine._situation_instance(rule_a, rule_b)
+            self.run.batch.add(SolveTask(task_key, pool, formula))
+        return self._defer()
+
+    def conditions(
+        self, rule_a: Rule, rule_b: Rule, threat_type: ThreatType
+    ) -> Result:
+        engine = self.engine
+        key = frozenset((rule_a.rule_id, rule_b.rule_id))
+        # Fig. 9 reuse, exactly like the serial path: a SAT situation
+        # answer for the pair settles the condition overlap.  On the
+        # finalize pass any batch-solved situation was already committed
+        # to the cache (the situation lookup runs earlier in the pair),
+        # so the cache alone is authoritative there.
+        situation = engine._situation_cache.get(key)
+        situation_key = _unordered_key("situation", rule_a, rule_b)
+        if situation is None and not self.record:
+            outcome = self.run.batch.outcome(situation_key)
+            if outcome is not None:
+                situation = outcome.result
+        if situation is not None and situation.sat:
+            if self.record:
+                engine.stats.cache_hits += 1
+            return situation
+        if (
+            situation is None
+            and not self.record
+            and situation_key in self.run.batch.requested
+            and self.run.batch.outcome(situation_key) is None
+        ):
+            # The situation solve is queued but not executed yet; only
+            # its verdict decides whether a condition solve is needed.
+            return self._defer()
+        cached = engine._condition_cache.get(key)
+        if cached is not None:
+            if self.record:
+                engine.stats.cache_hits += 1
+            return cached
+        task_key = _unordered_key("condition", rule_a, rule_b)
+        outcome = self.run.batch.outcome(task_key)
+        if outcome is not None:
+            if self.record:
+                engine.stats.solver_calls += 1
+                engine.stats.add_solve(threat_type, outcome.seconds)
+                engine._condition_cache[key] = outcome.result
+            return outcome.result
+        if task_key not in self.run.batch.requested:
+            pool, formula = engine._condition_instance(rule_a, rule_b)
+            self.run.batch.add(SolveTask(task_key, pool, formula))
+        return self._defer()
+
+    def effect(
+        self,
+        rule_a: Rule,
+        rule_b: Rule,
+        touches: list[ConditionTouch],
+        mode_touch: bool,
+    ) -> Result | None:
+        engine = self.engine
+        key = (rule_a.rule_id, rule_b.rule_id)
+        if key in engine._effect_cache:
+            if self.record:
+                engine.stats.cache_hits += 1
+            return engine._effect_cache[key]
+        task_key = ("effect", key[0], key[1])
+        outcome = self.run.batch.outcome(task_key)
+        if outcome is not None:
+            if self.record:
+                engine.stats.solver_calls += 1
+                engine.stats.add_solve(
+                    ThreatType.ENABLING_CONDITION, outcome.seconds
+                )
+                engine._effect_cache[key] = outcome.result
+            return outcome.result
+        if task_key in self.run.inexpressible:
+            if self.record:
+                # Persist the planning verdict just like the serial
+                # path caches the inexpressible-effect ``None``.
+                engine._effect_cache[key] = None
+            return None
+        if task_key in self.run.batch.requested:
+            return self._defer()
+        instance = engine._effect_instance(rule_a, rule_b, touches, mode_touch)
+        if instance is None:
+            self.run.inexpressible.add(task_key)
+            if self.record:
+                engine._effect_cache[key] = None
+            return None
+        self.run.batch.add(SolveTask(task_key, *instance))
+        return self._defer()
 
 
 class DetectionEngine:
@@ -234,12 +504,78 @@ class DetectionEngine:
         self, sig_a: RuleSignature, sig_b: RuleSignature
     ) -> list[Threat]:
         """All CAI threats between two signed rules (both directions)."""
-        self.stats.pairs_examined += 1
+        return self._detect_pair(sig_a, sig_b, _InlineSolves(self))
+
+    def _detect_pair(
+        self, sig_a: RuleSignature, sig_b: RuleSignature, ctx
+    ) -> list[Threat]:
+        ctx.count_pair()
         threats: list[Threat] = []
-        threats.extend(self._detect_action_interference(sig_a, sig_b))
-        threats.extend(self._detect_trigger_interference(sig_a, sig_b))
-        threats.extend(self._detect_condition_interference(sig_a, sig_b))
+        threats.extend(self._detect_action_interference(sig_a, sig_b, ctx))
+        threats.extend(self._detect_trigger_interference(sig_a, sig_b, ctx))
+        threats.extend(self._detect_condition_interference(sig_a, sig_b, ctx))
         return threats
+
+    def detect_signed_batch(
+        self,
+        pairs: Sequence[tuple[RuleSignature, RuleSignature]],
+        dispatcher: SolverDispatcher | None = None,
+    ) -> list[list[Threat]]:
+        """Plan/execute detection over a whole pair list (DESIGN.md §9).
+
+        Planning passes run the candidate tests and queue one
+        :class:`SolveTask` per cache-missing constraint instance;
+        ``dispatcher`` executes each round's tasks (a condition solve is
+        only needed once the pair's situation solve came back UNSAT, so
+        up to two rounds arise); a finalize pass then replays every pair
+        in order with all outcomes available.  Threat lists, solve
+        caches, stats counters and exported store bytes are identical to
+        running :meth:`detect_signed` pair-by-pair, for every backend
+        and worker count — only ``plan_seconds`` / ``dispatch_seconds``
+        and the wall clock differ."""
+        if dispatcher is None:
+            dispatcher = SerialDispatcher()
+        run = _BatchRun()
+        pending = list(range(len(pairs)))
+        while pending:
+            plan_started = time.perf_counter()
+            stream = dispatcher.stream()
+            submitted = 0
+            deferred: list[int] = []
+            for i in pending:
+                ctx = _BatchSolves(self, run, record=False)
+                sig_a, sig_b = pairs[i]
+                self._detect_pair(sig_a, sig_b, ctx)
+                if ctx.pending:
+                    deferred.append(i)
+                # Feed freshly planned tasks to the backend right away:
+                # pooled dispatchers start solving the first pairs while
+                # the planner still walks the rest of the batch.
+                tasks = run.batch.take_pending()
+                if tasks:
+                    submitted += len(tasks)
+                    stream.submit(tasks)
+            self.stats.plan_seconds += time.perf_counter() - plan_started
+            if not deferred:
+                break
+            if not submitted:
+                raise RuntimeError(
+                    "batch planning stalled: deferred pairs without tasks"
+                )
+            collect_started = time.perf_counter()
+            run.batch.absorb(stream.collect())
+            self.stats.dispatch_seconds += (
+                time.perf_counter() - collect_started
+            )
+            pending = deferred
+        finalize_started = time.perf_counter()
+        results: list[list[Threat]] = []
+        for sig_a, sig_b in pairs:
+            results.append(
+                self._detect_pair(sig_a, sig_b, _BatchSolves(self, run, True))
+            )
+        self.stats.plan_seconds += time.perf_counter() - finalize_started
+        return results
 
     def detect_rulesets(
         self,
@@ -271,7 +607,7 @@ class DetectionEngine:
     # Action interference (paper §VI-A)
 
     def _detect_action_interference(
-        self, sig_a: RuleSignature, sig_b: RuleSignature
+        self, sig_a: RuleSignature, sig_b: RuleSignature, ctx
     ) -> list[Threat]:
         threats: list[Threat] = []
         rule_a, rule_b = sig_a.rule, sig_b.rule
@@ -283,12 +619,12 @@ class DetectionEngine:
             and identity_a == identity_b
             and signatures_contradict(sig_a, sig_b)
         )
-        self.stats.add_candidate(
+        ctx.add_candidate(
             ThreatType.ACTUATOR_RACE, time.perf_counter() - started
         )
         if is_ar_candidate:
-            result = self._overlap_situation(rule_a, rule_b, ThreatType.ACTUATOR_RACE)
-            if result.sat:
+            result = ctx.situation(rule_a, rule_b, ThreatType.ACTUATOR_RACE)
+            if result is not PENDING and result.sat:
                 threats.append(
                     Threat(
                         type=ThreatType.ACTUATOR_RACE,
@@ -305,14 +641,12 @@ class DetectionEngine:
         conflict_channels = []
         if identity_a is None or identity_a != identity_b:
             conflict_channels = signed_goal_conflicts(sig_a, sig_b)
-        self.stats.add_candidate(
+        ctx.add_candidate(
             ThreatType.GOAL_CONFLICT, time.perf_counter() - started
         )
         if conflict_channels:
-            result = self._overlap_situation(
-                rule_a, rule_b, ThreatType.GOAL_CONFLICT
-            )
-            if result.sat:
+            result = ctx.situation(rule_a, rule_b, ThreatType.GOAL_CONFLICT)
+            if result is not PENDING and result.sat:
                 threats.append(
                     Threat(
                         type=ThreatType.GOAL_CONFLICT,
@@ -331,12 +665,14 @@ class DetectionEngine:
     # Trigger interference (paper §VI-B)
 
     def _detect_trigger_interference(
-        self, sig_a: RuleSignature, sig_b: RuleSignature
+        self, sig_a: RuleSignature, sig_b: RuleSignature, ctx
     ) -> list[Threat]:
         threats: list[Threat] = []
         rule_a, rule_b = sig_a.rule, sig_b.rule
-        ct_ab = self._covert_triggering(sig_a, sig_b)
-        ct_ba = self._covert_triggering(sig_b, sig_a)
+        ct_ab = self._covert_triggering(sig_a, sig_b, ctx)
+        ct_ba = self._covert_triggering(sig_b, sig_a, ctx)
+        if ct_ab is PENDING or ct_ba is PENDING:
+            return []
         contradictory = signatures_contradict(sig_a, sig_b)
         if ct_ab is not None:
             threats.append(ct_ab)
@@ -384,21 +720,24 @@ class DetectionEngine:
         return threats
 
     def _covert_triggering(
-        self, sig_a: RuleSignature, sig_b: RuleSignature
-    ) -> Threat | None:
+        self, sig_a: RuleSignature, sig_b: RuleSignature, ctx
+    ):
+        """A CT threat, ``None``, or :data:`PENDING` while planning."""
         rule_a, rule_b = sig_a.rule, sig_b.rule
         started = time.perf_counter()
         match = signed_action_triggers(sig_a, sig_b)
-        self.stats.add_candidate(
+        ctx.add_candidate(
             ThreatType.COVERT_TRIGGERING, time.perf_counter() - started
         )
         if match is None:
             return None
         # Overlapping-condition detection on the two conditions; this
         # reuses the situation solve when one is already cached (Fig. 9).
-        result = self._overlap_conditions(
+        result = ctx.conditions(
             rule_a, rule_b, ThreatType.COVERT_TRIGGERING
         )
+        if result is PENDING:
+            return PENDING
         if not result.sat:
             return None
         way = (
@@ -418,18 +757,19 @@ class DetectionEngine:
     # Condition interference (paper §VI-C)
 
     def _detect_condition_interference(
-        self, sig_a: RuleSignature, sig_b: RuleSignature
+        self, sig_a: RuleSignature, sig_b: RuleSignature, ctx
     ) -> list[Threat]:
         threats: list[Threat] = []
         for source, target in ((sig_a, sig_b), (sig_b, sig_a)):
-            threat = self._condition_interference(source, target)
-            if threat is not None:
+            threat = self._condition_interference(source, target, ctx)
+            if threat is not None and threat is not PENDING:
                 threats.append(threat)
         return threats
 
     def _condition_interference(
-        self, sig_a: RuleSignature, sig_b: RuleSignature
-    ) -> Threat | None:
+        self, sig_a: RuleSignature, sig_b: RuleSignature, ctx
+    ):
+        """An EC/DC threat, ``None``, or :data:`PENDING` while planning."""
         rule_a, rule_b = sig_a.rule, sig_b.rule
         started = time.perf_counter()
         touches = signed_condition_touches(sig_a, sig_b)
@@ -438,12 +778,14 @@ class DetectionEngine:
             and sig_b.condition_uses_mode
             and sig_a.environment == sig_b.environment
         )
-        self.stats.add_candidate(
+        ctx.add_candidate(
             ThreatType.ENABLING_CONDITION, time.perf_counter() - started
         )
         if not touches and not mode_touch:
             return None
-        result = self._solve_effect(rule_a, rule_b, touches, mode_touch)
+        result = ctx.effect(rule_a, rule_b, touches, mode_touch)
+        if result is PENDING:
+            return PENDING
         if result is None:
             # Effect not expressible (symbolic parameter): report the
             # candidate conservatively as a potential enabling.
@@ -470,17 +812,32 @@ class DetectionEngine:
             witness=tuple(sorted(result.witness.items())),
         )
 
-    def _solve_effect(
+    # ------------------------------------------------------------------
+    # Constraint instances (shared by inline solving and batch planning)
+
+    def _situation_instance(
+        self, rule_a: Rule, rule_b: Rule
+    ) -> tuple[VarPool, BoolFormula]:
+        builder = ConstraintBuilder(self._resolver)
+        formula = conj([builder.situation(rule_a), builder.situation(rule_b)])
+        return builder.pool, formula
+
+    def _condition_instance(
+        self, rule_a: Rule, rule_b: Rule
+    ) -> tuple[VarPool, BoolFormula]:
+        builder = ConstraintBuilder(self._resolver)
+        formula = conj([builder.condition(rule_a), builder.condition(rule_b)])
+        return builder.pool, formula
+
+    def _effect_instance(
         self,
         rule_a: Rule,
         rule_b: Rule,
         touches: list[ConditionTouch],
         mode_touch: bool,
-    ) -> Result | None:
-        key = (rule_a.rule_id, rule_b.rule_id)
-        if key in self._effect_cache:
-            self.stats.cache_hits += 1
-            return self._effect_cache[key]
+    ) -> tuple[VarPool, BoolFormula] | None:
+        """The EC/DC constraint instance, or ``None`` when no effect of
+        ``rule_a`` on ``rule_b``'s condition is expressible."""
         builder = ConstraintBuilder(self._resolver)
         effect_parts: list[BoolFormula] = []
         expressible = False
@@ -504,12 +861,28 @@ class DetectionEngine:
                 )
                 expressible = True
         if not expressible:
-            self._effect_cache[key] = None
             return None
         condition = builder.condition(rule_b)
-        formula = conj(effect_parts + [condition])
+        return builder.pool, conj(effect_parts + [condition])
+
+    def _solve_effect(
+        self,
+        rule_a: Rule,
+        rule_b: Rule,
+        touches: list[ConditionTouch],
+        mode_touch: bool,
+    ) -> Result | None:
+        key = (rule_a.rule_id, rule_b.rule_id)
+        if key in self._effect_cache:
+            self.stats.cache_hits += 1
+            return self._effect_cache[key]
+        instance = self._effect_instance(rule_a, rule_b, touches, mode_touch)
+        if instance is None:
+            self._effect_cache[key] = None
+            return None
+        pool, formula = instance
         started = time.perf_counter()
-        result = Solver(builder.pool).solve(formula)
+        result = Solver(pool).solve(formula)
         self.stats.add_solve(
             ThreatType.ENABLING_CONDITION, time.perf_counter() - started
         )
@@ -577,10 +950,9 @@ class DetectionEngine:
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
-        builder = ConstraintBuilder(self._resolver)
-        formula = conj([builder.situation(rule_a), builder.situation(rule_b)])
+        pool, formula = self._situation_instance(rule_a, rule_b)
         started = time.perf_counter()
-        result = Solver(builder.pool).solve(formula)
+        result = Solver(pool).solve(formula)
         self.stats.add_solve(threat_type, time.perf_counter() - started)
         self.stats.solver_calls += 1
         self._situation_cache[key] = result
@@ -600,10 +972,9 @@ class DetectionEngine:
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
-        builder = ConstraintBuilder(self._resolver)
-        formula = conj([builder.condition(rule_a), builder.condition(rule_b)])
+        pool, formula = self._condition_instance(rule_a, rule_b)
         started = time.perf_counter()
-        result = Solver(builder.pool).solve(formula)
+        result = Solver(pool).solve(formula)
         self.stats.add_solve(threat_type, time.perf_counter() - started)
         self.stats.solver_calls += 1
         self._condition_cache[key] = result

@@ -19,6 +19,15 @@ For every corpus the pipeline reports exactly the same threat set as
 the brute-force :meth:`DetectionEngine.detect_rulesets` baseline (the
 index returns a provable superset of each threat class's candidates,
 and the engine's exact pairwise tests run unchanged on them).
+
+With a :class:`~repro.constraints.dispatch.SolverDispatcher` configured
+(``dispatcher=`` / ``workers=``), detection switches to the plan/execute
+mode of DESIGN.md §9: :meth:`detect` plans every candidate pair of the
+install before dispatching one solve batch, and :meth:`audit_store`
+plans across *all* apps of the audit and dispatches one store-wide
+batch — the fan-out point that lets process workers absorb the solver
+loop.  Threat reports, caches and persisted stores are identical to the
+inline path for every backend and worker count.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.constraints.builder import DeviceResolver
+from repro.constraints.dispatch import SolverDispatcher, make_dispatcher
 from repro.detector.engine import DetectionEngine
 from repro.detector.index import RuleIndex, ShardedRuleIndex
 from repro.detector.signature import RuleSignature
@@ -41,6 +51,7 @@ class DetectionPipeline:
         resolver: DeviceResolver,
         include_intra_app: bool = True,
         index: RuleIndex | ShardedRuleIndex | None = None,
+        dispatcher: SolverDispatcher | int | str | None = None,
     ) -> None:
         self.engine = DetectionEngine(resolver)
         # Any object with the RuleIndex query/maintenance interface
@@ -48,6 +59,10 @@ class DetectionPipeline:
         # (and persisted snapshots) stay per home.
         self.index = RuleIndex() if index is None else index
         self.include_intra_app = include_intra_app
+        # None keeps the inline solve path; anything else (a dispatcher
+        # instance, a worker count, or a "process:4"-style spec) routes
+        # detection through plan/execute batches.
+        self.dispatcher = make_dispatcher(dispatcher)
         self._installed: dict[str, list[RuleSignature]] = {}
         self._staged: dict[str, list[RuleSignature]] = {}
         # Apps that ever passed through the engine: anything else has no
@@ -72,8 +87,35 @@ class DetectionPipeline:
         state a :class:`~repro.detector.store.DetectionStore` snapshots."""
         return {app: list(sigs) for app, sigs in self._installed.items()}
 
+    def close(self) -> None:
+        """Release dispatcher workers, if any were started."""
+        if self.dispatcher is not None:
+            self.dispatcher.close()
+
     # ------------------------------------------------------------------
     # Detection
+
+    def _stage(self, ruleset: RuleSet) -> list[RuleSignature]:
+        sigs = self.engine.signatures.sign_ruleset(ruleset)
+        self._staged[ruleset.app_name] = sigs
+        self._seen.add(ruleset.app_name)
+        return sigs
+
+    def _candidate_pairs(
+        self, sigs: list[RuleSignature], app_name: str
+    ) -> list[tuple[RuleSignature, RuleSignature]]:
+        """The exact pair sequence one install examines, in the order
+        the inline path solves them (index candidates per rule, then
+        the app's own intra-app pairs)."""
+        pairs: list[tuple[RuleSignature, RuleSignature]] = []
+        for sig in sigs:
+            for other in self.index.candidates(sig, exclude_app=app_name):
+                pairs.append((sig, other))
+        if self.include_intra_app:
+            for i, sig_a in enumerate(sigs):
+                for sig_b in sigs[i + 1:]:
+                    pairs.append((sig_a, sig_b))
+        return pairs
 
     def detect(self, ruleset: RuleSet) -> ThreatReport:
         """Detect threats between a (new or updated) app and every
@@ -84,22 +126,21 @@ class DetectionPipeline:
         them.  The app's own previously installed rules are excluded, so
         re-reviewing an installed app matches the brute-force run over
         "all installed apps except itself".
+
+        With a dispatcher configured the install's candidate pairs are
+        planned first and solved as one batch (DESIGN.md §9).
         """
-        sigs = self.engine.signatures.sign_ruleset(ruleset)
-        self._staged[ruleset.app_name] = sigs
-        self._seen.add(ruleset.app_name)
+        sigs = self._stage(ruleset)
         report = ThreatReport(app_name=ruleset.app_name)
-        for sig in sigs:
-            for other in self.index.candidates(
-                sig, exclude_app=ruleset.app_name
+        pairs = self._candidate_pairs(sigs, ruleset.app_name)
+        if self.dispatcher is None:
+            for sig_a, sig_b in pairs:
+                report.threats.extend(self.engine.detect_signed(sig_a, sig_b))
+        else:
+            for threats in self.engine.detect_signed_batch(
+                pairs, self.dispatcher
             ):
-                report.threats.extend(self.engine.detect_signed(sig, other))
-        if self.include_intra_app:
-            for i, sig_a in enumerate(sigs):
-                for sig_b in sigs[i + 1:]:
-                    report.threats.extend(
-                        self.engine.detect_signed(sig_a, sig_b)
-                    )
+                report.threats.extend(threats)
         return report
 
     # ------------------------------------------------------------------
@@ -181,5 +222,40 @@ class DetectionPipeline:
 
     def audit_store(self, rulesets: Iterable[RuleSet]) -> list[ThreatReport]:
         """Audit a whole repository by incremental installation; the
-        union of the reports covers every rule pair exactly once."""
-        return [self.add_ruleset(ruleset) for ruleset in rulesets]
+        union of the reports covers every rule pair exactly once.
+
+        With a dispatcher configured, staging/indexing still proceeds
+        app by app (candidate selection needs the growing index) but
+        the solver work of the *entire* audit is planned first and
+        dispatched as one store-wide batch — the batch is the fan-out
+        point for thread/process workers, and the resulting reports,
+        caches and store bytes match the inline audit exactly."""
+        if self.dispatcher is None:
+            return [self.add_ruleset(ruleset) for ruleset in rulesets]
+        all_pairs: list[tuple[RuleSignature, RuleSignature]] = []
+        spans: list[tuple[str, int, int]] = []
+        for ruleset in rulesets:
+            sigs = self._stage(ruleset)
+            start = len(all_pairs)
+            all_pairs.extend(self._candidate_pairs(sigs, ruleset.app_name))
+            spans.append((ruleset.app_name, start, len(all_pairs)))
+            self.commit(ruleset.app_name)
+        try:
+            threat_lists = self.engine.detect_signed_batch(
+                all_pairs, self.dispatcher
+            )
+        except Exception:
+            # A failed dispatch (e.g. a broken worker pool) must not
+            # leave this audit's apps installed-but-unaudited: the
+            # serial path only ever commits fully audited apps, so
+            # un-index everything staged here before propagating.
+            for app_name, _start, _end in reversed(spans):
+                self.remove_ruleset(app_name)
+            raise
+        reports: list[ThreatReport] = []
+        for app_name, start, end in spans:
+            report = ThreatReport(app_name=app_name)
+            for threats in threat_lists[start:end]:
+                report.threats.extend(threats)
+            reports.append(report)
+        return reports

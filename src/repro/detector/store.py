@@ -25,7 +25,10 @@ A store is a directory::
 ``meta.json`` holds ``{"format", "schema", "apps": {app: {"environment",
 "fingerprint"}}, "shards": {environment: filename}, "frontend": {...}}``
 — the app directory is ordered by installation, and ``frontend`` is an
-opaque blob the companion app uses for its configuration recorder.
+opaque blob the companion app uses for its configuration recorder,
+Allowed list and review/decision history (past install screens and the
+user's keep/delete choices re-render after a warm restart; see
+:meth:`repro.frontend.app.HomeGuardApp.save_store`).
 
 Each shard file carries one environment's slice of the detection state:
 the serialized rulesets (loss-free, via :mod:`repro.rules

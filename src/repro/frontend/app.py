@@ -32,26 +32,74 @@ class InstallDecision(enum.Enum):
 
 @dataclass(slots=True)
 class InstallReview:
-    """Everything shown to the user for one installation."""
+    """Everything shown to the user for one installation.
+
+    ``decision`` records the user's one-time choice once
+    :meth:`HomeGuardApp.decide` ran — it is persisted with the review,
+    so a warm-started process can still show why an app is installed
+    (and which accepted threats fed the Allowed list)."""
 
     app_name: str
     rules: list[str]
     threats: list[Threat] = field(default_factory=list)
     chains: list[Threat] = field(default_factory=list)
+    decision: str | None = None
 
     @property
     def clean(self) -> bool:
         return not self.threats and not self.chains
 
 
+def _threat_record(threat: Threat) -> list:
+    """A threat as a JSON-able record: type, rule ids, detail, witness
+    and (for chained threats) the chain's rule ids."""
+    return [
+        threat.type.value,
+        threat.rule_a.rule_id,
+        threat.rule_b.rule_id,
+        threat.detail,
+        [[key, value] for key, value in threat.witness],
+        [rule.rule_id for rule in threat.chain],
+    ]
+
+
+def _threat_from_record(record, rules_by_id) -> Threat | None:
+    """Rebuild a persisted threat; ``None`` when the record is malformed
+    or mentions rules that did not restore (degraded, never a crash)."""
+    try:
+        type_value, id_a, id_b, detail, witness, chain_ids = record
+        threat_type = ThreatType(type_value)
+        rule_a, rule_b = rules_by_id[id_a], rules_by_id[id_b]
+        chain = tuple(rules_by_id[rule_id] for rule_id in chain_ids)
+        return Threat(
+            type=threat_type,
+            rule_a=rule_a,
+            rule_b=rule_b,
+            detail=str(detail),
+            witness=tuple((str(key), value) for key, value in witness),
+            chain=chain,
+        )
+    except (TypeError, ValueError, KeyError):
+        return None
+
+
 class HomeGuardApp:
-    """The mobile-side HomeGuard app instance."""
+    """The mobile-side HomeGuard app instance.
+
+    ``workers`` selects the solver dispatch mode for detection runs
+    (DESIGN.md §9): ``None`` keeps the inline serial path; an int > 1
+    fans each review's solve batch out to that many worker processes;
+    ``"thread:N"`` / ``"process:N"`` / a
+    :class:`~repro.constraints.dispatch.SolverDispatcher` instance pick
+    a backend explicitly.  Reported threats are identical either way.
+    """
 
     def __init__(
         self,
         backend: RuleExtractor,
         transport: Transport | None = None,
         store_path: str | Path | None = None,
+        workers: int | str | None = None,
     ) -> None:
         self._backend = backend
         self.config_recorder = ConfigRecorder()
@@ -59,7 +107,9 @@ class HomeGuardApp:
         # Incremental detection state: the pipeline's index holds the
         # signed rules of every kept app, so each review solves only
         # index-selected candidate pairs (DESIGN.md).
-        self.pipeline = DetectionPipeline(self.config_recorder)
+        self.pipeline = DetectionPipeline(
+            self.config_recorder, dispatcher=workers
+        )
         # Optional persistence: decisions are snapshotted to the store
         # on every commit, and :meth:`load_store` warm-starts a fresh
         # process from the last snapshot (DESIGN.md §8).
@@ -155,6 +205,7 @@ class HomeGuardApp:
         self, review: InstallReview, decision: InstallDecision
     ) -> None:
         """Apply the user's one-time decision."""
+        review.decision = decision.value
         if decision is InstallDecision.KEEP:
             ruleset = self._resolve_ruleset(review.app_name)
             self.rule_recorder.record(ruleset)
@@ -183,6 +234,13 @@ class HomeGuardApp:
     # ------------------------------------------------------------------
     # Persistence (save-on-commit / load-on-startup, DESIGN.md §8)
 
+    def _threat_restorable(self, threat: Threat) -> bool:
+        """Whether a persisted record of this threat could be rebuilt on
+        load: every rule it mentions must belong to a recorded app."""
+        apps = {threat.rule_a.app_name, threat.rule_b.app_name}
+        apps.update(rule.app_name for rule in threat.chain)
+        return all(app in self.rule_recorder.rulesets for app in apps)
+
     def save_store(self) -> None:
         """Snapshot detection state + recorders to the configured store
         (a no-op without a ``store_path``).  Called on every commit."""
@@ -202,6 +260,33 @@ class HomeGuardApp:
                 [threat.type.value, threat.rule_a.rule_id,
                  threat.rule_b.rule_id]
                 for threat in self.allowed.pairs
+            ],
+            # Review/decision history: every install screen shown so
+            # far, with the user's one-time decision — the provenance
+            # of the Allowed list and of each kept app.  Survives warm
+            # restarts (the past is re-rendered, not re-detected).
+            # Threat records referencing apps whose rules are no longer
+            # recorded (deleted apps) could never be reconstructed on
+            # load, so they are pruned here instead of being carried as
+            # dead weight in every snapshot; the review entry itself —
+            # app, rendered rules, decision — always persists.
+            "reviews": [
+                {
+                    "app": review.app_name,
+                    "rules": list(review.rules),
+                    "decision": review.decision,
+                    "threats": [
+                        _threat_record(t)
+                        for t in review.threats
+                        if self._threat_restorable(t)
+                    ],
+                    "chains": [
+                        _threat_record(t)
+                        for t in review.chains
+                        if self._threat_restorable(t)
+                    ],
+                }
+                for review in self.reviews
             ],
             "extra": self.frontend_state,
         }
@@ -271,6 +356,32 @@ class HomeGuardApp:
                 self.allowed.add(
                     Threat(type=threat_type, rule_a=rule_a, rule_b=rule_b)
                 )
+        # Replay the persisted review/decision history so past install
+        # screens re-render after a warm restart.  Threats mentioning
+        # rules that did not restore are dropped from their review;
+        # malformed review entries are skipped entirely.
+        for entry in frontend.get("reviews", []):
+            try:
+                review = InstallReview(
+                    app_name=str(entry["app"]),
+                    rules=[str(rule) for rule in entry.get("rules", [])],
+                    decision=(
+                        str(entry["decision"])
+                        if entry.get("decision") is not None
+                        else None
+                    ),
+                )
+            except (TypeError, KeyError, ValueError):
+                continue
+            for kind, into in (
+                ("threats", review.threats),
+                ("chains", review.chains),
+            ):
+                for record in entry.get(kind, []):
+                    threat = _threat_from_record(record, rules_by_id)
+                    if threat is not None:
+                        into.append(threat)
+            self.reviews.append(review)
         # Binding changes surface as fresh reviews, exactly like a
         # re-sent configuration payload would.
         for report in result.reports:

@@ -53,6 +53,7 @@ class HomeGuard:
         transport: str = "sms",
         seed: int = 11,
         store_path: str | None = None,
+        workers: int | str | None = None,
     ) -> None:
         self.backend = RuleExtractor()
         self.instrumenter = Instrumenter(transport=transport)
@@ -63,8 +64,12 @@ class HomeGuard:
         # With a store path the companion app snapshots detection state
         # on every commit; call :meth:`restore` after constructing a
         # fresh deployment to warm-start from the last snapshot.
+        # ``workers`` fans each review's solver batch out to thread or
+        # process workers (DESIGN.md §9) — e.g. ``workers=4`` — with
+        # threat reports identical to the serial default.
         self.app = HomeGuardApp(
-            self.backend, self.transport, store_path=store_path
+            self.backend, self.transport, store_path=store_path,
+            workers=workers,
         )
         self._home_devices: dict[str, InstalledDevice] = {}
 
@@ -186,6 +191,10 @@ class HomeGuard:
     def save(self) -> None:
         """Force a store snapshot now (commits already save)."""
         self.app.save_store()
+
+    def close(self) -> None:
+        """Release detection workers, if ``workers=`` started any."""
+        self.app.pipeline.close()
 
     # ------------------------------------------------------------------
     # Backward compatibility (paper §VIII-D.3)

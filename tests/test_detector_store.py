@@ -501,6 +501,149 @@ def test_save_is_generational_and_cleans_orphans(tmp_path):
     assert warm.pipeline.stats.solver_calls == 0
 
 
+def _review_facts(review):
+    return (
+        review.app_name,
+        review.decision,
+        tuple(review.rules),
+        tuple(
+            (t.type.value, t.rule_a.rule_id, t.rule_b.rule_id, t.detail,
+             t.witness)
+            for t in review.threats
+        ),
+    )
+
+
+def test_review_decision_history_survives_warm_restart(tmp_path):
+    """Past install screens — including the user's keep/delete choices
+    and the threat evidence shown — must re-render after a restart."""
+    from repro import HomeGuard, InstallDecision
+    from repro.corpus import app_by_name
+
+    store_path = tmp_path / "reviews-store"
+    hg = HomeGuard(transport="http", store_path=str(store_path))
+    hg.register_device("Living-room TV", "tv")
+    hg.register_device("Hall sensor", "temperatureSensor")
+    hg.register_device("Back window", "windowOpener")
+    hg.register_device("Kitchen speaker", "speaker")
+    hg.install(
+        app_by_name("ComfortTV"),
+        devices={"tv1": "Living-room TV", "tSensor": "Hall sensor",
+                 "window1": "Back window"},
+        values={"threshold1": 30},
+    )
+    kept = hg.install(
+        app_by_name("ColdDefender"),
+        devices={"tv2": "Living-room TV", "window2": "Back window"},
+        values={"weather": "rainy"},
+    )
+    assert kept.threats and kept.decision == "keep"
+    deleted = hg.install(
+        app_by_name("CatchLiveShow"),
+        devices={"voice": "Kitchen speaker", "tv3": "Living-room TV"},
+        values={"showDay": "Thursday"},
+        decision=InstallDecision.DELETE,
+    )
+    assert deleted.decision == "delete"
+
+    hg2 = HomeGuard(transport="http", store_path=str(store_path))
+    hg2.restore()
+    restored = hg2.app.reviews
+    assert len(restored) == len(hg.app.reviews)
+    # Reviews of still-installed apps restore loss-free: decisions,
+    # rendered rules, threat types/pairs/details/witnesses.
+    assert _review_facts(restored[0]) == _review_facts(hg.app.reviews[0])
+    assert _review_facts(restored[1]) == _review_facts(hg.app.reviews[1])
+    # The deleted app's rules were forgotten, so its threats cannot be
+    # reconstructed — but the decision record itself survives.
+    assert restored[2].app_name == "CatchLiveShow"
+    assert restored[2].decision == "delete"
+    # Allowed-list provenance: the accepted CT pairs in the restored
+    # history are exactly the restored Allowed list.
+    accepted = [
+        (t.rule_a.rule_id, t.rule_b.rule_id)
+        for review in restored
+        if review.decision == "keep"
+        for t in review.threats
+        if t.type.value == "CT"
+    ]
+    assert accepted == [
+        (t.rule_a.rule_id, t.rule_b.rule_id)
+        for t in hg2.app.allowed.pairs
+    ]
+
+
+def test_chained_threat_reviews_restore_with_chains(tmp_path):
+    from repro import HomeGuard
+    from repro.corpus import app_by_name
+
+    store_path = tmp_path / "chain-store"
+    hg = HomeGuard(transport="http", store_path=str(store_path))
+    hg.register_device("Wall switch", "switch")
+    hg.register_device("Front lock", "doorLock")
+    hg.register_device("Hall motion", "motionSensor")
+    hg.install(app_by_name("SwitchChangesMode"),
+               devices={"master": "Wall switch"},
+               values={"onMode": "Home", "offMode": "Away"})
+    hg.install(app_by_name("MakeItSo"),
+               devices={"switches": "Wall switch", "locks": "Front lock"},
+               values={"targetMode": "Home", "heatSetpoint": 70})
+    review = hg.install(app_by_name("CurlingIron"),
+                        devices={"motion1": "Hall motion",
+                                 "outlets": "Wall switch"},
+                        values={"minutesLater": 30})
+    assert review.chains
+
+    hg2 = HomeGuard(transport="http", store_path=str(store_path))
+    hg2.restore()
+    restored = hg2.app.reviews[len(hg.app.reviews) - 1]
+    assert restored.app_name == "CurlingIron"
+    assert [
+        tuple(rule.rule_id for rule in chain.chain)
+        for chain in restored.chains
+    ] == [
+        tuple(rule.rule_id for rule in chain.chain)
+        for chain in review.chains
+    ]
+
+
+def test_malformed_review_entries_degrade_not_crash(tmp_path):
+    from repro import HomeGuard
+    from repro.corpus import app_by_name
+
+    store_path = tmp_path / "mangled-reviews"
+    hg = HomeGuard(transport="http", store_path=str(store_path))
+    hg.register_device("Living-room TV", "tv")
+    hg.register_device("Hall sensor", "temperatureSensor")
+    hg.register_device("Back window", "windowOpener")
+    hg.install(
+        app_by_name("ComfortTV"),
+        devices={"tv1": "Living-room TV", "tSensor": "Hall sensor",
+                 "window1": "Back window"},
+        values={"threshold1": 30},
+    )
+    meta_path = store_path / "meta.json"
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    meta["frontend"]["reviews"] = [
+        "not-a-dict",
+        {"rules": ["missing app key"]},
+        {"app": "ComfortTV", "rules": [], "decision": "keep",
+         "threats": [["XX", "bad/R1", "bad/R2", "d", [], []], "junk"],
+         "chains": []},
+        meta["frontend"]["reviews"][0],
+    ]
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+
+    hg2 = HomeGuard(transport="http", store_path=str(store_path))
+    hg2.restore()
+    # The two malformed entries are skipped, the entry with broken
+    # threat records keeps its review shell, the intact one restores.
+    assert [r.app_name for r in hg2.app.reviews] == ["ComfortTV",
+                                                     "ComfortTV"]
+    assert hg2.app.reviews[0].threats == []
+    assert hg2.installed_apps() == ["ComfortTV"]
+
+
 def test_restore_into_missing_store_audits_cold(tmp_path):
     """restore_into must degrade like warm_start: with no usable
     snapshot the passed rulesets are still audited (all stale), so a

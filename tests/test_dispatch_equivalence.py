@@ -1,0 +1,276 @@
+"""Dispatcher equivalence: plan/execute detection must be a pure
+performance feature (DESIGN.md §9).
+
+Every backend — inline (no dispatcher), SerialDispatcher,
+ThreadPoolDispatcher, ProcessPoolDispatcher, at any worker count —
+must produce:
+
+* identical :class:`ThreatReport` sequences (order, detail, witness),
+* identical exported solve caches (content *and* insertion order),
+* identical persisted :class:`DetectionStore` bytes,
+* identical stats counters (solver calls / cache hits / pairs), with
+  each executed solve's CPU time attributed exactly once (the
+  ``total_solve_seconds`` double-count regression).
+
+Run under both the default hash seed and ``PYTHONHASHSEED=0`` (see
+``make test-hashseed``) to catch ordering that leaks from set/dict
+iteration into the supposedly deterministic merge.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.constraints import TypeBasedResolver
+from repro.constraints.dispatch import (
+    DispatchStream,
+    ProcessPoolDispatcher,
+    SerialDispatcher,
+    SolverDispatcher,
+    ThreadPoolDispatcher,
+    make_dispatcher,
+)
+from repro.corpus import demo_apps, device_controlling_apps
+from repro.detector import DetectionPipeline, DetectionStore
+from repro.rules.extractor import RuleExtractor
+
+
+def _extract_corpus(apps):
+    extractor = RuleExtractor()
+    rulesets, hints, values = [], {}, {}
+    for app in apps:
+        rulesets.append(extractor.extract(app.source, app.name))
+        hints[app.name] = app.type_hints
+        values[app.name] = app.values
+    return rulesets, hints, values
+
+
+def _demo_corpus():
+    return _extract_corpus(list(demo_apps()))
+
+
+def _generated_corpus():
+    return _extract_corpus(list(device_controlling_apps()))
+
+
+def _full_threats(reports):
+    """Loss-free threat fingerprint: order, types, rules, explanation
+    text and solver witnesses all participate in the comparison."""
+    return [
+        (
+            report.app_name,
+            threat.type.value,
+            threat.rule_a.rule_id,
+            threat.rule_b.rule_id,
+            threat.detail,
+            threat.witness,
+        )
+        for report in reports
+        for threat in report.threats
+    ]
+
+
+def _store_bytes(pipeline, rulesets, tmp_path: Path, label: str) -> dict:
+    store_dir = tmp_path / label
+    DetectionStore(store_dir).save(
+        pipeline, rulesets={r.app_name: r for r in rulesets}
+    )
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(store_dir.iterdir())
+    }
+
+
+def _audit(corpus, dispatcher, tmp_path, label):
+    rulesets, hints, values = corpus
+    pipeline = DetectionPipeline(
+        TypeBasedResolver(type_hints=hints, values=values),
+        dispatcher=dispatcher,
+    )
+    try:
+        reports = pipeline.audit_store(rulesets)
+        return {
+            "threats": _full_threats(reports),
+            "caches": json.dumps(
+                pipeline.engine.export_caches(), default=str
+            ),
+            "counters": (
+                pipeline.stats.solver_calls,
+                pipeline.stats.cache_hits,
+                pipeline.stats.pairs_examined,
+            ),
+            "store": _store_bytes(pipeline, rulesets, tmp_path, label),
+        }
+    finally:
+        pipeline.close()
+
+
+BACKENDS = [
+    ("serial", lambda: SerialDispatcher()),
+    ("thread2", lambda: ThreadPoolDispatcher(2)),
+    ("process2", lambda: ProcessPoolDispatcher(2)),
+    ("process4", lambda: ProcessPoolDispatcher(4)),
+]
+
+
+@pytest.mark.parametrize("corpus_name", ["demo", "generated"])
+def test_backends_equivalent_to_inline(corpus_name, tmp_path):
+    corpus = (
+        _demo_corpus() if corpus_name == "demo" else _generated_corpus()
+    )
+    reference = _audit(corpus, None, tmp_path, "inline")
+    assert reference["threats"], "corpus produced no threats to compare"
+    for name, factory in BACKENDS:
+        outcome = _audit(corpus, factory(), tmp_path, name)
+        assert outcome["threats"] == reference["threats"], name
+        assert outcome["caches"] == reference["caches"], name
+        assert outcome["counters"] == reference["counters"], name
+        assert outcome["store"] == reference["store"], name
+
+
+def test_worker_count_never_changes_results(tmp_path):
+    corpus = _demo_corpus()
+    with_two = _audit(corpus, ProcessPoolDispatcher(2), tmp_path, "two")
+    with_three = _audit(corpus, ProcessPoolDispatcher(3), tmp_path, "three")
+    assert with_two == with_three
+
+
+def test_per_install_batches_match_inline():
+    # The companion-app flow dispatches one batch per review (detect +
+    # commit), not one per audit; that path must match inline too.
+    rulesets, hints, values = _demo_corpus()
+
+    def run(dispatcher):
+        pipeline = DetectionPipeline(
+            TypeBasedResolver(type_hints=hints, values=values),
+            dispatcher=dispatcher,
+        )
+        try:
+            reports = []
+            for ruleset in rulesets:
+                reports.append(pipeline.detect(ruleset))
+                pipeline.commit(ruleset.app_name)
+            return _full_threats(reports), (
+                pipeline.stats.solver_calls,
+                pipeline.stats.cache_hits,
+                pipeline.stats.pairs_examined,
+            )
+        finally:
+            pipeline.close()
+
+    assert run(ThreadPoolDispatcher(2)) == run(None)
+
+
+class _RecordingDispatcher(SerialDispatcher):
+    """Serial backend that remembers every executed task outcome."""
+
+    def __init__(self):
+        self.outcomes = {}
+
+    def stream(self):
+        outer = self
+
+        class _Recording(DispatchStream):
+            def collect(self):
+                outcomes = super().collect()
+                outer.outcomes.update(outcomes)
+                return outcomes
+
+        return _Recording()
+
+
+def test_total_solve_seconds_counts_each_task_once():
+    # A situation solve is looked up by AR, GC *and* CT for the same
+    # pair; naive batch merging would attribute its CPU time at every
+    # lookup.  The attributed total must equal the executed tasks'
+    # summed CPU exactly — one attribution per task, cache hits free.
+    rulesets, hints, values = _demo_corpus()
+    dispatcher = _RecordingDispatcher()
+    pipeline = DetectionPipeline(
+        TypeBasedResolver(type_hints=hints, values=values),
+        dispatcher=dispatcher,
+    )
+    pipeline.audit_store(rulesets)
+    stats = pipeline.stats
+    executed = sum(o.seconds for o in dispatcher.outcomes.values())
+    assert stats.solver_calls == len(dispatcher.outcomes)
+    assert stats.cache_hits > 0
+    assert abs(stats.total_solve_seconds() - executed) < 1e-9
+    assert stats.total_solve_seconds() == stats.solver_cpu_seconds()
+    # Batched accounting splits planning from execution.
+    assert stats.plan_seconds > 0.0
+    assert stats.dispatch_seconds > 0.0
+    assert stats.solve_wall_seconds() == stats.dispatch_seconds
+
+
+def test_inline_stats_have_no_batch_phases():
+    rulesets, hints, values = _demo_corpus()
+    pipeline = DetectionPipeline(
+        TypeBasedResolver(type_hints=hints, values=values)
+    )
+    pipeline.audit_store(rulesets)
+    stats = pipeline.stats
+    assert stats.plan_seconds == 0.0
+    assert stats.dispatch_seconds == 0.0
+    assert stats.solve_wall_seconds() == stats.solver_cpu_seconds()
+
+
+def test_make_dispatcher_specs():
+    assert make_dispatcher(None) is None
+    assert type(make_dispatcher(1)) is SerialDispatcher
+    assert type(make_dispatcher("serial")) is SerialDispatcher
+    process = make_dispatcher(6)
+    assert type(process) is ProcessPoolDispatcher and process.workers == 6
+    thread = make_dispatcher("thread:3")
+    assert type(thread) is ThreadPoolDispatcher and thread.workers == 3
+    assert make_dispatcher("process").workers == 4
+    custom = SerialDispatcher()
+    assert make_dispatcher(custom) is custom
+    for bad in ("quantum:9", 0, -4, "process:four", "thread:0"):
+        with pytest.raises(ValueError):
+            make_dispatcher(bad)
+    with pytest.raises(ValueError):
+        ProcessPoolDispatcher(0)
+
+
+class _ExplodingDispatcher(SerialDispatcher):
+    """Fails at collect time, like a broken worker pool would."""
+
+    def stream(self):
+        class _Broken(DispatchStream):
+            def collect(self):
+                raise RuntimeError("worker pool died")
+
+        return _Broken()
+
+
+def test_failed_batch_audit_rolls_back_installs():
+    # The serial path only ever commits fully audited apps; a dispatch
+    # failure mid-batch must not leave this audit's apps installed but
+    # unaudited.
+    rulesets, hints, values = _demo_corpus()
+    resolver = TypeBasedResolver(type_hints=hints, values=values)
+    pipeline = DetectionPipeline(resolver, dispatcher=_ExplodingDispatcher())
+    with pytest.raises(RuntimeError, match="worker pool died"):
+        pipeline.audit_store(rulesets)
+    assert pipeline.installed_apps() == []
+    assert json.dumps(pipeline.engine.export_caches()) == json.dumps(
+        DetectionPipeline(resolver).engine.export_caches()
+    )
+    # The pipeline stays usable: a healthy dispatcher audits the same
+    # store from the rolled-back state, matching the inline run.
+    pipeline.dispatcher = SerialDispatcher()
+    retried = _full_threats(pipeline.audit_store(rulesets))
+    reference = DetectionPipeline(resolver)
+    assert retried == _full_threats(reference.audit_store(rulesets))
+
+
+def test_dispatcher_context_manager_closes_pool():
+    with ThreadPoolDispatcher(2) as dispatcher:
+        assert isinstance(dispatcher, SolverDispatcher)
+        stream = dispatcher.stream()
+        stream.submit([])
+        assert stream.collect() == {}
+        assert dispatcher._executor is not None
+    assert dispatcher._executor is None
