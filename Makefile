@@ -20,9 +20,14 @@ bench:
 
 # Quick benchmark smoke for CI: small store sizes plus a tiny worker
 # sweep (<= 200 apps, serial/2/4 workers) so plan/execute-path
-# regressions fail fast without the full 5k-app script run.
+# regressions fail fast without the full 5k-app script run.  The
+# regression gate fails the run when the cold 200-app audit is >25%
+# slower than the committed BENCH_store_scale.json baseline, and the
+# run's own numbers land in BENCH_store_scale.ci.json (uploaded as a
+# workflow artifact by CI).
 bench-smoke:
-	BENCH_STORE_SIZES=30,120 BENCH_WORKER_COUNTS=1,2,4 \
+	BENCH_STORE_SIZES=30,200 BENCH_WORKER_COUNTS=1,2,4 \
+	BENCH_REGRESSION_GATE=1 BENCH_EMIT_PATH=BENCH_store_scale.ci.json \
 		$(PYTHON) -m pytest -q benchmarks/bench_*.py
 
 # Docs smoke: run the example scripts the README points at, end to

@@ -20,9 +20,13 @@ candidates are found and whether solves are replayed from disk:
   re-audits the unchanged store in a fresh pipeline — every solve must
   come from the persisted caches: **zero** solver calls (DESIGN.md §8);
 * the *worker sweep* re-runs the cold audit in plan/execute mode
-  (DESIGN.md §9) with a `SerialDispatcher` and with 2/4/8 process
-  workers; every arm must report byte-identical threats **and produce
-  byte-identical store files**, differing only in wall clock.
+  (DESIGN.md §9/§10) with a `SerialDispatcher` and with 2/4/8 process
+  workers — pooled arms shard the *planning* passes onto the workers
+  too; every arm must report byte-identical threats **and produce
+  byte-identical store files**, differing only in wall clock.  Pooled
+  arms are recorded as `"skipped"` on hosts with fewer than 2 CPUs:
+  there is no parallel hardware to measure, and recording 0.5x
+  "speedups" from pure pool overhead would poison the trajectory.
 
 Shape to reproduce: the indexed pipeline beats the seed's brute force
 by >= 5x wall-clock at 200 apps (both total and filtering-only),
@@ -83,15 +87,25 @@ WORKER_COUNTS = [
     for count in os.environ.get("BENCH_WORKER_COUNTS", "1,2").split(",")
     if count.strip()
 ]
-# The >= 2x speedup gate needs parallel hardware under the process
-# workers; on 1-2 core hosts the sweep still verifies identity.
+# The >= 2x speedup gates need parallel hardware under the process
+# workers; pooled arms are skipped entirely below 2 CPUs.
 _SPEEDUP_MIN_CPUS = 4
 _SPEEDUP_AT_SIZE = 2000
 _SPEEDUP_WORKERS = 4
 _SPEEDUP_FACTOR = 2.0
+# Parallel planning (DESIGN.md §10): with 4 workers the coordinator's
+# planning wall time must drop >= 2x vs the single-planner serial arm.
+_PLAN_SPEEDUP_FACTOR = 2.0
 _RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_store_scale.json"
+# Regression gate (opt-in via BENCH_REGRESSION_GATE=1, set by `make
+# bench-smoke`): the cold indexed audit at this size may not be more
+# than 25% slower than the committed BENCH_store_scale.json baseline.
+_GATE_SIZE = 200
+_GATE_SLOWDOWN = 1.25
 # Set by the __main__ entry point: only dedicated script runs write the
-# repo-root trajectory artifact.
+# repo-root trajectory artifact.  BENCH_EMIT_PATH additionally writes
+# every run's results to the named file (CI uploads it as an artifact)
+# without touching the committed baseline.
 _EMIT_TRAJECTORY = False
 
 
@@ -261,14 +275,23 @@ def _run_worker_arm(rulesets, resolver, workers: int):
 def _worker_sweep(size, rulesets, resolver, results):
     """The plan/execute arm: every backend must be byte-identical to
     the serial dispatcher; process workers should only change the wall
-    clock (and do, given CPUs to run on)."""
+    clock (and do, given CPUs to run on).  Pooled arms are skipped —
+    and recorded as such — on single-CPU hosts."""
     counts = sorted(set(WORKER_COUNTS))
     if 1 not in counts:
         counts = [1] + counts
+    cpus = os.cpu_count() or 1
     sweep = {}
     reference = None
     serial_seconds = None
     for workers in counts:
+        if workers > 1 and cpus < 2:
+            sweep[workers] = "skipped"
+            print(
+                f"      workers={workers}: skipped "
+                f"(host has {cpus} CPU, nothing parallel to measure)"
+            )
+            continue
         elapsed, threats, store_bytes, stats = _run_worker_arm(
             rulesets, resolver, workers
         )
@@ -291,28 +314,42 @@ def _worker_sweep(size, rulesets, resolver, results):
             ),
             "apps_per_second": size / elapsed if elapsed else float("inf"),
             "plan_seconds": stats.plan_seconds,
+            "plan_cpu_seconds": stats.plan_cpu_seconds,
             "dispatch_seconds": stats.dispatch_seconds,
             "solver_cpu_seconds": stats.solver_cpu_seconds(),
+            "prescreen_pruned_pairs": stats.prescreen_pruned_pairs,
+            "planned_pairs": stats.planned_pairs,
         }
         print(
             f"      workers={workers}: {elapsed * 1000:>8.1f} ms "
             f"({sweep[workers]['speedup_vs_serial']:.2f}x serial, "
             f"plan {stats.plan_seconds * 1000:.0f} ms, "
-            f"blocked {stats.dispatch_seconds * 1000:.0f} ms)"
+            f"blocked {stats.dispatch_seconds * 1000:.0f} ms, "
+            f"pruned {stats.prescreen_pruned_pairs})"
         )
     results[size]["workers"] = {
         str(workers): metrics for workers, metrics in sweep.items()
     }
     if (
         size >= _SPEEDUP_AT_SIZE
-        and _SPEEDUP_WORKERS in sweep
-        and (os.cpu_count() or 1) >= _SPEEDUP_MIN_CPUS
+        and isinstance(sweep.get(_SPEEDUP_WORKERS), dict)
+        and cpus >= _SPEEDUP_MIN_CPUS
     ):
         speedup = sweep[_SPEEDUP_WORKERS]["speedup_vs_serial"]
         assert speedup >= _SPEEDUP_FACTOR, (
             f"{_SPEEDUP_WORKERS} process workers only {speedup:.2f}x over "
             f"the serial dispatcher at {size} apps "
             f"(needed {_SPEEDUP_FACTOR}x)"
+        )
+        # Parallel planning: the coordinator's planning wall time must
+        # shrink too, not just the solve phase (DESIGN.md §10).
+        serial_plan = sweep[1]["plan_seconds"]
+        pooled_plan = sweep[_SPEEDUP_WORKERS]["plan_seconds"]
+        assert pooled_plan * _PLAN_SPEEDUP_FACTOR <= serial_plan, (
+            f"chunked planning with {_SPEEDUP_WORKERS} workers spent "
+            f"{pooled_plan:.2f}s of coordinator plan wall vs "
+            f"{serial_plan:.2f}s single-planner at {size} apps "
+            f"(needed {_PLAN_SPEEDUP_FACTOR}x)"
         )
 
 
@@ -325,6 +362,7 @@ def test_store_scale_indexed_vs_brute_force():
     )
     print(header)
     results = {}
+    gate_store = None
     for size in SIZES:
         rulesets, resolver = build_store(size)
         run_brute = size <= BRUTE_LIMIT
@@ -362,11 +400,21 @@ def test_store_scale_indexed_vs_brute_force():
             f"{warm.pipeline.stats.solver_calls} solver calls"
         )
 
+        # The prescreen must prune pairs (below the index's raw
+        # candidate count) without changing a single reported threat —
+        # the threat-set equality above is the "zero change" witness.
+        assert index_stats.prescreen_pruned_pairs > 0, (
+            f"prescreen pruned nothing at {size} apps"
+        )
+        assert index_stats.planned_pairs == index_stats.pairs_examined
+
         index_filter = index_s - index_stats.total_solve_seconds()
         warm_speedup = index_s / warm_s if warm_s else float("inf")
         results[size] = {
             "solver_calls": index_stats.solver_calls,
             "pairs_idx": index_stats.pairs_examined,
+            "prescreen_pruned_pairs": index_stats.prescreen_pruned_pairs,
+            "planned_pairs": index_stats.planned_pairs,
             "threats": len(index_threats),
             "index_seconds": index_s,
             "warm_seconds": warm_s,
@@ -401,6 +449,8 @@ def test_store_scale_indexed_vs_brute_force():
                 f"{'-':>8} {'-':>9} {warm_speedup:>7.1f}"
             )
         _worker_sweep(size, rulesets, resolver, results)
+        if size == _GATE_SIZE:
+            gate_store = (rulesets, resolver)
 
         # The superlinear win: the indexed pipeline must beat the seed's
         # all-pairs scan by >= 5x once the store is large.
@@ -446,14 +496,57 @@ def test_store_scale_indexed_vs_brute_force():
         # apps (zoned sharing), never quadratic.
         assert solve_growth <= (large / small) * 1.5
 
+    _baseline_gate(results, gate_store)
+
     # Only a dedicated script run overwrites the committed trajectory
     # point — pytest/CI smoke passes with reduced sizes must not
-    # clobber the full-sweep artifact.
+    # clobber the full-sweep artifact.  An explicit BENCH_EMIT_PATH
+    # gets this run's results either way (the CI artifact).
     if _EMIT_TRAJECTORY:
-        _emit_trajectory(results)
+        _emit_trajectory(results, _RESULTS_PATH)
+    emit_path = os.environ.get("BENCH_EMIT_PATH")
+    if emit_path:
+        _emit_trajectory(results, Path(emit_path))
 
 
-def _emit_trajectory(results: dict) -> None:
+def _baseline_gate(results: dict, gate_store) -> None:
+    """`bench-smoke` regression gate (opt-in via BENCH_REGRESSION_GATE):
+    fail when the cold indexed audit at `_GATE_SIZE` apps is more than
+    `_GATE_SLOWDOWN`x slower than the committed baseline JSON.
+
+    A sub-second wall measurement on a shared CI runner jitters well
+    past 25%, so a breach is confirmed best-of-3: the cold audit is
+    re-run on a fresh pipeline and only the fastest attempt is gated —
+    a real regression slows every attempt, noise doesn't."""
+    if not os.environ.get("BENCH_REGRESSION_GATE"):
+        return
+    if _GATE_SIZE not in results or not _RESULTS_PATH.exists():
+        return
+    try:
+        baseline = json.loads(_RESULTS_PATH.read_text(encoding="utf-8"))
+        baseline_seconds = baseline["sizes"][str(_GATE_SIZE)]["index_seconds"]
+    except (ValueError, KeyError, TypeError):
+        return  # unreadable baseline: nothing trustworthy to gate on
+    measured = results[_GATE_SIZE]["index_seconds"]
+    budget = baseline_seconds * _GATE_SLOWDOWN
+    retries = 2
+    while measured > budget and gate_store is not None and retries:
+        retries -= 1
+        rulesets, resolver = gate_store
+        attempt, _threats, _pipeline = _run_indexed(rulesets, resolver)
+        measured = min(measured, attempt)
+    print(
+        f"bench-smoke gate: cold {_GATE_SIZE}-app audit {measured:.3f}s "
+        f"vs committed {baseline_seconds:.3f}s (budget {budget:.3f}s)"
+    )
+    assert measured <= budget, (
+        f"cold {_GATE_SIZE}-app audit regressed: {measured:.3f}s vs "
+        f"committed baseline {baseline_seconds:.3f}s "
+        f"(>{_GATE_SLOWDOWN}x budget)"
+    )
+
+
+def _emit_trajectory(results: dict, path: Path) -> None:
     """Write the machine-readable trajectory point next to the repo's
     other BENCH_*.json artifacts."""
     payload = {
@@ -465,10 +558,10 @@ def _emit_trajectory(results: dict) -> None:
             metrics["warm_solver_calls"] == 0 for metrics in results.values()
         ),
     }
-    _RESULTS_PATH.write_text(
+    path.write_text(
         json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
     )
-    print(f"trajectory point written to {_RESULTS_PATH.name}")
+    print(f"trajectory point written to {path.name}")
 
 
 if __name__ == "__main__":

@@ -26,9 +26,13 @@ from repro.constraints.solver import Result, Solver, VarPool
 from repro.constraints.builder import (
     ConstraintBuilder,
     DeviceResolver,
+    FormulaInterner,
     TypeBasedResolver,
 )
 from repro.constraints.dispatch import (
+    AutoDispatcher,
+    PlanResult,
+    PlanTask,
     ProcessPoolDispatcher,
     SerialDispatcher,
     SolveBatch,
@@ -40,13 +44,17 @@ from repro.constraints.dispatch import (
 
 __all__ = [
     "Atom",
+    "AutoDispatcher",
     "BoolFormula",
     "CmpAtom",
     "ConstraintBuilder",
     "DeviceResolver",
     "FALSE",
     "Formula",
+    "FormulaInterner",
     "FreeAtom",
+    "PlanResult",
+    "PlanTask",
     "ProcessPoolDispatcher",
     "Result",
     "SerialDispatcher",

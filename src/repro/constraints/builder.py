@@ -53,6 +53,10 @@ from repro.symex.values import (
 
 _STANDARD_MODES = {"Home", "Away", "Night"}
 
+# (capability, attribute, bound type) -> attribute spec; the registry
+# is static module data, so this is safe to share process-wide.
+_ATTRIBUTE_SPEC_MEMO: dict[tuple[str, str, str | None], object] = {}
+
 
 def environment_of(resolver: "DeviceResolver", app_name: str) -> str:
     """The environment (home) an app runs in.
@@ -124,14 +128,30 @@ class TypeBasedResolver:
 
 class ConstraintBuilder:
     """Translates rule formulas into solver constraints over a shared
-    :class:`VarPool`."""
+    :class:`VarPool`.
 
-    def __init__(self, resolver: DeviceResolver, pool: VarPool | None = None) -> None:
+    With a :class:`FormulaInterner` attached, per-rule situation and
+    condition lowerings are memoized across builders (DESIGN.md §10):
+    a rule paired with k candidates lowers once, and the k-1 reuses
+    replay the cached declarations into this builder's pool.  Reuse is
+    exact — see the interner's context-sensitivity check."""
+
+    def __init__(
+        self,
+        resolver: DeviceResolver,
+        pool: VarPool | None = None,
+        interner: "FormulaInterner | None" = None,
+    ) -> None:
         self._resolver = resolver
         self.pool = pool if pool is not None else VarPool()
+        self._interner = interner
         # Lazily inferred kinds for variables whose sort is not known
         # statically (locals, state slots): "num" | "str".
         self._kinds: dict[str, str] = {}
+        # Every kind key this builder consulted (hit *or* miss): the
+        # footprint that decides whether a cached lowering may be
+        # replayed into a different builder's context.
+        self._kind_probes: set[str] = set()
 
     # ------------------------------------------------------------------
     # Public lowering entry points
@@ -139,6 +159,23 @@ class ConstraintBuilder:
     def situation(self, rule: Rule) -> BoolFormula:
         """Trigger constraint + condition of one rule, with the event
         value bound to the subscribed attribute."""
+        if self._interner is not None:
+            return self._interner.lowering(self, rule, "situation")
+        return self._lower_rule(rule, "situation")
+
+    def condition(self, rule: Rule) -> BoolFormula:
+        """Condition-only formula (used by EC/DC detection)."""
+        if self._interner is not None:
+            return self._interner.lowering(self, rule, "condition")
+        return self._lower_rule(rule, "condition")
+
+    def _lower_rule(self, rule: Rule, kind: str) -> BoolFormula:
+        """Uncached lowering of one rule in this builder's context."""
+        if kind == "situation":
+            return self._situation_uncached(rule)
+        return self._condition_uncached(rule)
+
+    def _situation_uncached(self, rule: Rule) -> BoolFormula:
         event_binding = self._event_binding(rule)
         parts: list[BoolFormula] = []
         if rule.trigger.constraint is not None:
@@ -153,8 +190,7 @@ class ConstraintBuilder:
         parts.append(self.condition(rule))
         return conj(parts)
 
-    def condition(self, rule: Rule) -> BoolFormula:
-        """Condition-only formula (used by EC/DC detection)."""
+    def _condition_uncached(self, rule: Rule) -> BoolFormula:
         event_binding = self._event_binding(rule)
         parts: list[BoolFormula] = []
         for constraint in rule.condition.data_constraints:
@@ -310,7 +346,9 @@ class ConstraintBuilder:
         if isinstance(expr, BinExpr) and expr.op in ("+", "-", "*", "/"):
             return "num"
         if isinstance(expr, LocalVar):
-            return self._kinds.get(f"local:{app_name}")
+            key = f"local:{app_name}"
+            self._kind_probes.add(key)
+            return self._kinds.get(key)
         return None
 
     @staticmethod
@@ -423,6 +461,7 @@ class ConstraintBuilder:
         if spec is not None and spec.kind == "enum":
             self.pool.declare_str(key, set(spec.values))
             return StrTerm(key)
+        self._kind_probes.add(key)
         kind = self._kinds.get(key)
         if kind == "num":
             self.pool.declare_num(key, -1e6, 1e6)
@@ -432,26 +471,44 @@ class ConstraintBuilder:
 
     @staticmethod
     def _attribute_spec(ref: DeviceRef, attribute: str, type_name: str | None):
+        # The registries are static module data, so the resolution is
+        # memoized process-wide — the fallback scan over every
+        # capability used to run once per lowered attribute.
+        memo_key = (ref.capability, attribute, type_name)
+        try:
+            return _ATTRIBUTE_SPEC_MEMO[memo_key]
+        except KeyError:
+            pass
         try:
             cap = capability(ref.capability)
         except KeyError:
             cap = None
+        spec = None
+        resolved = False
         if cap is not None and attribute in cap.attributes:
-            return cap.attributes[attribute]
-        # The attribute may come from a sibling capability of the bound
-        # device type (e.g. `level` on a `capability.switch` input).
-        if type_name is not None:
+            spec = cap.attributes[attribute]
+            resolved = True
+        if not resolved and type_name is not None:
+            # The attribute may come from a sibling capability of the
+            # bound device type (e.g. `level` on a `capability.switch`
+            # input).  A known device type is authoritative: when it
+            # lacks the attribute too, the result is None — never a
+            # spec scavenged from an unrelated capability.
             from repro.capabilities.devices import DEVICE_TYPES
 
             dtype = DEVICE_TYPES.get(type_name)
             if dtype is not None:
-                return dtype.attributes().get(attribute)
-        from repro.capabilities.registry import CAPABILITIES
+                spec = dtype.attributes().get(attribute)
+                resolved = True
+        if not resolved:
+            from repro.capabilities.registry import CAPABILITIES
 
-        for other in CAPABILITIES.values():
-            if attribute in other.attributes:
-                return other.attributes[attribute]
-        return None
+            for other in CAPABILITIES.values():
+                if attribute in other.attributes:
+                    spec = other.attributes[attribute]
+                    break
+        _ATTRIBUTE_SPEC_MEMO[memo_key] = spec
+        return spec
 
     def _user_input_term(self, app_name: str, expr: UserInput):
         key = f"input:{app_name}:{expr.name}"
@@ -468,6 +525,7 @@ class ConstraintBuilder:
         return StrTerm(key)
 
     def _inferred_var(self, key: str, hint: str | None):
+        self._kind_probes.add(key)
         kind = self._kinds.get(key)
         if kind is None:
             kind = hint or "str"
@@ -539,6 +597,19 @@ class ConstraintBuilder:
             return None
         return lit(CmpAtom(var_term, "==", value_term))
 
+    def _apply_cached(self, entry: "_CachedLowering") -> BoolFormula:
+        """Replay a cached lowering's side effects into this builder."""
+        pool = self.pool
+        for key, low, high in entry.num_declares:
+            pool.declare_num(key, low, high)
+        for key, candidates in entry.str_declares:
+            pool.declare_str(
+                key, None if candidates is None else set(candidates)
+            )
+        self._kinds.update(entry.kind_sets)
+        self._kind_probes.update(entry.kind_probes)
+        return entry.formula
+
     def _input_pins(self, rule: Rule) -> list[BoolFormula]:
         """Equalities pinning user inputs to collected configuration."""
         pins: list[BoolFormula] = []
@@ -569,3 +640,90 @@ class ConstraintBuilder:
                         lit(CmpAtom(term, "==", StrTerm(None, str(value))))
                     )
         return pins
+
+
+# ----------------------------------------------------------------------
+# Formula interning (DESIGN.md §10)
+
+
+@dataclass(frozen=True, slots=True)
+class _CachedLowering:
+    """One rule's situation or condition lowering, captured from a
+    clean builder: the formula plus every side effect producing it."""
+
+    formula: BoolFormula
+    num_declares: tuple[tuple[str, float, float], ...]
+    str_declares: tuple[tuple[str, frozenset | None], ...]
+    kind_probes: frozenset[str]
+    kind_sets: tuple[tuple[str, str], ...]
+
+
+class FormulaInterner:
+    """Memoizes per-rule lowerings across :class:`ConstraintBuilder`\\ s.
+
+    Detection builds one constraint instance per candidate pair, and a
+    rule with k candidate partners used to re-lower k times — the same
+    walk over the same expression tree, the same spec lookups, the same
+    variable declarations, once per (environment, channel, attribute)
+    it mentions.  The interner lowers each rule's situation/condition
+    once in a scratch builder and replays the captured declarations
+    into later pair builders.
+
+    Exactness: formulas over pool variables are pure values keyed by
+    variable *names*, so a replay is byte-identical to re-lowering —
+    except when lazy kind inference couples the pair's two rules (rule
+    A infers ``location:sunset`` numeric, rule B's lowering would then
+    see it).  Every lowering therefore records its kind *probe* set
+    (every key whose inferred kind it consulted, hit or miss); a cached
+    entry is replayed only into builders whose inferred-kind state is
+    disjoint from that footprint, and lowers in context otherwise.
+    Probed-but-unset keys resolve identically under disjointness, so
+    the replayed formula equals the in-context lowering exactly
+    (asserted over every corpus pair in
+    ``tests/test_constraints_builder.py``).
+
+    The memo assumes stable resolver bindings, exactly like the
+    signature memo: callers that reconfigure an app must
+    :meth:`invalidate_app` (the detection engine wires this up).
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple[str, str], _CachedLowering] = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def invalidate_app(self, app_name: str) -> None:
+        prefix = f"{app_name}/"
+        for key in [k for k in self._memo if k[0].startswith(prefix)]:
+            del self._memo[key]
+
+    def lowering(
+        self, builder: ConstraintBuilder, rule: Rule, kind: str
+    ) -> BoolFormula:
+        entry = self._memo.get((rule.rule_id, kind))
+        if entry is None:
+            scratch = ConstraintBuilder(builder._resolver, interner=self)
+            formula = scratch._lower_rule(rule, kind)
+            entry = _CachedLowering(
+                formula=formula,
+                num_declares=tuple(
+                    (key, low, high)
+                    for key, (low, high) in scratch.pool.num_bounds.items()
+                ),
+                str_declares=tuple(
+                    (key, None if cands is None else frozenset(cands))
+                    for key, cands in scratch.pool.str_candidates.items()
+                ),
+                kind_probes=frozenset(scratch._kind_probes),
+                kind_sets=tuple(scratch._kinds.items()),
+            )
+            self._memo[(rule.rule_id, kind)] = entry
+        if builder._kinds and not entry.kind_probes.isdisjoint(builder._kinds):
+            # Context-sensitive: the pair's earlier lowering inferred a
+            # kind this rule consults, so a replay could diverge from
+            # the historical in-context result.  Lower directly (rare).
+            return builder._lower_rule(rule, kind)
+        return builder._apply_cached(entry)

@@ -32,6 +32,26 @@ discovers them (:meth:`SolverDispatcher.stream`), so workers solve the
 first candidate pairs while the planner is still walking the last ones
 — planning and solving overlap instead of strictly alternating.
 
+Parallel planning (DESIGN.md §10)
+---------------------------------
+
+Since the parallel-planning refactor the *planning* passes fan out too:
+pooled backends shard a batch's candidate-pair list into picklable
+:class:`PlanTask` chunks that workers plan independently — each chunk
+walks its pairs against the batch solve access, builds the cache-missing
+constraint instances, solves them locally, and returns a
+:class:`PlanResult` with the outcomes plus locally-resolved planning
+verdicts (inexpressible effects, deferred pairs).  The coordinator
+merges results in chunk order, so the batch state after a round is
+identical to the single-planner walk — formulas never cross the wire
+back and forth, only signatures go out and small outcomes come home.
+
+:class:`AutoDispatcher` (``make_dispatcher("auto")``) adds adaptive
+backend selection on top: batches below :data:`AUTO_MIN_BATCH_PAIRS`
+candidate pairs run on the serial reference (a single install review is
+too small to amortize worker fan-out), larger ones on a process pool
+sized from ``os.cpu_count()``.
+
 Executors are created lazily and reused across batches; call
 :meth:`~SolverDispatcher.close` (or use the dispatcher as a context
 manager) to release workers deterministically.
@@ -39,10 +59,12 @@ manager) to release workers deterministically.
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.constraints.solver import Result, Solver, VarPool
 from repro.constraints.terms import BoolFormula
@@ -55,6 +77,15 @@ TaskKey = tuple[str, str, str]
 # Tasks per worker message: one solve is ~0.1-0.2 ms, so chunking keeps
 # the pickle/IPC overhead per solve well under the solve itself.
 _CHUNK_TASKS = 64
+
+# Candidate pairs per planning chunk: planning one pair costs ~0.1 ms
+# (candidate tests + constraint lowering for cache misses), so a chunk
+# is a few ms of work — enough to amortize pickling its signatures.
+_PLAN_CHUNK_PAIRS = 96
+
+# Below this many candidate pairs the auto backend stays serial: one
+# install review's batch is too small to pay for process fan-out.
+AUTO_MIN_BATCH_PAIRS = 256
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +121,80 @@ def execute_chunk(
 ) -> list[tuple[TaskKey, SolveOutcome]]:
     """Solve a chunk of tasks (one worker message)."""
     return [execute_task(task) for task in tasks]
+
+
+# Per-pair cache knowledge shipped with a plan chunk, as small ints:
+# situation/condition verdicts are -1 unknown / 0 unsat / 1 sat, the
+# two directed effect slots additionally use 2 for a cached
+# inexpressible-effect ``None``.
+PairKnowledge = tuple[int, int, int, int]
+
+KNOWN_UNKNOWN = -1
+KNOWN_UNSAT = 0
+KNOWN_SAT = 1
+KNOWN_INEXPRESSIBLE = 2
+
+
+@dataclass(frozen=True, slots=True)
+class PlanTask:
+    """One planning chunk: a shard of a batch's candidate-pair list.
+
+    Pure data by construction — ``pairs`` holds frozen
+    :class:`~repro.detector.signature.RuleSignature` pairs, ``known``
+    the per-pair cache verdicts the coordinating engine already holds,
+    and ``resolver`` either the live resolver object (thread backends)
+    or its pickled bytes (process backends; workers memoize the decoded
+    object per process, so a 2k-app resolver is decoded once, not once
+    per chunk).  A worker plans the chunk against a scratch engine
+    seeded from ``known`` and solves every task it planned locally, so
+    formulas are built *and* decided worker-side."""
+
+    pairs: tuple
+    known: tuple[PairKnowledge, ...]
+    resolver: object
+
+
+@dataclass(frozen=True, slots=True)
+class PlanResult:
+    """What one planned chunk resolved.
+
+    ``outcomes`` are the chunk's executed solves in planning order;
+    ``inexpressible`` the effect task keys planning proved undecidable
+    without a solver; ``deferred`` the chunk-local indices of pairs that
+    need another planning round (their condition solve waits on this
+    round's situation verdict, paper Fig. 9); ``plan_seconds`` the
+    worker CPU spent planning (solve CPU lives in each outcome)."""
+
+    outcomes: tuple[tuple[TaskKey, SolveOutcome], ...]
+    inexpressible: tuple[TaskKey, ...]
+    deferred: tuple[int, ...]
+    plan_seconds: float
+
+
+# Decoded-resolver memo for process plan workers, keyed by the pickled
+# payload; one batch ships the same payload in every chunk.
+_RESOLVER_MEMO: dict[bytes, object] = {}
+
+
+def resolver_from_payload(payload: object) -> object:
+    """The live resolver a plan chunk should plan against."""
+    if not isinstance(payload, bytes):
+        return payload
+    cached = _RESOLVER_MEMO.get(payload)
+    if cached is None:
+        if len(_RESOLVER_MEMO) >= 4:
+            _RESOLVER_MEMO.clear()
+        cached = _RESOLVER_MEMO[payload] = pickle.loads(payload)
+    return cached
+
+
+def execute_plan_task(task: PlanTask) -> PlanResult:
+    """Plan one chunk.  Module-level so process pools can pickle it;
+    the engine import is deferred to break the import cycle (the
+    detector engine imports this module)."""
+    from repro.detector.engine import plan_pair_chunk
+
+    return plan_pair_chunk(task)
 
 
 class DispatchStream:
@@ -144,6 +249,34 @@ class SolverDispatcher:
 
     name = "serial"
     workers = 1
+    # Whether planning passes are sharded onto this backend's workers
+    # (DESIGN.md §10).  The serial reference plans inline against the
+    # live engine — the semantics every other mode must reproduce.
+    plans_remotely = False
+    # Candidate pairs per PlanTask chunk when planning remotely.
+    plan_chunk_pairs = _PLAN_CHUNK_PAIRS
+
+    def for_batch(self, pair_count: int) -> "SolverDispatcher":
+        """The backend to use for a batch of ``pair_count`` candidate
+        pairs — adaptive dispatchers pick per batch, everything else
+        returns itself."""
+        return self
+
+    def encode_resolver(self, resolver: object) -> object | None:
+        """Prepare a resolver for shipping inside :class:`PlanTask`s.
+
+        Returns ``None`` when the resolver cannot travel to this
+        backend's workers, which makes the engine fall back to inline
+        planning (solve dispatch is unaffected — :class:`SolveTask`\\ s
+        are picklable by construction)."""
+        return resolver
+
+    def plan_stream(
+        self, tasks: Sequence[PlanTask]
+    ) -> Iterator[PlanResult]:
+        """Plan chunks, yielding results in submission order.  The
+        serial reference plans lazily, one chunk per pull."""
+        return (execute_plan_task(task) for task in tasks)
 
     def stream(self) -> DispatchStream:
         """A fresh stream for one round of planned tasks."""
@@ -179,24 +312,46 @@ class SerialDispatcher(SolverDispatcher):
 class _PooledDispatcher(SolverDispatcher):
     """Shared lazy-executor plumbing for thread/process backends."""
 
+    plans_remotely = True
+
     def __init__(
-        self, workers: int = 4, chunk_tasks: int = _CHUNK_TASKS
+        self,
+        workers: int = 4,
+        chunk_tasks: int = _CHUNK_TASKS,
+        plan_chunk_pairs: int = _PLAN_CHUNK_PAIRS,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_tasks < 1:
             raise ValueError(f"chunk_tasks must be >= 1, got {chunk_tasks}")
+        if plan_chunk_pairs < 1:
+            raise ValueError(
+                f"plan_chunk_pairs must be >= 1, got {plan_chunk_pairs}"
+            )
         self.workers = workers
         self.chunk_tasks = chunk_tasks
+        self.plan_chunk_pairs = plan_chunk_pairs
         self._executor: Executor | None = None
 
     def _make_executor(self) -> Executor:
         raise NotImplementedError
 
-    def stream(self) -> DispatchStream:
+    def _executor_or_start(self) -> Executor:
         if self._executor is None:
             self._executor = self._make_executor()
-        return _PooledStream(self._executor, self.chunk_tasks)
+        return self._executor
+
+    def plan_stream(
+        self, tasks: Sequence[PlanTask]
+    ) -> Iterator[PlanResult]:
+        executor = self._executor_or_start()
+        futures = [
+            executor.submit(execute_plan_task, task) for task in tasks
+        ]
+        return (future.result() for future in futures)
+
+    def stream(self) -> DispatchStream:
+        return _PooledStream(self._executor_or_start(), self.chunk_tasks)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -222,6 +377,67 @@ class ProcessPoolDispatcher(_PooledDispatcher):
 
     def _make_executor(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.workers)
+
+    def encode_resolver(self, resolver: object) -> object | None:
+        """Pickle the resolver once per batch; every chunk ships the
+        same bytes and workers decode them once per process.  An
+        unpicklable resolver (e.g. one closed over live handles)
+        returns ``None`` — the engine then plans inline, exactly the
+        pre-parallel-planning behavior, while solving still fans out."""
+        try:
+            return pickle.dumps(resolver)
+        except Exception:
+            return None
+
+
+class AutoDispatcher(SolverDispatcher):
+    """Adaptive backend selection (DESIGN.md §10).
+
+    :meth:`for_batch` picks per detection batch: below ``min_batch``
+    candidate pairs (or on single-CPU hosts) the serial reference runs
+    — an install review's handful of pairs never amortizes worker
+    fan-out — and above it a lazily created
+    :class:`ProcessPoolDispatcher` sized from ``os.cpu_count()``
+    (capped at 8: the solver loop stops scaling past that) takes over.
+    Byte-identical results either way, per the §9 guarantee."""
+
+    name = "auto"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_batch: int = AUTO_MIN_BATCH_PAIRS,
+    ) -> None:
+        cpus = os.cpu_count() or 1
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else min(cpus, 8)
+        self.min_batch = min_batch
+        self._serial = SerialDispatcher()
+        self._pool: ProcessPoolDispatcher | None = None
+
+    def for_batch(self, pair_count: int) -> SolverDispatcher:
+        if self.workers < 2 or pair_count < self.min_batch:
+            return self._serial
+        if self._pool is None:
+            self._pool = ProcessPoolDispatcher(self.workers)
+        return self._pool
+
+    def stream(self) -> DispatchStream:
+        # Direct (non-batch-sized) use falls back to the serial
+        # reference; detection always routes through for_batch().
+        return self._serial.stream()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"AutoDispatcher(workers={self.workers}, "
+            f"min_batch={self.min_batch})"
+        )
 
 
 class SolveBatch:
@@ -269,6 +485,20 @@ class SolveBatch:
     def absorb(self, outcomes: dict[TaskKey, SolveOutcome]) -> None:
         self.outcomes.update(outcomes)
 
+    def absorb_planned(
+        self, outcomes: Iterable[tuple[TaskKey, SolveOutcome]]
+    ) -> int:
+        """Merge outcomes a plan worker solved locally (fused
+        plan+solve, DESIGN.md §10); returns how many keys were new —
+        the batch's progress measure for the stall check."""
+        fresh = 0
+        for key, outcome in outcomes:
+            if key not in self.requested:
+                self.requested.add(key)
+                fresh += 1
+            self.outcomes[key] = outcome
+        return fresh
+
     def outcome(self, key: TaskKey) -> SolveOutcome | None:
         return self.outcomes.get(key)
 
@@ -289,6 +519,9 @@ def make_dispatcher(
     """Resolve a user-facing ``workers=`` setting into a dispatcher.
 
     * ``None`` — no batching: the engine keeps its inline solve path.
+    * ``"auto"`` / ``"auto:N"`` — :class:`AutoDispatcher`: serial for
+      small batches, a cpu-sized (or ``N``-worker) process pool above
+      :data:`AUTO_MIN_BATCH_PAIRS` pairs.  The HomeGuard default.
     * ``"serial"`` / ``1`` — plan/execute with :class:`SerialDispatcher`
       (same results, one batch per detection run).
     * an ``int > 1`` — :class:`ProcessPoolDispatcher` with that many
@@ -300,8 +533,8 @@ def make_dispatcher(
     def unknown() -> ValueError:
         return ValueError(
             f"unknown dispatcher spec {workers!r}; expected None, a "
-            "positive int, 'serial', 'thread[:N]', 'process[:N]' or a "
-            "SolverDispatcher"
+            "positive int, 'auto[:N]', 'serial', 'thread[:N]', "
+            "'process[:N]' or a SolverDispatcher"
         )
 
     if workers is None:
@@ -316,6 +549,14 @@ def make_dispatcher(
         return ProcessPoolDispatcher(workers)
     spec = str(workers).strip().lower()
     name, _, count_text = spec.partition(":")
+    if name == "auto":
+        try:
+            count = int(count_text) if count_text else None
+        except ValueError:
+            raise unknown() from None
+        if count is not None and count < 1:
+            raise unknown()
+        return AutoDispatcher(workers=count)
     try:
         count = int(count_text) if count_text else 4
     except ValueError:

@@ -43,6 +43,7 @@ from repro.detector.signature import (
     RuleSignature,
     SignatureBuilder,
     compute_signature,
+    may_interfere,
 )
 from repro.detector.store import DetectionStore, StoreSnapshot, WarmStart
 
@@ -60,4 +61,5 @@ __all__ = [
     "ThreatType",
     "WarmStart",
     "compute_signature",
+    "may_interfere",
 ]

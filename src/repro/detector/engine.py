@@ -36,6 +36,14 @@ processes), and a final pass replays each pair in order, committing
 results into the solve caches in exactly the order the serial engine
 would have produced — so threat lists, stats counters and exported
 caches are identical for every backend and worker count.
+
+Since the parallel-planning refactor (DESIGN.md §10), pooled backends
+shard the planning passes themselves: each round's pending pairs are
+chunked into :class:`~repro.constraints.dispatch.PlanTask`\\ s that
+workers plan *and solve* against scratch engines seeded with this
+engine's cached verdicts (:func:`plan_pair_chunk`), while the
+coordinator only merges keyed outcomes in chunk order and runs the
+serial finalize pass.
 """
 
 from __future__ import annotations
@@ -48,15 +56,25 @@ from repro.capabilities.channels import CHANNELS
 from repro.constraints.builder import (
     ConstraintBuilder,
     DeviceResolver,
+    FormulaInterner,
     environment_of,
     scoped_key,
 )
 from repro.constraints.dispatch import (
+    KNOWN_INEXPRESSIBLE,
+    KNOWN_SAT,
+    KNOWN_UNKNOWN,
+    KNOWN_UNSAT,
+    PairKnowledge,
+    PlanResult,
+    PlanTask,
     SerialDispatcher,
     SolveBatch,
     SolveTask,
     SolverDispatcher,
     TaskKey,
+    execute_chunk,
+    resolver_from_payload,
 )
 from repro.constraints.solver import Result, Solver, VarPool
 from repro.constraints.terms import BoolFormula, CmpAtom, StrTerm, conj, lit
@@ -104,9 +122,18 @@ class DetectionStats:
     solver_calls: int = 0
     cache_hits: int = 0
     pairs_examined: int = 0
+    # Prescreen accounting (DESIGN.md §10), attributed exactly once per
+    # candidate pair when the pair list is built — planning rounds and
+    # the finalize pass never re-count them.
+    prescreen_pruned_pairs: int = 0
+    planned_pairs: int = 0
     # Plan/execute accounting (zero for inline detection).
     plan_seconds: float = 0.0
     dispatch_seconds: float = 0.0
+    # Summed CPU spent in planning passes, across however many workers
+    # planned them (= plan wall for the single-planner paths; the
+    # chunked fan-out reports each chunk's planning cost exactly once).
+    plan_cpu_seconds: float = 0.0
 
     def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
         self.candidate_seconds[threat_type] = (
@@ -357,6 +384,10 @@ class DetectionEngine:
         self._resolver = resolver
         self.signatures = SignatureBuilder(resolver)
         self.stats = DetectionStats()
+        # Per-rule lowering memo shared by every constraint instance
+        # this engine builds (DESIGN.md §10); invalidated with the
+        # signature memo when an app's bindings change.
+        self._interner = FormulaInterner()
         # Solve caches, keyed by rule-id pairs: merged trigger+condition
         # situations, condition-only overlaps, and EC/DC effect solves.
         self._situation_cache: dict[frozenset[str], Result] = {}
@@ -376,6 +407,7 @@ class DetectionEngine:
         """Drop every cached signature and solve result involving an
         app, e.g. after its configuration changed."""
         self.signatures.invalidate_app(app_name)
+        self._interner.invalidate_app(app_name)
         prefix = f"{app_name}/"
         for cache in (self._situation_cache, self._condition_cache):
             stale = [
@@ -532,41 +564,38 @@ class DetectionEngine:
         caches, stats counters and exported store bytes are identical to
         running :meth:`detect_signed` pair-by-pair, for every backend
         and worker count — only ``plan_seconds`` / ``dispatch_seconds``
-        and the wall clock differ."""
+        and the wall clock differ.
+
+        Backends that plan remotely (DESIGN.md §10) shard each round's
+        pending pairs into :class:`PlanTask` chunks: workers plan their
+        pairs against a scratch engine seeded with this engine's cached
+        verdicts, build the cache-missing constraint instances, solve
+        them locally, and return outcomes — the coordinator only merges
+        (in chunk order) and finalizes.  Adaptive dispatchers pick their
+        backend per batch via :meth:`SolverDispatcher.for_batch`."""
         if dispatcher is None:
             dispatcher = SerialDispatcher()
+        dispatcher = dispatcher.for_batch(len(pairs))
         run = _BatchRun()
+        resolver_payload = None
+        if dispatcher.plans_remotely and len(pairs) > 1:
+            resolver_payload = dispatcher.encode_resolver(self._resolver)
         pending = list(range(len(pairs)))
         while pending:
-            plan_started = time.perf_counter()
-            stream = dispatcher.stream()
-            submitted = 0
-            deferred: list[int] = []
-            for i in pending:
-                ctx = _BatchSolves(self, run, record=False)
-                sig_a, sig_b = pairs[i]
-                self._detect_pair(sig_a, sig_b, ctx)
-                if ctx.pending:
-                    deferred.append(i)
-                # Feed freshly planned tasks to the backend right away:
-                # pooled dispatchers start solving the first pairs while
-                # the planner still walks the rest of the batch.
-                tasks = run.batch.take_pending()
-                if tasks:
-                    submitted += len(tasks)
-                    stream.submit(tasks)
-            self.stats.plan_seconds += time.perf_counter() - plan_started
+            if resolver_payload is not None:
+                deferred, progressed = self._plan_round_chunked(
+                    pairs, pending, run, dispatcher, resolver_payload
+                )
+            else:
+                deferred, progressed = self._plan_round_inline(
+                    pairs, pending, run, dispatcher
+                )
             if not deferred:
                 break
-            if not submitted:
+            if not progressed:
                 raise RuntimeError(
                     "batch planning stalled: deferred pairs without tasks"
                 )
-            collect_started = time.perf_counter()
-            run.batch.absorb(stream.collect())
-            self.stats.dispatch_seconds += (
-                time.perf_counter() - collect_started
-            )
             pending = deferred
         finalize_started = time.perf_counter()
         results: list[list[Threat]] = []
@@ -576,6 +605,140 @@ class DetectionEngine:
             )
         self.stats.plan_seconds += time.perf_counter() - finalize_started
         return results
+
+    def _plan_round_inline(
+        self,
+        pairs: Sequence[tuple[RuleSignature, RuleSignature]],
+        pending: list[int],
+        run: _BatchRun,
+        dispatcher: SolverDispatcher,
+    ) -> tuple[list[int], int]:
+        """One single-planner round: walk the pending pairs in order,
+        streaming fresh tasks to the backend, then block on the solves.
+        Returns (deferred pair indices, tasks submitted)."""
+        plan_started = time.perf_counter()
+        stream = dispatcher.stream()
+        submitted = 0
+        deferred: list[int] = []
+        for i in pending:
+            ctx = _BatchSolves(self, run, record=False)
+            sig_a, sig_b = pairs[i]
+            self._detect_pair(sig_a, sig_b, ctx)
+            if ctx.pending:
+                deferred.append(i)
+            # Feed freshly planned tasks to the backend right away:
+            # pooled dispatchers start solving the first pairs while
+            # the planner still walks the rest of the batch.
+            tasks = run.batch.take_pending()
+            if tasks:
+                submitted += len(tasks)
+                stream.submit(tasks)
+        plan_elapsed = time.perf_counter() - plan_started
+        self.stats.plan_seconds += plan_elapsed
+        self.stats.plan_cpu_seconds += plan_elapsed
+        if submitted:
+            collect_started = time.perf_counter()
+            run.batch.absorb(stream.collect())
+            self.stats.dispatch_seconds += (
+                time.perf_counter() - collect_started
+            )
+        return deferred, submitted
+
+    def _plan_round_chunked(
+        self,
+        pairs: Sequence[tuple[RuleSignature, RuleSignature]],
+        pending: list[int],
+        run: _BatchRun,
+        dispatcher: SolverDispatcher,
+        resolver_payload: object,
+    ) -> tuple[list[int], int]:
+        """One fan-out round (DESIGN.md §10): shard the pending pairs
+        into :class:`PlanTask` chunks, let workers plan *and solve*
+        them, merge the results in chunk order.  Returns (deferred pair
+        indices, fresh outcomes merged)."""
+        round_started = time.perf_counter()
+        chunk_pairs = max(1, dispatcher.plan_chunk_pairs)
+        chunks = [
+            pending[i: i + chunk_pairs]
+            for i in range(0, len(pending), chunk_pairs)
+        ]
+        plan_tasks = [
+            PlanTask(
+                pairs=tuple(pairs[i] for i in chunk),
+                known=tuple(
+                    self._pair_knowledge(pairs[i], run) for i in chunk
+                ),
+                resolver=resolver_payload,
+            )
+            for chunk in chunks
+        ]
+        deferred: list[int] = []
+        progressed = 0
+        waited = 0.0
+        stream = dispatcher.plan_stream(plan_tasks)
+        for chunk in chunks:
+            wait_started = time.perf_counter()
+            result = next(stream)
+            waited += time.perf_counter() - wait_started
+            for key in result.inexpressible:
+                run.inexpressible.add(key)
+            progressed += run.batch.absorb_planned(result.outcomes)
+            deferred.extend(chunk[i] for i in result.deferred)
+            self.stats.plan_cpu_seconds += result.plan_seconds
+        # The coordinator's own share of the round is chunk building +
+        # merging; the wall spent blocked on workers is dispatch time
+        # (workers interleave planning and solving inside it).
+        self.stats.dispatch_seconds += waited
+        self.stats.plan_seconds += (
+            time.perf_counter() - round_started - waited
+        )
+        return deferred, progressed
+
+    def _pair_knowledge(
+        self,
+        pair: tuple[RuleSignature, RuleSignature],
+        run: _BatchRun,
+    ) -> PairKnowledge:
+        """What this engine already knows about a pair's solve slots —
+        the seed a plan worker needs to reproduce the single-planner
+        walk exactly (cached verdicts gate which tasks planning emits,
+        paper Fig. 9)."""
+        sig_a, sig_b = pair
+        id_a, id_b = sig_a.rule_id, sig_b.rule_id
+        unordered = frozenset((id_a, id_b))
+        batch = run.batch
+
+        def overlap_state(cache, kind) -> int:
+            cached = cache.get(unordered)
+            if cached is None:
+                task_key = _unordered_key(kind, sig_a.rule, sig_b.rule)
+                outcome = batch.outcome(task_key)
+                if outcome is None:
+                    return KNOWN_UNKNOWN
+                cached = outcome.result
+            return KNOWN_SAT if cached.sat else KNOWN_UNSAT
+
+        def effect_state(first: str, second: str) -> int:
+            key = (first, second)
+            if key in self._effect_cache:
+                cached = self._effect_cache[key]
+                if cached is None:
+                    return KNOWN_INEXPRESSIBLE
+                return KNOWN_SAT if cached.sat else KNOWN_UNSAT
+            task_key = ("effect", first, second)
+            if task_key in run.inexpressible:
+                return KNOWN_INEXPRESSIBLE
+            outcome = batch.outcome(task_key)
+            if outcome is None:
+                return KNOWN_UNKNOWN
+            return KNOWN_SAT if outcome.result.sat else KNOWN_UNSAT
+
+        return (
+            overlap_state(self._situation_cache, "situation"),
+            overlap_state(self._condition_cache, "condition"),
+            effect_state(id_a, id_b),
+            effect_state(id_b, id_a),
+        )
 
     def detect_rulesets(
         self,
@@ -818,14 +981,14 @@ class DetectionEngine:
     def _situation_instance(
         self, rule_a: Rule, rule_b: Rule
     ) -> tuple[VarPool, BoolFormula]:
-        builder = ConstraintBuilder(self._resolver)
+        builder = ConstraintBuilder(self._resolver, interner=self._interner)
         formula = conj([builder.situation(rule_a), builder.situation(rule_b)])
         return builder.pool, formula
 
     def _condition_instance(
         self, rule_a: Rule, rule_b: Rule
     ) -> tuple[VarPool, BoolFormula]:
-        builder = ConstraintBuilder(self._resolver)
+        builder = ConstraintBuilder(self._resolver, interner=self._interner)
         formula = conj([builder.condition(rule_a), builder.condition(rule_b)])
         return builder.pool, formula
 
@@ -838,7 +1001,7 @@ class DetectionEngine:
     ) -> tuple[VarPool, BoolFormula] | None:
         """The EC/DC constraint instance, or ``None`` when no effect of
         ``rule_a`` on ``rule_b``'s condition is expressible."""
-        builder = ConstraintBuilder(self._resolver)
+        builder = ConstraintBuilder(self._resolver, interner=self._interner)
         effect_parts: list[BoolFormula] = []
         expressible = False
         for touch in touches:
@@ -979,3 +1142,66 @@ class DetectionEngine:
         self.stats.solver_calls += 1
         self._condition_cache[key] = result
         return result
+
+
+# ----------------------------------------------------------------------
+# Plan-chunk worker (DESIGN.md §10)
+
+
+def _seed_pair_knowledge(
+    engine: DetectionEngine, id_a: str, id_b: str, known: PairKnowledge
+) -> None:
+    """Replant a pair's coordinator-side verdicts into a scratch
+    engine's caches.  Planning only ever reads presence, the ``sat``
+    bit and the inexpressible ``None`` marker, so witness-free stub
+    results reproduce the coordinator's planning decisions exactly."""
+    situation, condition, effect_ab, effect_ba = known
+    unordered = frozenset((id_a, id_b))
+    if situation != KNOWN_UNKNOWN:
+        engine._situation_cache[unordered] = Result(
+            sat=situation == KNOWN_SAT
+        )
+    if condition != KNOWN_UNKNOWN:
+        engine._condition_cache[unordered] = Result(
+            sat=condition == KNOWN_SAT
+        )
+    for key, state in (
+        ((id_a, id_b), effect_ab),
+        ((id_b, id_a), effect_ba),
+    ):
+        if state == KNOWN_INEXPRESSIBLE:
+            engine._effect_cache[key] = None
+        elif state != KNOWN_UNKNOWN:
+            engine._effect_cache[key] = Result(sat=state == KNOWN_SAT)
+
+
+def plan_pair_chunk(task: PlanTask) -> PlanResult:
+    """Plan one :class:`PlanTask` chunk and solve its tasks in place.
+
+    Runs wherever the dispatcher put it — a worker process (the task
+    pickles by construction), a pool thread, or inline.  The scratch
+    engine is seeded with the coordinator's per-pair verdicts, so the
+    chunk emits exactly the tasks the single-planner walk would have
+    emitted for these pairs, in the same order; solving them locally
+    (fused plan+solve) keeps formulas on the worker and ships only the
+    small keyed outcomes back."""
+    resolver = resolver_from_payload(task.resolver)
+    engine = DetectionEngine(resolver)
+    run = _BatchRun()
+    for (sig_a, sig_b), known in zip(task.pairs, task.known):
+        _seed_pair_knowledge(engine, sig_a.rule_id, sig_b.rule_id, known)
+    plan_started = time.perf_counter()
+    deferred: list[int] = []
+    for i, (sig_a, sig_b) in enumerate(task.pairs):
+        ctx = _BatchSolves(engine, run, record=False)
+        engine._detect_pair(sig_a, sig_b, ctx)
+        if ctx.pending:
+            deferred.append(i)
+    plan_seconds = time.perf_counter() - plan_started
+    outcomes = tuple(execute_chunk(run.batch.take_pending()))
+    return PlanResult(
+        outcomes=outcomes,
+        inexpressible=tuple(sorted(run.inexpressible)),
+        deferred=tuple(deferred),
+        plan_seconds=plan_seconds,
+    )

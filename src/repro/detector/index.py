@@ -26,6 +26,13 @@ Completeness argument, per threat class:
 
 Every candidate test in :mod:`repro.detector.signature` requires at
 least one of those keys to collide, so no threat pair can be missed.
+A single-key collision is still weaker than the pairwise candidate
+tests (e.g. two writers of one actuator whose targets don't
+contradict), so :meth:`RuleIndex.candidates` accepts an optional
+``prescreen`` predicate — typically :func:`repro.detector.signature
+.may_interfere` — applied once per deduplicated candidate to prune
+pairs that provably cannot interfere before any planning or constraint
+term building happens (DESIGN.md §10).
 Channel keys are scoped by the signature's environment: channels are
 physical features of one home, so a multi-home (zoned) resolver makes
 cross-home channel buckets disjoint and candidate counts stay linear
@@ -178,10 +185,17 @@ class RuleIndex:
     # Candidate retrieval
 
     def candidates(
-        self, sig: RuleSignature, exclude_app: str | None = None
+        self,
+        sig: RuleSignature,
+        exclude_app: str | None = None,
+        prescreen=None,
     ) -> list[RuleSignature]:
         """Installed rules that could form a threat pair with ``sig``,
-        deduplicated, in index insertion order per bucket."""
+        deduplicated, in index insertion order per bucket.
+
+        ``prescreen`` is an optional ``(other) -> bool`` predicate run
+        once per deduplicated candidate; candidates it rejects are
+        dropped from the result (the caller counts rejections)."""
         env = sig.environment
         found: dict[str, RuleSignature] = {}
 
@@ -222,7 +236,9 @@ class RuleIndex:
                 take(self.movers_by_channel.get((env, read.channel)))
         if sig.condition_uses_mode:
             take(self.mode_writers.get(env))
-        return list(found.values())
+        if prescreen is None:
+            return list(found.values())
+        return [other for other in found.values() if prescreen(other)]
 
     # ------------------------------------------------------------------
     # Persistence (DESIGN.md §8)
@@ -380,14 +396,18 @@ class ShardedRuleIndex:
     # Candidate retrieval
 
     def candidates(
-        self, sig: RuleSignature, exclude_app: str | None = None
+        self,
+        sig: RuleSignature,
+        exclude_app: str | None = None,
+        prescreen=None,
     ) -> list[RuleSignature]:
         """Union of candidates over the home shard plus any foreign
         shard sharing one of the signature's device identities.
 
         Foreign-shard queries only ever match identity buckets: channel
         and mode buckets are keyed by the signature's own environment,
-        which a foreign shard never contains."""
+        which a foreign shard never contains.  ``prescreen`` runs once
+        per cross-shard-deduplicated candidate, like the flat index."""
         env = sig.environment
         envs = [env]
         for identity in self._identities(sig):
@@ -396,7 +416,9 @@ class ShardedRuleIndex:
                     envs.append(other_env)
         if len(envs) == 1:
             shard = self.shards.get(env)
-            return shard.candidates(sig, exclude_app) if shard else []
+            if shard is None:
+                return []
+            return shard.candidates(sig, exclude_app, prescreen)
         found: dict[str, RuleSignature] = {}
         for shard_env in envs:
             shard = self.shards.get(shard_env)
@@ -404,4 +426,6 @@ class ShardedRuleIndex:
                 continue
             for other in shard.candidates(sig, exclude_app):
                 found.setdefault(other.rule_id, other)
-        return list(found.values())
+        if prescreen is None:
+            return list(found.values())
+        return [other for other in found.values() if prescreen(other)]

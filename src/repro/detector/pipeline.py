@@ -26,8 +26,13 @@ mode of DESIGN.md §9: :meth:`detect` plans every candidate pair of the
 install before dispatching one solve batch, and :meth:`audit_store`
 plans across *all* apps of the audit and dispatches one store-wide
 batch — the fan-out point that lets process workers absorb the solver
-loop.  Threat reports, caches and persisted stores are identical to the
-inline path for every backend and worker count.
+loop (and, with pooled backends, the planning passes too: the engine
+shards the pair list into chunks workers plan and solve independently,
+DESIGN.md §10).  Candidate pairs are prescreened with
+:func:`~repro.detector.signature.may_interfere` before any of that
+happens, so provably inert pairs never reach planning.  Threat
+reports, caches and persisted stores are identical to the inline path
+for every backend and worker count.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ from repro.constraints.builder import DeviceResolver
 from repro.constraints.dispatch import SolverDispatcher, make_dispatcher
 from repro.detector.engine import DetectionEngine
 from repro.detector.index import RuleIndex, ShardedRuleIndex
-from repro.detector.signature import RuleSignature
+from repro.detector.signature import RuleSignature, may_interfere
 from repro.detector.types import ThreatReport
 from repro.rules.model import RuleSet
 
@@ -106,15 +111,39 @@ class DetectionPipeline:
     ) -> list[tuple[RuleSignature, RuleSignature]]:
         """The exact pair sequence one install examines, in the order
         the inline path solves them (index candidates per rule, then
-        the app's own intra-app pairs)."""
+        the app's own intra-app pairs).
+
+        Index candidates are prescreened with :func:`may_interfere`
+        (DESIGN.md §10): a single-key index collision is necessary but
+        not sufficient for a threat, and pairs the constant-time
+        intersection tests prove inert are dropped here — before any
+        planning pass walks them or a constraint term is built.  The
+        prune is exact (a pruned pair performs no solver lookup and
+        reports no threat), so threat sets, solver calls and caches are
+        unchanged; ``prescreen_pruned_pairs`` / ``planned_pairs`` are
+        attributed here, exactly once per examined candidate."""
+        stats = self.engine.stats
         pairs: list[tuple[RuleSignature, RuleSignature]] = []
         for sig in sigs:
-            for other in self.index.candidates(sig, exclude_app=app_name):
+
+            def prescreen(other: RuleSignature, _sig=sig) -> bool:
+                if may_interfere(_sig, other):
+                    return True
+                stats.prescreen_pruned_pairs += 1
+                return False
+
+            for other in self.index.candidates(
+                sig, exclude_app=app_name, prescreen=prescreen
+            ):
                 pairs.append((sig, other))
         if self.include_intra_app:
             for i, sig_a in enumerate(sigs):
                 for sig_b in sigs[i + 1:]:
-                    pairs.append((sig_a, sig_b))
+                    if may_interfere(sig_a, sig_b):
+                        pairs.append((sig_a, sig_b))
+                    else:
+                        stats.prescreen_pruned_pairs += 1
+        stats.planned_pairs += len(pairs)
         return pairs
 
     def detect(self, ruleset: RuleSet) -> ThreatReport:
@@ -232,6 +261,9 @@ class DetectionPipeline:
         caches and store bytes match the inline audit exactly."""
         if self.dispatcher is None:
             return [self.add_ruleset(ruleset) for ruleset in rulesets]
+        stats = self.engine.stats
+        pruned_before = stats.prescreen_pruned_pairs
+        planned_before = stats.planned_pairs
         all_pairs: list[tuple[RuleSignature, RuleSignature]] = []
         spans: list[tuple[str, int, int]] = []
         for ruleset in rulesets:
@@ -248,9 +280,13 @@ class DetectionPipeline:
             # A failed dispatch (e.g. a broken worker pool) must not
             # leave this audit's apps installed-but-unaudited: the
             # serial path only ever commits fully audited apps, so
-            # un-index everything staged here before propagating.
+            # un-index everything staged here before propagating.  The
+            # prescreen counters attributed while staging are unwound
+            # too, so a retried audit doesn't double-count them.
             for app_name, _start, _end in reversed(spans):
                 self.remove_ruleset(app_name)
+            stats.prescreen_pruned_pairs = pruned_before
+            stats.planned_pairs = planned_before
             raise
         reports: list[ThreatReport] = []
         for app_name, start, end in spans:

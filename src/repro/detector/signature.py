@@ -79,6 +79,14 @@ class RuleSignature:
     # --- condition side -----------------------------------------------
     condition_reads: tuple[ConditionRead, ...]
     condition_uses_mode: bool
+    # --- prescreen sets (derived; constant-time pair intersection
+    # tests, DESIGN.md §10; deliberately absent from the persisted
+    # signature record — they carry no information of their own) -------
+    effect_channels: frozenset[str] = frozenset()
+    effect_dirs: frozenset[tuple[str, str]] = frozenset()
+    opposite_effect_dirs: frozenset[tuple[str, str]] = frozenset()
+    condition_direct_keys: frozenset[tuple[str, str]] = frozenset()
+    condition_channels: frozenset[str] = frozenset()
 
     @property
     def rule_id(self) -> str:
@@ -148,6 +156,20 @@ def compute_signature(resolver: DeviceResolver, rule: Rule) -> RuleSignature:
         trigger_bounds=bounds,
         condition_reads=tuple(reads),
         condition_uses_mode=condition_uses_location_mode(rule),
+        effect_channels=frozenset(effects),
+        effect_dirs=frozenset(
+            (channel, effect.value) for channel, effect in effects.items()
+        ),
+        opposite_effect_dirs=frozenset(
+            (channel, effect.opposite.value)
+            for channel, effect in effects.items()
+        ),
+        condition_direct_keys=frozenset(
+            (read.identity, read.attr.attribute) for read in reads
+        ),
+        condition_channels=frozenset(
+            read.channel for read in reads if read.channel is not None
+        ),
     )
 
 
@@ -237,6 +259,75 @@ def signed_action_triggers(
     if _direction_can_satisfy(effect, list(sig_b.trigger_bounds)):
         return TriggerMatch(way="environment", channel=sig_b.trigger_channel)
     return None
+
+
+# ----------------------------------------------------------------------
+# Symbolic prescreen (DESIGN.md §10)
+
+
+def _may_touch_condition(
+    sig_a: RuleSignature, sig_b: RuleSignature, same_env: bool
+) -> bool:
+    """Whether sig_a's action could affect sig_b's condition inputs —
+    the boolean shadow of :func:`signed_condition_touches` plus the
+    engine's location-mode touch, over precomputed intersection sets."""
+    if same_env and sig_a.sets_location_mode and sig_b.condition_uses_mode:
+        return True
+    if not sig_a.is_device_action or sig_a.action_identity is None:
+        return False
+    target = sig_a.command_target
+    if (
+        target is not None
+        and (sig_a.action_identity, target[0]) in sig_b.condition_direct_keys
+    ):
+        return True
+    return same_env and not sig_b.condition_channels.isdisjoint(
+        sig_a.effect_channels
+    )
+
+
+def may_interfere(sig_a: RuleSignature, sig_b: RuleSignature) -> bool:
+    """Could this pair produce *any* CAI threat?  ``False`` prunes the
+    pair before a single constraint term is built.
+
+    Soundness: every threat class's detection path is gated on one of
+    the candidate tests below (see :meth:`DetectionEngine._detect_pair`
+    — AR on equal contradictory actuators, GC on opposite same-home
+    effects of distinct actuators, CT/SD/LT on an action firing the
+    other rule's trigger, EC/DC on an action touching the other rule's
+    condition inputs or location mode).  A pair failing all of them
+    performs no solver lookup and reports no threat, so pruning it
+    changes nothing but the work done — asserted pair-by-pair against
+    brute-force :meth:`DetectionEngine.detect_pair` in
+    ``tests/test_prescreen_properties.py``."""
+    identity_a = sig_a.action_identity
+    identity_b = sig_b.action_identity
+    # AR: same actuator driven to contradictory targets.
+    if (
+        identity_a is not None
+        and identity_a == identity_b
+        and signatures_contradict(sig_a, sig_b)
+    ):
+        return True
+    same_env = sig_a.environment == sig_b.environment
+    # GC: opposite effects on a shared channel of one home; the engine
+    # only tests distinct actuators (equal identities race instead).
+    if (
+        same_env
+        and (identity_a is None or identity_a != identity_b)
+        and not sig_a.opposite_effect_dirs.isdisjoint(sig_b.effect_dirs)
+    ):
+        return True
+    # CT/SD/LT: one action fires the other's trigger (value-interval
+    # and direction tests included), in either direction.
+    if signed_action_triggers(sig_a, sig_b) is not None:
+        return True
+    if signed_action_triggers(sig_b, sig_a) is not None:
+        return True
+    # EC/DC: one action touches the other's condition inputs.
+    return _may_touch_condition(sig_a, sig_b, same_env) or _may_touch_condition(
+        sig_b, sig_a, same_env
+    )
 
 
 def signed_condition_touches(

@@ -87,11 +87,15 @@ class HomeGuardApp:
     """The mobile-side HomeGuard app instance.
 
     ``workers`` selects the solver dispatch mode for detection runs
-    (DESIGN.md §9): ``None`` keeps the inline serial path; an int > 1
-    fans each review's solve batch out to that many worker processes;
-    ``"thread:N"`` / ``"process:N"`` / a
+    (DESIGN.md §9/§10).  The default ``"auto"`` adapts per review:
+    small solve batches run on the serial reference, and batches above
+    the auto threshold fan planning *and* solving out to a process pool
+    sized from the host's CPU count.  ``None`` keeps the historical
+    inline serial path; an int > 1 fans each review's batch out to that
+    many worker processes; ``"thread:N"`` / ``"process:N"`` / a
     :class:`~repro.constraints.dispatch.SolverDispatcher` instance pick
-    a backend explicitly.  Reported threats are identical either way.
+    a backend explicitly.  Reported threats are identical in every
+    mode.
     """
 
     def __init__(
@@ -99,7 +103,7 @@ class HomeGuardApp:
         backend: RuleExtractor,
         transport: Transport | None = None,
         store_path: str | Path | None = None,
-        workers: int | str | None = None,
+        workers: int | str | None = "auto",
     ) -> None:
         self._backend = backend
         self.config_recorder = ConfigRecorder()

@@ -53,7 +53,7 @@ class HomeGuard:
         transport: str = "sms",
         seed: int = 11,
         store_path: str | None = None,
-        workers: int | str | None = None,
+        workers: int | str | None = "auto",
     ) -> None:
         self.backend = RuleExtractor()
         self.instrumenter = Instrumenter(transport=transport)
@@ -64,9 +64,11 @@ class HomeGuard:
         # With a store path the companion app snapshots detection state
         # on every commit; call :meth:`restore` after constructing a
         # fresh deployment to warm-start from the last snapshot.
-        # ``workers`` fans each review's solver batch out to thread or
-        # process workers (DESIGN.md §9) — e.g. ``workers=4`` — with
-        # threat reports identical to the serial default.
+        # ``workers`` selects the detection backend (DESIGN.md §9/§10):
+        # the default ``"auto"`` stays serial for everyday reviews and
+        # fans large audits out to a cpu-sized process pool; explicit
+        # counts/specs (``workers=4``, ``"thread:2"``) pin a backend.
+        # Threat reports are identical in every mode.
         self.app = HomeGuardApp(
             self.backend, self.transport, store_path=store_path,
             workers=workers,

@@ -269,3 +269,84 @@ def h(evt) {
     Solver(builder.pool).solve(builder.condition(rule))
     assert "env-A|time:now" in builder.pool.num_bounds
     assert "time:now" not in builder.pool.num_bounds
+
+
+# ----------------------------------------------------------------------
+# Formula interning (DESIGN.md §10)
+
+
+def _interning_corpus():
+    from repro.corpus import demo_apps, device_controlling_apps
+    from repro.rules.extractor import RuleExtractor
+
+    extractor = RuleExtractor()
+    rulesets, hints, values = [], {}, {}
+    for app in list(demo_apps()) + list(device_controlling_apps()):
+        rulesets.append(extractor.extract(app.source, app.name))
+        hints[app.name] = app.type_hints
+        values[app.name] = app.values
+    rules = [rule for ruleset in rulesets for rule in ruleset.rules]
+    return rules, TypeBasedResolver(type_hints=hints, values=values)
+
+
+def test_interned_lowerings_equal_fresh_lowerings():
+    from repro.constraints import FormulaInterner
+
+    rules, resolver = _interning_corpus()
+    interner = FormulaInterner()
+    for rule in rules:
+        for kind in ("situation", "condition"):
+            fresh = ConstraintBuilder(resolver)
+            expected = getattr(fresh, kind)(rule)
+            # Twice: a miss-then-populate pass and a replay pass.
+            for _ in range(2):
+                interned = ConstraintBuilder(resolver, interner=interner)
+                got = getattr(interned, kind)(rule)
+                assert got == expected, (rule.rule_id, kind)
+                assert interned.pool.num_bounds == fresh.pool.num_bounds
+                assert (
+                    interned.pool.str_candidates == fresh.pool.str_candidates
+                )
+    assert len(interner) > 0
+
+
+def test_interned_pair_instances_equal_fresh_pair_instances():
+    # The engine's actual usage: two rules lowered into one shared
+    # pool.  The second rule's replay must reproduce the historical
+    # in-context lowering exactly, including lazy kind inference
+    # coupling (the interner falls back to in-context lowering when
+    # the footprints collide).
+    rules, resolver = _interning_corpus()
+    interner_cache = None
+    from repro.constraints import FormulaInterner
+
+    interner_cache = FormulaInterner()
+    pairs = [
+        (rules[i], rules[j])
+        for i in range(len(rules))
+        for j in range(i + 1, len(rules))
+    ]
+    for rule_a, rule_b in pairs:
+        fresh = ConstraintBuilder(resolver)
+        expected = conj([fresh.situation(rule_a), fresh.situation(rule_b)])
+        interned = ConstraintBuilder(resolver, interner=interner_cache)
+        got = conj(
+            [interned.situation(rule_a), interned.situation(rule_b)]
+        )
+        assert got == expected, (rule_a.rule_id, rule_b.rule_id)
+        assert interned.pool.num_bounds == fresh.pool.num_bounds
+        assert interned.pool.str_candidates == fresh.pool.str_candidates
+
+
+def test_interner_invalidate_app_drops_entries():
+    from repro.constraints import FormulaInterner
+
+    rules, resolver = _interning_corpus()
+    interner = FormulaInterner()
+    for rule in rules[:4]:
+        builder = ConstraintBuilder(resolver, interner=interner)
+        builder.situation(rule)
+    assert len(interner) > 0
+    for rule in rules[:4]:
+        interner.invalidate_app(rule.app_name)
+    assert len(interner) == 0

@@ -24,6 +24,7 @@ import pytest
 
 from repro.constraints import TypeBasedResolver
 from repro.constraints.dispatch import (
+    AutoDispatcher,
     DispatchStream,
     ProcessPoolDispatcher,
     SerialDispatcher,
@@ -99,6 +100,8 @@ def _audit(corpus, dispatcher, tmp_path, label):
                 pipeline.stats.solver_calls,
                 pipeline.stats.cache_hits,
                 pipeline.stats.pairs_examined,
+                pipeline.stats.prescreen_pruned_pairs,
+                pipeline.stats.planned_pairs,
             ),
             "store": _store_bytes(pipeline, rulesets, tmp_path, label),
         }
@@ -111,6 +114,12 @@ BACKENDS = [
     ("thread2", lambda: ThreadPoolDispatcher(2)),
     ("process2", lambda: ProcessPoolDispatcher(2)),
     ("process4", lambda: ProcessPoolDispatcher(4)),
+    # Tiny plan chunks force the chunked planning path across many
+    # chunk boundaries (deterministic merge coverage, DESIGN.md §10).
+    ("process2-chunk3", lambda: ProcessPoolDispatcher(2, plan_chunk_pairs=3)),
+    # The auto backend pinned above its threshold: adaptive selection
+    # must be just another byte-identical way to run the batch.
+    ("auto2", lambda: AutoDispatcher(workers=2, min_batch=1)),
 ]
 
 
@@ -202,6 +211,9 @@ def test_total_solve_seconds_counts_each_task_once():
     assert stats.plan_seconds > 0.0
     assert stats.dispatch_seconds > 0.0
     assert stats.solve_wall_seconds() == stats.dispatch_seconds
+    # Single-planner rounds: planning CPU is the rounds' wall time, and
+    # plan_seconds additionally covers the finalize pass.
+    assert 0.0 < stats.plan_cpu_seconds <= stats.plan_seconds
 
 
 def test_inline_stats_have_no_batch_phases():
@@ -225,13 +237,82 @@ def test_make_dispatcher_specs():
     thread = make_dispatcher("thread:3")
     assert type(thread) is ThreadPoolDispatcher and thread.workers == 3
     assert make_dispatcher("process").workers == 4
+    auto = make_dispatcher("auto")
+    assert type(auto) is AutoDispatcher and auto.workers >= 1
+    assert make_dispatcher("auto:3").workers == 3
     custom = SerialDispatcher()
     assert make_dispatcher(custom) is custom
-    for bad in ("quantum:9", 0, -4, "process:four", "thread:0"):
+    for bad in ("quantum:9", 0, -4, "process:four", "thread:0", "auto:0",
+                "auto:two"):
         with pytest.raises(ValueError):
             make_dispatcher(bad)
     with pytest.raises(ValueError):
         ProcessPoolDispatcher(0)
+    with pytest.raises(ValueError):
+        ProcessPoolDispatcher(2, plan_chunk_pairs=0)
+    with pytest.raises(ValueError):
+        AutoDispatcher(workers=0)
+
+
+def test_auto_dispatcher_adapts_to_batch_size():
+    auto = AutoDispatcher(workers=2, min_batch=10)
+    try:
+        # Small batches run on the serial reference...
+        assert type(auto.for_batch(3)) is SerialDispatcher
+        assert auto._pool is None  # ...without ever starting a pool.
+        # Large batches get the lazily created process pool.
+        pooled = auto.for_batch(10)
+        assert type(pooled) is ProcessPoolDispatcher
+        assert pooled.workers == 2
+        assert auto.for_batch(500) is pooled
+    finally:
+        auto.close()
+    assert auto._pool is None
+    # Single-CPU sizing (workers=1) never leaves the serial reference.
+    single = AutoDispatcher(workers=1, min_batch=1)
+    assert type(single.for_batch(10_000)) is SerialDispatcher
+
+
+class _UnpicklableResolver(TypeBasedResolver):
+    """A resolver process planning cannot ship (closure attribute)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.live_handle = lambda: None  # defeats pickle
+
+
+def test_unpicklable_resolver_falls_back_to_inline_planning(tmp_path):
+    rulesets, hints, values = _demo_corpus()
+    reference = _audit((rulesets, hints, values), None, tmp_path, "inline")
+
+    pipeline = DetectionPipeline(
+        _UnpicklableResolver(type_hints=hints, values=values),
+        dispatcher=ProcessPoolDispatcher(2),
+    )
+    try:
+        reports = pipeline.audit_store(rulesets)
+        assert _full_threats(reports) == reference["threats"]
+        assert json.dumps(
+            pipeline.engine.export_caches(), default=str
+        ) == reference["caches"]
+        # Planning stayed on the coordinator (no chunk fan-out), but
+        # solve dispatch still ran — the pre-parallel-planning mode.
+        assert pipeline.stats.plan_cpu_seconds > 0.0
+    finally:
+        pipeline.close()
+
+
+def test_prescreen_counters_attributed_once():
+    rulesets, hints, values = _demo_corpus()
+    resolver = TypeBasedResolver(type_hints=hints, values=values)
+    inline = DetectionPipeline(resolver)
+    inline.audit_store(rulesets)
+    stats = inline.stats
+    # Every index candidate is either planned or pruned, and the
+    # engine examines exactly the planned pairs.
+    assert stats.planned_pairs == stats.pairs_examined
+    assert stats.prescreen_pruned_pairs >= 0
+    assert stats.planned_pairs > 0
 
 
 class _ExplodingDispatcher(SerialDispatcher):
@@ -258,12 +339,17 @@ def test_failed_batch_audit_rolls_back_installs():
     assert json.dumps(pipeline.engine.export_caches()) == json.dumps(
         DetectionPipeline(resolver).engine.export_caches()
     )
+    # The prescreen counters attributed while staging the failed batch
+    # are unwound with it.
+    assert pipeline.stats.planned_pairs == 0
+    assert pipeline.stats.prescreen_pruned_pairs == 0
     # The pipeline stays usable: a healthy dispatcher audits the same
     # store from the rolled-back state, matching the inline run.
     pipeline.dispatcher = SerialDispatcher()
     retried = _full_threats(pipeline.audit_store(rulesets))
     reference = DetectionPipeline(resolver)
     assert retried == _full_threats(reference.audit_store(rulesets))
+    assert pipeline.stats.planned_pairs == pipeline.stats.pairs_examined
 
 
 def test_dispatcher_context_manager_closes_pool():
