@@ -1,18 +1,31 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-hashseed bench bench-smoke lint docs-check
+.PHONY: test test-hashseed bench bench-smoke lint docs-check schema-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Dispatcher-equivalence tests under both the default (randomized) and
-# a pinned hash seed: set/dict iteration order must never leak into
-# the deterministic batch merge (threats, caches, store bytes).
+# Dispatcher- and service-equivalence tests under both the default
+# (randomized) and a pinned hash seed: set/dict iteration order must
+# never leak into the deterministic batch merge or into a tenant
+# home's results (threats, caches, store bytes).
 test-hashseed:
-	$(PYTHON) -m pytest -q tests/test_dispatch_equivalence.py
-	PYTHONHASHSEED=0 $(PYTHON) -m pytest -q tests/test_dispatch_equivalence.py
+	$(PYTHON) -m pytest -q tests/test_dispatch_equivalence.py \
+		tests/test_service_equivalence.py
+	PYTHONHASHSEED=0 $(PYTHON) -m pytest -q \
+		tests/test_dispatch_equivalence.py \
+		tests/test_service_equivalence.py
+
+# Wire-schema stability: every service request/response dataclass must
+# JSON-round-trip and match the committed schema_manifest.json — a
+# field change without a WIRE_SCHEMA_VERSION bump fails here.  After a
+# deliberate, version-bumped change regenerate the manifest with
+# `python -m repro.service.schemas --write-manifest`.
+schema-check:
+	$(PYTHON) -W ignore::RuntimeWarning -m repro.service.schemas
+	$(PYTHON) -m pytest -q tests/test_service_schemas.py
 
 # Full benchmark sweep (paper figures/tables + store-scale audit).
 bench:
@@ -32,10 +45,13 @@ bench-smoke:
 
 # Docs smoke: run the example scripts the README points at, end to
 # end, so the quickstart instructions can't rot.  store_audit also
-# asserts the warm-start replay does zero solver calls (DESIGN.md §8).
+# asserts the warm-start replay does zero solver calls (DESIGN.md §8);
+# install_flow drives the HomeGuardService wire API (sessions,
+# decisions, policies, JSON round-trip) through the messaging path.
 docs-check:
 	$(PYTHON) examples/quickstart.py > /dev/null
 	$(PYTHON) examples/store_audit.py > /dev/null
+	$(PYTHON) examples/install_flow.py > /dev/null
 	@echo "docs-check: README example scripts ran clean"
 
 # Byte-compile everything as a cheap syntax/import lint (no external

@@ -1,37 +1,58 @@
-"""The full configuration-collection pipeline (paper §VII).
+"""The full configuration-collection pipeline (paper §VII), served
+through the multi-tenant ``HomeGuardService`` API.
 
 Shows every moving part of the deployment path:
 
 1. the backend instruments the SmartApp (Listing 3),
 2. the instrumented app runs in a simulated home and its ``updated()``
    sends the configuration URI over SMS,
-3. the HomeGuard companion app decodes the URI, pulls the rules from
-   the backend, and runs detection against the installed history,
-4. the user makes the one-time keep/reconfigure/delete decision.
+3. the transport is connected to a tenant home on the service; the
+   queued payload becomes a typed ``InstallSession`` with a wire-form
+   ``ThreatReport``,
+4. the user answers the pending session with a ``DecisionRequest`` —
+   the one-time keep/reconfigure/delete decision — while a sibling
+   home shows a handling *policy* deciding automatically.
+
+Every request/response object is a frozen, versioned wire dataclass;
+the JSON round-trip at the bottom is exactly what the ROADMAP's
+many-host dispatcher would put on the wire.
 
 Run with::
 
     python examples/install_flow.py
 """
 
-from repro.config import decode_uri, instrument_app
+import json
+
+from repro.config import instrument_app
 from repro.corpus import app_by_name
-from repro.frontend import render_review
-from repro.frontend.app import HomeGuardApp, InstallDecision
-from repro.rules.extractor import RuleExtractor
 from repro.runtime import SmartHome
-from repro.config.messaging import SmsTransport, MessageRecord
+from repro.config.messaging import SmsTransport
+from repro.service import (
+    AutoDenyPolicy,
+    DecisionRequest,
+    HomeGuardService,
+    InstallRequest,
+    InstallSession,
+)
+
+
+def show(session: InstallSession) -> None:
+    report = session.report
+    print(f"  session {session.session_id}: app {report.app_name!r}, "
+          f"status {session.status}")
+    for rule in report.rules:
+        print(f"    rule: {rule}")
+    if report.clean:
+        print("    no cross-app interference detected")
+    for record in (*report.threats, *report.chains):
+        print(f"    !! {record.description}")
 
 
 def main() -> None:
-    backend = RuleExtractor()
-    transport = SmsTransport(phone_number="+15550100")
-    companion = HomeGuardApp(backend, transport)
-
-    # Offline: the backend pre-extracts rules for store apps.
-    for name in ("BurglarFinder", "NightCare"):
-        app = app_by_name(name)
-        backend.extract(app.source, app.name)
+    service = HomeGuardService(workers="auto")
+    service.preload([app_by_name("BurglarFinder"), app_by_name("NightCare")])
+    service.create_home("maple-street")
 
     # The physical home with its devices.
     home = SmartHome(seed=1)
@@ -39,8 +60,12 @@ def main() -> None:
     home.add_device("Hall motion", "motionSensor")
     home.add_device("Siren", "siren")
 
+    # The SMS transport feeds configuration URIs into the tenant home.
+    transport = SmsTransport(phone_number="+15550100")
+    service.connect_transport("maple-street", transport)
+
     # ------------------------------------------------------------------
-    # Install BurglarFinder first.
+    # Install BurglarFinder first — via the real messaging path.
     print("## Installing BurglarFinder\n")
     instrumented = instrument_app(app_by_name("BurglarFinder").source,
                                   "BurglarFinder")
@@ -61,13 +86,21 @@ def main() -> None:
           f"(cloud processing 27 ms)")
     device_types = {home.device(label).id: home.device(label).type_name
                     for label in ("Floor lamp", "Hall motion", "Siren")}
-    review = companion.review_pending(device_types)[0]
-    print(render_review(review))
-    companion.decide(review, InstallDecision.KEEP)
+    session = service.review_pending("maple-street", device_types)[0]
+    show(session)
+
+    # The default InteractivePolicy left the session pending: the user
+    # answers with a typed, one-time DecisionRequest.
+    session = service.decide(DecisionRequest(
+        home_id="maple-street", session_id=session.session_id,
+        decision="keep",
+    ))
+    print(f"  decided: {session.decision} (by "
+          f"{session.decided_by or 'the user'})\n")
 
     # ------------------------------------------------------------------
     # Install NightCare on the same lamp: the DC threat appears.
-    print("\n## Installing NightCare (same floor lamp)\n")
+    print("## Installing NightCare (same floor lamp)\n")
     instrumented2 = instrument_app(app_by_name("NightCare").source,
                                    "NightCare")
     instance2 = home.install_app(
@@ -78,11 +111,44 @@ def main() -> None:
     instance2.invoke("updated")
     sms_body2 = [m for m in home.messages if m.channel == "sms"][-1].body
     transport.send(sms_body2, None)
-    review2 = companion.review_pending(device_types)[0]
-    print(render_review(review2))
+    session2 = service.review_pending("maple-street", device_types)[0]
+    show(session2)
     print("\nThe user can now Keep (accepting the risk), Reconfigure")
     print("(bind a different lamp), or Delete the new app — a one-time")
     print("decision, no runtime prompting (paper §VIII-D.1).")
+    service.decide(DecisionRequest(
+        home_id="maple-street", session_id=session2.session_id,
+        decision="reconfigure",
+    ))
+
+    # ------------------------------------------------------------------
+    # A second tenant home on the SAME service shares the backend and
+    # the dispatcher, but handles threats by policy — no user in the
+    # loop.
+    print("\n## Tenant 'oak-avenue' with an AutoDenyPolicy\n")
+    service.create_home("oak-avenue", policy=AutoDenyPolicy())
+    auto = service.install(InstallRequest(
+        home_id="oak-avenue", app_name="BurglarFinder",
+        devices={"lamp1": "floorLamp", "motion1": "motionSensor",
+                 "alarm1": "siren"},
+    ))
+    show(auto)
+    denied = service.install(InstallRequest(
+        home_id="oak-avenue", app_name="NightCare",
+        devices={"lamp2": "floorLamp-0"},
+    ))
+    show(denied)
+    print(f"  policy verdict: {denied.decision} (by {denied.decided_by})")
+    assert service.installed_apps("oak-avenue") == ["BurglarFinder"]
+
+    # ------------------------------------------------------------------
+    # The wire contract: every session JSON-round-trips loss-free.
+    encoded = json.dumps(session2.to_json())
+    decoded = InstallSession.from_json(json.loads(encoded))
+    assert decoded == session2
+    print(f"\nwire round-trip ok ({len(encoded)} bytes, schema "
+          f"v{decoded.to_json()['schema']})")
+    service.close()
 
 
 if __name__ == "__main__":

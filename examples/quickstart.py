@@ -5,11 +5,14 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import HomeGuard
 from repro.corpus import app_by_name
 from repro.detector.types import ThreatType
-from repro.frontend import render_review
 from repro.rules import extract_rules
+from repro.service import (
+    DecisionRequest,
+    HomeGuardService,
+    InstallRequest,
+)
 
 
 def main() -> None:
@@ -34,28 +37,39 @@ def main() -> None:
               f"{threat_type.pattern}")
 
     # ------------------------------------------------------------------
-    # 3. End-to-end installation flow with detection.
-    print("\n## 3. Installing apps with HomeGuard\n")
-    hg = HomeGuard(transport="http")
-    hg.register_device("Living-room TV", "tv")
-    hg.register_device("Hall sensor", "temperatureSensor")
-    hg.register_device("Back window", "windowOpener")
+    # 3. End-to-end installation flow through the service API.
+    print("\n## 3. Installing apps through HomeGuardService\n")
+    service = HomeGuardService()           # workers="auto" by default
+    service.preload([app_by_name("ComfortTV"), app_by_name("ColdDefender")])
+    service.create_home("demo-home")
+    service.register_device("demo-home", "Living-room TV", "tv")
+    service.register_device("demo-home", "Hall sensor", "temperatureSensor")
+    service.register_device("demo-home", "Back window", "windowOpener")
 
-    review1 = hg.install(
-        app_by_name("ComfortTV"),
+    session1 = service.install(InstallRequest(
+        home_id="demo-home", app_name="ComfortTV",
         devices={"tv1": "Living-room TV", "tSensor": "Hall sensor",
                  "window1": "Back window"},
         values={"threshold1": 30},
-    )
-    print(f"ComfortTV installs clean: {review1.clean}")
+    ))
+    print(f"ComfortTV installs clean: {session1.report.clean}")
+    # The default InteractivePolicy defers to the user's one-time
+    # decision (paper §VIII-D.1); answer it with a typed request.
+    service.decide(DecisionRequest(
+        home_id="demo-home", session_id=session1.session_id,
+        decision="keep",
+    ))
 
-    review2 = hg.install(
-        app_by_name("ColdDefender"),
+    session2 = service.install(InstallRequest(
+        home_id="demo-home", app_name="ColdDefender",
         devices={"tv2": "Living-room TV", "window2": "Back window"},
         values={"weather": "rainy"},
-    )
-    print(f"ColdDefender threats: {[t.type.value for t in review2.threats]}\n")
-    print(render_review(review2))
+    ))
+    print(f"ColdDefender threats: "
+          f"{[t.type for t in session2.report.threats]}\n")
+    for record in session2.report.threats:
+        print(f"  - {record.description}")
+    service.close()
 
 
 if __name__ == "__main__":

@@ -6,8 +6,17 @@ DSN 2020).
 
 Public API highlights
 ---------------------
-* :class:`repro.HomeGuard` — end-to-end deployment facade (offline rule
-  extraction + online installation-time detection),
+* :class:`repro.service.HomeGuardService` — the canonical multi-tenant
+  service: N homes over one shared backend extractor and solver
+  dispatcher, typed JSON-round-trippable wire schemas
+  (:class:`~repro.service.InstallRequest`,
+  :class:`~repro.service.InstallSession`,
+  :class:`~repro.service.ThreatReport`, the
+  :class:`~repro.service.ServiceError` taxonomy) and pluggable
+  threat-handling policies (DESIGN.md §11),
+* :class:`repro.HomeGuard` — single-home deployment facade, now a
+  compatibility shim over the service (offline rule extraction +
+  online installation-time detection),
 * :func:`repro.rules.extract_rules` — symbolic-execution rule extraction
   for one SmartApp,
 * :class:`repro.detector.DetectionEngine` — pairwise CAI detection
@@ -17,8 +26,8 @@ Public API highlights
   pipeline and its persistent, environment-sharded store (warm-start
   audits across processes; DESIGN.md §8),
 * :mod:`repro.constraints.dispatch` — plan/execute solver batching with
-  serial / thread / process backends (``HomeGuard(workers=4)`` fans the
-  solver loop out with byte-identical results; DESIGN.md §9),
+  serial / thread / process backends (byte-identical results;
+  DESIGN.md §9),
 * :class:`repro.runtime.SmartHome` — concrete smart-home simulator for
   verifying threats dynamically,
 * :mod:`repro.corpus` — the 205-app evaluation corpus.
@@ -26,13 +35,29 @@ Public API highlights
 
 from repro.homeguard import HomeGuard, InstalledDevice
 from repro.frontend.app import InstallDecision, InstallReview
+from repro.service import (
+    AuditRequest,
+    DecisionRequest,
+    HomeGuardService,
+    InstallRequest,
+    InstallSession,
+    ServiceError,
+    ThreatReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "AuditRequest",
+    "DecisionRequest",
     "HomeGuard",
+    "HomeGuardService",
     "InstallDecision",
+    "InstallRequest",
     "InstallReview",
+    "InstallSession",
     "InstalledDevice",
+    "ServiceError",
+    "ThreatReport",
     "__version__",
 ]

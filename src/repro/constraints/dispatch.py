@@ -530,11 +530,13 @@ def make_dispatcher(
       explicit backend choice (default 4 workers).
     * a :class:`SolverDispatcher` instance — used as-is.
     """
-    def unknown() -> ValueError:
+    def unknown(problem: str = "") -> ValueError:
+        detail = f" ({problem})" if problem else ""
         return ValueError(
-            f"unknown dispatcher spec {workers!r}; expected None, a "
-            "positive int, 'auto[:N]', 'serial', 'thread[:N]', "
-            "'process[:N]' or a SolverDispatcher"
+            f"invalid dispatcher spec {workers!r}{detail}; valid specs: "
+            "None (inline solves), a positive int (process workers), "
+            "'serial', 'thread[:N]', 'process[:N]', 'auto[:N]' with "
+            "N >= 1, or a SolverDispatcher instance"
         )
 
     if workers is None:
@@ -543,30 +545,31 @@ def make_dispatcher(
         return workers
     if isinstance(workers, int):
         if workers < 1:
-            raise unknown()
+            raise unknown("worker count must be >= 1")
         if workers == 1:
             return SerialDispatcher()
         return ProcessPoolDispatcher(workers)
     spec = str(workers).strip().lower()
     name, _, count_text = spec.partition(":")
+    if name not in ("auto", "serial", "thread", "process"):
+        raise unknown(f"unknown backend name {name!r}")
     if name == "auto":
         try:
             count = int(count_text) if count_text else None
         except ValueError:
-            raise unknown() from None
+            raise unknown(f"worker count {count_text!r} is not an int") \
+                from None
         if count is not None and count < 1:
-            raise unknown()
+            raise unknown("worker count must be >= 1")
         return AutoDispatcher(workers=count)
     try:
         count = int(count_text) if count_text else 4
     except ValueError:
-        raise unknown() from None
+        raise unknown(f"worker count {count_text!r} is not an int") from None
     if count < 1:
-        raise unknown()
+        raise unknown("worker count must be >= 1")
     if name == "serial":
         return SerialDispatcher()
     if name == "thread":
         return ThreadPoolDispatcher(count)
-    if name == "process":
-        return ProcessPoolDispatcher(count)
-    raise unknown()
+    return ProcessPoolDispatcher(count)

@@ -1,101 +1,53 @@
-"""The HomeGuard companion app (paper §VII-B).
+"""The HomeGuard companion app (paper §VII-B) — compatibility shim.
 
-Receives configuration URIs from the messaging transport, fetches the
-app's rules from the backend rule extractor, records both, runs CAI
-detection against the installed history, and presents an installation
-review for the user's one-time decision (keep / reconfigure / delete).
+.. deprecated::
+    The companion-app core moved to :mod:`repro.service`:
+    :class:`~repro.service.home.TenantHome` holds one home's state and
+    :class:`~repro.service.service.HomeGuardService` serves many homes
+    over shared backend/dispatcher machinery with typed wire schemas
+    and pluggable threat-handling policies (DESIGN.md §11).
+
+:class:`HomeGuardApp` remains as a thin shim: it constructs a
+single-home service and delegates every call, so existing code —
+receive configuration URIs, review installations, apply one-time
+decisions, persist/restore — behaves bit-for-bit as before (same
+threats, same caches, same store bytes; the equivalence gate in
+``tests/test_service_equivalence.py`` enforces it).  New code should
+use :class:`repro.service.HomeGuardService` directly.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
+import warnings
 from pathlib import Path
 
 from repro.config.messaging import MessageRecord, Transport
-from repro.config.recorder import ConfigRecorder, RuleRecorder
-from repro.config.uri import ConfigPayload, decode_uri
-from repro.detector.chains import AllowedList, find_chains
-from repro.detector.pipeline import DetectionPipeline
-from repro.detector.store import DetectionStore
-from repro.detector.types import Threat, ThreatType
+from repro.config.uri import ConfigPayload
 from repro.rules.extractor import RuleExtractor
-from repro.rules.interpreter import describe_rule
 from repro.rules.model import RuleSet
+from repro.service.home import (  # re-exported for backward compatibility
+    InstallDecision,
+    InstallReview,
+    TenantHome,
+    _threat_from_record,
+    _threat_record,
+)
+from repro.service.service import HomeGuardService
 
+__all__ = ["HomeGuardApp", "InstallDecision", "InstallReview"]
 
-class InstallDecision(enum.Enum):
-    KEEP = "keep"
-    RECONFIGURE = "reconfigure"
-    DELETE = "delete"
-
-
-@dataclass(slots=True)
-class InstallReview:
-    """Everything shown to the user for one installation.
-
-    ``decision`` records the user's one-time choice once
-    :meth:`HomeGuardApp.decide` ran — it is persisted with the review,
-    so a warm-started process can still show why an app is installed
-    (and which accepted threats fed the Allowed list)."""
-
-    app_name: str
-    rules: list[str]
-    threats: list[Threat] = field(default_factory=list)
-    chains: list[Threat] = field(default_factory=list)
-    decision: str | None = None
-
-    @property
-    def clean(self) -> bool:
-        return not self.threats and not self.chains
-
-
-def _threat_record(threat: Threat) -> list:
-    """A threat as a JSON-able record: type, rule ids, detail, witness
-    and (for chained threats) the chain's rule ids."""
-    return [
-        threat.type.value,
-        threat.rule_a.rule_id,
-        threat.rule_b.rule_id,
-        threat.detail,
-        [[key, value] for key, value in threat.witness],
-        [rule.rule_id for rule in threat.chain],
-    ]
-
-
-def _threat_from_record(record, rules_by_id) -> Threat | None:
-    """Rebuild a persisted threat; ``None`` when the record is malformed
-    or mentions rules that did not restore (degraded, never a crash)."""
-    try:
-        type_value, id_a, id_b, detail, witness, chain_ids = record
-        threat_type = ThreatType(type_value)
-        rule_a, rule_b = rules_by_id[id_a], rules_by_id[id_b]
-        chain = tuple(rules_by_id[rule_id] for rule_id in chain_ids)
-        return Threat(
-            type=threat_type,
-            rule_a=rule_a,
-            rule_b=rule_b,
-            detail=str(detail),
-            witness=tuple((str(key), value) for key, value in witness),
-            chain=chain,
-        )
-    except (TypeError, ValueError, KeyError):
-        return None
+_DEFAULT_HOME = "default"
 
 
 class HomeGuardApp:
-    """The mobile-side HomeGuard app instance.
+    """Single-home companion app, shimmed over the service.
 
     ``workers`` selects the solver dispatch mode for detection runs
-    (DESIGN.md §9/§10).  The default ``"auto"`` adapts per review:
-    small solve batches run on the serial reference, and batches above
-    the auto threshold fan planning *and* solving out to a process pool
-    sized from the host's CPU count.  ``None`` keeps the historical
-    inline serial path; an int > 1 fans each review's batch out to that
-    many worker processes; ``"thread:N"`` / ``"process:N"`` / a
-    :class:`~repro.constraints.dispatch.SolverDispatcher` instance pick
-    a backend explicitly.  Reported threats are identical in every
-    mode.
+    (DESIGN.md §9/§10); the shared-dispatcher semantics and the
+    ``"auto"`` default are unchanged.  All state attributes
+    (``config_recorder``, ``rule_recorder``, ``pipeline``, ``allowed``,
+    ``reviews``, ``frontend_state``, ``store``) remain live views of
+    the underlying :class:`~repro.service.home.TenantHome`.
     """
 
     def __init__(
@@ -105,298 +57,115 @@ class HomeGuardApp:
         store_path: str | Path | None = None,
         workers: int | str | None = "auto",
     ) -> None:
-        self._backend = backend
-        self.config_recorder = ConfigRecorder()
-        self.rule_recorder = RuleRecorder()
-        # Incremental detection state: the pipeline's index holds the
-        # signed rules of every kept app, so each review solves only
-        # index-selected candidate pairs (DESIGN.md).
-        self.pipeline = DetectionPipeline(
-            self.config_recorder, dispatcher=workers
+        warnings.warn(
+            "HomeGuardApp is a compatibility shim; use "
+            "repro.service.HomeGuardService for new code",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        # Optional persistence: decisions are snapshotted to the store
-        # on every commit, and :meth:`load_store` warm-starts a fresh
-        # process from the last snapshot (DESIGN.md §8).
-        self.store = (
-            DetectionStore(store_path) if store_path is not None else None
-        )
-        self.allowed = AllowedList()
-        self.reviews: list[InstallReview] = []
-        # Opaque facade state (e.g. HomeGuard's registered home devices)
-        # persisted verbatim with every snapshot.
-        self.frontend_state: dict = {}
+        service = HomeGuardService(extractor=backend, workers=workers)
+        home = service.create_home(_DEFAULT_HOME, store_path=store_path)
+        self._bind(service, home, transport)
+
+    def _bind(
+        self,
+        service: HomeGuardService,
+        home: TenantHome,
+        transport: Transport | None,
+    ) -> None:
+        self.service = service
+        self._home = home
         if transport is not None:
-            transport.connect(self.receive_message)
-        self._pending: list[ConfigPayload] = []
+            transport.connect(home.receive_message)
+
+    @classmethod
+    def _over(
+        cls,
+        service: HomeGuardService,
+        home: TenantHome,
+        transport: Transport | None = None,
+    ) -> "HomeGuardApp":
+        """Wrap an existing service home (internal: lets the
+        ``HomeGuard`` facade share one service with its ``.app`` view
+        without a second deprecation warning)."""
+        app = cls.__new__(cls)
+        app._bind(service, home, transport)
+        return app
 
     # ------------------------------------------------------------------
-    # Message intake
+    # Live state views
+
+    @property
+    def config_recorder(self):
+        return self._home.config_recorder
+
+    @property
+    def rule_recorder(self):
+        return self._home.rule_recorder
+
+    @property
+    def pipeline(self):
+        return self._home.pipeline
+
+    @property
+    def store(self):
+        return self._home.store
+
+    @property
+    def allowed(self):
+        return self._home.allowed
+
+    @property
+    def reviews(self) -> list[InstallReview]:
+        return self._home.reviews
+
+    @property
+    def frontend_state(self) -> dict:
+        return self._home.frontend_state
+
+    @frontend_state.setter
+    def frontend_state(self, value: dict) -> None:
+        self._home.frontend_state = value
+
+    @property
+    def _backend(self) -> RuleExtractor:
+        return self._home.backend
+
+    @property
+    def _pending(self) -> list[ConfigPayload]:
+        return self._home._pending
+
+    # ------------------------------------------------------------------
+    # Delegated flow
 
     def receive_message(self, record: MessageRecord) -> None:
-        """Transport callback: decode the URI and queue the payload (the
-        user then "clicks the notification" via :meth:`review_pending`)."""
-        payload = decode_uri(record.uri)
-        self._pending.append(payload)
+        self._home.receive_message(record)
 
     def review_pending(
         self, device_types: dict[str, str] | None = None
     ) -> list[InstallReview]:
-        """Process queued payloads into installation reviews."""
-        reviews = []
-        while self._pending:
-            payload = self._pending.pop(0)
-            reviews.append(self.review_installation(payload, device_types))
-        return reviews
-
-    # ------------------------------------------------------------------
-    # Detection flow
-
-    def _resolve_ruleset(self, app_name: str) -> RuleSet:
-        """The app's rules, preferring the backend extractor.
-
-        A warm-started process may not have re-run the offline
-        extraction; the recorded (persisted) rules are the same
-        loss-free representation the backend would serve."""
-        ruleset = self._backend.rules_of(app_name)
-        if ruleset is None:
-            ruleset = self.rule_recorder.rules_of(app_name)
-        if ruleset is None:
-            raise LookupError(
-                f"backend has no rules for app {app_name!r}; extract it "
-                "first (offline phase) or submit the custom source"
-            )
-        return ruleset
+        return self._home.review_pending(device_types)
 
     def review_installation(
         self,
         payload: ConfigPayload,
         device_types: dict[str, str] | None = None,
     ) -> InstallReview:
-        """The online detection run for one app installation/update."""
-        ruleset = self._resolve_ruleset(payload.app_name)
-        # A re-recorded configuration may change device identities, in
-        # which case everything cached about this app is stale.  An
-        # identical payload (audit_existing replays) keeps the caches.
-        previous = self.config_recorder.config_of(payload.app_name)
-        retyped_devices = {
-            device_id
-            for device_id, type_name in (device_types or {}).items()
-            if self.config_recorder.device_types.get(device_id) != type_name
-        }
-        self.config_recorder.record(payload, device_types)
-        if previous != payload or retyped_devices:
-            self.pipeline.invalidate_app(payload.app_name)
-        if retyped_devices:
-            # Device types are home-global: re-typing a device changes
-            # the signatures of every installed app bound to it.
-            for app_name, recorded in self.config_recorder.payloads.items():
-                if app_name != payload.app_name and retyped_devices & set(
-                    recorded.devices.values()
-                ):
-                    self.pipeline.invalidate_app(app_name)
-        report = self.pipeline.detect(ruleset)
-        chains = find_chains(report.threats, self.allowed)
-        review = InstallReview(
-            app_name=payload.app_name,
-            rules=[describe_rule(rule) for rule in ruleset.rules],
-            threats=report.threats,
-            chains=chains,
-        )
-        self.reviews.append(review)
-        return review
+        return self._home.review_installation(payload, device_types)
 
     def decide(
         self, review: InstallReview, decision: InstallDecision
     ) -> None:
-        """Apply the user's one-time decision."""
-        review.decision = decision.value
-        if decision is InstallDecision.KEEP:
-            ruleset = self._resolve_ruleset(review.app_name)
-            self.rule_recorder.record(ruleset)
-            self.pipeline.commit(review.app_name, ruleset)
-            # Accepted pairs join the Allowed list for chained detection
-            # (paper §VI-D).
-            self.allowed.add_all(review.threats)
-            self.save_store()
-        elif decision is InstallDecision.DELETE:
-            self.rule_recorder.forget(review.app_name)
-            self.config_recorder.forget(review.app_name)
-            self.pipeline.discard(review.app_name)
-            self.pipeline.remove_ruleset(review.app_name)
-            self.save_store()
-        else:
-            # RECONFIGURE keeps nothing: the app will send a fresh
-            # payload after the user updates its settings.
-            self.pipeline.discard(review.app_name)
+        self._home.decide(review, decision)
 
     def installed_apps(self) -> list[str]:
-        return sorted(self.rule_recorder.rulesets)
+        return self._home.installed_apps()
 
     def ruleset_of(self, app_name: str) -> RuleSet | None:
-        return self.rule_recorder.rules_of(app_name)
-
-    # ------------------------------------------------------------------
-    # Persistence (save-on-commit / load-on-startup, DESIGN.md §8)
-
-    def _threat_restorable(self, threat: Threat) -> bool:
-        """Whether a persisted record of this threat could be rebuilt on
-        load: every rule it mentions must belong to a recorded app."""
-        apps = {threat.rule_a.app_name, threat.rule_b.app_name}
-        apps.update(rule.app_name for rule in threat.chain)
-        return all(app in self.rule_recorder.rulesets for app in apps)
+        return self._home.ruleset_of(app_name)
 
     def save_store(self) -> None:
-        """Snapshot detection state + recorders to the configured store
-        (a no-op without a ``store_path``).  Called on every commit."""
-        if self.store is None:
-            return
-        frontend = {
-            "payloads": [
-                {
-                    "app": payload.app_name,
-                    "devices": dict(payload.devices),
-                    "values": dict(payload.values),
-                }
-                for payload in self.config_recorder.payloads.values()
-            ],
-            "device_types": dict(self.config_recorder.device_types),
-            "allowed": [
-                [threat.type.value, threat.rule_a.rule_id,
-                 threat.rule_b.rule_id]
-                for threat in self.allowed.pairs
-            ],
-            # Review/decision history: every install screen shown so
-            # far, with the user's one-time decision — the provenance
-            # of the Allowed list and of each kept app.  Survives warm
-            # restarts (the past is re-rendered, not re-detected).
-            # Threat records referencing apps whose rules are no longer
-            # recorded (deleted apps) could never be reconstructed on
-            # load, so they are pruned here instead of being carried as
-            # dead weight in every snapshot; the review entry itself —
-            # app, rendered rules, decision — always persists.
-            "reviews": [
-                {
-                    "app": review.app_name,
-                    "rules": list(review.rules),
-                    "decision": review.decision,
-                    "threats": [
-                        _threat_record(t)
-                        for t in review.threats
-                        if self._threat_restorable(t)
-                    ],
-                    "chains": [
-                        _threat_record(t)
-                        for t in review.chains
-                        if self._threat_restorable(t)
-                    ],
-                }
-                for review in self.reviews
-            ],
-            "extra": self.frontend_state,
-        }
-        self.store.save(
-            self.pipeline,
-            rulesets=self.rule_recorder.rulesets,
-            frontend=frontend,
-        )
+        self._home.save_store()
 
     def load_store(self) -> list[str]:
-        """Warm-start this companion app from the persisted store.
-
-        Restores the configuration recorder, rule recorder and Allowed
-        list, then loads the pipeline: fingerprint-validated apps come
-        back without a single solver call; apps whose recorded bindings
-        changed since the snapshot are transparently re-reviewed (their
-        fresh reviews are appended like any install).  Returns the
-        restored app names; with no / an unusable store nothing changes
-        and the list is empty."""
-        if self.store is None:
-            return []
-        snapshot = self.store.load()
-        if snapshot is None:
-            return []
-        frontend = (
-            snapshot.frontend if isinstance(snapshot.frontend, dict) else {}
-        )
-        # Configuration first: the recorder *is* the pipeline's resolver,
-        # so identities must be in place before any re-signing happens.
-        # Malformed entries are skipped (the app then restores as stale
-        # or not at all — degraded, never a crash).
-        for entry in frontend.get("payloads", []):
-            try:
-                self.config_recorder.record(
-                    ConfigPayload(
-                        app_name=entry["app"],
-                        devices=dict(entry.get("devices", {})),
-                        values=dict(entry.get("values", {})),
-                    )
-                )
-            except (TypeError, KeyError, ValueError):
-                continue
-        device_types = frontend.get("device_types", {})
-        if isinstance(device_types, dict):
-            self.config_recorder.device_types.update(device_types)
-        extra = frontend.get("extra", {})
-        self.frontend_state = dict(extra) if isinstance(extra, dict) else {}
-        rulesets = snapshot.rulesets()
-        result = self.store.restore_into(
-            self.pipeline, list(rulesets.values()), snapshot=snapshot
-        )
-        for ruleset in rulesets.values():
-            self.rule_recorder.record(ruleset)
-        rules_by_id = {
-            rule.rule_id: rule
-            for ruleset in rulesets.values()
-            for rule in ruleset.rules
-        }
-        for entry in frontend.get("allowed", []):
-            try:
-                type_value, id_a, id_b = entry
-                threat_type = ThreatType(type_value)
-            except (TypeError, ValueError):
-                continue
-            rule_a, rule_b = rules_by_id.get(id_a), rules_by_id.get(id_b)
-            if rule_a is not None and rule_b is not None:
-                self.allowed.add(
-                    Threat(type=threat_type, rule_a=rule_a, rule_b=rule_b)
-                )
-        # Replay the persisted review/decision history so past install
-        # screens re-render after a warm restart.  Threats mentioning
-        # rules that did not restore are dropped from their review;
-        # malformed review entries are skipped entirely.
-        for entry in frontend.get("reviews", []):
-            try:
-                review = InstallReview(
-                    app_name=str(entry["app"]),
-                    rules=[str(rule) for rule in entry.get("rules", [])],
-                    decision=(
-                        str(entry["decision"])
-                        if entry.get("decision") is not None
-                        else None
-                    ),
-                )
-            except (TypeError, KeyError, ValueError):
-                continue
-            for kind, into in (
-                ("threats", review.threats),
-                ("chains", review.chains),
-            ):
-                for record in entry.get(kind, []):
-                    threat = _threat_from_record(record, rules_by_id)
-                    if threat is not None:
-                        into.append(threat)
-            self.reviews.append(review)
-        # Binding changes surface as fresh reviews, exactly like a
-        # re-sent configuration payload would.
-        for report in result.reports:
-            ruleset = rulesets.get(report.app_name)
-            self.reviews.append(
-                InstallReview(
-                    app_name=report.app_name,
-                    rules=[describe_rule(r) for r in ruleset.rules]
-                    if ruleset else [],
-                    threats=report.threats,
-                    chains=find_chains(report.threats, self.allowed),
-                )
-            )
-        return result.warm_apps + result.stale_apps
+        return self._home.load_store()

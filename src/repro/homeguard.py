@@ -1,13 +1,19 @@
-"""Top-level HomeGuard facade.
+"""Top-level HomeGuard facade — compatibility shim.
 
-Wires the offline and online parts together (paper §IV-C):
+.. deprecated::
+    The deployment core moved to :mod:`repro.service`:
+    :class:`~repro.service.service.HomeGuardService` serves N tenant
+    homes over one shared backend extractor and solver dispatcher,
+    speaks typed wire schemas, and handles threats via pluggable
+    policies (DESIGN.md §11).  :class:`HomeGuard` remains as a thin
+    single-home shim with identical behavior — threats, caches and
+    store bytes are bit-for-bit the pre-service flow.
 
-* **offline** — the backend extracts and stores rules for every app in
-  the store (:meth:`HomeGuard.preload`),
-* **online** — when the user installs an app, the instrumented app
-  sends its configuration URI over a transport; the companion app
-  decodes it, fetches the rules, detects CAI threats against the
-  installed history, and asks for a one-time decision.
+The facade still wires the offline and online parts together (paper
+§IV-C): the backend extracts rules ahead of time
+(:meth:`HomeGuard.preload`), and installing an app sends its
+configuration URI over a real messaging transport to the companion-app
+side, which detects CAI threats and applies the one-time decision.
 
 Example
 -------
@@ -25,28 +31,24 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.capabilities.devices import make_device_id
 from repro.config.instrument import Instrumenter
 from repro.config.messaging import FcmHttpTransport, SmsTransport, Transport
 from repro.config.uri import ConfigPayload, encode_uri
 from repro.corpus.model import CorpusApp
 from repro.frontend.app import HomeGuardApp, InstallDecision, InstallReview
 from repro.rules.extractor import RuleExtractor
+from repro.service.home import InstalledDevice
+from repro.service.service import HomeGuardService
 
+__all__ = ["HomeGuard", "InstalledDevice"]
 
-@dataclass(frozen=True, slots=True)
-class InstalledDevice:
-    """A home device as the companion app sees it."""
-
-    device_id: str
-    label: str
-    type_name: str
+_DEFAULT_HOME = "default"
 
 
 class HomeGuard:
-    """End-to-end HomeGuard deployment for one home."""
+    """End-to-end HomeGuard deployment for one home (compat shim)."""
 
     def __init__(
         self,
@@ -55,51 +57,48 @@ class HomeGuard:
         store_path: str | None = None,
         workers: int | str | None = "auto",
     ) -> None:
+        warnings.warn(
+            "HomeGuard is a compatibility shim; use "
+            "repro.service.HomeGuardService for new code",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.backend = RuleExtractor()
         self.instrumenter = Instrumenter(transport=transport)
         self.transport: Transport = (
             SmsTransport(seed=seed) if transport == "sms"
             else FcmHttpTransport(seed=seed)
         )
-        # With a store path the companion app snapshots detection state
-        # on every commit; call :meth:`restore` after constructing a
-        # fresh deployment to warm-start from the last snapshot.
-        # ``workers`` selects the detection backend (DESIGN.md §9/§10):
-        # the default ``"auto"`` stays serial for everyday reviews and
-        # fans large audits out to a cpu-sized process pool; explicit
-        # counts/specs (``workers=4``, ``"thread:2"``) pin a backend.
-        # Threat reports are identical in every mode.
-        self.app = HomeGuardApp(
-            self.backend, self.transport, store_path=store_path,
-            workers=workers,
+        # One single-home service: the shared dispatcher semantics
+        # (``workers``, DESIGN.md §9/§10) and the save-on-commit store
+        # (``store_path``, §8) are unchanged; ``self.app`` stays a live
+        # companion-app view over the same home.
+        self.service = HomeGuardService(
+            extractor=self.backend, workers=workers
         )
-        self._home_devices: dict[str, InstalledDevice] = {}
+        self._home = self.service.create_home(
+            _DEFAULT_HOME, store_path=store_path
+        )
+        self.app = HomeGuardApp._over(
+            self.service, self._home, self.transport
+        )
 
     # ------------------------------------------------------------------
     # Offline phase
 
     def preload(self, apps: list[CorpusApp]) -> None:
         """Extract rules for public-store apps ahead of time."""
-        for app in apps:
-            self.backend.extract(app.source, app.name)
+        self.service.preload(apps)
 
     # ------------------------------------------------------------------
     # Devices
 
+    @property
+    def _home_devices(self) -> dict[str, InstalledDevice]:
+        return self._home.home_devices
+
     def register_device(self, label: str, type_name: str) -> InstalledDevice:
-        device = InstalledDevice(
-            device_id=make_device_id(f"hg:{label}"),
-            label=label,
-            type_name=type_name,
-        )
-        self._home_devices[label] = device
-        # Ride along with the companion app's snapshots so labels keep
-        # resolving after a warm restart.
-        self.app.frontend_state.setdefault("home_devices", {})[label] = {
-            "device_id": device.device_id,
-            "type": device.type_name,
-        }
-        return device
+        return self._home.register_device(label, type_name)
 
     # ------------------------------------------------------------------
     # Online phase
@@ -123,17 +122,7 @@ class HomeGuard:
         if self.backend.rules_of(app.name) is None:
             self.backend.extract(app.source, app.name)
         self.instrumenter.instrument(app.source, app.name)
-        bound: dict[str, str] = {}
-        types: dict[str, str] = {}
-        for input_name, type_or_label in (devices or {}).items():
-            if type_or_label in self._home_devices:
-                device = self._home_devices[type_or_label]
-            else:
-                device = self.register_device(
-                    f"{type_or_label}-{len(self._home_devices)}", type_or_label
-                )
-            bound[input_name] = device.device_id
-            types[device.device_id] = device.type_name
+        bound, types = self._home.bind_inputs(devices)
         payload = ConfigPayload(
             app_name=app.name,
             devices=bound,
@@ -146,7 +135,7 @@ class HomeGuard:
         return review
 
     def installed_apps(self) -> list[str]:
-        return self.app.installed_apps()
+        return self._home.installed_apps()
 
     @property
     def pipeline(self):
@@ -154,12 +143,12 @@ class HomeGuard:
         install solves only index-selected candidate pairs against the
         kept apps; the solve caches persist across installs, so a home
         accumulating apps never re-examines already-installed pairs."""
-        return self.app.pipeline
+        return self._home.pipeline
 
     @property
     def detection_stats(self):
         """Cumulative solver/cache accounting across every review."""
-        return self.app.pipeline.stats
+        return self._home.pipeline.stats
 
     # ------------------------------------------------------------------
     # Persistence (DESIGN.md §8)
@@ -167,36 +156,26 @@ class HomeGuard:
     def restore(self) -> list[str]:
         """Warm-start from the configured detection store.
 
-        Reloads recorded configurations, rules, the Allowed list and
-        the detection pipeline from the last snapshot; apps whose
-        persisted fingerprints still match re-appear with **zero**
-        solver calls, while re-bound apps are transparently re-reviewed.
-        Returns the restored app names (empty without a usable store).
-
-        Registered home devices are restored too, so their labels keep
-        resolving in future :meth:`install` calls.
+        Reloads recorded configurations, rules, the Allowed list,
+        registered home devices and the detection pipeline from the
+        last snapshot; apps whose persisted fingerprints still match
+        re-appear with **zero** solver calls, while re-bound apps are
+        transparently re-reviewed.  Returns the restored app names
+        (empty without a usable store).
         """
-        restored = self.app.load_store()
-        home_devices = self.app.frontend_state.get("home_devices", {})
-        if isinstance(home_devices, dict):
-            for label, entry in home_devices.items():
-                try:
-                    self._home_devices[label] = InstalledDevice(
-                        device_id=entry["device_id"],
-                        label=label,
-                        type_name=entry["type"],
-                    )
-                except (TypeError, KeyError):
-                    continue  # malformed entry: that label won't resolve
-        return restored
+        return self._home.load_store()
 
     def save(self) -> None:
         """Force a store snapshot now (commits already save)."""
-        self.app.save_store()
+        self._home.save_store()
 
     def close(self) -> None:
-        """Release detection workers, if ``workers=`` started any."""
-        self.app.pipeline.close()
+        """Release detection workers, if ``workers=`` started any.
+
+        Idempotent, and safe to call after a failed :meth:`restore` —
+        the shared dispatcher is owned by the service, so no worker
+        pool can be left dangling behind a partially restored home."""
+        self.service.close()
 
     # ------------------------------------------------------------------
     # Backward compatibility (paper §VIII-D.3)
@@ -209,20 +188,7 @@ class HomeGuard:
         versions without changing their configuration: each app's
         ``updated()`` then re-sends its configuration and detection
         runs.  Here the recorded configuration payloads are replayed in
-        installation order; each review covers one app against all the
-        others, so the union covers every installed pair.  Each replay
-        runs on the incremental pipeline: the audited app's cached state
-        is invalidated and only its index-selected candidate pairs are
-        re-solved, not the whole installed history.
+        installation order on the incremental pipeline; see
+        :meth:`repro.service.home.TenantHome.audit_existing`.
         """
-        reviews: list[InstallReview] = []
-        for app_name in self.app.installed_apps():
-            payload = self.app.config_recorder.config_of(app_name)
-            if payload is None:
-                continue
-            review = self.app.review_installation(payload)
-            # An audit replay carries no keep/delete decision: drop the
-            # re-staged signatures (the app stays installed as-is).
-            self.app.pipeline.discard(app_name)
-            reviews.append(review)
-        return reviews
+        return self._home.audit_existing()

@@ -1,0 +1,86 @@
+"""Multi-tenant HomeGuard service API (DESIGN.md §11).
+
+The canonical public surface of the reproduction:
+
+* :class:`HomeGuardService` — N tenant homes over one shared backend
+  extractor, one shared solver dispatcher, per-home persistent stores;
+* typed wire schemas (:class:`InstallRequest`, :class:`AuditRequest`,
+  :class:`DecisionRequest` in; :class:`InstallSession`,
+  :class:`ThreatReport`, :class:`ThreatRecord` out) — frozen,
+  versioned, JSON-round-trippable;
+* the :class:`ServiceError` taxonomy with stable machine-readable
+  codes;
+* pluggable threat handling (:class:`HandlingPolicy`:
+  :class:`InteractivePolicy` — the paper's one-time user decision —
+  plus :class:`AutoDenyPolicy`, :class:`SeverityThresholdPolicy`,
+  :class:`ChainedPolicy`).
+
+``repro.HomeGuard`` and ``repro.frontend.app.HomeGuardApp`` remain as
+backward-compatible shims over a single-home service.
+"""
+
+from repro.service.errors import (
+    WIRE_SCHEMA_VERSION,
+    DuplicateHomeError,
+    InvalidRequestError,
+    SchemaMismatchError,
+    ServiceError,
+    SessionDecidedError,
+    UnknownAppError,
+    UnknownHomeError,
+    UnknownSessionError,
+)
+from repro.service.home import (
+    InstallDecision,
+    InstalledDevice,
+    InstallReview,
+    TenantHome,
+)
+from repro.service.policies import (
+    AutoDenyPolicy,
+    ChainedPolicy,
+    HandlingPolicy,
+    InteractivePolicy,
+    SeverityThresholdPolicy,
+)
+from repro.service.schemas import (
+    AuditRequest,
+    DecisionRequest,
+    InstallRequest,
+    InstallSession,
+    ThreatRecord,
+    ThreatReport,
+    decode_wire,
+    schema_manifest,
+)
+from repro.service.service import HomeGuardService
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "AuditRequest",
+    "AutoDenyPolicy",
+    "ChainedPolicy",
+    "DecisionRequest",
+    "DuplicateHomeError",
+    "HandlingPolicy",
+    "HomeGuardService",
+    "InstallDecision",
+    "InstallRequest",
+    "InstallReview",
+    "InstallSession",
+    "InstalledDevice",
+    "InteractivePolicy",
+    "InvalidRequestError",
+    "SchemaMismatchError",
+    "ServiceError",
+    "SessionDecidedError",
+    "SeverityThresholdPolicy",
+    "TenantHome",
+    "ThreatRecord",
+    "ThreatReport",
+    "UnknownAppError",
+    "UnknownHomeError",
+    "UnknownSessionError",
+    "decode_wire",
+    "schema_manifest",
+]

@@ -1,0 +1,141 @@
+"""The :class:`ServiceError` taxonomy (DESIGN.md §11).
+
+Every failure the :class:`~repro.service.service.HomeGuardService`
+surface can raise is a :class:`ServiceError` subclass with a *stable
+machine-readable code* — the service equivalent of an HTTP error body.
+Like the request/response dataclasses in :mod:`repro.service.schemas`,
+errors are part of the wire schema: they JSON-round-trip (``to_json`` /
+``from_json``) so a remote front end can transport them loss-free, and
+they carry the wire schema version so mismatched peers fail loudly.
+
+The taxonomy is closed on purpose: callers dispatch on ``code`` (or the
+exception type), never on message text.  Adding a new code is a wire
+schema change and must bump :data:`WIRE_SCHEMA_VERSION` (see the
+schema-stability test / ``make schema-check``).
+"""
+
+from __future__ import annotations
+
+# The version stamped into every wire object (requests, responses and
+# errors).  Bump it whenever a wire dataclass gains, loses or renames a
+# field, or a new error code is added — the committed schema manifest
+# (`schema_manifest.json`) pins field lists per version, and CI fails
+# on unversioned drift.
+WIRE_SCHEMA_VERSION = 1
+
+
+class ServiceError(Exception):
+    """Base class: a service request failed in a describable way."""
+
+    code = "service-error"
+
+    def __init__(self, message: str, **details: object) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details: dict[str, object] = dict(details)
+
+    def to_json(self) -> dict:
+        """The error as a wire record (kind + schema + code + text)."""
+        return {
+            "kind": "ServiceError",
+            "schema": WIRE_SCHEMA_VERSION,
+            "code": self.code,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "ServiceError":
+        """Rebuild a transported error as its taxonomy subclass.
+
+        Codes outside the taxonomy decode as the base class with the
+        transported ``code`` preserved on the instance, so callers
+        dispatching on ``code`` still see what the peer sent; a wrong
+        ``kind``/``schema`` raises :class:`SchemaMismatchError` like
+        any other wire decode."""
+        if not isinstance(data, dict) or data.get("kind") != "ServiceError":
+            raise SchemaMismatchError(
+                f"not a ServiceError record: {data!r}"
+            )
+        if data.get("schema") != WIRE_SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"wire schema {data.get('schema')!r} != "
+                f"{WIRE_SCHEMA_VERSION} (ServiceError)"
+            )
+        code = str(data.get("code"))
+        cls = ERROR_CODES.get(code, ServiceError)
+        error = cls(str(data.get("message", "")))
+        if cls is ServiceError:
+            error.code = code  # preserve an out-of-taxonomy peer code
+        details = data.get("details")
+        # Assigned, not splatted: a wire-controlled details object must
+        # not be able to collide with constructor arguments.
+        if isinstance(details, dict):
+            error.details = {str(key): value for key, value in details.items()}
+        return error
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.message!r})"
+
+
+class UnknownHomeError(ServiceError):
+    """The request names a ``home_id`` the service is not managing."""
+
+    code = "unknown-home"
+
+
+class DuplicateHomeError(ServiceError):
+    """``create_home`` for a ``home_id`` that already exists."""
+
+    code = "duplicate-home"
+
+
+class UnknownAppError(ServiceError):
+    """No rules are available for the requested app (the offline
+    extraction never ran and the request carried no source)."""
+
+    code = "unknown-app"
+
+
+class UnknownSessionError(ServiceError):
+    """The decision names a session id the service never issued."""
+
+    code = "unknown-session"
+
+
+class SessionDecidedError(ServiceError):
+    """The session already received its one-time decision (paper
+    §VIII-D.1: install decisions are one-shot, never re-prompted)."""
+
+    code = "session-decided"
+
+
+class InvalidRequestError(ServiceError):
+    """A request field failed validation (bad decision verb, empty
+    home id, malformed devices mapping, ...)."""
+
+    code = "invalid-request"
+
+
+class SchemaMismatchError(ServiceError):
+    """A wire record failed to decode: wrong kind, wrong schema
+    version, missing or unknown fields."""
+
+    code = "schema-mismatch"
+
+
+# Stable code -> class dispatch used by ServiceError.from_json and the
+# schema manifest (the taxonomy itself is part of the wire contract).
+ERROR_CODES: dict[str, type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        UnknownHomeError,
+        DuplicateHomeError,
+        UnknownAppError,
+        UnknownSessionError,
+        SessionDecidedError,
+        InvalidRequestError,
+        SchemaMismatchError,
+    )
+}

@@ -1,0 +1,529 @@
+"""Per-tenant home state — the companion-app core (paper §VII-B).
+
+This module is the canonical implementation of what used to live in
+``repro.frontend.app.HomeGuardApp`` and the ``repro.homeguard
+.HomeGuard`` facade: one home's configuration/rule recorders, its
+incremental detection pipeline, the Allowed list, the review/decision
+history, the registered home devices, and the save-on-commit /
+load-on-startup persistence.  :class:`~repro.service.service
+.HomeGuardService` manages N of these over one shared backend
+extractor and one shared solver dispatcher; the legacy ``HomeGuardApp``
+and ``HomeGuard`` classes are thin, deprecation-warned shims over a
+single-home service (DESIGN.md §11).
+
+Behavior is bit-for-bit the pre-service flow: reviews, threats, solve
+caches and persisted store bytes are identical whether a home is
+driven through the service API or through the legacy shims — the
+equivalence gate in ``tests/test_service_equivalence.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.capabilities.devices import make_device_id
+from repro.config.messaging import MessageRecord
+from repro.config.recorder import ConfigRecorder, RuleRecorder
+from repro.config.uri import ConfigPayload, decode_uri
+from repro.detector.chains import AllowedList, find_chains
+from repro.detector.pipeline import DetectionPipeline
+from repro.detector.store import DetectionStore
+from repro.detector.types import Threat, ThreatType
+from repro.rules.extractor import RuleExtractor
+from repro.rules.interpreter import describe_rule
+from repro.rules.model import RuleSet
+
+if TYPE_CHECKING:
+    from repro.constraints.dispatch import SolverDispatcher
+    from repro.service.policies import HandlingPolicy
+
+
+class InstallDecision(enum.Enum):
+    KEEP = "keep"
+    RECONFIGURE = "reconfigure"
+    DELETE = "delete"
+
+
+@dataclass(slots=True)
+class InstallReview:
+    """Everything shown to the user for one installation.
+
+    ``decision`` records the one-time choice once :meth:`TenantHome
+    .decide` ran; ``decided_by`` names the handling policy when the
+    decision was automatic (``None`` for a user decision — the
+    historical interactive flow).  Both persist with the review, so a
+    warm-started process can still show why an app is installed (and
+    which accepted threats fed the Allowed list)."""
+
+    app_name: str
+    rules: list[str]
+    threats: list[Threat] = field(default_factory=list)
+    chains: list[Threat] = field(default_factory=list)
+    decision: str | None = None
+    decided_by: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.threats and not self.chains
+
+
+@dataclass(frozen=True, slots=True)
+class InstalledDevice:
+    """A home device as the companion app sees it."""
+
+    device_id: str
+    label: str
+    type_name: str
+
+
+def _threat_record(threat: Threat) -> list:
+    """A threat as a JSON-able record: type, rule ids, detail, witness
+    and (for chained threats) the chain's rule ids."""
+    return [
+        threat.type.value,
+        threat.rule_a.rule_id,
+        threat.rule_b.rule_id,
+        threat.detail,
+        [[key, value] for key, value in threat.witness],
+        [rule.rule_id for rule in threat.chain],
+    ]
+
+
+def _threat_from_record(record, rules_by_id) -> Threat | None:
+    """Rebuild a persisted threat; ``None`` when the record is malformed
+    or mentions rules that did not restore (degraded, never a crash)."""
+    try:
+        type_value, id_a, id_b, detail, witness, chain_ids = record
+        threat_type = ThreatType(type_value)
+        rule_a, rule_b = rules_by_id[id_a], rules_by_id[id_b]
+        chain = tuple(rules_by_id[rule_id] for rule_id in chain_ids)
+        return Threat(
+            type=threat_type,
+            rule_a=rule_a,
+            rule_b=rule_b,
+            detail=str(detail),
+            witness=tuple((str(key), value) for key, value in witness),
+            chain=chain,
+        )
+    except (TypeError, ValueError, KeyError):
+        return None
+
+
+class TenantHome:
+    """One home's full companion-app state inside the service.
+
+    ``dispatcher`` is a live :class:`~repro.constraints.dispatch
+    .SolverDispatcher` (usually the service's shared one) or ``None``
+    for the inline solve path — the home never owns it and never closes
+    it.  ``policy`` is the home's :class:`~repro.service.policies
+    .HandlingPolicy` (``None`` = use the service default).
+    """
+
+    def __init__(
+        self,
+        home_id: str,
+        backend: RuleExtractor,
+        store_path: str | Path | None = None,
+        dispatcher: "SolverDispatcher | None" = None,
+        policy: "HandlingPolicy | None" = None,
+    ) -> None:
+        self.home_id = home_id
+        self.backend = backend
+        self.policy = policy
+        self.config_recorder = ConfigRecorder()
+        self.rule_recorder = RuleRecorder()
+        # Incremental detection state: the pipeline's index holds the
+        # signed rules of every kept app, so each review solves only
+        # index-selected candidate pairs (DESIGN.md).
+        self.pipeline = DetectionPipeline(
+            self.config_recorder, dispatcher=dispatcher
+        )
+        # Optional persistence: decisions are snapshotted to the store
+        # on every commit, and :meth:`load_store` warm-starts a fresh
+        # process from the last snapshot (DESIGN.md §8).
+        self.store = (
+            DetectionStore(store_path) if store_path is not None else None
+        )
+        self.allowed = AllowedList()
+        self.reviews: list[InstallReview] = []
+        self.home_devices: dict[str, InstalledDevice] = {}
+        # Opaque facade state persisted verbatim with every snapshot.
+        self.frontend_state: dict = {}
+        self._pending: list[ConfigPayload] = []
+
+    # ------------------------------------------------------------------
+    # Home devices
+
+    def register_device(self, label: str, type_name: str) -> InstalledDevice:
+        """Register (or re-type) a physical device under a home-unique
+        label.  Device ids are deterministic per label, so the same
+        home described twice binds the same identities."""
+        device = InstalledDevice(
+            device_id=make_device_id(f"hg:{label}"),
+            label=label,
+            type_name=type_name,
+        )
+        self.home_devices[label] = device
+        # Ride along with the snapshots so labels keep resolving after
+        # a warm restart.
+        self.frontend_state.setdefault("home_devices", {})[label] = {
+            "device_id": device.device_id,
+            "type": device.type_name,
+        }
+        return device
+
+    def bind_inputs(
+        self, devices: Mapping[str, str] | None
+    ) -> tuple[dict[str, str], dict[str, str]]:
+        """Resolve an install request's device inputs against the home.
+
+        Each value is a registered device *label*, or a bare device
+        type name — a device of that type is auto-registered on first
+        use.  Returns ``(input -> device id, device id -> type)``."""
+        bound: dict[str, str] = {}
+        types: dict[str, str] = {}
+        for input_name, type_or_label in (devices or {}).items():
+            if type_or_label in self.home_devices:
+                device = self.home_devices[type_or_label]
+            else:
+                device = self.register_device(
+                    f"{type_or_label}-{len(self.home_devices)}",
+                    type_or_label,
+                )
+            bound[input_name] = device.device_id
+            types[device.device_id] = device.type_name
+        return bound, types
+
+    # ------------------------------------------------------------------
+    # Message intake
+
+    def receive_message(self, record: MessageRecord) -> None:
+        """Transport callback: decode the URI and queue the payload (the
+        user then "clicks the notification" via :meth:`review_pending`)."""
+        payload = decode_uri(record.uri)
+        self._pending.append(payload)
+
+    def review_pending(
+        self, device_types: dict[str, str] | None = None
+    ) -> list[InstallReview]:
+        """Process queued payloads into installation reviews."""
+        reviews = []
+        while self._pending:
+            payload = self._pending.pop(0)
+            reviews.append(self.review_installation(payload, device_types))
+        return reviews
+
+    # ------------------------------------------------------------------
+    # Detection flow
+
+    def _resolve_ruleset(self, app_name: str) -> RuleSet:
+        """The app's rules, preferring the backend extractor.
+
+        A warm-started process may not have re-run the offline
+        extraction; the recorded (persisted) rules are the same
+        loss-free representation the backend would serve."""
+        ruleset = self.backend.rules_of(app_name)
+        if ruleset is None:
+            ruleset = self.rule_recorder.rules_of(app_name)
+        if ruleset is None:
+            raise LookupError(
+                f"backend has no rules for app {app_name!r}; extract it "
+                "first (offline phase) or submit the custom source"
+            )
+        return ruleset
+
+    def review_installation(
+        self,
+        payload: ConfigPayload,
+        device_types: dict[str, str] | None = None,
+    ) -> InstallReview:
+        """The online detection run for one app installation/update."""
+        ruleset = self._resolve_ruleset(payload.app_name)
+        # A re-recorded configuration may change device identities, in
+        # which case everything cached about this app is stale.  An
+        # identical payload (audit replays) keeps the caches.
+        previous = self.config_recorder.config_of(payload.app_name)
+        retyped_devices = {
+            device_id
+            for device_id, type_name in (device_types or {}).items()
+            if self.config_recorder.device_types.get(device_id) != type_name
+        }
+        self.config_recorder.record(payload, device_types)
+        if previous != payload or retyped_devices:
+            self.pipeline.invalidate_app(payload.app_name)
+        if retyped_devices:
+            # Device types are home-global: re-typing a device changes
+            # the signatures of every installed app bound to it.
+            for app_name, recorded in self.config_recorder.payloads.items():
+                if app_name != payload.app_name and retyped_devices & set(
+                    recorded.devices.values()
+                ):
+                    self.pipeline.invalidate_app(app_name)
+        report = self.pipeline.detect(ruleset)
+        chains = find_chains(report.threats, self.allowed)
+        review = InstallReview(
+            app_name=payload.app_name,
+            rules=[describe_rule(rule) for rule in ruleset.rules],
+            threats=report.threats,
+            chains=chains,
+        )
+        self.reviews.append(review)
+        return review
+
+    def decide(
+        self,
+        review: InstallReview,
+        decision: InstallDecision,
+        decided_by: str | None = None,
+    ) -> None:
+        """Apply the one-time decision.  ``decided_by`` names the
+        handling policy for automatic verdicts (``None`` = the user)."""
+        review.decision = decision.value
+        review.decided_by = decided_by
+        if decision is InstallDecision.KEEP:
+            ruleset = self._resolve_ruleset(review.app_name)
+            self.rule_recorder.record(ruleset)
+            self.pipeline.commit(review.app_name, ruleset)
+            # Accepted pairs join the Allowed list for chained detection
+            # (paper §VI-D).
+            self.allowed.add_all(review.threats)
+            self.save_store()
+        elif decision is InstallDecision.DELETE:
+            self.rule_recorder.forget(review.app_name)
+            self.config_recorder.forget(review.app_name)
+            self.pipeline.discard(review.app_name)
+            self.pipeline.remove_ruleset(review.app_name)
+            self.save_store()
+        else:
+            # RECONFIGURE keeps nothing: the app will send a fresh
+            # payload after the user updates its settings.
+            self.pipeline.discard(review.app_name)
+
+    def installed_apps(self) -> list[str]:
+        return sorted(self.rule_recorder.rulesets)
+
+    def ruleset_of(self, app_name: str) -> RuleSet | None:
+        return self.rule_recorder.rules_of(app_name)
+
+    # ------------------------------------------------------------------
+    # Backward-compatibility audit (paper §VIII-D.3)
+
+    def audit_existing(
+        self, apps: list[str] | None = None
+    ) -> list[InstallReview]:
+        """Re-run detection for apps installed *before* HomeGuard was
+        deployed, by replaying their recorded configuration payloads in
+        installation order.  Each review covers one app against all the
+        others, so the union covers every installed pair.  ``apps``
+        restricts the replay; an audit replay carries no keep/delete
+        decision — staged signatures are dropped, the apps stay
+        installed as-is."""
+        wanted = None if apps is None else set(apps)
+        reviews: list[InstallReview] = []
+        for app_name in self.installed_apps():
+            if wanted is not None and app_name not in wanted:
+                continue
+            payload = self.config_recorder.config_of(app_name)
+            if payload is None:
+                continue
+            review = self.review_installation(payload)
+            self.pipeline.discard(app_name)
+            reviews.append(review)
+        return reviews
+
+    # ------------------------------------------------------------------
+    # Persistence (save-on-commit / load-on-startup, DESIGN.md §8)
+
+    def _threat_restorable(self, threat: Threat) -> bool:
+        """Whether a persisted record of this threat could be rebuilt on
+        load: every rule it mentions must belong to a recorded app."""
+        apps = {threat.rule_a.app_name, threat.rule_b.app_name}
+        apps.update(rule.app_name for rule in threat.chain)
+        return all(app in self.rule_recorder.rulesets for app in apps)
+
+    def _review_entry(self, review: InstallReview) -> dict:
+        """One review as its persisted frontend-blob entry.  The
+        ``decided_by`` key appears only for policy-decided reviews, so
+        interactive homes persist byte-identical blobs to the
+        pre-service flow."""
+        entry = {
+            "app": review.app_name,
+            "rules": list(review.rules),
+            "decision": review.decision,
+        }
+        if review.decided_by is not None:
+            entry["decided_by"] = review.decided_by
+        entry["threats"] = [
+            _threat_record(t)
+            for t in review.threats
+            if self._threat_restorable(t)
+        ]
+        entry["chains"] = [
+            _threat_record(t)
+            for t in review.chains
+            if self._threat_restorable(t)
+        ]
+        return entry
+
+    def save_store(self) -> None:
+        """Snapshot detection state + recorders to the configured store
+        (a no-op without a ``store_path``).  Called on every commit."""
+        if self.store is None:
+            return
+        frontend = {
+            "payloads": [
+                {
+                    "app": payload.app_name,
+                    "devices": dict(payload.devices),
+                    "values": dict(payload.values),
+                }
+                for payload in self.config_recorder.payloads.values()
+            ],
+            "device_types": dict(self.config_recorder.device_types),
+            "allowed": [
+                [threat.type.value, threat.rule_a.rule_id,
+                 threat.rule_b.rule_id]
+                for threat in self.allowed.pairs
+            ],
+            # Review/decision history: every install screen shown so
+            # far, with the one-time decision (and the deciding policy,
+            # when one decided automatically) — the provenance of the
+            # Allowed list and of each kept app.  Survives warm
+            # restarts (the past is re-rendered, not re-detected).
+            # Threat records referencing apps whose rules are no longer
+            # recorded (deleted apps) could never be reconstructed on
+            # load, so they are pruned here instead of being carried as
+            # dead weight in every snapshot; the review entry itself —
+            # app, rendered rules, decision — always persists.
+            "reviews": [
+                self._review_entry(review) for review in self.reviews
+            ],
+            "extra": self.frontend_state,
+        }
+        self.store.save(
+            self.pipeline,
+            rulesets=self.rule_recorder.rulesets,
+            frontend=frontend,
+        )
+
+    def load_store(self) -> list[str]:
+        """Warm-start this home from the persisted store.
+
+        Restores the configuration recorder, rule recorder, Allowed
+        list and registered home devices, then loads the pipeline:
+        fingerprint-validated apps come back without a single solver
+        call; apps whose recorded bindings changed since the snapshot
+        are transparently re-reviewed (their fresh reviews are appended
+        like any install).  Returns the restored app names; with no /
+        an unusable store nothing changes and the list is empty."""
+        if self.store is None:
+            return []
+        snapshot = self.store.load()
+        if snapshot is None:
+            return []
+        frontend = (
+            snapshot.frontend if isinstance(snapshot.frontend, dict) else {}
+        )
+        # Configuration first: the recorder *is* the pipeline's resolver,
+        # so identities must be in place before any re-signing happens.
+        # Malformed entries are skipped (the app then restores as stale
+        # or not at all — degraded, never a crash).
+        for entry in frontend.get("payloads", []):
+            try:
+                self.config_recorder.record(
+                    ConfigPayload(
+                        app_name=entry["app"],
+                        devices=dict(entry.get("devices", {})),
+                        values=dict(entry.get("values", {})),
+                    )
+                )
+            except (TypeError, KeyError, ValueError):
+                continue
+        device_types = frontend.get("device_types", {})
+        if isinstance(device_types, dict):
+            self.config_recorder.device_types.update(device_types)
+        extra = frontend.get("extra", {})
+        self.frontend_state = dict(extra) if isinstance(extra, dict) else {}
+        rulesets = snapshot.rulesets()
+        result = self.store.restore_into(
+            self.pipeline, list(rulesets.values()), snapshot=snapshot
+        )
+        for ruleset in rulesets.values():
+            self.rule_recorder.record(ruleset)
+        rules_by_id = {
+            rule.rule_id: rule
+            for ruleset in rulesets.values()
+            for rule in ruleset.rules
+        }
+        for entry in frontend.get("allowed", []):
+            try:
+                type_value, id_a, id_b = entry
+                threat_type = ThreatType(type_value)
+            except (TypeError, ValueError):
+                continue
+            rule_a, rule_b = rules_by_id.get(id_a), rules_by_id.get(id_b)
+            if rule_a is not None and rule_b is not None:
+                self.allowed.add(
+                    Threat(type=threat_type, rule_a=rule_a, rule_b=rule_b)
+                )
+        # Replay the persisted review/decision history so past install
+        # screens re-render after a warm restart.  Threats mentioning
+        # rules that did not restore are dropped from their review;
+        # malformed review entries are skipped entirely.
+        for entry in frontend.get("reviews", []):
+            try:
+                review = InstallReview(
+                    app_name=str(entry["app"]),
+                    rules=[str(rule) for rule in entry.get("rules", [])],
+                    decision=(
+                        str(entry["decision"])
+                        if entry.get("decision") is not None
+                        else None
+                    ),
+                    decided_by=(
+                        str(entry["decided_by"])
+                        if entry.get("decided_by") is not None
+                        else None
+                    ),
+                )
+            except (TypeError, KeyError, ValueError):
+                continue
+            for kind, into in (
+                ("threats", review.threats),
+                ("chains", review.chains),
+            ):
+                for record in entry.get(kind, []):
+                    threat = _threat_from_record(record, rules_by_id)
+                    if threat is not None:
+                        into.append(threat)
+            self.reviews.append(review)
+        # Binding changes surface as fresh reviews, exactly like a
+        # re-sent configuration payload would.
+        for report in result.reports:
+            ruleset = rulesets.get(report.app_name)
+            self.reviews.append(
+                InstallReview(
+                    app_name=report.app_name,
+                    rules=[describe_rule(r) for r in ruleset.rules]
+                    if ruleset else [],
+                    threats=report.threats,
+                    chains=find_chains(report.threats, self.allowed),
+                )
+            )
+        # Registered home devices came back with the frontend blob;
+        # rebuild the label registry so future installs keep resolving.
+        home_devices = self.frontend_state.get("home_devices", {})
+        if isinstance(home_devices, dict):
+            for label, entry in home_devices.items():
+                try:
+                    self.home_devices[label] = InstalledDevice(
+                        device_id=entry["device_id"],
+                        label=label,
+                        type_name=entry["type"],
+                    )
+                except (TypeError, KeyError):
+                    continue  # malformed entry: that label won't resolve
+        return result.warm_apps + result.stale_apps

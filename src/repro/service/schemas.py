@@ -1,0 +1,644 @@
+"""Typed, versioned wire schemas for the HomeGuard service (DESIGN.md §11).
+
+Every request a tenant sends to :class:`~repro.service.service
+.HomeGuardService` and every response it returns is one of the frozen
+dataclasses below — never an ad-hoc tuple or dict.  The contract:
+
+* **Frozen** — wire objects are immutable value types; handlers cannot
+  mutate a request in flight.
+* **Versioned** — ``to_json`` stamps every record with its ``kind`` and
+  the module-wide :data:`~repro.service.errors.WIRE_SCHEMA_VERSION`;
+  ``from_json`` rejects records from a different version instead of
+  guessing.  Changing any field list without bumping the version fails
+  the schema-stability check (``make schema-check``), which pins the
+  committed ``schema_manifest.json``.
+* **JSON-round-trippable** — ``from_json(json.loads(json.dumps(
+  obj.to_json()))) == obj`` holds for every model, so the same objects
+  can cross a process boundary, a message queue, or the ROADMAP's
+  future many-host dispatcher without a separate serialization layer.
+* **Strict** — unknown fields, missing required fields and malformed
+  shapes raise :class:`~repro.service.errors.SchemaMismatchError`; bad
+  field *values* (e.g. an unknown decision verb) raise
+  :class:`~repro.service.errors.InvalidRequestError` at construction
+  time, so an invalid request object cannot even be built.
+
+Regenerate the manifest after a deliberate, version-bumped change
+with::
+
+    python -m repro.service.schemas --write-manifest
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar
+
+from repro.service.errors import (
+    ERROR_CODES,
+    WIRE_SCHEMA_VERSION,
+    InvalidRequestError,
+    SchemaMismatchError,
+)
+
+# The three one-time decision verbs of paper §VIII-D.1, as wire text
+# (mirrors repro.frontend.app.InstallDecision values).
+DECISION_VERBS = ("keep", "reconfigure", "delete")
+
+SESSION_PENDING = "pending"
+SESSION_DECIDED = "decided"
+
+
+# ----------------------------------------------------------------------
+# Encode/decode helpers
+
+
+def _wire_value(value: object) -> object:
+    """A JSON-primitive view of one user/witness value (non-primitives
+    degrade to ``str``, exactly like the config URI encoding does)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def _header(kind: str) -> dict:
+    return {"kind": kind, "schema": WIRE_SCHEMA_VERSION}
+
+
+def _check_header(kind: str, data: object) -> dict:
+    if not isinstance(data, dict):
+        raise SchemaMismatchError(
+            f"{kind}: expected a JSON object, got {type(data).__name__}"
+        )
+    if data.get("kind") != kind:
+        raise SchemaMismatchError(
+            f"expected kind {kind!r}, got {data.get('kind')!r}"
+        )
+    if data.get("schema") != WIRE_SCHEMA_VERSION:
+        raise SchemaMismatchError(
+            f"{kind}: wire schema {data.get('schema')!r} != "
+            f"{WIRE_SCHEMA_VERSION}; peers must speak the same version"
+        )
+    return data
+
+
+def _str_field(kind: str, data: dict, name: str) -> str:
+    value = data.get(name)
+    if not isinstance(value, str):
+        raise SchemaMismatchError(
+            f"{kind}.{name}: expected a string, got {value!r}"
+        )
+    return value
+
+
+def _opt_str_field(kind: str, data: dict, name: str) -> str | None:
+    value = data.get(name)
+    if value is not None and not isinstance(value, str):
+        raise SchemaMismatchError(
+            f"{kind}.{name}: expected a string or null, got {value!r}"
+        )
+    return value
+
+
+def _str_dict_field(kind: str, data: dict, name: str) -> dict[str, str]:
+    value = data.get(name, {})
+    if not isinstance(value, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in value.items()
+    ):
+        raise SchemaMismatchError(
+            f"{kind}.{name}: expected a string->string object, got {value!r}"
+        )
+    return dict(value)
+
+
+def _reject_unknown(kind: str, data: dict, known: set[str]) -> None:
+    unknown = set(data) - known - {"kind", "schema"}
+    if unknown:
+        raise SchemaMismatchError(
+            f"{kind}: unknown field(s) {sorted(unknown)!r} — a schema "
+            "change must bump WIRE_SCHEMA_VERSION"
+        )
+
+
+# ----------------------------------------------------------------------
+# Requests
+
+
+@dataclass(frozen=True)
+class InstallRequest:
+    """Install (or re-configure) one app in one tenant home.
+
+    ``devices`` maps the app's device input names to *home device
+    labels* (registered via ``register_device``) or bare device type
+    names (a device of that type is auto-registered on first use —
+    the same semantics the ``HomeGuard`` facade always had); ``values``
+    are the user-entered input values.  ``source`` optionally carries
+    custom SmartApp source for apps the shared backend has not
+    extracted offline."""
+
+    kind: ClassVar[str] = "InstallRequest"
+
+    home_id: str
+    app_name: str
+    devices: dict[str, str] = field(default_factory=dict)
+    values: dict[str, object] = field(default_factory=dict)
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.home_id:
+            raise InvalidRequestError("InstallRequest.home_id is empty")
+        if not self.app_name:
+            raise InvalidRequestError("InstallRequest.app_name is empty")
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "home_id": self.home_id,
+            "app_name": self.app_name,
+            "devices": dict(self.devices),
+            "values": {k: _wire_value(v) for k, v in self.values.items()},
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "InstallRequest":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data,
+            {"home_id", "app_name", "devices", "values", "source"},
+        )
+        values = data.get("values", {})
+        if not isinstance(values, dict):
+            raise SchemaMismatchError(
+                f"{cls.kind}.values: expected an object, got {values!r}"
+            )
+        return cls(
+            home_id=_str_field(cls.kind, data, "home_id"),
+            app_name=_str_field(cls.kind, data, "app_name"),
+            devices=_str_dict_field(cls.kind, data, "devices"),
+            values={str(k): _wire_value(v) for k, v in values.items()},
+            source=_opt_str_field(cls.kind, data, "source"),
+        )
+
+
+@dataclass(frozen=True)
+class AuditRequest:
+    """Re-run detection over a home's already-installed apps (the
+    paper's §VIII-D.3 backward-compatibility audit).  ``apps`` limits
+    the replay to the named apps; ``None`` audits everything."""
+
+    kind: ClassVar[str] = "AuditRequest"
+
+    home_id: str
+    apps: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.home_id:
+            raise InvalidRequestError("AuditRequest.home_id is empty")
+        if self.apps is not None:
+            # A bare string would silently iterate into characters and
+            # audit nothing — reject it like any other invalid value.
+            if isinstance(self.apps, (str, bytes)):
+                raise InvalidRequestError(
+                    "AuditRequest.apps must be a sequence of app names "
+                    f"(or None), not a bare string: {self.apps!r}"
+                )
+            object.__setattr__(
+                self, "apps", tuple(str(app) for app in self.apps)
+            )
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "home_id": self.home_id,
+            "apps": None if self.apps is None else list(self.apps),
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "AuditRequest":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(cls.kind, data, {"home_id", "apps"})
+        apps = data.get("apps")
+        if apps is not None and not (
+            isinstance(apps, list)
+            and all(isinstance(app, str) for app in apps)
+        ):
+            raise SchemaMismatchError(
+                f"{cls.kind}.apps: expected a string list or null, "
+                f"got {apps!r}"
+            )
+        return cls(
+            home_id=_str_field(cls.kind, data, "home_id"),
+            apps=None if apps is None else tuple(apps),
+        )
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """The tenant's one-time decision for a pending install session."""
+
+    kind: ClassVar[str] = "DecisionRequest"
+
+    home_id: str
+    session_id: str
+    decision: str
+
+    def __post_init__(self) -> None:
+        if not self.home_id:
+            raise InvalidRequestError("DecisionRequest.home_id is empty")
+        if not self.session_id:
+            raise InvalidRequestError("DecisionRequest.session_id is empty")
+        if self.decision not in DECISION_VERBS:
+            raise InvalidRequestError(
+                f"unknown decision verb {self.decision!r}; expected one "
+                f"of {', '.join(DECISION_VERBS)}"
+            )
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "home_id": self.home_id,
+            "session_id": self.session_id,
+            "decision": self.decision,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "DecisionRequest":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data, {"home_id", "session_id", "decision"}
+        )
+        return cls(
+            home_id=_str_field(cls.kind, data, "home_id"),
+            session_id=_str_field(cls.kind, data, "session_id"),
+            decision=_str_field(cls.kind, data, "decision"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Responses
+
+
+@dataclass(frozen=True)
+class ThreatRecord:
+    """One detected CAI threat, as wire data.
+
+    The live :class:`~repro.detector.types.Threat` holds full
+    :class:`~repro.rules.model.Rule` objects; the wire record carries
+    their stable ids plus everything the front end renders — type,
+    Table I category, witness situation, chain path and the
+    human-readable explanation."""
+
+    kind: ClassVar[str] = "ThreatRecord"
+
+    type: str
+    category: str
+    rule_a: str
+    rule_b: str
+    apps: tuple[str, str]
+    detail: str = ""
+    witness: tuple[tuple[str, object], ...] = ()
+    chain: tuple[str, ...] = ()
+    description: str = ""
+
+    @classmethod
+    def from_threat(cls, threat) -> "ThreatRecord":
+        from repro.frontend.threat_interpreter import describe_threat
+
+        return cls(
+            type=threat.type.value,
+            category=threat.type.category,
+            rule_a=threat.rule_a.rule_id,
+            rule_b=threat.rule_b.rule_id,
+            apps=(threat.rule_a.app_name, threat.rule_b.app_name),
+            detail=threat.detail,
+            witness=tuple(
+                (str(key), _wire_value(value))
+                for key, value in threat.witness
+            ),
+            chain=tuple(rule.rule_id for rule in threat.chain),
+            description=describe_threat(threat),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "type": self.type,
+            "category": self.category,
+            "rule_a": self.rule_a,
+            "rule_b": self.rule_b,
+            "apps": list(self.apps),
+            "detail": self.detail,
+            "witness": [[key, value] for key, value in self.witness],
+            "chain": list(self.chain),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "ThreatRecord":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data,
+            {"type", "category", "rule_a", "rule_b", "apps", "detail",
+             "witness", "chain", "description"},
+        )
+        apps = data.get("apps")
+        if not (
+            isinstance(apps, list)
+            and len(apps) == 2
+            and all(isinstance(app, str) for app in apps)
+        ):
+            raise SchemaMismatchError(
+                f"{cls.kind}.apps: expected two app names, got {apps!r}"
+            )
+        witness = data.get("witness", [])
+        try:
+            witness_pairs = tuple(
+                (str(key), _wire_value(value)) for key, value in witness
+            )
+        except (TypeError, ValueError):
+            raise SchemaMismatchError(
+                f"{cls.kind}.witness: expected [key, value] pairs, "
+                f"got {witness!r}"
+            ) from None
+        chain = data.get("chain", [])
+        if not (
+            isinstance(chain, list)
+            and all(isinstance(rule_id, str) for rule_id in chain)
+        ):
+            raise SchemaMismatchError(
+                f"{cls.kind}.chain: expected rule-id strings, got {chain!r}"
+            )
+        return cls(
+            type=_str_field(cls.kind, data, "type"),
+            category=_str_field(cls.kind, data, "category"),
+            rule_a=_str_field(cls.kind, data, "rule_a"),
+            rule_b=_str_field(cls.kind, data, "rule_b"),
+            apps=(apps[0], apps[1]),
+            detail=str(data.get("detail", "")),
+            witness=witness_pairs,
+            chain=tuple(chain),
+            description=str(data.get("description", "")),
+        )
+
+
+@dataclass(frozen=True)
+class ThreatReport:
+    """Everything detection found for one app in one home — the wire
+    form of an installation review screen (rendered rules + pairwise
+    threats + chained threats through the home's Allowed list)."""
+
+    kind: ClassVar[str] = "ThreatReport"
+
+    home_id: str
+    app_name: str
+    rules: tuple[str, ...] = ()
+    threats: tuple[ThreatRecord, ...] = ()
+    chains: tuple[ThreatRecord, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.threats and not self.chains
+
+    @classmethod
+    def from_review(cls, home_id: str, review) -> "ThreatReport":
+        return cls(
+            home_id=home_id,
+            app_name=review.app_name,
+            rules=tuple(review.rules),
+            threats=tuple(
+                ThreatRecord.from_threat(t) for t in review.threats
+            ),
+            chains=tuple(
+                ThreatRecord.from_threat(t) for t in review.chains
+            ),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "home_id": self.home_id,
+            "app_name": self.app_name,
+            "rules": list(self.rules),
+            "threats": [record.to_json() for record in self.threats],
+            "chains": [record.to_json() for record in self.chains],
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "ThreatReport":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data,
+            {"home_id", "app_name", "rules", "threats", "chains"},
+        )
+        rules = data.get("rules", [])
+        if not (
+            isinstance(rules, list)
+            and all(isinstance(rule, str) for rule in rules)
+        ):
+            raise SchemaMismatchError(
+                f"{cls.kind}.rules: expected rendered-rule strings, "
+                f"got {rules!r}"
+            )
+
+        def records(name: str) -> tuple[ThreatRecord, ...]:
+            entries = data.get(name, [])
+            if not isinstance(entries, list):
+                raise SchemaMismatchError(
+                    f"{cls.kind}.{name}: expected a list, got {entries!r}"
+                )
+            return tuple(ThreatRecord.from_json(e) for e in entries)
+
+        return cls(
+            home_id=_str_field(cls.kind, data, "home_id"),
+            app_name=_str_field(cls.kind, data, "app_name"),
+            rules=tuple(rules),
+            threats=records("threats"),
+            chains=records("chains"),
+        )
+
+
+@dataclass(frozen=True)
+class InstallSession:
+    """One install request's lifecycle: review shown -> one-time
+    decision applied.
+
+    ``status`` is :data:`SESSION_PENDING` while the home's
+    :class:`~repro.service.policies.HandlingPolicy` deferred to the
+    user (the paper's interactive flow) and :data:`SESSION_DECIDED`
+    once a decision landed; ``decided_by`` names the policy that
+    decided automatically, or is ``None`` for a user decision."""
+
+    kind: ClassVar[str] = "InstallSession"
+
+    session_id: str
+    home_id: str
+    app_name: str
+    status: str
+    report: ThreatReport
+    decision: str | None = None
+    decided_by: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in (SESSION_PENDING, SESSION_DECIDED):
+            raise InvalidRequestError(
+                f"unknown session status {self.status!r}"
+            )
+        if self.decision is not None and self.decision not in DECISION_VERBS:
+            raise InvalidRequestError(
+                f"unknown decision verb {self.decision!r}"
+            )
+
+    @property
+    def pending(self) -> bool:
+        return self.status == SESSION_PENDING
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "session_id": self.session_id,
+            "home_id": self.home_id,
+            "app_name": self.app_name,
+            "status": self.status,
+            "report": self.report.to_json(),
+            "decision": self.decision,
+            "decided_by": self.decided_by,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "InstallSession":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data,
+            {"session_id", "home_id", "app_name", "status", "report",
+             "decision", "decided_by"},
+        )
+        return cls(
+            session_id=_str_field(cls.kind, data, "session_id"),
+            home_id=_str_field(cls.kind, data, "home_id"),
+            app_name=_str_field(cls.kind, data, "app_name"),
+            status=_str_field(cls.kind, data, "status"),
+            report=ThreatReport.from_json(data.get("report")),
+            decision=_opt_str_field(cls.kind, data, "decision"),
+            decided_by=_opt_str_field(cls.kind, data, "decided_by"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry, generic decode, schema manifest
+
+
+WIRE_MODELS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        InstallRequest,
+        AuditRequest,
+        DecisionRequest,
+        ThreatRecord,
+        ThreatReport,
+        InstallSession,
+    )
+}
+
+
+def decode_wire(data: object) -> Any:
+    """Decode any wire record by its ``kind`` tag (requests, responses
+    or a transported :class:`~repro.service.errors.ServiceError`)."""
+    if not isinstance(data, dict):
+        raise SchemaMismatchError(
+            f"expected a JSON object, got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    if not isinstance(kind, str):
+        raise SchemaMismatchError(f"malformed wire kind {kind!r}")
+    if kind == "ServiceError":
+        from repro.service.errors import ServiceError
+
+        return ServiceError.from_json(data)
+    cls = WIRE_MODELS.get(kind)
+    if cls is None:
+        raise SchemaMismatchError(f"unknown wire kind {kind!r}")
+    return cls.from_json(data)
+
+
+def schema_manifest() -> dict:
+    """The wire contract as data: version, per-model field lists, and
+    the error-code taxonomy.  The committed ``schema_manifest.json``
+    pins this; the schema-stability check fails on any drift, which is
+    what makes "change a field without bumping the version" a CI
+    failure instead of a silent wire break."""
+    return {
+        "schema": WIRE_SCHEMA_VERSION,
+        "models": {
+            kind: [f.name for f in dataclasses.fields(cls)]
+            for kind, cls in sorted(WIRE_MODELS.items())
+        },
+        "errors": sorted(ERROR_CODES),
+    }
+
+
+def manifest_path() -> Path:
+    return Path(__file__).with_name("schema_manifest.json")
+
+
+def check_manifest() -> list[str]:
+    """Compare the live schemas against the committed manifest;
+    returns human-readable drift findings (empty = stable)."""
+    current = schema_manifest()
+    try:
+        committed = json.loads(manifest_path().read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {manifest_path()}: {exc}"]
+    findings: list[str] = []
+    if committed.get("schema") != current["schema"]:
+        findings.append(
+            f"WIRE_SCHEMA_VERSION is {current['schema']} but the "
+            f"committed manifest pins {committed.get('schema')}; "
+            "regenerate with --write-manifest"
+        )
+    for kind, fields in current["models"].items():
+        recorded = committed.get("models", {}).get(kind)
+        if recorded is None:
+            findings.append(f"{kind}: new model not in the manifest")
+        elif recorded != fields:
+            findings.append(
+                f"{kind}: fields changed {recorded} -> {fields} — bump "
+                "WIRE_SCHEMA_VERSION and regenerate the manifest"
+            )
+    for kind in set(committed.get("models", {})) - set(current["models"]):
+        findings.append(f"{kind}: model removed without a version bump")
+    if committed.get("errors") != current["errors"]:
+        findings.append(
+            f"error taxonomy changed {committed.get('errors')} -> "
+            f"{current['errors']} — bump WIRE_SCHEMA_VERSION and "
+            "regenerate the manifest"
+        )
+    return findings
+
+
+def _main(argv: list[str]) -> int:
+    if "--write-manifest" in argv:
+        manifest_path().write_text(
+            json.dumps(schema_manifest(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {manifest_path()}")
+        return 0
+    findings = check_manifest()
+    if findings:
+        for finding in findings:
+            print(f"schema drift: {finding}")
+        return 1
+    print(
+        f"wire schema v{WIRE_SCHEMA_VERSION} matches the committed "
+        "manifest"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    import sys
+
+    raise SystemExit(_main(sys.argv[1:]))

@@ -1,0 +1,511 @@
+"""The multi-tenant HomeGuard service façade (DESIGN.md §11).
+
+:class:`HomeGuardService` is the canonical public API: N tenant homes
+served over **one** shared backend rule extractor (the offline phase
+runs once per app, not once per home), **one** shared
+:class:`~repro.constraints.dispatch.SolverDispatcher` (a single worker
+pool absorbs every home's solve batches), and one shared capability
+registry — with per-home :class:`~repro.detector.store.DetectionStore`
+directories under a common store root, so each home's snapshot is
+byte-identical to what a dedicated single-home deployment would have
+written.
+
+Tenants speak the typed wire schemas of :mod:`repro.service.schemas`
+(``InstallRequest`` in, ``InstallSession``/``ThreatReport`` out,
+:class:`~repro.service.errors.ServiceError` on failure) and configure
+threat *handling* per home via :mod:`repro.service.policies` — the
+default :class:`~repro.service.policies.InteractivePolicy` reproduces
+the paper's one-time user decision, while ``AutoDenyPolicy`` /
+``SeverityThresholdPolicy`` / ``ChainedPolicy`` handle threats without
+a human in the loop.
+
+The legacy ``HomeGuard`` / ``HomeGuardApp`` classes are shims over a
+single-home service; results (threats, caches, store bytes) are
+identical on either surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.capabilities import registry as capability_registry
+from repro.config.messaging import Transport
+from repro.config.uri import ConfigPayload
+from repro.constraints.dispatch import SolverDispatcher, make_dispatcher
+from repro.corpus.model import CorpusApp
+from repro.rules.extractor import ExtractionError, RuleExtractor
+from repro.rules.model import RuleSet
+from repro.service.errors import (
+    DuplicateHomeError,
+    InvalidRequestError,
+    SessionDecidedError,
+    UnknownAppError,
+    UnknownHomeError,
+    UnknownSessionError,
+)
+from repro.service.home import (
+    InstallDecision,
+    InstalledDevice,
+    InstallReview,
+    TenantHome,
+)
+from repro.service.policies import HandlingPolicy, InteractivePolicy
+from repro.service.schemas import (
+    SESSION_DECIDED,
+    SESSION_PENDING,
+    AuditRequest,
+    DecisionRequest,
+    InstallRequest,
+    InstallSession,
+    ThreatReport,
+)
+
+
+class _LiveSession:
+    """Service-side session state: the wire view plus the live review
+    the one-time decision will be applied to.  ``review`` is dropped
+    once the session is decided — only pending sessions need the live
+    threat/rule object graph, and a long-running service must not pin
+    one per install forever."""
+
+    __slots__ = ("wire", "review", "home")
+
+    def __init__(
+        self,
+        wire: InstallSession,
+        review: InstallReview | None,
+        home: TenantHome,
+    ) -> None:
+        self.wire = wire
+        self.review = review
+        self.home = home
+
+
+class HomeGuardService:
+    """Serve CAI detection and threat handling for many tenant homes.
+
+    Parameters
+    ----------
+    extractor:
+        The shared backend :class:`RuleExtractor` (one offline
+        extraction serves every home).  A fresh one by default.
+    workers:
+        The shared solver-dispatch setting, as accepted by
+        :func:`~repro.constraints.dispatch.make_dispatcher` (``"auto"``
+        by default; ``None`` = inline solves).  One dispatcher instance
+        is created here and shared by every home's pipeline — with a
+        pooled backend, one worker pool absorbs the whole fleet's solve
+        batches.
+    store_root:
+        Optional directory; each created home persists to
+        ``store_root/<home_id>`` (save-on-commit, DESIGN.md §8).  A
+        home can also pin an explicit ``store_path``.
+    policy:
+        The default :class:`HandlingPolicy` for homes that don't set
+        their own (:class:`InteractivePolicy` if omitted).
+    """
+
+    #: Decided sessions kept queryable before the oldest are evicted
+    #: (pending sessions are never evicted — they still await their
+    #: one-time decision).  Bounds service memory under sustained
+    #: install traffic.
+    max_decided_sessions = 4096
+
+    def __init__(
+        self,
+        extractor: RuleExtractor | None = None,
+        workers: int | str | SolverDispatcher | None = "auto",
+        store_root: str | Path | None = None,
+        policy: HandlingPolicy | None = None,
+    ) -> None:
+        self.extractor = extractor if extractor is not None else RuleExtractor()
+        self.dispatcher = make_dispatcher(workers)
+        self.store_root = None if store_root is None else Path(store_root)
+        self.default_policy = policy if policy is not None else InteractivePolicy()
+        # The capability registry is process-global by design (paper
+        # Appendix A); expose it so tenants introspect one shared
+        # catalogue instead of importing module internals.
+        self.capabilities = capability_registry
+        self._homes: dict[str, TenantHome] = {}
+        self._sessions: dict[str, _LiveSession] = {}
+        self._decided_order: list[str] = []
+        self._session_seq = 0
+        # app name -> (owner home_ids | None for public, source text).
+        # Public entries come from preload()/extract(); owned entries
+        # from custom-source installs — tenants outside the owner set
+        # cannot install (or read the rules of) a custom app.  A home
+        # that resubmits the byte-identical source joins the owners.
+        self._sources: dict[str, tuple[set[str] | None, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Tenant home lifecycle
+
+    def create_home(
+        self,
+        home_id: str,
+        store_path: str | Path | None = None,
+        policy: HandlingPolicy | None = None,
+    ) -> TenantHome:
+        """Register a tenant home and return its live state handle.
+
+        ``store_path`` overrides the ``store_root/<home_id>`` default;
+        ``policy`` overrides the service default for this home."""
+        if not home_id:
+            raise InvalidRequestError("home_id is empty")
+        if home_id in self._homes:
+            raise DuplicateHomeError(
+                f"home {home_id!r} already exists", home_id=home_id
+            )
+        if store_path is None and self.store_root is not None:
+            store_path = self.store_root / home_id
+        home = TenantHome(
+            home_id,
+            self.extractor,
+            store_path=store_path,
+            dispatcher=self.dispatcher,
+            policy=policy,
+        )
+        self._homes[home_id] = home
+        return home
+
+    def home(self, home_id: str) -> TenantHome:
+        home = self._homes.get(home_id)
+        if home is None:
+            raise UnknownHomeError(
+                f"no home {home_id!r}; create_home() it first",
+                home_id=home_id,
+            )
+        return home
+
+    def homes(self) -> list[str]:
+        return sorted(self._homes)
+
+    def remove_home(self, home_id: str) -> None:
+        """Forget a home (its persisted store, if any, stays on disk);
+        pending sessions for the home are dropped."""
+        self.home(home_id)  # raises UnknownHomeError
+        del self._homes[home_id]
+        self._sessions = {
+            sid: live
+            for sid, live in self._sessions.items()
+            if live.home.home_id != home_id
+        }
+
+    # ------------------------------------------------------------------
+    # Shared offline phase
+
+    def preload(self, apps: Iterable[CorpusApp]) -> None:
+        """Extract rules for public-store apps ahead of time — once,
+        for every tenant."""
+        for app in apps:
+            self.extractor.extract(app.source, app.name)
+            self._sources[app.name] = (None, app.source)
+
+    def extract(self, source: str, app_name: str) -> RuleSet:
+        """Extract (and publish to every tenant) one app's rules."""
+        ruleset = self.extractor.extract(source, app_name)
+        self._sources[ruleset.app_name] = (None, source)
+        return ruleset
+
+    # ------------------------------------------------------------------
+    # Devices and messaging
+
+    def register_device(
+        self, home_id: str, label: str, type_name: str
+    ) -> InstalledDevice:
+        return self.home(home_id).register_device(label, type_name)
+
+    def connect_transport(self, home_id: str, transport: Transport) -> None:
+        """Route a messaging transport's configuration URIs into the
+        home's pending queue (paper §VII-B); process them with
+        :meth:`review_pending`."""
+        transport.connect(self.home(home_id).receive_message)
+
+    def review_pending(
+        self, home_id: str, device_types: dict[str, str] | None = None
+    ) -> list[InstallSession]:
+        """Turn queued configuration payloads into install sessions
+        (each reviewed and run through the home's handling policy).
+
+        Payloads naming an app the home cannot see — never extracted,
+        or another tenant's custom app — raise
+        :class:`~repro.service.errors.UnknownAppError`.  The offending
+        payload is dropped and the rest of the queue stays intact;
+        sessions already opened for earlier payloads of this call are
+        listed in the error's ``details["opened_sessions"]`` (they
+        remain queryable via :meth:`session` / :meth:`sessions`), so a
+        caller never loses a session id to a later bad payload."""
+        home = self.home(home_id)
+        sessions: list[InstallSession] = []
+        while home._pending:
+            payload = home._pending.pop(0)
+            try:
+                self._check_visibility(home, payload.app_name)
+                review = home.review_installation(payload, device_types)
+            except (UnknownAppError, LookupError) as exc:
+                raise UnknownAppError(
+                    str(exc),
+                    app_name=payload.app_name,
+                    opened_sessions=[s.session_id for s in sessions],
+                ) from exc
+            sessions.append(self._open_session(home, review))
+        return sessions
+
+    # ------------------------------------------------------------------
+    # Install / decide / audit
+
+    @staticmethod
+    def _rules_fingerprint(ruleset: RuleSet) -> str:
+        from repro.rules.serialization import rule_to_json
+
+        return json.dumps(
+            [rule_to_json(rule) for rule in ruleset.rules],
+            sort_keys=True, default=str,
+        )
+
+    def _unknown_app(self, app_name: str) -> UnknownAppError:
+        return UnknownAppError(
+            f"no rules for app {app_name!r}; preload() it or send the "
+            "source with the request",
+            app_name=app_name,
+        )
+
+    def _check_visibility(self, home: TenantHome, app_name: str) -> None:
+        """Custom apps are private to the home(s) that submitted their
+        source: another tenant naming one (without the source) gets the
+        same UnknownAppError a nonexistent app would — no existence
+        leak, and no reviewing tenant B against tenant A's rules."""
+        owners = self._sources.get(app_name, (None,))[0]
+        if owners is not None and home.home_id not in owners:
+            raise self._unknown_app(app_name)
+
+    def _ensure_rules(self, home: TenantHome, request: InstallRequest) -> None:
+        existing = self.extractor.rules_of(request.app_name)
+        if request.source is not None:
+            record = self._sources.get(request.app_name)
+            if record is not None:
+                # Byte-identical resubmission (idempotent retries, or a
+                # tenant who evidently has the source): the submitting
+                # home joins the owner set, so its later no-source
+                # requests (reconfigures, transport payloads) resolve.
+                if record[1] == request.source:
+                    if record[0] is not None:
+                        record[0].add(home.home_id)
+                    return
+                raise InvalidRequestError(
+                    f"app name {request.app_name!r} already names a "
+                    "different app on this service; submit the custom "
+                    "source under a unique name",
+                    app_name=request.app_name,
+                )
+            try:
+                if existing is None:
+                    self.extractor.extract(request.source, request.app_name)
+                    self._sources[request.app_name] = (
+                        {home.home_id}, request.source,
+                    )
+                    return
+                # The extractor was populated outside the service's
+                # bookkeeping (e.g. a caller-supplied extractor with a
+                # warm cache).  Extraction is deterministic, so compare
+                # the loss-free rule serializations to tell an innocent
+                # resubmission from a name collision.
+                submitted = RuleExtractor().extract(
+                    request.source, request.app_name
+                )
+            except ExtractionError as exc:
+                raise InvalidRequestError(
+                    f"cannot extract rules for {request.app_name!r}: {exc}",
+                    app_name=request.app_name,
+                ) from exc
+            if self._rules_fingerprint(existing) != self._rules_fingerprint(
+                submitted
+            ):
+                raise InvalidRequestError(
+                    f"app name {request.app_name!r} already names a "
+                    "different app on this service; submit the custom "
+                    "source under a unique name",
+                    app_name=request.app_name,
+                )
+            self._sources[request.app_name] = (None, request.source)
+            return
+        self._check_visibility(home, request.app_name)
+        if existing is None and home.rule_recorder.rules_of(
+            request.app_name
+        ) is None:
+            raise self._unknown_app(request.app_name)
+
+    def install(self, request: InstallRequest) -> InstallSession:
+        """Install an app into a tenant home.
+
+        Binds the request's device inputs against the home's registry,
+        records the configuration, runs detection against the home's
+        installed history, and opens an install session.  The home's
+        handling policy then either decides on the spot (session comes
+        back ``decided``, with ``decided_by`` naming the policy) or
+        defers to the tenant (``pending`` — answer with
+        :meth:`decide`)."""
+        home = self.home(request.home_id)
+        self._ensure_rules(home, request)
+        bound, types = home.bind_inputs(request.devices)
+        payload = ConfigPayload(
+            app_name=request.app_name,
+            devices=bound,
+            values={k: str(v) for k, v in request.values.items()},
+        )
+        review = home.review_installation(payload, device_types=types)
+        return self._open_session(home, review)
+
+    def _remember_decided(self, session_id: str) -> None:
+        """Track a decided session for bounded retention: beyond
+        ``max_decided_sessions`` the oldest decided sessions are
+        evicted (later queries raise UnknownSessionError).  Pending
+        sessions are never evicted."""
+        self._decided_order.append(session_id)
+        while len(self._decided_order) > self.max_decided_sessions:
+            oldest = self._decided_order.pop(0)
+            self._sessions.pop(oldest, None)
+
+    def _open_session(
+        self, home: TenantHome, review: InstallReview
+    ) -> InstallSession:
+        self._session_seq += 1
+        session_id = f"{home.home_id}/s{self._session_seq:06d}"
+        report = ThreatReport.from_review(home.home_id, review)
+        policy = home.policy if home.policy is not None else self.default_policy
+        verdict = policy.decide(review)
+        if verdict is None:
+            wire = InstallSession(
+                session_id=session_id,
+                home_id=home.home_id,
+                app_name=review.app_name,
+                status=SESSION_PENDING,
+                report=report,
+            )
+            self._sessions[session_id] = _LiveSession(wire, review, home)
+            return wire
+        home.decide(review, verdict, decided_by=policy.name)
+        wire = InstallSession(
+            session_id=session_id,
+            home_id=home.home_id,
+            app_name=review.app_name,
+            status=SESSION_DECIDED,
+            report=report,
+            decision=verdict.value,
+            decided_by=policy.name,
+        )
+        self._sessions[session_id] = _LiveSession(wire, None, home)
+        self._remember_decided(session_id)
+        return wire
+
+    def session(self, session_id: str) -> InstallSession:
+        live = self._sessions.get(session_id)
+        if live is None:
+            raise UnknownSessionError(
+                f"no session {session_id!r}", session_id=session_id
+            )
+        return live.wire
+
+    def sessions(self, home_id: str | None = None) -> list[InstallSession]:
+        """All sessions (optionally one home's), in open order."""
+        return [
+            live.wire
+            for live in self._sessions.values()
+            if home_id is None or live.home.home_id == home_id
+        ]
+
+    def decide(self, request: DecisionRequest) -> InstallSession:
+        """Apply the tenant's one-time decision to a pending session."""
+        self.home(request.home_id)  # raises UnknownHomeError
+        live = self._sessions.get(request.session_id)
+        if live is None or live.home.home_id != request.home_id:
+            raise UnknownSessionError(
+                f"no session {request.session_id!r} in home "
+                f"{request.home_id!r}",
+                session_id=request.session_id,
+                home_id=request.home_id,
+            )
+        if not live.wire.pending:
+            raise SessionDecidedError(
+                f"session {request.session_id!r} already decided "
+                f"({live.wire.decision!r}); install decisions are "
+                "one-time (paper §VIII-D.1)",
+                session_id=request.session_id,
+                decision=live.wire.decision,
+            )
+        assert live.review is not None  # pending sessions keep their review
+        live.home.decide(live.review, InstallDecision(request.decision))
+        live.review = None  # decided: release the threat/rule graph
+        live.wire = InstallSession(
+            session_id=live.wire.session_id,
+            home_id=live.wire.home_id,
+            app_name=live.wire.app_name,
+            status=SESSION_DECIDED,
+            report=live.wire.report,
+            decision=request.decision,
+        )
+        self._remember_decided(live.wire.session_id)
+        return live.wire
+
+    def audit(self, request: AuditRequest) -> list[ThreatReport]:
+        """Re-audit a home's installed apps (paper §VIII-D.3) and
+        return one wire report per replayed app."""
+        home = self.home(request.home_id)
+        apps = None if request.apps is None else list(request.apps)
+        return [
+            ThreatReport.from_review(home.home_id, review)
+            for review in home.audit_existing(apps)
+        ]
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+
+    def installed_apps(self, home_id: str) -> list[str]:
+        return self.home(home_id).installed_apps()
+
+    def detection_stats(self, home_id: str):
+        """Cumulative solver/cache accounting for one home's reviews."""
+        return self.home(home_id).pipeline.stats
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    def restore(self, home_id: str) -> list[str]:
+        """Warm-start one home from its configured store; returns the
+        restored app names (empty without a usable store)."""
+        return self.home(home_id).load_store()
+
+    def save(self, home_id: str | None = None) -> None:
+        """Force store snapshots now (commits already save)."""
+        for home in (
+            self._homes.values() if home_id is None else [self.home(home_id)]
+        ):
+            home.save_store()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        """Release the shared dispatcher's workers, if any were
+        started.  Idempotent (every dispatcher's ``close`` is), and
+        safe after a failed :meth:`restore` — tenant pipelines never
+        own the dispatcher, so one close here is complete.  A later
+        detection run transparently restarts the pool; just close
+        again when done."""
+        if self.dispatcher is not None:
+            self.dispatcher.close()
+
+    def __enter__(self) -> "HomeGuardService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"HomeGuardService(homes={len(self._homes)}, "
+            f"dispatcher={self.dispatcher!r}, "
+            f"policy={self.default_policy!r})"
+        )

@@ -246,6 +246,27 @@ def test_make_dispatcher_specs():
                 "auto:two"):
         with pytest.raises(ValueError):
             make_dispatcher(bad)
+
+
+def test_make_dispatcher_typo_error_lists_valid_specs():
+    # A typo'd spec must say what IS valid, not just reject the input.
+    with pytest.raises(ValueError) as excinfo:
+        make_dispatcher("proces:4")
+    message = str(excinfo.value)
+    assert "'proces:4'" in message
+    assert "unknown backend name 'proces'" in message
+    for valid in ("'serial'", "'thread[:N]'", "'process[:N]'", "'auto[:N]'"):
+        assert valid in message, message
+    # Bad counts name the actual problem too.
+    assert "worker count 'four' is not an int" in str(
+        pytest.raises(ValueError, make_dispatcher, "process:four").value
+    )
+    assert "worker count must be >= 1" in str(
+        pytest.raises(ValueError, make_dispatcher, "thread:0").value
+    )
+    assert "worker count must be >= 1" in str(
+        pytest.raises(ValueError, make_dispatcher, -4).value
+    )
     with pytest.raises(ValueError):
         ProcessPoolDispatcher(0)
     with pytest.raises(ValueError):

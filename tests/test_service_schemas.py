@@ -1,0 +1,208 @@
+"""Wire-schema contract tests (DESIGN.md §11).
+
+Every request/response dataclass must JSON-round-trip loss-free with
+its schema version stamped, decode strictly (unknown fields, missing
+fields and version mismatches are errors, never guesses), and match
+the committed ``schema_manifest.json`` — the schema-stability gate CI
+runs via ``make schema-check``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.service import (
+    WIRE_SCHEMA_VERSION,
+    AuditRequest,
+    DecisionRequest,
+    InstallRequest,
+    InstallSession,
+    InvalidRequestError,
+    SchemaMismatchError,
+    ServiceError,
+    ThreatRecord,
+    ThreatReport,
+    UnknownHomeError,
+    decode_wire,
+)
+from repro.service.errors import ERROR_CODES
+from repro.service.schemas import (
+    WIRE_MODELS,
+    check_manifest,
+    manifest_path,
+    schema_manifest,
+)
+
+
+def sample_record():
+    return ThreatRecord(
+        type="AR",
+        category="Action-Interference",
+        rule_a="A/R1",
+        rule_b="B/R1",
+        apps=("A", "B"),
+        detail="opposite commands race on the same actuator",
+        witness=(("temperature", 31), ("mode", "Home")),
+        chain=("A/R1", "C/R2", "B/R1"),
+        description="[AR] A and B race",
+    )
+
+
+def sample_report():
+    return ThreatReport(
+        home_id="h1",
+        app_name="ColdDefender",
+        rules=("when x then y",),
+        threats=(sample_record(),),
+        chains=(),
+    )
+
+
+SAMPLES = [
+    InstallRequest(
+        home_id="h1",
+        app_name="ComfortTV",
+        devices={"tv1": "Living-room TV"},
+        values={"threshold1": 30, "weather": "rainy"},
+    ),
+    InstallRequest(home_id="h1", app_name="Custom", source="def x() {}"),
+    AuditRequest(home_id="h1"),
+    AuditRequest(home_id="h1", apps=("ComfortTV", "ColdDefender")),
+    DecisionRequest(home_id="h1", session_id="h1/s000001", decision="keep"),
+    sample_record(),
+    sample_report(),
+    InstallSession(
+        session_id="h1/s000001",
+        home_id="h1",
+        app_name="ColdDefender",
+        status="pending",
+        report=sample_report(),
+    ),
+    InstallSession(
+        session_id="h1/s000002",
+        home_id="h1",
+        app_name="ColdDefender",
+        status="decided",
+        report=sample_report(),
+        decision="delete",
+        decided_by="auto-deny",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "obj", SAMPLES, ids=[type(s).__name__ + str(i) for i, s in enumerate(SAMPLES)]
+)
+def test_json_round_trip_is_loss_free(obj):
+    encoded = obj.to_json()
+    # The version stamp is on every record (nested ones included).
+    assert encoded["schema"] == WIRE_SCHEMA_VERSION
+    assert encoded["kind"] == type(obj).kind
+    # Through real JSON text, not just dict identity.
+    decoded = type(obj).from_json(json.loads(json.dumps(encoded)))
+    assert decoded == obj
+    # And via the kind-dispatched generic decoder.
+    assert decode_wire(json.loads(json.dumps(encoded))) == obj
+
+
+def test_wire_objects_are_frozen():
+    request = SAMPLES[0]
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        request.app_name = "other"
+
+
+def test_decode_rejects_wrong_schema_version():
+    encoded = SAMPLES[0].to_json()
+    encoded["schema"] = WIRE_SCHEMA_VERSION + 1
+    with pytest.raises(SchemaMismatchError):
+        InstallRequest.from_json(encoded)
+
+
+def test_decode_rejects_unknown_fields():
+    encoded = SAMPLES[0].to_json()
+    encoded["surprise"] = True
+    with pytest.raises(SchemaMismatchError, match="unknown field"):
+        InstallRequest.from_json(encoded)
+
+
+def test_decode_rejects_wrong_kind_and_shapes():
+    with pytest.raises(SchemaMismatchError):
+        InstallRequest.from_json(AuditRequest(home_id="h").to_json())
+    with pytest.raises(SchemaMismatchError):
+        InstallRequest.from_json("not an object")
+    with pytest.raises(SchemaMismatchError):
+        decode_wire({"kind": "NoSuchModel", "schema": WIRE_SCHEMA_VERSION})
+    # Even an unhashable kind value stays inside the taxonomy.
+    with pytest.raises(SchemaMismatchError, match="malformed wire kind"):
+        decode_wire({"kind": ["InstallRequest"],
+                     "schema": WIRE_SCHEMA_VERSION})
+    bad = SAMPLES[0].to_json()
+    del bad["home_id"]
+    with pytest.raises(SchemaMismatchError):
+        InstallRequest.from_json(bad)
+
+
+def test_invalid_field_values_fail_at_construction():
+    with pytest.raises(InvalidRequestError):
+        DecisionRequest(home_id="h", session_id="s", decision="maybe")
+    with pytest.raises(InvalidRequestError):
+        InstallRequest(home_id="", app_name="A")
+    # A bare string would iterate into characters and audit nothing.
+    with pytest.raises(InvalidRequestError, match="bare string"):
+        AuditRequest(home_id="h", apps="Heater")
+    with pytest.raises(InvalidRequestError):
+        InstallSession(
+            session_id="s", home_id="h", app_name="A",
+            status="undetermined", report=sample_report(),
+        )
+
+
+def test_service_error_taxonomy_round_trips():
+    error = UnknownHomeError("no home 'h9'", home_id="h9")
+    encoded = json.loads(json.dumps(error.to_json()))
+    assert encoded["code"] == "unknown-home"
+    assert encoded["schema"] == WIRE_SCHEMA_VERSION
+    decoded = decode_wire(encoded)
+    assert type(decoded) is UnknownHomeError
+    assert decoded.message == error.message
+    assert decoded.details == {"home_id": "h9"}
+    # Unknown codes (a future taxonomy member) degrade to the base
+    # class — with the transported code preserved for dispatch.
+    encoded["code"] = "code-from-the-future"
+    future = ServiceError.from_json(encoded)
+    assert type(future) is ServiceError
+    assert future.code == "code-from-the-future"
+    # Wire-controlled details must not collide with constructor
+    # arguments (regression: **details crashed on a 'message' key).
+    hostile = UnknownHomeError("x").to_json()
+    hostile["details"] = {"message": "shadow", "home_id": "h9"}
+    decoded_hostile = ServiceError.from_json(hostile)
+    assert decoded_hostile.message == "x"
+    assert decoded_hostile.details == {"message": "shadow", "home_id": "h9"}
+    # Every code in the taxonomy is stable and distinct.
+    assert len(ERROR_CODES) == len(
+        {cls.code for cls in ERROR_CODES.values()}
+    )
+
+
+def test_schema_manifest_matches_committed_file():
+    """The schema-stability gate: any field change without a version
+    bump + manifest regeneration fails here (and in CI via
+    ``make schema-check``)."""
+    findings = check_manifest()
+    assert not findings, (
+        "wire schema drifted from src/repro/service/schema_manifest.json:\n"
+        + "\n".join(findings)
+        + "\nIf the change is deliberate, bump WIRE_SCHEMA_VERSION and run"
+        " `python -m repro.service.schemas --write-manifest`."
+    )
+    committed = json.loads(manifest_path().read_text(encoding="utf-8"))
+    assert committed == schema_manifest()
+
+
+def test_manifest_covers_every_model_and_error():
+    manifest = schema_manifest()
+    assert set(manifest["models"]) == set(WIRE_MODELS)
+    assert manifest["errors"] == sorted(ERROR_CODES)
+    assert manifest["schema"] == WIRE_SCHEMA_VERSION
