@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-hashseed bench bench-smoke lint docs-check schema-check
+.PHONY: test test-hashseed bench bench-smoke bench-fleet lint docs-check \
+	schema-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -41,7 +42,14 @@ bench:
 bench-smoke:
 	BENCH_STORE_SIZES=30,200 BENCH_WORKER_COUNTS=1,2,4 \
 	BENCH_REGRESSION_GATE=1 BENCH_EMIT_PATH=BENCH_store_scale.ci.json \
+	BENCH_FLEET_EMIT_PATH=BENCH_fleet_cache.ci.json \
 		$(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+# Full fleet-cache sweep (DESIGN.md §12): 6 tenants with overlapping
+# corpora over one shared solve cache; rewrites the committed
+# BENCH_fleet_cache.json trajectory point.
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet_cache.py
 
 # Docs smoke: run the example scripts the README points at, end to
 # end, so the quickstart instructions can't rot.  store_audit also

@@ -1,0 +1,286 @@
+"""Fleet-scale shared solve cache: N tenants, one service, one cache.
+
+``TENANTS`` tenant homes install overlapping generated corpora through
+one :class:`HomeGuardService` (DESIGN.md §12).  Tenant 0 and tenant 1
+install *identical* corpora; tenants 2+ share the first
+``OVERLAP``-fraction of the plan and perturb the numeric settings of
+the rest, so their constraint instances differ exactly where a real
+fleet's would (same automations, different thresholds).  Three arms:
+
+* ``off`` — no shared cache: every home re-solves everything (the
+  pre-§12 behavior, and the byte-equality reference);
+* ``lru`` — one in-process :class:`InProcessLRUCache` across all homes;
+* ``sqlite`` — one :class:`SQLiteSolveCache` file across all homes (the
+  multi-process fleet backend), re-opened *warm* for one extra tenant
+  to show the cross-process replay.
+
+Shape to reproduce: threat reports and persisted store bytes are
+byte-identical in every arm (the cache only short-circuits solves);
+tenant 1's cold audit of the identical corpus performs **zero** solver
+calls against the warmed cache; and fleet-wide, the shared cache cuts
+total solver calls by >= 80% on the 50%-overlapping corpora.
+
+Select the fleet shape with BENCH_FLEET_TENANTS / BENCH_FLEET_APPS /
+BENCH_FLEET_OVERLAP (defaults "4" / "10" / "0.5" under pytest, a
+"6"-tenant, "12"-app sweep when run as a script).  Script runs write
+``BENCH_fleet_cache.json`` at the repo root as a machine-readable
+trajectory point; CI smoke passes set BENCH_FLEET_EMIT_PATH to upload
+the run's numbers without touching the committed artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.constraints.solvecache import SQLiteSolveCache
+from repro.corpus import device_controlling_apps
+from repro.service import DecisionRequest, HomeGuardService, InstallRequest
+
+TENANTS = int(os.environ.get("BENCH_FLEET_TENANTS", "4"))
+APPS_PER_TENANT = int(os.environ.get("BENCH_FLEET_APPS", "10"))
+OVERLAP = float(os.environ.get("BENCH_FLEET_OVERLAP", "0.5"))
+_FULL_TENANTS = "6"
+_FULL_APPS = "12"
+# The acceptance floor: fleet-wide solver calls must drop by at least
+# this fraction once the shared cache is on.
+_REDUCTION_FLOOR = 0.80
+_RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_fleet_cache.json"
+)
+# Set by the __main__ entry point: only dedicated script runs overwrite
+# the committed repo-root trajectory artifact.
+_EMIT_TRAJECTORY = False
+
+
+def _fleet_plans():
+    """``(devices, plans)``: one shared device per type (labels = type
+    names, so structurally equal corpora lower to equal constraint
+    instances), and one install plan per tenant."""
+    apps = list(device_controlling_apps())[:APPS_PER_TENANT]
+    shared_count = max(1, int(round(len(apps) * OVERLAP)))
+    types = sorted({t for app in apps for t in app.type_hints.values()})
+    devices = [(t, t) for t in types]
+    plans = []
+    for tenant in range(TENANTS):
+        plan = []
+        for i, app in enumerate(apps):
+            values = dict(app.values)
+            # Tenants 0 and 1 are identical (the zero-solve gate);
+            # later tenants keep the shared prefix and re-tune the
+            # numeric settings of everything after it.
+            if tenant >= 2 and i >= shared_count:
+                values = {
+                    key: (
+                        value + 13 * tenant
+                        if isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        else value
+                    )
+                    for key, value in values.items()
+                }
+            plan.append((app.name, dict(app.type_hints), values))
+        plans.append((f"tenant{tenant}", plan))
+    return apps, devices, plans
+
+
+def _install_tenant(service, home_id, plan, devices, store_root):
+    """Cold-audit one tenant (install + keep every app); returns the
+    loss-free threat fingerprint, the persisted store bytes and this
+    home's counter snapshot."""
+    store_dir = Path(store_root) / home_id
+    service.create_home(home_id, store_path=store_dir)
+    for label, type_name in devices:
+        service.register_device(home_id, label, type_name)
+    threats = []
+    started = time.perf_counter()
+    for name, bindings, values in plan:
+        session = service.install(InstallRequest(
+            home_id=home_id, app_name=name,
+            devices=bindings, values=values,
+        ))
+        if session.pending:
+            session = service.decide(DecisionRequest(
+                home_id=home_id, session_id=session.session_id,
+                decision="keep",
+            ))
+        threats.extend(
+            (record.type, record.rule_a, record.rule_b, record.detail,
+             record.witness, record.chain)
+            for record in (*session.report.threats, *session.report.chains)
+        )
+    elapsed = time.perf_counter() - started
+    stats = service.detection_stats(home_id)
+    store_bytes = {
+        path.name: path.read_bytes()
+        for path in sorted(store_dir.iterdir())
+    }
+    return {
+        "threats": threats,
+        "store": store_bytes,
+        "seconds": elapsed,
+        "solver_calls": stats.solver_calls,
+        "shared_cache_hits": stats.shared_cache_hits,
+        "shared_cache_publishes": stats.shared_cache_publishes,
+    }
+
+
+def _run_fleet(solve_cache, apps, devices, plans, store_root):
+    # workers=None keeps detection inline: shared-cache consults happen
+    # per solve, so intra-home duplicate content never executes twice
+    # (batched dispatchers plan whole rounds before publishing and trade
+    # a little dedup for wall clock — the equivalence tests cover them).
+    service = HomeGuardService(workers=None, solve_cache=solve_cache)
+    try:
+        service.preload(apps)
+        return {
+            home_id: _install_tenant(
+                service, home_id, plan, devices, store_root
+            )
+            for home_id, plan in plans
+        }
+    finally:
+        service.close()
+
+
+def _hit_rate(tenant: dict) -> float:
+    verdicts = tenant["solver_calls"] + tenant["shared_cache_hits"]
+    return tenant["shared_cache_hits"] / verdicts if verdicts else 0.0
+
+
+def test_fleet_cache_shared_solves():
+    apps, devices, plans = _fleet_plans()
+    print(
+        f"\n=== Fleet cache: {TENANTS} tenants x {APPS_PER_TENANT} apps, "
+        f"overlap {OVERLAP:.0%} ==="
+    )
+    results = {}
+    with tempfile.TemporaryDirectory() as root:
+        reference = _run_fleet(None, apps, devices, plans, f"{root}/off")
+        total_off = sum(t["solver_calls"] for t in reference.values())
+        assert total_off > 0
+        assert all(t["threats"] for t in reference.values()), (
+            "fleet corpus produced a threat-free tenant — nothing to compare"
+        )
+        results["off"] = {
+            "total_solver_calls": total_off,
+            "tenants": {
+                home_id: {
+                    "solver_calls": t["solver_calls"],
+                    "seconds": t["seconds"],
+                    "threats": len(t["threats"]),
+                }
+                for home_id, t in reference.items()
+            },
+        }
+
+        sqlite_path = f"{root}/fleet.db"
+        for arm, spec in (("lru", "lru"), ("sqlite", f"sqlite:{sqlite_path}")):
+            fleet = _run_fleet(spec, apps, devices, plans, f"{root}/{arm}")
+            total_on = sum(t["solver_calls"] for t in fleet.values())
+            reduction = 1.0 - total_on / total_off
+            arm_result = {"tenants": {}}
+            print(
+                f"  {arm:>6}: {total_off} -> {total_on} solver calls "
+                f"({reduction:.1%} fewer)"
+            )
+            for home_id, tenant in fleet.items():
+                # Invariant: the cache only short-circuits solves —
+                # threats and store bytes are byte-identical per tenant.
+                assert tenant["threats"] == reference[home_id]["threats"], (
+                    f"{arm}/{home_id}: shared cache changed the threats"
+                )
+                assert tenant["store"] == reference[home_id]["store"], (
+                    f"{arm}/{home_id}: shared cache changed the store bytes"
+                )
+                arm_result["tenants"][home_id] = {
+                    "solver_calls": tenant["solver_calls"],
+                    "shared_cache_hits": tenant["shared_cache_hits"],
+                    "shared_cache_publishes": tenant["shared_cache_publishes"],
+                    "hit_rate": _hit_rate(tenant),
+                    "seconds": tenant["seconds"],
+                }
+                print(
+                    f"          {home_id}: solves={tenant['solver_calls']:>4} "
+                    f"hits={tenant['shared_cache_hits']:>4} "
+                    f"({_hit_rate(tenant):.0%} hit rate)"
+                )
+            # Acceptance gates: the second identical tenant audits cold
+            # with ZERO solver calls, and the fleet-wide solve count
+            # drops >= 80% on the 50%-overlapping corpora.
+            assert fleet["tenant1"]["solver_calls"] == 0, (
+                f"{arm}: identical second tenant still made "
+                f"{fleet['tenant1']['solver_calls']} solver calls"
+            )
+            assert fleet["tenant1"]["shared_cache_hits"] > 0
+            assert reduction >= _REDUCTION_FLOOR, (
+                f"{arm}: shared cache only cut solver calls by "
+                f"{reduction:.1%} (floor {_REDUCTION_FLOOR:.0%})"
+            )
+            arm_result["total_solver_calls"] = total_on
+            arm_result["reduction_vs_off"] = reduction
+            arm_result["tenant1_solver_calls"] = (
+                fleet["tenant1"]["solver_calls"]
+            )
+            results[arm] = arm_result
+
+        # Cross-process warm replay: a brand-new service re-opening the
+        # SQLite file serves one more identical tenant without solving.
+        warm = _run_fleet(
+            f"sqlite:{sqlite_path}", apps, devices, [plans[0]],
+            f"{root}/warm",
+        )
+        tenant = warm[plans[0][0]]
+        assert tenant["threats"] == reference[plans[0][0]]["threats"]
+        assert tenant["store"] == reference[plans[0][0]]["store"]
+        assert tenant["solver_calls"] == 0, (
+            f"warm SQLite replay still made {tenant['solver_calls']} "
+            "solver calls"
+        )
+        results["sqlite_warm_reopen"] = {
+            "solver_calls": tenant["solver_calls"],
+            "shared_cache_hits": tenant["shared_cache_hits"],
+            "hit_rate": _hit_rate(tenant),
+            "seconds": tenant["seconds"],
+        }
+        print(
+            f"  reopen: warm sqlite replay served "
+            f"{tenant['shared_cache_hits']} verdicts, 0 solver calls"
+        )
+
+    if _EMIT_TRAJECTORY:
+        _emit_trajectory(results, _RESULTS_PATH)
+    emit_path = os.environ.get("BENCH_FLEET_EMIT_PATH")
+    if emit_path:
+        _emit_trajectory(results, Path(emit_path))
+
+
+def _emit_trajectory(results: dict, path: Path) -> None:
+    payload = {
+        "benchmark": "fleet_cache",
+        "tenants": TENANTS,
+        "apps_per_tenant": APPS_PER_TENANT,
+        "overlap": OVERLAP,
+        "reduction_floor": _REDUCTION_FLOOR,
+        "arms": results,
+        "identical_tenant_zero_solver_calls": all(
+            results[arm]["tenant1_solver_calls"] == 0
+            for arm in ("lru", "sqlite")
+        ),
+    }
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+    )
+    print(f"trajectory point written to {path.name}")
+
+
+if __name__ == "__main__":
+    if "BENCH_FLEET_TENANTS" not in os.environ:
+        TENANTS = int(_FULL_TENANTS)
+    if "BENCH_FLEET_APPS" not in os.environ:
+        APPS_PER_TENANT = int(_FULL_APPS)
+    _EMIT_TRAJECTORY = True
+    test_fleet_cache_shared_solves()

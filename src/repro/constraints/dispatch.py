@@ -83,6 +83,17 @@ _CHUNK_TASKS = 64
 # is a few ms of work — enough to amortize pickling its signatures.
 _PLAN_CHUNK_PAIRS = 96
 
+# Autotuning (DESIGN.md §12): dispatchers created with ``autotune=True``
+# re-derive both chunk sizes from the previous batch's observed costs,
+# targeting this many seconds of work per worker message; the clamps
+# keep a pathological measurement (one 50 ms solve, a zero-cost plan
+# round) from collapsing or exploding the chunking.  Chunk sizes only
+# shape scheduling — results are byte-identical at any size, which the
+# fixed-chunk equivalence arms already prove.
+_TARGET_CHUNK_SECONDS = 0.008
+_CHUNK_TASKS_MIN, _CHUNK_TASKS_MAX = 8, 512
+_PLAN_CHUNK_PAIRS_MIN, _PLAN_CHUNK_PAIRS_MAX = 16, 1024
+
 # Below this many candidate pairs the auto backend stays serial: one
 # install review's batch is too small to pay for process fan-out.
 AUTO_MIN_BATCH_PAIRS = 256
@@ -103,10 +114,16 @@ class SolveTask:
 
 @dataclass(frozen=True, slots=True)
 class SolveOutcome:
-    """A task's result plus the solver CPU seconds it cost."""
+    """A task's result plus the solver CPU seconds it cost.
+
+    ``shared`` marks a verdict served from the shared cross-tenant
+    solve cache (DESIGN.md §12) instead of an executed task; the
+    finalize pass attributes it to ``shared_cache_hits`` rather than
+    ``solver_calls``, and it contributes no solver CPU."""
 
     result: Result
     seconds: float
+    shared: bool = False
 
 
 def execute_task(task: SolveTask) -> tuple[TaskKey, SolveOutcome]:
@@ -147,28 +164,41 @@ class PlanTask:
     object per process, so a 2k-app resolver is decoded once, not once
     per chunk).  A worker plans the chunk against a scratch engine
     seeded from ``known`` and solves every task it planned locally, so
-    formulas are built *and* decided worker-side."""
+    formulas are built *and* decided worker-side.
+
+    ``cache`` optionally carries the coordinator's shared solve-cache
+    backend — live object for in-process backends, an
+    :meth:`~repro.constraints.solvecache.SolveCacheBackend.encode`
+    payload across a pickle boundary, or ``None`` when the backend
+    cannot travel (workers then plan without shared-cache consults)."""
 
     pairs: tuple
     known: tuple[PairKnowledge, ...]
     resolver: object
+    cache: object = None
 
 
 @dataclass(frozen=True, slots=True)
 class PlanResult:
     """What one planned chunk resolved.
 
-    ``outcomes`` are the chunk's executed solves in planning order;
-    ``inexpressible`` the effect task keys planning proved undecidable
-    without a solver; ``deferred`` the chunk-local indices of pairs that
-    need another planning round (their condition solve waits on this
-    round's situation verdict, paper Fig. 9); ``plan_seconds`` the
-    worker CPU spent planning (solve CPU lives in each outcome)."""
+    ``outcomes`` are the chunk's resolved solves in planning order —
+    executed tasks plus any verdicts served from the shared solve
+    cache (flagged on the :class:`SolveOutcome`); ``inexpressible`` the
+    effect task keys planning proved undecidable without a solver;
+    ``deferred`` the chunk-local indices of pairs that need another
+    planning round (their condition solve waits on this round's
+    situation verdict, paper Fig. 9); ``plan_seconds`` the worker CPU
+    spent planning (solve CPU lives in each outcome); ``publishable``
+    the ``(shared_key, entry)`` pairs for solves the worker executed
+    after a shared-cache miss — the *coordinator* publishes them, so
+    ``shared_cache_publishes`` is attributed exactly once."""
 
     outcomes: tuple[tuple[TaskKey, SolveOutcome], ...]
     inexpressible: tuple[TaskKey, ...]
     deferred: tuple[int, ...]
     plan_seconds: float
+    publishable: tuple[tuple[str, dict], ...] = ()
 
 
 # Decoded-resolver memo for process plan workers, keyed by the pickled
@@ -271,6 +301,26 @@ class SolverDispatcher:
         are picklable by construction)."""
         return resolver
 
+    def encode_cache(self, cache: object) -> object | None:
+        """Prepare a shared solve-cache backend for shipping inside
+        :class:`PlanTask`\\ s.  In-process backends travel as the live
+        object; process backends override this to ask the backend for a
+        picklable payload (``None`` = workers skip shared-cache
+        consults; solving is unaffected)."""
+        return cache
+
+    def observe_batch(
+        self,
+        plan_cpu: float,
+        pairs: int,
+        solves: int,
+        solve_cpu: float,
+    ) -> None:
+        """Feedback after a detection batch: summed planning CPU over
+        ``pairs`` candidate pairs and summed solver CPU over ``solves``
+        executed tasks.  Autotuning backends re-derive their chunk
+        sizes from it; the base class ignores it."""
+
     def plan_stream(
         self, tasks: Sequence[PlanTask]
     ) -> Iterator[PlanResult]:
@@ -319,6 +369,7 @@ class _PooledDispatcher(SolverDispatcher):
         workers: int = 4,
         chunk_tasks: int = _CHUNK_TASKS,
         plan_chunk_pairs: int = _PLAN_CHUNK_PAIRS,
+        autotune: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -331,7 +382,42 @@ class _PooledDispatcher(SolverDispatcher):
         self.workers = workers
         self.chunk_tasks = chunk_tasks
         self.plan_chunk_pairs = plan_chunk_pairs
+        # With autotune on, observe_batch() re-derives both chunk sizes
+        # from each batch's measured plan/solve costs; explicit
+        # chunk_tasks/plan_chunk_pairs settings stay fixed otherwise.
+        self.autotune = autotune
         self._executor: Executor | None = None
+
+    def observe_batch(
+        self,
+        plan_cpu: float,
+        pairs: int,
+        solves: int,
+        solve_cpu: float,
+    ) -> None:
+        """Retarget both chunk sizes at :data:`_TARGET_CHUNK_SECONDS`
+        of measured work per worker message (DESIGN.md §12).  Cheap
+        solves pack more per message (less IPC per solve), expensive
+        solves spread thinner (better load balance); likewise for
+        planning chunks.  Results never depend on chunk sizes, so the
+        adaptation is a pure scheduling change."""
+        if not self.autotune:
+            return
+        if solves > 0 and solve_cpu > 0.0:
+            per_solve = solve_cpu / solves
+            self.chunk_tasks = max(
+                _CHUNK_TASKS_MIN,
+                min(_CHUNK_TASKS_MAX, int(_TARGET_CHUNK_SECONDS / per_solve)),
+            )
+        if pairs > 0 and plan_cpu > 0.0:
+            per_pair = plan_cpu / pairs
+            self.plan_chunk_pairs = max(
+                _PLAN_CHUNK_PAIRS_MIN,
+                min(
+                    _PLAN_CHUNK_PAIRS_MAX,
+                    int(_TARGET_CHUNK_SECONDS / per_pair),
+                ),
+            )
 
     def _make_executor(self) -> Executor:
         raise NotImplementedError
@@ -389,6 +475,15 @@ class ProcessPoolDispatcher(_PooledDispatcher):
         except Exception:
             return None
 
+    def encode_cache(self, cache: object) -> object | None:
+        """Ask the backend for a payload workers can reopen it from
+        (e.g. the SQLite cache's file path).  In-process-only backends
+        answer ``None``: plan workers then skip shared-cache consults
+        while the coordinator keeps consulting and publishing."""
+        if cache is None:
+            return None
+        return cache.encode()
+
 
 class AutoDispatcher(SolverDispatcher):
     """Adaptive backend selection (DESIGN.md §10).
@@ -420,7 +515,11 @@ class AutoDispatcher(SolverDispatcher):
         if self.workers < 2 or pair_count < self.min_batch:
             return self._serial
         if self._pool is None:
-            self._pool = ProcessPoolDispatcher(self.workers)
+            # The adaptive backend also adapts its chunking: each
+            # batch's observed plan/solve costs retune the pool's
+            # chunk_tasks / plan_chunk_pairs for the next one
+            # (DESIGN.md §12) instead of trusting the fixed defaults.
+            self._pool = ProcessPoolDispatcher(self.workers, autotune=True)
         return self._pool
 
     def stream(self) -> DispatchStream:

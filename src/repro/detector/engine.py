@@ -70,11 +70,18 @@ from repro.constraints.dispatch import (
     PlanTask,
     SerialDispatcher,
     SolveBatch,
+    SolveOutcome,
     SolveTask,
     SolverDispatcher,
     TaskKey,
     execute_chunk,
     resolver_from_payload,
+)
+from repro.constraints.solvecache import (
+    cache_from_payload,
+    decode_entry,
+    encode_entry,
+    shared_key,
 )
 from repro.constraints.solver import Result, Solver, VarPool
 from repro.constraints.terms import BoolFormula, CmpAtom, StrTerm, conj, lit
@@ -127,6 +134,12 @@ class DetectionStats:
     # the finalize pass never re-count them.
     prescreen_pruned_pairs: int = 0
     planned_pairs: int = 0
+    # Shared cross-tenant solve cache accounting (DESIGN.md §12), both
+    # attributed exactly once: a hit when a verdict is served from the
+    # shared backend instead of a solver call, a publish when this
+    # engine's executed solve newly entered the backend.
+    shared_cache_hits: int = 0
+    shared_cache_publishes: int = 0
     # Plan/execute accounting (zero for inline detection).
     plan_seconds: float = 0.0
     dispatch_seconds: float = 0.0
@@ -216,13 +229,18 @@ class _BatchRun:
     """Shared state of one :meth:`DetectionEngine.detect_signed_batch`:
     the task batch plus planning verdicts that never become tasks."""
 
-    __slots__ = ("batch", "inexpressible")
+    __slots__ = ("batch", "inexpressible", "publish")
 
     def __init__(self) -> None:
         self.batch = SolveBatch()
         # Effect task keys planning proved inexpressible (the serial
         # path caches ``None`` for these without calling the solver).
         self.inexpressible: set[TaskKey] = set()
+        # Shared-cache misses awaiting publication: task key ->
+        # (shared key, var map, free map) captured at consult time, so
+        # the executed outcome can be encoded without rebuilding the
+        # constraint instance (DESIGN.md §12).
+        self.publish: dict[TaskKey, tuple[str, dict, dict]] = {}
 
 
 class _BatchSolves:
@@ -280,12 +298,21 @@ class _BatchSolves:
         outcome = self.run.batch.outcome(task_key)
         if outcome is not None:
             if self.record:
-                engine.stats.solver_calls += 1
-                engine.stats.add_solve(threat_type, outcome.seconds)
+                if outcome.shared:
+                    engine.stats.shared_cache_hits += 1
+                else:
+                    engine.stats.solver_calls += 1
+                    engine.stats.add_solve(threat_type, outcome.seconds)
                 engine._situation_cache[key] = outcome.result
             return outcome.result
         if task_key not in self.run.batch.requested:
             pool, formula = engine._situation_instance(rule_a, rule_b)
+            if not self.record:
+                result = engine._shared_consult(
+                    task_key, pool, formula, self.run
+                )
+                if result is not None:
+                    return result
             self.run.batch.add(SolveTask(task_key, pool, formula))
         return self._defer()
 
@@ -327,12 +354,21 @@ class _BatchSolves:
         outcome = self.run.batch.outcome(task_key)
         if outcome is not None:
             if self.record:
-                engine.stats.solver_calls += 1
-                engine.stats.add_solve(threat_type, outcome.seconds)
+                if outcome.shared:
+                    engine.stats.shared_cache_hits += 1
+                else:
+                    engine.stats.solver_calls += 1
+                    engine.stats.add_solve(threat_type, outcome.seconds)
                 engine._condition_cache[key] = outcome.result
             return outcome.result
         if task_key not in self.run.batch.requested:
             pool, formula = engine._condition_instance(rule_a, rule_b)
+            if not self.record:
+                result = engine._shared_consult(
+                    task_key, pool, formula, self.run
+                )
+                if result is not None:
+                    return result
             self.run.batch.add(SolveTask(task_key, pool, formula))
         return self._defer()
 
@@ -353,10 +389,13 @@ class _BatchSolves:
         outcome = self.run.batch.outcome(task_key)
         if outcome is not None:
             if self.record:
-                engine.stats.solver_calls += 1
-                engine.stats.add_solve(
-                    ThreatType.ENABLING_CONDITION, outcome.seconds
-                )
+                if outcome.shared:
+                    engine.stats.shared_cache_hits += 1
+                else:
+                    engine.stats.solver_calls += 1
+                    engine.stats.add_solve(
+                        ThreatType.ENABLING_CONDITION, outcome.seconds
+                    )
                 engine._effect_cache[key] = outcome.result
             return outcome.result
         if task_key in self.run.inexpressible:
@@ -373,6 +412,10 @@ class _BatchSolves:
             if self.record:
                 engine._effect_cache[key] = None
             return None
+        if not self.record:
+            result = engine._shared_consult(task_key, *instance, self.run)
+            if result is not None:
+                return result
         self.run.batch.add(SolveTask(task_key, *instance))
         return self._defer()
 
@@ -380,10 +423,19 @@ class _BatchSolves:
 class DetectionEngine:
     """Pairwise CAI threat detection over extracted rules."""
 
-    def __init__(self, resolver: DeviceResolver) -> None:
+    def __init__(
+        self, resolver: DeviceResolver, shared_cache=None
+    ) -> None:
         self._resolver = resolver
         self.signatures = SignatureBuilder(resolver)
         self.stats = DetectionStats()
+        # Optional shared cross-tenant solve cache (DESIGN.md §12): a
+        # :class:`~repro.constraints.solvecache.SolveCacheBackend`
+        # consulted between the per-home caches and the solver.  It
+        # only ever short-circuits solves — with it on, off, or
+        # corrupted, threats, exported caches and store bytes are
+        # byte-identical.
+        self.shared_cache = shared_cache
         # Per-rule lowering memo shared by every constraint instance
         # this engine builds (DESIGN.md §10); invalidated with the
         # signature memo when an app's bindings change.
@@ -578,18 +630,25 @@ class DetectionEngine:
         dispatcher = dispatcher.for_batch(len(pairs))
         run = _BatchRun()
         resolver_payload = None
+        cache_payload = None
         if dispatcher.plans_remotely and len(pairs) > 1:
             resolver_payload = dispatcher.encode_resolver(self._resolver)
+            cache_payload = dispatcher.encode_cache(self.shared_cache)
+        plan_cpu_before = self.stats.plan_cpu_seconds
         pending = list(range(len(pairs)))
         while pending:
             if resolver_payload is not None:
                 deferred, progressed = self._plan_round_chunked(
-                    pairs, pending, run, dispatcher, resolver_payload
+                    pairs, pending, run, dispatcher, resolver_payload,
+                    cache_payload,
                 )
             else:
                 deferred, progressed = self._plan_round_inline(
                     pairs, pending, run, dispatcher
                 )
+            # Executed outcomes are publishable the moment they are
+            # absorbed; shared-cache-served ones never are.
+            self._publish_executed(run)
             if not deferred:
                 break
             if not progressed:
@@ -597,6 +656,17 @@ class DetectionEngine:
                     "batch planning stalled: deferred pairs without tasks"
                 )
             pending = deferred
+        executed = [
+            outcome
+            for outcome in run.batch.outcomes.values()
+            if not outcome.shared
+        ]
+        dispatcher.observe_batch(
+            self.stats.plan_cpu_seconds - plan_cpu_before,
+            len(pairs),
+            len(executed),
+            sum(outcome.seconds for outcome in executed),
+        )
         finalize_started = time.perf_counter()
         results: list[list[Threat]] = []
         for sig_a, sig_b in pairs:
@@ -651,6 +721,7 @@ class DetectionEngine:
         run: _BatchRun,
         dispatcher: SolverDispatcher,
         resolver_payload: object,
+        cache_payload: object = None,
     ) -> tuple[list[int], int]:
         """One fan-out round (DESIGN.md §10): shard the pending pairs
         into :class:`PlanTask` chunks, let workers plan *and solve*
@@ -669,6 +740,7 @@ class DetectionEngine:
                     self._pair_knowledge(pairs[i], run) for i in chunk
                 ),
                 resolver=resolver_payload,
+                cache=cache_payload,
             )
             for chunk in chunks
         ]
@@ -685,6 +757,14 @@ class DetectionEngine:
             progressed += run.batch.absorb_planned(result.outcomes)
             deferred.extend(chunk[i] for i in result.deferred)
             self.stats.plan_cpu_seconds += result.plan_seconds
+            # Workers consult the shared cache but never write it: the
+            # coordinator publishes their post-miss solves, so the
+            # publish count is attributed exactly once even when two
+            # chunks solved the same formula.
+            if self.shared_cache is not None:
+                for skey, entry in result.publishable:
+                    if self.shared_cache.put(skey, entry):
+                        self.stats.shared_cache_publishes += 1
         # The coordinator's own share of the round is chunk building +
         # merging; the wall spent blocked on workers is dispatch time
         # (workers interleave planning and solving inside it).
@@ -739,6 +819,61 @@ class DetectionEngine:
             effect_state(id_a, id_b),
             effect_state(id_b, id_a),
         )
+
+    # ------------------------------------------------------------------
+    # Shared cross-tenant solve cache (DESIGN.md §12)
+
+    def _shared_consult(
+        self,
+        task_key: TaskKey,
+        pool: VarPool,
+        formula: BoolFormula,
+        run: _BatchRun,
+    ) -> Result | None:
+        """Consult the shared cache for a planned instance just before
+        it would become a :class:`SolveTask`.
+
+        A hit is absorbed into the batch as a ``shared`` outcome (the
+        finalize pass attributes it once, to ``shared_cache_hits``) and
+        returned; a miss registers the canonical maps so the executed
+        outcome can be published later, and answers ``None`` — the
+        caller queues the task exactly as without a backend."""
+        cache = self.shared_cache
+        if cache is None:
+            return None
+        skey, var_map, free_map = shared_key(pool, formula)
+        entry = cache.get(skey)
+        if entry is not None:
+            result = decode_entry(entry, var_map, free_map)
+            if result is not None:
+                run.batch.absorb_planned(
+                    [(task_key, SolveOutcome(result, 0.0, shared=True))]
+                )
+                return result
+        run.publish[task_key] = (skey, var_map, free_map)
+        return None
+
+    def _publish_executed(self, run: _BatchRun) -> None:
+        """Publish executed outcomes whose planning consult missed the
+        shared cache.  ``put`` reports whether the entry was newly
+        stored, so concurrent fleet controllers racing on one SQLite
+        file still count each publish exactly once."""
+        cache = self.shared_cache
+        if cache is None or not run.publish:
+            return
+        ready = [
+            task_key
+            for task_key in run.publish
+            if run.batch.outcome(task_key) is not None
+        ]
+        for task_key in ready:
+            skey, var_map, free_map = run.publish.pop(task_key)
+            outcome = run.batch.outcome(task_key)
+            if outcome.shared:
+                continue
+            entry = encode_entry(outcome.result, var_map, free_map)
+            if entry is not None and cache.put(skey, entry):
+                self.stats.shared_cache_publishes += 1
 
     def detect_rulesets(
         self,
@@ -1044,12 +1179,9 @@ class DetectionEngine:
             self._effect_cache[key] = None
             return None
         pool, formula = instance
-        started = time.perf_counter()
-        result = Solver(pool).solve(formula)
-        self.stats.add_solve(
-            ThreatType.ENABLING_CONDITION, time.perf_counter() - started
+        result = self._solve_shared(
+            pool, formula, ThreatType.ENABLING_CONDITION
         )
-        self.stats.solver_calls += 1
         self._effect_cache[key] = result
         return result
 
@@ -1105,6 +1237,33 @@ class DetectionEngine:
     # ------------------------------------------------------------------
     # Overlap solving with reuse
 
+    def _solve_shared(
+        self, pool: VarPool, formula: BoolFormula, threat_type: ThreatType
+    ) -> Result:
+        """Inline solve with the shared cache between the per-home
+        caches and the solver (DESIGN.md §12): consult, solve on miss,
+        publish the fresh verdict.  Without a backend this is exactly
+        the historical solve-and-count sequence."""
+        cache = self.shared_cache
+        skey = var_map = free_map = None
+        if cache is not None:
+            skey, var_map, free_map = shared_key(pool, formula)
+            entry = cache.get(skey)
+            if entry is not None:
+                result = decode_entry(entry, var_map, free_map)
+                if result is not None:
+                    self.stats.shared_cache_hits += 1
+                    return result
+        started = time.perf_counter()
+        result = Solver(pool).solve(formula)
+        self.stats.add_solve(threat_type, time.perf_counter() - started)
+        self.stats.solver_calls += 1
+        if cache is not None:
+            entry = encode_entry(result, var_map, free_map)
+            if entry is not None and cache.put(skey, entry):
+                self.stats.shared_cache_publishes += 1
+        return result
+
     def _overlap_situation(
         self, rule_a: Rule, rule_b: Rule, threat_type: ThreatType
     ) -> Result:
@@ -1114,10 +1273,7 @@ class DetectionEngine:
             self.stats.cache_hits += 1
             return cached
         pool, formula = self._situation_instance(rule_a, rule_b)
-        started = time.perf_counter()
-        result = Solver(pool).solve(formula)
-        self.stats.add_solve(threat_type, time.perf_counter() - started)
-        self.stats.solver_calls += 1
+        result = self._solve_shared(pool, formula, threat_type)
         self._situation_cache[key] = result
         return result
 
@@ -1136,10 +1292,7 @@ class DetectionEngine:
             self.stats.cache_hits += 1
             return cached
         pool, formula = self._condition_instance(rule_a, rule_b)
-        started = time.perf_counter()
-        result = Solver(pool).solve(formula)
-        self.stats.add_solve(threat_type, time.perf_counter() - started)
-        self.stats.solver_calls += 1
+        result = self._solve_shared(pool, formula, threat_type)
         self._condition_cache[key] = result
         return result
 
@@ -1184,9 +1337,17 @@ def plan_pair_chunk(task: PlanTask) -> PlanResult:
     chunk emits exactly the tasks the single-planner walk would have
     emitted for these pairs, in the same order; solving them locally
     (fused plan+solve) keeps formulas on the worker and ships only the
-    small keyed outcomes back."""
+    small keyed outcomes back.
+
+    When the task carries a shared solve-cache payload (DESIGN.md §12)
+    the worker consults it while planning — warmed verdicts come back
+    as ``shared`` outcomes instead of local solves — and encodes its
+    post-miss solves as ``publishable`` entries for the *coordinator*
+    to publish (workers never write the backend)."""
     resolver = resolver_from_payload(task.resolver)
-    engine = DetectionEngine(resolver)
+    engine = DetectionEngine(
+        resolver, shared_cache=cache_from_payload(task.cache)
+    )
     run = _BatchRun()
     for (sig_a, sig_b), known in zip(task.pairs, task.known):
         _seed_pair_knowledge(engine, sig_a.rule_id, sig_b.rule_id, known)
@@ -1198,10 +1359,22 @@ def plan_pair_chunk(task: PlanTask) -> PlanResult:
         if ctx.pending:
             deferred.append(i)
     plan_seconds = time.perf_counter() - plan_started
-    outcomes = tuple(execute_chunk(run.batch.take_pending()))
+    # Executed outcomes join the shared-cache hits absorbed during
+    # planning; ``outcomes.items()`` preserves planning/execution order
+    # so the coordinator's merge stays deterministic.
+    run.batch.absorb(execute_chunk(run.batch.take_pending()))
+    publishable: list[tuple[str, dict]] = []
+    for task_key, (skey, var_map, free_map) in run.publish.items():
+        outcome = run.batch.outcome(task_key)
+        if outcome is None or outcome.shared:
+            continue
+        entry = encode_entry(outcome.result, var_map, free_map)
+        if entry is not None:
+            publishable.append((skey, entry))
     return PlanResult(
-        outcomes=outcomes,
+        outcomes=tuple(run.batch.outcomes.items()),
         inexpressible=tuple(sorted(run.inexpressible)),
         deferred=tuple(deferred),
         plan_seconds=plan_seconds,
+        publishable=tuple(publishable),
     )

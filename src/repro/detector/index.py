@@ -16,13 +16,25 @@ Completeness argument, per threat class:
 * AR needs equal actuator identities            -> ``writers_by_identity``
 * GC needs opposite effects on a shared channel in the same
   environment                            -> ``movers_by_channel_effect``
-* CT/SD/LT need A1 ↦ T2 (direct: action identity == trigger identity;
+* CT/SD/LT need A1 ↦ T2 (direct: action identity == trigger identity
+  *and* the written attribute == the subscribed attribute;
   environment: trigger channel ∈ action effects, same home), in either
-  direction       -> ``triggers_by_identity`` / ``triggers_by_channel``
-                     plus the writer/mover maps for the reverse direction
-* EC/DC need A1 to touch C2's inputs (direct / environment / location
-  mode)           -> ``conditions_by_identity`` / ``conditions_by_channel``
-                     / ``mode_conditions`` and the reverse writer maps
+  direction  -> ``triggers_by_identity_attr`` / ``triggers_by_channel``
+                plus the writer/mover maps for the reverse direction
+* EC/DC need A1 to touch C2's inputs (direct: identity *and* attribute
+  match / environment / location mode)
+             -> ``conditions_by_identity_attr`` / ``conditions_by_channel``
+                / ``mode_conditions`` and the reverse writer maps
+
+The direct-state buckets are keyed by ``(identity, attribute)`` pairs
+(DESIGN.md §12): the candidate tests in :mod:`repro.detector.signature`
+require the written attribute to equal the subscribed/read attribute,
+so two rules meeting only on a device — TV power writer vs. TV channel
+subscriber — never collide in a bucket and are never materialized as a
+pair tuple at all (the prescreen predicate no longer has to reject
+them one by one).  ``writers_by_identity`` keeps its coarse identity
+key because Actuator Race needs *any* two writers of one actuator,
+whatever attributes they set.
 
 Every candidate test in :mod:`repro.detector.signature` requires at
 least one of those keys to collide, so no threat pair can be missed.
@@ -59,15 +71,16 @@ from repro.detector.signature import RuleSignature
 # for the JSON payload encoding in :meth:`RuleIndex.to_payload`.
 _STR_KEYED_MAPS = (
     "writers_by_identity",
-    "triggers_by_identity",
-    "conditions_by_identity",
     "mode_conditions",
     "mode_writers",
 )
 _TUPLE_KEYED_MAPS = (
+    "writers_by_identity_attr",
     "movers_by_channel",
     "movers_by_channel_effect",
+    "triggers_by_identity_attr",
     "triggers_by_channel",
+    "conditions_by_identity_attr",
     "conditions_by_channel",
 )
 
@@ -76,29 +89,35 @@ _TUPLE_KEYED_MAPS = (
 class RuleIndex:
     """Inverted indexes over installed rule signatures."""
 
-    # Actions, keyed by what they write / move.  Channel keys are
-    # (environment, channel); the effect map additionally keys the
+    # Actions, keyed by what they write / move.  The identity map keys
+    # any actuator writer (AR pairs two writers whatever they set); the
+    # (identity, attribute) map additionally keys the written attribute
+    # for the direct trigger/condition reverse lookups.  Channel keys
+    # are (environment, channel); the effect map additionally keys the
     # direction so Goal Conflict looks up opposite movers directly.
     writers_by_identity: dict[str, list[RuleSignature]] = field(
         default_factory=dict
     )
+    writers_by_identity_attr: dict[
+        tuple[str, str], list[RuleSignature]
+    ] = field(default_factory=dict)
     movers_by_channel: dict[tuple[str, str], list[RuleSignature]] = field(
         default_factory=dict
     )
     movers_by_channel_effect: dict[
         tuple[str, str, str], list[RuleSignature]
     ] = field(default_factory=dict)
-    # Triggers, keyed by what fires them.
-    triggers_by_identity: dict[str, list[RuleSignature]] = field(
-        default_factory=dict
-    )
+    # Triggers, keyed by (subscribed identity, subscribed attribute).
+    triggers_by_identity_attr: dict[
+        tuple[str, str], list[RuleSignature]
+    ] = field(default_factory=dict)
     triggers_by_channel: dict[tuple[str, str], list[RuleSignature]] = field(
         default_factory=dict
     )
-    # Conditions, keyed by what they read.
-    conditions_by_identity: dict[str, list[RuleSignature]] = field(
-        default_factory=dict
-    )
+    # Conditions, keyed by (read identity, read attribute).
+    conditions_by_identity_attr: dict[
+        tuple[str, str], list[RuleSignature]
+    ] = field(default_factory=dict)
     conditions_by_channel: dict[tuple[str, str], list[RuleSignature]] = field(
         default_factory=dict
     )
@@ -126,6 +145,10 @@ class RuleIndex:
             self.writers_by_identity.setdefault(
                 sig.action_identity, []
             ).append(sig)
+            if sig.command_target is not None:
+                self.writers_by_identity_attr.setdefault(
+                    (sig.action_identity, sig.command_target[0]), []
+                ).append(sig)
         if sig.is_device_action:
             for channel, effect in sig.action_effects.items():
                 self.movers_by_channel.setdefault(
@@ -137,17 +160,20 @@ class RuleIndex:
         if sig.sets_location_mode:
             self.mode_writers.setdefault(env, []).append(sig)
         if sig.trigger_fireable:
-            if sig.trigger_identity is not None:
-                self.triggers_by_identity.setdefault(
-                    sig.trigger_identity, []
+            if (
+                sig.trigger_identity is not None
+                and sig.trigger_attribute is not None
+            ):
+                self.triggers_by_identity_attr.setdefault(
+                    (sig.trigger_identity, sig.trigger_attribute), []
                 ).append(sig)
             if sig.trigger_has_device and sig.trigger_channel is not None:
                 self.triggers_by_channel.setdefault(
                     (env, sig.trigger_channel), []
                 ).append(sig)
         for read in sig.condition_reads:
-            self.conditions_by_identity.setdefault(
-                read.identity, []
+            self.conditions_by_identity_attr.setdefault(
+                (read.identity, read.attr.attribute), []
             ).append(sig)
             if read.channel is not None:
                 self.conditions_by_channel.setdefault(
@@ -165,11 +191,12 @@ class RuleIndex:
             return
         for mapping in (
             self.writers_by_identity,
+            self.writers_by_identity_attr,
             self.movers_by_channel,
             self.movers_by_channel_effect,
-            self.triggers_by_identity,
+            self.triggers_by_identity_attr,
             self.triggers_by_channel,
-            self.conditions_by_identity,
+            self.conditions_by_identity_attr,
             self.conditions_by_channel,
             self.mode_conditions,
             self.mode_writers,
@@ -208,12 +235,17 @@ class RuleIndex:
                 found.setdefault(other.rule_id, other)
 
         # sig's action against installed rules' actuators / triggers /
-        # conditions.
+        # conditions.  Direct trigger/condition lookups need the
+        # command's written attribute: a command without a modeled
+        # target (e.g. `refresh`) changes no subscribed or read state,
+        # so only the writer (AR) bucket applies.
         if sig.is_device_action:
             if sig.action_identity is not None:
                 take(self.writers_by_identity.get(sig.action_identity))
-                take(self.triggers_by_identity.get(sig.action_identity))
-                take(self.conditions_by_identity.get(sig.action_identity))
+                if sig.command_target is not None:
+                    attr_key = (sig.action_identity, sig.command_target[0])
+                    take(self.triggers_by_identity_attr.get(attr_key))
+                    take(self.conditions_by_identity_attr.get(attr_key))
             for channel, effect in sig.action_effects.items():
                 take(
                     self.movers_by_channel_effect.get(
@@ -224,14 +256,23 @@ class RuleIndex:
                 take(self.conditions_by_channel.get((env, channel)))
         if sig.sets_location_mode:
             take(self.mode_conditions.get(env))
-        # Installed rules' actions against sig's trigger / condition.
+        # Installed rules' actions against sig's trigger / condition:
+        # a direct hit needs a writer of exactly the subscribed / read
+        # (identity, attribute) pair.
         if sig.trigger_fireable:
-            if sig.trigger_identity is not None:
-                take(self.writers_by_identity.get(sig.trigger_identity))
+            if (
+                sig.trigger_identity is not None
+                and sig.trigger_attribute is not None
+            ):
+                take(self.writers_by_identity_attr.get(
+                    (sig.trigger_identity, sig.trigger_attribute)
+                ))
             if sig.trigger_has_device and sig.trigger_channel is not None:
                 take(self.movers_by_channel.get((env, sig.trigger_channel)))
         for read in sig.condition_reads:
-            take(self.writers_by_identity.get(read.identity))
+            take(self.writers_by_identity_attr.get(
+                (read.identity, read.attr.attribute)
+            ))
             if read.channel is not None:
                 take(self.movers_by_channel.get((env, read.channel)))
         if sig.condition_uses_mode:

@@ -57,8 +57,12 @@ class DetectionPipeline:
         include_intra_app: bool = True,
         index: RuleIndex | ShardedRuleIndex | None = None,
         dispatcher: SolverDispatcher | int | str | None = None,
+        shared_cache=None,
     ) -> None:
-        self.engine = DetectionEngine(resolver)
+        # ``shared_cache`` is an optional cross-tenant solve-cache
+        # backend (DESIGN.md §12), owned by whoever created it — the
+        # pipeline never closes it.
+        self.engine = DetectionEngine(resolver, shared_cache=shared_cache)
         # Any object with the RuleIndex query/maintenance interface
         # works; multi-home fleets pass a ShardedRuleIndex so lookups
         # (and persisted snapshots) stay per home.

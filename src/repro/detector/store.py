@@ -83,7 +83,7 @@ from repro.rules.serialization import rule_from_json, rule_to_json
 from repro.symex.values import SymExpr, UserInput
 
 STORE_FORMAT = "homeguard-detection-store"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _META_FILE = "meta.json"
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 # field, or a new error code is added — the committed schema manifest
 # (`schema_manifest.json`) pins field lists per version, and CI fails
 # on unversioned drift.
-WIRE_SCHEMA_VERSION = 1
+WIRE_SCHEMA_VERSION = 2
 
 
 class ServiceError(Exception):

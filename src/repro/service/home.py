@@ -129,6 +129,7 @@ class TenantHome:
         store_path: str | Path | None = None,
         dispatcher: "SolverDispatcher | None" = None,
         policy: "HandlingPolicy | None" = None,
+        shared_cache=None,
     ) -> None:
         self.home_id = home_id
         self.backend = backend
@@ -137,9 +138,14 @@ class TenantHome:
         self.rule_recorder = RuleRecorder()
         # Incremental detection state: the pipeline's index holds the
         # signed rules of every kept app, so each review solves only
-        # index-selected candidate pairs (DESIGN.md).
+        # index-selected candidate pairs (DESIGN.md).  ``shared_cache``
+        # (the service's cross-tenant solve cache, DESIGN.md §12) is
+        # borrowed exactly like the dispatcher: never owned, never
+        # closed here.
         self.pipeline = DetectionPipeline(
-            self.config_recorder, dispatcher=dispatcher
+            self.config_recorder,
+            dispatcher=dispatcher,
+            shared_cache=shared_cache,
         )
         # Optional persistence: decisions are snapshotted to the store
         # on every commit, and :meth:`load_store` warm-starts a fresh

@@ -102,6 +102,16 @@ def _opt_str_field(kind: str, data: dict, name: str) -> str | None:
     return value
 
 
+def _int_field(kind: str, data: dict, name: str) -> int:
+    value = data.get(name)
+    # bool is an int subclass; a True/False counter is malformed wire.
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SchemaMismatchError(
+            f"{kind}.{name}: expected an integer, got {value!r}"
+        )
+    return value
+
+
 def _str_dict_field(kind: str, data: dict, name: str) -> dict[str, str]:
     value = data.get(name, {})
     if not isinstance(value, dict) or not all(
@@ -526,6 +536,85 @@ class InstallSession:
         )
 
 
+@dataclass(frozen=True)
+class DetectionStatsRecord:
+    """One home's cumulative solver/cache accounting, as wire data.
+
+    Mirrors the counter fields of
+    :class:`~repro.detector.engine.DetectionStats` that a fleet
+    operator monitors: how many pairs detection examined, how many the
+    signature prescreen pruned, and where the verdicts came from —
+    fresh solver calls, the home's own solve cache, or the shared
+    cross-tenant solve cache (DESIGN.md §12).  The shared-cache
+    counters are a versioned addition (wire schema v2); peers still on
+    v1 reject the record instead of silently dropping fields."""
+
+    kind: ClassVar[str] = "DetectionStatsRecord"
+
+    home_id: str
+    solver_calls: int = 0
+    cache_hits: int = 0
+    shared_cache_hits: int = 0
+    shared_cache_publishes: int = 0
+    pairs_examined: int = 0
+    prescreen_pruned_pairs: int = 0
+    planned_pairs: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.home_id:
+            raise InvalidRequestError("DetectionStatsRecord.home_id is empty")
+
+    @classmethod
+    def from_stats(cls, home_id: str, stats) -> "DetectionStatsRecord":
+        return cls(
+            home_id=home_id,
+            solver_calls=stats.solver_calls,
+            cache_hits=stats.cache_hits,
+            shared_cache_hits=stats.shared_cache_hits,
+            shared_cache_publishes=stats.shared_cache_publishes,
+            pairs_examined=stats.pairs_examined,
+            prescreen_pruned_pairs=stats.prescreen_pruned_pairs,
+            planned_pairs=stats.planned_pairs,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "home_id": self.home_id,
+            "solver_calls": self.solver_calls,
+            "cache_hits": self.cache_hits,
+            "shared_cache_hits": self.shared_cache_hits,
+            "shared_cache_publishes": self.shared_cache_publishes,
+            "pairs_examined": self.pairs_examined,
+            "prescreen_pruned_pairs": self.prescreen_pruned_pairs,
+            "planned_pairs": self.planned_pairs,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "DetectionStatsRecord":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data,
+            {"home_id", "solver_calls", "cache_hits", "shared_cache_hits",
+             "shared_cache_publishes", "pairs_examined",
+             "prescreen_pruned_pairs", "planned_pairs"},
+        )
+        return cls(
+            home_id=_str_field(cls.kind, data, "home_id"),
+            solver_calls=_int_field(cls.kind, data, "solver_calls"),
+            cache_hits=_int_field(cls.kind, data, "cache_hits"),
+            shared_cache_hits=_int_field(cls.kind, data, "shared_cache_hits"),
+            shared_cache_publishes=_int_field(
+                cls.kind, data, "shared_cache_publishes"
+            ),
+            pairs_examined=_int_field(cls.kind, data, "pairs_examined"),
+            prescreen_pruned_pairs=_int_field(
+                cls.kind, data, "prescreen_pruned_pairs"
+            ),
+            planned_pairs=_int_field(cls.kind, data, "planned_pairs"),
+        )
+
+
 # ----------------------------------------------------------------------
 # Registry, generic decode, schema manifest
 
@@ -539,6 +628,7 @@ WIRE_MODELS: dict[str, type] = {
         ThreatRecord,
         ThreatReport,
         InstallSession,
+        DetectionStatsRecord,
     )
 }
 

@@ -34,6 +34,7 @@ from repro.capabilities import registry as capability_registry
 from repro.config.messaging import Transport
 from repro.config.uri import ConfigPayload
 from repro.constraints.dispatch import SolverDispatcher, make_dispatcher
+from repro.constraints.solvecache import SolveCacheBackend, make_solve_cache
 from repro.corpus.model import CorpusApp
 from repro.rules.extractor import ExtractionError, RuleExtractor
 from repro.rules.model import RuleSet
@@ -57,6 +58,7 @@ from repro.service.schemas import (
     SESSION_PENDING,
     AuditRequest,
     DecisionRequest,
+    DetectionStatsRecord,
     InstallRequest,
     InstallSession,
     ThreatReport,
@@ -105,6 +107,15 @@ class HomeGuardService:
     policy:
         The default :class:`HandlingPolicy` for homes that don't set
         their own (:class:`InteractivePolicy` if omitted).
+    solve_cache:
+        Optional shared cross-tenant solve cache (DESIGN.md §12), as
+        accepted by :func:`~repro.constraints.solvecache
+        .make_solve_cache`: a backend instance, ``"lru[:N]"``,
+        ``"sqlite:<path>"``, or ``None`` (the default — no sharing).
+        One backend is created here and consulted by every home's
+        engine, so a formula any tenant solved is never solved again
+        fleet-wide; verdicts are keyed by content-addressed formula
+        fingerprints, never by rule source or home identity.
     """
 
     #: Decided sessions kept queryable before the oldest are evicted
@@ -119,9 +130,11 @@ class HomeGuardService:
         workers: int | str | SolverDispatcher | None = "auto",
         store_root: str | Path | None = None,
         policy: HandlingPolicy | None = None,
+        solve_cache: str | SolveCacheBackend | None = None,
     ) -> None:
         self.extractor = extractor if extractor is not None else RuleExtractor()
         self.dispatcher = make_dispatcher(workers)
+        self.solve_cache = make_solve_cache(solve_cache)
         self.store_root = None if store_root is None else Path(store_root)
         self.default_policy = policy if policy is not None else InteractivePolicy()
         # The capability registry is process-global by design (paper
@@ -166,6 +179,7 @@ class HomeGuardService:
             store_path=store_path,
             dispatcher=self.dispatcher,
             policy=policy,
+            shared_cache=self.solve_cache,
         )
         self._homes[home_id] = home
         return home
@@ -469,6 +483,15 @@ class HomeGuardService:
         """Cumulative solver/cache accounting for one home's reviews."""
         return self.home(home_id).pipeline.stats
 
+    def detection_stats_record(self, home_id: str) -> DetectionStatsRecord:
+        """One home's counters as a wire record — including the shared
+        cross-tenant solve-cache hit/publish counters (DESIGN.md §12),
+        so a fleet operator can monitor cache effectiveness without
+        reaching into live engine objects."""
+        return DetectionStatsRecord.from_stats(
+            home_id, self.detection_stats(home_id)
+        )
+
     # ------------------------------------------------------------------
     # Persistence
 
@@ -489,13 +512,17 @@ class HomeGuardService:
 
     def close(self) -> None:
         """Release the shared dispatcher's workers, if any were
-        started.  Idempotent (every dispatcher's ``close`` is), and
-        safe after a failed :meth:`restore` — tenant pipelines never
-        own the dispatcher, so one close here is complete.  A later
-        detection run transparently restarts the pool; just close
-        again when done."""
+        started, and flush + close the shared solve cache, if one is
+        configured.  Idempotent (every dispatcher's ``close`` is, and
+        so are the cache backends'), and safe after a failed
+        :meth:`restore` — tenant pipelines never own either, so one
+        close here is complete.  A later detection run transparently
+        restarts the pool; just close again when done."""
         if self.dispatcher is not None:
             self.dispatcher.close()
+        if self.solve_cache is not None:
+            self.solve_cache.flush()
+            self.solve_cache.close()
 
     def __enter__(self) -> "HomeGuardService":
         return self

@@ -83,11 +83,12 @@ def _store_bytes(pipeline, rulesets, tmp_path: Path, label: str) -> dict:
     }
 
 
-def _audit(corpus, dispatcher, tmp_path, label):
+def _audit(corpus, dispatcher, tmp_path, label, shared_cache=None):
     rulesets, hints, values = corpus
     pipeline = DetectionPipeline(
         TypeBasedResolver(type_hints=hints, values=values),
         dispatcher=dispatcher,
+        shared_cache=shared_cache,
     )
     try:
         reports = pipeline.audit_store(rulesets)
@@ -102,6 +103,10 @@ def _audit(corpus, dispatcher, tmp_path, label):
                 pipeline.stats.pairs_examined,
                 pipeline.stats.prescreen_pruned_pairs,
                 pipeline.stats.planned_pairs,
+            ),
+            "shared": (
+                pipeline.stats.shared_cache_hits,
+                pipeline.stats.shared_cache_publishes,
             ),
             "store": _store_bytes(pipeline, rulesets, tmp_path, label),
         }
@@ -136,6 +141,74 @@ def test_backends_equivalent_to_inline(corpus_name, tmp_path):
         assert outcome["caches"] == reference["caches"], name
         assert outcome["counters"] == reference["counters"], name
         assert outcome["store"] == reference["store"], name
+
+
+@pytest.mark.parametrize("corpus_name", ["demo", "generated"])
+def test_shared_cache_backends_equivalent(corpus_name, tmp_path):
+    # The shared cross-tenant solve cache (DESIGN.md §12) is a pure
+    # performance feature too: with any backend, threats, exported
+    # caches and store bytes stay byte-identical, and the only counter
+    # movement is the exact solver-call <-> shared-hit trade.
+    from repro.constraints.solvecache import (
+        InProcessLRUCache,
+        SQLiteSolveCache,
+    )
+
+    corpus = (
+        _demo_corpus() if corpus_name == "demo" else _generated_corpus()
+    )
+    reference = _audit(corpus, None, tmp_path, "inline")
+    ref_calls, *ref_rest = reference["counters"]
+    assert reference["shared"] == (0, 0)
+    arms = [
+        ("inline-lru", lambda: None, lambda: InProcessLRUCache()),
+        ("serial-lru", lambda: SerialDispatcher(),
+         lambda: InProcessLRUCache()),
+        ("auto2-sqlite", lambda: AutoDispatcher(workers=2, min_batch=1),
+         lambda: SQLiteSolveCache(tmp_path / "auto2.db")),
+    ]
+    for name, dispatcher_of, cache_of in arms:
+        cache = cache_of()
+        outcome = _audit(
+            corpus, dispatcher_of(), tmp_path, name, shared_cache=cache
+        )
+        cache.close()
+        assert outcome["threats"] == reference["threats"], name
+        assert outcome["caches"] == reference["caches"], name
+        assert outcome["store"] == reference["store"], name
+        solver_calls, *rest = outcome["counters"]
+        shared_hits, shared_publishes = outcome["shared"]
+        assert rest == ref_rest, name
+        # Verdict conservation: every reference solve either executed
+        # or was served from the shared cache — nothing else moved.
+        assert solver_calls + shared_hits == ref_calls, name
+        assert 0 < shared_publishes <= solver_calls, name
+
+
+def test_warmed_shared_cache_eliminates_solver_calls(tmp_path):
+    from repro.constraints.solvecache import SQLiteSolveCache
+
+    corpus = _demo_corpus()
+    reference = _audit(corpus, None, tmp_path, "inline")
+    cache = SQLiteSolveCache(tmp_path / "fleet.db")
+    try:
+        _audit(corpus, SerialDispatcher(), tmp_path, "cold",
+               shared_cache=cache)
+        # A structurally identical corpus audited against the warmed
+        # cache — any backend — performs zero solver calls and still
+        # reproduces every byte.
+        warm = _audit(
+            corpus, AutoDispatcher(workers=2, min_batch=1), tmp_path,
+            "warm", shared_cache=cache,
+        )
+    finally:
+        cache.close()
+    assert warm["threats"] == reference["threats"]
+    assert warm["caches"] == reference["caches"]
+    assert warm["store"] == reference["store"]
+    assert warm["counters"][0] == 0  # solver_calls
+    assert warm["shared"][0] > 0
+    assert warm["shared"][1] == 0  # nothing new to publish
 
 
 def test_worker_count_never_changes_results(tmp_path):
@@ -273,6 +346,46 @@ def test_make_dispatcher_typo_error_lists_valid_specs():
         ProcessPoolDispatcher(2, plan_chunk_pairs=0)
     with pytest.raises(ValueError):
         AutoDispatcher(workers=0)
+
+
+def test_observe_batch_autotunes_chunk_sizes():
+    # Chunk sizing is pure scheduling (the equivalence tests above pin
+    # that results never move); here: the sizes actually retarget at
+    # ~8ms per worker message, clamped, and only with autotune on.
+    tuned = ProcessPoolDispatcher(2, autotune=True)
+    # Cheap solves (0.1 ms each) -> bigger chunks, clamped at 512/1024.
+    tuned.observe_batch(plan_cpu=0.01, pairs=1000, solves=100,
+                        solve_cpu=0.01)
+    assert tuned.chunk_tasks == 80  # 8ms / 0.1ms
+    assert tuned.plan_chunk_pairs == 800
+    tuned.observe_batch(plan_cpu=0.0001, pairs=1000, solves=1000,
+                        solve_cpu=0.0001)
+    assert tuned.chunk_tasks == 512
+    assert tuned.plan_chunk_pairs == 1024
+    # Expensive solves (10 ms each) -> clamped at the floors.
+    tuned.observe_batch(plan_cpu=10.0, pairs=100, solves=100,
+                        solve_cpu=1.0)
+    assert tuned.chunk_tasks == 8
+    assert tuned.plan_chunk_pairs == 16
+    # Empty/zero observations never divide by zero or move the sizes.
+    tuned.observe_batch(plan_cpu=0.0, pairs=0, solves=0, solve_cpu=0.0)
+    assert (tuned.chunk_tasks, tuned.plan_chunk_pairs) == (8, 16)
+    tuned.close()
+
+    fixed = ProcessPoolDispatcher(2)
+    before = (fixed.chunk_tasks, fixed.plan_chunk_pairs)
+    fixed.observe_batch(plan_cpu=0.01, pairs=1000, solves=100,
+                        solve_cpu=0.01)
+    assert (fixed.chunk_tasks, fixed.plan_chunk_pairs) == before
+    fixed.close()
+    # The base protocol is a no-op for non-pooled backends.
+    SerialDispatcher().observe_batch(0.1, 10, 10, 0.1)
+    # AutoDispatcher's lazily created pool runs autotuned.
+    auto = AutoDispatcher(workers=2, min_batch=1)
+    try:
+        assert auto.for_batch(10).autotune is True
+    finally:
+        auto.close()
 
 
 def test_auto_dispatcher_adapts_to_batch_size():

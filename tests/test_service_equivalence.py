@@ -175,10 +175,11 @@ def run_legacy(devices, plan, store_dir, workers):
         hg.close()
 
 
-def run_service(devices, plan, store_dir, workers, home_id="home"):
+def run_service(devices, plan, store_dir, workers, home_id="home",
+                solve_cache=None):
     """The redesigned surface: typed requests, InteractivePolicy, one
     explicit DecisionRequest per install."""
-    service = HomeGuardService(workers=workers)
+    service = HomeGuardService(workers=workers, solve_cache=solve_cache)
     try:
         service.preload([app_by_name(name) for name, _, _ in plan])
         service.create_home(home_id, store_path=store_dir)
@@ -304,3 +305,69 @@ def test_two_tenants_match_isolated_deployments(workers, tmp_path):
         assert shared[home_id] == isolated["threats"], home_id
         assert shared_store[home_id] == isolated["store"], home_id
     assert any(shared["alice"]) or any(shared["bob"])
+
+
+# ----------------------------------------------------------------------
+# Shared cross-tenant solve cache (DESIGN.md §12): a pure performance
+# feature on the service surface too.
+
+
+@pytest.mark.parametrize("workers", ["serial", "auto"])
+@pytest.mark.parametrize("cache_spec", ["lru", "sqlite"])
+def test_shared_cache_service_matches_legacy(cache_spec, workers, tmp_path):
+    devices, plan = setup_for("demo")
+    legacy = run_legacy(devices, plan, tmp_path / "legacy", workers)
+    spec = (
+        "lru" if cache_spec == "lru"
+        else f"sqlite:{tmp_path / 'fleet.db'}"
+    )
+    served = run_service(devices, plan, tmp_path / "service", workers,
+                         solve_cache=spec)
+    assert served["threats"] == legacy["threats"]
+    assert served["audit"] == legacy["audit"]
+    assert served["caches"] == legacy["caches"]
+    assert served["store"] == legacy["store"]
+
+
+def test_identical_tenants_share_solves(tmp_path):
+    """The tentpole win: a second tenant installing a structurally
+    identical corpus is served entirely from the shared cache — zero
+    solver calls — with threats and store bytes still byte-identical
+    to the first tenant's."""
+    service = HomeGuardService(solve_cache="lru")
+    try:
+        service.preload([app_by_name(name) for name, _, _ in DEMO_PLAN])
+        threats = {}
+        for home_id in ("alice", "bob"):
+            service.create_home(home_id,
+                                store_path=tmp_path / f"svc-{home_id}")
+            for label, type_name in DEMO_DEVICES:
+                service.register_device(home_id, label, type_name)
+            threats[home_id] = []
+            for name, bindings, values in DEMO_PLAN:
+                session = service.install(InstallRequest(
+                    home_id=home_id, app_name=name,
+                    devices=bindings, values=values,
+                ))
+                session = service.decide(DecisionRequest(
+                    home_id=home_id, session_id=session.session_id,
+                    decision="keep",
+                ))
+                threats[home_id].extend(_wire_threats(session.report))
+        assert threats["alice"]
+        assert threats["alice"] == threats["bob"]
+        assert _store_bytes(tmp_path / "svc-alice") == _store_bytes(
+            tmp_path / "svc-bob"
+        )
+        # The counters travel the wire (schema v2 field addition).
+        record = _round_trip(service.detection_stats_record("bob"))
+        assert record.home_id == "bob"
+        assert record.solver_calls == 0
+        assert record.shared_cache_hits > 0
+        assert record.shared_cache_publishes == 0
+        first = service.detection_stats("alice")
+        assert first.solver_calls + first.shared_cache_hits == (
+            record.shared_cache_hits
+        )
+    finally:
+        service.close()
