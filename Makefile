@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-hashseed bench bench-smoke bench-fleet lint docs-check \
-	schema-check
+.PHONY: test test-hashseed bench bench-smoke bench-fleet serve-smoke \
+	lint docs-check schema-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -51,6 +51,19 @@ bench-smoke:
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet_cache.py
 
+# Transport smoke for CI (DESIGN.md §13): the conformance + fuzz +
+# fairness batteries against a live loopback server, then a mini load
+# run (60 tenants) whose numbers land in BENCH_service_load.ci.json
+# (uploaded as a workflow artifact).  The full 200-tenant sweep that
+# rewrites the committed BENCH_service_load.json is
+# `python benchmarks/bench_service_load.py`.
+serve-smoke:
+	$(PYTHON) -m pytest -q tests/test_transport_conformance.py \
+		tests/test_transport_fuzz.py tests/test_transport_fairness.py
+	BENCH_SERVICE_TENANTS=60 BENCH_SERVICE_REQUESTS=2 \
+	BENCH_SERVICE_EMIT_PATH=BENCH_service_load.ci.json \
+		$(PYTHON) -m pytest -q benchmarks/bench_service_load.py
+
 # Docs smoke: run the example scripts the README points at, end to
 # end, so the quickstart instructions can't rot.  store_audit also
 # asserts the warm-start replay does zero solver calls (DESIGN.md §8);
@@ -60,6 +73,7 @@ docs-check:
 	$(PYTHON) examples/quickstart.py > /dev/null
 	$(PYTHON) examples/store_audit.py > /dev/null
 	$(PYTHON) examples/install_flow.py > /dev/null
+	$(PYTHON) examples/serve_fleet.py > /dev/null
 	@echo "docs-check: README example scripts ran clean"
 
 # Byte-compile everything as a cheap syntax/import lint (no external

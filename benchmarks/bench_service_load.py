@@ -1,0 +1,296 @@
+"""Fleet transport under load: hundreds of tenants, one server.
+
+``TENANTS`` concurrent tenants each open their own connection to one
+:class:`FleetServer` (DESIGN.md §13) and walk a small but real
+workload — create home, register a device, install a custom app,
+decide it, then ``REQUESTS`` rounds of light queries — while one
+deliberately throttled flood tenant hammers the server far past its
+token-bucket quota.  Everything is measured from the client side of
+the socket:
+
+* throughput (completed requests / wall second) and request latency
+  percentiles (p50/p95/p99, per method and overall);
+* **exact** quota accounting: the flood tenant runs against a
+  ``rate=0`` bucket of depth ``FLOOD_BURST``, so precisely
+  ``FLOOD_REQUESTS - FLOOD_BURST`` rejections must come back typed as
+  ``quota-exceeded`` — and the server's own counters must agree;
+* fairness spread: every tenant runs the identical workload
+  concurrently, so the max/median spread of tenant makespans measures
+  how evenly the weighted-fair scheduler shares the one dispatcher;
+* the zero-internal-errors invariant, read back from ``status``.
+
+Select the shape with BENCH_SERVICE_TENANTS / BENCH_SERVICE_REQUESTS
+(defaults "40" / "2" under pytest; a "200"-tenant sweep when run as a
+script).  Script runs write ``BENCH_service_load.json`` at the repo
+root as a machine-readable trajectory point; CI smoke passes set
+BENCH_SERVICE_EMIT_PATH to upload a run's numbers without touching the
+committed artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.service.schemas import DecisionRequest, InstallRequest
+from repro.service.service import HomeGuardService
+from repro.service.transport import (
+    AsyncFleetClient,
+    FleetClient,
+    TenantQuota,
+    serve_background,
+)
+
+TENANTS = int(os.environ.get("BENCH_SERVICE_TENANTS", "40"))
+REQUESTS = int(os.environ.get("BENCH_SERVICE_REQUESTS", "2"))
+_FULL_TENANTS = "200"
+_FULL_REQUESTS = "3"
+
+#: The flood tenant's exact allowance: a rate=0 bucket of this depth.
+FLOOD_BURST = 25
+#: How many requests the flood tenant actually fires.
+FLOOD_REQUESTS = 150
+
+_RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_service_load.json"
+)
+_EMIT_TRAJECTORY = False
+
+APP_SOURCE = """
+definition(name: "Bench App", namespace: "bench", author: "bench")
+preferences {
+    section("sw") { input "sw", "capability.switch" }
+}
+def installed() { subscribe(sw, "switch.on", handler) }
+def handler(evt) { sw.off() }
+"""
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(
+        len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def _latency_summary(seconds: list[float]) -> dict:
+    return {
+        "count": len(seconds),
+        "p50_ms": round(_percentile(seconds, 0.50) * 1000.0, 3),
+        "p95_ms": round(_percentile(seconds, 0.95) * 1000.0, 3),
+        "p99_ms": round(_percentile(seconds, 0.99) * 1000.0, 3),
+        "max_ms": round(max(seconds) * 1000.0, 3) if seconds else 0.0,
+    }
+
+
+async def _tenant_workload(live, index: int, samples: list,
+                           makespans: list) -> None:
+    home_id = f"bench-{index:04d}"
+    async with AsyncFleetClient(live.host, live.port) as client:
+
+        async def timed(method: str, params) -> tuple:
+            started = time.perf_counter()
+            result, error = await client.call(method, params)
+            samples.append(
+                (method, time.perf_counter() - started,
+                 None if error is None else error.code)
+            )
+            return result, error
+
+        tenant_started = time.perf_counter()
+        _, error = await timed("create_home", {"home_id": home_id})
+        assert error is None, error
+        _, error = await timed("register_device", {
+            "home_id": home_id, "label": "sw", "type": "switch",
+        })
+        assert error is None, error
+        session, error = await timed("install", InstallRequest(
+            home_id=home_id, app_name="bench-app", source=APP_SOURCE,
+            devices={"sw": "sw"},
+        ).to_json())
+        assert error is None, error
+        if session["status"] == "pending":
+            _, error = await timed("decide", DecisionRequest(
+                home_id=home_id, session_id=session["session_id"],
+                decision="keep",
+            ).to_json())
+            assert error is None, error
+        for _ in range(REQUESTS):
+            _, error = await timed(
+                "installed_apps", {"home_id": home_id}
+            )
+            assert error is None, error
+            _, error = await timed("sessions", {"home_id": home_id})
+            assert error is None, error
+        makespans.append(time.perf_counter() - tenant_started)
+
+
+async def _flood_workload(live) -> dict:
+    """The throttled tenant: fires far past its non-refilling bucket
+    and tallies what came back."""
+    served = 0
+    rejected = 0
+    async with AsyncFleetClient(live.host, live.port) as client:
+        for _ in range(FLOOD_REQUESTS):
+            _, error = await client.call(
+                "sessions", {"home_id": "flood-home"}
+            )
+            if error is None:
+                served += 1
+            else:
+                assert error.code == "quota-exceeded", error.code
+                assert error.details.get("retryable") is False
+                rejected += 1
+    return {"served": served, "rejected": rejected}
+
+
+async def _drive(live) -> dict:
+    samples: list = []
+    makespans: list = []
+    wall_started = time.perf_counter()
+    flood_task = asyncio.ensure_future(_flood_workload(live))
+    await asyncio.gather(*(
+        _tenant_workload(live, index, samples, makespans)
+        for index in range(TENANTS)
+    ))
+    flood = await flood_task
+    wall = time.perf_counter() - wall_started
+    return {
+        "samples": samples, "makespans": makespans,
+        "flood": flood, "wall": wall,
+    }
+
+
+def test_service_load():
+    print(
+        f"\n=== Service load: {TENANTS} tenants x "
+        f"{4 + 2 * REQUESTS} requests, +1 flood tenant "
+        f"({FLOOD_REQUESTS} calls vs burst {FLOOD_BURST}) ==="
+    )
+    service = HomeGuardService(workers=None)
+    with serve_background(
+        service,
+        own_service=True,
+        # Workload tenants run unthrottled; the flood tenant's bucket
+        # never refills, so its accounting is exact by construction.
+        quota=TenantQuota(rate=10_000.0, burst=100_000, max_inflight=64),
+        tenant_quotas={
+            "flood-home": TenantQuota(
+                rate=0.0, burst=FLOOD_BURST, max_inflight=8
+            ),
+        },
+        max_inflight_total=4096,
+    ) as live:
+        outcome = asyncio.run(_drive(live))
+        with FleetClient(live.host, live.port) as client:
+            record = client.status()
+
+    samples = outcome["samples"]
+    errors = [code for _, _, code in samples if code is not None]
+    assert errors == [], f"workload tenants saw errors: {errors[:5]}"
+    expected = TENANTS * (4 + 2 * REQUESTS)
+    assert len(samples) == expected
+    assert len(outcome["makespans"]) == TENANTS
+
+    # Exact quota accounting, client side and server side.
+    flood = outcome["flood"]
+    assert flood["served"] == FLOOD_BURST
+    assert flood["rejected"] == FLOOD_REQUESTS - FLOOD_BURST
+    assert record.quota_rejections == flood["rejected"]
+    flood_counters = record.tenants["flood-home"]
+    assert flood_counters["completed"] == FLOOD_BURST
+    assert flood_counters["quota_rejections"] == flood["rejected"]
+
+    # The server absorbed everything without a single catch-all 500.
+    assert record.internal_errors == 0
+    assert record.state == "serving"
+    assert record.requests_inflight == 0
+
+    seconds = [duration for _, duration, _ in samples]
+    per_method: dict[str, list[float]] = {}
+    for method, duration, _ in samples:
+        per_method.setdefault(method, []).append(duration)
+    completed = len(samples) + FLOOD_REQUESTS
+    throughput = completed / outcome["wall"]
+
+    makespans = outcome["makespans"]
+    median_makespan = _percentile(makespans, 0.50)
+    spread = max(makespans) / median_makespan if median_makespan else 0.0
+
+    results = {
+        "benchmark": "service_load",
+        "tenants": TENANTS,
+        "requests_per_tenant": 4 + 2 * REQUESTS,
+        "total_requests": completed,
+        "wall_seconds": round(outcome["wall"], 3),
+        "throughput_rps": round(throughput, 1),
+        "latency": _latency_summary(seconds),
+        "per_method": {
+            method: _latency_summary(durations)
+            for method, durations in sorted(per_method.items())
+        },
+        "quota": {
+            "flood_requests": FLOOD_REQUESTS,
+            "flood_burst": FLOOD_BURST,
+            "served": flood["served"],
+            "rejections": flood["rejected"],
+            "server_counter_agrees": (
+                record.quota_rejections == flood["rejected"]
+            ),
+        },
+        "fairness": {
+            "tenant_makespan_ms": _latency_summary(makespans),
+            "spread_max_over_median": round(spread, 2),
+        },
+        "server": {
+            "requests_total": record.requests_total,
+            "errors_total": record.errors_total,
+            "internal_errors": record.internal_errors,
+            "phase_seconds": record.phase_seconds,
+            "phase_counts": record.phase_counts,
+        },
+    }
+    print(
+        f"  {completed} requests in {outcome['wall']:.2f}s "
+        f"({throughput:.0f} req/s); "
+        f"p50={results['latency']['p50_ms']}ms "
+        f"p95={results['latency']['p95_ms']}ms "
+        f"p99={results['latency']['p99_ms']}ms"
+    )
+    print(
+        f"  quota: {flood['served']}/{FLOOD_REQUESTS} flood calls "
+        f"served, {flood['rejected']} typed rejections (exact)"
+    )
+    print(
+        f"  fairness: tenant makespan p50="
+        f"{results['fairness']['tenant_makespan_ms']['p50_ms']}ms, "
+        f"max/median spread {spread:.2f}x"
+    )
+
+    if _EMIT_TRAJECTORY:
+        _emit_trajectory(results, _RESULTS_PATH)
+    emit_path = os.environ.get("BENCH_SERVICE_EMIT_PATH")
+    if emit_path:
+        _emit_trajectory(results, Path(emit_path))
+
+
+def _emit_trajectory(results: dict, path: Path) -> None:
+    path.write_text(
+        json.dumps(results, indent=1, sort_keys=True), encoding="utf-8"
+    )
+    print(f"trajectory point written to {path.name}")
+
+
+if __name__ == "__main__":
+    if "BENCH_SERVICE_TENANTS" not in os.environ:
+        TENANTS = int(_FULL_TENANTS)
+    if "BENCH_SERVICE_REQUESTS" not in os.environ:
+        REQUESTS = int(_FULL_REQUESTS)
+    _EMIT_TRAJECTORY = True
+    test_service_load()

@@ -1,0 +1,129 @@
+"""Serving a fleet over a socket (DESIGN.md §13).
+
+One :class:`HomeGuardService` process absorbs a whole fleet's install
+traffic through the stdlib-only JSON-RPC transport: the server speaks
+the frozen wire schemas, answers every failure with a typed
+``ServiceError`` record, throttles each tenant with a token-bucket
+quota, and schedules admitted work onto the one shared solver
+dispatcher in weighted-fair order.
+
+The walk below drives two tenants and one misbehaving flood client
+against a live loopback server, then reads the server's own
+``ServerStatusRecord`` accounting and drains it gracefully.
+
+Run with::
+
+    python examples/serve_fleet.py
+"""
+
+from repro.service import (
+    AuditRequest,
+    DecisionRequest,
+    InstallRequest,
+    QuotaExceededError,
+    UnknownHomeError,
+)
+from repro.service.service import HomeGuardService
+from repro.service.transport import (
+    FleetClient,
+    TenantQuota,
+    serve_background,
+)
+
+TEAKETTLE = """
+definition(name: "Morning Teakettle", namespace: "demo", author: "demo")
+preferences {
+    section("kettle") { input "kettle", "capability.switch" }
+    section("motion") { input "motion1", "capability.motionSensor" }
+}
+def installed() { subscribe(motion1, "motion.active", wake) }
+def wake(evt) { kettle.on() }
+"""
+
+NIGHT_GUARD = """
+definition(name: "Night Guard", namespace: "demo", author: "demo")
+preferences {
+    section("kettle") { input "kettle", "capability.switch" }
+}
+def installed() { subscribe(kettle, "switch.on", cut) }
+def cut(evt) { kettle.off() }
+"""
+
+
+def main() -> None:
+    service = HomeGuardService(workers=None)
+
+    # One server, many tenants: `quota` is every tenant's default
+    # allowance; "flood-home" gets a deliberately tiny non-refilling
+    # bucket so the quota path is visible below.
+    with serve_background(
+        service,
+        own_service=True,
+        quota=TenantQuota(rate=100.0, burst=200, max_inflight=16),
+        tenant_quotas={"flood-home": TenantQuota(rate=0.0, burst=3)},
+    ) as fleet:
+        print(f"fleet server listening on {fleet.url}")
+
+        # --- Tenant "alice": a conflicting pair, decided over the wire.
+        with FleetClient(fleet.host, fleet.port) as alice:
+            alice.create_home("alice")
+            alice.register_device("alice", "Kettle", "switch")
+            alice.register_device("alice", "Hall Motion", "motionSensor")
+            for name, source in (("teakettle", TEAKETTLE),
+                                 ("night-guard", NIGHT_GUARD)):
+                session = alice.install(InstallRequest(
+                    home_id="alice", app_name=name, source=source,
+                    devices={"kettle": "Kettle",
+                             "motion1": "Hall Motion"},
+                ))
+                print(f"alice/{name}: {session.status}, "
+                      f"{len(session.report.threats)} threat(s)")
+                session = alice.decide(DecisionRequest(
+                    home_id="alice", session_id=session.session_id,
+                    decision="keep",
+                ))
+            reports = alice.audit(AuditRequest(home_id="alice"))
+            total = sum(len(r.threats) + len(r.chains) for r in reports)
+            print(f"alice audit: {len(reports)} report(s), "
+                  f"{total} threat(s)")
+
+        # --- Tenant "bob" is isolated: alice's custom apps are private,
+        # and a typed taxonomy error crosses the socket intact.
+        with FleetClient(fleet.host, fleet.port) as bob:
+            bob.create_home("bob")
+            try:
+                bob.installed_apps("alice-typo")
+            except UnknownHomeError as error:
+                print(f"typed error over the wire: [{error.code}] "
+                      f"{error.message}")
+
+        # --- The flood tenant exhausts its 3-token bucket.
+        with FleetClient(fleet.host, fleet.port) as flood:
+            served = rejected = 0
+            for _ in range(8):
+                try:
+                    flood.call("sessions", {"home_id": "flood-home"})
+                    served += 1
+                except QuotaExceededError:
+                    rejected += 1
+            print(f"flood tenant: {served} served, {rejected} "
+                  f"quota-rejected (bucket depth 3, no refill)")
+
+        # --- The server accounts for all of it.
+        with FleetClient(fleet.host, fleet.port) as operator:
+            record = operator.status()
+            print(f"status: state={record.state} "
+                  f"homes={record.homes} "
+                  f"requests={record.requests_total} "
+                  f"quota_rejections={record.quota_rejections} "
+                  f"internal_errors={record.internal_errors}")
+
+        # --- Graceful drain: in-flight work finishes, new intake gets
+        # a retryable `unavailable`, then the context manager closes
+        # the server and (own_service=True) the service behind it.
+        fleet.drain()
+        print("drained; shutting down")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,13 @@ The canonical public surface of the reproduction:
   plus :class:`AutoDenyPolicy`, :class:`SeverityThresholdPolicy`,
   :class:`ChainedPolicy`).
 
+The socket front end lives in :mod:`repro.service.transport`
+(DESIGN.md §13): ``FleetServer`` / ``serve_background`` put a
+stdlib-only HTTP + JSON-RPC server — with per-tenant quotas, admission
+control and weighted-fair scheduling — in front of one service;
+``FleetClient`` / ``AsyncFleetClient`` speak the same wire records and
+raise the same typed errors across the socket.
+
 ``repro.HomeGuard`` and ``repro.frontend.app.HomeGuardApp`` remain as
 backward-compatible shims over a single-home service.
 """
@@ -23,9 +30,12 @@ from repro.service.errors import (
     WIRE_SCHEMA_VERSION,
     DuplicateHomeError,
     InvalidRequestError,
+    QuotaExceededError,
+    RequestTooLargeError,
     SchemaMismatchError,
     ServiceError,
     SessionDecidedError,
+    UnavailableError,
     UnknownAppError,
     UnknownHomeError,
     UnknownSessionError,
@@ -46,8 +56,10 @@ from repro.service.policies import (
 from repro.service.schemas import (
     AuditRequest,
     DecisionRequest,
+    DetectionStatsRecord,
     InstallRequest,
     InstallSession,
+    ServerStatusRecord,
     ThreatRecord,
     ThreatReport,
     decode_wire,
@@ -61,6 +73,7 @@ __all__ = [
     "AutoDenyPolicy",
     "ChainedPolicy",
     "DecisionRequest",
+    "DetectionStatsRecord",
     "DuplicateHomeError",
     "HandlingPolicy",
     "HomeGuardService",
@@ -71,11 +84,15 @@ __all__ = [
     "InstalledDevice",
     "InteractivePolicy",
     "InvalidRequestError",
+    "QuotaExceededError",
+    "RequestTooLargeError",
     "SchemaMismatchError",
+    "ServerStatusRecord",
     "ServiceError",
     "SessionDecidedError",
     "SeverityThresholdPolicy",
     "TenantHome",
+    "UnavailableError",
     "ThreatRecord",
     "ThreatReport",
     "UnknownAppError",

@@ -21,7 +21,12 @@ from __future__ import annotations
 # field, or a new error code is added — the committed schema manifest
 # (`schema_manifest.json`) pins field lists per version, and CI fails
 # on unversioned drift.
-WIRE_SCHEMA_VERSION = 2
+#
+# v3 added the fleet-transport surface (DESIGN.md §13): the
+# ``ServerStatusRecord`` model plus the ``quota-exceeded``,
+# ``unavailable`` and ``request-too-large`` error codes the JSON-RPC
+# server returns for admission-control failures.
+WIRE_SCHEMA_VERSION = 3
 
 
 class ServiceError(Exception):
@@ -124,6 +129,31 @@ class SchemaMismatchError(ServiceError):
     code = "schema-mismatch"
 
 
+class QuotaExceededError(ServiceError):
+    """The tenant ran ahead of its token-bucket request quota
+    (DESIGN.md §13).  Retryable: the bucket refills at the tenant's
+    configured rate — back off and resend."""
+
+    code = "quota-exceeded"
+
+
+class UnavailableError(ServiceError):
+    """The server cannot take the request right now — it is draining
+    toward shutdown, or admission control found the tenant (or the
+    whole server) at its max-inflight bound.  The 503 of the taxonomy:
+    always retryable against a live or restarted server, never a
+    statement about the request itself."""
+
+    code = "unavailable"
+
+
+class RequestTooLargeError(ServiceError):
+    """The transport frame exceeded the server's request-size cap.
+    Not retryable as-is; the 413 of the taxonomy."""
+
+    code = "request-too-large"
+
+
 # Stable code -> class dispatch used by ServiceError.from_json and the
 # schema manifest (the taxonomy itself is part of the wire contract).
 ERROR_CODES: dict[str, type[ServiceError]] = {
@@ -137,5 +167,8 @@ ERROR_CODES: dict[str, type[ServiceError]] = {
         SessionDecidedError,
         InvalidRequestError,
         SchemaMismatchError,
+        QuotaExceededError,
+        UnavailableError,
+        RequestTooLargeError,
     )
 }

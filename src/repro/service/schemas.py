@@ -112,6 +112,36 @@ def _int_field(kind: str, data: dict, name: str) -> int:
     return value
 
 
+def _count_dict_field(kind: str, data: dict, name: str) -> dict[str, int]:
+    value = data.get(name, {})
+    if not isinstance(value, dict) or not all(
+        isinstance(k, str)
+        and isinstance(v, int)
+        and not isinstance(v, bool)
+        for k, v in value.items()
+    ):
+        raise SchemaMismatchError(
+            f"{kind}.{name}: expected a string->integer object, "
+            f"got {value!r}"
+        )
+    return dict(value)
+
+
+def _seconds_dict_field(kind: str, data: dict, name: str) -> dict[str, float]:
+    value = data.get(name, {})
+    if not isinstance(value, dict) or not all(
+        isinstance(k, str)
+        and isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        for k, v in value.items()
+    ):
+        raise SchemaMismatchError(
+            f"{kind}.{name}: expected a string->number object, "
+            f"got {value!r}"
+        )
+    return {k: float(v) for k, v in value.items()}
+
+
 def _str_dict_field(kind: str, data: dict, name: str) -> dict[str, str]:
     value = data.get(name, {})
     if not isinstance(value, dict) or not all(
@@ -615,6 +645,111 @@ class DetectionStatsRecord:
         )
 
 
+SERVER_STATES = ("serving", "draining", "closed")
+
+
+@dataclass(frozen=True)
+class ServerStatusRecord:
+    """One fleet server's health/accounting snapshot, as wire data
+    (DESIGN.md §13) — what the transport's ``status`` RPC returns.
+
+    Counters are process-lifetime totals: every accepted request,
+    every quota/admission/drain rejection, every typed error response,
+    and the ``internal_errors`` count of handler exceptions that fell
+    outside the :class:`~repro.service.errors.ServiceError` taxonomy
+    (the fuzz battery pins this at zero).  ``phase_seconds`` /
+    ``phase_counts`` hold the per-phase latency accounting of the
+    structured access log (parse / admit / queue / execute / write);
+    ``tenants`` the per-home request and rejection counters."""
+
+    kind: ClassVar[str] = "ServerStatusRecord"
+
+    state: str
+    homes: int = 0
+    requests_total: int = 0
+    requests_inflight: int = 0
+    quota_rejections: int = 0
+    admission_rejections: int = 0
+    drain_rejections: int = 0
+    errors_total: int = 0
+    internal_errors: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_counts: dict[str, int] = field(default_factory=dict)
+    tenants: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.state not in SERVER_STATES:
+            raise InvalidRequestError(
+                f"unknown server state {self.state!r}; expected one of "
+                f"{', '.join(SERVER_STATES)}"
+            )
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "state": self.state,
+            "homes": self.homes,
+            "requests_total": self.requests_total,
+            "requests_inflight": self.requests_inflight,
+            "quota_rejections": self.quota_rejections,
+            "admission_rejections": self.admission_rejections,
+            "drain_rejections": self.drain_rejections,
+            "errors_total": self.errors_total,
+            "internal_errors": self.internal_errors,
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_counts": dict(self.phase_counts),
+            "tenants": {
+                home_id: dict(counters)
+                for home_id, counters in self.tenants.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "ServerStatusRecord":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data,
+            {"state", "homes", "requests_total", "requests_inflight",
+             "quota_rejections", "admission_rejections",
+             "drain_rejections", "errors_total", "internal_errors",
+             "phase_seconds", "phase_counts", "tenants"},
+        )
+        tenants = data.get("tenants", {})
+        if not isinstance(tenants, dict) or not all(
+            isinstance(home_id, str) for home_id in tenants
+        ):
+            raise SchemaMismatchError(
+                f"{cls.kind}.tenants: expected a home->counters object, "
+                f"got {tenants!r}"
+            )
+        decoded_tenants = {
+            home_id: _count_dict_field(
+                cls.kind, {"tenants": counters}, "tenants"
+            )
+            for home_id, counters in tenants.items()
+        }
+        return cls(
+            state=_str_field(cls.kind, data, "state"),
+            homes=_int_field(cls.kind, data, "homes"),
+            requests_total=_int_field(cls.kind, data, "requests_total"),
+            requests_inflight=_int_field(
+                cls.kind, data, "requests_inflight"
+            ),
+            quota_rejections=_int_field(cls.kind, data, "quota_rejections"),
+            admission_rejections=_int_field(
+                cls.kind, data, "admission_rejections"
+            ),
+            drain_rejections=_int_field(cls.kind, data, "drain_rejections"),
+            errors_total=_int_field(cls.kind, data, "errors_total"),
+            internal_errors=_int_field(cls.kind, data, "internal_errors"),
+            phase_seconds=_seconds_dict_field(
+                cls.kind, data, "phase_seconds"
+            ),
+            phase_counts=_count_dict_field(cls.kind, data, "phase_counts"),
+            tenants=decoded_tenants,
+        )
+
+
 # ----------------------------------------------------------------------
 # Registry, generic decode, schema manifest
 
@@ -629,6 +764,7 @@ WIRE_MODELS: dict[str, type] = {
         ThreatReport,
         InstallSession,
         DetectionStatsRecord,
+        ServerStatusRecord,
     )
 }
 

@@ -27,6 +27,7 @@ identical on either surface.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Iterable
 
@@ -151,6 +152,7 @@ class HomeGuardService:
         # cannot install (or read the rules of) a custom app.  A home
         # that resubmits the byte-identical source joins the owners.
         self._sources: dict[str, tuple[set[str] | None, str]] = {}
+        self._close_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Tenant home lifecycle
@@ -517,12 +519,21 @@ class HomeGuardService:
         so are the cache backends'), and safe after a failed
         :meth:`restore` — tenant pipelines never own either, so one
         close here is complete.  A later detection run transparently
-        restarts the pool; just close again when done."""
-        if self.dispatcher is not None:
-            self.dispatcher.close()
-        if self.solve_cache is not None:
-            self.solve_cache.flush()
-            self.solve_cache.close()
+        restarts the pool; just close again when done.
+
+        Also safe to call concurrently: the fleet server's drain path
+        (an event-loop thread) and a ``with`` block (the main thread)
+        may both reach here, so the two shutdown steps run under a
+        lock, and a dispatcher that fails to close cannot leave the
+        cache unflushed."""
+        with self._close_lock:
+            try:
+                if self.dispatcher is not None:
+                    self.dispatcher.close()
+            finally:
+                if self.solve_cache is not None:
+                    self.solve_cache.flush()
+                    self.solve_cache.close()
 
     def __enter__(self) -> "HomeGuardService":
         return self

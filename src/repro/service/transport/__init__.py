@@ -1,0 +1,63 @@
+"""Async fleet transport: a JSON-RPC server over the frozen wire
+schemas, with per-tenant quotas, admission control and weighted-fair
+scheduling (DESIGN.md §13).
+
+The package splits along the request path:
+
+* :mod:`.framing` — HTTP/1.1 + JSON-RPC 2.0 byte handling, the
+  taxonomy-code ↔ HTTP-status mapping, strict (duplicate-key-
+  rejecting) JSON decode;
+* :mod:`.quota` — token-bucket rate quotas and max-inflight admission
+  control per tenant;
+* :mod:`.scheduler` — weighted-fair ordering of admitted work onto the
+  one shared solver dispatcher;
+* :mod:`.server` — :class:`FleetServer` (the asyncio loop composing
+  the above) and :func:`serve_background` for synchronous callers;
+* :mod:`.client` — :class:`FleetClient` (sync) and
+  :class:`AsyncFleetClient`, both raising/returning typed
+  :class:`~repro.service.errors.ServiceError` records rebuilt from the
+  wire.
+"""
+
+from repro.service.transport.client import AsyncFleetClient, FleetClient
+from repro.service.transport.framing import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    ERROR_STATUS,
+    MAX_HEADER_BYTES,
+    decode_rpc_response,
+    http_status_of,
+    jsonrpc_code_of,
+)
+from repro.service.transport.quota import (
+    AdmissionController,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.service.transport.scheduler import (
+    FairScheduler,
+    WeightedFairQueue,
+)
+from repro.service.transport.server import (
+    BackgroundServer,
+    FleetServer,
+    serve_background,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AsyncFleetClient",
+    "BackgroundServer",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "ERROR_STATUS",
+    "FairScheduler",
+    "FleetClient",
+    "FleetServer",
+    "MAX_HEADER_BYTES",
+    "TenantQuota",
+    "TokenBucket",
+    "WeightedFairQueue",
+    "decode_rpc_response",
+    "http_status_of",
+    "jsonrpc_code_of",
+    "serve_background",
+]

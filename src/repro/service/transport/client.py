@@ -1,0 +1,287 @@
+"""Clients for the fleet server (DESIGN.md §13).
+
+Two clients over the same wire protocol:
+
+* :class:`FleetClient` — synchronous, ``http.client``-based, one
+  keep-alive connection.  What tests, examples and operators use.
+* :class:`AsyncFleetClient` — asyncio streams, for callers that need
+  hundreds of concurrent connections in one process (the load
+  benchmark drives ~200 tenants with these).
+
+Both decode responses through :func:`decode_rpc_response`, so a server
+failure comes back as the *typed* taxonomy exception the service
+raised — ``except UnknownHomeError:`` works identically in-process and
+across the socket.  The typed convenience methods (:meth:`install`,
+:meth:`audit`, :meth:`status`, ...) re-hydrate wire records into the
+frozen dataclasses of :mod:`repro.service.schemas`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import itertools
+import json
+from typing import Iterable
+
+from repro.service.errors import ServiceError
+from repro.service.schemas import (
+    AuditRequest,
+    DecisionRequest,
+    DetectionStatsRecord,
+    InstallRequest,
+    InstallSession,
+    ServerStatusRecord,
+    ThreatReport,
+)
+from repro.service.transport.framing import decode_rpc_response
+
+
+class FleetClient:
+    """Synchronous JSON-RPC client over one keep-alive connection.
+
+    ``call`` raises the transported :class:`ServiceError` subclass on
+    failure; the typed helpers return frozen wire dataclasses.  Usable
+    as a context manager."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._ids = itertools.count(1)
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, body: bytes):
+        conn = self._connection()
+        conn.request(
+            "POST", "/rpc", body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        data = response.read()
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        return response.status, data
+
+    def call(self, method: str, params: object = None) -> object:
+        """One RPC; returns the result or raises the typed error."""
+        body = json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": next(self._ids),
+                "method": method,
+                "params": params,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        try:
+            status, data = self._roundtrip(body)
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # Server closed the keep-alive connection (drain, previous
+            # Connection: close, restart): reconnect and retry once.
+            self.close()
+            status, data = self._roundtrip(body)
+        result, error = decode_rpc_response(status, data)
+        if error is not None:
+            raise error
+        return result
+
+    # ------------------------------------------------------------------
+    # Typed surface
+
+    def create_home(
+        self, home_id: str, policy: str | None = None
+    ) -> None:
+        params: dict = {"home_id": home_id}
+        if policy is not None:
+            params["policy"] = policy
+        self.call("create_home", params)
+
+    def register_device(
+        self, home_id: str, label: str, type_name: str
+    ) -> dict:
+        return self.call(
+            "register_device",
+            {"home_id": home_id, "label": label, "type": type_name},
+        )
+
+    def install(self, request: InstallRequest) -> InstallSession:
+        return InstallSession.from_json(
+            self.call("install", request.to_json())
+        )
+
+    def decide(self, request: DecisionRequest) -> InstallSession:
+        return InstallSession.from_json(
+            self.call("decide", request.to_json())
+        )
+
+    def audit(self, request: AuditRequest) -> list[ThreatReport]:
+        reports = self.call("audit", request.to_json())
+        return [
+            ThreatReport.from_json(report)
+            for report in reports["reports"]
+        ]
+
+    def session(self, home_id: str, session_id: str) -> InstallSession:
+        return InstallSession.from_json(
+            self.call(
+                "session",
+                {"home_id": home_id, "session_id": session_id},
+            )
+        )
+
+    def sessions(
+        self, home_id: str | None = None
+    ) -> list[InstallSession]:
+        params = {} if home_id is None else {"home_id": home_id}
+        return [
+            InstallSession.from_json(session)
+            for session in self.call("sessions", params)["sessions"]
+        ]
+
+    def installed_apps(self, home_id: str) -> list[str]:
+        return list(
+            self.call("installed_apps", {"home_id": home_id})["apps"]
+        )
+
+    def stats(self, home_id: str) -> DetectionStatsRecord:
+        return DetectionStatsRecord.from_json(
+            self.call("stats", {"home_id": home_id})
+        )
+
+    def status(self) -> ServerStatusRecord:
+        return ServerStatusRecord.from_json(self.call("status"))
+
+    def echo(self, record) -> dict:
+        """Round-trip any wire record (dataclass instance or raw JSON
+        object) through the server's strict decoder."""
+        payload = record.to_json() if hasattr(record, "to_json") else record
+        return self.call("echo", payload)
+
+
+class AsyncFleetClient:
+    """Asyncio JSON-RPC client: one connection, sequential calls.
+
+    Built for fan-out — the load benchmark opens one per simulated
+    tenant, so hundreds of concurrent connections fit in one process.
+    ``call`` returns ``(result, error)`` instead of raising: under
+    deliberate quota pressure, rejections are data, not exceptions."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._ids = itertools.count(1)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncFleetClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def call(
+        self, method: str, params: object = None
+    ) -> tuple[object, ServiceError | None]:
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": next(self._ids),
+                "method": method,
+                "params": params,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        head = (
+            f"POST /rpc HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status, response = await asyncio.wait_for(
+            self._read_response(), self.timeout
+        )
+        return decode_rpc_response(status, response)
+
+    async def _read_response(self) -> tuple[int, bytes]:
+        assert self._reader is not None
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        length = 0
+        close = False
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+            elif (
+                name.strip().lower() == "connection"
+                and value.strip().lower() == "close"
+            ):
+                close = True
+        body = await self._reader.readexactly(length) if length else b""
+        if close:
+            await self.close()
+        return status, body
+
+
+async def gather_calls(
+    clients: Iterable[AsyncFleetClient],
+    method: str,
+    params_of,
+) -> list[tuple[object, ServiceError | None]]:
+    """Fire ``method`` once per client concurrently; ``params_of`` maps
+    each client index to its params.  Bench helper."""
+    return await asyncio.gather(
+        *(
+            client.call(method, params_of(index))
+            for index, client in enumerate(clients)
+        )
+    )

@@ -1,0 +1,327 @@
+"""HTTP/1.1 + JSON-RPC 2.0 framing for the fleet server (DESIGN.md §13).
+
+Stdlib-only by design: the server speaks a deliberately small slice of
+HTTP/1.1 — ``POST`` with a mandatory ``Content-Length``, keep-alive
+connections, no chunked encoding — parsed directly off the asyncio
+stream.  One RPC is one JSON-RPC 2.0 envelope::
+
+    {"jsonrpc": "2.0", "id": 7, "method": "install",
+     "params": {... a wire record or plain params object ...}}
+
+and one response either ``{"jsonrpc": "2.0", "id": 7, "result": ...}``
+or ``{"jsonrpc": "2.0", "id": 7, "error": {"code": <int>, "message":
+..., "data": <ServiceError.to_json()>}}`` — the ``data`` member always
+carries the full typed :class:`~repro.service.errors.ServiceError`
+record, so taxonomy codes survive the wire loss-free and a traceback
+can never leak (there is no other error path).
+
+Strictness the schema layer cannot see happens here: request bodies
+are decoded with a duplicate-key-rejecting JSON parser (plain
+``json.loads`` silently keeps the last duplicate — a smuggling vector
+for anything that validates one copy and uses the other), and bodies
+over the server's size cap are refused before they are read.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.service.errors import (
+    InvalidRequestError,
+    QuotaExceededError,
+    RequestTooLargeError,
+    SchemaMismatchError,
+    ServiceError,
+    SessionDecidedError,
+    UnavailableError,
+)
+
+# Transport hard bounds (bytes).
+MAX_HEADER_BYTES = 16 * 1024
+DEFAULT_MAX_REQUEST_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+# ServiceError taxonomy code -> (HTTP status, JSON-RPC error code).
+# JSON-RPC codes live in the implementation-defined -32000..-32099
+# server-error band, except the protocol-level parse/invalid ones.
+ERROR_STATUS: dict[str, tuple[int, int]] = {
+    "schema-mismatch": (400, -32600),
+    "invalid-request": (400, -32602),
+    "unknown-home": (404, -32001),
+    "unknown-app": (404, -32002),
+    "unknown-session": (404, -32003),
+    "session-decided": (409, -32004),
+    "duplicate-home": (409, -32005),
+    "quota-exceeded": (429, -32010),
+    "unavailable": (503, -32011),
+    "request-too-large": (413, -32012),
+    "service-error": (500, -32000),
+}
+
+
+def http_status_of(error: ServiceError) -> int:
+    return ERROR_STATUS.get(error.code, (500, -32000))[0]
+
+
+def jsonrpc_code_of(error: ServiceError) -> int:
+    return ERROR_STATUS.get(error.code, (500, -32000))[1]
+
+
+def _reject_duplicate_keys(pairs: list) -> dict:
+    seen: dict = {}
+    for key, value in pairs:
+        if key in seen:
+            raise ValueError(f"duplicate JSON field {key!r}")
+        seen[key] = value
+    return seen
+
+
+def loads_strict(text: str | bytes) -> object:
+    """``json.loads`` that refuses duplicated object fields."""
+    return json.loads(text, object_pairs_hook=_reject_duplicate_keys)
+
+
+@dataclass
+class RpcRequest:
+    """One decoded JSON-RPC call."""
+
+    method: str
+    params: object
+    id: object = None
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP request (line + headers; body read separately)."""
+
+    method: str
+    target: str
+    headers: dict[str, str] = field(default_factory=dict)
+    keep_alive: bool = True
+
+    @property
+    def content_length(self) -> int | None:
+        raw = self.headers.get("content-length")
+        if raw is None:
+            return None
+        try:
+            length = int(raw.strip())
+        except ValueError:
+            return None
+        return length if length >= 0 else None
+
+
+class FrameError(Exception):
+    """The byte stream is not a usable HTTP request.  ``error`` is the
+    typed ServiceError to answer with (when answering is possible);
+    ``close`` forces the connection shut because stream state is
+    unknowable past the failure."""
+
+    def __init__(
+        self, error: ServiceError, status: int | None = None,
+        close: bool = True,
+    ) -> None:
+        super().__init__(error.message)
+        self.error = error
+        self.status = status if status is not None else http_status_of(error)
+        self.close = close
+
+
+def parse_http_head(head: bytes) -> HttpRequest:
+    """Parse request line + headers (everything before CRLFCRLF)."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # latin-1 cannot fail; belt+braces
+        raise FrameError(
+            InvalidRequestError(f"undecodable request head: {exc}")
+        ) from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise FrameError(
+            InvalidRequestError(f"malformed request line {lines[0]!r}")
+        )
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise FrameError(
+                InvalidRequestError(f"malformed header line {line!r}")
+            )
+        headers[name.strip().lower()] = value.strip()
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and version != "HTTP/1.0"
+    return HttpRequest(
+        method=method, target=target, headers=headers, keep_alive=keep_alive
+    )
+
+
+def parse_rpc(body: bytes) -> RpcRequest:
+    """Decode one JSON-RPC envelope from a request body."""
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FrameError(
+            SchemaMismatchError(f"request body is not UTF-8: {exc}"),
+            close=False,
+        ) from exc
+    try:
+        envelope = loads_strict(text)
+    except ValueError as exc:
+        raise FrameError(
+            SchemaMismatchError(f"request body is not JSON: {exc}"),
+            close=False,
+        ) from exc
+    if not isinstance(envelope, dict):
+        raise FrameError(
+            SchemaMismatchError(
+                f"expected a JSON-RPC object, got "
+                f"{type(envelope).__name__}"
+            ),
+            close=False,
+        )
+    if envelope.get("jsonrpc") != "2.0":
+        raise FrameError(
+            SchemaMismatchError(
+                f"jsonrpc version {envelope.get('jsonrpc')!r} != '2.0'"
+            ),
+            close=False,
+        )
+    unknown = set(envelope) - {"jsonrpc", "id", "method", "params"}
+    if unknown:
+        raise FrameError(
+            SchemaMismatchError(
+                f"unknown JSON-RPC member(s) {sorted(unknown)!r}"
+            ),
+            close=False,
+        )
+    method = envelope.get("method")
+    if not isinstance(method, str) or not method:
+        raise FrameError(
+            SchemaMismatchError(f"malformed method {method!r}"),
+            close=False,
+        )
+    rpc_id = envelope.get("id")
+    if rpc_id is not None and not isinstance(rpc_id, (str, int, float)):
+        raise FrameError(
+            SchemaMismatchError(f"malformed request id {rpc_id!r}"),
+            close=False,
+        )
+    return RpcRequest(
+        method=method, params=envelope.get("params"), id=rpc_id
+    )
+
+
+def encode_result(rpc_id: object, result: object) -> bytes:
+    return json.dumps(
+        {"jsonrpc": "2.0", "id": rpc_id, "result": result},
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def encode_error(rpc_id: object, error: ServiceError) -> bytes:
+    return json.dumps(
+        {
+            "jsonrpc": "2.0",
+            "id": rpc_id,
+            "error": {
+                "code": jsonrpc_code_of(error),
+                "message": error.message,
+                "data": error.to_json(),
+            },
+        },
+        separators=(",", ":"),
+        default=str,
+    ).encode("utf-8")
+
+
+def http_response(
+    status: int,
+    body: bytes,
+    keep_alive: bool = True,
+    request_id: str | None = None,
+    retry_after: float | None = None,
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if request_id is not None:
+        head.append(f"X-Request-Id: {request_id}")
+    if retry_after is not None:
+        head.append(f"Retry-After: {max(0, int(retry_after + 0.999))}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def decode_rpc_response(
+    status: int, body: bytes
+) -> tuple[object, ServiceError | None]:
+    """Client side: ``(result, None)`` or ``(None, typed error)``.
+
+    The error is rebuilt through :meth:`ServiceError.from_json`, so
+    taxonomy subclasses (and preserved unknown peer codes) come back
+    exactly as the server raised them."""
+    envelope = loads_strict(body.decode("utf-8"))
+    if not isinstance(envelope, dict):
+        raise SchemaMismatchError(
+            f"malformed JSON-RPC response: {envelope!r}"
+        )
+    if "error" in envelope:
+        error = envelope["error"]
+        if not isinstance(error, dict):
+            raise SchemaMismatchError(f"malformed error member {error!r}")
+        data = error.get("data")
+        if isinstance(data, dict) and data.get("kind") == "ServiceError":
+            return None, ServiceError.from_json(data)
+        return None, ServiceError(
+            str(error.get("message", f"HTTP {status}"))
+        )
+    if "result" not in envelope:
+        raise SchemaMismatchError(
+            "JSON-RPC response carries neither result nor error"
+        )
+    return envelope["result"], None
+
+
+# Re-exported for the server's convenience (single import site).
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "MAX_HEADER_BYTES",
+    "ERROR_STATUS",
+    "FrameError",
+    "HttpRequest",
+    "RpcRequest",
+    "decode_rpc_response",
+    "encode_error",
+    "encode_result",
+    "http_response",
+    "http_status_of",
+    "jsonrpc_code_of",
+    "loads_strict",
+    "parse_http_head",
+    "parse_rpc",
+    "InvalidRequestError",
+    "QuotaExceededError",
+    "RequestTooLargeError",
+    "SchemaMismatchError",
+    "SessionDecidedError",
+    "UnavailableError",
+]

@@ -1,0 +1,142 @@
+"""Weighted-fair scheduling of tenant work (DESIGN.md §13).
+
+Before the transport existed, tenant requests reached the one shared
+:class:`~repro.constraints.dispatch.SolverDispatcher` in plain arrival
+order — FIFO per batch.  A tenant that submits 200 installs ahead of
+everyone else would then own the dispatcher until its queue drained.
+
+:class:`WeightedFairQueue` replaces that with per-job *virtual finish
+tags* (weighted fair queueing / stride scheduling): each tenant's jobs
+are tagged ``max(virtual_time, tenant_last_tag) + 1/weight`` at
+enqueue, and the scheduler always pops the smallest tag.  A flooding
+tenant's 200 queued jobs get tags stretching 200/weight into the
+virtual future, so a light tenant's fresh job — tagged just past *now*
+— runs after at most ~one of the heavy tenant's jobs, regardless of
+arrival order.  Weights buy proportionally more service: a weight-2
+tenant's tags advance half as fast, so it wins twice the pops under
+contention.
+
+The queue is a plain data structure (heap + per-tenant bookkeeping),
+confined to the server's event loop; :class:`FairScheduler` adds the
+asyncio plumbing — an ``await``-able pop and a single run loop that
+executes one job at a time on a dedicated executor thread.  One job at
+a time is deliberate: the service object (shared extractor, session
+table, per-home pipelines) is not thread-safe, and the parallelism
+that matters — the solver fan-out — happens *inside* a job via the
+shared dispatcher's worker pool.  Fairness here decides *whose* batch
+feeds that pool next.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class WeightedFairQueue:
+    """Virtual-time fair queue over per-tenant job streams."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._virtual_time = 0.0
+        self._last_tag: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, tenant: str, weight: float, job: object) -> float:
+        """Tag and enqueue one job; returns its virtual finish tag."""
+        tag = max(
+            self._virtual_time, self._last_tag.get(tenant, 0.0)
+        ) + 1.0 / max(weight, 1e-9)
+        self._last_tag[tenant] = tag
+        heapq.heappush(self._heap, (tag, next(self._seq), tenant, job))
+        return tag
+
+    def pop(self) -> tuple[str, object] | None:
+        """The smallest-tag job, advancing virtual time; ``None`` when
+        empty.  Ties break by arrival order (the seq counter), so equal
+        weights degrade to round-robin, never to starvation."""
+        if not self._heap:
+            return None
+        tag, _, tenant, job = heapq.heappop(self._heap)
+        self._virtual_time = tag
+        if not self._heap:
+            # Idle queue: forget per-tenant history so a tenant that
+            # went quiet is not owed (or charged) virtual time from a
+            # previous busy period.
+            self._last_tag.clear()
+        return tenant, job
+
+
+class FairScheduler:
+    """Asyncio front of the fair queue: awaitable intake, one run loop.
+
+    ``submit`` enqueues a zero-argument callable for a tenant and
+    returns a future resolved with the callable's result (or its
+    exception).  The run loop pops in fair order and executes each
+    callable on ``executor`` (a single worker thread), keeping the
+    event loop free to absorb intake while service code runs.
+    ``on_start`` fires when a job leaves the queue — the server uses it
+    to close the job's queue-phase latency window."""
+
+    def __init__(self, executor) -> None:
+        self._queue = WeightedFairQueue()
+        self._executor = executor
+        self._wakeup = asyncio.Event()
+        self._stopped = False
+        self.executed = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        tenant: str,
+        weight: float,
+        fn: Callable[[], Any],
+        on_start: Callable[[], None] | None = None,
+    ) -> "asyncio.Future[Any]":
+        if self._stopped:
+            raise RuntimeError("scheduler is stopped")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.push(tenant, weight, (future, fn, on_start))
+        self._wakeup.set()
+        return future
+
+    async def run(self) -> None:
+        """Drain jobs in fair order until :meth:`stop` and the queue
+        empties.  Cancelled futures (a client that hung up) are skipped
+        without executing their job."""
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = self._queue.pop()
+            if entry is None:
+                if self._stopped:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            _, (future, fn, on_start) = entry
+            if on_start is not None:
+                on_start()
+            if future.cancelled():
+                continue
+            try:
+                result = await loop.run_in_executor(self._executor, fn)
+            except Exception as exc:  # delivered, not raised here
+                if not future.cancelled():
+                    future.set_exception(exc)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            self.executed += 1
+
+    def stop(self) -> None:
+        """No further submits; the run loop exits once the queue is
+        empty."""
+        self._stopped = True
+        self._wakeup.set()

@@ -503,6 +503,41 @@ def test_close_before_any_dispatch_is_safe():
     service.close()
 
 
+def test_concurrent_close_from_many_threads_is_safe():
+    """The fleet server's drain path closes the service from its event
+    loop thread while a ``with`` block may close it from the main
+    thread — both orderings must be safe, every time (regression for
+    the transport's ``own_service`` shutdown)."""
+    import threading
+
+    service = fresh_service(workers="thread:2", solve_cache="lru")
+    make_home(service, "h1")
+    # Start the pool with real work so close() has something to release.
+    for spec in (COMFORT_TV, COLD_DEFENDER):
+        session = service.install(InstallRequest(home_id="h1", **spec))
+        service.decide(DecisionRequest(home_id="h1",
+                                       session_id=session.session_id,
+                                       decision="keep"))
+    assert service.dispatcher._executor is not None
+
+    errors = []
+
+    def closer():
+        try:
+            service.close()
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=closer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert service.dispatcher._executor is None
+    service.close()  # still idempotent afterwards
+
+
 def test_service_context_manager_closes():
     with fresh_service(workers="thread:2") as service:
         make_home(service, "h1")

@@ -213,6 +213,53 @@ def run_service(devices, plan, store_dir, workers, home_id="home",
         service.close()
 
 
+def run_transport(devices, plan, store_dir, workers, home_id="home",
+                  solve_cache=None):
+    """The fleet-transport surface (DESIGN.md §13): the same typed
+    requests as :func:`run_service`, but through a live loopback
+    JSON-RPC server — every request crosses the socket."""
+    from repro.service.transport import FleetClient, serve_background
+
+    service = HomeGuardService(workers=workers, solve_cache=solve_cache,
+                               store_root=store_dir)
+    try:
+        service.preload([app_by_name(name) for name, _, _ in plan])
+        threats = []
+        audit = []
+        with serve_background(service) as live:
+            with FleetClient(live.host, live.port) as client:
+                client.create_home(home_id)
+                for label, type_name in devices:
+                    client.register_device(home_id, label, type_name)
+                for name, bindings, values in plan:
+                    session = client.install(InstallRequest(
+                        home_id=home_id, app_name=name,
+                        devices=bindings, values=values,
+                    ))
+                    assert session.pending
+                    session = client.decide(DecisionRequest(
+                        home_id=home_id, session_id=session.session_id,
+                        decision="keep",
+                    ))
+                    threats.extend(_wire_threats(_round_trip(session).report))
+                for report in client.audit(AuditRequest(home_id=home_id)):
+                    audit.extend(_wire_threats(_round_trip(report)))
+                assert client.status().internal_errors == 0
+        # The server has drained and closed; the caches and store are
+        # whatever the socket-driven flow left behind.
+        return {
+            "threats": threats,
+            "audit": audit,
+            "caches": json.dumps(
+                service.home(home_id).pipeline.engine.export_caches(),
+                default=str),
+            "store": _store_bytes(Path(store_dir) / home_id),
+            "installed": service.installed_apps(home_id),
+        }
+    finally:
+        service.close()
+
+
 # ----------------------------------------------------------------------
 # The gate
 
@@ -231,6 +278,24 @@ def test_service_matches_legacy_flow(corpus_name, workers, tmp_path):
     # Byte-identical persistence: same filenames, same bytes.
     assert served["store"] == legacy["store"]
     assert any(name.startswith("shard-") for name in legacy["store"])
+
+
+@pytest.mark.parametrize("workers", ["serial", "auto"])
+def test_transport_matches_legacy_flow(workers, tmp_path):
+    """The loopback equivalence gate (DESIGN.md §13): driving the demo
+    plan across the socket — strict wire decode, admission control and
+    fair scheduling in the path — yields byte-identical threats, solve
+    caches and store bytes as the legacy in-process flow.  The
+    transport is a front end, never a semantic layer."""
+    devices, plan = setup_for("demo")
+    legacy = run_legacy(devices, plan, tmp_path / "legacy", workers)
+    served = run_transport(devices, plan, tmp_path / "socket", workers)
+    assert legacy["threats"], "corpus produced no threats to compare"
+    assert served["threats"] == legacy["threats"]
+    assert served["audit"] == legacy["audit"]
+    assert served["caches"] == legacy["caches"]
+    assert served["installed"] == legacy["installed"]
+    assert served["store"] == legacy["store"]
 
 
 def test_demo_plan_exercises_chains(tmp_path):

@@ -16,10 +16,12 @@ from repro.service import (
     WIRE_SCHEMA_VERSION,
     AuditRequest,
     DecisionRequest,
+    DetectionStatsRecord,
     InstallRequest,
     InstallSession,
     InvalidRequestError,
     SchemaMismatchError,
+    ServerStatusRecord,
     ServiceError,
     ThreatRecord,
     ThreatReport,
@@ -87,6 +89,30 @@ SAMPLES = [
         report=sample_report(),
         decision="delete",
         decided_by="auto-deny",
+    ),
+    DetectionStatsRecord(
+        home_id="h1",
+        solver_calls=12,
+        cache_hits=3,
+        shared_cache_hits=2,
+        shared_cache_publishes=7,
+        pairs_examined=28,
+        prescreen_pruned_pairs=13,
+        planned_pairs=15,
+    ),
+    ServerStatusRecord(
+        state="serving",
+        homes=3,
+        requests_total=250,
+        requests_inflight=4,
+        quota_rejections=17,
+        admission_rejections=2,
+        drain_rejections=0,
+        errors_total=19,
+        internal_errors=0,
+        phase_seconds={"parse": 0.012, "execute": 4.5},
+        phase_counts={"parse": 250, "execute": 231},
+        tenants={"h1": {"requests": 100, "completed": 98}},
     ),
 ]
 
@@ -156,6 +182,13 @@ def test_invalid_field_values_fail_at_construction():
             session_id="s", home_id="h", app_name="A",
             status="undetermined", report=sample_report(),
         )
+    with pytest.raises(InvalidRequestError):
+        ServerStatusRecord(state="rebooting")
+    # Counter dicts decode strictly: bools are not counts.
+    bad = ServerStatusRecord(state="serving").to_json()
+    bad["phase_counts"] = {"parse": True}
+    with pytest.raises(SchemaMismatchError):
+        ServerStatusRecord.from_json(bad)
 
 
 def test_service_error_taxonomy_round_trips():
