@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-hashseed bench bench-smoke bench-fleet serve-smoke \
-	lint docs-check schema-check
+.PHONY: test test-hashseed bench bench-smoke bench-fleet bench-store \
+	serve-smoke lint docs-check schema-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -43,6 +43,7 @@ bench-smoke:
 	BENCH_STORE_SIZES=30,200 BENCH_WORKER_COUNTS=1,2,4 \
 	BENCH_REGRESSION_GATE=1 BENCH_EMIT_PATH=BENCH_store_scale.ci.json \
 	BENCH_FLEET_EMIT_PATH=BENCH_fleet_cache.ci.json \
+	BENCH_STORE_EMIT_PATH=BENCH_store_engine.ci.json \
 		$(PYTHON) -m pytest -q benchmarks/bench_*.py
 
 # Full fleet-cache sweep (DESIGN.md §12): 6 tenants with overlapping
@@ -50,6 +51,14 @@ bench-smoke:
 # BENCH_fleet_cache.json trajectory point.
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet_cache.py
+
+# Full storage-engine sweep (DESIGN.md §14): a 10k-home fleet database
+# gating delta-commit cost at < 1% of a full-store rewrite, plus a
+# 384-home churn bounded at 256 resident homes across the delta/dir,
+# delta/sqlite and eager arms; rewrites the committed
+# BENCH_store_engine.json trajectory point.
+bench-store:
+	$(PYTHON) benchmarks/bench_store_engine.py
 
 # Transport smoke for CI (DESIGN.md §13): the conformance + fuzz +
 # fairness batteries against a live loopback server, then a mini load

@@ -45,21 +45,37 @@ from repro.detector.signature import (
     compute_signature,
     may_interfere,
 )
-from repro.detector.store import DetectionStore, StoreSnapshot, WarmStart
+from repro.detector.storage import (
+    DirectoryBackend,
+    SQLiteStoreBackend,
+    StoreBackend,
+    make_store_backend,
+)
+from repro.detector.store import (
+    DetectionStore,
+    StoreCommit,
+    StoreSnapshot,
+    WarmStart,
+)
 
 __all__ = [
     "DetectionEngine",
     "DetectionPipeline",
     "DetectionStore",
+    "DirectoryBackend",
     "RuleIndex",
     "RuleSignature",
+    "SQLiteStoreBackend",
     "ShardedRuleIndex",
     "SignatureBuilder",
+    "StoreBackend",
+    "StoreCommit",
     "StoreSnapshot",
     "Threat",
     "ThreatReport",
     "ThreatType",
     "WarmStart",
     "compute_signature",
+    "make_store_backend",
     "may_interfere",
 ]

@@ -147,6 +147,12 @@ class DetectionStats:
     # planned them (= plan wall for the single-planner paths; the
     # chunked fan-out reports each chunk's planning cost exactly once).
     plan_cpu_seconds: float = 0.0
+    # Storage-engine accounting (DESIGN.md §14): bytes the store
+    # backend durably wrote for this home's commits (delta records are
+    # O(changed app); full snapshots and compactions count too) and the
+    # wall seconds those commits took end to end.
+    store_bytes_written: int = 0
+    store_commit_seconds: float = 0.0
 
     def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
         self.candidate_seconds[threat_type] = (

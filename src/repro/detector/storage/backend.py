@@ -1,0 +1,188 @@
+"""Pluggable storage backends for the detection store (DESIGN.md §14).
+
+A :class:`StoreBackend` is a small durable document store: named JSON
+*documents* (the store's ``meta.json`` and shard files) plus an
+append-only *journal* of newline-delimited records (the per-commit
+delta log).  :class:`~repro.detector.store.DetectionStore` speaks only
+this protocol, so the on-disk representation is swappable:
+
+* :class:`DirectoryBackend` — the historical directory-of-JSON layout
+  (one file per document, ``journal.jsonl`` for the delta log), now
+  with full fsync durability: an acknowledged write survives a crash.
+* :class:`~repro.detector.storage.sqlite.SQLiteStoreBackend` — a
+  WAL-mode SQLite key-value file that multiple fleet controllers can
+  share, with per-home key namespaces so one database serves a whole
+  store root.
+
+Durability/consistency contract every backend must honour:
+
+* ``write_doc`` is atomic (readers see the old or the new document,
+  never a torn one) and durable before it returns;
+* ``append_journal`` appends one record durably; a crash may truncate
+  the *tail* of the journal but never corrupt acknowledged records;
+* ``read_journal`` returns a **consistent prefix**: only complete
+  records, in append order — a torn tail is silently dropped;
+* read failures degrade (``None`` / empty), they never raise on the
+  detection path — mirroring the corrupt-store behavior of
+  :mod:`repro.constraints.solvecache`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+class StoreBackend:
+    """Protocol base class for detection-store storage backends."""
+
+    def read_doc(self, key: str) -> str | None:
+        """The document's text, or ``None`` when absent/unreadable."""
+        raise NotImplementedError
+
+    def write_doc(self, key: str, text: str) -> int:
+        """Atomically, durably replace a document; returns the bytes
+        written (0 when the backend is degraded and dropped the
+        write)."""
+        raise NotImplementedError
+
+    def has_doc(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def list_docs(self, prefix: str) -> list[str]:
+        """Sorted document names starting with ``prefix``."""
+        raise NotImplementedError
+
+    def append_journal(self, key: str, line: str) -> int:
+        """Durably append one record line to the named journal;
+        returns the bytes appended (0 when degraded)."""
+        raise NotImplementedError
+
+    def read_journal(self, key: str) -> list[str]:
+        """The journal's complete record lines, in append order (a
+        torn/truncated tail is dropped; missing journal = empty)."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Remove a document or journal (missing = no-op)."""
+        raise NotImplementedError
+
+    def sweep(self) -> None:
+        """Janitor hook: drop leftover temporaries from crashed writes
+        (no-op for backends without temporaries)."""
+
+    def flush(self) -> None:
+        """Persist buffered state (no-op for unbuffered backends)."""
+
+    def close(self) -> None:
+        """Release storage handles; further reads degrade to misses."""
+
+
+class DirectoryBackend(StoreBackend):
+    """The directory-of-JSON layout: one file per document under the
+    store path, ``journal.jsonl``-style files for journals.
+
+    Document writes go through a temp file + ``os.replace`` with the
+    file *and* the directory fsynced, so the rename — the commit point
+    — is durable: a crash right after an acknowledged commit cannot
+    roll the store back to the previous snapshot (the durability gap
+    the pre-§14 ``_write_atomic`` had).  Filesystems that refuse
+    directory fsyncs (some network mounts) degrade gracefully: the
+    write is still atomic, just not crash-durable past the rename."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def read_doc(self, key: str) -> str | None:
+        try:
+            return (self.path / key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def write_doc(self, key: str, text: str) -> int:
+        self.path.mkdir(parents=True, exist_ok=True)
+        data = text.encode("utf-8")
+        tmp = self.path / f"{key}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path / key)
+        self._fsync_dir()
+        return len(data)
+
+    def has_doc(self, key: str) -> bool:
+        return (self.path / key).is_file()
+
+    def list_docs(self, prefix: str) -> list[str]:
+        try:
+            return sorted(
+                entry.name
+                for entry in self.path.iterdir()
+                if entry.name.startswith(prefix)
+                and not entry.name.endswith(".tmp")
+            )
+        except OSError:
+            return []
+
+    def append_journal(self, key: str, line: str) -> int:
+        self.path.mkdir(parents=True, exist_ok=True)
+        target = self.path / key
+        fresh = not target.exists()
+        data = line.encode("utf-8") + b"\n"
+        with open(target, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if fresh:
+            # The journal file's directory entry must be durable too,
+            # or a crash could lose the whole (acknowledged) journal.
+            self._fsync_dir()
+        return len(data)
+
+    def read_journal(self, key: str) -> list[str]:
+        try:
+            data = (self.path / key).read_bytes()
+        except OSError:
+            return []
+        lines: list[str] = []
+        # Only newline-terminated records count: a crash mid-append
+        # leaves a torn tail, which is exactly the part we drop.
+        for raw in data.split(b"\n")[:-1]:
+            try:
+                lines.append(raw.decode("utf-8"))
+            except UnicodeDecodeError:
+                break  # consistent prefix: stop at the first torn record
+        return lines
+
+    def delete(self, key: str) -> None:
+        try:
+            (self.path / key).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def sweep(self) -> None:
+        try:
+            stale = list(self.path.glob("*.tmp"))
+        except OSError:
+            return
+        for path in stale:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        return f"DirectoryBackend({str(self.path)!r})"

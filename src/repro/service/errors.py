@@ -26,7 +26,13 @@ from __future__ import annotations
 # ``ServerStatusRecord`` model plus the ``quota-exceeded``,
 # ``unavailable`` and ``request-too-large`` error codes the JSON-RPC
 # server returns for admission-control failures.
-WIRE_SCHEMA_VERSION = 3
+#
+# v4 added the storage-engine counters (DESIGN.md §14):
+# ``DetectionStatsRecord`` gained ``store_bytes_written`` /
+# ``store_commit_seconds`` (per-home commit cost) and
+# ``ServerStatusRecord`` gained ``homes_resident`` (the LRU-bounded
+# count of homes hydrated in memory).
+WIRE_SCHEMA_VERSION = 4
 
 
 class ServiceError(Exception):

@@ -20,6 +20,7 @@ equivalence gate in ``tests/test_service_equivalence.py`` enforces it.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
@@ -130,6 +131,8 @@ class TenantHome:
         dispatcher: "SolverDispatcher | None" = None,
         policy: "HandlingPolicy | None" = None,
         shared_cache=None,
+        store_backend=None,
+        store_delta: bool = True,
     ) -> None:
         self.home_id = home_id
         self.backend = backend
@@ -147,11 +150,15 @@ class TenantHome:
             dispatcher=dispatcher,
             shared_cache=shared_cache,
         )
-        # Optional persistence: decisions are snapshotted to the store
-        # on every commit, and :meth:`load_store` warm-starts a fresh
-        # process from the last snapshot (DESIGN.md §8).
+        # Optional persistence: decisions append delta records to the
+        # store journal (``store_backend`` picks the storage engine,
+        # DESIGN.md §14; ``store_delta=False`` forces the eager
+        # full-rewrite path), and :meth:`load_store` warm-starts a
+        # fresh process from the last base + journal (DESIGN.md §8).
         self.store = (
-            DetectionStore(store_path) if store_path is not None else None
+            DetectionStore(store_path, backend=store_backend, delta=store_delta)
+            if store_path is not None
+            else None
         )
         self.allowed = AllowedList()
         self.reviews: list[InstallReview] = []
@@ -296,13 +303,13 @@ class TenantHome:
             # Accepted pairs join the Allowed list for chained detection
             # (paper §VI-D).
             self.allowed.add_all(review.threats)
-            self.save_store()
+            self._commit_store(review.app_name)
         elif decision is InstallDecision.DELETE:
             self.rule_recorder.forget(review.app_name)
             self.config_recorder.forget(review.app_name)
             self.pipeline.discard(review.app_name)
             self.pipeline.remove_ruleset(review.app_name)
-            self.save_store()
+            self._commit_store(review.app_name, remove=True)
         else:
             # RECONFIGURE keeps nothing: the app will send a fresh
             # payload after the user updates its settings.
@@ -374,12 +381,11 @@ class TenantHome:
         ]
         return entry
 
-    def save_store(self) -> None:
-        """Snapshot detection state + recorders to the configured store
-        (a no-op without a ``store_path``).  Called on every commit."""
-        if self.store is None:
-            return
-        frontend = {
+    def _frontend_blob(self) -> dict:
+        """The opaque frontend blob persisted with every snapshot and
+        every journal record: recorded payloads, device types, Allowed
+        list, review/decision history, and the facade's extra state."""
+        return {
             "payloads": [
                 {
                     "app": payload.app_name,
@@ -409,11 +415,38 @@ class TenantHome:
             ],
             "extra": self.frontend_state,
         }
-        self.store.save(
+
+    def save_store(self) -> None:
+        """Snapshot detection state + recorders to the configured store
+        as a full base rewrite (a no-op without a ``store_path``)."""
+        if self.store is None:
+            return
+        started = time.perf_counter()
+        written = self.store.save(
             self.pipeline,
             rulesets=self.rule_recorder.rulesets,
-            frontend=frontend,
+            frontend=self._frontend_blob(),
         )
+        stats = self.pipeline.stats
+        stats.store_bytes_written += written
+        stats.store_commit_seconds += time.perf_counter() - started
+
+    def _commit_store(self, app_name: str, remove: bool = False) -> None:
+        """Durably record one decision — the delta path: O(changed app)
+        journal append instead of a full snapshot rewrite (a no-op
+        without a ``store_path``)."""
+        if self.store is None:
+            return
+        receipt = self.store.commit_app(
+            self.pipeline,
+            app_name,
+            rulesets=self.rule_recorder.rulesets,
+            frontend=self._frontend_blob(),
+            remove=remove,
+        )
+        stats = self.pipeline.stats
+        stats.store_bytes_written += receipt.bytes_written
+        stats.store_commit_seconds += receipt.seconds
 
     def load_store(self) -> list[str]:
         """Warm-start this home from the persisted store.

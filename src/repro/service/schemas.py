@@ -112,6 +112,15 @@ def _int_field(kind: str, data: dict, name: str) -> int:
     return value
 
 
+def _float_field(kind: str, data: dict, name: str) -> float:
+    value = data.get(name)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SchemaMismatchError(
+            f"{kind}.{name}: expected a number, got {value!r}"
+        )
+    return float(value)
+
+
 def _count_dict_field(kind: str, data: dict, name: str) -> dict[str, int]:
     value = data.get(name, {})
     if not isinstance(value, dict) or not all(
@@ -576,8 +585,11 @@ class DetectionStatsRecord:
     signature prescreen pruned, and where the verdicts came from —
     fresh solver calls, the home's own solve cache, or the shared
     cross-tenant solve cache (DESIGN.md §12).  The shared-cache
-    counters are a versioned addition (wire schema v2); peers still on
-    v1 reject the record instead of silently dropping fields."""
+    counters are a versioned addition (wire schema v2), the
+    storage-engine counters — bytes the store backend durably wrote
+    for this home's commits and the wall seconds those commits took
+    (DESIGN.md §14) — a v4 one; peers on an older version reject the
+    record instead of silently dropping fields."""
 
     kind: ClassVar[str] = "DetectionStatsRecord"
 
@@ -589,6 +601,8 @@ class DetectionStatsRecord:
     pairs_examined: int = 0
     prescreen_pruned_pairs: int = 0
     planned_pairs: int = 0
+    store_bytes_written: int = 0
+    store_commit_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.home_id:
@@ -605,6 +619,8 @@ class DetectionStatsRecord:
             pairs_examined=stats.pairs_examined,
             prescreen_pruned_pairs=stats.prescreen_pruned_pairs,
             planned_pairs=stats.planned_pairs,
+            store_bytes_written=stats.store_bytes_written,
+            store_commit_seconds=stats.store_commit_seconds,
         )
 
     def to_json(self) -> dict:
@@ -618,6 +634,8 @@ class DetectionStatsRecord:
             "pairs_examined": self.pairs_examined,
             "prescreen_pruned_pairs": self.prescreen_pruned_pairs,
             "planned_pairs": self.planned_pairs,
+            "store_bytes_written": self.store_bytes_written,
+            "store_commit_seconds": self.store_commit_seconds,
         }
 
     @classmethod
@@ -627,7 +645,8 @@ class DetectionStatsRecord:
             cls.kind, data,
             {"home_id", "solver_calls", "cache_hits", "shared_cache_hits",
              "shared_cache_publishes", "pairs_examined",
-             "prescreen_pruned_pairs", "planned_pairs"},
+             "prescreen_pruned_pairs", "planned_pairs",
+             "store_bytes_written", "store_commit_seconds"},
         )
         return cls(
             home_id=_str_field(cls.kind, data, "home_id"),
@@ -642,6 +661,12 @@ class DetectionStatsRecord:
                 cls.kind, data, "prescreen_pruned_pairs"
             ),
             planned_pairs=_int_field(cls.kind, data, "planned_pairs"),
+            store_bytes_written=_int_field(
+                cls.kind, data, "store_bytes_written"
+            ),
+            store_commit_seconds=_float_field(
+                cls.kind, data, "store_commit_seconds"
+            ),
         )
 
 
@@ -660,12 +685,17 @@ class ServerStatusRecord:
     (the fuzz battery pins this at zero).  ``phase_seconds`` /
     ``phase_counts`` hold the per-phase latency accounting of the
     structured access log (parse / admit / queue / execute / write);
-    ``tenants`` the per-home request and rejection counters."""
+    ``tenants`` the per-home request and rejection counters.
+    ``homes`` counts every registered home; ``homes_resident`` (wire
+    schema v4) the subset currently hydrated in memory — with
+    ``max_resident_homes`` set it stays under the bound no matter how
+    large the fleet grows (DESIGN.md §14)."""
 
     kind: ClassVar[str] = "ServerStatusRecord"
 
     state: str
     homes: int = 0
+    homes_resident: int = 0
     requests_total: int = 0
     requests_inflight: int = 0
     quota_rejections: int = 0
@@ -689,6 +719,7 @@ class ServerStatusRecord:
             **_header(self.kind),
             "state": self.state,
             "homes": self.homes,
+            "homes_resident": self.homes_resident,
             "requests_total": self.requests_total,
             "requests_inflight": self.requests_inflight,
             "quota_rejections": self.quota_rejections,
@@ -709,10 +740,11 @@ class ServerStatusRecord:
         data = _check_header(cls.kind, data)
         _reject_unknown(
             cls.kind, data,
-            {"state", "homes", "requests_total", "requests_inflight",
-             "quota_rejections", "admission_rejections",
-             "drain_rejections", "errors_total", "internal_errors",
-             "phase_seconds", "phase_counts", "tenants"},
+            {"state", "homes", "homes_resident", "requests_total",
+             "requests_inflight", "quota_rejections",
+             "admission_rejections", "drain_rejections", "errors_total",
+             "internal_errors", "phase_seconds", "phase_counts",
+             "tenants"},
         )
         tenants = data.get("tenants", {})
         if not isinstance(tenants, dict) or not all(
@@ -731,6 +763,7 @@ class ServerStatusRecord:
         return cls(
             state=_str_field(cls.kind, data, "state"),
             homes=_int_field(cls.kind, data, "homes"),
+            homes_resident=_int_field(cls.kind, data, "homes_resident"),
             requests_total=_int_field(cls.kind, data, "requests_total"),
             requests_inflight=_int_field(
                 cls.kind, data, "requests_inflight"

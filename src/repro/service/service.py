@@ -37,6 +37,7 @@ from repro.config.uri import ConfigPayload
 from repro.constraints.dispatch import SolverDispatcher, make_dispatcher
 from repro.constraints.solvecache import SolveCacheBackend, make_solve_cache
 from repro.corpus.model import CorpusApp
+from repro.detector.storage import SQLITE_STORE_FILE, SQLiteStoreBackend
 from repro.rules.extractor import ExtractionError, RuleExtractor
 from repro.rules.model import RuleSet
 from repro.service.errors import (
@@ -68,10 +69,11 @@ from repro.service.schemas import (
 
 class _LiveSession:
     """Service-side session state: the wire view plus the live review
-    the one-time decision will be applied to.  ``review`` is dropped
-    once the session is decided — only pending sessions need the live
-    threat/rule object graph, and a long-running service must not pin
-    one per install forever."""
+    the one-time decision will be applied to.  ``review`` and ``home``
+    are dropped once the session is decided — only pending sessions
+    need the live threat/rule object graph (and only they pin their
+    home resident, see :meth:`HomeGuardService._evictable`); a
+    long-running service must not hold one per install forever."""
 
     __slots__ = ("wire", "review", "home")
 
@@ -79,11 +81,23 @@ class _LiveSession:
         self,
         wire: InstallSession,
         review: InstallReview | None,
-        home: TenantHome,
+        home: TenantHome | None,
     ) -> None:
         self.wire = wire
         self.review = review
         self.home = home
+
+
+class _HomeRecord:
+    """Registry entry for one created home: everything needed to
+    re-hydrate an evicted :class:`TenantHome` from its store."""
+
+    __slots__ = ("store_path", "policy", "store_backend")
+
+    def __init__(self, store_path, policy, store_backend) -> None:
+        self.store_path = store_path
+        self.policy = policy
+        self.store_backend = store_backend
 
 
 class HomeGuardService:
@@ -117,6 +131,31 @@ class HomeGuardService:
         engine, so a formula any tenant solved is never solved again
         fleet-wide; verdicts are keyed by content-addressed formula
         fingerprints, never by rule source or home identity.
+    store_backend:
+        Storage engine for the per-home detection stores (DESIGN.md
+        §14): ``None``/``"dir"`` for the directory-of-JSON layout,
+        ``"sqlite"`` to pack the whole fleet into one WAL-mode
+        database under ``store_root`` (``store_root/store.sqlite``;
+        every home gets a key-namespace view over one shared
+        connection), ``"sqlite:<file>"`` to name the database
+        explicitly, or a :class:`~repro.detector.storage
+        .SQLiteStoreBackend` instance to share with another
+        controller.
+    store_delta:
+        ``True`` (default) appends per-commit delta records to each
+        home's store journal; ``False`` rewrites the full snapshot on
+        every decision (the eager reference path — byte-identical
+        final state, O(store) commit cost).
+    max_resident_homes:
+        Optional bound on *resident* tenant homes (lazy shard
+        loading, DESIGN.md §14).  Created homes are registered
+        durably; beyond the bound the least-recently-used home with a
+        store is evicted from memory and transparently re-hydrated
+        from its store on next touch — exactly a warm restart, so
+        threats, caches and store bytes are unchanged.  Homes without
+        a store, homes with queued payloads, and homes with pending
+        sessions are never evicted.  ``None`` (default) keeps every
+        home resident.
     """
 
     #: Decided sessions kept queryable before the oldest are evicted
@@ -132,17 +171,51 @@ class HomeGuardService:
         store_root: str | Path | None = None,
         policy: HandlingPolicy | None = None,
         solve_cache: str | SolveCacheBackend | None = None,
+        store_backend: "str | SQLiteStoreBackend | None" = None,
+        store_delta: bool = True,
+        max_resident_homes: int | None = None,
     ) -> None:
         self.extractor = extractor if extractor is not None else RuleExtractor()
         self.dispatcher = make_dispatcher(workers)
         self.solve_cache = make_solve_cache(solve_cache)
         self.store_root = None if store_root is None else Path(store_root)
         self.default_policy = policy if policy is not None else InteractivePolicy()
+        self.store_backend = store_backend
+        # ``store_delta=False`` opts the fleet out of journaled delta
+        # commits: every decision rewrites the home's full snapshot
+        # (the pre-§14 behavior — the byte-equality reference arm).
+        self.store_delta = store_delta
+        self.max_resident_homes = max_resident_homes
+        # One fleet-wide store database (when configured): every home
+        # persists through a namespace view over this single backend —
+        # one file, one connection, shareable across controllers.
+        self._fleet_backend: SQLiteStoreBackend | None = None
+        if isinstance(store_backend, SQLiteStoreBackend):
+            self._fleet_backend = store_backend
+        elif isinstance(store_backend, str):
+            name, _, arg = store_backend.strip().partition(":")
+            if name.lower() == "sqlite":
+                if arg:
+                    self._fleet_backend = SQLiteStoreBackend(Path(arg))
+                elif self.store_root is not None:
+                    self._fleet_backend = SQLiteStoreBackend(
+                        self.store_root / SQLITE_STORE_FILE
+                    )
+                # else: the spec passes through per home (each home's
+                # store_path gets its own database file).
         # The capability registry is process-global by design (paper
         # Appendix A); expose it so tenants introspect one shared
         # catalogue instead of importing module internals.
         self.capabilities = capability_registry
+        # Every created home (durable identity) vs. the homes currently
+        # *resident* in memory.  ``_homes`` doubles as the LRU: dicts
+        # preserve insertion order, and a touch reinserts at the end.
+        self._registry: dict[str, _HomeRecord] = {}
         self._homes: dict[str, TenantHome] = {}
+        # home_id -> count of its pending (undecided) sessions; a home
+        # with pending sessions is pinned resident (the live review
+        # object graph cannot be re-hydrated from the store).
+        self._pending_homes: dict[str, int] = {}
         self._sessions: dict[str, _LiveSession] = {}
         self._decided_order: list[str] = []
         self._session_seq = 0
@@ -169,44 +242,127 @@ class HomeGuardService:
         ``policy`` overrides the service default for this home."""
         if not home_id:
             raise InvalidRequestError("home_id is empty")
-        if home_id in self._homes:
+        if home_id in self._registry:
             raise DuplicateHomeError(
                 f"home {home_id!r} already exists", home_id=home_id
             )
         if store_path is None and self.store_root is not None:
             store_path = self.store_root / home_id
+        record = _HomeRecord(
+            store_path, policy, self._store_backend_for(home_id, store_path)
+        )
+        home = self._hydrate(home_id, record, load=False)
+        self._registry[home_id] = record
+        self._homes[home_id] = home
+        self._evict_over_limit(keep=home_id)
+        return home
+
+    def _store_backend_for(self, home_id: str, store_path):
+        """The storage-engine setting for one home: a namespace view of
+        the fleet database when one is configured, the raw spec (e.g. a
+        per-home ``"sqlite"``) otherwise."""
+        if store_path is None:
+            return None
+        if self._fleet_backend is not None:
+            return self._fleet_backend.namespace(home_id)
+        return self.store_backend
+
+    def _hydrate(
+        self, home_id: str, record: _HomeRecord, load: bool
+    ) -> TenantHome:
+        """Build a live :class:`TenantHome` from its registry record,
+        warm-starting it from its store when ``load`` is set (the
+        eviction-recovery path — byte-equivalent to a warm restart)."""
         home = TenantHome(
             home_id,
             self.extractor,
-            store_path=store_path,
+            store_path=record.store_path,
             dispatcher=self.dispatcher,
-            policy=policy,
+            policy=record.policy,
             shared_cache=self.solve_cache,
+            store_backend=record.store_backend,
+            store_delta=self.store_delta,
         )
-        self._homes[home_id] = home
+        if load and home.store is not None:
+            home.load_store()
         return home
+
+    def _evictable(self, home: TenantHome) -> bool:
+        """Only homes whose whole state is re-hydratable may leave
+        memory: a store to come back from, no queued payloads, and no
+        pending sessions (their live reviews exist nowhere else)."""
+        return (
+            home.store is not None
+            and not home._pending
+            and not self._pending_homes.get(home.home_id)
+        )
+
+    def _evict_over_limit(self, keep: str | None = None) -> None:
+        """Drop least-recently-used evictable homes until the resident
+        count honours ``max_resident_homes`` (``keep`` is exempt: the
+        home being touched right now must stay)."""
+        limit = self.max_resident_homes
+        if limit is None:
+            return
+        limit = max(1, int(limit))
+        while len(self._homes) > limit:
+            victim = None
+            for home_id, home in self._homes.items():
+                if home_id == keep:
+                    continue
+                if self._evictable(home):
+                    victim = home_id
+                    break
+            if victim is None:
+                return  # every candidate is pinned; stay over bound
+            del self._homes[victim]
 
     def home(self, home_id: str) -> TenantHome:
         home = self._homes.get(home_id)
-        if home is None:
+        if home is not None:
+            if self.max_resident_homes is not None:
+                # LRU touch: reinsert at the end of the resident order.
+                del self._homes[home_id]
+                self._homes[home_id] = home
+            return home
+        record = self._registry.get(home_id)
+        if record is None:
             raise UnknownHomeError(
                 f"no home {home_id!r}; create_home() it first",
                 home_id=home_id,
             )
+        home = self._hydrate(home_id, record, load=True)
+        self._homes[home_id] = home
+        self._evict_over_limit(keep=home_id)
         return home
 
     def homes(self) -> list[str]:
-        return sorted(self._homes)
+        return sorted(self._registry)
+
+    def home_count(self) -> int:
+        """Homes registered with the service (resident or not)."""
+        return len(self._registry)
+
+    def resident_count(self) -> int:
+        """Homes currently hydrated in memory (≤ ``home_count()``;
+        bounded by ``max_resident_homes`` when set)."""
+        return len(self._homes)
 
     def remove_home(self, home_id: str) -> None:
         """Forget a home (its persisted store, if any, stays on disk);
         pending sessions for the home are dropped."""
-        self.home(home_id)  # raises UnknownHomeError
-        del self._homes[home_id]
+        if home_id not in self._registry:
+            raise UnknownHomeError(
+                f"no home {home_id!r}; create_home() it first",
+                home_id=home_id,
+            )
+        del self._registry[home_id]
+        self._homes.pop(home_id, None)
+        self._pending_homes.pop(home_id, None)
         self._sessions = {
             sid: live
             for sid, live in self._sessions.items()
-            if live.home.home_id != home_id
+            if live.wire.home_id != home_id
         }
 
     # ------------------------------------------------------------------
@@ -401,6 +557,11 @@ class HomeGuardService:
                 report=report,
             )
             self._sessions[session_id] = _LiveSession(wire, review, home)
+            # Pin the home resident until the decision arrives: the
+            # pending review's threat/rule graph lives only here.
+            self._pending_homes[home.home_id] = (
+                self._pending_homes.get(home.home_id, 0) + 1
+            )
             return wire
         home.decide(review, verdict, decided_by=policy.name)
         wire = InstallSession(
@@ -412,7 +573,7 @@ class HomeGuardService:
             decision=verdict.value,
             decided_by=policy.name,
         )
-        self._sessions[session_id] = _LiveSession(wire, None, home)
+        self._sessions[session_id] = _LiveSession(wire, None, None)
         self._remember_decided(session_id)
         return wire
 
@@ -429,14 +590,14 @@ class HomeGuardService:
         return [
             live.wire
             for live in self._sessions.values()
-            if home_id is None or live.home.home_id == home_id
+            if home_id is None or live.wire.home_id == home_id
         ]
 
     def decide(self, request: DecisionRequest) -> InstallSession:
         """Apply the tenant's one-time decision to a pending session."""
         self.home(request.home_id)  # raises UnknownHomeError
         live = self._sessions.get(request.session_id)
-        if live is None or live.home.home_id != request.home_id:
+        if live is None or live.wire.home_id != request.home_id:
             raise UnknownSessionError(
                 f"no session {request.session_id!r} in home "
                 f"{request.home_id!r}",
@@ -452,8 +613,16 @@ class HomeGuardService:
                 decision=live.wire.decision,
             )
         assert live.review is not None  # pending sessions keep their review
+        assert live.home is not None  # ... and pin their home resident
         live.home.decide(live.review, InstallDecision(request.decision))
         live.review = None  # decided: release the threat/rule graph
+        live.home = None  # ... and un-pin the home
+        remaining = self._pending_homes.get(request.home_id, 0) - 1
+        if remaining > 0:
+            self._pending_homes[request.home_id] = remaining
+        else:
+            self._pending_homes.pop(request.home_id, None)
+        self._evict_over_limit()
         live.wire = InstallSession(
             session_id=live.wire.session_id,
             home_id=live.wire.home_id,
@@ -503,9 +672,13 @@ class HomeGuardService:
         return self.home(home_id).load_store()
 
     def save(self, home_id: str | None = None) -> None:
-        """Force store snapshots now (commits already save)."""
+        """Force store snapshots now (commits already save).  Without a
+        ``home_id`` only *resident* homes snapshot — evicted homes are
+        durable by construction (eviction requires a committed store)."""
         for home in (
-            self._homes.values() if home_id is None else [self.home(home_id)]
+            list(self._homes.values())
+            if home_id is None
+            else [self.home(home_id)]
         ):
             home.save_store()
 
@@ -531,9 +704,15 @@ class HomeGuardService:
                 if self.dispatcher is not None:
                     self.dispatcher.close()
             finally:
-                if self.solve_cache is not None:
-                    self.solve_cache.flush()
-                    self.solve_cache.close()
+                try:
+                    if self.solve_cache is not None:
+                        self.solve_cache.flush()
+                        self.solve_cache.close()
+                finally:
+                    if self._fleet_backend is not None:
+                        # Checkpoint only: the underlying connection may
+                        # be shared with another controller's views.
+                        self._fleet_backend.close()
 
     def __enter__(self) -> "HomeGuardService":
         return self
@@ -543,7 +722,8 @@ class HomeGuardService:
 
     def __repr__(self) -> str:
         return (
-            f"HomeGuardService(homes={len(self._homes)}, "
+            f"HomeGuardService(homes={len(self._registry)}, "
+            f"resident={len(self._homes)}, "
             f"dispatcher={self.dispatcher!r}, "
             f"policy={self.default_policy!r})"
         )

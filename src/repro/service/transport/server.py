@@ -641,7 +641,8 @@ class FleetServer:
     def _status_record(self) -> ServerStatusRecord:
         return ServerStatusRecord(
             state=self.state,
-            homes=len(self.service._homes),
+            homes=self.service.home_count(),
+            homes_resident=self.service.resident_count(),
             requests_total=self.requests_total,
             requests_inflight=self._admission.inflight_total,
             quota_rejections=self.quota_rejections,
