@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-hashseed bench bench-smoke bench-fleet bench-store \
-	serve-smoke lint docs-check schema-check
+.PHONY: test test-hashseed test-faults bench bench-smoke bench-fleet \
+	bench-store serve-smoke lint docs-check schema-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -18,6 +18,18 @@ test-hashseed:
 	PYTHONHASHSEED=0 $(PYTHON) -m pytest -q \
 		tests/test_dispatch_equivalence.py \
 		tests/test_service_equivalence.py
+
+# Fault-injection chaos battery (DESIGN.md §15): injected worker
+# crashes, hung solves, killed processes and backend I/O errors must
+# leave audit results byte-identical to a fault-free run.  Runs under
+# two fixed hash seeds (fault-plan triggers are seed-deterministic;
+# set/dict order must not leak into recovery either), appending every
+# injected event to fault_events.ci.jsonl (uploaded as a CI artifact).
+test-faults:
+	PYTHONHASHSEED=0 FAULT_EVENT_LOG=fault_events.ci.jsonl \
+		$(PYTHON) -m pytest -q tests/test_fault_tolerance.py
+	PYTHONHASHSEED=1 FAULT_EVENT_LOG=fault_events.ci.jsonl \
+		$(PYTHON) -m pytest -q tests/test_fault_tolerance.py
 
 # Wire-schema stability: every service request/response dataclass must
 # JSON-round-trip and match the committed schema_manifest.json — a

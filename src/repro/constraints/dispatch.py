@@ -62,12 +62,21 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import warnings
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.constraints.solver import Result, Solver, VarPool
 from repro.constraints.terms import BoolFormula
+from repro.testing.faults import fault_hook, shielded as _fault_shield
 
 # A task key names one solve-cache slot: ("situation" | "condition",
 # rule_id_lo, rule_id_hi) with the ids sorted (those caches are keyed by
@@ -97,6 +106,71 @@ _PLAN_CHUNK_PAIRS_MIN, _PLAN_CHUNK_PAIRS_MAX = 16, 1024
 # Below this many candidate pairs the auto backend stays serial: one
 # install review's batch is too small to pay for process fan-out.
 AUTO_MIN_BATCH_PAIRS = 256
+
+# Fault tolerance (DESIGN.md §15): after this many failed worker
+# messages within one detection batch a pooled dispatcher trips into
+# serial-degraded mode — the rest of the batch executes inline in the
+# coordinator, which is always correct (the serial reference), just
+# slower.  for_batch() re-arms the pool for the next batch.
+_MAX_POOL_FAILURES = 8
+
+# The four recovery counters.  Semantics (each event counted exactly
+# once, DESIGN.md §15):
+#   pool_failures   — failed chunk executions: a worker message (or the
+#                     serial reference's inline chunk) that raised,
+#                     died with its worker, or overran solve_timeout.
+#   chunks_requeued — chunks re-executed after a failure, whether
+#                     resubmitted to the pool (split halves count
+#                     individually) or re-run inline.
+#   tasks_retried   — individual solve tasks re-executed after a
+#                     failure, counted once per re-execution.
+#   degraded_serial — times a dispatcher tripped into serial-degraded
+#                     mode for the remainder of a batch.
+_FAULT_FIELDS = (
+    "tasks_retried",
+    "chunks_requeued",
+    "pool_failures",
+    "degraded_serial",
+)
+
+
+class FaultCounters:
+    """A small bundle of recovery-event counters."""
+
+    __slots__ = _FAULT_FIELDS
+
+    def __init__(self) -> None:
+        for name in _FAULT_FIELDS:
+            setattr(self, name, 0)
+
+    def add(self, field: str, n: int = 1) -> None:
+        setattr(self, field, getattr(self, field) + n)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in _FAULT_FIELDS}
+
+    def take(self) -> dict[str, int]:
+        snap = self.snapshot()
+        for name in _FAULT_FIELDS:
+            setattr(self, name, 0)
+        return snap
+
+
+class _FaultState:
+    """Per-dispatcher recovery state.
+
+    ``delta`` is drained by the detection engine into the batch's
+    :class:`~repro.detector.engine.DetectionStats` (exactly once);
+    ``totals`` never resets and feeds the service-level status record,
+    so counts survive tenant-home eviction."""
+
+    __slots__ = ("delta", "totals", "batch_failures", "degraded")
+
+    def __init__(self) -> None:
+        self.delta = FaultCounters()
+        self.totals = FaultCounters()
+        self.batch_failures = 0
+        self.degraded = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,7 +211,24 @@ def execute_chunk(
     tasks: Sequence[SolveTask],
 ) -> list[tuple[TaskKey, SolveOutcome]]:
     """Solve a chunk of tasks (one worker message)."""
+    fault_hook("dispatch.chunk", size=len(tasks))
     return [execute_task(task) for task in tasks]
+
+
+def _execute_chunk_inline(
+    tasks: Sequence[SolveTask],
+) -> dict[TaskKey, SolveOutcome]:
+    """Authoritative coordinator-side re-execution of a lost chunk.
+
+    Runs with ``dispatch.*`` fault injection shielded: the inline
+    fallback models the coordinator's own process, which worker-boundary
+    faults cannot reach — and it guarantees recovery terminates even
+    under an every-call fault plan.  The solver is deterministic, so the
+    re-executed outcomes are byte-identical to what the lost worker
+    would have returned (only the timing differs, which never reaches
+    persisted bytes)."""
+    with _fault_shield("dispatch."):
+        return dict(execute_chunk(tasks))
 
 
 # Per-pair cache knowledge shipped with a plan chunk, as small ints:
@@ -227,6 +318,27 @@ def execute_plan_task(task: PlanTask) -> PlanResult:
     return plan_pair_chunk(task)
 
 
+def _recovered_chunk(
+    tasks: Sequence[SolveTask],
+    dispatcher: "SolverDispatcher | None",
+) -> dict[TaskKey, SolveOutcome]:
+    """Serial-reference chunk execution with inline recovery.
+
+    A chunk that raises is counted as one failed execution and
+    re-executed inline (shielded), task by task, exactly once."""
+    if not tasks:
+        return {}
+    try:
+        return dict(execute_chunk(tasks))
+    except Exception:
+        if dispatcher is None:
+            raise
+        dispatcher._record_fault("pool_failures")
+        dispatcher._record_fault("chunks_requeued")
+        dispatcher._record_fault("tasks_retried", len(tasks))
+        return _execute_chunk_inline(tasks)
+
+
 class DispatchStream:
     """One round of solves in flight.
 
@@ -236,7 +348,8 @@ class DispatchStream:
     The serial reference implementation simply buffers and solves in
     submission order at collect time."""
 
-    def __init__(self) -> None:
+    def __init__(self, dispatcher: "SolverDispatcher | None" = None) -> None:
+        self._dispatcher = dispatcher
         self._buffered: list[SolveTask] = []
 
     def submit(self, tasks: Iterable[SolveTask]) -> None:
@@ -244,33 +357,107 @@ class DispatchStream:
 
     def collect(self) -> dict[TaskKey, SolveOutcome]:
         tasks, self._buffered = self._buffered, []
-        return dict(execute_chunk(tasks))
+        if self._dispatcher is None:
+            return dict(execute_chunk(tasks))
+        return _recovered_chunk(tasks, self._dispatcher)
 
 
 class _PooledStream(DispatchStream):
-    """Streams task chunks onto an executor as they are submitted."""
+    """Streams task chunks onto an executor as they are submitted.
 
-    def __init__(self, executor: Executor, chunk_tasks: int) -> None:
-        super().__init__()
-        self._executor = executor
-        self._chunk_tasks = chunk_tasks
-        self._futures: list = []
+    Recovery (DESIGN.md §15): :meth:`collect` drains in-flight chunks
+    through a work queue.  A chunk whose future raises is requeued —
+    split into halves and resubmitted, down to singletons so a poison
+    task is isolated — and a broken executor is rebuilt on the way; a
+    chunk that overruns ``solve_timeout`` is abandoned and its tasks
+    re-executed inline in the coordinator.  Once the dispatcher trips
+    into degraded mode every remaining chunk runs inline.  Outcomes are
+    merged into a key-addressed dict, so a task solved both by a slow
+    worker and by its retry commits exactly once — and identically,
+    because the solver is deterministic."""
+
+    def __init__(self, dispatcher: "_PooledDispatcher") -> None:
+        super().__init__(dispatcher)
+        self._chunk_tasks = dispatcher.chunk_tasks
+        dispatcher._executor_or_start()
+        # (future | None, chunk) pairs; future is None for chunks that
+        # never went to the pool (submitted while degraded).
+        self._inflight: deque = deque()
+
+    def _submit_chunk(self, chunk: list[SolveTask]) -> None:
+        dispatcher = self._dispatcher
+        if dispatcher.degraded:
+            self._inflight.append((None, chunk))
+            return
+        try:
+            future = dispatcher._executor_or_start().submit(
+                execute_chunk, chunk
+            )
+        except BrokenExecutor:
+            dispatcher._reset_executor()
+            future = dispatcher._executor_or_start().submit(
+                execute_chunk, chunk
+            )
+        self._inflight.append((future, chunk))
 
     def submit(self, tasks: Iterable[SolveTask]) -> None:
         self._buffered.extend(tasks)
         while len(self._buffered) >= self._chunk_tasks:
             chunk = self._buffered[: self._chunk_tasks]
             del self._buffered[: self._chunk_tasks]
-            self._futures.append(self._executor.submit(execute_chunk, chunk))
+            self._submit_chunk(chunk)
 
     def collect(self) -> dict[TaskKey, SolveOutcome]:
         if self._buffered:
             chunk, self._buffered = self._buffered, []
-            self._futures.append(self._executor.submit(execute_chunk, chunk))
-        futures, self._futures = self._futures, []
+            self._submit_chunk(chunk)
+        dispatcher = self._dispatcher
         outcomes: dict[TaskKey, SolveOutcome] = {}
-        for future in futures:
-            outcomes.update(future.result())
+        while self._inflight:
+            future, chunk = self._inflight.popleft()
+            if future is None:
+                # Queued while degraded: first execution, serial path.
+                outcomes.update(_recovered_chunk(chunk, dispatcher))
+                continue
+            try:
+                outcomes.update(future.result(timeout=dispatcher.solve_timeout))
+                continue
+            except _FuturesTimeout:
+                # Hung solve: abandon the worker's copy and re-execute
+                # inline.  If the worker finishes later its (identical)
+                # result is simply discarded with the future.
+                dispatcher._note_pool_failure()
+                future.cancel()
+            except Exception as exc:
+                dispatcher._note_pool_failure()
+                if isinstance(exc, BrokenExecutor):
+                    # The pool died (worker crash); discard it so the
+                    # next submission forks a fresh one.  Sibling
+                    # futures on the dead pool will fail on their turn
+                    # and be requeued the same way.
+                    dispatcher._reset_executor()
+                if not dispatcher.degraded and len(chunk) > 1:
+                    # Split-and-retry: isolate a poison task by
+                    # resubmitting ever-smaller halves.
+                    mid = len(chunk) // 2
+                    for half in (chunk[:mid], chunk[mid:]):
+                        dispatcher._record_fault("chunks_requeued")
+                        dispatcher._record_fault("tasks_retried", len(half))
+                        self._submit_chunk(half)
+                    continue
+                if len(chunk) == 1 and not dispatcher.degraded:
+                    warnings.warn(
+                        f"solve task {chunk[0].key!r} failed on the "
+                        f"{dispatcher.name} pool; re-executing inline "
+                        "in the coordinator",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            # Timeout, singleton failure, or degraded: the coordinator
+            # re-executes the chunk inline, exactly once.
+            dispatcher._record_fault("chunks_requeued")
+            dispatcher._record_fault("tasks_retried", len(chunk))
+            outcomes.update(_execute_chunk_inline(chunk))
         return outcomes
 
 
@@ -285,11 +472,72 @@ class SolverDispatcher:
     plans_remotely = False
     # Candidate pairs per PlanTask chunk when planning remotely.
     plan_chunk_pairs = _PLAN_CHUNK_PAIRS
+    # Per-chunk deadline in seconds (None = wait forever): a pooled
+    # chunk whose future has not resolved within this long is abandoned
+    # and its tasks re-executed inline (DESIGN.md §15).
+    solve_timeout: float | None = None
+    # Failed worker messages per batch before degrading to serial.
+    max_pool_failures = _MAX_POOL_FAILURES
+
+    # -- fault accounting (DESIGN.md §15) ------------------------------
+
+    def _fault_state(self) -> _FaultState:
+        # Lazily attached so subclasses never need to chain __init__.
+        state = self.__dict__.get("_faults")
+        if state is None:
+            state = self.__dict__["_faults"] = _FaultState()
+        return state
+
+    @property
+    def degraded(self) -> bool:
+        """True while this dispatcher is in serial-degraded mode."""
+        return self._fault_state().degraded
+
+    def _record_fault(self, field: str, n: int = 1) -> None:
+        state = self._fault_state()
+        state.delta.add(field, n)
+        state.totals.add(field, n)
+
+    def _note_pool_failure(self) -> None:
+        """Count one failed worker message; trip degraded mode once the
+        batch has burned through ``max_pool_failures`` of them."""
+        state = self._fault_state()
+        self._record_fault("pool_failures")
+        state.batch_failures += 1
+        if not state.degraded and state.batch_failures >= self.max_pool_failures:
+            state.degraded = True
+            self._record_fault("degraded_serial")
+            warnings.warn(
+                f"{self.name} dispatcher hit {state.batch_failures} pool "
+                "failures in one batch; degrading to serial execution "
+                "for the remainder of the batch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _begin_batch(self) -> None:
+        state = self._fault_state()
+        state.batch_failures = 0
+        state.degraded = False
+
+    def take_fault_counters(self) -> dict[str, int]:
+        """Drain the recovery counters accumulated since the last take.
+
+        The detection engine calls this once per batch and folds the
+        deltas into that batch's :class:`DetectionStats`, so every
+        event lands in exactly one batch's stats."""
+        return self._fault_state().delta.take()
+
+    def fault_totals(self) -> dict[str, int]:
+        """Lifetime recovery totals (never reset; status reporting)."""
+        return self._fault_state().totals.snapshot()
 
     def for_batch(self, pair_count: int) -> "SolverDispatcher":
         """The backend to use for a batch of ``pair_count`` candidate
         pairs — adaptive dispatchers pick per batch, everything else
-        returns itself."""
+        returns itself.  Also re-arms fault-recovery state: degraded
+        mode lasts for the remainder of one batch only."""
+        self._begin_batch()
         return self
 
     def encode_resolver(self, resolver: object) -> object | None:
@@ -330,7 +578,7 @@ class SolverDispatcher:
 
     def stream(self) -> DispatchStream:
         """A fresh stream for one round of planned tasks."""
-        return DispatchStream()
+        return DispatchStream(self)
 
     def run(
         self, tasks: Sequence[SolveTask]
@@ -370,6 +618,8 @@ class _PooledDispatcher(SolverDispatcher):
         chunk_tasks: int = _CHUNK_TASKS,
         plan_chunk_pairs: int = _PLAN_CHUNK_PAIRS,
         autotune: bool = False,
+        solve_timeout: float | None = None,
+        max_pool_failures: int = _MAX_POOL_FAILURES,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -379,9 +629,19 @@ class _PooledDispatcher(SolverDispatcher):
             raise ValueError(
                 f"plan_chunk_pairs must be >= 1, got {plan_chunk_pairs}"
             )
+        if solve_timeout is not None and solve_timeout <= 0:
+            raise ValueError(
+                f"solve_timeout must be > 0 or None, got {solve_timeout}"
+            )
+        if max_pool_failures < 1:
+            raise ValueError(
+                f"max_pool_failures must be >= 1, got {max_pool_failures}"
+            )
         self.workers = workers
         self.chunk_tasks = chunk_tasks
         self.plan_chunk_pairs = plan_chunk_pairs
+        self.solve_timeout = solve_timeout
+        self.max_pool_failures = max_pool_failures
         # With autotune on, observe_batch() re-derives both chunk sizes
         # from each batch's measured plan/solve costs; explicit
         # chunk_tasks/plan_chunk_pairs settings stay fixed otherwise.
@@ -427,17 +687,71 @@ class _PooledDispatcher(SolverDispatcher):
             self._executor = self._make_executor()
         return self._executor
 
+    def _reset_executor(self) -> None:
+        """Discard a broken executor; the next submission forks fresh
+        workers.  ``wait=False``: the pool is already dead."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def _plan_inline(self, task: PlanTask) -> PlanResult:
+        """Coordinator-side re-planning of a lost plan chunk (shielded,
+        like :func:`_execute_chunk_inline`; planning is deterministic,
+        so the result matches what the lost worker would have sent)."""
+        with _fault_shield("dispatch."):
+            return execute_plan_task(task)
+
     def plan_stream(
         self, tasks: Sequence[PlanTask]
     ) -> Iterator[PlanResult]:
-        executor = self._executor_or_start()
-        futures = [
-            executor.submit(execute_plan_task, task) for task in tasks
-        ]
-        return (future.result() for future in futures)
+        if self.degraded:
+            def degraded_results() -> Iterator[PlanResult]:
+                for task in tasks:
+                    try:
+                        yield execute_plan_task(task)
+                    except Exception:
+                        self._record_fault("pool_failures")
+                        self._record_fault("chunks_requeued")
+                        yield self._plan_inline(task)
+
+            return degraded_results()
+        pending: list[tuple] = []
+        for task in tasks:
+            try:
+                future = self._executor_or_start().submit(
+                    execute_plan_task, task
+                )
+            except BrokenExecutor:
+                self._reset_executor()
+                future = self._executor_or_start().submit(
+                    execute_plan_task, task
+                )
+            pending.append((future, task))
+
+        def results() -> Iterator[PlanResult]:
+            for future, task in pending:
+                try:
+                    yield future.result(timeout=self.solve_timeout)
+                    continue
+                except _FuturesTimeout:
+                    self._note_pool_failure()
+                    future.cancel()
+                except Exception as exc:
+                    self._note_pool_failure()
+                    if isinstance(exc, BrokenExecutor):
+                        self._reset_executor()
+                # Plan chunks are never split (they are already small);
+                # the coordinator re-plans the chunk inline, preserving
+                # the chunk-order merge.
+                self._record_fault("chunks_requeued")
+                yield self._plan_inline(task)
+
+        return results()
 
     def stream(self) -> DispatchStream:
-        return _PooledStream(self._executor_or_start(), self.chunk_tasks)
+        if self.degraded:
+            return DispatchStream(self)
+        return _PooledStream(self)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -469,10 +783,20 @@ class ProcessPoolDispatcher(_PooledDispatcher):
         same bytes and workers decode them once per process.  An
         unpicklable resolver (e.g. one closed over live handles)
         returns ``None`` — the engine then plans inline, exactly the
-        pre-parallel-planning behavior, while solving still fans out."""
+        pre-parallel-planning behavior, while solving still fans out.
+        The fallback warns so "why is planning serial?" is
+        diagnosable."""
         try:
             return pickle.dumps(resolver)
-        except Exception:
+        except Exception as exc:
+            warnings.warn(
+                f"resolver of type {type(resolver).__name__} is not "
+                f"picklable ({type(exc).__name__}: {exc}); planning "
+                "falls back to the inline serial path while solve "
+                "dispatch stays pooled",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def encode_cache(self, cache: object) -> object | None:
@@ -502,25 +826,48 @@ class AutoDispatcher(SolverDispatcher):
         self,
         workers: int | None = None,
         min_batch: int = AUTO_MIN_BATCH_PAIRS,
+        solve_timeout: float | None = None,
+        max_pool_failures: int = _MAX_POOL_FAILURES,
     ) -> None:
         cpus = os.cpu_count() or 1
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers if workers is not None else min(cpus, 8)
         self.min_batch = min_batch
+        self.solve_timeout = solve_timeout
+        self.max_pool_failures = max_pool_failures
         self._serial = SerialDispatcher()
         self._pool: ProcessPoolDispatcher | None = None
 
     def for_batch(self, pair_count: int) -> SolverDispatcher:
         if self.workers < 2 or pair_count < self.min_batch:
-            return self._serial
+            return self._serial.for_batch(pair_count)
         if self._pool is None:
             # The adaptive backend also adapts its chunking: each
             # batch's observed plan/solve costs retune the pool's
             # chunk_tasks / plan_chunk_pairs for the next one
             # (DESIGN.md §12) instead of trusting the fixed defaults.
-            self._pool = ProcessPoolDispatcher(self.workers, autotune=True)
-        return self._pool
+            self._pool = ProcessPoolDispatcher(
+                self.workers,
+                autotune=True,
+                solve_timeout=self.solve_timeout,
+                max_pool_failures=self.max_pool_failures,
+            )
+        return self._pool.for_batch(pair_count)
+
+    def take_fault_counters(self) -> dict[str, int]:
+        merged = self._serial.take_fault_counters()
+        if self._pool is not None:
+            for field, count in self._pool.take_fault_counters().items():
+                merged[field] += count
+        return merged
+
+    def fault_totals(self) -> dict[str, int]:
+        merged = self._serial.fault_totals()
+        if self._pool is not None:
+            for field, count in self._pool.fault_totals().items():
+                merged[field] += count
+        return merged
 
     def stream(self) -> DispatchStream:
         # Direct (non-batch-sized) use falls back to the serial

@@ -47,6 +47,8 @@ from pathlib import Path
 
 from repro.constraints.solver import Result, VarPool
 from repro.constraints.terms import AffineTerm, BoolFormula, CmpAtom, FreeAtom
+from repro.resilience import CircuitBreaker
+from repro.testing.faults import fault_hook
 
 # Bump when the canonical serialization or entry format changes: old
 # keys simply stop matching, so stale-format entries are never decoded.
@@ -300,10 +302,26 @@ class SQLiteSolveCache(SolveCacheBackend):
     disables the backend with a :class:`RuntimeWarning`: every get
     misses, every put reports not-stored, detection re-solves.  The
     file is never deleted — diagnosis stays possible and a concurrent
-    healthy process is never sabotaged."""
+    healthy process is never sabotaged.
 
-    def __init__(self, path: str | Path) -> None:
+    *Transient* failures — ``sqlite3.OperationalError``: a locked
+    database, a momentarily unwritable disk — do **not** disable the
+    backend.  They feed a :class:`~repro.resilience.CircuitBreaker`
+    (DESIGN.md §15): each failure is one miss, repeated failures open
+    the breaker so detection stops hammering a sick disk, and after the
+    cooldown a probe call quietly restores service.  Either way the
+    contract holds: a failure can only cost a re-solve, never change a
+    verdict."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.path = Path(path)
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=3, cooldown_seconds=5.0, name="solve-cache"
+        )
         self._lock = threading.Lock()
         self._conn: sqlite3.Connection | None = None
         try:
@@ -337,30 +355,60 @@ class SQLiteSolveCache(SolveCacheBackend):
                 pass
         self._conn = None
 
+    def _transient(self, exc: Exception) -> None:
+        """One transient failure: a breaker strike, not a disable."""
+        before = self.breaker.times_opened
+        self.breaker.record_failure()
+        if self.breaker.times_opened > before:
+            warnings.warn(
+                f"shared solve cache {self.path} hit repeated transient "
+                f"errors ({exc}); circuit breaker open for "
+                f"{self.breaker.cooldown_seconds:.1f}s — degrading to "
+                "re-solving (results are unaffected)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    @property
+    def breaker_state(self) -> str:
+        """"disabled" (permanent), else the breaker's current state."""
+        if self._conn is None:
+            return "disabled"
+        return self.breaker.state
+
     def __len__(self) -> int:
         with self._lock:
-            if self._conn is None:
+            if self._conn is None or not self.breaker.allow():
                 return 0
             try:
                 row = self._conn.execute(
                     "SELECT COUNT(*) FROM entries"
                 ).fetchone()
-                return int(row[0])
+            except sqlite3.OperationalError as exc:
+                self._transient(exc)
+                return 0
             except sqlite3.Error as exc:
                 self._disable(exc)
                 return 0
+            self.breaker.record_success()
+            return int(row[0])
 
     def get(self, key: str) -> dict | None:
         with self._lock:
-            if self._conn is None:
+            if self._conn is None or not self.breaker.allow():
                 return None
             try:
+                fault_hook("cache.get", key=key)
                 row = self._conn.execute(
                     "SELECT value FROM entries WHERE key = ?", (key,)
                 ).fetchone()
+            except sqlite3.OperationalError as exc:
+                self._transient(exc)
+                return None
             except sqlite3.Error as exc:
                 self._disable(exc)
                 return None
+            self.breaker.record_success()
         if row is None:
             return None
         try:
@@ -372,25 +420,32 @@ class SQLiteSolveCache(SolveCacheBackend):
     def put(self, key: str, entry: dict) -> bool:
         value = json.dumps(entry, sort_keys=True)
         with self._lock:
-            if self._conn is None:
+            if self._conn is None or not self.breaker.allow():
                 return False
             try:
+                fault_hook("cache.put", key=key)
                 cursor = self._conn.execute(
                     "INSERT OR IGNORE INTO entries (key, value) "
                     "VALUES (?, ?)",
                     (key, value),
                 )
-                return cursor.rowcount > 0
+            except sqlite3.OperationalError as exc:
+                self._transient(exc)
+                return False
             except sqlite3.Error as exc:
                 self._disable(exc)
                 return False
+            self.breaker.record_success()
+            return cursor.rowcount > 0
 
     def flush(self) -> None:
         with self._lock:
-            if self._conn is None:
+            if self._conn is None or not self.breaker.allow():
                 return
             try:
                 self._conn.execute("PRAGMA wal_checkpoint(PASSIVE)")
+            except sqlite3.OperationalError as exc:
+                self._transient(exc)
             except sqlite3.Error as exc:
                 self._disable(exc)
 

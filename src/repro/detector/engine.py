@@ -153,6 +153,15 @@ class DetectionStats:
     # wall seconds those commits took end to end.
     store_bytes_written: int = 0
     store_commit_seconds: float = 0.0
+    # Fault-recovery accounting (DESIGN.md §15), drained from the
+    # dispatcher once per batch so every recovery event lands in
+    # exactly one batch's stats: solve tasks re-executed after a
+    # worker failure, chunks requeued (resubmitted or re-run inline),
+    # failed worker messages, and serial-degraded-mode trips.
+    tasks_retried: int = 0
+    chunks_requeued: int = 0
+    pool_failures: int = 0
+    degraded_serial: int = 0
 
     def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
         self.candidate_seconds[threat_type] = (
@@ -673,6 +682,14 @@ class DetectionEngine:
             len(executed),
             sum(outcome.seconds for outcome in executed),
         )
+        # Drain the dispatcher's recovery counters into this batch's
+        # stats (DESIGN.md §15).  take semantics mean every retry /
+        # requeue / degrade event is attributed to exactly one batch.
+        faults = dispatcher.take_fault_counters()
+        self.stats.tasks_retried += faults["tasks_retried"]
+        self.stats.chunks_requeued += faults["chunks_requeued"]
+        self.stats.pool_failures += faults["pool_failures"]
+        self.stats.degraded_serial += faults["degraded_serial"]
         finalize_started = time.perf_counter()
         results: list[list[Threat]] = []
         for sig_a, sig_b in pairs:

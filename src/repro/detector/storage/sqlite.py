@@ -16,6 +16,17 @@ re-sign and re-solve, stale results are never served), every write
 reports zero bytes.  The file is never deleted, so diagnosis stays
 possible and a concurrent healthy controller is never sabotaged.
 
+*Transient* failures — ``sqlite3.OperationalError``, most commonly
+``database is locked`` when another controller holds a long write
+transaction — do **not** disable the connection.  They feed a
+:class:`~repro.resilience.CircuitBreaker` (DESIGN.md §15): the failed
+statement degrades like a corrupt store would (miss / zero bytes
+written — the commit layer above reports the shortfall in
+``store_bytes_written``), repeated failures open the breaker so the
+fleet stops hammering a locked database, and once the cooldown passes
+a probe statement restores service with no data loss for everything
+written after that point.
+
 Durability: ``synchronous=FULL`` — the store is a system of record
 (acknowledged keep/delete decisions), unlike the solve cache where
 NORMAL suffices because a lost entry only costs a re-solve.
@@ -31,6 +42,8 @@ import weakref
 from pathlib import Path
 
 from repro.detector.storage.backend import StoreBackend
+from repro.resilience import CircuitBreaker
+from repro.testing.faults import fault_hook
 
 # Documents/journals per database file are shared across every
 # namespace view, so one process opens one connection per file no
@@ -45,8 +58,16 @@ _DOC_FILES_LOCK = threading.Lock()
 class _SQLiteDocFile:
     """One shared WAL-mode connection to one store database file."""
 
-    def __init__(self, path: Path) -> None:
+    def __init__(
+        self,
+        path: Path,
+        busy_timeout_ms: int = 5000,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.path = path
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=3, cooldown_seconds=5.0, name="store"
+        )
         self._lock = threading.Lock()
         self._conn: sqlite3.Connection | None = None
         try:
@@ -60,7 +81,7 @@ class _SQLiteDocFile:
                 isolation_level=None,  # autocommit: writes land immediately
             )
             conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA busy_timeout=5000")
+            conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
             conn.execute("PRAGMA synchronous=FULL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS docs ("
@@ -90,16 +111,45 @@ class _SQLiteDocFile:
                 pass
         self._conn = None
 
-    def execute(self, sql: str, params: tuple = ()):
-        """Run one statement under the lock; ``None`` when degraded."""
+    def _transient(self, exc: Exception) -> None:
+        before = self.breaker.times_opened
+        self.breaker.record_failure()
+        if self.breaker.times_opened > before:
+            warnings.warn(
+                f"detection store database {self.path} hit repeated "
+                f"transient errors ({exc}); circuit breaker open for "
+                f"{self.breaker.cooldown_seconds:.1f}s — writes degrade "
+                "until it closes",
+                RuntimeWarning,
+                stacklevel=5,
+            )
+
+    @property
+    def breaker_state(self) -> str:
+        if self._conn is None:
+            return "disabled"
+        return self.breaker.state
+
+    def execute(self, sql: str, params: tuple = (), fault_point: str = ""):
+        """Run one statement under the lock; ``None`` when degraded
+        (permanently disabled, breaker open, or a transient failure —
+        the statement itself is never retried here, the layers above
+        re-drive writes through their own commit paths)."""
         with self._lock:
-            if self._conn is None:
+            if self._conn is None or not self.breaker.allow():
                 return None
             try:
-                return self._conn.execute(sql, params)
+                if fault_point:
+                    fault_hook(fault_point)
+                cursor = self._conn.execute(sql, params)
+            except sqlite3.OperationalError as exc:
+                self._transient(exc)
+                return None
             except sqlite3.Error as exc:
                 self._disable(exc)
                 return None
+            self.breaker.record_success()
+            return cursor
 
     def flush(self) -> None:
         self.execute("PRAGMA wal_checkpoint(PASSIVE)")
@@ -115,12 +165,16 @@ class _SQLiteDocFile:
             self._conn = None
 
 
-def _shared_doc_file(path: Path) -> _SQLiteDocFile:
+def _shared_doc_file(
+    path: Path,
+    busy_timeout_ms: int = 5000,
+    breaker: CircuitBreaker | None = None,
+) -> _SQLiteDocFile:
     key = os.path.abspath(str(path))
     with _DOC_FILES_LOCK:
         doc_file = _DOC_FILES.get(key)
         if doc_file is None:
-            doc_file = _SQLiteDocFile(path)
+            doc_file = _SQLiteDocFile(path, busy_timeout_ms, breaker)
             _DOC_FILES[key] = doc_file
         return doc_file
 
@@ -134,15 +188,29 @@ class SQLiteStoreBackend(StoreBackend):
     degrade (see the module docstring) — never an exception on the
     detection path."""
 
-    def __init__(self, path: str | Path, namespace: str = "") -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        namespace: str = "",
+        busy_timeout_ms: int = 5000,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.path = Path(path)
         self.namespace_name = namespace
         self._prefix = f"{namespace}/" if namespace else ""
-        self._file = _shared_doc_file(self.path)
+        # busy_timeout_ms / breaker only take effect for the view that
+        # first opens the file; sibling views share its connection.
+        self._file = _shared_doc_file(self.path, busy_timeout_ms, breaker)
 
     def namespace(self, name: str) -> "SQLiteStoreBackend":
         """A view over the same database scoped to ``name``'s keys."""
         return SQLiteStoreBackend(self.path, name)
+
+    @property
+    def breaker_state(self) -> str:
+        """"disabled" (permanent), else the shared connection's breaker
+        state — one breaker per database file, shared by all views."""
+        return self._file.breaker_state
 
     def _key(self, key: str) -> str:
         return self._prefix + key
@@ -190,6 +258,7 @@ class SQLiteStoreBackend(StoreBackend):
             "COALESCE((SELECT MAX(seq) + 1 FROM journal WHERE key = ?), 0), "
             "?)",
             (self._key(key), self._key(key), line),
+            fault_point="store.append",
         )
         return 0 if cursor is None else len(line.encode("utf-8")) + 1
 

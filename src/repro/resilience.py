@@ -1,0 +1,202 @@
+"""Shared resilience primitives: circuit breakers and retry policies.
+
+This module is deliberately dependency-free so every layer of the stack
+(constraint cache, storage backends, transport clients) can share one
+vocabulary for "stop hammering a sick dependency" and "retry with
+bounded, deterministic backoff".
+
+``CircuitBreaker`` implements the classic closed -> open -> half-open
+state machine on a monotonic clock:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker opens and ``allow()`` returns ``False`` until
+  ``cooldown_seconds`` have elapsed.
+* **half-open** — after the cooldown one probe call is allowed through;
+  success closes the breaker, failure re-opens it (and restarts the
+  cooldown).
+
+The clock is injectable so tests can drive transitions without
+sleeping.  All methods are thread-safe.
+
+``RetryPolicy`` is a frozen value object describing bounded exponential
+backoff with *deterministic* seeded jitter: the same
+``(seed, attempt)`` pair always yields the same delay, so retry timing
+never introduces nondeterminism into otherwise reproducible runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["CircuitBreaker", "RetryPolicy"]
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) before the breaker opens.
+    cooldown_seconds:
+        How long the breaker stays open before allowing a probe call.
+    clock:
+        Monotonic time source; injectable for tests.
+    name:
+        Optional label used in ``repr`` and surfaced in status records.
+    """
+
+    __slots__ = (
+        "name",
+        "failure_threshold",
+        "cooldown_seconds",
+        "_clock",
+        "_lock",
+        "_state",
+        "_failures",
+        "_opened_at",
+        "times_opened",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        *,
+        clock=time.monotonic,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        #: Lifetime count of closed->open transitions (including
+        #: half-open probes that failed and re-opened the breaker).
+        self.times_opened = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state ("closed", "open" or "half-open").
+
+        Reading the state performs the open -> half-open transition if
+        the cooldown has elapsed, so callers always see the state an
+        ``allow()`` call would act on.
+        """
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def _tick(self) -> None:
+        # Caller holds the lock.
+        if self._state == "open":
+            if self._clock() - self._opened_at >= self.cooldown_seconds:
+                self._state = "half-open"
+
+    # -- protocol ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Return True when a call may proceed.
+
+        While open, returns False until the cooldown elapses; the first
+        call after the cooldown is the half-open probe and is allowed.
+        """
+        with self._lock:
+            self._tick()
+            return self._state != "open"
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._tick()
+            if self._state == "half-open":
+                self._open()
+                return
+            self._failures += 1
+            if self._state == "closed" and self._failures >= self.failure_threshold:
+                self._open()
+
+    def _open(self) -> None:
+        # Caller holds the lock.
+        self._state = "open"
+        self._failures = 0
+        self._opened_at = self._clock()
+        self.times_opened += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<CircuitBreaker{label} state={self.state}>"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    ``attempts`` counts *total* tries including the first one, so
+    ``attempts=3`` means "one call plus up to two retries".  The delay
+    before retry ``i`` (1-based) is::
+
+        min(max_delay, base_delay * factor ** (i - 1)) * jitter_scale
+
+    where ``jitter_scale`` is drawn deterministically from
+    ``sha256(seed, i)`` in ``[1 - jitter, 1 + jitter]``.  Identical
+    ``(seed, attempt)`` pairs always produce identical delays.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+        if not self.jitter:
+            return raw
+        digest = hashlib.sha256(f"{self.seed}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * fraction)
+
+    def delays(self):
+        """All backoff delays, in order (``attempts - 1`` of them)."""
+        return [self.delay(i) for i in range(1, self.attempts)]
+
+    def run(self, fn, *, retryable=(Exception,), sleep=time.sleep):
+        """Call ``fn`` with retries; re-raise the last retryable error."""
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except retryable:
+                if attempt >= self.attempts:
+                    raise
+                sleep(self.delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -32,7 +32,16 @@ from __future__ import annotations
 # ``store_commit_seconds`` (per-home commit cost) and
 # ``ServerStatusRecord`` gained ``homes_resident`` (the LRU-bounded
 # count of homes hydrated in memory).
-WIRE_SCHEMA_VERSION = 4
+#
+# v5 added the fault-tolerance surface (DESIGN.md §15):
+# ``DetectionStatsRecord`` gained the recovery counters
+# ``tasks_retried`` / ``chunks_requeued`` / ``pool_failures`` /
+# ``degraded_serial``; ``ServerStatusRecord`` gained ``breaker_states``
+# (circuit-breaker state per backend), lifetime ``tasks_retried`` /
+# ``degraded_serial`` totals and ``deadline_rejections``; and the
+# ``transport-connection`` error code joined the taxonomy (the typed,
+# retryable error clients raise for connection failures).
+WIRE_SCHEMA_VERSION = 5
 
 
 class ServiceError(Exception):
@@ -160,6 +169,19 @@ class RequestTooLargeError(ServiceError):
     code = "request-too-large"
 
 
+class TransportConnectionError(ServiceError, ConnectionError):
+    """The client could not reach the server, or the connection died
+    mid-request (refused, reset, timed out).  Raised *client-side* by
+    :class:`~repro.service.transport.client.FleetClient` — it never
+    travels on the wire, but it lives in the taxonomy so callers catch
+    one exception family for everything a fleet call can do.  Also a
+    :class:`ConnectionError`, so pre-taxonomy callers catching
+    ``OSError`` keep working.  Retryable: pair the client with a
+    :class:`~repro.resilience.RetryPolicy`."""
+
+    code = "transport-connection"
+
+
 # Stable code -> class dispatch used by ServiceError.from_json and the
 # schema manifest (the taxonomy itself is part of the wire contract).
 ERROR_CODES: dict[str, type[ServiceError]] = {
@@ -176,5 +198,10 @@ ERROR_CODES: dict[str, type[ServiceError]] = {
         QuotaExceededError,
         UnavailableError,
         RequestTooLargeError,
+        TransportConnectionError,
     )
 }
+
+# Codes a client may safely retry with backoff: the failure is about
+# the channel or momentary server state, never about the request.
+RETRYABLE_CODES = frozenset({"unavailable", "transport-connection"})

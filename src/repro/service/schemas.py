@@ -588,7 +588,8 @@ class DetectionStatsRecord:
     counters are a versioned addition (wire schema v2), the
     storage-engine counters — bytes the store backend durably wrote
     for this home's commits and the wall seconds those commits took
-    (DESIGN.md §14) — a v4 one; peers on an older version reject the
+    (DESIGN.md §14) — a v4 one, and the fault-recovery counters
+    (DESIGN.md §15) a v5 one; peers on an older version reject the
     record instead of silently dropping fields."""
 
     kind: ClassVar[str] = "DetectionStatsRecord"
@@ -603,6 +604,10 @@ class DetectionStatsRecord:
     planned_pairs: int = 0
     store_bytes_written: int = 0
     store_commit_seconds: float = 0.0
+    tasks_retried: int = 0
+    chunks_requeued: int = 0
+    pool_failures: int = 0
+    degraded_serial: int = 0
 
     def __post_init__(self) -> None:
         if not self.home_id:
@@ -621,6 +626,10 @@ class DetectionStatsRecord:
             planned_pairs=stats.planned_pairs,
             store_bytes_written=stats.store_bytes_written,
             store_commit_seconds=stats.store_commit_seconds,
+            tasks_retried=stats.tasks_retried,
+            chunks_requeued=stats.chunks_requeued,
+            pool_failures=stats.pool_failures,
+            degraded_serial=stats.degraded_serial,
         )
 
     def to_json(self) -> dict:
@@ -636,6 +645,10 @@ class DetectionStatsRecord:
             "planned_pairs": self.planned_pairs,
             "store_bytes_written": self.store_bytes_written,
             "store_commit_seconds": self.store_commit_seconds,
+            "tasks_retried": self.tasks_retried,
+            "chunks_requeued": self.chunks_requeued,
+            "pool_failures": self.pool_failures,
+            "degraded_serial": self.degraded_serial,
         }
 
     @classmethod
@@ -646,7 +659,9 @@ class DetectionStatsRecord:
             {"home_id", "solver_calls", "cache_hits", "shared_cache_hits",
              "shared_cache_publishes", "pairs_examined",
              "prescreen_pruned_pairs", "planned_pairs",
-             "store_bytes_written", "store_commit_seconds"},
+             "store_bytes_written", "store_commit_seconds",
+             "tasks_retried", "chunks_requeued", "pool_failures",
+             "degraded_serial"},
         )
         return cls(
             home_id=_str_field(cls.kind, data, "home_id"),
@@ -667,6 +682,10 @@ class DetectionStatsRecord:
             store_commit_seconds=_float_field(
                 cls.kind, data, "store_commit_seconds"
             ),
+            tasks_retried=_int_field(cls.kind, data, "tasks_retried"),
+            chunks_requeued=_int_field(cls.kind, data, "chunks_requeued"),
+            pool_failures=_int_field(cls.kind, data, "pool_failures"),
+            degraded_serial=_int_field(cls.kind, data, "degraded_serial"),
         )
 
 
@@ -689,7 +708,17 @@ class ServerStatusRecord:
     ``homes`` counts every registered home; ``homes_resident`` (wire
     schema v4) the subset currently hydrated in memory — with
     ``max_resident_homes`` set it stays under the bound no matter how
-    large the fleet grows (DESIGN.md §14)."""
+    large the fleet grows (DESIGN.md §14).
+
+    The fault-tolerance surface (wire schema v5, DESIGN.md §15):
+    ``breaker_states`` maps each breaker-guarded backend (e.g.
+    ``solve_cache``, ``store``) to its circuit state
+    (closed/open/half-open, or ``disabled`` for a permanently degraded
+    backend); ``tasks_retried`` / ``degraded_serial`` are the shared
+    dispatcher's lifetime recovery totals (they survive tenant-home
+    eviction, unlike the per-home stats records); and
+    ``deadline_rejections`` counts queued requests the server turned
+    away because they overran ``request_deadline_seconds``."""
 
     kind: ClassVar[str] = "ServerStatusRecord"
 
@@ -706,6 +735,10 @@ class ServerStatusRecord:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     phase_counts: dict[str, int] = field(default_factory=dict)
     tenants: dict[str, dict[str, int]] = field(default_factory=dict)
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    tasks_retried: int = 0
+    degraded_serial: int = 0
+    deadline_rejections: int = 0
 
     def __post_init__(self) -> None:
         if self.state not in SERVER_STATES:
@@ -733,6 +766,10 @@ class ServerStatusRecord:
                 home_id: dict(counters)
                 for home_id, counters in self.tenants.items()
             },
+            "breaker_states": dict(self.breaker_states),
+            "tasks_retried": self.tasks_retried,
+            "degraded_serial": self.degraded_serial,
+            "deadline_rejections": self.deadline_rejections,
         }
 
     @classmethod
@@ -744,7 +781,8 @@ class ServerStatusRecord:
              "requests_inflight", "quota_rejections",
              "admission_rejections", "drain_rejections", "errors_total",
              "internal_errors", "phase_seconds", "phase_counts",
-             "tenants"},
+             "tenants", "breaker_states", "tasks_retried",
+             "degraded_serial", "deadline_rejections"},
         )
         tenants = data.get("tenants", {})
         if not isinstance(tenants, dict) or not all(
@@ -780,6 +818,12 @@ class ServerStatusRecord:
             ),
             phase_counts=_count_dict_field(cls.kind, data, "phase_counts"),
             tenants=decoded_tenants,
+            breaker_states=_str_dict_field(cls.kind, data, "breaker_states"),
+            tasks_retried=_int_field(cls.kind, data, "tasks_retried"),
+            degraded_serial=_int_field(cls.kind, data, "degraded_serial"),
+            deadline_rejections=_int_field(
+                cls.kind, data, "deadline_rejections"
+            ),
         )
 
 

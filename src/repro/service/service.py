@@ -663,6 +663,30 @@ class HomeGuardService:
             home_id, self.detection_stats(home_id)
         )
 
+    def breaker_states(self) -> dict[str, str]:
+        """Circuit-breaker state per resilient backend (DESIGN.md §15):
+        ``solve-cache`` for the shared SQLite solve cache, ``store``
+        for the fleet store database — only backends that *have* a
+        breaker appear, so an all-in-memory service reports ``{}``."""
+        states: dict[str, str] = {}
+        cache = self.solve_cache
+        if cache is not None and hasattr(cache, "breaker_state"):
+            states["solve-cache"] = cache.breaker_state
+        if self._fleet_backend is not None:
+            states["store"] = self._fleet_backend.breaker_state
+        return states
+
+    def fault_summary(self) -> dict[str, int]:
+        """Lifetime dispatch-recovery totals of the shared dispatcher
+        (tasks_retried / chunks_requeued / pool_failures /
+        degraded_serial) — the fleet-wide view the ``status`` RPC
+        surfaces; per-home deltas live in each home's
+        :class:`DetectionStatsRecord`."""
+        dispatcher = self.dispatcher
+        if dispatcher is None:
+            return {}
+        return dispatcher.fault_totals()
+
     # ------------------------------------------------------------------
     # Persistence
 

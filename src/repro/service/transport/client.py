@@ -14,6 +14,20 @@ raised — ``except UnknownHomeError:`` works identically in-process and
 across the socket.  The typed convenience methods (:meth:`install`,
 :meth:`audit`, :meth:`status`, ...) re-hydrate wire records into the
 frozen dataclasses of :mod:`repro.service.schemas`.
+
+Fault tolerance (DESIGN.md §15): connection failures (refused, reset,
+timed out) surface as the typed, retryable
+:class:`~repro.service.errors.TransportConnectionError` instead of raw
+``ConnectionError`` / ``socket.timeout``, and both clients optionally
+take a :class:`~repro.resilience.RetryPolicy` that automatically
+retries the *retryable* codes (``unavailable``,
+``transport-connection``) with bounded, deterministically jittered
+backoff.  Retries are opt-in: with ``retry=None`` every failure is
+raised (or returned) on first occurrence, exactly as before.  Blind
+re-sends are safe for this protocol's mutating calls too — install
+sessions are one-time-keyed and decisions are one-shot — but a caller
+wiring retries around bespoke non-idempotent methods should think
+first.
 """
 
 from __future__ import annotations
@@ -22,9 +36,15 @@ import asyncio
 import http.client
 import itertools
 import json
+import time
 from typing import Iterable
 
-from repro.service.errors import ServiceError
+from repro.resilience import RetryPolicy
+from repro.service.errors import (
+    RETRYABLE_CODES,
+    ServiceError,
+    TransportConnectionError,
+)
 from repro.service.schemas import (
     AuditRequest,
     DecisionRequest,
@@ -41,15 +61,27 @@ class FleetClient:
     """Synchronous JSON-RPC client over one keep-alive connection.
 
     ``call`` raises the transported :class:`ServiceError` subclass on
-    failure; the typed helpers return frozen wire dataclasses.  Usable
-    as a context manager."""
+    failure — including :class:`TransportConnectionError` when the
+    server cannot be reached at all; the typed helpers return frozen
+    wire dataclasses.  Usable as a context manager.
+
+    ``retry`` (optional) enables automatic retries of retryable codes;
+    ``sleep`` is injectable so tests can assert backoff without
+    waiting."""
 
     def __init__(
-        self, host: str, port: int, timeout: float = 60.0
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+        sleep=time.sleep,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self._sleep = sleep
         self._ids = itertools.count(1)
         self._conn: http.client.HTTPConnection | None = None
 
@@ -86,8 +118,21 @@ class FleetClient:
             self.close()
         return response.status, data
 
+    def _roundtrip_reconnect(self, body: bytes):
+        try:
+            return self._roundtrip(body)
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # Server closed the keep-alive connection (drain, previous
+            # Connection: close, restart): reconnect and retry once.
+            self.close()
+            return self._roundtrip(body)
+
     def call(self, method: str, params: object = None) -> object:
-        """One RPC; returns the result or raises the typed error."""
+        """One RPC; returns the result or raises the typed error.
+
+        A connection that cannot be (re)established raises
+        :class:`TransportConnectionError`; with a ``retry`` policy set,
+        retryable failures back off and resend before raising."""
         body = json.dumps(
             {
                 "jsonrpc": "2.0",
@@ -97,17 +142,39 @@ class FleetClient:
             },
             separators=(",", ":"),
         ).encode("utf-8")
-        try:
-            status, data = self._roundtrip(body)
-        except (ConnectionError, http.client.HTTPException, OSError):
-            # Server closed the keep-alive connection (drain, previous
-            # Connection: close, restart): reconnect and retry once.
-            self.close()
-            status, data = self._roundtrip(body)
-        result, error = decode_rpc_response(status, data)
-        if error is not None:
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                status, data = self._roundtrip_reconnect(body)
+            except (
+                ConnectionError,
+                http.client.HTTPException,
+                OSError,
+            ) as exc:
+                self.close()
+                error: ServiceError = TransportConnectionError(
+                    f"fleet call {method!r} to "
+                    f"{self.host}:{self.port} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    host=self.host,
+                    port=self.port,
+                    method=method,
+                )
+                error.__cause__ = exc
+            else:
+                result, error = decode_rpc_response(status, data)
+                if error is None:
+                    return result
+            if (
+                policy is not None
+                and attempt < attempts
+                and error.code in RETRYABLE_CODES
+            ):
+                self._sleep(policy.delay(attempt))
+                continue
             raise error
-        return result
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Typed surface
@@ -188,14 +255,23 @@ class AsyncFleetClient:
     Built for fan-out — the load benchmark opens one per simulated
     tenant, so hundreds of concurrent connections fit in one process.
     ``call`` returns ``(result, error)`` instead of raising: under
-    deliberate quota pressure, rejections are data, not exceptions."""
+    deliberate quota pressure, rejections are data, not exceptions —
+    and so are connection failures, which come back as a
+    :class:`TransportConnectionError` in the error slot.  An optional
+    ``retry`` policy resends retryable failures (with
+    ``asyncio.sleep`` backoff) before reporting them."""
 
     def __init__(
-        self, host: str, port: int, timeout: float = 60.0
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
         self._ids = itertools.count(1)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -222,6 +298,37 @@ class AsyncFleetClient:
         await self.close()
 
     async def call(
+        self, method: str, params: object = None
+    ) -> tuple[object, ServiceError | None]:
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                result, error = await self._call_once(method, params)
+            except (OSError, EOFError, asyncio.IncompleteReadError) as exc:
+                await self.close()
+                error = TransportConnectionError(
+                    f"fleet call {method!r} to "
+                    f"{self.host}:{self.port} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    host=self.host,
+                    port=self.port,
+                    method=method,
+                )
+                error.__cause__ = exc
+                result = None
+            if (
+                error is not None
+                and policy is not None
+                and attempt < attempts
+                and error.code in RETRYABLE_CODES
+            ):
+                await asyncio.sleep(policy.delay(attempt))
+                continue
+            return result, error
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _call_once(
         self, method: str, params: object = None
     ) -> tuple[object, ServiceError | None]:
         if self._writer is None:

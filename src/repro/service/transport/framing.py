@@ -67,6 +67,9 @@ ERROR_STATUS: dict[str, tuple[int, int]] = {
     "quota-exceeded": (429, -32010),
     "unavailable": (503, -32011),
     "request-too-large": (413, -32012),
+    # Client-side only (the server never sends it); mapped for
+    # completeness so the taxonomy stays total over ERROR_CODES.
+    "transport-connection": (503, -32013),
     "service-error": (500, -32000),
 }
 

@@ -30,7 +30,13 @@ Around the raw socket layer sits the fleet-serving machinery:
   :meth:`FleetServer.close` drains first, then releases the socket,
   the scheduler's executor and (with ``own_service=True``) the
   service's shared process pool and solve cache — idempotent and safe
-  to call concurrently.
+  to call concurrently;
+* **deadlines** (DESIGN.md §15): with ``request_deadline_seconds``
+  set, admitted work that sat in the fair-scheduling queue past the
+  deadline is *not* executed — the client gets a typed, retryable
+  ``unavailable`` error (``reason="deadline-exceeded"``) instead of a
+  result it stopped waiting for, and ``deadline_rejections`` counts
+  every such shed request in the ``status`` record.
 
 :func:`serve_background` runs a server on a dedicated event-loop
 thread and hands back a blocking handle — what synchronous tests,
@@ -77,6 +83,7 @@ from repro.service.transport.framing import (
 )
 from repro.service.transport.quota import AdmissionController, TenantQuota
 from repro.service.transport.scheduler import FairScheduler
+from repro.testing.faults import fault_hook
 
 access_log = logging.getLogger("repro.service.transport.access")
 server_log = logging.getLogger("repro.service.transport")
@@ -141,6 +148,13 @@ class FleetServer:
     on_access:
         Optional callback receiving each access-log record (a dict) —
         the test batteries use it to observe execution order.
+    request_deadline_seconds:
+        Optional bound on how long an admitted request may wait in the
+        scheduling queue before execution.  Work still queued past the
+        deadline is shed with a retryable ``unavailable`` error
+        (``reason="deadline-exceeded"``) instead of being executed for
+        a client that has likely timed out — the overload valve that
+        keeps queue time bounded.  ``None`` (default) never sheds.
     """
 
     def __init__(
@@ -157,8 +171,16 @@ class FleetServer:
         idle_timeout: float = 120.0,
         own_service: bool = False,
         on_access: Callable[[dict], None] | None = None,
+        request_deadline_seconds: float | None = None,
         clock=time.monotonic,
     ) -> None:
+        if request_deadline_seconds is not None and (
+            request_deadline_seconds <= 0
+        ):
+            raise ValueError(
+                "request_deadline_seconds must be positive, got "
+                f"{request_deadline_seconds!r}"
+            )
         self.service = service
         self.host = host
         self.port = port
@@ -167,6 +189,7 @@ class FleetServer:
         self.idle_timeout = idle_timeout
         self.own_service = own_service
         self.on_access = on_access
+        self.request_deadline_seconds = request_deadline_seconds
         self.state = "closed"  # closed -> serving -> draining -> closed
         self._admission = AdmissionController(
             quota if quota is not None else TenantQuota(),
@@ -188,6 +211,7 @@ class FleetServer:
         self.quota_rejections = 0
         self.admission_rejections = 0
         self.drain_rejections = 0
+        self.deadline_rejections = 0
         self._phase_seconds = {phase: 0.0 for phase in PHASES}
         self._phase_counts = {phase: 0 for phase in PHASES}
         self._tenants: dict[str, _TenantCounters] = {}
@@ -511,8 +535,22 @@ class FleetServer:
         try:
             execute_box = {}
 
+            deadline = self.request_deadline_seconds
+
             def job(params=rpc.params, handler=handler):
                 job_started = time.perf_counter()
+                queued_for = job_started - queue_started
+                if deadline is not None and queued_for > deadline:
+                    # Shed, don't execute: the client has likely given
+                    # up on a request that waited this long, and doing
+                    # the work anyway only deepens the queue.
+                    raise UnavailableError(
+                        f"request {rid} spent {queued_for:.3f}s queued, "
+                        f"past the {deadline:.3f}s deadline; retry "
+                        "against a less-loaded instance",
+                        retryable=True, reason="deadline-exceeded",
+                        queued_seconds=round(queued_for, 6),
+                    )
                 try:
                     return handler(params)
                 finally:
@@ -529,9 +567,16 @@ class FleetServer:
                 timings["execute"] = execute_box.get("seconds", 0.0)
         except ServiceError as exc:
             self.errors_total += 1
+            if exc.details.get("reason") == "deadline-exceeded":
+                self.deadline_rejections += 1
             await self._respond_error(
                 writer, rpc, exc, None, rid, keep_alive, timings,
                 rpc.method, tenant,
+                retry_after=(
+                    0.05
+                    if exc.details.get("reason") == "deadline-exceeded"
+                    else None
+                ),
             )
             return
         except Exception:
@@ -565,10 +610,20 @@ class FleetServer:
     ) -> None:
         started = time.perf_counter()
         try:
+            fault_hook("transport.write", bytes=len(payload))
             writer.write(payload)
             await writer.drain()
         except (ConnectionError, RuntimeError):
             pass  # client went away; accounting already happened
+        except Exception:
+            # An injected (or genuinely broken) write: close the
+            # connection so the client sees a fast reset — a half-sent
+            # response would desynchronise its HTTP framing, turning
+            # one lost response into a poisoned keep-alive stream.
+            try:
+                writer.close()
+            except Exception:
+                pass
         timings["write"] = time.perf_counter() - started
 
     def _account(
@@ -639,6 +694,7 @@ class FleetServer:
     # Status
 
     def _status_record(self) -> ServerStatusRecord:
+        faults = self.service.fault_summary()
         return ServerStatusRecord(
             state=self.state,
             homes=self.service.home_count(),
@@ -648,8 +704,12 @@ class FleetServer:
             quota_rejections=self.quota_rejections,
             admission_rejections=self.admission_rejections,
             drain_rejections=self.drain_rejections,
+            deadline_rejections=self.deadline_rejections,
             errors_total=self.errors_total,
             internal_errors=self.internal_errors,
+            breaker_states=self.service.breaker_states(),
+            tasks_retried=faults.get("tasks_retried", 0),
+            degraded_serial=faults.get("degraded_serial", 0),
             phase_seconds={
                 phase: round(seconds, 6)
                 for phase, seconds in self._phase_seconds.items()

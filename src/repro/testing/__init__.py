@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+``repro.testing.faults`` hosts the deterministic fault-injection
+harness used by the chaos batteries and the fault-recovery benchmark.
+It lives under ``src/`` (not ``tests/``) because production modules
+carry the (zero-cost-when-inactive) injection points.
+"""
+
+from repro.testing.faults import FaultPlan, FaultSpec, InjectedFault, fault_hook
+
+__all__ = ["FaultPlan", "FaultSpec", "InjectedFault", "fault_hook"]
