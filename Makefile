@@ -2,22 +2,24 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test test-hashseed test-faults bench bench-smoke bench-fleet \
-	bench-store serve-smoke lint docs-check schema-check
+	bench-store bench-monitor serve-smoke lint docs-check schema-check
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Dispatcher- and service-equivalence tests under both the default
-# (randomized) and a pinned hash seed: set/dict iteration order must
-# never leak into the deterministic batch merge or into a tenant
-# home's results (threats, caches, store bytes).
+# Dispatcher-, service- and monitor-equivalence tests under both the
+# default (randomized) and a pinned hash seed: set/dict iteration
+# order must never leak into the deterministic batch merge, into a
+# tenant home's results (threats, caches, store bytes), or into the
+# runtime monitor's observation stream (trace replay must stay
+# byte-identical to live ingestion).
 test-hashseed:
 	$(PYTHON) -m pytest -q tests/test_dispatch_equivalence.py \
-		tests/test_service_equivalence.py
+		tests/test_service_equivalence.py tests/test_monitor.py
 	PYTHONHASHSEED=0 $(PYTHON) -m pytest -q \
 		tests/test_dispatch_equivalence.py \
-		tests/test_service_equivalence.py
+		tests/test_service_equivalence.py tests/test_monitor.py
 
 # Fault-injection chaos battery (DESIGN.md §15): injected worker
 # crashes, hung solves, killed processes and backend I/O errors must
@@ -56,6 +58,7 @@ bench-smoke:
 	BENCH_REGRESSION_GATE=1 BENCH_EMIT_PATH=BENCH_store_scale.ci.json \
 	BENCH_FLEET_EMIT_PATH=BENCH_fleet_cache.ci.json \
 	BENCH_STORE_EMIT_PATH=BENCH_store_engine.ci.json \
+	BENCH_MONITOR_EMIT_PATH=BENCH_monitor.ci.json \
 		$(PYTHON) -m pytest -q benchmarks/bench_*.py
 
 # Full fleet-cache sweep (DESIGN.md §12): 6 tenants with overlapping
@@ -71,6 +74,13 @@ bench-fleet:
 # BENCH_store_engine.json trajectory point.
 bench-store:
 	$(PYTHON) benchmarks/bench_store_engine.py
+
+# Runtime-monitor streaming sweep (DESIGN.md §16): 100k synthetic
+# events across 200 single-process homes, gating sustained ingest at
+# >= 50k events/sec with p95 batch latency reported; rewrites the
+# committed BENCH_monitor.json trajectory point.
+bench-monitor:
+	$(PYTHON) benchmarks/bench_monitor.py
 
 # Transport smoke for CI (DESIGN.md §13): the conformance + fuzz +
 # fairness batteries against a live loopback server, then a mini load
@@ -95,6 +105,7 @@ docs-check:
 	$(PYTHON) examples/store_audit.py > /dev/null
 	$(PYTHON) examples/install_flow.py > /dev/null
 	$(PYTHON) examples/serve_fleet.py > /dev/null
+	$(PYTHON) examples/monitor_live.py > /dev/null
 	@echo "docs-check: README example scripts ran clean"
 
 # Byte-compile everything as a cheap syntax/import lint (no external

@@ -1,0 +1,176 @@
+"""Runtime monitor streaming throughput (DESIGN.md §16).
+
+Streams ``EVENTS`` synthetic device events (default 100k) across
+``HOMES`` simulated homes (default 200), each with its own
+:class:`~repro.monitor.engine.MonitorEngine` running one compiled
+threat-confirmation rule plus the full default anomaly catalog — the
+shape a single fleet controller sees when every tenant forwards its
+event stream.
+
+The synthetic stream is deterministic and mixes the interesting cases:
+witness sequences that confirm the predicted threat, toggle bursts
+that trip the spam rule, power readings around (and above) the rolling
+baseline, and off-hours actuation — so the measured path includes
+observation stamping and dedup, not just rule dispatch.
+
+Measured per home-batch (one home's slice of the stream):
+
+* **events/sec** — total events over total wall time, single process;
+* **p95 batch latency** — 95th percentile of per-batch ingest time.
+
+Acceptance gate: sustained ingest **>= 50k events/sec** in a single
+process (BENCH_MONITOR_MIN_EPS to override).  Select the shape with
+BENCH_MONITOR_HOMES / BENCH_MONITOR_EVENTS.  Script runs (``make
+bench-monitor``) rewrite the committed ``BENCH_monitor.json``
+trajectory point; CI passes set BENCH_MONITOR_EMIT_PATH to upload the
+run's numbers without touching the committed artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.monitor import (
+    ConfirmationRule,
+    MonitorEngine,
+    default_anomaly_rules,
+)
+from repro.runtime.events import Event
+
+HOMES = int(os.environ.get("BENCH_MONITOR_HOMES", "200"))
+EVENTS = int(os.environ.get("BENCH_MONITOR_EVENTS", "100000"))
+BATCH = int(os.environ.get("BENCH_MONITOR_BATCH", "100"))
+MIN_EPS = float(os.environ.get("BENCH_MONITOR_MIN_EPS", "50000"))
+_RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_monitor.json"
+)
+# Set by the __main__ entry point: only dedicated script runs overwrite
+# the committed repo-root trajectory artifact.
+_EMIT_TRAJECTORY = False
+
+NOON = 12 * 3600.0
+
+
+def _make_engine(home_index: int) -> MonitorEngine:
+    """One home's monitor: a compiled actuator-race confirmation on the
+    shared device plus the default anomaly catalog."""
+    confirmation = ConfirmationRule(
+        "AR:A/R1->B/R1",
+        ((("dev-0", "switch", "on"),), (("dev-0", "switch", "off"),)),
+        window=300.0,
+        ordered=False,
+    )
+    return MonitorEngine(
+        f"home-{home_index:04d}",
+        [confirmation, *default_anomaly_rules()],
+    )
+
+
+def _event(sequence: int, timestamp: float) -> Event:
+    """Deterministic synthetic stream: 3 devices per home — a raced
+    switch (confirmations + toggle spam), a power meter with
+    occasional spikes, and a lock actuated around the clock
+    (off-hours findings on the wrapped days)."""
+    slot = sequence % 4
+    if slot in (0, 1):
+        return Event(
+            subject="dev-0",
+            name="switch",
+            value="on" if slot == 0 else "off",
+            timestamp=timestamp,
+        )
+    if slot == 2:
+        watts = 120.0 if sequence % 97 else 900.0  # rare spike
+        return Event(
+            subject="dev-1", name="power", value=watts, timestamp=timestamp
+        )
+    return Event(
+        subject="dev-2", name="lock", value="unlocked", timestamp=timestamp
+    )
+
+
+def bench_streaming() -> dict:
+    engines = [_make_engine(index) for index in range(HOMES)]
+    batch_seconds: list[float] = []
+    total_events = 0
+    observations = 0
+    sequence = 0
+    clock = NOON
+    wall_start = time.perf_counter()
+    while total_events < EVENTS:
+        for home_index, engine in enumerate(engines):
+            events = []
+            for offset in range(BATCH):
+                events.append(_event(sequence, clock + offset * 1.7))
+                sequence += 1
+            clock += BATCH * 1.7
+            started = time.perf_counter()
+            observations += len(engine.ingest_batch(events))
+            batch_seconds.append(time.perf_counter() - started)
+            total_events += len(events)
+            if total_events >= EVENTS:
+                break
+    wall = time.perf_counter() - wall_start
+    batch_seconds.sort()
+    p95 = batch_seconds[int(len(batch_seconds) * 0.95)]
+    kinds = {"confirmed": 0, "contradicted": 0, "anomalies": 0}
+    for engine in engines:
+        counters = engine.counters()
+        for kind in kinds:
+            kinds[kind] += counters[kind]
+    return {
+        "homes": HOMES,
+        "events": total_events,
+        "batch_size": BATCH,
+        "seconds": round(wall, 4),
+        "events_per_second": round(total_events / wall, 1),
+        "p95_batch_ms": round(p95 * 1000.0, 4),
+        "observations": observations,
+        "observation_kinds": kinds,
+    }
+
+
+def test_monitor_throughput():
+    print(
+        f"\n=== Monitor streaming: {EVENTS} events across {HOMES} homes "
+        f"(batches of {BATCH}) ==="
+    )
+    results = bench_streaming()
+    print(
+        f"{results['events']} events in {results['seconds']:.2f}s = "
+        f"{results['events_per_second']:.0f} events/sec, "
+        f"p95 batch {results['p95_batch_ms']:.3f}ms, "
+        f"{results['observations']} observations"
+    )
+    # The stream exercised the full observation path, not just dispatch.
+    assert results["observations"] > 0
+    assert results["observation_kinds"]["confirmed"] > 0
+    assert results["events_per_second"] >= MIN_EPS, (
+        f"monitor ingest {results['events_per_second']:.0f} events/sec "
+        f"is below the {MIN_EPS:.0f}/sec single-process gate"
+    )
+    if _EMIT_TRAJECTORY:
+        _emit_trajectory(results, _RESULTS_PATH)
+    emit_path = os.environ.get("BENCH_MONITOR_EMIT_PATH")
+    if emit_path:
+        _emit_trajectory(results, Path(emit_path))
+
+
+def _emit_trajectory(results: dict, path: Path) -> None:
+    payload = {
+        "benchmark": "monitor_streaming",
+        "gate_events_per_second": MIN_EPS,
+        "results": results,
+    }
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+    )
+    print(f"trajectory point written to {path.name}")
+
+
+if __name__ == "__main__":
+    _EMIT_TRAJECTORY = True
+    test_monitor_throughput()

@@ -1,0 +1,119 @@
+"""Runtime interference monitoring (DESIGN.md §16).
+
+Static detection *predicts* cross-app interference at install time;
+the runtime monitor watches the home's live event stream and reports
+which predictions actually fire.  This walk installs the paper's
+window-racing pair (ComfortTV opens the window when the TV heats the
+room, ColdDefender closes it when it rains), keeps both under an
+evidence-aware policy, then:
+
+1. streams the threat's witness sequence through the monitor — the
+   statically predicted actuator race is *confirmed*, exactly once,
+   no matter how often the batch is retried;
+2. streams an anomalous burst the solver could never see — toggle
+   spam on one actuator — which the anomaly catalog flags;
+3. re-reviews the risky app: the ``EvidencePolicy`` escalates the
+   confirmed threat past its severity line and auto-deletes, with the
+   policy's name persisted as ``decided_by`` provenance.
+
+Run with::
+
+    python examples/monitor_live.py
+"""
+
+from repro.corpus import app_by_name
+from repro.service import (
+    EvidencePolicy,
+    HomeGuardService,
+    InstallRequest,
+    MonitorEventRequest,
+    SeverityThresholdPolicy,
+)
+
+NOON = 12 * 3600.0
+
+
+def main() -> None:
+    # Severity line at 5: an actuator race (severity 4) is kept on
+    # prediction alone — but gains 2 ranks once the monitor confirms it.
+    policy = EvidencePolicy(SeverityThresholdPolicy(threshold=5))
+    with HomeGuardService(workers=None, policy=policy) as service:
+        service.preload(
+            [app_by_name("ComfortTV"), app_by_name("ColdDefender")]
+        )
+        service.create_home("casa")
+        service.register_device("casa", "TV", "tv")
+        service.register_device("casa", "Temp", "temperatureSensor")
+        window = service.register_device("casa", "Window", "windowOpener")
+
+        service.install(InstallRequest(
+            home_id="casa", app_name="ComfortTV",
+            devices={"tv1": "TV", "tSensor": "Temp", "window1": "Window"},
+            values={"threshold1": 30},
+        ))
+        session = service.install(InstallRequest(
+            home_id="casa", app_name="ColdDefender",
+            devices={"tv2": "TV", "window2": "Window"},
+            values={"weather": "rainy"},
+        ))
+        threats = [t.type for t in session.report.threats]
+        print(f"install: {session.decision} by {session.decided_by}; "
+              f"predicted threats: {threats}")
+
+        # --- 1. The predicted race actually happens: the window opens
+        # (ComfortTV) and closes again (ColdDefender) within the
+        # monitor's window.  One batch, one confirmation — and the
+        # resent batch (a transport retry) changes nothing.
+        witness = MonitorEventRequest(
+            home_id="casa",
+            events=(
+                (window.device_id, "switch", "on", NOON),
+                (window.device_id, "switch", "off", NOON + 30.0),
+            ),
+            batch_id="trace-001",
+        )
+        for attempt in ("first send", "retry"):
+            observations = service.ingest_events(witness)
+            for obs in observations:
+                if obs.outcome == "confirmed":
+                    print(f"{attempt}: CONFIRMED {obs.threat_key} "
+                          f"({obs.detail})")
+
+        # --- 2. An anomaly no solver predicted: the window actuator
+        # flaps 12 times in 11 seconds.
+        spam = MonitorEventRequest(
+            home_id="casa",
+            events=tuple(
+                (window.device_id, "switch",
+                 "on" if i % 2 == 0 else "off", NOON + 120.0 + i)
+                for i in range(12)
+            ),
+            batch_id="trace-002",
+        )
+        for obs in service.ingest_events(spam):
+            print(f"{obs.outcome}: {obs.rule}: {obs.detail}")
+
+        stats = service.detection_stats_record("casa")
+        print(f"monitor counters: events={stats.monitor_events} "
+              f"observations={stats.monitor_observations} "
+              f"confirmed={stats.threats_confirmed} "
+              f"anomalies={stats.anomalies_flagged}")
+
+        # --- 3. Evidence feedback: the same app reviewed again is now
+        # over the line — the static verdict is revised by what the
+        # home actually did.
+        evidence = service.home("casa").evidence()
+        for note in policy.proposals(
+            service.home("casa").reviews[-1], evidence
+        ):
+            print(f"proposal: {note}")
+        session = service.install(InstallRequest(
+            home_id="casa", app_name="ColdDefender",
+            devices={"tv2": "TV", "window2": "Window"},
+            values={"weather": "rainy"},
+        ))
+        print(f"re-review: {session.decision} by {session.decided_by}")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,7 +45,7 @@ from repro.service import (
     ThreatReport,
 )
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
 
 __all__ = [
     "AuditRequest",

@@ -162,6 +162,15 @@ class DetectionStats:
     chunks_requeued: int = 0
     pool_failures: int = 0
     degraded_serial: int = 0
+    # Runtime-monitor accounting (DESIGN.md §16), maintained by the
+    # tenant home's ingestion path: events run through the home's
+    # MonitorEngine, deduplicated observations emitted, and the
+    # confirmed/contradicted/anomaly split of those observations.
+    monitor_events: int = 0
+    monitor_observations: int = 0
+    threats_confirmed: int = 0
+    threats_contradicted: int = 0
+    anomalies_flagged: int = 0
 
     def add_candidate(self, threat_type: ThreatType, seconds: float) -> None:
         self.candidate_seconds[threat_type] = (

@@ -32,6 +32,8 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.testing.faults import fault_hook
+
 
 class StoreBackend:
     """Protocol base class for detection-store storage backends."""
@@ -138,6 +140,10 @@ class DirectoryBackend(StoreBackend):
             return []
 
     def append_journal(self, key: str, line: str) -> int:
+        # Chaos-battery injection point: a planned fault here surfaces
+        # as the OSError an interrupted append would raise (DESIGN.md
+        # §15), matching the sqlite backend's "store.append" point.
+        fault_hook("store.append")
         self.path.mkdir(parents=True, exist_ok=True)
         target = self.path / key
         fresh = not target.exists()

@@ -15,6 +15,13 @@ per line)::
 
     {"seq": N, "base": G, "op": "remove", "app": ..., "frontend": {...}}
 
+    {"seq": N, "base": G, "op": "frontend", "frontend": {...}}
+
+(the ``frontend`` op replaces only the opaque frontend blob — the
+O(delta) persistence path for frontend-side state that changes without
+any detection change, e.g. the runtime monitor's observation ledger,
+DESIGN.md §16).
+
 ``base`` pins the meta generation the record extends: records from
 before a compaction (whose meta bumped the generation) are inert, so
 an interrupted compaction — new shards and meta on disk, journal not
@@ -90,6 +97,15 @@ def remove_record(seq: int, base: int, app: str, frontend: dict) -> dict:
     }
 
 
+def frontend_record(seq: int, base: int, frontend: dict) -> dict:
+    return {
+        "seq": seq,
+        "base": base,
+        "op": "frontend",
+        "frontend": frontend,
+    }
+
+
 def _first_app(rule_ids: list) -> str | None:
     if not rule_ids or not isinstance(rule_ids[0], str):
         return None
@@ -113,10 +129,18 @@ def apply_record(
     always apply.  Raises on a malformed record; the caller treats that
     as the end of the consistent prefix."""
     op = record["op"]
-    app = str(record["app"])
     frontend = record.get("frontend")
     if isinstance(frontend, dict):
         frontend_box[0] = frontend
+
+    if op == "frontend":
+        # Frontend-only delta: nothing but the blob changes.  A record
+        # without a blob is malformed (ends the consistent prefix).
+        if not isinstance(frontend, dict):
+            raise ValueError("frontend record without a frontend blob")
+        return
+
+    app = str(record["app"])
 
     if op == "remove":
         removed = apps.pop(app, None)

@@ -668,6 +668,58 @@ class DetectionStore:
             written, time.perf_counter() - start, compacted=compacted
         )
 
+    def commit_frontend(
+        self,
+        pipeline: DetectionPipeline,
+        frontend: dict,
+        *,
+        rulesets: Mapping[str, RuleSet] | None = None,
+    ) -> StoreCommit:
+        """Durably record a frontend-blob-only change — O(blob), no
+        shard or directory edits.
+
+        The delta path for state that lives entirely in the opaque
+        frontend blob, e.g. the runtime monitor's observation ledger
+        (DESIGN.md §16): one ``frontend`` journal record replaces the
+        blob on replay and touches nothing else.  Falls back to a full
+        save when delta mode is off or no base snapshot exists yet, and
+        compacts on the same journal bounds as :meth:`commit_app`
+        (``rulesets`` feeds that fallback/compaction save)."""
+        start = time.perf_counter()
+        if not self.delta:
+            written = self.save(pipeline, rulesets=rulesets, frontend=frontend)
+            return StoreCommit(
+                written, time.perf_counter() - start, full=True
+            )
+        if self._journal is None:
+            self._init_journal()
+        if self._journal is None:
+            written = self.save(pipeline, rulesets=rulesets, frontend=frontend)
+            return StoreCommit(
+                written, time.perf_counter() - start, full=True
+            )
+        state = self._journal
+        record = journal_format.frontend_record(
+            state.next_seq, state.base, frontend or {}
+        )
+        line = json.dumps(record, default=str)
+        written = self.backend.append_journal(_JOURNAL_FILE, line)
+        state.next_seq += 1
+        state.records += 1
+        state.bytes += written
+        compacted = False
+        if (
+            state.records >= self.journal_max_records
+            or state.bytes >= self.journal_max_bytes
+        ):
+            written += self.save(
+                pipeline, rulesets=rulesets, frontend=frontend
+            )
+            compacted = True
+        return StoreCommit(
+            written, time.perf_counter() - start, compacted=compacted
+        )
+
     def compact(self) -> bool:
         """Offline compaction: fold the durable base + journal into a
         fresh base generation without a live pipeline (the janitor /

@@ -1,0 +1,289 @@
+"""The per-home monitor engine (DESIGN.md §16).
+
+A :class:`MonitorEngine` consumes one home's event stream — live from
+the runtime :class:`~repro.runtime.events.EventBus` (via a bus tap),
+from batched fleet ingestion, or from a recorded JSONL trace — runs
+every registered :class:`~repro.monitor.rules.MonitorRule`, and turns
+their findings into deduplicated :class:`Observation`\\ s.
+
+Time is *event time*: the engine's clock only moves forward
+(``max(seen timestamps)``), with an optional injected monotonic clock
+(the :mod:`repro.resilience` idiom) merged in for live attachment, so
+replaying a recorded trace yields byte-identical observations to the
+live run that produced it.
+
+Exactly-once: every observation has a deterministic key (SHA-256 over
+home, rule, kind, subject, threat key and the rule's dedup context).
+The engine drops keys it has already emitted; callers that persist
+observations (the tenant home's ledger) seed ``seen`` on rebuild, so
+eviction, restarts and replayed batches can never double-count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable
+
+from repro.monitor.rules import (
+    KIND_ANOMALY,
+    KIND_CONFIRMED,
+    KIND_CONTRADICTED,
+    Finding,
+    MonitorRule,
+)
+from repro.runtime.events import Event, EventBus
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One deduplicated monitor observation (the engine-internal twin
+    of the wire :class:`~repro.service.schemas.ObservationRecord`)."""
+
+    key: str
+    home_id: str
+    rule: str
+    kind: str
+    subject: str
+    threat_key: str = ""
+    detail: str = ""
+    timestamp: float = 0.0
+    window_seconds: float = 0.0
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(data: dict) -> "Observation":
+        return Observation(
+            key=str(data.get("key", "")),
+            home_id=str(data.get("home_id", "")),
+            rule=str(data.get("rule", "")),
+            kind=str(data.get("kind", "")),
+            subject=str(data.get("subject", "")),
+            threat_key=str(data.get("threat_key", "")),
+            detail=str(data.get("detail", "")),
+            timestamp=float(data.get("timestamp", 0.0)),
+            window_seconds=float(data.get("window_seconds", 0.0)),
+        )
+
+
+def observation_key(
+    home_id: str,
+    rule: str,
+    kind: str,
+    subject: str,
+    threat_key: str = "",
+    dedup: str = "",
+) -> str:
+    """The deterministic identity of one observation."""
+    material = "\x1f".join((home_id, rule, kind, subject, threat_key, dedup))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+class MonitorEngine:
+    """Sliding-window analytics over one home's event stream."""
+
+    def __init__(
+        self,
+        home_id: str,
+        rules: Iterable[MonitorRule] | None = None,
+        *,
+        clock: Callable[[], float] | None = None,
+        seen: Iterable[str] | None = None,
+    ) -> None:
+        self.home_id = home_id
+        self._clock = clock
+        self._rules: list[MonitorRule] = []
+        self._by_channel: dict[tuple[str, str], list[MonitorRule]] = {}
+        self._wildcard: list[MonitorRule] = []
+        self._seen: set[str] = set(seen or ())
+        self._now = 0.0
+        #: Observations produced through a live bus tap, drained by the
+        #: owner (``ingest`` returns them directly instead).
+        self.pending: list[Observation] = []
+        self._tap_owner: str | None = None
+        # Counters (event-stream accounting, mirrored into
+        # DetectionStats by the tenant home).
+        self.events_seen = 0
+        self.observations = 0
+        self.confirmed = 0
+        self.contradicted = 0
+        self.anomalies = 0
+        for rule in rules or ():
+            self.add_rule(rule)
+
+    # ------------------------------------------------------------------
+    # Rule registry
+
+    @property
+    def rules(self) -> list[MonitorRule]:
+        return list(self._rules)
+
+    def add_rule(self, rule: MonitorRule) -> None:
+        self._rules.append(rule)
+        if rule.channels is None:
+            self._wildcard.append(rule)
+        else:
+            for channel in sorted(rule.channels):
+                self._by_channel.setdefault(channel, []).append(rule)
+
+    def set_rules(self, rules: Iterable[MonitorRule]) -> None:
+        """Replace the rule set (recompiled confirmations after a new
+        install decision).  Emitted-observation dedup state survives —
+        a recompiled threat rule cannot re-confirm a confirmed threat."""
+        self._rules = []
+        self._by_channel = {}
+        self._wildcard = []
+        for rule in rules:
+            self.add_rule(rule)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+
+    def now(self) -> float:
+        """The engine's current event-time clock."""
+        return self._now
+
+    def ingest(self, event: Event) -> list[Observation]:
+        """Run one event through the rules; returns *new* observations
+        (already deduplicated against everything ever emitted)."""
+        now = event.timestamp
+        if self._clock is not None:
+            clocked = self._clock()
+            if clocked > now:
+                now = clocked
+        if now > self._now:
+            self._now = now
+        else:
+            now = self._now
+        self.events_seen += 1
+        emitted: list[Observation] = []
+        channel_rules = self._by_channel.get((event.subject, event.name))
+        if channel_rules:
+            for rule in channel_rules:
+                self._run_rule(rule, event, now, emitted)
+        for rule in self._wildcard:
+            if (
+                rule.attributes is not None
+                and event.name not in rule.attributes
+            ):
+                continue
+            self._run_rule(rule, event, now, emitted)
+        return emitted
+
+    def _run_rule(
+        self,
+        rule: MonitorRule,
+        event: Event,
+        now: float,
+        emitted: list[Observation],
+    ) -> None:
+        for finding in rule.observe(event, now):
+            observation = self._stamp(rule.name, finding, now)
+            if observation is not None:
+                emitted.append(observation)
+
+    def _stamp(
+        self, rule_name: str, finding: Finding, now: float
+    ) -> Observation | None:
+        key = observation_key(
+            self.home_id,
+            rule_name,
+            finding.kind,
+            finding.subject,
+            finding.threat_key,
+            finding.dedup,
+        )
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        self.observations += 1
+        if finding.kind == KIND_CONFIRMED:
+            self.confirmed += 1
+        elif finding.kind == KIND_CONTRADICTED:
+            self.contradicted += 1
+        elif finding.kind == KIND_ANOMALY:
+            self.anomalies += 1
+        return Observation(
+            key=key,
+            home_id=self.home_id,
+            rule=rule_name,
+            kind=finding.kind,
+            subject=finding.subject,
+            threat_key=finding.threat_key,
+            detail=finding.detail,
+            timestamp=now,
+            window_seconds=finding.window_seconds,
+        )
+
+    def ingest_batch(self, events: Iterable[Event]) -> list[Observation]:
+        emitted: list[Observation] = []
+        for event in events:
+            emitted.extend(self.ingest(event))
+        return emitted
+
+    def replay_jsonl(self, lines: Iterable[str]) -> list[Observation]:
+        """Offline replay of a recorded trace: one JSON event object
+        per line (``subject``, ``attribute`` or ``name``, ``value``,
+        ``timestamp``).  Unparseable lines are skipped — a truncated
+        trace degrades to the events before the tear."""
+        emitted: list[Observation] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                event = Event(
+                    subject=str(data["subject"]),
+                    name=str(data.get("attribute", data.get("name"))),
+                    value=data.get("value"),
+                    timestamp=float(data.get("timestamp", 0.0)),
+                )
+            except (ValueError, TypeError, KeyError):
+                continue
+            emitted.extend(self.ingest(event))
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Live attachment
+
+    def attach(self, bus: EventBus) -> str:
+        """Tap a live event bus: every published event flows through
+        :meth:`ingest` and new observations accumulate in
+        :attr:`pending` until :meth:`drain` collects them."""
+        owner = f"monitor:{self.home_id}"
+        bus.add_tap(self._on_event, owner)
+        self._tap_owner = owner
+        return owner
+
+    def detach(self, bus: EventBus) -> None:
+        if self._tap_owner is not None:
+            bus.unsubscribe_owner(self._tap_owner)
+            self._tap_owner = None
+
+    def _on_event(self, event: Event) -> None:
+        self.pending.extend(self.ingest(event))
+
+    def drain(self) -> list[Observation]:
+        drained, self.pending = self.pending, []
+        return drained
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "events_seen": self.events_seen,
+            "observations": self.observations,
+            "confirmed": self.confirmed,
+            "contradicted": self.contradicted,
+            "anomalies": self.anomalies,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorEngine({self.home_id!r}, rules={len(self._rules)}, "
+            f"events={self.events_seen}, observations={self.observations})"
+        )

@@ -1,0 +1,80 @@
+"""Sliding time windows and rolling baselines for the runtime monitor.
+
+The monitor's rules (DESIGN.md §16) are all windowed computations over
+an *event-time* axis: timestamps come from the event stream itself (or
+an injected clock), never from ``time.time()``, so offline replay of a
+recorded trace produces byte-identical observations to the live run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class SlidingWindow:
+    """A bounded window of ``(timestamp, item)`` pairs.
+
+    ``push`` appends and prunes; an item stays visible while
+    ``now - timestamp < span``.  Timestamps are expected to be
+    monotonically non-decreasing (the engine enforces that), so
+    pruning pops from the left only.
+    """
+
+    __slots__ = ("span", "_items")
+
+    def __init__(self, span: float) -> None:
+        self.span = float(span)
+        self._items: deque[tuple[float, object]] = deque()
+
+    def push(self, timestamp: float, item: object) -> None:
+        self._items.append((timestamp, item))
+        self.prune(timestamp)
+
+    def prune(self, now: float) -> None:
+        horizon = now - self.span
+        items = self._items
+        while items and items[0][0] <= horizon:
+            items.popleft()
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def items(self) -> list[tuple[float, object]]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+
+class RollingBaseline:
+    """A rolling mean over the last ``size`` samples.
+
+    The power-anomaly rule compares each reading against this baseline
+    (SNIPPETS 2–3: a reading far above the historical average is
+    flagged); bounded so one home's baseline is O(1) memory.
+    """
+
+    __slots__ = ("_samples", "_total")
+
+    def __init__(self, size: int = 32) -> None:
+        self._samples: deque[float] = deque(maxlen=max(1, int(size)))
+        self._total = 0.0
+
+    def push(self, value: float) -> None:
+        samples = self._samples
+        if len(samples) == samples.maxlen:
+            self._total -= samples[0]
+        samples.append(value)
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._total / len(self._samples)

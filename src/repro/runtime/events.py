@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 
@@ -39,10 +39,20 @@ class EventBus:
     Mirrors the SmartThings cloud: the platform listens to all data
     reported by sensors and broadcasts related events to subscribers
     (paper §II-A).
+
+    Ordering contract: ``publish`` returns matching handlers in
+    *subscription order* (oldest subscription first), and taps run in
+    *registration order* — deterministic regardless of hash seed, since
+    both live in plain lists.  ``publish`` iterates a snapshot of the
+    subscription and tap lists, so ``unsubscribe_owner`` (or a new
+    ``subscribe``) called from inside a handler or tap affects only
+    *later* publishes: the in-flight event is still delivered to every
+    subscriber matched at publish time.
     """
 
     def __init__(self) -> None:
         self._subscriptions: list[_Subscription] = []
+        self._taps: list[tuple[str, Callable[[Event], None]]] = []
         self.history: list[Event] = []
 
     def subscribe(
@@ -57,17 +67,38 @@ class EventBus:
             _Subscription(subject, attribute, value_filter, callback, owner)
         )
 
+    def add_tap(self, callback: Callable[[Event], None], owner: str) -> None:
+        """Register a wiretap receiving *every* published event.
+
+        Taps are how passive observers (the runtime interference
+        monitor, trace recorders) see the full stream without
+        enumerating subjects.  They are invoked synchronously inside
+        ``publish``, in registration order, *before* the matched
+        handlers are returned to the home, and are removed by
+        ``unsubscribe_owner`` like ordinary subscriptions.
+        """
+        self._taps.append((owner, callback))
+
     def unsubscribe_owner(self, owner: str) -> None:
+        """Drop all of ``owner``'s subscriptions and taps.
+
+        Safe to call from inside a handler or tap: the publish in
+        flight iterates a snapshot, so the owner still receives the
+        current event; subsequent publishes exclude it.
+        """
         self._subscriptions = [
             sub for sub in self._subscriptions if sub.owner != owner
         ]
+        self._taps = [tap for tap in self._taps if tap[0] != owner]
 
     def publish(self, event: Event) -> list[Callable[[Event], None]]:
         """Record the event and return the matching handlers (the home
         invokes them so commands can interleave deterministically)."""
         self.history.append(event)
+        for _owner, tap in tuple(self._taps):
+            tap(event)
         matched: list[Callable[[Event], None]] = []
-        for sub in self._subscriptions:
+        for sub in tuple(self._subscriptions):
             if sub.subject != event.subject or sub.attribute != event.name:
                 continue
             if sub.value_filter is not None and str(event.value) != sub.value_filter:

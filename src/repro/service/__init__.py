@@ -13,7 +13,7 @@ The canonical public surface of the reproduction:
 * pluggable threat handling (:class:`HandlingPolicy`:
   :class:`InteractivePolicy` — the paper's one-time user decision —
   plus :class:`AutoDenyPolicy`, :class:`SeverityThresholdPolicy`,
-  :class:`ChainedPolicy`).
+  :class:`ChainedPolicy`, and the monitor-fed :class:`EvidencePolicy`).
 
 The socket front end lives in :mod:`repro.service.transport`
 (DESIGN.md §13): ``FleetServer`` / ``serve_background`` put a
@@ -49,6 +49,7 @@ from repro.service.home import (
 from repro.service.policies import (
     AutoDenyPolicy,
     ChainedPolicy,
+    EvidencePolicy,
     HandlingPolicy,
     InteractivePolicy,
     SeverityThresholdPolicy,
@@ -59,6 +60,8 @@ from repro.service.schemas import (
     DetectionStatsRecord,
     InstallRequest,
     InstallSession,
+    MonitorEventRequest,
+    ObservationRecord,
     ServerStatusRecord,
     ThreatRecord,
     ThreatReport,
@@ -75,6 +78,7 @@ __all__ = [
     "DecisionRequest",
     "DetectionStatsRecord",
     "DuplicateHomeError",
+    "EvidencePolicy",
     "HandlingPolicy",
     "HomeGuardService",
     "InstallDecision",
@@ -84,6 +88,8 @@ __all__ = [
     "InstalledDevice",
     "InteractivePolicy",
     "InvalidRequestError",
+    "MonitorEventRequest",
+    "ObservationRecord",
     "QuotaExceededError",
     "RequestTooLargeError",
     "SchemaMismatchError",

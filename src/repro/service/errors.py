@@ -41,7 +41,16 @@ from __future__ import annotations
 # ``degraded_serial`` totals and ``deadline_rejections``; and the
 # ``transport-connection`` error code joined the taxonomy (the typed,
 # retryable error clients raise for connection failures).
-WIRE_SCHEMA_VERSION = 5
+#
+# v6 added the runtime-monitor surface (DESIGN.md §16): the
+# ``MonitorEventRequest`` / ``ObservationRecord`` models (device-event
+# ingestion and the monitor's confirmed/contradicted/anomaly
+# observations); ``DetectionStatsRecord`` gained the monitor counters
+# ``monitor_events`` / ``monitor_observations`` / ``threats_confirmed``
+# / ``threats_contradicted`` / ``anomalies_flagged``; and
+# ``ServerStatusRecord`` gained service-lifetime ``monitor_events`` /
+# ``monitor_observations`` totals.
+WIRE_SCHEMA_VERSION = 6
 
 
 class ServiceError(Exception):

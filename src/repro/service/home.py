@@ -20,10 +20,12 @@ equivalence gate in ``tests/test_service_equivalence.py`` enforces it.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.capabilities.devices import make_device_id
 from repro.config.messaging import MessageRecord
@@ -33,7 +35,16 @@ from repro.detector.chains import AllowedList, find_chains
 from repro.detector.pipeline import DetectionPipeline
 from repro.detector.store import DetectionStore
 from repro.detector.types import Threat, ThreatType
+from repro.monitor.engine import MonitorEngine, Observation
+from repro.monitor.rules import (
+    KIND_CONFIRMED,
+    KIND_CONTRADICTED,
+    ThreatEvidence,
+    compile_confirmations,
+    default_anomaly_rules,
+)
 from repro.rules.extractor import RuleExtractor
+from repro.runtime.events import Event
 from repro.rules.interpreter import describe_rule
 from repro.rules.model import RuleSet
 
@@ -123,6 +134,12 @@ class TenantHome:
     .HandlingPolicy` (``None`` = use the service default).
     """
 
+    #: Confirmation-rule window (event-time seconds) and the number of
+    #: recent ingestion-batch dedup keys the home remembers (a retried
+    #: batch inside this memory returns its original observations).
+    monitor_window = 300.0
+    monitor_batch_memory = 256
+
     def __init__(
         self,
         home_id: str,
@@ -166,6 +183,13 @@ class TenantHome:
         # Opaque facade state persisted verbatim with every snapshot.
         self.frontend_state: dict = {}
         self._pending: list[ConfigPayload] = []
+        # Runtime interference monitor (DESIGN.md §16), built lazily on
+        # first ingestion and recompiled after every install decision.
+        # Window state is transient; the observation ledger (and its
+        # dedup keys) persists in the frontend blob, so eviction or a
+        # restart can never double-count an observation.
+        self.monitor: MonitorEngine | None = None
+        self._monitor_stale = True
 
     # ------------------------------------------------------------------
     # Home devices
@@ -296,6 +320,9 @@ class TenantHome:
         handling policy for automatic verdicts (``None`` = the user)."""
         review.decision = decision.value
         review.decided_by = decided_by
+        # Any decision can change the kept-threat set the monitor
+        # watches; recompile its confirmation rules on next ingestion.
+        self._monitor_stale = True
         if decision is InstallDecision.KEEP:
             ruleset = self._resolve_ruleset(review.app_name)
             self.rule_recorder.record(ruleset)
@@ -346,6 +373,188 @@ class TenantHome:
             self.pipeline.discard(app_name)
             reviews.append(review)
         return reviews
+
+    # ------------------------------------------------------------------
+    # Runtime interference monitor (DESIGN.md §16)
+
+    def _monitor_state(self) -> dict:
+        """The monitor's persisted bookkeeping inside the frontend
+        blob: recent batch dedup keys and the per-threat watch-start
+        timestamps (event time)."""
+        state = self.frontend_state.setdefault("monitor", {})
+        if not isinstance(state.get("batches"), list):
+            state["batches"] = []
+        if not isinstance(state.get("watch"), dict):
+            state["watch"] = {}
+        return state
+
+    def _kept_threats(self) -> list[Threat]:
+        """The threats worth watching at runtime: predictions the
+        tenant accepted (kept installs) — exactly the risk the static
+        pass priced and the user (or policy) chose to live with."""
+        threats: list[Threat] = []
+        for review in self.reviews:
+            if review.decision == InstallDecision.KEEP.value:
+                threats.extend(review.threats)
+                threats.extend(review.chains)
+        return threats
+
+    def monitor_engine(self) -> MonitorEngine:
+        """The home's monitor, built lazily (seeded with every ledger
+        key, so a rebuilt engine can never re-emit a persisted
+        observation) and recompiled when the kept-threat set changed."""
+        if self.monitor is None:
+            ledger = self.frontend_state.get("observations", [])
+            seen = [
+                str(entry.get("key"))
+                for entry in ledger
+                if isinstance(entry, dict) and entry.get("key")
+            ]
+            self.monitor = MonitorEngine(self.home_id, seen=seen)
+            self._monitor_stale = True
+        if self._monitor_stale:
+            devices = {
+                app_name: dict(payload.devices)
+                for app_name, payload in self.config_recorder.payloads.items()
+            }
+            confirmations = compile_confirmations(
+                self._kept_threats(), devices, window=self.monitor_window
+            )
+            self.monitor.set_rules(
+                [*confirmations, *default_anomaly_rules()]
+            )
+            watch = self._monitor_state()["watch"]
+            for rule in confirmations:
+                watch.setdefault(rule.threat_key, self.monitor.now())
+            self._monitor_stale = False
+        return self.monitor
+
+    @staticmethod
+    def _batch_key(events: list[Event]) -> str:
+        """Content-addressed identity of one ingestion batch: the
+        dedup fallback when the client did not supply a ``batch_id``."""
+        canonical = json.dumps(
+            [
+                [e.subject, e.name, str(e.value), e.timestamp]
+                for e in events
+            ],
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def ingest_events(
+        self, events: Iterable[Event], batch_id: str = ""
+    ) -> list[Observation]:
+        """Run a batch of runtime events through the monitor.
+
+        Returns the *new* observations the batch produced, appends them
+        to the persisted ledger, and records the batch's dedup key: a
+        retried batch (same ``batch_id``, or same content) returns the
+        original observations byte-identically and re-attempts
+        persistence instead of double-counting — the exactly-once
+        contract under transport retries and store-append faults."""
+        events = list(events)
+        engine = self.monitor_engine()
+        state = self._monitor_state()
+        key = batch_id or self._batch_key(events)
+        for recorded_key, observation_keys in state["batches"]:
+            if recorded_key == key:
+                by_key = {
+                    entry.get("key"): entry
+                    for entry in self.frontend_state.get("observations", [])
+                    if isinstance(entry, dict)
+                }
+                replayed = [
+                    Observation.from_json(by_key[obs_key])
+                    for obs_key in observation_keys
+                    if obs_key in by_key
+                ]
+                # The original attempt may have died before its store
+                # commit landed; persisting again is idempotent.
+                self._commit_monitor_store()
+                return replayed
+        fresh = engine.ingest_batch(events)
+        ledger = self.frontend_state.setdefault("observations", [])
+        ledger.extend(observation.to_json() for observation in fresh)
+        state["batches"].append([key, [o.key for o in fresh]])
+        del state["batches"][: -self.monitor_batch_memory]
+        stats = self.pipeline.stats
+        stats.monitor_events += len(events)
+        stats.monitor_observations += len(fresh)
+        for observation in fresh:
+            if observation.kind == KIND_CONFIRMED:
+                stats.threats_confirmed += 1
+            elif observation.kind == KIND_CONTRADICTED:
+                stats.threats_contradicted += 1
+            else:
+                stats.anomalies_flagged += 1
+        self._commit_monitor_store()
+        return fresh
+
+    def observations(self) -> list[Observation]:
+        """The home's full persisted observation ledger, oldest first."""
+        return [
+            Observation.from_json(entry)
+            for entry in self.frontend_state.get("observations", [])
+            if isinstance(entry, dict)
+        ]
+
+    def evidence(self) -> dict[str, ThreatEvidence]:
+        """What the monitor knows per predicted threat — the view the
+        evidence-aware handling policies consume.  Built straight from
+        persisted state, so it is correct even before (or without) a
+        live monitor engine."""
+        counts: dict[str, list[int]] = {}
+        latest = 0.0
+        for entry in self.frontend_state.get("observations", []):
+            if not isinstance(entry, dict):
+                continue
+            latest = max(latest, float(entry.get("timestamp", 0.0) or 0.0))
+            key = str(entry.get("threat_key") or "")
+            if not key:
+                continue
+            tally = counts.setdefault(key, [0, 0])
+            if entry.get("kind") == KIND_CONFIRMED:
+                tally[0] += 1
+            elif entry.get("kind") == KIND_CONTRADICTED:
+                tally[1] += 1
+        monitor_state = self.frontend_state.get("monitor", {})
+        watch = (
+            monitor_state.get("watch", {})
+            if isinstance(monitor_state, dict)
+            else {}
+        )
+        if self.monitor is not None:
+            latest = max(latest, self.monitor.now())
+        evidence: dict[str, ThreatEvidence] = {}
+        for key in set(counts) | set(watch):
+            confirmed, contradicted = counts.get(key, (0, 0))
+            started = watch.get(key)
+            watched = (
+                max(0.0, latest - float(started))
+                if isinstance(started, (int, float))
+                else 0.0
+            )
+            evidence[key] = ThreatEvidence(
+                confirmed=confirmed,
+                contradicted=contradicted,
+                watch_seconds=watched,
+            )
+        return evidence
+
+    def _commit_monitor_store(self) -> None:
+        """Persist the observation ledger as one frontend-only journal
+        record — O(blob), never a shard rewrite (DESIGN.md §16)."""
+        if self.store is None:
+            return
+        receipt = self.store.commit_frontend(
+            self.pipeline,
+            self._frontend_blob(),
+            rulesets=self.rule_recorder.rulesets,
+        )
+        stats = self.pipeline.stats
+        stats.store_bytes_written += receipt.bytes_written
+        stats.store_commit_seconds += receipt.seconds
 
     # ------------------------------------------------------------------
     # Persistence (save-on-commit / load-on-startup, DESIGN.md §8)

@@ -26,7 +26,10 @@ custom policy can dispatch on anything detection knows.
 
 from __future__ import annotations
 
-from repro.detector.types import ThreatType
+from typing import Mapping
+
+from repro.detector.types import Threat, ThreatType
+from repro.monitor.rules import ThreatEvidence, threat_key
 from repro.service.home import InstallDecision, InstallReview
 
 # Default severity ranking over the Table I threat classes, low to
@@ -56,6 +59,19 @@ class HandlingPolicy:
         """An automatic verdict, or ``None`` to leave the session
         pending for the tenant's one-time decision."""
         raise NotImplementedError
+
+    def decide_with_evidence(
+        self,
+        review: InstallReview,
+        evidence: Mapping[str, ThreatEvidence],
+    ) -> InstallDecision | None:
+        """The evidence-aware entry point the service calls
+        (DESIGN.md §16): ``evidence`` maps each predicted threat's
+        :func:`~repro.monitor.rules.threat_key` to what the runtime
+        monitor has observed about it.  Evidence-unaware policies
+        ignore it — the default delegates to :meth:`decide`, so every
+        pre-monitor policy keeps its exact behavior."""
+        return self.decide(review)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -160,6 +176,137 @@ class ChainedPolicy(HandlingPolicy):
                 return verdict
         return None
 
+    def decide_with_evidence(
+        self,
+        review: InstallReview,
+        evidence: Mapping[str, ThreatEvidence],
+    ) -> InstallDecision | None:
+        for policy in self.policies:
+            verdict = policy.decide_with_evidence(review, evidence)
+            if verdict is not None:
+                return verdict
+        return None
+
     def __repr__(self) -> str:
         inner = ", ".join(repr(policy) for policy in self.policies)
         return f"ChainedPolicy({inner})"
+
+
+class EvidencePolicy(HandlingPolicy):
+    """Revise a :class:`SeverityThresholdPolicy`'s verdicts with the
+    runtime monitor's observed evidence (DESIGN.md §16).
+
+    The static severity ranking is a *prediction*; the monitor reports
+    which predictions actually fired.  This wrapper recomputes each
+    threat's effective severity before applying the inner threshold:
+
+    * **escalate**: a threat with at least one ``confirmed``
+      observation gains ``escalate_by`` ranks — a predicted-and-seen
+      interference is more dangerous than a predicted one;
+    * **downgrade**: a threat whose prediction was ``contradicted``
+      (the interfered rule demonstrably still acts), or that has been
+      watched for ``unconfirmed_after`` event-time seconds without a
+      single confirmation, loses ``downgrade_by`` ranks — the proposal
+      path for long-unconfirmed static verdicts.
+
+    ``decided_by`` provenance: sessions this policy decides persist
+    with the composite name ``evidence+<inner name>``, so a review's
+    history shows the verdict was evidence-revised.  Without any
+    evidence (no monitor traffic yet) every verdict is byte-identical
+    to the inner policy's.
+    """
+
+    def __init__(
+        self,
+        inner: SeverityThresholdPolicy | None = None,
+        *,
+        escalate_by: int = 2,
+        downgrade_by: int = 1,
+        unconfirmed_after: float = 7 * 86400.0,
+    ) -> None:
+        self.inner = SeverityThresholdPolicy() if inner is None else inner
+        self.escalate_by = int(escalate_by)
+        self.downgrade_by = int(downgrade_by)
+        self.unconfirmed_after = float(unconfirmed_after)
+        self.name = f"evidence+{self.inner.name}"
+
+    def effective_severity(
+        self, threat: Threat, evidence: Mapping[str, ThreatEvidence]
+    ) -> int:
+        top = max(self.inner.severity.values(), default=0) + 1
+        base = self.inner.severity.get(threat.type, top)
+        seen = evidence.get(threat_key(threat))
+        if seen is None:
+            return base
+        if seen.confirmed:
+            return base + self.escalate_by
+        if seen.contradicted:
+            return max(0, base - self.downgrade_by)
+        if seen.watch_seconds >= self.unconfirmed_after:
+            return max(0, base - self.downgrade_by)
+        return base
+
+    def worst_with_evidence(
+        self,
+        review: InstallReview,
+        evidence: Mapping[str, ThreatEvidence],
+    ) -> int:
+        return max(
+            (
+                self.effective_severity(threat, evidence)
+                for threat in (*review.threats, *review.chains)
+            ),
+            default=0,
+        )
+
+    def proposals(
+        self,
+        review: InstallReview,
+        evidence: Mapping[str, ThreatEvidence],
+    ) -> list[str]:
+        """Human-readable revision proposals for the review's threats —
+        what changed versus the static ranking and why."""
+        top = max(self.inner.severity.values(), default=0) + 1
+        notes: list[str] = []
+        for threat in (*review.threats, *review.chains):
+            key = threat_key(threat)
+            seen = evidence.get(key)
+            if seen is None:
+                continue
+            base = self.inner.severity.get(threat.type, top)
+            effective = self.effective_severity(threat, evidence)
+            if effective > base:
+                notes.append(
+                    f"escalate {key}: severity {base} -> {effective} "
+                    f"({seen.confirmed} confirmed observation(s))"
+                )
+            elif effective < base and seen.contradicted:
+                notes.append(
+                    f"downgrade {key}: severity {base} -> {effective} "
+                    f"(prediction contradicted {seen.contradicted}x)"
+                )
+            elif effective < base:
+                notes.append(
+                    f"downgrade {key}: severity {base} -> {effective} "
+                    f"(unconfirmed for {seen.watch_seconds:.0f}s)"
+                )
+        return notes
+
+    def decide(self, review: InstallReview) -> InstallDecision | None:
+        return self.inner.decide(review)
+
+    def decide_with_evidence(
+        self,
+        review: InstallReview,
+        evidence: Mapping[str, ThreatEvidence],
+    ) -> InstallDecision | None:
+        if self.worst_with_evidence(review, evidence) < self.inner.threshold:
+            return InstallDecision.KEEP
+        return self.inner.above
+
+    def __repr__(self) -> str:
+        return (
+            f"EvidencePolicy({self.inner!r}, "
+            f"escalate_by={self.escalate_by}, "
+            f"downgrade_by={self.downgrade_by})"
+        )

@@ -47,6 +47,10 @@ from repro.service.errors import (
 # (mirrors repro.frontend.app.InstallDecision values).
 DECISION_VERBS = ("keep", "reconfigure", "delete")
 
+# Monitor observation outcomes (DESIGN.md §16), as wire text (mirrors
+# the repro.monitor.rules KIND_* vocabulary).
+OBSERVATION_OUTCOMES = ("confirmed", "contradicted", "anomaly")
+
 SESSION_PENDING = "pending"
 SESSION_DECIDED = "decided"
 
@@ -576,6 +580,234 @@ class InstallSession:
 
 
 @dataclass(frozen=True)
+class MonitorEventRequest:
+    """A batch of runtime events for one home's interference monitor
+    (wire schema v6, DESIGN.md §16).
+
+    ``events`` is a sequence of ``(subject, attribute, value,
+    timestamp)`` tuples — the wire view of
+    :class:`~repro.runtime.events.Event` — and is deliberately a
+    *batch*: a 10k-event burst is one admission-controlled fleet job
+    under the quota/fairness scheduler, not 10k.  ``batch_id`` is the
+    client's idempotency token; a retried batch with the same id (or
+    the same content, which the server hashes when the id is empty)
+    returns the original observations instead of double-counting."""
+
+    kind: ClassVar[str] = "MonitorEventRequest"
+
+    home_id: str
+    events: tuple[tuple[str, str, object, float], ...] = ()
+    batch_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.home_id:
+            raise InvalidRequestError("MonitorEventRequest.home_id is empty")
+        if not isinstance(self.batch_id, str):
+            raise InvalidRequestError(
+                "MonitorEventRequest.batch_id must be a string"
+            )
+        normalized = []
+        for entry in self.events:
+            try:
+                subject, attribute, value, timestamp = entry
+            except (TypeError, ValueError):
+                raise InvalidRequestError(
+                    "MonitorEventRequest.events: expected (subject, "
+                    f"attribute, value, timestamp) tuples, got {entry!r}"
+                ) from None
+            if not (isinstance(subject, str) and subject):
+                raise InvalidRequestError(
+                    f"MonitorEventRequest.events: bad subject {subject!r}"
+                )
+            if not (isinstance(attribute, str) and attribute):
+                raise InvalidRequestError(
+                    f"MonitorEventRequest.events: bad attribute "
+                    f"{attribute!r}"
+                )
+            if not isinstance(timestamp, (int, float)) or isinstance(
+                timestamp, bool
+            ):
+                raise InvalidRequestError(
+                    f"MonitorEventRequest.events: bad timestamp "
+                    f"{timestamp!r}"
+                )
+            normalized.append(
+                (subject, attribute, _wire_value(value), float(timestamp))
+            )
+        object.__setattr__(self, "events", tuple(normalized))
+
+    @classmethod
+    def from_events(
+        cls, home_id: str, events, batch_id: str = ""
+    ) -> "MonitorEventRequest":
+        """Build from live :class:`~repro.runtime.events.Event`
+        objects (e.g. an ``EventBus.history`` slice)."""
+        return cls(
+            home_id=home_id,
+            events=tuple(
+                (event.subject, event.name, _wire_value(event.value),
+                 float(event.timestamp))
+                for event in events
+            ),
+            batch_id=batch_id,
+        )
+
+    def to_events(self):
+        """The batch as live runtime events, replay-ready."""
+        from repro.runtime.events import Event
+
+        return [
+            Event(
+                subject=subject, name=attribute, value=value,
+                timestamp=timestamp,
+            )
+            for subject, attribute, value, timestamp in self.events
+        ]
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "home_id": self.home_id,
+            "events": [
+                [subject, attribute, value, timestamp]
+                for subject, attribute, value, timestamp in self.events
+            ],
+            "batch_id": self.batch_id,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "MonitorEventRequest":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(cls.kind, data, {"home_id", "events", "batch_id"})
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise SchemaMismatchError(
+                f"{cls.kind}.events: expected a list, got {events!r}"
+            )
+        decoded = []
+        for entry in events:
+            if not (isinstance(entry, list) and len(entry) == 4):
+                raise SchemaMismatchError(
+                    f"{cls.kind}.events: expected [subject, attribute, "
+                    f"value, timestamp] entries, got {entry!r}"
+                )
+            decoded.append(tuple(entry))
+        batch_id = data.get("batch_id", "")
+        if not isinstance(batch_id, str):
+            raise SchemaMismatchError(
+                f"{cls.kind}.batch_id: expected a string, got {batch_id!r}"
+            )
+        return cls(
+            home_id=_str_field(cls.kind, data, "home_id"),
+            events=tuple(decoded),
+            batch_id=batch_id,
+        )
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One deduplicated monitor observation, as wire data (wire schema
+    v6, DESIGN.md §16) — the persisted evidence that a statically
+    predicted threat fired (``outcome="confirmed"``), that its
+    prediction failed to hold (``"contradicted"``), or that an anomaly
+    rule flagged emergent behavior the solver never saw
+    (``"anomaly"``).
+
+    ``key`` is the observation's deterministic identity (the
+    exactly-once dedup key); ``threat_key`` links confirmation
+    observations back to their static threat; ``timestamp`` is event
+    time, so replaying the same trace reproduces the record
+    byte-for-byte."""
+
+    kind: ClassVar[str] = "ObservationRecord"
+
+    key: str
+    home_id: str
+    rule: str
+    outcome: str
+    subject: str
+    threat_key: str = ""
+    detail: str = ""
+    timestamp: float = 0.0
+    window_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise InvalidRequestError("ObservationRecord.key is empty")
+        if not self.home_id:
+            raise InvalidRequestError("ObservationRecord.home_id is empty")
+        if self.outcome not in OBSERVATION_OUTCOMES:
+            raise InvalidRequestError(
+                f"unknown observation outcome {self.outcome!r}; expected "
+                f"one of {', '.join(OBSERVATION_OUTCOMES)}"
+            )
+
+    @classmethod
+    def from_observation(cls, observation) -> "ObservationRecord":
+        """Build from a :class:`~repro.monitor.engine.Observation`."""
+        return cls(
+            key=observation.key,
+            home_id=observation.home_id,
+            rule=observation.rule,
+            outcome=observation.kind,
+            subject=observation.subject,
+            threat_key=observation.threat_key,
+            detail=observation.detail,
+            timestamp=observation.timestamp,
+            window_seconds=observation.window_seconds,
+        )
+
+    def to_observation(self):
+        from repro.monitor.engine import Observation
+
+        return Observation(
+            key=self.key,
+            home_id=self.home_id,
+            rule=self.rule,
+            kind=self.outcome,
+            subject=self.subject,
+            threat_key=self.threat_key,
+            detail=self.detail,
+            timestamp=self.timestamp,
+            window_seconds=self.window_seconds,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            **_header(self.kind),
+            "key": self.key,
+            "home_id": self.home_id,
+            "rule": self.rule,
+            "outcome": self.outcome,
+            "subject": self.subject,
+            "threat_key": self.threat_key,
+            "detail": self.detail,
+            "timestamp": self.timestamp,
+            "window_seconds": self.window_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "ObservationRecord":
+        data = _check_header(cls.kind, data)
+        _reject_unknown(
+            cls.kind, data,
+            {"key", "home_id", "rule", "outcome", "subject", "threat_key",
+             "detail", "timestamp", "window_seconds"},
+        )
+        return cls(
+            key=_str_field(cls.kind, data, "key"),
+            home_id=_str_field(cls.kind, data, "home_id"),
+            rule=_str_field(cls.kind, data, "rule"),
+            outcome=_str_field(cls.kind, data, "outcome"),
+            subject=_str_field(cls.kind, data, "subject"),
+            threat_key=str(data.get("threat_key", "")),
+            detail=str(data.get("detail", "")),
+            timestamp=_float_field(cls.kind, data, "timestamp"),
+            window_seconds=_float_field(cls.kind, data, "window_seconds"),
+        )
+
+
+@dataclass(frozen=True)
 class DetectionStatsRecord:
     """One home's cumulative solver/cache accounting, as wire data.
 
@@ -588,9 +820,12 @@ class DetectionStatsRecord:
     counters are a versioned addition (wire schema v2), the
     storage-engine counters — bytes the store backend durably wrote
     for this home's commits and the wall seconds those commits took
-    (DESIGN.md §14) — a v4 one, and the fault-recovery counters
-    (DESIGN.md §15) a v5 one; peers on an older version reject the
-    record instead of silently dropping fields."""
+    (DESIGN.md §14) — a v4 one, the fault-recovery counters
+    (DESIGN.md §15) a v5 one, and the runtime-monitor counters —
+    events ingested, deduplicated observations, and their
+    confirmed/contradicted/anomaly split (DESIGN.md §16) — a v6 one;
+    peers on an older version reject the record instead of silently
+    dropping fields."""
 
     kind: ClassVar[str] = "DetectionStatsRecord"
 
@@ -608,6 +843,11 @@ class DetectionStatsRecord:
     chunks_requeued: int = 0
     pool_failures: int = 0
     degraded_serial: int = 0
+    monitor_events: int = 0
+    monitor_observations: int = 0
+    threats_confirmed: int = 0
+    threats_contradicted: int = 0
+    anomalies_flagged: int = 0
 
     def __post_init__(self) -> None:
         if not self.home_id:
@@ -630,6 +870,11 @@ class DetectionStatsRecord:
             chunks_requeued=stats.chunks_requeued,
             pool_failures=stats.pool_failures,
             degraded_serial=stats.degraded_serial,
+            monitor_events=stats.monitor_events,
+            monitor_observations=stats.monitor_observations,
+            threats_confirmed=stats.threats_confirmed,
+            threats_contradicted=stats.threats_contradicted,
+            anomalies_flagged=stats.anomalies_flagged,
         )
 
     def to_json(self) -> dict:
@@ -649,6 +894,11 @@ class DetectionStatsRecord:
             "chunks_requeued": self.chunks_requeued,
             "pool_failures": self.pool_failures,
             "degraded_serial": self.degraded_serial,
+            "monitor_events": self.monitor_events,
+            "monitor_observations": self.monitor_observations,
+            "threats_confirmed": self.threats_confirmed,
+            "threats_contradicted": self.threats_contradicted,
+            "anomalies_flagged": self.anomalies_flagged,
         }
 
     @classmethod
@@ -661,7 +911,9 @@ class DetectionStatsRecord:
              "prescreen_pruned_pairs", "planned_pairs",
              "store_bytes_written", "store_commit_seconds",
              "tasks_retried", "chunks_requeued", "pool_failures",
-             "degraded_serial"},
+             "degraded_serial", "monitor_events", "monitor_observations",
+             "threats_confirmed", "threats_contradicted",
+             "anomalies_flagged"},
         )
         return cls(
             home_id=_str_field(cls.kind, data, "home_id"),
@@ -686,6 +938,19 @@ class DetectionStatsRecord:
             chunks_requeued=_int_field(cls.kind, data, "chunks_requeued"),
             pool_failures=_int_field(cls.kind, data, "pool_failures"),
             degraded_serial=_int_field(cls.kind, data, "degraded_serial"),
+            monitor_events=_int_field(cls.kind, data, "monitor_events"),
+            monitor_observations=_int_field(
+                cls.kind, data, "monitor_observations"
+            ),
+            threats_confirmed=_int_field(
+                cls.kind, data, "threats_confirmed"
+            ),
+            threats_contradicted=_int_field(
+                cls.kind, data, "threats_contradicted"
+            ),
+            anomalies_flagged=_int_field(
+                cls.kind, data, "anomalies_flagged"
+            ),
         )
 
 
@@ -718,7 +983,12 @@ class ServerStatusRecord:
     dispatcher's lifetime recovery totals (they survive tenant-home
     eviction, unlike the per-home stats records); and
     ``deadline_rejections`` counts queued requests the server turned
-    away because they overran ``request_deadline_seconds``."""
+    away because they overran ``request_deadline_seconds``.
+
+    The runtime-monitor surface (wire schema v6, DESIGN.md §16):
+    ``monitor_events`` / ``monitor_observations`` are service-lifetime
+    ingestion totals across every home — like the dispatcher recovery
+    totals, they survive tenant-home eviction."""
 
     kind: ClassVar[str] = "ServerStatusRecord"
 
@@ -739,6 +1009,8 @@ class ServerStatusRecord:
     tasks_retried: int = 0
     degraded_serial: int = 0
     deadline_rejections: int = 0
+    monitor_events: int = 0
+    monitor_observations: int = 0
 
     def __post_init__(self) -> None:
         if self.state not in SERVER_STATES:
@@ -770,6 +1042,8 @@ class ServerStatusRecord:
             "tasks_retried": self.tasks_retried,
             "degraded_serial": self.degraded_serial,
             "deadline_rejections": self.deadline_rejections,
+            "monitor_events": self.monitor_events,
+            "monitor_observations": self.monitor_observations,
         }
 
     @classmethod
@@ -782,7 +1056,8 @@ class ServerStatusRecord:
              "admission_rejections", "drain_rejections", "errors_total",
              "internal_errors", "phase_seconds", "phase_counts",
              "tenants", "breaker_states", "tasks_retried",
-             "degraded_serial", "deadline_rejections"},
+             "degraded_serial", "deadline_rejections", "monitor_events",
+             "monitor_observations"},
         )
         tenants = data.get("tenants", {})
         if not isinstance(tenants, dict) or not all(
@@ -824,6 +1099,10 @@ class ServerStatusRecord:
             deadline_rejections=_int_field(
                 cls.kind, data, "deadline_rejections"
             ),
+            monitor_events=_int_field(cls.kind, data, "monitor_events"),
+            monitor_observations=_int_field(
+                cls.kind, data, "monitor_observations"
+            ),
         )
 
 
@@ -840,6 +1119,8 @@ WIRE_MODELS: dict[str, type] = {
         ThreatRecord,
         ThreatReport,
         InstallSession,
+        MonitorEventRequest,
+        ObservationRecord,
         DetectionStatsRecord,
         ServerStatusRecord,
     )

@@ -63,6 +63,8 @@ from repro.service.schemas import (
     DetectionStatsRecord,
     InstallRequest,
     InstallSession,
+    MonitorEventRequest,
+    ObservationRecord,
     ThreatReport,
 )
 
@@ -225,6 +227,13 @@ class HomeGuardService:
         # cannot install (or read the rules of) a custom app.  A home
         # that resubmits the byte-identical source joins the owners.
         self._sources: dict[str, tuple[set[str] | None, str]] = {}
+        # Service-lifetime monitor totals (DESIGN.md §16).  Per-home
+        # monitor counters live in each home's pipeline stats and reset
+        # when the home is evicted; these accumulate the deltas at
+        # ingest time, so the fleet-wide ``status`` view survives
+        # eviction — the same pattern as the dispatcher's fault totals.
+        self._monitor_events_total = 0
+        self._monitor_observations_total = 0
         self._close_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -547,7 +556,11 @@ class HomeGuardService:
         session_id = f"{home.home_id}/s{self._session_seq:06d}"
         report = ThreatReport.from_review(home.home_id, review)
         policy = home.policy if home.policy is not None else self.default_policy
-        verdict = policy.decide(review)
+        # Evidence-aware entry point (DESIGN.md §16): the home's
+        # persisted monitor observations revise evidence-aware
+        # policies' verdicts; every pre-monitor policy's default
+        # implementation delegates straight to ``decide``.
+        verdict = policy.decide_with_evidence(review, home.evidence())
         if verdict is None:
             wire = InstallSession(
                 session_id=session_id,
@@ -643,6 +656,51 @@ class HomeGuardService:
             ThreatReport.from_review(home.home_id, review)
             for review in home.audit_existing(apps)
         ]
+
+    # ------------------------------------------------------------------
+    # Runtime monitoring (DESIGN.md §16)
+
+    def ingest_events(
+        self, request: MonitorEventRequest
+    ) -> list[ObservationRecord]:
+        """Feed one batch of recorded device events through the home's
+        runtime monitor and return the observations it produced.
+
+        Ingestion is exactly-once per batch: a resent batch (same
+        ``batch_id``, or byte-identical events) returns the original
+        batch's observations without re-counting them, so transport
+        retries are safe.  Observations persist through the home's
+        store and survive eviction; the service-lifetime totals the
+        ``status`` RPC reports accumulate here."""
+        home = self.home(request.home_id)
+        stats = home.pipeline.stats
+        before_events = stats.monitor_events
+        before_observations = stats.monitor_observations
+        produced = home.ingest_events(
+            request.to_events(), batch_id=request.batch_id
+        )
+        self._monitor_events_total += stats.monitor_events - before_events
+        self._monitor_observations_total += (
+            stats.monitor_observations - before_observations
+        )
+        return [ObservationRecord.from_observation(obs) for obs in produced]
+
+    def observations(self, home_id: str) -> list[ObservationRecord]:
+        """One home's full persisted observation ledger, in ingest
+        order (re-hydrated from the store when the home was evicted)."""
+        return [
+            ObservationRecord.from_observation(obs)
+            for obs in self.home(home_id).observations()
+        ]
+
+    def monitor_totals(self) -> dict[str, int]:
+        """Service-lifetime monitor totals (events ingested and
+        observations produced across every home, surviving home
+        eviction) — the fleet-wide view the ``status`` RPC surfaces."""
+        return {
+            "monitor_events": self._monitor_events_total,
+            "monitor_observations": self._monitor_observations_total,
+        }
 
     # ------------------------------------------------------------------
     # Convenience queries

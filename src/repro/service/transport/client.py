@@ -51,6 +51,8 @@ from repro.service.schemas import (
     DetectionStatsRecord,
     InstallRequest,
     InstallSession,
+    MonitorEventRequest,
+    ObservationRecord,
     ServerStatusRecord,
     ThreatReport,
 )
@@ -238,6 +240,28 @@ class FleetClient:
         return DetectionStatsRecord.from_json(
             self.call("stats", {"home_id": home_id})
         )
+
+    def ingest_events(
+        self, request: MonitorEventRequest
+    ) -> list[ObservationRecord]:
+        """Stream one batch of device events into the home's runtime
+        monitor.  Retry-safe: set ``batch_id`` on the request and a
+        resent batch returns the original observations instead of
+        double-counting (the server's exactly-once contract)."""
+        response = self.call("ingest_events", request.to_json())
+        return [
+            ObservationRecord.from_json(record)
+            for record in response["observations"]
+        ]
+
+    def observations(self, home_id: str) -> list[ObservationRecord]:
+        """One home's full persisted observation ledger."""
+        return [
+            ObservationRecord.from_json(record)
+            for record in self.call(
+                "observations", {"home_id": home_id}
+            )["observations"]
+        ]
 
     def status(self) -> ServerStatusRecord:
         return ServerStatusRecord.from_json(self.call("status"))

@@ -66,6 +66,7 @@ from repro.service.schemas import (
     AuditRequest,
     DecisionRequest,
     InstallRequest,
+    MonitorEventRequest,
     ServerStatusRecord,
     decode_wire,
 )
@@ -225,6 +226,8 @@ class FleetServer:
             "sessions": self._rpc_sessions,
             "installed_apps": self._rpc_installed_apps,
             "stats": self._rpc_stats,
+            "ingest_events": self._rpc_ingest_events,
+            "observations": self._rpc_observations,
             "echo": self._rpc_echo,
         }
 
@@ -695,6 +698,7 @@ class FleetServer:
 
     def _status_record(self) -> ServerStatusRecord:
         faults = self.service.fault_summary()
+        monitor = self.service.monitor_totals()
         return ServerStatusRecord(
             state=self.state,
             homes=self.service.home_count(),
@@ -710,6 +714,8 @@ class FleetServer:
             breaker_states=self.service.breaker_states(),
             tasks_retried=faults.get("tasks_retried", 0),
             degraded_serial=faults.get("degraded_serial", 0),
+            monitor_events=monitor.get("monitor_events", 0),
+            monitor_observations=monitor.get("monitor_observations", 0),
             phase_seconds={
                 phase: round(seconds, 6)
                 for phase, seconds in self._phase_seconds.items()
@@ -841,6 +847,26 @@ class FleetServer:
         return self.service.detection_stats_record(
             self._param_str(params, "home_id")
         ).to_json()
+
+    def _rpc_ingest_events(self, params) -> dict:
+        # One batch = one admission-controlled job: a 10k-event burst
+        # occupies exactly one scheduler slot, so monitor ingestion
+        # cannot starve other tenants' install traffic.
+        records = self.service.ingest_events(
+            MonitorEventRequest.from_json(params)
+        )
+        return {"observations": [record.to_json() for record in records]}
+
+    def _rpc_observations(self, params) -> dict:
+        params = self._params_dict(params)
+        return {
+            "observations": [
+                record.to_json()
+                for record in self.service.observations(
+                    self._param_str(params, "home_id")
+                )
+            ]
+        }
 
     def _rpc_echo(self, params) -> dict:
         # Conformance probe: strict-decode any wire record (requests,

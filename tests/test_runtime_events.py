@@ -1,0 +1,139 @@
+"""Direct unit tests for the runtime event bus (runtime/events.py).
+
+Pins the ordering contract — handlers in subscription order, taps in
+registration order — and the mid-publish mutation semantics: a
+``unsubscribe_owner`` (or ``subscribe``) issued from inside a handler
+or tap affects later publishes only; the in-flight event is delivered
+to the snapshot taken at publish time.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.events import Event, EventBus
+
+
+def _event(subject="dev-1", name="switch", value="on", ts=1.0):
+    return Event(subject=subject, name=name, value=value, timestamp=ts)
+
+
+def test_publish_returns_handlers_in_subscription_order():
+    bus = EventBus()
+    calls: list[str] = []
+    for tag in ("a", "b", "c", "d"):
+        bus.subscribe(
+            "dev-1", "switch",
+            (lambda t: lambda e: calls.append(t))(tag), owner=tag,
+        )
+    # An unrelated subscription must not perturb ordering.
+    bus.subscribe("dev-2", "motion", lambda e: calls.append("x"), owner="x")
+    for handler in bus.publish(_event()):
+        handler(None)
+    assert calls == ["a", "b", "c", "d"]
+
+
+def test_value_filter_and_subject_matching():
+    bus = EventBus()
+    hits: list[str] = []
+    bus.subscribe("dev-1", "switch", lambda e: hits.append("any"), "o1")
+    bus.subscribe("dev-1", "switch", lambda e: hits.append("on-only"),
+                  "o2", value_filter="on")
+    bus.subscribe("dev-1", "level", lambda e: hits.append("level"), "o3")
+
+    for handler in bus.publish(_event(value="off")):
+        handler(None)
+    assert hits == ["any"]
+    hits.clear()
+    for handler in bus.publish(_event(value="on")):
+        handler(None)
+    assert hits == ["any", "on-only"]
+
+
+def test_history_records_every_event():
+    bus = EventBus()
+    first, second = _event(ts=1.0), _event(name="level", value=50, ts=2.0)
+    bus.publish(first)
+    bus.publish(second)
+    assert bus.history == [first, second]
+
+
+def test_unsubscribe_owner_removes_only_that_owner():
+    bus = EventBus()
+    bus.subscribe("dev-1", "switch", lambda e: None, "keep")
+    bus.subscribe("dev-1", "switch", lambda e: None, "drop")
+    bus.subscribe("dev-1", "level", lambda e: None, "drop")
+    bus.unsubscribe_owner("drop")
+    assert bus.subscriptions_of("drop") == []
+    assert bus.subscriptions_of("keep") == [("dev-1", "switch")]
+    assert len(bus.publish(_event())) == 1
+
+
+def test_unsubscribe_owner_mid_publish_delivers_inflight_event():
+    bus = EventBus()
+    calls: list[str] = []
+
+    def first(event):
+        calls.append("first")
+        bus.unsubscribe_owner("second")  # mutate while publish snapshot lives
+
+    bus.subscribe("dev-1", "switch", first, "first")
+    bus.subscribe("dev-1", "switch", lambda e: calls.append("second"),
+                  "second")
+
+    for handler in bus.publish(_event()):
+        handler(_event())
+    # Snapshot semantics: "second" still saw the in-flight event ...
+    assert calls == ["first", "second"]
+    calls.clear()
+    # ... but is gone for every later publish.
+    for handler in bus.publish(_event()):
+        handler(_event())
+    assert calls == ["first"]
+
+
+def test_subscribe_mid_publish_affects_later_publishes_only():
+    bus = EventBus()
+    calls: list[str] = []
+
+    def grower(event):
+        calls.append("grower")
+        bus.subscribe("dev-1", "switch",
+                      lambda e: calls.append("late"), "late")
+
+    bus.subscribe("dev-1", "switch", grower, "grower")
+    for handler in bus.publish(_event()):
+        handler(_event())
+    assert calls == ["grower"]  # the new subscription missed this event
+    calls.clear()
+    for handler in bus.publish(_event()):
+        handler(_event())
+    assert calls == ["grower", "late"]
+
+
+def test_taps_see_every_event_in_registration_order():
+    bus = EventBus()
+    seen: list[tuple[str, str]] = []
+    bus.add_tap(lambda e: seen.append(("t1", e.name)), owner="mon")
+    bus.add_tap(lambda e: seen.append(("t2", e.name)), owner="mon")
+    bus.subscribe("dev-1", "switch", lambda e: None, "app")
+
+    bus.publish(_event(name="switch"))
+    bus.publish(_event(subject="dev-2", name="motion"))  # no subscriber
+    assert seen == [("t1", "switch"), ("t2", "switch"),
+                    ("t1", "motion"), ("t2", "motion")]
+
+
+def test_unsubscribe_owner_removes_taps_snapshot_safe():
+    bus = EventBus()
+    seen: list[str] = []
+
+    def tap_one(event):
+        seen.append("one")
+        bus.unsubscribe_owner("mon")  # removes BOTH taps for later events
+
+    bus.add_tap(tap_one, owner="mon")
+    bus.add_tap(lambda e: seen.append("two"), owner="mon")
+
+    bus.publish(_event())
+    assert seen == ["one", "two"]  # snapshot: tap two still ran
+    bus.publish(_event())
+    assert seen == ["one", "two"]  # both gone now

@@ -20,6 +20,8 @@ from repro.service import (
     InstallRequest,
     InstallSession,
     InvalidRequestError,
+    MonitorEventRequest,
+    ObservationRecord,
     SchemaMismatchError,
     ServerStatusRecord,
     ServiceError,
@@ -90,6 +92,25 @@ SAMPLES = [
         decision="delete",
         decided_by="auto-deny",
     ),
+    MonitorEventRequest(
+        home_id="h1",
+        events=(
+            ("d1", "switch", "on", 10.0),
+            ("d2", "power", "120.5", 11.5),
+        ),
+        batch_id="b-001",
+    ),
+    ObservationRecord(
+        key="0123456789abcdef",
+        home_id="h1",
+        rule="confirm:AR:A/R1->B/R1",
+        outcome="confirmed",
+        subject="d1",
+        threat_key="AR:A/R1->B/R1",
+        detail="witness sequence observed: A/R1 -> B/R1 (AR)",
+        timestamp=11.5,
+        window_seconds=1.5,
+    ),
     DetectionStatsRecord(
         home_id="h1",
         solver_calls=12,
@@ -99,6 +120,11 @@ SAMPLES = [
         pairs_examined=28,
         prescreen_pruned_pairs=13,
         planned_pairs=15,
+        monitor_events=42,
+        monitor_observations=3,
+        threats_confirmed=1,
+        threats_contradicted=1,
+        anomalies_flagged=1,
     ),
     ServerStatusRecord(
         state="serving",
@@ -113,6 +139,8 @@ SAMPLES = [
         phase_seconds={"parse": 0.012, "execute": 4.5},
         phase_counts={"parse": 250, "execute": 231},
         tenants={"h1": {"requests": 100, "completed": 98}},
+        monitor_events=100000,
+        monitor_observations=17,
     ),
 ]
 
